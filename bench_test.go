@@ -1,0 +1,605 @@
+// Package repro's root test file is the benchmark harness of the
+// reproduction: one benchmark (or golden test) per table, figure and
+// performance claim of "Customizing IDL Mappings and ORB Protocols",
+// following the per-experiment index in DESIGN.md §3. EXPERIMENTS.md
+// records the measured results next to the paper's claims.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem .
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/est"
+	"repro/internal/gen/media"
+	"repro/internal/heidi"
+	"repro/internal/idl"
+	"repro/internal/idl/idltest"
+	"repro/internal/jeeves"
+	"repro/internal/mappings"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+// --- T1: Table 1 — IDL-to-C++ type mappings ----------------------------------
+
+// TestTable1TypeMappings regenerates Table 1: for each IDL type, the
+// CORBA-prescribed C++ type and the alternate (HeidiRMI) mapping.
+func TestTable1TypeMappings(t *testing.T) {
+	root, err := core.BuildEST("t.idl", "interface T {};")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corba, _ := mappings.Lookup("corba-cpp")
+	heidiM, _ := mappings.Lookup("heidi-cpp")
+	corbaType := corba.Funcs(root)["Corba::MapType"]
+	heidiType := heidiM.Funcs(root)["CPP::MapType"]
+
+	rows := []struct{ idl, wantCorba, wantHeidi string }{
+		{"long", "CORBA::Long", "long"},
+		{"boolean", "CORBA::Boolean", "XBool"},
+		{"float", "CORBA::Float", "float"},
+	}
+	t.Log("Table 1: IDL Type | Prescribed C++ Type | Alternate C++ Mapping")
+	for _, r := range rows {
+		c, err := corbaType(r.idl, nil)
+		if err != nil || c != r.wantCorba {
+			t.Errorf("prescribed mapping of %q = %q (%v), want %q", r.idl, c, err, r.wantCorba)
+		}
+		h, err := heidiType(r.idl, nil)
+		if err != nil || h != r.wantHeidi {
+			t.Errorf("alternate mapping of %q = %q (%v), want %q", r.idl, h, err, r.wantHeidi)
+		}
+		t.Logf("  %-8s | %-15s | %s", r.idl, c, h)
+	}
+}
+
+// BenchmarkTable1_TypeMapping measures the mapping functions themselves —
+// the per-name cost of the "map" layer of Fig. 9.
+func BenchmarkTable1_TypeMapping(b *testing.B) {
+	root, err := core.BuildEST("t.idl", "interface T {};")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _ := mappings.Lookup("heidi-cpp")
+	fn := m.Funcs(root)["CPP::MapType"]
+	types := []string{"long", "boolean", "float", "string", "unsigned long long"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, ty := range types {
+			if _, err := fn(ty, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- F3: Fig. 3 — generating the HeidiRMI header -------------------------------
+
+func BenchmarkFig3_GenerateHeader(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile("A.idl", idltest.AIDL, "heidi-cpp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F4/F5: Figs. 4–5 — remote method invocation ------------------------------
+
+// remoteSession starts a server+client pair over the given protocol and
+// returns the resolved generated stub.
+func remoteSession(b *testing.B, proto wire.Protocol, opts func(*orb.Options)) media.HdSession {
+	b.Helper()
+	serverOpts := orb.Options{Protocol: proto}
+	clientOpts := orb.Options{Protocol: proto}
+	if opts != nil {
+		opts(&serverOpts)
+		opts(&clientOpts)
+	}
+	server, ref, _, err := demo.Serve(serverOpts, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { server.Shutdown() })
+	client := demo.Connect(clientOpts)
+	b.Cleanup(func() { client.Shutdown() })
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return obj.(media.HdSession)
+}
+
+// BenchmarkFig4_RemoteCall measures the complete client-side interaction of
+// Fig. 4 — stub, Call object, communicator, wire, dispatch, reply — over
+// loopback TCP for both protocols.
+func BenchmarkFig4_RemoteCall(b *testing.B) {
+	for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+		proto := proto
+		b.Run(proto.Name(), func(b *testing.B) {
+			sess := remoteSession(b, proto, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.GetVolume(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4_RemoteCall_Parallel measures call throughput with many
+// client goroutines sharing one ORB — the connection cache grows one
+// connection per concurrent caller and reuses them across iterations.
+func BenchmarkFig4_RemoteCall_Parallel(b *testing.B) {
+	sess := remoteSession(b, wire.CDR, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := sess.GetVolume(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig5_Dispatch isolates the server-side selection of Fig. 5: an
+// incoming method name resolving through the skeleton's dispatch chain,
+// including the recursive delegation for inherited operations.
+func BenchmarkFig5_Dispatch(b *testing.B) {
+	impl := demo.NewSession("bench")
+	table := media.NewHdSessionTable(impl)
+	cases := []struct{ name, method string }{
+		{"own-method", "play"},
+		{"inherited-depth1", "open"}, // Source
+		{"inherited-depth2", "ping"}, // Node via Source
+		{"attribute", "_get_volume"}, // Sink attribute
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := table.Resolve(c.method); !ok {
+					b.Fatalf("method %s not found", c.method)
+				}
+			}
+		})
+	}
+}
+
+// --- F6: Fig. 6 — one-shot vs two-stage compilation ---------------------------
+
+func BenchmarkFig6_TwoStage_vs_OneShot(b *testing.B) {
+	script, err := core.EmitScript("media.idl", idltest.MediaIDL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("one-shot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compile("media.idl", idltest.MediaIDL, "heidi-cpp"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("two-stage", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CompileFromScript(script, "heidi-cpp"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- F8: Fig. 8 — evaluating the EST script vs re-parsing ---------------------
+
+// BenchmarkFig8_EvalScript_vs_Reparse quantifies §4.1's claim that
+// "evaluating a perl program that directly rebuilds the EST ... is
+// certainly more efficient than parsing an external representation".
+func BenchmarkFig8_EvalScript_vs_Reparse(b *testing.B) {
+	spec := idl.MustParse("media.idl", idltest.MediaIDL)
+	script := est.EmitScript(est.Build(spec))
+	b.Run("eval-script", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.EvalScript(script); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reparse-idl", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := idl.Parse("media.idl", idltest.MediaIDL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est.Build(s)
+		}
+	})
+}
+
+// --- F9: Fig. 9 — template compilation amortization ----------------------------
+
+// BenchmarkFig9_CompileOnce_ExecMany isolates the claim that "the first
+// step of the code-generation stage need only be performed once for a
+// particular code-generation template".
+func BenchmarkFig9_CompileOnce_ExecMany(b *testing.B) {
+	m, _ := mappings.Lookup("heidi-cpp")
+	spec := idl.MustParse("A.idl", idltest.AIDL)
+	root := est.Build(spec)
+	b.Run("execute-precompiled", func(b *testing.B) {
+		prog, err := m.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		funcs := m.Funcs(root)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.ExecuteToMemory(root, funcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compile-and-execute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog, err := m.Compile()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := prog.ExecuteToMemory(root, m.Funcs(root)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- F10: Fig. 10 — Tcl generation ---------------------------------------------
+
+func BenchmarkFig10_GenerateTcl(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile("Receiver.idl", idltest.ReceiverIDL, "tcl"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C1: §2 — dispatch strategies ----------------------------------------------
+
+// buildWideTable creates a method table with n methods whose names share a
+// long common prefix (the paper's worst case: "interfaces with a large
+// number of methods with long names").
+func buildWideTable(n int, strategy orb.Strategy) (*orb.MethodTable, []string) {
+	t := orb.NewMethodTable("IDL:bench/Wide:1.0")
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("configure_media_stream_transport_endpoint_%04d", i)
+		t.Register(names[i], func(*orb.ServerCall) error { return nil })
+	}
+	t.SetStrategy(strategy)
+	return t, names
+}
+
+// BenchmarkC1_Dispatch compares linear string comparison against nested
+// (binary-search) comparison and a hash table, across interface widths —
+// §2's "Incorporating Custom Optimizations" claim. The probe is the last
+// registered method: linear's worst case.
+func BenchmarkC1_Dispatch(b *testing.B) {
+	for _, strategy := range []orb.Strategy{orb.StrategyLinear, orb.StrategyBinary, orb.StrategyHash} {
+		for _, n := range []int{4, 16, 64, 256} {
+			strategy, n := strategy, n
+			b.Run(fmt.Sprintf("%s/methods=%d", strategy, n), func(b *testing.B) {
+				table, names := buildWideTable(n, strategy)
+				probe := names[len(names)-1]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := table.Resolve(probe); !ok {
+						b.Fatal("missing method")
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- C2: §2 — protocol cost -----------------------------------------------------
+
+// BenchmarkC2_Protocol compares the simple custom text protocol against the
+// general binary CDR protocol for three payload shapes, full round trip
+// over loopback TCP — §2's "such [standard] protocols are often expensive
+// to use because they are designed for generality" versus §4.2's "a
+// text-based wire-protocol that suffices for ... control messaging".
+func BenchmarkC2_Protocol(b *testing.B) {
+	bigName := strings.Repeat("x", 1024)
+	shapes := []struct {
+		name string
+		call func(s media.HdSession) error
+	}{
+		{"empty", func(s media.HdSession) error { return s.Ping() }},
+		{"smallargs", func(s media.HdSession) error {
+			return s.Play("news.mpg", media.HdStreamStatePlaying)
+		}},
+		{"payload1k", func(s media.HdSession) error {
+			err := s.Open(bigName, 0)
+			if err == nil {
+				return fmt.Errorf("expected NoSuchStream")
+			}
+			return nil
+		}},
+		{"structseq", func(s media.HdSession) error {
+			_, err := s.List()
+			return err
+		}},
+	}
+	for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+		for _, shape := range shapes {
+			proto, shape := proto, shape
+			b.Run(proto.Name()+"/"+shape.name, func(b *testing.B) {
+				sess := remoteSession(b, proto, nil)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := shape.call(sess); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- C3: §3.1 — caching ablation -------------------------------------------------
+
+// BenchmarkC3_Caching measures remote calls with the connection cache on
+// and off ("Connections are cached and reused in HeidiRMI, and only if
+// there is no available connection is a new connection opened").
+func BenchmarkC3_Caching(b *testing.B) {
+	b.Run("conncache=on", func(b *testing.B) {
+		sess := remoteSession(b, wire.Text, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.GetVolume(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("conncache=off", func(b *testing.B) {
+		sess := remoteSession(b, wire.Text, func(o *orb.Options) {
+			o.DisableConnCache = true
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.GetVolume(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestC3StubCacheAblation complements the benchmark: resolving the same
+// reference repeatedly creates one stub with the cache and N without.
+func TestC3StubCacheAblation(t *testing.T) {
+	server, ref, _, err := demo.Serve(orb.Options{Protocol: wire.Text}, "c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+
+	cached := demo.Connect(orb.Options{Protocol: wire.Text})
+	defer cached.Shutdown()
+	for i := 0; i < 10; i++ {
+		if _, err := cached.Resolve(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	uncached := demo.Connect(orb.Options{Protocol: wire.Text, DisableStubCache: true})
+	defer uncached.Shutdown()
+	for i := 0; i < 10; i++ {
+		if _, err := uncached.Resolve(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cached.Stats().StubsCreated; got != 1 {
+		t.Errorf("cached client created %d stubs, want 1", got)
+	}
+	if got := uncached.Stats().StubsCreated; got != 10 {
+		t.Errorf("uncached client created %d stubs, want 10", got)
+	}
+	t.Logf("stub cache ablation: cached=1 stub for 10 resolves, uncached=10 stubs")
+}
+
+// --- C4: §4.2 — minimal ORB footprint --------------------------------------------
+
+// minimalStubTemplate generates only client-side stubs against a reduced
+// ORB surface — the §4.2 claim that "it is possible to write templates for
+// stubs and skeletons that only use portions of the ORB library to
+// minimize the ORB footprint as may be required for small embedded
+// devices."
+const minimalStubTemplate = `@openfile ${basename}_min.hh
+/* Minimal client-only stubs for ${file}: no skeletons, no attributes
+   helpers, no pass-by-value support. */
+@foreach interfaceList -map interfaceName CPP::MapClassName
+class ${interfaceName}_ministub
+{
+public:
+@foreach methodList -map returnType CPP::MapType -mapto retGet returnKind CPP::MapGetOp
+@set sig
+@foreach paramList -ifMore ', ' -map paramType CPP::MapType
+@set sig ${sig}${paramType} ${paramName}${ifMore}
+@end paramList
+  ${returnType} ${methodName}(${sig});
+@end methodList
+};
+@end interfaceList
+`
+
+// TestC4Footprint compares generated-code footprints: the minimal
+// client-only template versus the full HeidiRMI and CORBA mappings for the
+// same module.
+func TestC4Footprint(t *testing.T) {
+	root, err := core.BuildEST("media.idl", idltest.MediaIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heidiM, _ := mappings.Lookup("heidi-cpp")
+	minimal, err := core.CompileTemplate(root, "minimal.tpl", minimalStubTemplate, heidiM.Funcs(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int{"minimal-stub": minimal.TotalBytes()}
+	for _, name := range []string{"heidi-cpp", "corba-cpp"} {
+		res, err := core.Compile("media.idl", idltest.MediaIDL, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[name] = res.TotalBytes()
+	}
+	if sizes["minimal-stub"] >= sizes["heidi-cpp"] {
+		t.Errorf("minimal template (%dB) not smaller than full heidi-cpp (%dB)",
+			sizes["minimal-stub"], sizes["heidi-cpp"])
+	}
+	if sizes["heidi-cpp"] >= sizes["corba-cpp"] {
+		t.Errorf("heidi-cpp (%dB) not smaller than corba-cpp (%dB): the custom mapping should be leaner than the prescribed one",
+			sizes["heidi-cpp"], sizes["corba-cpp"])
+	}
+	t.Logf("C4 generated footprint for media.idl: minimal=%dB heidi-cpp=%dB corba-cpp=%dB",
+		sizes["minimal-stub"], sizes["heidi-cpp"], sizes["corba-cpp"])
+}
+
+// BenchmarkC4_MinimalStub measures generation cost of the minimal template
+// versus the full mapping.
+func BenchmarkC4_MinimalStub(b *testing.B) {
+	root, err := core.BuildEST("media.idl", idltest.MediaIDL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heidiM, _ := mappings.Lookup("heidi-cpp")
+	funcs := heidiM.Funcs(root)
+	prog, err := jeeves.CompileTemplate("minimal.tpl", minimalStubTemplate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("minimal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.ExecuteToMemory(root, funcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	full, err := heidiM.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := full.ExecuteToMemory(root, funcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C5: §4.2 — the mapping matrix ------------------------------------------------
+
+// TestC5MappingMatrix generates every registered mapping from media.idl and
+// reports line counts — the experience claim that the same compiler, fed
+// different templates, yields C++, Java, Tcl (the paper's 700-line Tcl ORB
+// experience) and, here, Go.
+func TestC5MappingMatrix(t *testing.T) {
+	for _, m := range mappings.List() {
+		res, err := core.Compile("media.idl", idltest.MediaIDL, m.Name,
+			core.WithProp("goPackage", "media"))
+		if err != nil {
+			t.Errorf("mapping %s: %v", m.Name, err)
+			continue
+		}
+		loc := 0
+		for _, f := range res.Order {
+			loc += mappings.TclLoC(res.Files[f])
+		}
+		t.Logf("C5: %-10s -> %d files, %4d LoC, %5d bytes", m.Name, len(res.Order), loc, res.TotalBytes())
+	}
+}
+
+// BenchmarkInterceptorOverhead measures the cost of the §5-style runtime
+// hooks: a remote call with zero, one and four pass-through client
+// interceptors installed.
+func BenchmarkInterceptorOverhead(b *testing.B) {
+	for _, n := range []int{0, 1, 4} {
+		n := n
+		b.Run(fmt.Sprintf("interceptors=%d", n), func(b *testing.B) {
+			server, ref, _, err := demo.Serve(orb.Options{Protocol: wire.Text}, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { server.Shutdown() })
+			client := demo.Connect(orb.Options{Protocol: wire.Text})
+			b.Cleanup(func() { client.Shutdown() })
+			for i := 0; i < n; i++ {
+				client.AddClientInterceptor(func(_ *orb.ClientContext, invoke func() error) error {
+					return invoke()
+				})
+			}
+			obj, err := client.Resolve(ref)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess := obj.(media.HdSession)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.GetVolume(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F4/F5 correctness companions -------------------------------------------------
+
+// TestFig4Fig5RoundTrip is the correctness companion to the F4/F5
+// benchmarks: one remote call over each protocol, verifying the
+// client-side Fig. 4 path and the server-side Fig. 5 path end to end
+// through generated code. (Deeper behavioural coverage lives in
+// internal/gen's integration tests.)
+func TestFig4Fig5RoundTrip(t *testing.T) {
+	for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+		server, ref, _, err := demo.Serve(orb.Options{Protocol: proto}, "roundtrip")
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := demo.Connect(orb.Options{Protocol: proto})
+		obj, err := client.Resolve(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := obj.(media.HdSession)
+		if name, err := sess.GetName(); err != nil || name != "roundtrip" {
+			t.Errorf("%s: GetName = %q, %v", proto.Name(), name, err)
+		}
+		if err := sess.Ping(); err != nil { // recursive dispatch to Node
+			t.Errorf("%s: Ping: %v", proto.Name(), err)
+		}
+		client.Shutdown()
+		server.Shutdown()
+	}
+	// Keep the heidi import honest: XBool flows through generated code.
+	if heidi.XTrue.String() != "XTrue" {
+		t.Fatal("unexpected XBool rendering")
+	}
+}

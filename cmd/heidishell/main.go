@@ -1,0 +1,107 @@
+// Command heidishell is an interactive client for the HeidiRMI text
+// protocol — the programmable version of the paper's §4.2 trick: "a
+// 'human' client to telnet into the bootstrap port of a Heidi application
+// and type in simple HeidiRMI requests to debug the system."
+//
+// It connects to a bootstrap port and forwards protocol lines verbatim,
+// printing replies. A convenience form omits the request ID, which the
+// shell assigns:
+//
+//	$ heidishell -connect 127.0.0.1:4321
+//	> call @tcp:127.0.0.1:4321#1#IDL:Media/Session:1.0 _get_name
+//	ok 1 "session-0"
+//	> call @tcp:127.0.0.1:4321#1#IDL:Media/Session:1.0 play "news.mpg" 1
+//	ok 2
+//
+// Raw lines starting with a known protocol verb ("call", "send") and an
+// explicit numeric ID pass through untouched.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "heidishell:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	connect := flag.String("connect", "", "bootstrap endpoint (host:port) of a text-protocol ORB")
+	flag.Parse()
+	if *connect == "" {
+		return fmt.Errorf("-connect host:port is required")
+	}
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s; type protocol lines ('call <ref> <method> [args...]'), 'help' or 'quit'\n", *connect)
+
+	serverReader := bufio.NewReader(conn)
+	stdin := bufio.NewScanner(os.Stdin)
+	nextID := uint64(0)
+
+	for {
+		fmt.Print("> ")
+		if !stdin.Scan() {
+			return stdin.Err()
+		}
+		line := strings.TrimSpace(stdin.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "quit" || line == "exit":
+			return nil
+		case line == "help":
+			fmt.Println(`commands:
+  call <ref> <method> [args...]   two-way request (ID assigned automatically)
+  send <ref> <method> [args...]   oneway request (no reply)
+  call <id> <ref> <method> ...    raw protocol line, passed through
+  quit                            leave
+
+argument syntax: integers/floats plain, booleans T/F, strings "quoted"`)
+			continue
+		}
+		verb, rest := splitWord(line)
+		if verb != "call" && verb != "send" {
+			fmt.Println("unknown command; try 'help'")
+			continue
+		}
+		// Insert an ID unless the user supplied one.
+		first, _ := splitWord(rest)
+		if _, err := strconv.ParseUint(first, 10, 32); err != nil {
+			nextID++
+			line = fmt.Sprintf("%s %d %s", verb, nextID, rest)
+		}
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			return fmt.Errorf("send: %w", err)
+		}
+		if verb == "send" {
+			continue // oneway: no reply
+		}
+		reply, err := serverReader.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("server closed the connection: %w", err)
+		}
+		fmt.Print(reply)
+	}
+}
+
+func splitWord(s string) (string, string) {
+	s = strings.TrimLeft(s, " ")
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimLeft(s[i+1:], " ")
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/orb"
+)
+
+func TestSplitWord(t *testing.T) {
+	cases := []struct{ in, word, rest string }{
+		{"call a b", "call", "a b"},
+		{"  call   a", "call", "a"},
+		{"single", "single", ""},
+		{"", "", ""},
+	}
+	for _, c := range cases {
+		w, r := splitWord(c.in)
+		if w != c.word || r != c.rest {
+			t.Errorf("splitWord(%q) = %q, %q", c.in, w, r)
+		}
+	}
+}
+
+// TestShellSession builds the shell binary and drives a live ORB through
+// it: auto-assigned request IDs, replies printed, oneway sends, quit.
+func TestShellSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping subprocess test in -short mode")
+	}
+	server, ref, impl, err := demo.Serve(orb.Options{}, "shelltest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+
+	bin := t.TempDir() + "/heidishell"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	script := strings.Join([]string{
+		"help",
+		"call " + ref.String() + " _get_name",
+		"call " + ref.String() + " add_nonexistent",
+		"send " + ref.String() + " prefetch \"x.mpg\"",
+		"call " + ref.String() + " _get_volume",
+		"quit",
+	}, "\n") + "\n"
+
+	cmd := exec.Command(bin, "-connect", ref.Addr)
+	cmd.Stdin = strings.NewReader(script)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("heidishell: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		`ok 1 "shelltest"`, // auto-assigned ID 1
+		"err 2 3",          // unknown method, ID 2
+		"ok 4 0",           // volume; the oneway send took ID 3 with no reply
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("shell output missing %q:\n%s", want, text)
+		}
+	}
+	// The oneway prefetch reached the servant.
+	if got := impl.Prefetched(); len(got) != 1 || got[0] != "x.mpg" {
+		t.Errorf("prefetched = %v", got)
+	}
+}

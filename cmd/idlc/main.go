@@ -1,0 +1,186 @@
+// Command idlc is the template-driven IDL compiler of "Customizing IDL
+// Mappings and ORB Protocols" (Fig. 6): a generic IDL parser producing an
+// enhanced syntax tree, and a template-driven code generator. The mapping
+// is selected — or supplied as a template file — at run time; changing a
+// mapping never requires recompiling the compiler.
+//
+// Usage:
+//
+//	idlc -list
+//	idlc -m heidi-cpp A.idl                 generate into the current directory
+//	idlc -m go -pkg media -o gen media.idl  Go bindings for package media
+//	idlc -dump-est A.idl                    print the EST (Fig. 7)
+//	idlc -emit-script A.idl > A.est         stage 1: EST-rebuilding program (Fig. 8)
+//	idlc -from-script A.est -m tcl          stage 2: generate without re-parsing
+//	idlc -template my.tpl -funcs heidi-cpp A.idl
+//	                                        run a custom template with a
+//	                                        registered mapping's functions
+//	idlc -stdout -m java A.idl              print files instead of writing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/mappings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "idlc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("idlc", flag.ContinueOnError)
+	var (
+		mapping    = fs.String("m", "", "mapping to generate (see -list)")
+		outDir     = fs.String("o", ".", "output directory")
+		pkg        = fs.String("pkg", "", "package name for the Go mapping")
+		list       = fs.Bool("list", false, "list registered mappings")
+		dumpEST    = fs.Bool("dump-est", false, "print the enhanced syntax tree and exit")
+		emitScript = fs.Bool("emit-script", false, "emit the EST-rebuilding script (two-stage mode, stage 1)")
+		fromScript = fs.Bool("from-script", false, "input is an EST script, not IDL (stage 2)")
+		tmplFile   = fs.String("template", "", "generate with a custom template file instead of a registered mapping")
+		funcsFrom  = fs.String("funcs", "", "mapping whose map functions a custom template may use")
+		stdout     = fs.Bool("stdout", false, "print generated files to stdout instead of writing them")
+		includes   includeDirs
+	)
+	fs.Var(&includes, "I", "directory to search for #include files (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, m := range mappings.List() {
+			fmt.Printf("%-12s %s\n", m.Name, m.Description)
+		}
+		return nil
+	}
+
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file (got %d); run with -list to see mappings", fs.NArg())
+	}
+	inPath := fs.Arg(0)
+	data, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	src := string(data)
+	name := filepath.Base(inPath)
+
+	// #include search path: the input file's directory, then -I dirs.
+	searchDirs := append([]string{filepath.Dir(inPath)}, includes...)
+	resolver := func(incName string) (string, error) {
+		for _, dir := range searchDirs {
+			b, err := os.ReadFile(filepath.Join(dir, incName))
+			if err == nil {
+				return string(b), nil
+			}
+		}
+		return "", fmt.Errorf("not found in %v", searchDirs)
+	}
+
+	var opts []core.Option
+	if *pkg != "" {
+		opts = append(opts, core.WithProp("goPackage", *pkg))
+	}
+	if !*fromScript {
+		opts = append(opts, core.WithResolver(resolver))
+	}
+
+	switch {
+	case *dumpEST:
+		root, err := core.BuildEST(name, src, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(root.Dump())
+		return nil
+
+	case *emitScript:
+		script, err := core.EmitScript(name, src, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(script)
+		return nil
+	}
+
+	var res *core.Result
+	switch {
+	case *tmplFile != "":
+		tmpl, err := os.ReadFile(*tmplFile)
+		if err != nil {
+			return err
+		}
+		root, err := core.BuildEST(name, src, opts...)
+		if err != nil {
+			return err
+		}
+		funcs := mappings.NoFuncs()
+		if *funcsFrom != "" {
+			m, err := mappings.Lookup(*funcsFrom)
+			if err != nil {
+				return err
+			}
+			funcs = m.Funcs(root)
+		}
+		res, err = core.CompileTemplate(root, filepath.Base(*tmplFile), string(tmpl), funcs)
+		if err != nil {
+			return err
+		}
+
+	case *fromScript:
+		if *mapping == "" {
+			return fmt.Errorf("-from-script requires -m <mapping>")
+		}
+		res, err = core.CompileFromScript(src, *mapping, opts...)
+		if err != nil {
+			return err
+		}
+
+	default:
+		if *mapping == "" {
+			return fmt.Errorf("no mapping selected; use -m <mapping> (see -list) or -template")
+		}
+		res, err = core.Compile(name, src, *mapping, opts...)
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, fname := range res.Order {
+		content := res.Files[fname]
+		if fname == "" {
+			fname = "out.txt"
+		}
+		if *stdout {
+			fmt.Printf("// ===== %s =====\n%s", fname, content)
+			continue
+		}
+		dest := filepath.Join(*outDir, fname)
+		if err := os.MkdirAll(filepath.Dir(dest), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dest, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "idlc: wrote %s (%d bytes)\n", dest, len(content))
+	}
+	return nil
+}
+
+// includeDirs implements flag.Value for the repeatable -I option.
+type includeDirs []string
+
+func (d *includeDirs) String() string { return fmt.Sprint([]string(*d)) }
+
+func (d *includeDirs) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}

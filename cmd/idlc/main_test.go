@@ -1,0 +1,209 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file under dir and returns its path.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testIDL = `module Demo {
+  interface Hello {
+    string greet(in string who);
+  };
+};
+`
+
+func TestRunGenerate(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "demo.idl", testIDL)
+	out := filepath.Join(dir, "out")
+	if err := run([]string{"-m", "heidi-cpp", "-o", out, in}); err != nil {
+		t.Fatal(err)
+	}
+	hh, err := os.ReadFile(filepath.Join(out, "demo.hh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(hh), "class HdHello") {
+		t.Errorf("demo.hh:\n%s", hh)
+	}
+	if _, err := os.Stat(filepath.Join(out, "demo_rmi.hh")); err != nil {
+		t.Error("stub/skeleton file missing")
+	}
+}
+
+func TestRunGoMapping(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "demo.idl", testIDL)
+	if err := run([]string{"-m", "go", "-pkg", "demo", "-o", dir, in}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "demo_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package demo", "type HdHello interface", "func NewHdHelloTable"} {
+		if !strings.Contains(string(src), want) {
+			t.Errorf("generated Go missing %q", want)
+		}
+	}
+}
+
+func TestRunTwoStage(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "demo.idl", testIDL)
+
+	// Stage 1 writes the EST script to stdout; capture via pipe.
+	script := captureStdout(t, func() {
+		if err := run([]string{"-emit-script", in}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.HasPrefix(script, "est 1\n") {
+		t.Fatalf("script header: %q", script[:20])
+	}
+
+	// Stage 2 consumes the script file.
+	est := write(t, dir, "demo.est", script)
+	out := filepath.Join(dir, "gen")
+	if err := run([]string{"-from-script", "-m", "tcl", "-o", out, est}); err != nil {
+		t.Fatal(err)
+	}
+	tcl, err := os.ReadFile(filepath.Join(out, "Hello.tcl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tcl), "class HelloStub") {
+		t.Errorf("Hello.tcl:\n%s", tcl)
+	}
+}
+
+func TestRunDumpEST(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "demo.idl", testIDL)
+	dump := captureStdout(t, func() {
+		if err := run([]string{"-dump-est", in}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{`Interface "Hello"`, "[methodList]"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestRunIncludes(t *testing.T) {
+	dir := t.TempDir()
+	incDir := filepath.Join(dir, "inc")
+	if err := os.MkdirAll(incDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(t, incDir, "base.idl", "interface Base { void ping(); };")
+	in := write(t, dir, "derived.idl", `#include "base.idl"
+interface Derived : Base { void extra(); };`)
+	out := filepath.Join(dir, "gen")
+	if err := run([]string{"-m", "heidi-cpp", "-I", incDir, "-o", out, in}); err != nil {
+		t.Fatal(err)
+	}
+	hh, err := os.ReadFile(filepath.Join(out, "derived.hh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(hh), "virtual public HdBase") {
+		t.Error("derived.hh missing included base")
+	}
+	if strings.Contains(string(hh), "class HdBase") {
+		t.Error("derived.hh generated code for the included unit")
+	}
+}
+
+func TestRunCustomTemplate(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "demo.idl", testIDL)
+	tpl := write(t, dir, "list.tpl", `@foreach interfaceList
+${interfaceName}: ${repoID}
+@end interfaceList
+`)
+	got := captureStdout(t, func() {
+		if err := run([]string{"-template", tpl, "-stdout", in}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(got, "Demo::Hello: IDL:Demo/Hello:1.0") {
+		t.Errorf("custom template output:\n%s", got)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	got := captureStdout(t, func() {
+		if err := run([]string{"-list"}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"heidi-cpp", "corba-cpp", "java", "tcl", "go"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := write(t, dir, "demo.idl", testIDL)
+	bad := write(t, dir, "bad.idl", "interface {")
+
+	cases := [][]string{
+		{},                              // no input
+		{in},                            // no mapping
+		{"-m", "cobol", in},             // unknown mapping
+		{"-m", "heidi-cpp", bad},        // parse error
+		{"-m", "heidi-cpp", "gone.idl"}, // missing file
+		{"-from-script", in},            // -from-script without -m
+		{"-m", "heidi-cpp", in, in},     // two inputs
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// captureStdout redirects os.Stdout for the duration of fn.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}

@@ -1,0 +1,71 @@
+// Command idlfmt canonically formats OMG IDL source, gofmt-style, using the
+// same front end as the template compiler — so anything idlc accepts,
+// idlfmt formats, including the paper's incopy and default-parameter
+// extensions.
+//
+// Usage:
+//
+//	idlfmt file.idl          print the formatted unit to stdout
+//	idlfmt -w file.idl       rewrite the file in place
+//	idlfmt -d file.idl       exit non-zero if the file is not canonical
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/idl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "idlfmt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("idlfmt", flag.ContinueOnError)
+	write := fs.Bool("w", false, "rewrite files in place")
+	diff := fs.Bool("d", false, "report files whose formatting differs (non-zero exit)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("expected at least one IDL file")
+	}
+	dirty := false
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		spec, err := idl.Parse(filepath.Base(path), string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		formatted := idl.Print(spec)
+		switch {
+		case *write:
+			if formatted != string(data) {
+				if err := os.WriteFile(path, []byte(formatted), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintln(os.Stderr, "idlfmt: rewrote", path)
+			}
+		case *diff:
+			if formatted != string(data) {
+				fmt.Println(path)
+				dirty = true
+			}
+		default:
+			fmt.Print(formatted)
+		}
+	}
+	if dirty {
+		return fmt.Errorf("files need formatting")
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const messy = `module   M{interface   A{
+		void f(in long	x   =   3)   ;
+};};`
+
+func TestFormatInPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.idl")
+	if err := os.WriteFile(path, []byte(messy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-w", path}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	want := `module M {
+  interface A {
+    void f(in long x = 3);
+  };
+};
+`
+	if string(got) != want {
+		t.Errorf("formatted:\n%s\nwant:\n%s", got, want)
+	}
+	// Idempotent: a second -w run leaves the file untouched.
+	before, _ := os.Stat(path)
+	if err := run([]string{"-w", path}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("second format rewrote an already-canonical file")
+	}
+}
+
+func TestDiffMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.idl")
+	os.WriteFile(path, []byte(messy), 0o644)
+	if err := run([]string{"-d", path}); err == nil {
+		t.Error("-d on messy file should fail")
+	}
+	if err := run([]string{"-w", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-d", path}); err != nil {
+		t.Errorf("-d on canonical file: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.idl")
+	os.WriteFile(bad, []byte("interface {"), 0o644)
+	for _, args := range [][]string{{}, {"missing.idl"}, {bad}} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+	if err := run([]string{bad}); err == nil || !strings.Contains(err.Error(), "bad.idl") {
+		t.Error("parse error should name the file")
+	}
+}

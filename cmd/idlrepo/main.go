@@ -1,0 +1,136 @@
+// Command idlrepo manages a persistent Interface Repository, the §5
+// workflow the paper attributes to OmniBroker: "The OmniBroker parser
+// stores an abstract representation of the IDL source in a possibly
+// persistent global Interface Repository (IR) in support of a distributed
+// development environment. The code-generation stage then queries the IR
+// for details of each required IDL interface."
+//
+// The repository stores EST-rebuilding scripts (Fig. 8), so generation
+// never re-parses IDL.
+//
+// Usage:
+//
+//	idlrepo -db ./irdb add idl/A.idl idl/media.idl   parse and store units
+//	idlrepo -db ./irdb list                           list indexed declarations
+//	idlrepo -db ./irdb gen -m heidi-cpp IDL:Heidi/A:1.0
+//	                                                  generate from the stored EST
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "idlrepo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("idlrepo", flag.ContinueOnError)
+	db := fs.String("db", "irdb", "repository directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("expected a command: add, list or gen")
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "add":
+		return cmdAdd(*db, rest)
+	case "list":
+		return cmdList(*db)
+	case "gen":
+		return cmdGen(*db, rest)
+	default:
+		return fmt.Errorf("unknown command %q (want add, list or gen)", cmd)
+	}
+}
+
+// loadOrNew opens an existing repository directory or starts a fresh one.
+func loadOrNew(db string) (*ir.Repository, error) {
+	if _, err := os.Stat(db); err != nil {
+		return ir.New(), nil
+	}
+	return ir.Load(db)
+}
+
+func cmdAdd(db string, files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("add: expected IDL files")
+	}
+	repo, err := loadOrNew(db)
+	if err != nil {
+		return err
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := repo.AddIDL(filepath.Base(path), string(data)); err != nil {
+			return err
+		}
+		fmt.Printf("added %s\n", path)
+	}
+	return repo.Save(db)
+}
+
+func cmdList(db string) error {
+	repo, err := ir.Load(db)
+	if err != nil {
+		return err
+	}
+	for _, e := range repo.Entries() {
+		fmt.Printf("%-10s %-40s %s\n", e.Kind, e.RepoID, e.File)
+	}
+	return nil
+}
+
+func cmdGen(db string, args []string) error {
+	fs := flag.NewFlagSet("idlrepo gen", flag.ContinueOnError)
+	mapping := fs.String("m", "heidi-cpp", "mapping to generate")
+	outDir := fs.String("o", ".", "output directory")
+	pkg := fs.String("pkg", "", "package name for the Go mapping")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("gen: expected exactly one repository ID")
+	}
+	repo, err := ir.Load(db)
+	if err != nil {
+		return err
+	}
+	root, err := repo.ESTFor(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var opts []core.Option
+	if *pkg != "" {
+		opts = append(opts, core.WithProp("goPackage", *pkg))
+	}
+	res, err := core.CompileEST(root, *mapping, opts...)
+	if err != nil {
+		return err
+	}
+	for _, name := range res.Order {
+		dest := filepath.Join(*outDir, name)
+		if err := os.MkdirAll(filepath.Dir(dest), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(dest, []byte(res.Files[name]), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", dest, len(res.Files[name]))
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAddListGen(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "irdb")
+	idlPath := filepath.Join(dir, "x.idl")
+	src := `module X {
+  interface Service { string describe(); };
+};`
+	if err := os.WriteFile(idlPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-db", db, "add", idlPath}); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if err := run([]string{"-db", db, "list"}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	out := filepath.Join(dir, "gen")
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", db, "gen", "-m", "heidi-cpp", "-o", out, "IDL:X/Service:1.0"}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	hh, err := os.ReadFile(filepath.Join(out, "x.hh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(hh), "class HdService") {
+		t.Errorf("x.hh:\n%s", hh)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "irdb")
+	a := filepath.Join(dir, "a.idl")
+	b := filepath.Join(dir, "b.idl")
+	os.WriteFile(a, []byte("interface A {};"), 0o644)
+	os.WriteFile(b, []byte("interface B {};"), 0o644)
+
+	if err := run([]string{"-db", db, "add", a}); err != nil {
+		t.Fatal(err)
+	}
+	// Second invocation loads the saved repository and adds to it.
+	if err := run([]string{"-db", db, "add", b}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "gen")
+	os.MkdirAll(out, 0o755)
+	if err := run([]string{"-db", db, "gen", "-m", "tcl", "-o", out, "IDL:A:1.0"}); err != nil {
+		t.Fatalf("gen A after re-open: %v", err)
+	}
+	if err := run([]string{"-db", db, "gen", "-m", "tcl", "-o", out, "IDL:B:1.0"}); err != nil {
+		t.Fatalf("gen B after re-open: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "irdb")
+	cases := [][]string{
+		{"-db", db},                        // no command
+		{"-db", db, "frobnicate"},          // unknown command
+		{"-db", db, "add"},                 // add without files
+		{"-db", db, "add", "missing.idl"},  // missing file
+		{"-db", db, "list"},                // list before any add
+		{"-db", db, "gen", "IDL:Nope:1.0"}, // gen before any add
+		{"-db", db, "gen"},                 // gen without ID (after db exists)
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command orbd runs a HeidiRMI address space hosting a Media::Session
+// demo object — the "Heidi application" of the paper's Figs. 4–5. It
+// prints the session's stringified object reference; clients (the examples,
+// cmd/heidishell, or telnet when the text protocol is selected) can then
+// invoke it.
+//
+// Usage:
+//
+//	orbd                          text protocol on an ephemeral port
+//	orbd -listen 127.0.0.1:4321   fixed bootstrap port
+//	orbd -proto cdr               binary IIOP-style protocol
+//	orbd -strategy hash           skeleton dispatch via hash table
+//
+// With the default text protocol a session can be driven by hand:
+//
+//	$ telnet 127.0.0.1 4321
+//	call 1 <printed-ref> _get_name
+//	call 2 <printed-ref> play "news.mpg" 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/demo"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "orbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "bootstrap endpoint")
+		proto    = flag.String("proto", "text", "wire protocol: text, cdr or cdr-le")
+		strategy = flag.String("strategy", "linear", "dispatch strategy: linear, binary or hash")
+		name     = flag.String("name", "session-0", "session object name")
+	)
+	flag.Parse()
+
+	p, err := protocolByName(*proto)
+	if err != nil {
+		return err
+	}
+	s, err := strategyByName(*strategy)
+	if err != nil {
+		return err
+	}
+
+	o, ref, _, err := demo.Serve(orb.Options{
+		Protocol:         p,
+		ListenAddr:       *listen,
+		DispatchStrategy: s,
+	}, *name)
+	if err != nil {
+		return err
+	}
+	defer o.Shutdown()
+
+	fmt.Printf("orbd: serving on %s (%s protocol, %s dispatch)\n", o.Addr(), p.Name(), s)
+	fmt.Printf("orbd: session reference:\n%s\n", ref)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("orbd: shutting down")
+	return nil
+}
+
+func protocolByName(name string) (wire.Protocol, error) {
+	switch name {
+	case "text":
+		return wire.Text, nil
+	case "cdr":
+		return wire.CDR, nil
+	case "cdr-le":
+		return wire.CDRLittle, nil
+	}
+	return nil, fmt.Errorf("unknown protocol %q (want text, cdr or cdr-le)", name)
+}
+
+func strategyByName(name string) (orb.Strategy, error) {
+	switch name {
+	case "linear":
+		return orb.StrategyLinear, nil
+	case "binary":
+		return orb.StrategyBinary, nil
+	case "hash":
+		return orb.StrategyHash, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want linear, binary or hash)", name)
+}

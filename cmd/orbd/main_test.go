@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+func TestProtocolByName(t *testing.T) {
+	cases := map[string]wire.Protocol{
+		"text": wire.Text, "cdr": wire.CDR, "cdr-le": wire.CDRLittle,
+	}
+	for name, want := range cases {
+		got, err := protocolByName(name)
+		if err != nil || got != want {
+			t.Errorf("protocolByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := protocolByName("giop"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	cases := map[string]orb.Strategy{
+		"linear": orb.StrategyLinear, "binary": orb.StrategyBinary, "hash": orb.StrategyHash,
+	}
+	for name, want := range cases {
+		got, err := strategyByName(name)
+		if err != nil || got != want {
+			t.Errorf("strategyByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := strategyByName("bogus"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestOrbdEndToEnd builds and runs the orbd binary, then drives it with raw
+// text-protocol lines over TCP — the full deployment story (server binary +
+// telnet-style client) as a system test.
+func TestOrbdEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping subprocess test in -short mode")
+	}
+	bin := t.TempDir() + "/orbd"
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-strategy", "hash")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Read the printed reference.
+	var ref string
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.After(10 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for scanner.Scan() {
+			line := scanner.Text()
+			if strings.HasPrefix(line, "@tcp:") {
+				got <- line
+				return
+			}
+		}
+	}()
+	select {
+	case ref = <-got:
+	case <-deadline:
+		t.Fatal("orbd did not print a reference")
+	}
+
+	parsed, err := orb.ParseRef(ref)
+	if err != nil {
+		t.Fatalf("printed reference %q: %v", ref, err)
+	}
+	conn, err := net.Dial("tcp", parsed.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "call 1 %s _get_name\n", ref)
+	reply, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(reply) != `ok 1 "session-0"` {
+		t.Errorf("reply = %q", reply)
+	}
+	fmt.Fprintf(conn, "call 2 %s play \"news.mpg\" 1\n", ref)
+	if reply, _ = r.ReadString('\n'); strings.TrimSpace(reply) != "ok 2" {
+		t.Errorf("play reply = %q", reply)
+	}
+}

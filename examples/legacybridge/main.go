@@ -1,0 +1,164 @@
+// Legacybridge: integrating a legacy code-base without restructuring it.
+//
+// The core motivation of the paper (§2–3): "a legacy application may
+// utilize [non-CORBA] C++ usages... it can be an expensive, time-consuming
+// process to integrate a legacy application into a CORBA-based distributed
+// system." HeidiRMI's answer is a custom mapping plus a delegation skeleton
+// — the implementation class keeps its own ancestry and the skeleton holds
+// a reference to it (Fig. 2).
+//
+// Here the "legacy code" is a pair of plain Go types that predate any IDL:
+//
+//   - auditLog: has its own methods and no generated base type; it is
+//     bridged to the wire by the generated delegation table, untouched.
+//   - legacyNote: already knows how to serialize itself; implementing
+//     heidi.Serializable makes it eligible for pass-by-value (incopy),
+//     so remote calls receive a *copy* and "no skeleton is ever created"
+//     (§3.1).
+//
+// The example passes both across the paper's interface Heidi::A: a
+// Serializable value travels by value; a non-Serializable object falls
+// back to by-reference with a lazily created skeleton, and the server
+// calls back through it.
+//
+// Run it with:
+//
+//	go run ./examples/legacybridge
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"repro/internal/gen/heidia"
+	"repro/internal/heidi"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+// legacyNote is pre-existing application state with its own serialization;
+// adding the three HdSerializable methods is the only change legacy code
+// needs for pass-by-value.
+type legacyNote struct {
+	Author string
+	Text   string
+}
+
+func (n *legacyNote) HdTypeName() string { return "legacy.Note" }
+
+func (n *legacyNote) HdMarshal(w heidi.Writer) error {
+	w.PutString(n.Author)
+	w.PutString(n.Text)
+	return nil
+}
+
+func (n *legacyNote) HdUnmarshal(r heidi.Reader) error {
+	var err error
+	if n.Author, err = r.GetString(); err != nil {
+		return err
+	}
+	n.Text, err = r.GetString()
+	return err
+}
+
+// pinger is legacy code that happens to satisfy the generated HdS
+// interface — but is NOT Serializable, so incopy falls back to passing it
+// by reference.
+type pinger struct{ pings atomic.Int32 }
+
+func (p *pinger) Ping() error {
+	p.pings.Add(1)
+	return nil
+}
+
+// auditLog is the legacy server object. It has no inheritance relation to
+// anything generated: the delegation skeleton (NewHdATable) bridges it.
+type auditLog struct {
+	pinger
+	received []string
+}
+
+func (a *auditLog) F(other heidia.HdA) error { return nil }
+
+// G is the incopy operation: it receives either a local copy (Serializable
+// argument) or a stub (anything else).
+func (a *auditLog) G(s any) error {
+	switch v := s.(type) {
+	case *legacyNote:
+		a.received = append(a.received, fmt.Sprintf("note by value: %s: %s", v.Author, v.Text))
+	case heidia.HdS:
+		// A reference: call back through it.
+		if err := v.Ping(); err != nil {
+			return err
+		}
+		a.received = append(a.received, "object by reference (pinged it back)")
+	default:
+		a.received = append(a.received, fmt.Sprintf("unexpected %T", s))
+	}
+	return nil
+}
+
+func (a *auditLog) P(l int32) error              { return nil }
+func (a *auditLog) Q(s heidia.HdStatus) error    { return nil }
+func (a *auditLog) S(b heidi.XBool) error        { return nil }
+func (a *auditLog) T(s heidia.HdSSequence) error { return nil }
+func (a *auditLog) GetButton() (heidia.HdStatus, error) {
+	return heidia.HdStatusStart, nil
+}
+
+func main() {
+	// Legacy value types register with Heidi's dynamic type registry —
+	// the §3.1 mechanism that lets the receiving address space rebuild
+	// the right implementation class.
+	heidi.RegisterType("legacy.Note", func() heidi.Serializable { return &legacyNote{} })
+
+	server := orb.New(orb.Options{Protocol: wire.CDR})
+	if err := server.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer server.Shutdown()
+	heidia.RegisterAStubs(server)
+
+	impl := &auditLog{}
+	ref, err := server.Export(impl, heidia.NewHdATable(impl))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("legacy audit log exported as:", ref)
+
+	client := orb.New(orb.Options{Protocol: wire.CDR})
+	if err := client.Start(); err != nil { // serves callbacks to our objects
+		log.Fatal(err)
+	}
+	defer client.Shutdown()
+	heidia.RegisterAStubs(client)
+
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := obj.(heidia.HdA)
+
+	// 1. Serializable legacy value: crosses the interface BY VALUE.
+	if err := a.G(&legacyNote{Author: "max", Text: "tune the jitter buffer"}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("passed a legacyNote by value;",
+		"client skeletons created:", client.Stats().SkeletonsCreated)
+
+	// 2. Non-Serializable legacy object: falls back to BY REFERENCE with
+	// a lazily created skeleton; the server pings it back.
+	p := &pinger{}
+	if err := a.G(p); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("passed a pinger by reference;",
+		"client skeletons created:", client.Stats().SkeletonsCreated,
+		"| pinged back:", p.pings.Load(), "time(s)")
+
+	fmt.Println("\nserver-side audit trail:")
+	for _, line := range impl.received {
+		fmt.Println("  -", line)
+	}
+}

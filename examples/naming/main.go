@@ -1,0 +1,85 @@
+// Naming: service discovery through a CosNaming-style name service.
+//
+// The paper's HeidiRMI bootstraps through a well-known port and stringified
+// references (§3.1). This example layers the conventional next step on top:
+// a Naming::Context (idl/naming.idl, compiled by the same template-driven
+// compiler) where servers bind their objects under human-readable names and
+// clients discover them — no reference ever travels out of band.
+//
+// Run it with:
+//
+//	go run ./examples/naming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/demo"
+	"repro/internal/gen/media"
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+func main() {
+	// The "infrastructure" address space hosts the name service and two
+	// media engines.
+	server, mainRef, _, err := demo.Serve(orb.Options{Protocol: wire.Text}, "studio-a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Shutdown()
+	namingRef, ctx, err := naming.Serve(server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backup := demo.NewSession("studio-b")
+	backupRef, err := server.Export(backup, media.NewHdSessionTable(backup))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx.Bind("media/studio-a", mainRef)
+	ctx.Bind("media/studio-b", backupRef)
+	fmt.Println("name service at:", namingRef)
+
+	// A client knows only the naming reference.
+	client := demo.Connect(orb.Options{Protocol: wire.Text})
+	defer client.Shutdown()
+	remoteCtx, err := naming.Connect(client, namingRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names, err := remoteCtx.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("directory:", names)
+
+	for _, name := range names {
+		ref, err := remoteCtx.Resolve(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obj, err := client.Resolve(ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		session := obj.(media.HdSession)
+		id, err := session.GetName()
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams, err := session.List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s -> %s (%d streams)\n", name, id, len(streams))
+	}
+
+	// Unknown names raise Naming::NotFound across the wire.
+	if _, err := remoteCtx.Resolve("media/studio-z"); err != nil {
+		fmt.Println("lookup of unknown name:", err)
+	}
+}

@@ -1,0 +1,426 @@
+package est
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/idl"
+)
+
+// List names used by the builder. Scope nodes (Root, Module, Interface)
+// group their direct children under these names; templates walk them with
+// @foreach.
+const (
+	ModuleList    = "moduleList"
+	InterfaceList = "interfaceList"
+	EnumList      = "enumList"
+	AliasList     = "aliasList"
+	StructList    = "structList"
+	UnionList     = "unionList"
+	ConstList     = "constList"
+	ExceptionList = "exceptionList"
+	MethodList    = "methodList"
+	AttributeList = "attributeList"
+	ParamList     = "paramList"
+	InheritedList = "inheritedList"
+	RaisesList    = "raisesList"
+	MemberList    = "memberList"
+	CaseList      = "caseList"
+	TypeList      = "typeList"
+
+	// AllMethodList and AllAttributeList hold *copies* of the
+	// interface's own and inherited operations/attributes, flattened in
+	// own-first order with a "declaredIn" property naming the declaring
+	// interface. Mappings for languages without multiple (or any
+	// implementation) inheritance — the paper's IDL-Java mapping, which
+	// "expanded multiple super-classes" (§4.2) — iterate these instead
+	// of methodList.
+	AllMethodList    = "allMethodList"
+	AllAttributeList = "allAttributeList"
+)
+
+// Build constructs the EST for a resolved IDL spec. The tree mirrors the
+// source nesting (Root → Module → Interface ...) while grouping the
+// children of every scope by kind, per §4.1 of the paper. Forward-declared
+// interfaces that are never completed (the paper's "external declarations")
+// are *not* added to any interfaceList: no code is generated for them, only
+// references to their (mapped) names.
+func Build(spec *idl.Spec) *Node {
+	root := NewRoot()
+	root.SetProp("file", spec.File)
+	root.SetProp("basename", baseName(spec.File))
+	root.SetProp("basenameTitle", titleCase(baseName(spec.File)))
+	if spec.Prefix != "" {
+		root.SetProp("prefix", spec.Prefix)
+	}
+	for _, d := range spec.Decls {
+		addDecl(root, d)
+	}
+	return root
+}
+
+// BuildInterface constructs an EST containing only the given interface (and
+// its enclosing scope properties), used when generating code for a single
+// interface out of a larger repository.
+func BuildInterface(iface *idl.InterfaceDecl) *Node {
+	root := NewRoot()
+	root.AddChild(InterfaceList, interfaceNode(iface))
+	return root
+}
+
+func addDecl(parent *Node, d idl.Decl) {
+	// Declarations pulled in via #include are resolvable but generate no
+	// code of their own — the paper's "external declaration" behaviour
+	// (Fig. 3 generates class HdA referencing HdS without emitting HdS).
+	if d.FromInclude() {
+		return
+	}
+	switch n := d.(type) {
+	case *idl.Module:
+		m := New("Module", n.DeclName())
+		m.SetProp("moduleName", n.ScopedName())
+		m.SetProp("repoID", n.RepoID())
+		parent.AddChild(ModuleList, m)
+		for _, c := range n.Decls {
+			addDecl(m, c)
+		}
+	case *idl.InterfaceDecl:
+		if n.Forward {
+			return
+		}
+		parent.AddChild(InterfaceList, interfaceNode(n))
+	case *idl.EnumDecl:
+		parent.AddChild(EnumList, enumNode(n))
+	case *idl.TypedefDecl:
+		parent.AddChild(AliasList, aliasNode(n))
+	case *idl.StructDecl:
+		parent.AddChild(StructList, structNode(n))
+	case *idl.UnionDecl:
+		parent.AddChild(UnionList, unionNode(n))
+	case *idl.ConstDecl:
+		parent.AddChild(ConstList, constNode(n))
+	case *idl.ExceptDecl:
+		parent.AddChild(ExceptionList, exceptNode(n))
+	}
+}
+
+func interfaceNode(n *idl.InterfaceDecl) *Node {
+	in := New("Interface", n.DeclName())
+	in.SetProp("interfaceName", n.ScopedName())
+	in.SetProp("localName", n.DeclName())
+	in.SetProp("repoID", n.RepoID())
+	in.SetProp("hasBases", len(n.Bases) > 0)
+	for _, b := range n.Bases {
+		bn := New("Inherited", b.DeclName())
+		bn.SetProp("inheritedName", b.ScopedName())
+		bn.SetProp("inheritedRepoID", b.RepoID())
+		bn.SetProp("IsForward", b.Forward)
+		in.AddChild(InheritedList, bn)
+	}
+	// Nested declarations first (they are types the methods below use).
+	for _, d := range n.Body {
+		addDecl(in, d)
+	}
+	for _, at := range n.Attrs {
+		an := New("Attribute", at.DeclName())
+		an.SetProp("attributeName", at.DeclName())
+		setTypeProps(an, "attribute", at.Type)
+		qual := ""
+		if at.Readonly {
+			qual = "readonly"
+		}
+		an.SetProp("attributeQualifier", qual)
+		an.SetProp("repoID", at.RepoID())
+		in.AddChild(AttributeList, an)
+	}
+	for _, op := range n.Ops {
+		in.AddChild(MethodList, operationNode(op))
+	}
+	// Flattened copies for mappings that expand inheritance (Java, §4.2).
+	for _, op := range n.AllOps() {
+		c := operationNode(op)
+		c.SetProp("declaredIn", op.Owner.ScopedName())
+		in.AddChild(AllMethodList, c)
+	}
+	for _, at := range n.AllAttrs() {
+		c := New("Attribute", at.DeclName())
+		c.SetProp("attributeName", at.DeclName())
+		setTypeProps(c, "attribute", at.Type)
+		qual := ""
+		if at.Readonly {
+			qual = "readonly"
+		}
+		c.SetProp("attributeQualifier", qual)
+		c.SetProp("repoID", at.RepoID())
+		c.SetProp("declaredIn", at.Owner.ScopedName())
+		in.AddChild(AllAttributeList, c)
+	}
+	return in
+}
+
+func operationNode(op *idl.Operation) *Node {
+	on := New("Operation", op.DeclName())
+	on.SetProp("methodName", op.DeclName())
+	setTypeProps(on, "return", op.Result)
+	on.SetProp("oneway", op.Oneway)
+	on.SetProp("repoID", op.RepoID())
+	for _, p := range op.Params {
+		pn := New("Param", p.Name)
+		pn.SetProp("paramName", p.Name)
+		setTypeProps(pn, "param", p.Type)
+		pn.SetProp("paramMode", p.Mode.String())
+		pn.SetProp("defaultParam", defaultString(p.Default))
+		on.AddChild(ParamList, pn)
+	}
+	for _, ex := range op.Raises {
+		rn := New("Raises", ex.DeclName())
+		rn.SetProp("raiseName", ex.ScopedName())
+		rn.SetProp("raiseRepoID", ex.RepoID())
+		on.AddChild(RaisesList, rn)
+	}
+	return on
+}
+
+func enumNode(n *idl.EnumDecl) *Node {
+	en := New("Enum", n.DeclName())
+	en.SetProp("enumName", n.ScopedName())
+	en.SetProp("repoID", n.RepoID())
+	en.SetProp("members", append([]string(nil), n.Members...))
+	for i, m := range n.Members {
+		mn := New("Member", m)
+		mn.SetProp("memberName", m)
+		mn.SetProp("memberOrdinal", fmt.Sprintf("%d", i))
+		en.AddChild(MemberList, mn)
+	}
+	return en
+}
+
+func aliasNode(n *idl.TypedefDecl) *Node {
+	an := New("Alias", n.DeclName())
+	an.SetProp("aliasName", n.ScopedName())
+	an.SetProp("repoID", n.RepoID())
+	an.SetProp("type", kindString(n.Aliased))
+	an.SetProp("typeName", TypeString(n.Aliased))
+	// Constructed aliased types get a structural child node, mirroring
+	// the nested Sequence node of the paper's Fig. 8.
+	switch u := n.Aliased; u.Kind {
+	case idl.KindSequence:
+		sn := New("Sequence", "")
+		setTypeProps(sn, "", u.Elem)
+		if u.Bound > 0 {
+			sn.SetProp("bound", fmt.Sprintf("%d", u.Bound))
+		}
+		sn.SetProp("IsVariable", true)
+		an.AddChild(TypeList, sn)
+	case idl.KindArray:
+		arn := New("Array", "")
+		setTypeProps(arn, "", u.Elem)
+		dims := make([]string, len(u.Dims))
+		for i, d := range u.Dims {
+			dims[i] = fmt.Sprintf("%d", d)
+		}
+		arn.SetProp("dims", dims)
+		arn.SetProp("IsVariable", u.Elem.IsVariable())
+		an.AddChild(TypeList, arn)
+	}
+	an.SetProp("IsVariable", n.Aliased.IsVariable())
+	return an
+}
+
+func structNode(n *idl.StructDecl) *Node {
+	sn := New("Struct", n.DeclName())
+	sn.SetProp("structName", n.ScopedName())
+	sn.SetProp("repoID", n.RepoID())
+	sn.SetProp("IsVariable", n.Type().IsVariable())
+	for _, m := range n.Members {
+		sn.AddChild(MemberList, memberNode(m))
+	}
+	return sn
+}
+
+func exceptNode(n *idl.ExceptDecl) *Node {
+	en := New("Exception", n.DeclName())
+	en.SetProp("exceptionName", n.ScopedName())
+	en.SetProp("repoID", n.RepoID())
+	for _, m := range n.Members {
+		en.AddChild(MemberList, memberNode(m))
+	}
+	return en
+}
+
+func memberNode(m *idl.Member) *Node {
+	mn := New("Member", m.Name)
+	mn.SetProp("memberName", m.Name)
+	setTypeProps(mn, "member", m.Type)
+	return mn
+}
+
+func unionNode(n *idl.UnionDecl) *Node {
+	un := New("Union", n.DeclName())
+	un.SetProp("unionName", n.ScopedName())
+	un.SetProp("repoID", n.RepoID())
+	un.SetProp("discType", TypeString(n.Disc))
+	un.SetProp("discKind", kindString(n.Disc))
+	un.SetProp("IsVariable", n.Type().IsVariable())
+	for _, c := range n.Cases {
+		cn := New("Case", c.Name)
+		cn.SetProp("caseName", c.Name)
+		setTypeProps(cn, "case", c.Type)
+		var labels []string
+		for _, l := range c.Labels {
+			labels = append(labels, defaultString(l))
+		}
+		cn.SetProp("caseLabels", labels)
+		cn.SetProp("isDefault", c.IsDefault)
+		un.AddChild(CaseList, cn)
+	}
+	return un
+}
+
+func constNode(n *idl.ConstDecl) *Node {
+	cn := New("Const", n.DeclName())
+	cn.SetProp("constName", n.ScopedName())
+	cn.SetProp("repoID", n.RepoID())
+	cn.SetProp("constType", TypeString(n.Type))
+	cn.SetProp("constKind", kindString(n.Type))
+	cn.SetProp("constValue", defaultString(n.Value))
+	return cn
+}
+
+// setTypeProps sets the <prefix>Type, <prefix>Kind, <prefix>TypeName and
+// IsVariable properties describing typ. With an empty prefix the bare names
+// "type", "kind", "typeName" are used (structural nodes, Fig. 8 style).
+func setTypeProps(n *Node, prefix string, typ *idl.Type) {
+	key := func(suffix string) string {
+		if prefix == "" {
+			return strings.ToLower(suffix[:1]) + suffix[1:]
+		}
+		return prefix + suffix
+	}
+	n.SetProp(key("Type"), TypeString(typ))
+	n.SetProp(key("Kind"), kindString(typ))
+	if name := namedTypeName(typ); name != "" {
+		n.SetProp(key("TypeName"), name)
+	}
+	n.SetProp("IsVariable", typ.IsVariable())
+}
+
+// TypeString renders an idl.Type in the canonical spelling used for EST
+// type properties and consumed by mapping functions: primitive types use
+// their IDL spelling, named types their scoped name, and anonymous
+// constructed types a structural spelling ("sequence<Heidi::S>",
+// "string<16>", "long[2][3]").
+func TypeString(t *idl.Type) string {
+	switch t.Kind {
+	case idl.KindSequence:
+		if t.Bound > 0 {
+			return fmt.Sprintf("sequence<%s,%d>", TypeString(t.Elem), t.Bound)
+		}
+		return fmt.Sprintf("sequence<%s>", TypeString(t.Elem))
+	case idl.KindArray:
+		var b strings.Builder
+		b.WriteString(TypeString(t.Elem))
+		for _, d := range t.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		return b.String()
+	case idl.KindString:
+		if t.Bound > 0 {
+			return fmt.Sprintf("string<%d>", t.Bound)
+		}
+		return "string"
+	case idl.KindWString:
+		if t.Bound > 0 {
+			return fmt.Sprintf("wstring<%d>", t.Bound)
+		}
+		return "wstring"
+	}
+	if t.Decl != nil {
+		return t.Decl.ScopedName()
+	}
+	return t.Kind.String()
+}
+
+// kindString is the paper's type-category spelling: "objref" for interface
+// references (Fig. 8), the IDL kind name otherwise.
+func kindString(t *idl.Type) string {
+	switch t.Kind {
+	case idl.KindInterface:
+		return "objref"
+	case idl.KindUShort:
+		return "ushort"
+	case idl.KindULong:
+		return "ulong"
+	case idl.KindLongLong:
+		return "longlong"
+	case idl.KindULongLong:
+		return "ulonglong"
+	case idl.KindLongDouble:
+		return "longdouble"
+	default:
+		return t.Kind.String()
+	}
+}
+
+// namedTypeName returns the scoped name of a named type (or of the element
+// type of a sequence/array of named types), else "".
+func namedTypeName(t *idl.Type) string {
+	switch t.Kind {
+	case idl.KindSequence, idl.KindArray:
+		return namedTypeName(t.Elem)
+	}
+	if t.Decl != nil {
+		return t.Decl.ScopedName()
+	}
+	return ""
+}
+
+// defaultString renders a constant value the way the source wrote it:
+// scoped-name references keep their spelling ("Heidi::Start"), literals
+// their IDL literal form. Nil renders as "".
+func defaultString(v *idl.ConstValue) string {
+	if v == nil {
+		return ""
+	}
+	if v.Ref != "" {
+		return v.Ref
+	}
+	if v.Kind == idl.ConstString {
+		// IDL literal form with quotes.
+		return fmt.Sprintf("%q", v.Str)
+	}
+	return v.String()
+}
+
+// titleCase upper-cases the first byte: "media" -> "Media".
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// baseName strips directory and extension from a file path:
+// "idl/A.idl" -> "A".
+func baseName(path string) string {
+	if i := strings.LastIndexAny(path, "/\\"); i >= 0 {
+		path = path[i+1:]
+	}
+	if i := strings.LastIndexByte(path, '.'); i > 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// Gather returns the named list of n concatenated with the named lists of
+// all scope descendants (modules nested to any depth). Templates use it via
+// @foreach so that "interfaceList" at the root enumerates interfaces inside
+// modules too, the way the paper's Fig. 9 template iterates every interface
+// of a translation unit.
+func (n *Node) Gather(list string) []*Node {
+	out := append([]*Node(nil), n.lists[list]...)
+	for _, m := range n.lists[ModuleList] {
+		out = append(out, m.Gather(list)...)
+	}
+	return out
+}

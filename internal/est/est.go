@@ -1,0 +1,313 @@
+// Package est implements the Enhanced Syntax Tree of "Customizing IDL
+// Mappings and ORB Protocols" (Welling & Ott, Middleware 2000, §4.1).
+//
+// An EST is a parse tree reorganised for code generation: the children of
+// each node are grouped into named lists by kind ("methodList",
+// "attributeList", "paramList", ...), so a template's @foreach command can
+// exhaustively enumerate all elements of one kind without filtering (the
+// property Fig. 7 of the paper illustrates for interface Heidi::A, whose
+// interleaved attribute "button" is kept in a sub-tree separate from the
+// operations).
+//
+// Each node carries a property bag: string, bool and string-list values,
+// mirroring the AddProp calls of the paper's generated Perl program
+// (Fig. 8). The package also implements that figure's two-stage design: a
+// node tree can be emitted as a compact script (EmitScript) that an
+// evaluator (EvalScript) replays to rebuild an identical tree — the paper's
+// "perl program that directly rebuilds the EST", which is cheaper to
+// evaluate than re-parsing the IDL source.
+package est
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a single EST node. Nodes form a tree: every node except the root
+// belongs to exactly one named list of its parent.
+type Node struct {
+	// Kind classifies the node ("Root", "Module", "Interface",
+	// "Operation", "Param", "Attribute", "Enum", "Alias", "Sequence",
+	// "Struct", "Member", "Union", "Case", "Const", "Exception",
+	// "Inherited", "Raises").
+	Kind string
+
+	// Name is the simple declared name; empty for anonymous nodes such
+	// as the Sequence node under an alias.
+	Name string
+
+	parent   *Node
+	listName string // the parent list this node belongs to
+
+	props     map[string]any // string, bool or []string
+	propOrder []string
+
+	lists     map[string][]*Node
+	listOrder []string
+}
+
+// New creates a detached node. Use AddChild to attach nodes to a tree.
+func New(kind, name string) *Node {
+	return &Node{Kind: kind, Name: name}
+}
+
+// NewRoot creates the conventional root node.
+func NewRoot() *Node { return New("Root", "") }
+
+// Parent returns the node's parent, nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// ListName returns the name of the parent list containing this node.
+func (n *Node) ListName() string { return n.listName }
+
+// AddChild appends child to the named list of n and returns child.
+// A child may belong to only one parent; re-attaching panics, which
+// indicates a builder bug rather than a runtime condition.
+func (n *Node) AddChild(list string, child *Node) *Node {
+	if child.parent != nil {
+		panic(fmt.Sprintf("est: node %s %q already attached", child.Kind, child.Name))
+	}
+	child.parent = n
+	child.listName = list
+	if n.lists == nil {
+		n.lists = make(map[string][]*Node)
+	}
+	if _, ok := n.lists[list]; !ok {
+		n.listOrder = append(n.listOrder, list)
+	}
+	n.lists[list] = append(n.lists[list], child)
+	return child
+}
+
+// SetProp sets a property. Accepted value types are string, bool and
+// []string; other types panic (builder bug).
+func (n *Node) SetProp(key string, value any) {
+	switch value.(type) {
+	case string, bool, []string:
+	default:
+		panic(fmt.Sprintf("est: unsupported property type %T for %q", value, key))
+	}
+	if n.props == nil {
+		n.props = make(map[string]any)
+	}
+	if _, ok := n.props[key]; !ok {
+		n.propOrder = append(n.propOrder, key)
+	}
+	n.props[key] = value
+}
+
+// Prop returns the raw property value and whether it is set.
+func (n *Node) Prop(key string) (any, bool) {
+	v, ok := n.props[key]
+	return v, ok
+}
+
+// PropString returns the property rendered as a string: strings verbatim,
+// bools as "true"/"false", string lists comma-joined. Unset properties
+// render as "".
+func (n *Node) PropString(key string) string {
+	v, ok := n.props[key]
+	if !ok {
+		return ""
+	}
+	switch x := v.(type) {
+	case string:
+		return x
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case []string:
+		return strings.Join(x, ", ")
+	}
+	return ""
+}
+
+// PropBool returns a boolean property; unset or non-bool returns false.
+func (n *Node) PropBool(key string) bool {
+	b, _ := n.props[key].(bool)
+	return b
+}
+
+// PropList returns a string-list property; unset or other-typed returns nil.
+func (n *Node) PropList(key string) []string {
+	l, _ := n.props[key].([]string)
+	return l
+}
+
+// PropKeys returns property keys in insertion order.
+func (n *Node) PropKeys() []string { return n.propOrder }
+
+// List returns the named child list (possibly nil).
+func (n *Node) List(name string) []*Node { return n.lists[name] }
+
+// ListKeys returns child-list names in insertion order.
+func (n *Node) ListKeys() []string { return n.listOrder }
+
+// First returns the first child of the named list, or nil.
+func (n *Node) First(name string) *Node {
+	l := n.lists[name]
+	if len(l) == 0 {
+		return nil
+	}
+	return l[0]
+}
+
+// Find returns the first child with the given kind and name anywhere in the
+// subtree (depth-first, list order), or nil.
+func (n *Node) Find(kind, name string) *Node {
+	if n.Kind == kind && n.Name == name {
+		return n
+	}
+	for _, list := range n.listOrder {
+		for _, c := range n.lists[list] {
+			if f := c.Find(kind, name); f != nil {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Equal reports deep structural equality: kind, name, properties and all
+// child lists in order.
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Kind != o.Kind || n.Name != o.Name {
+		return false
+	}
+	if len(n.props) != len(o.props) {
+		return false
+	}
+	for k, v := range n.props {
+		ov, ok := o.props[k]
+		if !ok || !propEqual(v, ov) {
+			return false
+		}
+	}
+	if len(n.lists) != len(o.lists) {
+		return false
+	}
+	for name, l := range n.lists {
+		ol, ok := o.lists[name]
+		if !ok || len(l) != len(ol) {
+			return false
+		}
+		for i := range l {
+			if !l[i].Equal(ol[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func propEqual(a, b any) bool {
+	switch x := a.(type) {
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case []string:
+		y, ok := b.([]string)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Dump renders the subtree as an indented outline, useful for golden tests
+// and the idlc --dump-est flag. Properties appear in insertion order and
+// lists in insertion order, so output is deterministic.
+func (n *Node) Dump() string {
+	var b strings.Builder
+	n.dump(&b, 0)
+	return b.String()
+}
+
+func (n *Node) dump(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s", indent, n.Kind)
+	if n.Name != "" {
+		fmt.Fprintf(b, " %q", n.Name)
+	}
+	if len(n.propOrder) > 0 {
+		var parts []string
+		for _, k := range n.propOrder {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, renderProp(n.props[k])))
+		}
+		fmt.Fprintf(b, " {%s}", strings.Join(parts, " "))
+	}
+	b.WriteString("\n")
+	for _, list := range n.listOrder {
+		fmt.Fprintf(b, "%s  [%s]\n", indent, list)
+		for _, c := range n.lists[list] {
+			c.dump(b, depth+2)
+		}
+	}
+}
+
+func renderProp(v any) string {
+	switch x := v.(type) {
+	case string:
+		return fmt.Sprintf("%q", x)
+	case bool:
+		return fmt.Sprintf("%v", x)
+	case []string:
+		quoted := make([]string, len(x))
+		for i, s := range x {
+			quoted[i] = fmt.Sprintf("%q", s)
+		}
+		return "[" + strings.Join(quoted, " ") + "]"
+	}
+	return "?"
+}
+
+// Stats summarises a subtree; used by tooling and footprint experiments.
+type Stats struct {
+	Nodes int
+	Props int
+	Kinds map[string]int
+}
+
+// CollectStats walks the subtree and tallies node counts by kind.
+func (n *Node) CollectStats() Stats {
+	s := Stats{Kinds: make(map[string]int)}
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		s.Nodes++
+		s.Props += len(m.props)
+		s.Kinds[m.Kind]++
+		for _, list := range m.listOrder {
+			for _, c := range m.lists[list] {
+				walk(c)
+			}
+		}
+	}
+	walk(n)
+	return s
+}
+
+// KindsSorted returns the kinds present in stats in lexical order, for
+// deterministic reports.
+func (s Stats) KindsSorted() []string {
+	keys := make([]string, 0, len(s.Kinds))
+	for k := range s.Kinds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

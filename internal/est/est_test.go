@@ -1,0 +1,555 @@
+package est
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/idl"
+	"repro/internal/idl/idltest"
+)
+
+func buildA(t testing.TB) *Node {
+	t.Helper()
+	spec, err := idl.Parse("A.idl", idltest.AIDL)
+	if err != nil {
+		t.Fatalf("Parse(A.idl): %v", err)
+	}
+	return Build(spec)
+}
+
+// TestFig7Grouping verifies the defining EST property from Fig. 7 of the
+// paper: the children of interface A are grouped into separate sub-lists by
+// kind, with the interleaved attribute "button" (which the IDL source
+// places between methods q and s) kept in its own attributeList while the
+// methodList holds all operations contiguously in source order.
+func TestFig7Grouping(t *testing.T) {
+	root := buildA(t)
+
+	mod := root.First(ModuleList)
+	if mod == nil || mod.Name != "Heidi" {
+		t.Fatalf("root moduleList = %v, want module Heidi", mod)
+	}
+	a := mod.Find("Interface", "A")
+	if a == nil {
+		t.Fatal("interface A not found in EST")
+	}
+
+	var methods []string
+	for _, m := range a.List(MethodList) {
+		methods = append(methods, m.Name)
+	}
+	if got, want := strings.Join(methods, ","), "f,g,p,q,s,t"; got != want {
+		t.Errorf("methodList = %s, want %s (grouped, source order)", got, want)
+	}
+
+	attrs := a.List(AttributeList)
+	if len(attrs) != 1 || attrs[0].Name != "button" {
+		t.Fatalf("attributeList = %v, want [button]", attrs)
+	}
+	if attrs[0].PropString("attributeQualifier") != "readonly" {
+		t.Errorf("button qualifier = %q, want readonly", attrs[0].PropString("attributeQualifier"))
+	}
+	if attrs[0].PropString("attributeType") != "Heidi::Status" {
+		t.Errorf("button type = %q", attrs[0].PropString("attributeType"))
+	}
+
+	// Status and SSequence group under the module's enumList/aliasList.
+	if e := mod.First(EnumList); e == nil || e.Name != "Status" {
+		t.Errorf("module enumList = %v, want [Status]", e)
+	}
+	if al := mod.First(AliasList); al == nil || al.Name != "SSequence" {
+		t.Errorf("module aliasList = %v, want [SSequence]", al)
+	}
+}
+
+// TestFig8Properties verifies the property bag matches the paper's
+// generated Perl program (Fig. 8): the alias node carries
+// type="sequence" with a nested Sequence child of type "objref",
+// typeName "Heidi::S" and IsVariable true; enum members are a list
+// property; interface A records its parent S.
+func TestFig8Properties(t *testing.T) {
+	root := buildA(t)
+	mod := root.First(ModuleList)
+
+	status := mod.Find("Enum", "Status")
+	members := status.PropList("members")
+	if len(members) != 2 || members[0] != "Start" || members[1] != "Stop" {
+		t.Errorf(`Status members = %v, want [Start Stop]`, members)
+	}
+	if status.PropString("repoID") != "IDL:Heidi/Status:1.0" {
+		t.Errorf("Status repoID = %q", status.PropString("repoID"))
+	}
+
+	sseq := mod.Find("Alias", "SSequence")
+	if sseq.PropString("type") != "sequence" {
+		t.Errorf(`SSequence type = %q, want "sequence"`, sseq.PropString("type"))
+	}
+	seq := sseq.First(TypeList)
+	if seq == nil || seq.Kind != "Sequence" {
+		t.Fatalf("SSequence has no nested Sequence node")
+	}
+	if seq.PropString("kind") != "objref" {
+		t.Errorf(`nested kind = %q, want "objref"`, seq.PropString("kind"))
+	}
+	if seq.PropString("typeName") != "Heidi::S" {
+		t.Errorf(`nested typeName = %q, want "Heidi::S"`, seq.PropString("typeName"))
+	}
+	if !seq.PropBool("IsVariable") {
+		t.Error("nested Sequence IsVariable = false, want true")
+	}
+
+	a := mod.Find("Interface", "A")
+	inh := a.First(InheritedList)
+	if inh == nil || inh.PropString("inheritedName") != "Heidi::S" {
+		t.Fatalf("A inheritedList = %v, want Heidi::S", inh)
+	}
+
+	// Param of f: objref Heidi::A, mode in.
+	f := a.Find("Operation", "f")
+	pa := f.First(ParamList)
+	if pa.PropString("paramKind") != "objref" || pa.PropString("paramTypeName") != "Heidi::A" {
+		t.Errorf("f param kind/typeName = %q/%q", pa.PropString("paramKind"), pa.PropString("paramTypeName"))
+	}
+	if pa.PropString("paramMode") != "in" {
+		t.Errorf("f param mode = %q", pa.PropString("paramMode"))
+	}
+
+	// g uses incopy.
+	g := a.Find("Operation", "g")
+	if g.First(ParamList).PropString("paramMode") != "incopy" {
+		t.Errorf("g param mode = %q, want incopy", g.First(ParamList).PropString("paramMode"))
+	}
+
+	// Defaults render source-faithfully.
+	wantDefaults := map[string]string{"p": "0", "q": "Heidi::Start", "s": "TRUE", "f": "", "g": "", "t": ""}
+	for op, want := range wantDefaults {
+		n := a.Find("Operation", op)
+		got := n.First(ParamList).PropString("defaultParam")
+		if got != want {
+			t.Errorf("%s defaultParam = %q, want %q", op, got, want)
+		}
+	}
+}
+
+// TestFig8ScriptRoundTrip: emit the EST as a script, evaluate it, and
+// require an identical tree — the paper's stage-1/stage-2 contract.
+func TestFig8ScriptRoundTrip(t *testing.T) {
+	root := buildA(t)
+	script := EmitScript(root)
+	rebuilt, err := EvalScript(script)
+	if err != nil {
+		t.Fatalf("EvalScript: %v", err)
+	}
+	if !root.Equal(rebuilt) {
+		t.Errorf("round-tripped EST differs from original\noriginal:\n%s\nrebuilt:\n%s", root.Dump(), rebuilt.Dump())
+	}
+	// And the rebuilt tree re-emits to the identical script.
+	if script2 := EmitScript(rebuilt); script2 != script {
+		t.Error("re-emitted script differs from original")
+	}
+}
+
+func TestScriptRoundTripMedia(t *testing.T) {
+	spec, err := idl.Parse("media.idl", idltest.MediaIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := Build(spec)
+	rebuilt, err := EvalScript(EmitScript(root))
+	if err != nil {
+		t.Fatalf("EvalScript: %v", err)
+	}
+	if !root.Equal(rebuilt) {
+		t.Error("media EST does not round-trip")
+	}
+}
+
+// TestScriptRoundTripProperty: random trees with adversarial names and
+// property content survive the script round trip.
+func TestScriptRoundTripProperty(t *testing.T) {
+	f := func(names []string, flags []bool) bool {
+		root := NewRoot()
+		cur := root
+		for i, raw := range names {
+			if len(raw) > 40 {
+				raw = raw[:40]
+			}
+			child := New("K"+raw, raw)
+			cur.AddChild("list "+raw, child) // list names with spaces and quotes
+			child.SetProp("p", raw+"\"quoted\\and\nnewline")
+			if i < len(flags) {
+				child.SetProp("b", flags[i])
+			}
+			child.SetProp("l", []string{raw, "", "x y"})
+			if i%2 == 0 {
+				cur = child
+			}
+		}
+		rebuilt, err := EvalScript(EmitScript(root))
+		return err == nil && root.Equal(rebuilt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalScriptErrors(t *testing.T) {
+	tests := []struct {
+		name, script, wantSub string
+	}{
+		{"empty", "", "empty script"},
+		{"bad header", "nope\n", "bad script header"},
+		{"bad version", "est 99\nR\nU\n", "unsupported script version"},
+		{"no root", "est 1\n", "no root"},
+		{"double root", "est 1\nR\nR\n", "duplicate root"},
+		{"unbalanced U", "est 1\nR\nU\nU\n", "unbalanced"},
+		{"unclosed", "est 1\nR\nN \"K\" \"n\" \"l\"\n", "unclosed"},
+		{"node outside root", "est 1\nN \"K\" \"n\" \"l\"\n", "outside root"},
+		{"prop outside node", "est 1\nP \"k\" \"v\"\n", "outside node"},
+		{"bad bool", "est 1\nR\nB \"k\" maybe\nU\n", "bad boolean"},
+		{"bad quoting", "est 1\nR\nP \"k\n U\n", "bad quoted field"},
+		{"unknown op", "est 1\nR\nZ\nU\n", "unknown opcode"},
+		{"short fields", "est 1\nR\nN \"K\"\nU\n", "expected quoted field"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := EvalScript(tt.script)
+			if err == nil {
+				t.Fatalf("EvalScript(%q) succeeded, want error", tt.script)
+			}
+			if tt.wantSub != "" && !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestNodeBasics(t *testing.T) {
+	n := New("Interface", "A")
+	n.SetProp("s", "v")
+	n.SetProp("b", true)
+	n.SetProp("l", []string{"a", "b"})
+
+	if n.PropString("s") != "v" || n.PropString("b") != "true" || n.PropString("l") != "a, b" {
+		t.Errorf("PropString renderings: %q %q %q", n.PropString("s"), n.PropString("b"), n.PropString("l"))
+	}
+	if n.PropString("missing") != "" {
+		t.Error("missing property should render empty")
+	}
+	if !n.PropBool("b") || n.PropBool("s") {
+		t.Error("PropBool")
+	}
+	if got := n.PropKeys(); strings.Join(got, ",") != "s,b,l" {
+		t.Errorf("PropKeys order = %v", got)
+	}
+
+	c1 := n.AddChild("xs", New("X", "one"))
+	n.AddChild("ys", New("Y", "two"))
+	n.AddChild("xs", New("X", "three"))
+	if len(n.List("xs")) != 2 || len(n.List("ys")) != 1 {
+		t.Error("list contents")
+	}
+	if got := n.ListKeys(); strings.Join(got, ",") != "xs,ys" {
+		t.Errorf("ListKeys order = %v", got)
+	}
+	if c1.Parent() != n || c1.ListName() != "xs" {
+		t.Error("parent/listName linkage")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("re-attaching a node should panic")
+		}
+	}()
+	n.AddChild("other", c1)
+}
+
+func TestSetPropRejectsBadTypes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetProp with unsupported type should panic")
+		}
+	}()
+	New("K", "n").SetProp("bad", 42)
+}
+
+func TestNodeEqual(t *testing.T) {
+	build := func() *Node {
+		r := NewRoot()
+		a := r.AddChild("xs", New("X", "a"))
+		a.SetProp("p", "v")
+		a.SetProp("flag", true)
+		a.SetProp("l", []string{"1", "2"})
+		return r
+	}
+	a, b := build(), build()
+	if !a.Equal(b) {
+		t.Error("identical trees should be equal")
+	}
+	b.First("xs").SetProp("p", "other")
+	if a.Equal(b) {
+		t.Error("differing property values should not be equal")
+	}
+
+	c := build()
+	c.First("xs").SetProp("extra", "x")
+	if a.Equal(c) {
+		t.Error("extra property should not be equal")
+	}
+
+	d := build()
+	d.AddChild("xs", New("X", "b"))
+	if a.Equal(d) {
+		t.Error("extra child should not be equal")
+	}
+
+	var nilNode *Node
+	if a.Equal(nilNode) || nilNode.Equal(a) {
+		t.Error("nil comparisons")
+	}
+	if !nilNode.Equal(nil) {
+		t.Error("nil == nil")
+	}
+}
+
+func TestGather(t *testing.T) {
+	spec := idl.MustParse("x.idl", `
+interface Top {};
+module M1 {
+  interface A {};
+  module Inner { interface B {}; };
+};
+module M2 { interface C {}; };
+`)
+	root := Build(spec)
+	var names []string
+	for _, n := range root.Gather(InterfaceList) {
+		names = append(names, n.PropString("interfaceName"))
+	}
+	want := "Top,M1::A,M1::Inner::B,M2::C"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("Gather(interfaceList) = %s, want %s", got, want)
+	}
+}
+
+func TestBuildInterface(t *testing.T) {
+	spec := idl.MustParse("media.idl", idltest.MediaIDL)
+	sess, err := spec.LookupInterface("Media::Session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := BuildInterface(sess)
+	ifaces := root.Gather(InterfaceList)
+	if len(ifaces) != 1 || ifaces[0].Name != "Session" {
+		t.Fatalf("BuildInterface = %v", ifaces)
+	}
+	if n := len(ifaces[0].List(InheritedList)); n != 2 {
+		t.Errorf("Session inherited = %d, want 2", n)
+	}
+}
+
+// TestAllMethodList verifies the flattened inheritance expansion used by
+// the Java mapping (§4.2): Session's allMethodList carries its own methods
+// first, then every inherited method exactly once, each tagged with the
+// declaring interface.
+func TestAllMethodList(t *testing.T) {
+	spec := idl.MustParse("media.idl", idltest.MediaIDL)
+	root := Build(spec)
+	sess := root.Find("Interface", "Session")
+
+	own := len(sess.List(MethodList))
+	all := sess.List(AllMethodList)
+	if len(all) <= own {
+		t.Fatalf("allMethodList = %d methods, own = %d; expansion missing", len(all), own)
+	}
+	counts := map[string]int{}
+	for _, m := range all {
+		counts[m.Name]++
+	}
+	// Diamond: ping (from Node via both Source and Sink) appears once.
+	if counts["ping"] != 1 {
+		t.Errorf("ping count in allMethodList = %d, want 1", counts["ping"])
+	}
+	// declaredIn tags inherited methods with their declaring interface.
+	for _, m := range all {
+		if m.Name == "ping" && m.PropString("declaredIn") != "Media::Node" {
+			t.Errorf("ping declaredIn = %q, want Media::Node", m.PropString("declaredIn"))
+		}
+		if m.Name == "play" && m.PropString("declaredIn") != "Media::Session" {
+			t.Errorf("play declaredIn = %q, want Media::Session", m.PropString("declaredIn"))
+		}
+	}
+	// Attributes flatten too: name (Node) + volume (Sink).
+	attrs := sess.List(AllAttributeList)
+	names := map[string]bool{}
+	for _, a := range attrs {
+		names[a.Name] = true
+	}
+	if !names["name"] || !names["volume"] {
+		t.Errorf("allAttributeList = %v, want name and volume", names)
+	}
+}
+
+func TestHasBasesProp(t *testing.T) {
+	spec := idl.MustParse("x.idl", "interface A {}; interface B : A {};")
+	root := Build(spec)
+	if root.Find("Interface", "A").PropBool("hasBases") {
+		t.Error("A hasBases = true, want false")
+	}
+	if !root.Find("Interface", "B").PropBool("hasBases") {
+		t.Error("B hasBases = false, want true")
+	}
+}
+
+func TestUnionAndConstNodes(t *testing.T) {
+	spec := idl.MustParse("u.idl", `
+enum Color { Red, Green };
+const long MAX = 7;
+const string NAME = "orb";
+union U switch (Color) {
+  case Red: long r;
+  default: string s;
+};
+`)
+	root := Build(spec)
+
+	u := root.First(UnionList)
+	if u.PropString("discKind") != "enum" {
+		t.Errorf("discKind = %q", u.PropString("discKind"))
+	}
+	cases := u.List(CaseList)
+	if len(cases) != 2 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	if labels := cases[0].PropList("caseLabels"); len(labels) != 1 || labels[0] != "Red" {
+		t.Errorf("case labels = %v", labels)
+	}
+	if !cases[1].PropBool("isDefault") {
+		t.Error("second case should be default")
+	}
+
+	consts := root.List(ConstList)
+	if len(consts) != 2 {
+		t.Fatalf("consts = %d", len(consts))
+	}
+	if consts[0].PropString("constValue") != "7" {
+		t.Errorf("MAX value = %q", consts[0].PropString("constValue"))
+	}
+	if consts[1].PropString("constValue") != `"orb"` {
+		t.Errorf("NAME value = %q", consts[1].PropString("constValue"))
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	spec := idl.MustParse("t.idl", `
+interface I {};
+typedef sequence<long> Longs;
+typedef sequence<I, 4> Refs;
+typedef long Grid[2][3];
+interface P {
+  void m(in string<8> s, in Longs l, in Grid g);
+};
+`)
+	root := Build(spec)
+	p := root.Find("Interface", "P")
+	params := p.Find("Operation", "m").List(ParamList)
+	wants := []string{"string<8>", "Longs", "Grid"}
+	for i, w := range wants {
+		if got := params[i].PropString("paramType"); got != w {
+			t.Errorf("param %d type = %q, want %q", i, got, w)
+		}
+	}
+	refs := root.Find("Alias", "Refs")
+	if refs.PropString("typeName") != "sequence<I,4>" {
+		t.Errorf("Refs typeName = %q", refs.PropString("typeName"))
+	}
+	grid := root.Find("Alias", "Grid")
+	if grid.PropString("typeName") != "long[2][3]" {
+		t.Errorf("Grid typeName = %q", grid.PropString("typeName"))
+	}
+	arr := grid.First(TypeList)
+	if arr == nil || arr.Kind != "Array" {
+		t.Fatal("Grid should have a nested Array node")
+	}
+	if dims := arr.PropList("dims"); len(dims) != 2 || dims[0] != "2" || dims[1] != "3" {
+		t.Errorf("Array dims = %v", dims)
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	a := buildA(t)
+	b := buildA(t)
+	if a.Dump() != b.Dump() {
+		t.Error("Dump is not deterministic across identical builds")
+	}
+	dump := a.Dump()
+	for _, want := range []string{`Interface "A"`, `[methodList]`, `[attributeList]`, `repoID="IDL:Heidi/A:1.0"`} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	root := buildA(t)
+	s := root.CollectStats()
+	if s.Kinds["Interface"] != 1 { // only A; forward S excluded
+		t.Errorf("Interface count = %d, want 1", s.Kinds["Interface"])
+	}
+	// 6 own operations in methodList plus 6 flattened copies in
+	// allMethodList (the forward-declared base S contributes none).
+	if s.Kinds["Operation"] != 12 {
+		t.Errorf("Operation count = %d, want 12", s.Kinds["Operation"])
+	}
+	if s.Nodes == 0 || s.Props == 0 {
+		t.Error("empty stats")
+	}
+	if len(s.KindsSorted()) != len(s.Kinds) {
+		t.Error("KindsSorted length mismatch")
+	}
+}
+
+func BenchmarkBuildEST(b *testing.B) {
+	spec := idl.MustParse("media.idl", idltest.MediaIDL)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(spec)
+	}
+}
+
+func BenchmarkEmitScript(b *testing.B) {
+	spec := idl.MustParse("media.idl", idltest.MediaIDL)
+	root := Build(spec)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EmitScript(root)
+	}
+}
+
+// BenchmarkEvalScriptVsReparse quantifies the paper's §4.1 claim that
+// evaluating a program which directly rebuilds the EST "is certainly more
+// efficient than parsing an external representation" — here, than
+// re-parsing the IDL source and rebuilding.
+func BenchmarkEvalScriptVsReparse(b *testing.B) {
+	spec := idl.MustParse("media.idl", idltest.MediaIDL)
+	script := EmitScript(Build(spec))
+	b.Run("EvalScript", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := EvalScript(script); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ReparseIDL", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := idl.Parse("media.idl", idltest.MediaIDL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			Build(s)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package est
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The EST script format reproduces the role of the paper's generated Perl
+// program (Fig. 8): a compact program that, when evaluated, rebuilds the
+// EST without re-parsing the IDL source. The paper's two-step
+// code-generation evaluates exactly such a program "within the perl
+// interpreter", noting it is "certainly more efficient than parsing an
+// external representation of the EST"; BenchmarkFig8 in the repository root
+// measures our equivalent.
+//
+// The format is line-oriented:
+//
+//	est 1                    header with format version
+//	R                        begin root (pushes it)
+//	N <kind> <name> <list>   begin node, attached to the list of the top
+//	P <key> <value>          string property (Go-quoted)
+//	B <key> true|false       boolean property
+//	L <key> <v1> <v2> ...    string-list property (each Go-quoted)
+//	U                        end node (pop)
+//
+// Kind, name, key and every value are Go-quoted strings, so arbitrary
+// content round-trips.
+
+// ScriptVersion is the current EST script format version.
+const ScriptVersion = 1
+
+// EmitScript serialises the tree rooted at n into the script format.
+func EmitScript(n *Node) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "est %d\n", ScriptVersion)
+	emitNode(&b, n, true)
+	return b.String()
+}
+
+func emitNode(b *strings.Builder, n *Node, isRoot bool) {
+	if isRoot {
+		b.WriteString("R\n")
+	} else {
+		fmt.Fprintf(b, "N %s %s %s\n",
+			strconv.Quote(n.Kind), strconv.Quote(n.Name), strconv.Quote(n.listName))
+	}
+	for _, k := range n.propOrder {
+		switch v := n.props[k].(type) {
+		case string:
+			fmt.Fprintf(b, "P %s %s\n", strconv.Quote(k), strconv.Quote(v))
+		case bool:
+			fmt.Fprintf(b, "B %s %v\n", strconv.Quote(k), v)
+		case []string:
+			fmt.Fprintf(b, "L %s", strconv.Quote(k))
+			for _, s := range v {
+				fmt.Fprintf(b, " %s", strconv.Quote(s))
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, list := range n.listOrder {
+		for _, c := range n.lists[list] {
+			emitNode(b, c, false)
+		}
+	}
+	b.WriteString("U\n")
+}
+
+// EvalScript rebuilds a tree from a script produced by EmitScript. It
+// validates the header, balanced node nesting and quoting, returning a
+// descriptive error on malformed input. The evaluator is the hot half of
+// the paper's two-stage pipeline (§4.1), so it is written to avoid
+// allocation: unescaped quoted fields are sliced out of the script rather
+// than unquoted, and lines are scanned in place.
+func EvalScript(script string) (*Node, error) {
+	headerEnd := strings.IndexByte(script, '\n')
+	if headerEnd < 0 {
+		return nil, fmt.Errorf("est: empty script")
+	}
+	var version int
+	if _, err := fmt.Sscanf(script[:headerEnd], "est %d", &version); err != nil {
+		return nil, fmt.Errorf("est: bad script header %q", script[:headerEnd])
+	}
+	if version != ScriptVersion {
+		return nil, fmt.Errorf("est: unsupported script version %d (want %d)", version, ScriptVersion)
+	}
+
+	var root *Node
+	var stack []*Node
+	top := func() *Node {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1]
+	}
+
+	rest := script[headerEnd+1:]
+	for ln := 1; rest != ""; ln++ {
+		var line string
+		if i := strings.IndexByte(rest, '\n'); i >= 0 {
+			line, rest = rest[:i], rest[i+1:]
+		} else {
+			line, rest = rest, ""
+		}
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op := line[0]
+		args := strings.TrimLeft(line[1:], " ")
+		switch op {
+		case 'R':
+			if root != nil {
+				return nil, fmt.Errorf("est: line %d: duplicate root", ln+1)
+			}
+			root = NewRoot()
+			stack = append(stack, root)
+		case 'N':
+			parent := top()
+			if parent == nil {
+				return nil, fmt.Errorf("est: line %d: node outside root", ln+1)
+			}
+			kind, r1, err := nextScriptField(args)
+			if err != nil {
+				return nil, fmt.Errorf("est: line %d: %v", ln+1, err)
+			}
+			name, r2, err := nextScriptField(r1)
+			if err != nil {
+				return nil, fmt.Errorf("est: line %d: %v", ln+1, err)
+			}
+			list, r3, err := nextScriptField(r2)
+			if err != nil {
+				return nil, fmt.Errorf("est: line %d: %v", ln+1, err)
+			}
+			if strings.TrimLeft(r3, " ") != "" {
+				return nil, fmt.Errorf("est: line %d: expected 3 fields, got more", ln+1)
+			}
+			child := New(kind, name)
+			parent.AddChild(list, child)
+			stack = append(stack, child)
+		case 'P':
+			n := top()
+			if n == nil {
+				return nil, fmt.Errorf("est: line %d: property outside node", ln+1)
+			}
+			key, r1, err := nextScriptField(args)
+			if err != nil {
+				return nil, fmt.Errorf("est: line %d: %v", ln+1, err)
+			}
+			val, _, err := nextScriptField(r1)
+			if err != nil {
+				return nil, fmt.Errorf("est: line %d: %v", ln+1, err)
+			}
+			n.SetProp(key, val)
+		case 'B':
+			n := top()
+			if n == nil {
+				return nil, fmt.Errorf("est: line %d: property outside node", ln+1)
+			}
+			key, r1, err := nextScriptField(args)
+			if err != nil {
+				return nil, fmt.Errorf("est: line %d: %v", ln+1, err)
+			}
+			switch strings.TrimSpace(r1) {
+			case "true":
+				n.SetProp(key, true)
+			case "false":
+				n.SetProp(key, false)
+			default:
+				return nil, fmt.Errorf("est: line %d: bad boolean %q", ln+1, strings.TrimSpace(r1))
+			}
+		case 'L':
+			n := top()
+			if n == nil {
+				return nil, fmt.Errorf("est: line %d: property outside node", ln+1)
+			}
+			fields, err := splitQuotedAll(args)
+			if err != nil {
+				return nil, fmt.Errorf("est: line %d: %v", ln+1, err)
+			}
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("est: line %d: list property without key", ln+1)
+			}
+			n.SetProp(fields[0], append([]string(nil), fields[1:]...))
+		case 'U':
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("est: line %d: unbalanced 'U'", ln+1)
+			}
+			stack = stack[:len(stack)-1]
+		default:
+			return nil, fmt.Errorf("est: line %d: unknown opcode %q", ln+1, op)
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("est: script has no root")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("est: script ended with %d unclosed nodes", len(stack))
+	}
+	return root, nil
+}
+
+// nextScriptField parses the next Go-quoted field of s, returning the
+// value and the remaining text.
+func nextScriptField(s string) (string, string, error) {
+	s = strings.TrimLeft(s, " ")
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted field at %q", truncate(s, 20))
+	}
+	val, n, err := unquoteField(s)
+	if err != nil {
+		return "", "", err
+	}
+	return val, s[n:], nil
+}
+
+// splitQuotedAll parses all Go-quoted fields in s. Unquoted trailing words
+// (the boolean values of 'B' lines) are returned verbatim. Fields without
+// escape sequences are sliced out of s without allocating.
+func splitQuotedAll(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " ")
+		if s == "" {
+			return out, nil
+		}
+		if s[0] == '"' {
+			val, relen, err := unquoteField(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, val)
+			s = s[relen:]
+			continue
+		}
+		// Bare word (booleans).
+		i := strings.IndexByte(s, ' ')
+		if i < 0 {
+			out = append(out, s)
+			return out, nil
+		}
+		out = append(out, s[:i])
+		s = s[i:]
+	}
+}
+
+// unquoteField decodes the leading Go-quoted field of s, returning the
+// value and the encoded length consumed. When the field contains no
+// backslash escapes — the overwhelmingly common case for EST content — the
+// value is a sub-slice of s.
+func unquoteField(s string) (string, int, error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return s[1:i], i + 1, nil
+		case '\\':
+			// Escapes present: fall back to the full decoder.
+			prefix, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				return "", 0, fmt.Errorf("bad quoted field at %q: %v", truncate(s, 20), err)
+			}
+			val, err := strconv.Unquote(prefix)
+			if err != nil {
+				return "", 0, err
+			}
+			return val, len(prefix), nil
+		}
+	}
+	return "", 0, fmt.Errorf("bad quoted field at %q: missing closing quote", truncate(s, 20))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

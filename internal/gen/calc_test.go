@@ -1,0 +1,200 @@
+package gen_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen/calc"
+	"repro/internal/gen/media"
+	"repro/internal/heidi"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+// arithImpl implements the generated HdArith interface: out parameters are
+// extra return values, inout parameters both arrive and return.
+type arithImpl struct{}
+
+func (arithImpl) Divide(a, b int32) (int32, int32, error) {
+	if b == 0 {
+		return 0, 0, &calc.HdDivByZero{Op: "divide"}
+	}
+	return a / b, a % b, nil
+}
+
+func (arithImpl) Minmax(a, b int32) (int32, int32, error) {
+	if a <= b {
+		return a, b, nil
+	}
+	return b, a, nil
+}
+
+func (arithImpl) Normalize(s string) (string, string, error) {
+	norm := strings.ToLower(strings.TrimSpace(s))
+	return norm, norm, nil // result and the inout's final value
+}
+
+func (arithImpl) Accumulate(total, delta int32) (int32, error) {
+	return total + delta, nil
+}
+
+func (arithImpl) Polar(x, y float64) (float64, float64, error) {
+	return x*x + y*y, y - x, nil // stand-in math; shape is what matters
+}
+
+func startArith(t *testing.T, proto wire.Protocol) calc.HdArith {
+	t.Helper()
+	server := orb.New(orb.Options{Protocol: proto})
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Shutdown() })
+	ref, err := server.Export(arithImpl{}, calc.NewHdArithTable(arithImpl{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.Options{Protocol: proto})
+	calc.RegisterCalcStubs(client)
+	t.Cleanup(func() { client.Shutdown() })
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj.(calc.HdArith)
+}
+
+// TestGeneratedOutParams drives every out/inout shape through the wire.
+func TestGeneratedOutParams(t *testing.T) {
+	for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+		t.Run(proto.Name(), func(t *testing.T) {
+			a := startArith(t, proto)
+
+			q, r, err := a.Divide(17, 5)
+			if err != nil || q != 3 || r != 2 {
+				t.Errorf("Divide(17,5) = %d,%d,%v", q, r, err)
+			}
+
+			lo, hi, err := a.Minmax(9, 4)
+			if err != nil || lo != 4 || hi != 9 {
+				t.Errorf("Minmax(9,4) = %d,%d,%v", lo, hi, err)
+			}
+
+			res, final, err := a.Normalize("  MixedCase  ")
+			if err != nil || res != "mixedcase" || final != "mixedcase" {
+				t.Errorf("Normalize = %q,%q,%v", res, final, err)
+			}
+
+			total, err := a.Accumulate(40, 2)
+			if err != nil || total != 42 {
+				t.Errorf("Accumulate = %d,%v", total, err)
+			}
+
+			mag, th, err := a.Polar(3, 4)
+			if err != nil || mag != 25 || th != 1 {
+				t.Errorf("Polar = %v,%v,%v", mag, th, err)
+			}
+		})
+	}
+}
+
+func TestGeneratedOutParamsException(t *testing.T) {
+	a := startArith(t, wire.Text)
+	_, _, err := a.Divide(1, 0)
+	var re *orb.RemoteError
+	if !errors.As(err, &re) || re.Status != wire.StatusUserException {
+		t.Fatalf("Divide by zero = %v", err)
+	}
+	if !strings.Contains(re.Msg, "DivByZero") {
+		t.Errorf("message %q", re.Msg)
+	}
+}
+
+// TestUnionRoundTrip: the generated tagged-struct union marshals only its
+// active arm and reconstructs through Heidi's dynamic type registry.
+func TestUnionRoundTrip(t *testing.T) {
+	setupValues()
+	cases := []*media.HdEvent{
+		{D: 0, Message: "buffering stalled"},
+		{D: 1, Position: 123456},
+		{D: 7, Ok: heidi.XTrue}, // default arm
+	}
+	for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+		for _, orig := range cases {
+			enc := proto.NewEncoder()
+			if err := orig.HdMarshal(enc); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := heidi.NewInstance("Media::Event")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.HdUnmarshal(proto.NewDecoder(enc.Bytes())); err != nil {
+				t.Fatalf("%s: %v", proto.Name(), err)
+			}
+			got := fresh.(*media.HdEvent)
+			if *got != *orig {
+				t.Errorf("%s: union round trip %+v != %+v", proto.Name(), *got, *orig)
+			}
+			// Only the active arm travels: inactive fields stay zero on
+			// the receiving side, so a full-struct comparison passing
+			// above already proves it for these shapes; additionally
+			// check the payload of case 1 carries no message bytes.
+			if orig.D == 1 && proto == wire.CDR && len(enc.Bytes()) > 12 {
+				t.Errorf("case 1 payload = %d bytes, expected discriminator+long only", len(enc.Bytes()))
+			}
+		}
+	}
+}
+
+// TestUnionPropertyRoundTrip: random discriminator/arm combinations
+// survive marshal∘unmarshal for both protocols.
+func TestUnionPropertyRoundTrip(t *testing.T) {
+	setupValues()
+	f := func(d int32, msg string, pos int32, ok bool) bool {
+		orig := &media.HdEvent{D: d}
+		switch d {
+		case 0:
+			orig.Message = msg
+		case 1:
+			orig.Position = pos
+		default:
+			orig.Ok = heidi.XBool(ok)
+		}
+		for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+			enc := proto.NewEncoder()
+			if err := orig.HdMarshal(enc); err != nil {
+				return false
+			}
+			got := &media.HdEvent{}
+			if err := got.HdUnmarshal(proto.NewDecoder(enc.Bytes())); err != nil {
+				return false
+			}
+			if *got != *orig {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDividePropertyOverWire: remote divide agrees with local arithmetic
+// for random operands — a property test across the full marshal path.
+func TestDividePropertyOverWire(t *testing.T) {
+	a := startArith(t, wire.CDR)
+	f := func(x, y int32) bool {
+		if y == 0 {
+			_, _, err := a.Divide(x, y)
+			return err != nil
+		}
+		q, r, err := a.Divide(x, y)
+		return err == nil && q == x/y && r == x%y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

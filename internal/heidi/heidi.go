@@ -1,0 +1,99 @@
+// Package heidi is a miniature of the legacy Heidi code-base that motivates
+// §3 of "Customizing IDL Mappings and ORB Protocols": the in-house data
+// types (XBool, HdList), the dynamic type-checking support "which all Heidi
+// classes provide", and the HdSerializable marshaling contract that
+// HeidiRMI's pass-by-value (incopy) relies on.
+//
+// The HeidiRMI mapping exists precisely so that interfaces written in IDL
+// can be implemented with these pre-existing types unchanged; the ORB
+// runtime in package orb consumes them exactly the way the paper describes
+// (testing an object for HdSerializable before copying it across the
+// interface).
+package heidi
+
+import "fmt"
+
+// XBool is Heidi's legacy boolean type (Table 1: IDL boolean maps to XBool
+// in the alternate mapping).
+type XBool bool
+
+// Legacy boolean constants; the HeidiRMI mapping renders IDL TRUE/FALSE
+// defaults as XTrue/XFalse (Fig. 3).
+const (
+	XTrue  XBool = true
+	XFalse XBool = false
+)
+
+// String renders the legacy spelling.
+func (b XBool) String() string {
+	if b {
+		return "XTrue"
+	}
+	return "XFalse"
+}
+
+// HdList is Heidi's legacy growable list type; IDL sequences map to it
+// (Fig. 3: typedef HdList<HdS> HdSSequence).
+type HdList[T any] struct {
+	items []T
+}
+
+// NewHdList returns a list pre-sized for n elements.
+func NewHdList[T any](n int) *HdList[T] {
+	return &HdList[T]{items: make([]T, 0, n)}
+}
+
+// HdListOf builds a list from the given elements.
+func HdListOf[T any](items ...T) *HdList[T] {
+	l := NewHdList[T](len(items))
+	l.items = append(l.items, items...)
+	return l
+}
+
+// Append adds an element to the end of the list.
+func (l *HdList[T]) Append(v T) { l.items = append(l.items, v) }
+
+// Len returns the number of elements.
+func (l *HdList[T]) Len() int { return len(l.items) }
+
+// At returns the i'th element; out-of-range access panics like a slice.
+func (l *HdList[T]) At(i int) T { return l.items[i] }
+
+// Set replaces the i'th element.
+func (l *HdList[T]) Set(i int, v T) { l.items[i] = v }
+
+// Items returns the backing slice (shared, not copied).
+func (l *HdList[T]) Items() []T { return l.items }
+
+// Iterator returns an HdListIterator positioned before the first element
+// (Fig. 3: typedef HdListIterator<HdS> HdSSequenceIter).
+func (l *HdList[T]) Iterator() *HdListIterator[T] {
+	return &HdListIterator[T]{list: l, pos: -1}
+}
+
+// HdListIterator is the legacy explicit iterator over an HdList.
+type HdListIterator[T any] struct {
+	list *HdList[T]
+	pos  int
+}
+
+// Next advances the iterator and reports whether an element is available.
+func (it *HdListIterator[T]) Next() bool {
+	if it.pos+1 >= it.list.Len() {
+		return false
+	}
+	it.pos++
+	return true
+}
+
+// Value returns the current element; calling Value before the first Next or
+// after Next returned false panics.
+func (it *HdListIterator[T]) Value() T {
+	if it.pos < 0 || it.pos >= it.list.Len() {
+		panic(fmt.Sprintf("heidi: iterator position %d out of range [0,%d)", it.pos, it.list.Len()))
+	}
+	return it.list.At(it.pos)
+}
+
+// Reset repositions the iterator before the first element.
+func (it *HdListIterator[T]) Reset() { it.pos = -1 }

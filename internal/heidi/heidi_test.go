@@ -1,0 +1,174 @@
+package heidi
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestXBool(t *testing.T) {
+	if XTrue.String() != "XTrue" || XFalse.String() != "XFalse" {
+		t.Error("XBool spellings")
+	}
+	if !bool(XTrue) || bool(XFalse) {
+		t.Error("XBool values")
+	}
+}
+
+func TestHdListBasics(t *testing.T) {
+	l := NewHdList[int](2)
+	if l.Len() != 0 {
+		t.Error("new list not empty")
+	}
+	l.Append(10)
+	l.Append(20)
+	l.Append(30)
+	if l.Len() != 3 || l.At(1) != 20 {
+		t.Errorf("len=%d at(1)=%d", l.Len(), l.At(1))
+	}
+	l.Set(1, 25)
+	if l.At(1) != 25 {
+		t.Error("Set")
+	}
+	if got := l.Items(); len(got) != 3 || got[2] != 30 {
+		t.Errorf("Items = %v", got)
+	}
+
+	l2 := HdListOf("a", "b")
+	if l2.Len() != 2 || l2.At(0) != "a" {
+		t.Errorf("HdListOf: %v", l2.Items())
+	}
+}
+
+func TestHdListIterator(t *testing.T) {
+	l := HdListOf(1, 2, 3)
+	it := l.Iterator()
+	var got []int
+	for it.Next() {
+		got = append(got, it.Value())
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("iterated %v", got)
+	}
+	if it.Next() {
+		t.Error("Next after exhaustion")
+	}
+	it.Reset()
+	if !it.Next() || it.Value() != 1 {
+		t.Error("Reset")
+	}
+
+	empty := NewHdList[int](0).Iterator()
+	if empty.Next() {
+		t.Error("empty iterator Next")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Value before Next should panic")
+		}
+	}()
+	NewHdList[int](0).Iterator().Value()
+}
+
+// TestHdListAppendProperty: appending n elements yields length n with
+// contents in order.
+func TestHdListAppendProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		l := NewHdList[int64](0)
+		for _, v := range vals {
+			l.Append(v)
+		}
+		if l.Len() != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if l.At(i) != v {
+				return false
+			}
+		}
+		it := l.Iterator()
+		for _, v := range vals {
+			if !it.Next() || it.Value() != v {
+				return false
+			}
+		}
+		return !it.Next()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type fakeSer struct{ name string }
+
+func (f *fakeSer) HdTypeName() string       { return f.name }
+func (f *fakeSer) HdMarshal(Writer) error   { return nil }
+func (f *fakeSer) HdUnmarshal(Reader) error { return nil }
+
+func TestTypeRegistry(t *testing.T) {
+	name := "heidi_test.Fake"
+	RegisterType(name, func() Serializable { return &fakeSer{name: name} })
+
+	if !HasType(name) {
+		t.Error("HasType after register")
+	}
+	obj, err := NewInstance(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.HdTypeName() != name {
+		t.Error("factory product type name")
+	}
+	if _, err := NewInstance("heidi_test.Missing"); err == nil {
+		t.Error("NewInstance of unknown type should fail")
+	}
+	found := false
+	for _, n := range Types() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Types() missing %q", name)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterType should panic")
+		}
+	}()
+	RegisterType(name, func() Serializable { return &fakeSer{} })
+}
+
+func TestIsSerializable(t *testing.T) {
+	if _, ok := IsSerializable(&fakeSer{}); !ok {
+		t.Error("fakeSer should be Serializable")
+	}
+	if _, ok := IsSerializable(42); ok {
+		t.Error("int should not be Serializable")
+	}
+	if _, ok := IsSerializable(nil); ok {
+		t.Error("nil should not be Serializable")
+	}
+}
+
+func BenchmarkHdListAppend(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := NewHdList[int](0)
+		for j := 0; j < 100; j++ {
+			l.Append(j)
+		}
+	}
+}
+
+func ExampleHdList() {
+	l := HdListOf("start", "stop")
+	it := l.Iterator()
+	for it.Next() {
+		fmt.Println(it.Value())
+	}
+	// Output:
+	// start
+	// stop
+}

@@ -1,0 +1,636 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind enumerates the categories of IDL types.
+type TypeKind int
+
+// Type kinds. Primitive kinds come first, then constructed and named kinds.
+const (
+	KindVoid TypeKind = iota
+	KindBoolean
+	KindChar
+	KindWChar
+	KindOctet
+	KindShort
+	KindUShort
+	KindLong
+	KindULong
+	KindLongLong
+	KindULongLong
+	KindFloat
+	KindDouble
+	KindLongDouble
+	KindString  // possibly bounded
+	KindWString // possibly bounded
+	KindAny
+	KindObject // CORBA::Object
+	KindSequence
+	KindArray
+	KindStruct
+	KindUnion
+	KindEnum
+	KindInterface
+	KindAlias // typedef
+)
+
+var typeKindNames = [...]string{
+	KindVoid:       "void",
+	KindBoolean:    "boolean",
+	KindChar:       "char",
+	KindWChar:      "wchar",
+	KindOctet:      "octet",
+	KindShort:      "short",
+	KindUShort:     "unsigned short",
+	KindLong:       "long",
+	KindULong:      "unsigned long",
+	KindLongLong:   "long long",
+	KindULongLong:  "unsigned long long",
+	KindFloat:      "float",
+	KindDouble:     "double",
+	KindLongDouble: "long double",
+	KindString:     "string",
+	KindWString:    "wstring",
+	KindAny:        "any",
+	KindObject:     "Object",
+	KindSequence:   "sequence",
+	KindArray:      "array",
+	KindStruct:     "struct",
+	KindUnion:      "union",
+	KindEnum:       "enum",
+	KindInterface:  "interface",
+	KindAlias:      "alias",
+}
+
+// String returns the IDL spelling of the kind.
+func (k TypeKind) String() string {
+	if int(k) < len(typeKindNames) {
+		return typeKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsPrimitive reports whether the kind is a basic (non-constructed,
+// non-named) type, including strings.
+func (k TypeKind) IsPrimitive() bool {
+	return k >= KindVoid && k <= KindObject
+}
+
+// IsInteger reports whether the kind is an integral type.
+func (k TypeKind) IsInteger() bool {
+	switch k {
+	case KindShort, KindUShort, KindLong, KindULong, KindLongLong, KindULongLong, KindOctet:
+		return true
+	}
+	return false
+}
+
+// Type is the resolved representation of an IDL type. Primitive types are
+// shared singletons; constructed types carry their element types; named
+// types point back at their declaration.
+type Type struct {
+	Kind TypeKind
+
+	// Bound is the bound of a bounded string/wstring or sequence, and the
+	// total element count of an array dimension list. Zero means
+	// unbounded.
+	Bound uint64
+
+	// Elem is the element type of a sequence or array, and the aliased
+	// type of an alias.
+	Elem *Type
+
+	// Dims holds the dimensions of an array type, outermost first.
+	Dims []uint64
+
+	// Decl is the declaration that introduced a named type (struct,
+	// union, enum, interface, alias). Nil for primitive and anonymous
+	// constructed types.
+	Decl Decl
+}
+
+// Shared singletons for primitive types. These are never mutated.
+var (
+	TypeVoid      = &Type{Kind: KindVoid}
+	TypeBoolean   = &Type{Kind: KindBoolean}
+	TypeChar      = &Type{Kind: KindChar}
+	TypeWChar     = &Type{Kind: KindWChar}
+	TypeOctet     = &Type{Kind: KindOctet}
+	TypeShort     = &Type{Kind: KindShort}
+	TypeUShort    = &Type{Kind: KindUShort}
+	TypeLong      = &Type{Kind: KindLong}
+	TypeULong     = &Type{Kind: KindULong}
+	TypeLongLong  = &Type{Kind: KindLongLong}
+	TypeULongLong = &Type{Kind: KindULongLong}
+	TypeFloat     = &Type{Kind: KindFloat}
+	TypeDouble    = &Type{Kind: KindDouble}
+	TypeString    = &Type{Kind: KindString}
+	TypeAny       = &Type{Kind: KindAny}
+	TypeObject    = &Type{Kind: KindObject}
+)
+
+// Name returns the IDL-level name of the type: the declared name for named
+// types, the IDL spelling for primitives, and a structural description for
+// anonymous sequences/arrays.
+func (t *Type) Name() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindSequence:
+		if t.Bound > 0 {
+			return fmt.Sprintf("sequence<%s,%d>", t.Elem.Name(), t.Bound)
+		}
+		return fmt.Sprintf("sequence<%s>", t.Elem.Name())
+	case KindArray:
+		var b strings.Builder
+		b.WriteString(t.Elem.Name())
+		for _, d := range t.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		return b.String()
+	case KindString:
+		if t.Bound > 0 {
+			return fmt.Sprintf("string<%d>", t.Bound)
+		}
+		return "string"
+	case KindWString:
+		if t.Bound > 0 {
+			return fmt.Sprintf("wstring<%d>", t.Bound)
+		}
+		return "wstring"
+	}
+	if t.Decl != nil {
+		return t.Decl.DeclName()
+	}
+	return t.Kind.String()
+}
+
+// Unalias follows typedef chains and returns the underlying type.
+func (t *Type) Unalias() *Type {
+	for t != nil && t.Kind == KindAlias {
+		t = t.Elem
+	}
+	return t
+}
+
+// IsVariable reports whether values of the type have variable size on the
+// wire (contain strings, sequences, anys or object references), matching the
+// "IsVariable" property the paper's EST exposes (Fig 8).
+func (t *Type) IsVariable() bool {
+	switch u := t.Unalias(); u.Kind {
+	case KindString, KindWString, KindSequence, KindAny, KindObject, KindInterface:
+		return true
+	case KindArray:
+		return u.Elem.IsVariable()
+	case KindStruct:
+		st := u.Decl.(*StructDecl)
+		for _, m := range st.Members {
+			if m.Type.IsVariable() {
+				return true
+			}
+		}
+		return false
+	case KindUnion:
+		un := u.Decl.(*UnionDecl)
+		for _, c := range un.Cases {
+			if c.Type.IsVariable() {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// ParamMode is the parameter-passing mode of an operation parameter.
+type ParamMode int
+
+// Parameter modes. ModeInCopy is the paper's extension: for object
+// references the argument is passed by value (serialized) rather than by
+// reference; for all other types it behaves like ModeIn.
+const (
+	ModeIn ParamMode = iota
+	ModeOut
+	ModeInOut
+	ModeInCopy
+)
+
+// String returns the IDL spelling of the mode.
+func (m ParamMode) String() string {
+	switch m {
+	case ModeIn:
+		return "in"
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	case ModeInCopy:
+		return "incopy"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Decl is implemented by every named IDL declaration.
+type Decl interface {
+	// DeclName returns the simple (unscoped) name.
+	DeclName() string
+	// ScopedName returns the fully-qualified name, "::"-separated,
+	// without a leading "::" (e.g. "Heidi::A"). Populated by the
+	// resolver.
+	ScopedName() string
+	// RepoID returns the OMG repository ID (e.g. "IDL:Heidi/A:1.0").
+	// Populated by the resolver.
+	RepoID() string
+	// DeclPos returns the source position of the declaration.
+	DeclPos() Pos
+	// FromInclude reports whether the declaration came from an
+	// #include'd file rather than the main translation unit. Code
+	// generators resolve against included declarations but emit code
+	// only for the main unit's.
+	FromInclude() bool
+}
+
+// declBase carries the fields common to all declarations.
+type declBase struct {
+	Name     string
+	Scoped   string
+	ID       string
+	Pos      Pos
+	Included bool
+}
+
+func (d *declBase) DeclName() string   { return d.Name }
+func (d *declBase) ScopedName() string { return d.Scoped }
+func (d *declBase) RepoID() string     { return d.ID }
+func (d *declBase) DeclPos() Pos       { return d.Pos }
+func (d *declBase) FromInclude() bool  { return d.Included }
+
+// Spec is a parsed-and-resolved IDL translation unit.
+type Spec struct {
+	File       string
+	Decls      []Decl      // top-level declarations, in source order
+	Directives []Directive // preprocessor directives
+	Prefix     string      // active "#pragma prefix" at file scope
+}
+
+// Module is an IDL module, a pure naming scope.
+type Module struct {
+	declBase
+	Decls []Decl // contained declarations, in source order
+}
+
+// InterfaceDecl is an IDL interface. Forward declarations produce an
+// InterfaceDecl with Forward set and no body; the resolver links forward
+// declarations to their definitions.
+type InterfaceDecl struct {
+	declBase
+	Forward  bool
+	Bases    []*InterfaceDecl // direct base interfaces, in declaration order
+	BaseRefs []ScopedRef      // as written, resolved into Bases
+	Ops      []*Operation     // declared operations, in source order
+	Attrs    []*Attribute     // declared attributes, in source order
+	Body     []Decl           // nested type/const/exception declarations
+
+	// Members preserves the exact interleaving of operations and
+	// attributes as written in the IDL source. The EST groups them by
+	// kind (the paper's key EST property); Members retains the original
+	// order for tools that need it.
+	Members []Decl
+}
+
+// AllBases returns the transitive closure of base interfaces in C3-free
+// depth-first order with duplicates removed, not including the receiver.
+func (i *InterfaceDecl) AllBases() []*InterfaceDecl {
+	var out []*InterfaceDecl
+	seen := map[*InterfaceDecl]bool{i: true}
+	var walk func(d *InterfaceDecl)
+	walk = func(d *InterfaceDecl) {
+		for _, b := range d.Bases {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+				walk(b)
+			}
+		}
+	}
+	walk(i)
+	return out
+}
+
+// AllOps returns the interface's own operations followed by inherited
+// operations, base-first order per AllBases.
+func (i *InterfaceDecl) AllOps() []*Operation {
+	out := append([]*Operation(nil), i.Ops...)
+	for _, b := range i.AllBases() {
+		out = append(out, b.Ops...)
+	}
+	return out
+}
+
+// AllAttrs returns own attributes followed by inherited attributes.
+func (i *InterfaceDecl) AllAttrs() []*Attribute {
+	out := append([]*Attribute(nil), i.Attrs...)
+	for _, b := range i.AllBases() {
+		out = append(out, b.Attrs...)
+	}
+	return out
+}
+
+// Type returns the interface as a *Type.
+func (i *InterfaceDecl) Type() *Type { return &Type{Kind: KindInterface, Decl: i} }
+
+// ScopedRef is a possibly-qualified name reference as written in source
+// ("Heidi::Start", "::A", "S").
+type ScopedRef struct {
+	Pos      Pos
+	Parts    []string
+	Absolute bool // leading "::"
+}
+
+// String reassembles the reference as written.
+func (r ScopedRef) String() string {
+	s := strings.Join(r.Parts, "::")
+	if r.Absolute {
+		return "::" + s
+	}
+	return s
+}
+
+// Operation is an interface operation (method).
+type Operation struct {
+	declBase
+	Oneway    bool
+	Result    *Type
+	Params    []*Param
+	Raises    []*ExceptDecl
+	RaiseRefs []ScopedRef
+	Context   []string
+
+	// Owner is the interface that declares the operation.
+	Owner *InterfaceDecl
+}
+
+// HasDefaults reports whether any parameter carries a default value (the
+// paper's default-parameter extension).
+func (o *Operation) HasDefaults() bool {
+	for _, p := range o.Params {
+		if p.Default != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Param is a single operation parameter.
+type Param struct {
+	Name    string
+	Pos     Pos
+	Mode    ParamMode
+	Type    *Type
+	Default *ConstValue // nil when no default (paper extension)
+}
+
+// Attribute is an interface attribute; a readonly attribute maps to a
+// getter only.
+type Attribute struct {
+	declBase
+	Readonly bool
+	Type     *Type
+	Owner    *InterfaceDecl
+}
+
+// StructDecl is an IDL struct.
+type StructDecl struct {
+	declBase
+	Members []*Member
+}
+
+// Type returns the struct as a *Type.
+func (s *StructDecl) Type() *Type { return &Type{Kind: KindStruct, Decl: s} }
+
+// Member is a struct or exception member.
+type Member struct {
+	Name string
+	Pos  Pos
+	Type *Type
+}
+
+// UnionDecl is an IDL discriminated union.
+type UnionDecl struct {
+	declBase
+	Disc  *Type
+	Cases []*UnionCase
+}
+
+// Type returns the union as a *Type.
+func (u *UnionDecl) Type() *Type { return &Type{Kind: KindUnion, Decl: u} }
+
+// UnionCase is one arm of a union. A default arm has IsDefault set and no
+// labels.
+type UnionCase struct {
+	Labels    []*ConstValue
+	IsDefault bool
+	Name      string
+	Pos       Pos
+	Type      *Type
+}
+
+// EnumDecl is an IDL enum.
+type EnumDecl struct {
+	declBase
+	Members []string
+}
+
+// Type returns the enum as a *Type.
+func (e *EnumDecl) Type() *Type { return &Type{Kind: KindEnum, Decl: e} }
+
+// Ordinal returns the zero-based ordinal of member name, or -1.
+func (e *EnumDecl) Ordinal(name string) int {
+	for i, m := range e.Members {
+		if m == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TypedefDecl is an IDL typedef (alias). Type.Kind is KindAlias and
+// Type.Elem is the aliased type.
+type TypedefDecl struct {
+	declBase
+	Aliased *Type
+}
+
+// Type returns the alias as a *Type.
+func (t *TypedefDecl) Type() *Type {
+	return &Type{Kind: KindAlias, Elem: t.Aliased, Decl: t}
+}
+
+// ConstDecl is an IDL constant declaration.
+type ConstDecl struct {
+	declBase
+	Type  *Type
+	Value *ConstValue
+}
+
+// ExceptDecl is an IDL exception declaration.
+type ExceptDecl struct {
+	declBase
+	Members []*Member
+}
+
+// ConstKind discriminates ConstValue.
+type ConstKind int
+
+// Constant value kinds.
+const (
+	ConstInt ConstKind = iota
+	ConstFloat
+	ConstBool
+	ConstChar
+	ConstString
+	ConstEnum
+)
+
+// ConstValue is an evaluated constant expression, used for const
+// declarations, union case labels, sequence/string bounds and the paper's
+// default parameter values.
+type ConstValue struct {
+	Kind ConstKind
+	Int  int64
+	Flt  float64
+	Bool bool
+	Str  string
+	Enum *EnumDecl // for ConstEnum
+	Name string    // enum member name for ConstEnum
+
+	// Ref is the scoped name via which the constant was written, when it
+	// was written as a name ("Heidi::Start") rather than a literal.
+	// Mappings use it to regenerate source-faithful defaults.
+	Ref string
+}
+
+// String renders the value in IDL literal syntax.
+func (v *ConstValue) String() string {
+	if v == nil {
+		return ""
+	}
+	switch v.Kind {
+	case ConstInt:
+		return fmt.Sprintf("%d", v.Int)
+	case ConstFloat:
+		s := fmt.Sprintf("%g", v.Flt)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case ConstBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	case ConstChar:
+		return fmt.Sprintf("'%s'", v.Str)
+	case ConstString:
+		return fmt.Sprintf("%q", v.Str)
+	case ConstEnum:
+		return v.Name
+	}
+	return "<const>"
+}
+
+// Equal reports deep equality of two constant values.
+func (v *ConstValue) Equal(o *ConstValue) bool {
+	if v == nil || o == nil {
+		return v == o
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case ConstInt:
+		return v.Int == o.Int
+	case ConstFloat:
+		return v.Flt == o.Flt
+	case ConstBool:
+		return v.Bool == o.Bool
+	case ConstChar, ConstString:
+		return v.Str == o.Str
+	case ConstEnum:
+		// Compare by the enum's identity across parses, not by node
+		// pointer, so values from independent parse runs compare equal.
+		return v.Enum.ScopedName() == o.Enum.ScopedName() && v.Name == o.Name
+	}
+	return false
+}
+
+// Walk calls fn for every declaration in the spec, depth-first in source
+// order, including nested declarations. If fn returns false, children of the
+// current declaration are skipped.
+func (s *Spec) Walk(fn func(Decl) bool) {
+	var walk func(d Decl)
+	walk = func(d Decl) {
+		if !fn(d) {
+			return
+		}
+		switch n := d.(type) {
+		case *Module:
+			for _, c := range n.Decls {
+				walk(c)
+			}
+		case *InterfaceDecl:
+			for _, c := range n.Body {
+				walk(c)
+			}
+			for _, op := range n.Ops {
+				walk(op)
+			}
+			for _, at := range n.Attrs {
+				walk(at)
+			}
+		}
+	}
+	for _, d := range s.Decls {
+		walk(d)
+	}
+}
+
+// Interfaces returns every non-forward interface in the spec, in source
+// order, including those nested in modules.
+func (s *Spec) Interfaces() []*InterfaceDecl {
+	var out []*InterfaceDecl
+	s.Walk(func(d Decl) bool {
+		if i, ok := d.(*InterfaceDecl); ok && !i.Forward {
+			out = append(out, i)
+		}
+		return true
+	})
+	return out
+}
+
+// LookupInterface finds a non-forward interface by scoped name
+// ("Heidi::A") or simple name if unambiguous. It returns ErrNotFound when
+// there is no match.
+func (s *Spec) LookupInterface(name string) (*InterfaceDecl, error) {
+	var bySimple []*InterfaceDecl
+	for _, i := range s.Interfaces() {
+		if i.ScopedName() == name {
+			return i, nil
+		}
+		if i.DeclName() == name {
+			bySimple = append(bySimple, i)
+		}
+	}
+	if len(bySimple) == 1 {
+		return bySimple[0], nil
+	}
+	if len(bySimple) > 1 {
+		return nil, fmt.Errorf("idl: interface name %q is ambiguous (%d matches)", name, len(bySimple))
+	}
+	return nil, fmt.Errorf("%w: interface %q", ErrNotFound, name)
+}

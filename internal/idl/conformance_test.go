@@ -1,0 +1,229 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Conformance-style tests over grammar corners not covered by the main
+// parser tests.
+
+func TestAttributeMultipleDeclarators(t *testing.T) {
+	spec := MustParse("a.idl", `interface A {
+  attribute long x, y, z;
+  readonly attribute string name, title;
+};`)
+	a, _ := spec.LookupInterface("A")
+	if len(a.Attrs) != 5 {
+		t.Fatalf("attrs = %d, want 5", len(a.Attrs))
+	}
+	names := map[string]bool{}
+	for _, at := range a.Attrs {
+		names[at.DeclName()] = true
+		if at.DeclName() == "name" && !at.Readonly {
+			t.Error("name should be readonly")
+		}
+		if at.DeclName() == "y" && at.Readonly {
+			t.Error("y should be writable")
+		}
+	}
+	for _, w := range []string{"x", "y", "z", "name", "title"} {
+		if !names[w] {
+			t.Errorf("missing attribute %q", w)
+		}
+	}
+}
+
+func TestTypedefMultipleDeclarators(t *testing.T) {
+	spec := MustParse("t.idl", "typedef long A, B, C[4];")
+	var names []string
+	var cDims []uint64
+	spec.Walk(func(d Decl) bool {
+		if td, ok := d.(*TypedefDecl); ok {
+			names = append(names, td.DeclName())
+			if td.DeclName() == "C" {
+				cDims = td.Aliased.Dims
+			}
+		}
+		return true
+	})
+	if strings.Join(names, ",") != "A,B,C" {
+		t.Errorf("typedefs = %v", names)
+	}
+	if len(cDims) != 1 || cDims[0] != 4 {
+		t.Errorf("C dims = %v, want [4]", cDims)
+	}
+}
+
+func TestDeeplyNestedModules(t *testing.T) {
+	spec := MustParse("n.idl", `
+module A { module B { module C { module D {
+  interface Deep { void m(); };
+}; }; }; };`)
+	deep, err := spec.LookupInterface("A::B::C::D::Deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.RepoID() != "IDL:A/B/C/D/Deep:1.0" {
+		t.Errorf("RepoID = %q", deep.RepoID())
+	}
+}
+
+func TestAbsoluteScopedNames(t *testing.T) {
+	spec := MustParse("abs.idl", `
+const long N = 3;
+module M {
+  const long N = 5;
+  interface I {
+    void f(in long a = N);    // nearest: M::N = 5
+    void g(in long a = ::N);  // absolute: global N = 3
+  };
+};`)
+	i, _ := spec.LookupInterface("M::I")
+	if d := i.Ops[0].Params[0].Default; d.Int != 5 {
+		t.Errorf("f default = %v, want 5 (lexical nearest)", d)
+	}
+	if d := i.Ops[1].Params[0].Default; d.Int != 3 {
+		t.Errorf("g default = %v, want 3 (absolute ::N)", d)
+	}
+}
+
+func TestBooleanAndCharDiscriminatedUnions(t *testing.T) {
+	spec := MustParse("u.idl", `
+union B switch (boolean) {
+  case TRUE: long yes;
+  case FALSE: string no;
+};
+union C switch (char) {
+  case 'a': long alpha;
+  default: string other;
+};`)
+	var b, c *UnionDecl
+	spec.Walk(func(d Decl) bool {
+		if u, ok := d.(*UnionDecl); ok {
+			if u.DeclName() == "B" {
+				b = u
+			} else {
+				c = u
+			}
+		}
+		return true
+	})
+	if b.Cases[0].Labels[0].Kind != ConstBool || !b.Cases[0].Labels[0].Bool {
+		t.Errorf("B case 0 label = %v", b.Cases[0].Labels[0])
+	}
+	if c.Cases[0].Labels[0].Kind != ConstChar || c.Cases[0].Labels[0].Str != "a" {
+		t.Errorf("C case 0 label = %v", c.Cases[0].Labels[0])
+	}
+	if !c.Cases[1].IsDefault {
+		t.Error("C second case should be default")
+	}
+}
+
+func TestOperationShadowsNothingAcrossInterfaces(t *testing.T) {
+	// Same method name in sibling interfaces is fine.
+	spec := MustParse("s.idl", `
+interface A { void m(); };
+interface B { void m(); };`)
+	if n := len(spec.Interfaces()); n != 2 {
+		t.Fatalf("interfaces = %d", n)
+	}
+}
+
+func TestConstStringConcatAndEscapes(t *testing.T) {
+	spec := MustParse("c.idl", `const string S = "a\n" "b\t" "c";`)
+	cd := spec.Decls[0].(*ConstDecl)
+	if cd.Value.Str != "a\nb\tc" {
+		t.Errorf("S = %q", cd.Value.Str)
+	}
+}
+
+func TestNegativeAndHexConstants(t *testing.T) {
+	spec := MustParse("c.idl", `
+const long A = -42;
+const long B = 0x7FFF;
+const long C = -0x10;
+const double D = -2.5e2;
+`)
+	want := map[string]int64{"A": -42, "B": 0x7FFF, "C": -16}
+	spec.Walk(func(d Decl) bool {
+		if cd, ok := d.(*ConstDecl); ok {
+			if w, ok := want[cd.DeclName()]; ok && cd.Value.Int != w {
+				t.Errorf("%s = %d, want %d", cd.DeclName(), cd.Value.Int, w)
+			}
+			if cd.DeclName() == "D" && cd.Value.Flt != -250 {
+				t.Errorf("D = %v", cd.Value.Flt)
+			}
+		}
+		return true
+	})
+}
+
+func TestEnumMembersInjectedIntoScope(t *testing.T) {
+	// Enum members live in the enclosing scope, so a sibling const can
+	// reference them unqualified, and a clash is a redefinition.
+	spec := MustParse("e.idl", `
+module M {
+  enum E { One, Two };
+  const E X = Two;
+};`)
+	var x *ConstDecl
+	spec.Walk(func(d Decl) bool {
+		if cd, ok := d.(*ConstDecl); ok {
+			x = cd
+		}
+		return true
+	})
+	if x.Value.Name != "Two" {
+		t.Errorf("X = %v", x.Value)
+	}
+
+	if _, err := Parse("clash.idl", `
+module M {
+  enum E { One };
+  interface One {};
+};`); err == nil || !strings.Contains(err.Error(), "redefinition") {
+		t.Errorf("enum member clash: %v", err)
+	}
+}
+
+func TestOnewayWithParamsAndContextClause(t *testing.T) {
+	spec := MustParse("o.idl", `interface I {
+  oneway void notify(in string topic, in long level);
+  void lookup(in string name) context("user", "host");
+};`)
+	i, _ := spec.LookupInterface("I")
+	if !i.Ops[0].Oneway || len(i.Ops[0].Params) != 2 {
+		t.Error("oneway with params")
+	}
+	if len(i.Ops[1].Context) != 2 || i.Ops[1].Context[0] != "user" {
+		t.Errorf("context = %v", i.Ops[1].Context)
+	}
+}
+
+func TestInterfaceConstantsVisibleToDerived(t *testing.T) {
+	spec := MustParse("k.idl", `
+interface Base { const long LIMIT = 9; };
+interface Derived : Base {
+  void f(in long n = LIMIT);
+};`)
+	d, _ := spec.LookupInterface("Derived")
+	if v := d.Ops[0].Params[0].Default; v == nil || v.Int != 9 {
+		t.Errorf("inherited const default = %v", v)
+	}
+}
+
+func TestBoundedSequenceOfBoundedString(t *testing.T) {
+	spec := MustParse("b.idl", "typedef sequence<string<8>, 4> Names;")
+	td := spec.Decls[0].(*TypedefDecl)
+	seq := td.Aliased
+	if seq.Kind != KindSequence || seq.Bound != 4 {
+		t.Fatalf("seq = %s", seq.Name())
+	}
+	if seq.Elem.Kind != KindString || seq.Elem.Bound != 8 {
+		t.Errorf("elem = %s", seq.Elem.Name())
+	}
+	if seq.Name() != "sequence<string<8>,4>" {
+		t.Errorf("Name = %q", seq.Name())
+	}
+}

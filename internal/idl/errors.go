@@ -1,0 +1,61 @@
+package idl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Error is a diagnostic tied to a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// ErrorList accumulates diagnostics produced by the lexer, parser and
+// resolver. A nil or empty list means success.
+type ErrorList []*Error
+
+// Add appends a new diagnostic at pos.
+func (l *ErrorList) Add(pos Pos, format string, args ...any) {
+	*l = append(*l, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Error implements the error interface by joining the first few diagnostics.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		if i == 8 {
+			fmt.Fprintf(&b, "... and %d more errors", len(l)-i)
+			break
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Err returns the list as an error, or nil if it is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// ErrNotFound is returned by lookup helpers when a scoped name does not
+// resolve to any declaration.
+var ErrNotFound = errors.New("idl: name not found")

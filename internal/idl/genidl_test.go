@@ -1,0 +1,218 @@
+package idl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genIDL produces a random, always-valid IDL translation unit: declarations
+// are emitted in dependency order (declare-before-use) with unique names,
+// covering enums, structs, typedefs, constants, exceptions and interfaces
+// with inheritance, attributes, defaults and every parameter mode.
+type genIDL struct {
+	r        *rand.Rand
+	b        strings.Builder
+	names    int
+	enums    []string   // scoped enum names with their first member
+	members  [][]string // members per enum
+	structs  []string
+	ifaces   []string
+	excepts  []string
+	typedefs []string
+}
+
+func (g *genIDL) name(prefix string) string {
+	g.names++
+	return fmt.Sprintf("%s%d", prefix, g.names)
+}
+
+func (g *genIDL) primitive() string {
+	prims := []string{"long", "short", "unsigned long", "long long",
+		"float", "double", "boolean", "octet", "string", "char"}
+	return prims[g.r.Intn(len(prims))]
+}
+
+// typeRef returns a usable type spelling: a primitive or a previously
+// declared named type.
+func (g *genIDL) typeRef() string {
+	pool := []string{g.primitive()}
+	if len(g.enums) > 0 {
+		pool = append(pool, g.enums[g.r.Intn(len(g.enums))])
+	}
+	if len(g.structs) > 0 {
+		pool = append(pool, g.structs[g.r.Intn(len(g.structs))])
+	}
+	if len(g.typedefs) > 0 {
+		pool = append(pool, g.typedefs[g.r.Intn(len(g.typedefs))])
+	}
+	if len(g.ifaces) > 0 {
+		pool = append(pool, g.ifaces[g.r.Intn(len(g.ifaces))])
+	}
+	return pool[g.r.Intn(len(pool))]
+}
+
+func (g *genIDL) emitEnum() {
+	name := g.name("E")
+	n := 1 + g.r.Intn(4)
+	var ms []string
+	for i := 0; i < n; i++ {
+		ms = append(ms, g.name("M"))
+	}
+	fmt.Fprintf(&g.b, "enum %s { %s };\n", name, strings.Join(ms, ", "))
+	g.enums = append(g.enums, name)
+	g.members = append(g.members, ms)
+}
+
+func (g *genIDL) emitStruct() {
+	name := g.name("S")
+	fmt.Fprintf(&g.b, "struct %s {\n", name)
+	for i := 0; i < 1+g.r.Intn(4); i++ {
+		fmt.Fprintf(&g.b, "  %s %s;\n", g.typeRef(), g.name("f"))
+	}
+	g.b.WriteString("};\n")
+	g.structs = append(g.structs, name)
+}
+
+func (g *genIDL) emitTypedef() {
+	name := g.name("T")
+	switch g.r.Intn(3) {
+	case 0:
+		fmt.Fprintf(&g.b, "typedef sequence<%s> %s;\n", g.typeRef(), name)
+	case 1:
+		fmt.Fprintf(&g.b, "typedef sequence<%s, %d> %s;\n", g.typeRef(), 1+g.r.Intn(16), name)
+	default:
+		fmt.Fprintf(&g.b, "typedef %s %s;\n", g.primitive(), name)
+	}
+	g.typedefs = append(g.typedefs, name)
+}
+
+func (g *genIDL) emitConst() {
+	fmt.Fprintf(&g.b, "const long %s = %d;\n", g.name("K"), g.r.Intn(1000)-500)
+}
+
+func (g *genIDL) emitException() {
+	name := g.name("X")
+	fmt.Fprintf(&g.b, "exception %s { string why; };\n", name)
+	g.excepts = append(g.excepts, name)
+}
+
+func (g *genIDL) emitInterface() {
+	name := g.name("I")
+	head := "interface " + name
+	if len(g.ifaces) > 0 && g.r.Intn(2) == 0 {
+		// Inherit one or two distinct existing interfaces.
+		b1 := g.ifaces[g.r.Intn(len(g.ifaces))]
+		head += " : " + b1
+		if len(g.ifaces) > 1 && g.r.Intn(3) == 0 {
+			b2 := g.ifaces[g.r.Intn(len(g.ifaces))]
+			if b2 != b1 {
+				head += ", " + b2
+			}
+		}
+	}
+	fmt.Fprintf(&g.b, "%s {\n", head)
+	for i := 0; i < g.r.Intn(4); i++ {
+		g.emitOperation()
+	}
+	if g.r.Intn(2) == 0 {
+		qual := ""
+		if g.r.Intn(2) == 0 {
+			qual = "readonly "
+		}
+		fmt.Fprintf(&g.b, "  %sattribute %s %s;\n", qual, g.typeRef(), g.name("a"))
+	}
+	g.b.WriteString("};\n")
+	g.ifaces = append(g.ifaces, name)
+}
+
+func (g *genIDL) emitOperation() {
+	result := "void"
+	if g.r.Intn(2) == 0 {
+		result = g.typeRef()
+	}
+	oneway := ""
+	if result == "void" && g.r.Intn(4) == 0 {
+		oneway = "oneway "
+	}
+	var params []string
+	defaulted := false
+	for i := 0; i < g.r.Intn(4); i++ {
+		mode := []string{"in", "out", "inout", "incopy"}[g.r.Intn(4)]
+		if oneway != "" {
+			mode = "in"
+		}
+		typ := g.typeRef()
+		p := fmt.Sprintf("%s %s %s", mode, typ, g.name("p"))
+		// Defaults only on trailing in-params of defaultable types.
+		if mode == "in" && typ == "long" && (defaulted || g.r.Intn(3) == 0) {
+			p += fmt.Sprintf(" = %d", g.r.Intn(100))
+			defaulted = true
+		} else if defaulted {
+			// A non-defaulted param may not follow a defaulted one.
+			p = fmt.Sprintf("in long %s = %d", g.name("p"), g.r.Intn(100))
+		}
+		params = append(params, p)
+	}
+	raises := ""
+	if len(g.excepts) > 0 && oneway == "" && g.r.Intn(3) == 0 {
+		raises = fmt.Sprintf(" raises (%s)", g.excepts[g.r.Intn(len(g.excepts))])
+	}
+	fmt.Fprintf(&g.b, "  %s%s %s(%s)%s;\n", oneway, result, g.name("m"), strings.Join(params, ", "), raises)
+}
+
+// generate builds one translation unit with n declarations, optionally
+// wrapped in a module.
+func generateIDL(seed int64, n int) string {
+	g := &genIDL{r: rand.New(rand.NewSource(seed))}
+	useModule := g.r.Intn(2) == 0
+	if useModule {
+		g.b.WriteString("module Gen {\n")
+	}
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(6) {
+		case 0:
+			g.emitEnum()
+		case 1:
+			g.emitStruct()
+		case 2:
+			g.emitTypedef()
+		case 3:
+			g.emitConst()
+		case 4:
+			g.emitException()
+		default:
+			g.emitInterface()
+		}
+	}
+	if useModule {
+		g.b.WriteString("};\n")
+	}
+	return g.b.String()
+}
+
+// TestGeneratedIDLProperties: for many random-but-valid translation units,
+// (1) the parser accepts them, (2) Print∘Parse is a fixpoint, and (3) the
+// re-parsed unit keeps its interface population. (The EST script round trip
+// over arbitrary trees has its own property test in internal/est.)
+func TestGeneratedIDLProperties(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		src := generateIDL(seed, 12)
+		spec, err := Parse(fmt.Sprintf("gen%d.idl", seed), src)
+		if err != nil {
+			t.Fatalf("seed %d: generated IDL rejected: %v\n%s", seed, err, src)
+		}
+		once := Print(spec)
+		re, err := Parse(fmt.Sprintf("gen%d-re.idl", seed), once)
+		if err != nil {
+			t.Fatalf("seed %d: printed IDL rejected: %v\n--- printed ---\n%s", seed, err, once)
+		}
+		if twice := Print(re); twice != once {
+			t.Fatalf("seed %d: print not a fixpoint\n--- once ---\n%s\n--- twice ---\n%s", seed, once, twice)
+		}
+		if len(re.Interfaces()) != len(spec.Interfaces()) {
+			t.Fatalf("seed %d: interface count drifted", seed)
+		}
+	}
+}

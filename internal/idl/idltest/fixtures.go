@@ -1,0 +1,169 @@
+// Package idltest provides the IDL sources used throughout the repository's
+// tests and benchmarks, chief among them the paper's running example A.idl
+// (Fig. 3 of "Customizing IDL Mappings and ORB Protocols") and the Receiver
+// interface behind the Tcl stub/skeleton sample (Fig. 10).
+package idltest
+
+// AIDL is the running example from Fig. 3 of the paper, verbatim modulo
+// whitespace: module Heidi with a forward-declared interface S, an enum, a
+// sequence typedef, and interface A demonstrating inheritance, the incopy
+// extension, default parameters (including an enum-valued default written
+// with a scoped name), a readonly attribute and a sequence parameter.
+const AIDL = `/* File A.idl */
+module Heidi {
+  // External declaration of Heidi::S
+  interface S;
+
+  // Heidi::Status
+  enum Status {Start, Stop};
+
+  // Heidi::SSequence
+  typedef sequence<S> SSequence;
+
+  // Heidi::A
+  interface A : S
+  {
+    void f(in A a);
+    void g(incopy S s);
+    void p(in long l = 0);
+    void q(in Status s = Heidi::Start);
+    readonly attribute Status button;
+    void s(in boolean b = TRUE);
+    void t(in SSequence s);
+  };
+};
+`
+
+// SIDL completes the forward-declared Heidi::S so that full-pipeline tests
+// can generate stubs and skeletons for the entire module. The paper leaves
+// S external; one operation is enough to exercise recursive dispatch up the
+// inheritance graph (Fig. 5).
+const SIDL = `module Heidi {
+  // Heidi::S
+  interface S
+  {
+    void ping();
+  };
+};
+`
+
+// AIDLComplete is SIDL followed by AIDL in one translation unit, which is
+// how the HeidiRMI compiler would see the module after includes are
+// resolved.
+const AIDLComplete = `module Heidi {
+  interface S
+  {
+    void ping();
+  };
+
+  enum Status {Start, Stop};
+  typedef sequence<S> SSequence;
+
+  interface A : S
+  {
+    void f(in A a);
+    void g(incopy S s);
+    void p(in long l = 0);
+    void q(in Status s = Heidi::Start);
+    readonly attribute Status button;
+    void s(in boolean b = TRUE);
+    void t(in SSequence s);
+  };
+};
+`
+
+// ReceiverIDL is the interface implied by the Tcl stub/skeleton sample in
+// Fig. 10 of the paper: a single print(text) operation, no module scope
+// (the sample's repository ID is "IDL:Receiver:1.0").
+const ReceiverIDL = `interface Receiver
+{
+  void print(in string text);
+};
+`
+
+// CalcIDL exercises out and inout parameter modes, which the Go mapping
+// turns into extra return values.
+const CalcIDL = `module Calc {
+  exception DivByZero { string op; };
+
+  interface Arith {
+    long divide(in long a, in long b, out long remainder) raises (DivByZero);
+    void minmax(in long a, in long b, out long lo, out long hi);
+    string normalize(inout string s);
+    void accumulate(inout long total, in long delta);
+    double polar(in double x, in double y, out double theta);
+  };
+};
+`
+
+// NamingIDL is a CosNaming-style name service: the companion service every
+// ORB deployment pairs with its bootstrap mechanism. Bindings hold untyped
+// object references (IDL Object), which the Go mapping carries as raw
+// orb.ObjectRef values.
+const NamingIDL = `module Naming {
+  typedef sequence<string> NameSeq;
+
+  exception NotFound     { string name; };
+  exception AlreadyBound { string name; };
+
+  interface Context {
+    void bind(in string name, in Object obj) raises (AlreadyBound);
+    void rebind(in string name, in Object obj);
+    Object resolve(in string name) raises (NotFound);
+    void unbind(in string name) raises (NotFound);
+    NameSeq list();
+    readonly attribute long size;
+  };
+};
+`
+
+// MediaIDL is a control-messaging module in the style the paper's §3
+// motivates for the Heidi multimedia system: sources, sinks and a session
+// controller with status reporting. It exercises structs, enums, unions,
+// exceptions, attributes, oneway operations, raises clauses, inheritance
+// and both paper extensions.
+const MediaIDL = `module Media {
+  enum StreamState { Stopped, Playing, Paused, Failed };
+
+  struct StreamInfo {
+    string name;
+    long   bitrateKbps;
+    double frameRate;
+    boolean hasAudio;
+  };
+
+  typedef sequence<StreamInfo> StreamInfoSeq;
+
+  exception NoSuchStream { string name; };
+  exception Unavailable  { string reason; long retryAfterMs; };
+
+  union Event switch (long) {
+    case 0: string message;
+    case 1: long   position;
+    default: boolean ok;
+  };
+
+  interface Node {
+    readonly attribute string name;
+    void ping();
+  };
+
+  interface Source : Node {
+    StreamInfoSeq list();
+    void open(in string name, in long offsetMs = 0) raises (NoSuchStream);
+    oneway void prefetch(in string name);
+  };
+
+  interface Sink : Node {
+    void configure(incopy StreamInfo info, in boolean exclusive = FALSE);
+    attribute long volume;
+  };
+
+  interface Session : Source, Sink {
+    StreamState state();
+    void play(in string name, in StreamState initial = Media::Playing)
+      raises (NoSuchStream, Unavailable);
+    void stop();
+  };
+};
+`

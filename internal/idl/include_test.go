@@ -1,0 +1,215 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mapResolver resolves includes from an in-memory file set.
+func mapResolver(files map[string]string) Resolver {
+	return func(name string) (string, error) {
+		src, ok := files[name]
+		if !ok {
+			return "", fmt.Errorf("no such file")
+		}
+		return src, nil
+	}
+}
+
+// TestIncludeResolvesExternalBase reproduces the paper's Fig. 3 set-up as a
+// real multi-file compilation: A.idl includes S.idl, inherits from the now
+// fully-defined Heidi::S, and S's declarations are marked as included so
+// code generators skip them.
+func TestIncludeResolvesExternalBase(t *testing.T) {
+	files := map[string]string{
+		"S.idl": `module Heidi {
+  interface S { void ping(); };
+};`,
+	}
+	src := `#include "S.idl"
+module Heidi {
+  enum Status {Start, Stop};
+  interface A : S {
+    void q(in Status s = Heidi::Start);
+  };
+};`
+	spec, err := ParseWithIncludes("A.idl", src, mapResolver(files))
+	if err != nil {
+		t.Fatalf("ParseWithIncludes: %v", err)
+	}
+	a, err := spec.LookupInterface("Heidi::A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Bases) != 1 || a.Bases[0].Forward {
+		t.Fatalf("A's base S should be fully defined via include; bases=%v", a.BaseRefs)
+	}
+	// The inherited ping() is visible through AllOps.
+	ops := a.AllOps()
+	found := false
+	for _, op := range ops {
+		if op.DeclName() == "ping" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inherited ping() not visible through included base")
+	}
+	// Included declarations are marked; main-unit declarations are not.
+	s, _ := spec.LookupInterface("Heidi::S")
+	if !s.FromInclude() {
+		t.Error("S should be marked FromInclude")
+	}
+	if a.FromInclude() {
+		t.Error("A must not be marked FromInclude")
+	}
+}
+
+func TestIncludeGuardAndDiamond(t *testing.T) {
+	files := map[string]string{
+		"base.idl": `interface Base { void b(); };`,
+		"left.idl": `#include "base.idl"
+interface Left : Base {};`,
+		"right.idl": `#include "base.idl"
+interface Right : Base {};`,
+	}
+	src := `#include "left.idl"
+#include "right.idl"
+interface Top : Left, Right {};`
+	spec, err := ParseWithIncludes("top.idl", src, mapResolver(files))
+	if err != nil {
+		t.Fatalf("diamond include: %v", err)
+	}
+	top, err := spec.LookupInterface("Top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(top.AllBases()); got != 3 {
+		t.Errorf("AllBases = %d, want 3 (Base deduplicated)", got)
+	}
+	// base.idl parsed once: exactly one Base interface in the spec.
+	count := 0
+	for _, i := range spec.Interfaces() {
+		if i.DeclName() == "Base" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("Base declared %d times, want 1 (include guard)", count)
+	}
+}
+
+func TestIncludeCycleIsGuarded(t *testing.T) {
+	files := map[string]string{
+		"a.idl": "#include \"b.idl\"\ninterface A {};",
+		"b.idl": "#include \"a.idl\"\ninterface B {};",
+	}
+	spec, err := ParseWithIncludes("a.idl", files["a.idl"], mapResolver(files))
+	if err != nil {
+		t.Fatalf("cyclic include should be absorbed by the guard: %v", err)
+	}
+	if _, err := spec.LookupInterface("A"); err != nil {
+		t.Error("A missing")
+	}
+	if _, err := spec.LookupInterface("B"); err != nil {
+		t.Error("B missing")
+	}
+}
+
+func TestIncludeMissingFile(t *testing.T) {
+	_, err := ParseWithIncludes("x.idl", `#include "gone.idl"
+interface X {};`, mapResolver(nil))
+	if err == nil || !strings.Contains(err.Error(), `cannot include "gone.idl"`) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIncludeWithoutResolverIsRecorded(t *testing.T) {
+	spec, err := Parse("x.idl", `#include "other.idl"
+interface X {};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range spec.Directives {
+		if d.Name == "include" && d.Args[0] == "other.idl" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("include directive not recorded")
+	}
+}
+
+// TestIncludePrefixScoping: a #pragma prefix inside an included file does
+// not leak into the includer.
+func TestIncludePrefixScoping(t *testing.T) {
+	files := map[string]string{
+		"pfx.idl": `#pragma prefix "omg.org"
+interface Inc {};`,
+	}
+	src := `#include "pfx.idl"
+interface Main {};`
+	spec, err := ParseWithIncludes("m.idl", src, mapResolver(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, _ := spec.LookupInterface("Inc")
+	main, _ := spec.LookupInterface("Main")
+	if inc.RepoID() != "IDL:omg.org/Inc:1.0" {
+		t.Errorf("Inc RepoID = %q", inc.RepoID())
+	}
+	if main.RepoID() != "IDL:Main:1.0" {
+		t.Errorf("Main RepoID = %q (prefix leaked from include)", main.RepoID())
+	}
+}
+
+// TestIncludeDepthLimit: self-inclusion under rotating names exhausts the
+// depth bound rather than the stack.
+func TestIncludeDepthLimit(t *testing.T) {
+	n := 0
+	resolver := func(name string) (string, error) {
+		n++
+		return fmt.Sprintf("#include \"f%d.idl\"\ninterface I%d {};", n, n), nil
+	}
+	_, err := ParseWithIncludes("root.idl", `#include "f.idl"
+interface Root {};`, resolver)
+	if err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Errorf("err = %v, want depth-limit diagnostic", err)
+	}
+}
+
+// TestIncludeTypesUsable: types from an included file are usable in the
+// main unit (typedefs, structs, constants).
+func TestIncludeTypesUsable(t *testing.T) {
+	files := map[string]string{
+		"types.idl": `module T {
+  struct Point { long x, y; };
+  typedef sequence<Point> Points;
+  const long MAX = 7;
+  enum Color { Red, Green };
+};`,
+	}
+	src := `#include "types.idl"
+module App {
+  interface Painter {
+    void draw(in T::Points ps, in long n = T::MAX, in T::Color c = T::Red);
+  };
+};`
+	spec, err := ParseWithIncludes("app.idl", src, mapResolver(files))
+	if err != nil {
+		t.Fatalf("ParseWithIncludes: %v", err)
+	}
+	painter, err := spec.LookupInterface("App::Painter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := painter.Ops[0]
+	if draw.Params[1].Default.Int != 7 {
+		t.Errorf("default n = %v, want included constant 7", draw.Params[1].Default)
+	}
+	if draw.Params[2].Default.Name != "Red" {
+		t.Errorf("default c = %v", draw.Params[2].Default)
+	}
+}

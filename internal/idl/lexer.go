@@ -1,0 +1,456 @@
+package idl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer converts IDL source text into a token stream. It recognises the
+// complete token set in token.go, skips //- and /* */-style comments, and
+// surfaces preprocessor lines (#pragma, #include) as structured directives
+// via the Pragmas field rather than tokens, matching how classic IDL
+// compilers treat a pre-processed translation unit.
+type Lexer struct {
+	src    string
+	file   string
+	off    int // byte offset of next rune
+	line   int
+	col    int
+	errs   *ErrorList
+	direct []Directive // collected preprocessor directives, in order
+}
+
+// Directive is a preprocessor line encountered during lexing, e.g.
+// "#pragma prefix \"ccrl.nj.nec.com\"" or "#include <orb.idl>".
+type Directive struct {
+	Pos  Pos
+	Name string   // "pragma" or "include"
+	Args []string // tokenized remainder, quotes stripped
+}
+
+// NewLexer returns a lexer over src. The file name is used only for
+// positions in diagnostics. Diagnostics are appended to errs, which must be
+// non-nil.
+func NewLexer(file, src string, errs *ErrorList) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1, errs: errs}
+}
+
+// Directives returns the preprocessor directives seen so far, in source
+// order. It is typically called after the token stream is exhausted.
+func (lx *Lexer) Directives() []Directive { return lx.direct }
+
+func (lx *Lexer) pos() Pos {
+	return Pos{File: lx.file, Line: lx.line, Column: lx.col}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+func (lx *Lexer) peek2() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	_, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	if lx.off+w >= len(lx.src) {
+		return -1
+	}
+	r2, _ := utf8.DecodeRuneInString(lx.src[lx.off+w:])
+	return r2
+}
+
+func (lx *Lexer) next() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+func isHexDigit(r rune) bool {
+	return isDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+// skipSpaceAndComments advances past whitespace, comments and preprocessor
+// lines, collecting directives.
+func (lx *Lexer) skipSpaceAndComments() {
+	for {
+		r := lx.peek()
+		switch {
+		case r == -1:
+			return
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n' || r == '\f' || r == '\v':
+			lx.next()
+		case r == '/' && lx.peek2() == '/':
+			for lx.peek() != -1 && lx.peek() != '\n' {
+				lx.next()
+			}
+		case r == '/' && lx.peek2() == '*':
+			pos := lx.pos()
+			lx.next()
+			lx.next()
+			closed := false
+			for lx.peek() != -1 {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.next()
+					lx.next()
+					closed = true
+					break
+				}
+				lx.next()
+			}
+			if !closed {
+				lx.errs.Add(pos, "unterminated block comment")
+			}
+		case r == '#' && lx.col == 1:
+			lx.lexDirective()
+		default:
+			return
+		}
+	}
+}
+
+// lexDirective consumes a full preprocessor line starting at '#'.
+func (lx *Lexer) lexDirective() {
+	pos := lx.pos()
+	lx.next() // '#'
+	start := lx.off
+	for lx.peek() != -1 && lx.peek() != '\n' {
+		lx.next()
+	}
+	line := strings.TrimSpace(lx.src[start:lx.off])
+	if line == "" {
+		return
+	}
+	fields := splitDirective(line)
+	if len(fields) == 0 {
+		return
+	}
+	d := Directive{Pos: pos, Name: fields[0], Args: fields[1:]}
+	switch d.Name {
+	case "pragma", "include":
+		lx.direct = append(lx.direct, d)
+	default:
+		// Other preprocessor lines (#if, #define, line markers) are
+		// ignored: the front-end expects pre-processed input.
+	}
+}
+
+// splitDirective tokenizes a directive line on whitespace, treating quoted
+// and angle-bracketed segments as single fields with delimiters stripped.
+func splitDirective(line string) []string {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		switch line[i] {
+		case '"':
+			j := strings.IndexByte(line[i+1:], '"')
+			if j < 0 {
+				out = append(out, line[i+1:])
+				return out
+			}
+			out = append(out, line[i+1:i+1+j])
+			i += j + 2
+		case '<':
+			j := strings.IndexByte(line[i+1:], '>')
+			if j < 0 {
+				out = append(out, line[i+1:])
+				return out
+			}
+			out = append(out, line[i+1:i+1+j])
+			i += j + 2
+		default:
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	return out
+}
+
+// Next returns the next token. At end of input it returns a TokEOF token;
+// calling Next after EOF keeps returning EOF.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	r := lx.peek()
+	switch {
+	case r == -1:
+		return Token{Kind: TokEOF, Pos: pos}
+	case isIdentStart(r):
+		return lx.lexIdent(pos)
+	case isDigit(r):
+		return lx.lexNumber(pos)
+	case r == '.' && isDigit(lx.peek2()):
+		return lx.lexNumber(pos)
+	case r == '\'':
+		return lx.lexChar(pos)
+	case r == '"':
+		return lx.lexString(pos)
+	}
+	lx.next()
+	switch r {
+	case ';':
+		return Token{Kind: TokSemi, Text: ";", Pos: pos}
+	case '{':
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}
+	case '}':
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}
+	case '[':
+		return Token{Kind: TokLBracket, Text: "[", Pos: pos}
+	case ']':
+		return Token{Kind: TokRBracket, Text: "]", Pos: pos}
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}
+	case '=':
+		return Token{Kind: TokEquals, Text: "=", Pos: pos}
+	case '+':
+		return Token{Kind: TokPlus, Text: "+", Pos: pos}
+	case '-':
+		return Token{Kind: TokMinus, Text: "-", Pos: pos}
+	case '*':
+		return Token{Kind: TokStar, Text: "*", Pos: pos}
+	case '/':
+		return Token{Kind: TokSlash, Text: "/", Pos: pos}
+	case '%':
+		return Token{Kind: TokPercent, Text: "%", Pos: pos}
+	case '|':
+		return Token{Kind: TokPipe, Text: "|", Pos: pos}
+	case '^':
+		return Token{Kind: TokCaret, Text: "^", Pos: pos}
+	case '&':
+		return Token{Kind: TokAmp, Text: "&", Pos: pos}
+	case '~':
+		return Token{Kind: TokTilde, Text: "~", Pos: pos}
+	case ':':
+		if lx.peek() == ':' {
+			lx.next()
+			return Token{Kind: TokScope, Text: "::", Pos: pos}
+		}
+		return Token{Kind: TokColon, Text: ":", Pos: pos}
+	case '<':
+		if lx.peek() == '<' {
+			lx.next()
+			return Token{Kind: TokShiftLeft, Text: "<<", Pos: pos}
+		}
+		return Token{Kind: TokLAngle, Text: "<", Pos: pos}
+	case '>':
+		if lx.peek() == '>' {
+			lx.next()
+			return Token{Kind: TokShiftRight, Text: ">>", Pos: pos}
+		}
+		return Token{Kind: TokRAngle, Text: ">", Pos: pos}
+	}
+	lx.errs.Add(pos, "unexpected character %q", r)
+	return lx.Next()
+}
+
+func (lx *Lexer) lexIdent(pos Pos) Token {
+	start := lx.off
+	for isIdentPart(lx.peek()) {
+		lx.next()
+	}
+	text := lx.src[start:lx.off]
+	if kind, ok := keywords[text]; ok {
+		return Token{Kind: kind, Text: text, Pos: pos}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) lexNumber(pos Pos) Token {
+	start := lx.off
+	isFloat := false
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.next()
+		lx.next()
+		for isHexDigit(lx.peek()) {
+			lx.next()
+		}
+		return Token{Kind: TokIntLit, Text: lx.src[start:lx.off], Pos: pos}
+	}
+	for isDigit(lx.peek()) {
+		lx.next()
+	}
+	if lx.peek() == '.' {
+		isFloat = true
+		lx.next()
+		for isDigit(lx.peek()) {
+			lx.next()
+		}
+	}
+	if r := lx.peek(); r == 'e' || r == 'E' {
+		save := lx.off
+		lx.next()
+		if r := lx.peek(); r == '+' || r == '-' {
+			lx.next()
+		}
+		if isDigit(lx.peek()) {
+			isFloat = true
+			for isDigit(lx.peek()) {
+				lx.next()
+			}
+		} else {
+			// Not an exponent after all; restore (cannot happen in
+			// valid IDL, but keep the lexer total).
+			lx.off = save
+		}
+	}
+	if r := lx.peek(); r == 'd' || r == 'D' {
+		// Fixed-point suffix; treat as float.
+		isFloat = true
+		lx.next()
+	}
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: lx.src[start:lx.off], Pos: pos}
+}
+
+func (lx *Lexer) lexChar(pos Pos) Token {
+	lx.next() // opening quote
+	var b strings.Builder
+	for {
+		r := lx.peek()
+		if r == -1 || r == '\n' {
+			lx.errs.Add(pos, "unterminated character literal")
+			break
+		}
+		lx.next()
+		if r == '\'' {
+			break
+		}
+		if r == '\\' {
+			b.WriteRune(lx.unescape(pos))
+			continue
+		}
+		b.WriteRune(r)
+	}
+	text := b.String()
+	if n := utf8.RuneCountInString(text); n != 1 {
+		lx.errs.Add(pos, "character literal must contain exactly one character, got %d", n)
+	}
+	return Token{Kind: TokCharLit, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) lexString(pos Pos) Token {
+	lx.next() // opening quote
+	var b strings.Builder
+	for {
+		r := lx.peek()
+		if r == -1 || r == '\n' {
+			lx.errs.Add(pos, "unterminated string literal")
+			break
+		}
+		lx.next()
+		if r == '"' {
+			break
+		}
+		if r == '\\' {
+			b.WriteRune(lx.unescape(pos))
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return Token{Kind: TokStringLit, Text: b.String(), Pos: pos}
+}
+
+// unescape interprets the character following a backslash.
+func (lx *Lexer) unescape(pos Pos) rune {
+	r := lx.next()
+	switch r {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case 'v':
+		return '\v'
+	case 'f':
+		return '\f'
+	case 'b':
+		return '\b'
+	case 'a':
+		return 7
+	case '0':
+		return 0
+	case '\\', '\'', '"', '?':
+		return r
+	case 'x':
+		var v rune
+		for i := 0; i < 2 && isHexDigit(lx.peek()); i++ {
+			d := lx.next()
+			v = v*16 + hexVal(d)
+		}
+		return v
+	case -1:
+		lx.errs.Add(pos, "unterminated escape sequence")
+		return 0
+	default:
+		lx.errs.Add(pos, "unknown escape sequence \\%c", r)
+		return r
+	}
+}
+
+func hexVal(r rune) rune {
+	switch {
+	case r >= '0' && r <= '9':
+		return r - '0'
+	case r >= 'a' && r <= 'f':
+		return r - 'a' + 10
+	default:
+		return r - 'A' + 10
+	}
+}
+
+// Tokenize runs the lexer to completion and returns all tokens (excluding
+// the trailing EOF). It is a convenience for tests and tooling.
+func Tokenize(file, src string) ([]Token, []Directive, error) {
+	var errs ErrorList
+	lx := NewLexer(file, src, &errs)
+	var toks []Token
+	for {
+		t := lx.Next()
+		if t.Kind == TokEOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	return toks, lx.Directives(), errs.Err()
+}

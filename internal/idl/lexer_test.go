@@ -1,0 +1,291 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexerPunctuation(t *testing.T) {
+	toks, _, err := Tokenize("t.idl", "; { } ( ) [ ] < > , : :: = + - * / % | ^ & ~ << >>")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{
+		TokSemi, TokLBrace, TokRBrace, TokLParen, TokRParen,
+		TokLBracket, TokRBracket, TokLAngle, TokRAngle, TokComma,
+		TokColon, TokScope, TokEquals, TokPlus, TokMinus, TokStar,
+		TokSlash, TokPercent, TokPipe, TokCaret, TokAmp, TokTilde,
+		TokShiftLeft, TokShiftRight,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexerKeywordsAndIdents(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind TokenKind
+	}{
+		{"module", TokModule},
+		{"interface", TokInterface},
+		{"incopy", TokIncopy},
+		{"oneway", TokOneway},
+		{"readonly", TokReadonly},
+		{"unsigned", TokUnsigned},
+		{"TRUE", TokTrue},
+		{"FALSE", TokFalse},
+		{"Object", TokObject},
+		{"Module", TokIdent},    // keywords are case-sensitive
+		{"INTERFACE", TokIdent}, // keywords are case-sensitive
+		{"_leading", TokIdent},
+		{"x123", TokIdent},
+	}
+	for _, tt := range tests {
+		toks, _, err := Tokenize("t.idl", tt.src)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", tt.src, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != tt.kind {
+			t.Errorf("Tokenize(%q) = %v, want single %s", tt.src, toks, tt.kind)
+		}
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind TokenKind
+		text string
+	}{
+		{"0", TokIntLit, "0"},
+		{"1234", TokIntLit, "1234"},
+		{"0x1F", TokIntLit, "0x1F"},
+		{"0755", TokIntLit, "0755"},
+		{"1.5", TokFloatLit, "1.5"},
+		{"1.", TokFloatLit, "1."},
+		{".5", TokFloatLit, ".5"},
+		{"1e10", TokFloatLit, "1e10"},
+		{"2.5e-3", TokFloatLit, "2.5e-3"},
+		{"3d", TokFloatLit, "3d"},
+	}
+	for _, tt := range tests {
+		toks, _, err := Tokenize("t.idl", tt.src)
+		if err != nil {
+			t.Fatalf("Tokenize(%q): %v", tt.src, err)
+		}
+		if len(toks) != 1 {
+			t.Fatalf("Tokenize(%q): got %d tokens %v, want 1", tt.src, len(toks), toks)
+		}
+		if toks[0].Kind != tt.kind || toks[0].Text != tt.text {
+			t.Errorf("Tokenize(%q) = %s %q, want %s %q", tt.src, toks[0].Kind, toks[0].Text, tt.kind, tt.text)
+		}
+	}
+}
+
+func TestLexerStringsAndChars(t *testing.T) {
+	toks, _, err := Tokenize("t.idl", `"hello" "a\nb" 'x' '\t' "tab\there"`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokStringLit, "hello"},
+		{TokStringLit, "a\nb"},
+		{TokCharLit, "x"},
+		{TokCharLit, "\t"},
+		{TokStringLit, "tab\there"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d: got %s %q, want %s %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	src := `
+// line comment with keywords: module interface
+long /* block
+spanning lines */ x;
+`
+	toks, _, err := Tokenize("t.idl", src)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{TokLong, TokIdent, TokSemi}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexerUnterminatedComment(t *testing.T) {
+	_, _, err := Tokenize("t.idl", "/* never closed")
+	if err == nil {
+		t.Fatal("expected error for unterminated block comment")
+	}
+	if !strings.Contains(err.Error(), "unterminated block comment") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestLexerUnterminatedString(t *testing.T) {
+	_, _, err := Tokenize("t.idl", `"abc`)
+	if err == nil {
+		t.Fatal("expected error for unterminated string literal")
+	}
+}
+
+func TestLexerDirectives(t *testing.T) {
+	src := `#pragma prefix "ccrl.nj.nec.com"
+#include <orb.idl>
+#include "local.idl"
+interface A;
+`
+	toks, dirs, err := Tokenize("t.idl", src)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if len(toks) != 3 { // interface A ;
+		t.Fatalf("got %d tokens, want 3: %v", len(toks), toks)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives, want 3: %v", len(dirs), dirs)
+	}
+	if dirs[0].Name != "pragma" || dirs[0].Args[0] != "prefix" || dirs[0].Args[1] != "ccrl.nj.nec.com" {
+		t.Errorf("directive 0 = %+v", dirs[0])
+	}
+	if dirs[1].Name != "include" || dirs[1].Args[0] != "orb.idl" {
+		t.Errorf("directive 1 = %+v", dirs[1])
+	}
+	if dirs[2].Name != "include" || dirs[2].Args[0] != "local.idl" {
+		t.Errorf("directive 2 = %+v", dirs[2])
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	src := "module\n  X {\n}"
+	toks, _, err := Tokenize("pos.idl", src)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	wantPos := []Pos{
+		{File: "pos.idl", Line: 1, Column: 1},
+		{File: "pos.idl", Line: 2, Column: 3},
+		{File: "pos.idl", Line: 2, Column: 5},
+		{File: "pos.idl", Line: 3, Column: 1},
+	}
+	for i, w := range wantPos {
+		if toks[i].Pos != w {
+			t.Errorf("token %d (%s): pos = %v, want %v", i, toks[i], toks[i].Pos, w)
+		}
+	}
+}
+
+// TestLexerIdentRoundTrip property: any generated identifier-shaped string
+// lexes back to a single TokIdent (or keyword) with identical text.
+func TestLexerIdentRoundTrip(t *testing.T) {
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+	const alnum = alpha + "0123456789"
+	f := func(seed uint64, n uint8) bool {
+		length := int(n%24) + 1
+		var b strings.Builder
+		s := seed
+		for i := 0; i < length; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			if i == 0 {
+				b.WriteByte(alpha[s%uint64(len(alpha))])
+			} else {
+				b.WriteByte(alnum[s%uint64(len(alnum))])
+			}
+		}
+		text := b.String()
+		toks, _, err := Tokenize("q.idl", text)
+		if err != nil || len(toks) != 1 {
+			return false
+		}
+		return toks[0].Text == text
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerStringRoundTrip property: printable strings survive
+// quote-escape-lex round trips.
+func TestLexerStringRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		var b strings.Builder
+		for _, c := range raw {
+			if c < 0x20 || c > 0x7e {
+				c = 'a' + c%26
+			}
+			switch c {
+			case '"', '\\':
+				b.WriteByte('\\')
+			}
+			b.WriteByte(c)
+		}
+		want := strings.Map(func(r rune) rune { return r }, b.String())
+		// Build the unescaped expectation.
+		var exp strings.Builder
+		esc := false
+		for _, r := range want {
+			if !esc && r == '\\' {
+				esc = true
+				continue
+			}
+			esc = false
+			exp.WriteRune(r)
+		}
+		toks, _, err := Tokenize("q.idl", `"`+b.String()+`"`)
+		if err != nil || len(toks) != 1 || toks[0].Kind != TokStringLit {
+			return false
+		}
+		return toks[0].Text == exp.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLexer(b *testing.B) {
+	src := strings.Repeat("interface Foo { void method_with_a_long_name(in long a, in string b); };\n", 50)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var errs ErrorList
+		lx := NewLexer("bench.idl", src, &errs)
+		for {
+			if lx.Next().Kind == TokEOF {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,1454 @@
+package idl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// symbol is an entry in a lexical scope: either a Decl or an enum member
+// (IDL injects enum member names into the enclosing scope).
+type symbol struct {
+	decl Decl
+	enum *EnumDecl // non-nil for enum members
+	name string    // member name when enum != nil
+}
+
+// scope is one level of the lexical scope stack.
+type scope struct {
+	parent  *scope
+	owner   Decl // Module or InterfaceDecl that opened the scope; nil at file scope
+	name    string
+	entries map[string]*symbol
+}
+
+func newScope(parent *scope, owner Decl, name string) *scope {
+	return &scope{parent: parent, owner: owner, name: name, entries: make(map[string]*symbol)}
+}
+
+// path returns the "::"-separated scope path ("Heidi::A"); empty at file
+// scope.
+func (s *scope) path() string {
+	var parts []string
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.name != "" {
+			parts = append(parts, cur.name)
+		}
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "::")
+}
+
+// Resolver supplies the source text of an #include'd file. It receives the
+// name as written between quotes or angle brackets.
+type Resolver func(name string) (string, error)
+
+// lexFrame is a suspended lexer: pushed when an #include switches the token
+// stream to the included file, popped (restoring the pending token and the
+// includer's #pragma prefix) when the included file is exhausted.
+type lexFrame struct {
+	lx      *Lexer
+	dirIdx  int
+	prefix  string
+	pending Token
+}
+
+// Parser is a recursive-descent parser for the IDL grammar described in the
+// package documentation. Use Parse or ParseWithIncludes rather than
+// constructing a Parser directly.
+type Parser struct {
+	lx   *Lexer
+	tok  Token
+	errs ErrorList
+
+	root    *scope
+	cur     *scope
+	prefix  string // active #pragma prefix
+	dirIdx  int    // directives already processed
+	spec    *Spec
+	pragmas []Directive // pragma ID / version fixups, applied post-parse
+
+	resolver Resolver
+	frames   []lexFrame      // suspended includers
+	included map[string]bool // include guard (by name as written)
+	allDirs  []Directive     // directives accumulated across all files
+
+	// pendingDecls queues trailing declarators of multi-declarator forms
+	// ("typedef long A, B;") for the enclosing definition loop.
+	pendingDecls []Decl
+
+	// declScopes records the scope owned by each module/interface so that
+	// qualified lookup and module reopening share one symbol table.
+	declScopes map[Decl]*scope
+}
+
+// maxIncludeDepth bounds #include nesting to catch cycles the include
+// guard misses (e.g. self-include under different spellings).
+const maxIncludeDepth = 32
+
+// Parse parses IDL source text and resolves all names. The file argument is
+// used for positions only. #include directives are recorded but not
+// followed; use ParseWithIncludes for multi-file compilation. On any
+// diagnostic the returned error is an ErrorList; the partially-built Spec
+// is still returned for tooling that wants best-effort results.
+func Parse(file, src string) (*Spec, error) {
+	return ParseWithIncludes(file, src, nil)
+}
+
+// ParseWithIncludes parses a translation unit, following #include
+// directives through the resolver (a nil resolver records includes without
+// following them). Each file is included at most once. Declarations from
+// included files are resolvable and carry FromInclude() == true, so code
+// generators emit the main unit only — the paper's "external declaration of
+// Heidi::S" scenario (Fig. 3).
+func ParseWithIncludes(file, src string, resolver Resolver) (*Spec, error) {
+	p := &Parser{resolver: resolver, included: map[string]bool{file: true}}
+	p.lx = NewLexer(file, src, &p.errs)
+	p.root = newScope(nil, nil, "")
+	p.cur = p.root
+	p.spec = &Spec{File: file}
+	p.advance()
+	for p.tok.Kind != TokEOF {
+		d := p.parseDefinition()
+		if d != nil {
+			p.spec.Decls = append(p.spec.Decls, d)
+		}
+		p.spec.Decls = append(p.spec.Decls, p.drainPending()...)
+	}
+	p.spec.Directives = p.allDirs
+	p.spec.Prefix = p.prefix
+	p.applyPragmaOverrides()
+	p.checkForwardsDefined()
+	return p.spec, p.errs.Err()
+}
+
+// MustParse is a test/tooling helper that panics on parse errors.
+func MustParse(file, src string) *Spec {
+	s, err := Parse(file, src)
+	if err != nil {
+		panic(fmt.Sprintf("idl.MustParse(%s): %v", file, err))
+	}
+	return s
+}
+
+// advance fetches the next token, folding in preprocessor directives and
+// transparently crossing #include boundaries: when the current file is
+// exhausted, suspended includers resume with the token that was pending
+// when the include switched streams.
+func (p *Parser) advance() {
+	p.tok = p.lx.Next()
+	p.processDirectives()
+	for p.tok.Kind == TokEOF && len(p.frames) > 0 {
+		p.popFrame()
+	}
+}
+
+// processDirectives handles all directives the current lexer has produced
+// so far: #pragma updates parser state; #include (with a resolver) suspends
+// the current lexer and switches to the included file.
+func (p *Parser) processDirectives() {
+	for {
+		dirs := p.lx.Directives()
+		if p.dirIdx >= len(dirs) {
+			return
+		}
+		d := dirs[p.dirIdx]
+		p.dirIdx++
+		p.allDirs = append(p.allDirs, d)
+		switch d.Name {
+		case "pragma":
+			if len(d.Args) == 0 {
+				continue
+			}
+			switch d.Args[0] {
+			case "prefix":
+				if len(d.Args) >= 2 {
+					p.prefix = d.Args[1]
+				} else {
+					p.errs.Add(d.Pos, "#pragma prefix requires a string argument")
+				}
+			case "ID", "version":
+				p.pragmas = append(p.pragmas, d)
+			}
+		case "include":
+			if p.resolver == nil || len(d.Args) == 0 {
+				continue
+			}
+			name := d.Args[0]
+			if p.included[name] {
+				continue // include guard: each file at most once
+			}
+			p.included[name] = true
+			if len(p.frames) >= maxIncludeDepth {
+				p.errs.Add(d.Pos, "#include nesting exceeds %d (cycle?)", maxIncludeDepth)
+				continue
+			}
+			src, err := p.resolver(name)
+			if err != nil {
+				p.errs.Add(d.Pos, "cannot include %q: %v", name, err)
+				continue
+			}
+			// Suspend this lexer (the already-fetched token resumes
+			// when the included file ends) and switch streams. The
+			// included file starts with a fresh #pragma prefix, per
+			// the CORBA rule that a prefix is lexically scoped to
+			// its file.
+			p.frames = append(p.frames, lexFrame{
+				lx: p.lx, dirIdx: p.dirIdx, prefix: p.prefix, pending: p.tok,
+			})
+			p.lx = NewLexer(name, src, &p.errs)
+			p.dirIdx = 0
+			p.prefix = ""
+			p.tok = p.lx.Next()
+			// Continue with the included file's own directives.
+		}
+	}
+}
+
+// popFrame resumes a suspended includer.
+func (p *Parser) popFrame() {
+	f := p.frames[len(p.frames)-1]
+	p.frames = p.frames[:len(p.frames)-1]
+	p.lx, p.dirIdx, p.prefix = f.lx, f.dirIdx, f.prefix
+	p.tok = f.pending
+	p.processDirectives()
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) {
+	p.errs.Add(pos, format, args...)
+}
+
+// expect consumes a token of the given kind, emitting a diagnostic and
+// leaving the token in place otherwise.
+func (p *Parser) expect(kind TokenKind) Token {
+	t := p.tok
+	if t.Kind != kind {
+		p.errorf(t.Pos, "expected %s, found %s", kind, t)
+		return t
+	}
+	p.advance()
+	return t
+}
+
+// accept consumes the token if it has the given kind.
+func (p *Parser) accept(kind TokenKind) bool {
+	if p.tok.Kind == kind {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// sync skips tokens until after the next ';' or before a '}' to recover
+// from a parse error.
+func (p *Parser) sync() {
+	depth := 0
+	for p.tok.Kind != TokEOF {
+		switch p.tok.Kind {
+		case TokSemi:
+			if depth == 0 {
+				p.advance()
+				return
+			}
+		case TokLBrace:
+			depth++
+		case TokRBrace:
+			if depth == 0 {
+				return
+			}
+			depth--
+		}
+		p.advance()
+	}
+}
+
+// declare registers a declaration in the current scope and fills in its
+// scoped name and repository ID.
+func (p *Parser) declare(d Decl, base *declBase) {
+	name := base.Name
+	if prev, ok := p.cur.entries[name]; ok {
+		// Redefinition is an error except completing a forward
+		// interface declaration, handled by the caller.
+		if fw, isIface := prev.decl.(*InterfaceDecl); !isIface || !fw.Forward {
+			where := "an enum member"
+			if prev.decl != nil {
+				where = prev.decl.DeclPos().String()
+			}
+			p.errorf(base.Pos, "redefinition of %q (previous at %s)", name, where)
+			return
+		}
+	}
+	p.cur.entries[name] = &symbol{decl: d}
+	if sp := p.cur.path(); sp != "" {
+		base.Scoped = sp + "::" + name
+	} else {
+		base.Scoped = name
+	}
+	base.ID = p.repoID(base.Scoped)
+	base.Included = len(p.frames) > 0
+}
+
+// repoID computes the OMG repository ID for a scoped name under the active
+// prefix: "IDL:Heidi/A:1.0".
+func (p *Parser) repoID(scoped string) string {
+	path := strings.ReplaceAll(scoped, "::", "/")
+	if p.prefix != "" {
+		path = p.prefix + "/" + path
+	}
+	return "IDL:" + path + ":1.0"
+}
+
+// lookup resolves a possibly-qualified reference against the scope stack.
+func (p *Parser) lookup(ref ScopedRef) *symbol {
+	if len(ref.Parts) == 0 {
+		return nil
+	}
+	start := p.cur
+	if ref.Absolute {
+		start = p.root
+	}
+	// Find the first component by walking up the scope stack (or only the
+	// root for absolute names).
+	var sym *symbol
+	var symScope *scope
+	for s := start; s != nil; s = s.parent {
+		if e, ok := s.entries[ref.Parts[0]]; ok {
+			sym, symScope = e, s
+			break
+		}
+		if iface, ok := s.owner.(*InterfaceDecl); ok {
+			// Names inherited from base interfaces are visible.
+			if e := p.lookupInherited(iface, ref.Parts[0]); e != nil {
+				sym, symScope = e, s
+				break
+			}
+		}
+		if ref.Absolute {
+			break
+		}
+	}
+	_ = symScope
+	if sym == nil {
+		return nil
+	}
+	// Descend through the remaining components.
+	for _, part := range ref.Parts[1:] {
+		d := sym.decl
+		if d == nil {
+			return nil
+		}
+		var inner *symbol
+		switch n := d.(type) {
+		case *Module:
+			inner = lookupIn(p.scopeFor(n), part)
+		case *InterfaceDecl:
+			inner = lookupIn(p.scopeFor(n), part)
+			if inner == nil {
+				inner = p.lookupInherited(n, part)
+			}
+		default:
+			return nil
+		}
+		if inner == nil {
+			return nil
+		}
+		sym = inner
+	}
+	return sym
+}
+
+// scopeFor returns the scope owned by a module or interface. Scopes are
+// recorded when the declaration's body is parsed.
+func (p *Parser) scopeFor(d Decl) *scope {
+	if p.declScopes == nil {
+		return nil
+	}
+	return p.declScopes[d]
+}
+
+func lookupIn(s *scope, name string) *symbol {
+	if s == nil {
+		return nil
+	}
+	return s.entries[name]
+}
+
+// lookupInherited searches the bases of iface for a member name. Searching
+// the base's recorded scope covers operations, attributes, nested types and
+// injected enum member names in one place.
+func (p *Parser) lookupInherited(iface *InterfaceDecl, name string) *symbol {
+	for _, b := range iface.AllBases() {
+		if e := lookupIn(p.scopeFor(b), name); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// parseDefinition parses one top-level or module-level definition.
+func (p *Parser) parseDefinition() Decl {
+	switch p.tok.Kind {
+	case TokModule:
+		return p.parseModule()
+	case TokInterface:
+		return p.parseInterface()
+	case TokTypedef:
+		return p.parseTypedef()
+	case TokStruct:
+		d := p.parseStruct()
+		p.expect(TokSemi)
+		return d
+	case TokUnion:
+		d := p.parseUnion()
+		p.expect(TokSemi)
+		return d
+	case TokEnum:
+		d := p.parseEnum()
+		p.expect(TokSemi)
+		return d
+	case TokConst:
+		return p.parseConst()
+	case TokException:
+		return p.parseException()
+	case TokSemi:
+		p.advance()
+		return nil
+	default:
+		p.errorf(p.tok.Pos, "expected definition, found %s", p.tok)
+		before := p.tok.Pos
+		p.sync()
+		// sync stops in front of a '}' so enclosing bodies can resync to
+		// their closing brace; at file scope that would spin, so force
+		// progress when nothing was consumed.
+		if p.tok.Pos == before && p.tok.Kind != TokEOF {
+			p.advance()
+		}
+		return nil
+	}
+}
+
+func (p *Parser) parseModule() Decl {
+	pos := p.tok.Pos
+	p.expect(TokModule)
+	name := p.expect(TokIdent)
+
+	var mod *Module
+	if prev, ok := p.cur.entries[name.Text]; ok {
+		if m, ok := prev.decl.(*Module); ok {
+			mod = m // module reopening
+			if len(p.frames) == 0 {
+				// Reopened in the main unit: the module itself is
+				// no longer include-only (its members keep their
+				// own per-file marks).
+				mod.Included = false
+			}
+		}
+	}
+	created := false
+	if mod == nil {
+		mod = &Module{declBase: declBase{Name: name.Text, Pos: pos}}
+		p.declare(mod, &mod.declBase)
+		created = true
+	}
+	p.expect(TokLBrace)
+	p.pushScope(mod, name.Text)
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		d := p.parseDefinition()
+		if d != nil {
+			mod.Decls = append(mod.Decls, d)
+		}
+		mod.Decls = append(mod.Decls, p.drainPending()...)
+	}
+	p.popScope()
+	p.expect(TokRBrace)
+	p.expect(TokSemi)
+	if !created {
+		return nil // reopened module already appears in spec decls
+	}
+	return mod
+}
+
+// pushScope enters a new (or previously recorded) scope for d.
+func (p *Parser) pushScope(d Decl, name string) {
+	if p.declScopes == nil {
+		p.declScopes = make(map[Decl]*scope)
+	}
+	if s, ok := p.declScopes[d]; ok {
+		// Module reopening: the recorded scope's parent is unchanged.
+		p.cur = s
+		return
+	}
+	s := newScope(p.cur, d, name)
+	p.declScopes[d] = s
+	p.cur = s
+}
+
+func (p *Parser) popScope() {
+	if p.cur.parent != nil {
+		p.cur = p.cur.parent
+	}
+}
+
+func (p *Parser) parseInterface() Decl {
+	pos := p.tok.Pos
+	p.expect(TokInterface)
+	name := p.expect(TokIdent)
+
+	// Forward declaration?
+	if p.tok.Kind == TokSemi {
+		p.advance()
+		if prev, ok := p.cur.entries[name.Text]; ok {
+			if _, isIface := prev.decl.(*InterfaceDecl); isIface {
+				return nil // repeat forward declaration is harmless
+			}
+		}
+		fw := &InterfaceDecl{declBase: declBase{Name: name.Text, Pos: pos}, Forward: true}
+		p.declare(fw, &fw.declBase)
+		return fw
+	}
+
+	var iface *InterfaceDecl
+	if prev, ok := p.cur.entries[name.Text]; ok {
+		if f, isIface := prev.decl.(*InterfaceDecl); isIface && f.Forward {
+			// Complete the forward declaration in place so earlier
+			// references resolve to the full definition. Whether the
+			// interface counts as included follows the completion
+			// site, not the forward declaration.
+			iface = f
+			iface.Forward = false
+			iface.Pos = pos
+			iface.Included = len(p.frames) > 0
+		}
+	}
+	if iface == nil {
+		iface = &InterfaceDecl{declBase: declBase{Name: name.Text, Pos: pos}}
+		p.declare(iface, &iface.declBase)
+	}
+
+	if p.accept(TokColon) {
+		for {
+			ref := p.parseScopedRef()
+			iface.BaseRefs = append(iface.BaseRefs, ref)
+			if sym := p.lookup(ref); sym != nil {
+				if b, ok := sym.decl.(*InterfaceDecl); ok {
+					// A forward-declared base is permitted: the
+					// paper's Fig. 3 inherits from an "external
+					// declaration" of Heidi::S whose body lives
+					// in another translation unit.
+					if b == iface {
+						p.errorf(ref.Pos, "interface %s inherits from itself", name.Text)
+					} else {
+						iface.Bases = append(iface.Bases, b)
+					}
+				} else {
+					p.errorf(ref.Pos, "%s is not an interface", ref)
+				}
+			} else {
+				p.errorf(ref.Pos, "undefined base interface %s", ref)
+			}
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+
+	p.expect(TokLBrace)
+	p.pushScope(iface, name.Text)
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		p.parseExport(iface)
+	}
+	p.popScope()
+	p.expect(TokRBrace)
+	p.expect(TokSemi)
+	return iface
+}
+
+// parseExport parses one interface member.
+func (p *Parser) parseExport(iface *InterfaceDecl) {
+	switch p.tok.Kind {
+	case TokTypedef:
+		if d := p.parseTypedef(); d != nil {
+			iface.Body = append(iface.Body, d)
+			iface.Members = append(iface.Members, d)
+		}
+		for _, d := range p.drainPending() {
+			iface.Body = append(iface.Body, d)
+			iface.Members = append(iface.Members, d)
+		}
+	case TokStruct:
+		d := p.parseStruct()
+		p.expect(TokSemi)
+		if d != nil {
+			iface.Body = append(iface.Body, d)
+			iface.Members = append(iface.Members, d)
+		}
+	case TokUnion:
+		d := p.parseUnion()
+		p.expect(TokSemi)
+		if d != nil {
+			iface.Body = append(iface.Body, d)
+			iface.Members = append(iface.Members, d)
+		}
+	case TokEnum:
+		d := p.parseEnum()
+		p.expect(TokSemi)
+		if d != nil {
+			iface.Body = append(iface.Body, d)
+			iface.Members = append(iface.Members, d)
+		}
+	case TokConst:
+		if d := p.parseConst(); d != nil {
+			iface.Body = append(iface.Body, d)
+			iface.Members = append(iface.Members, d)
+		}
+	case TokException:
+		if d := p.parseException(); d != nil {
+			iface.Body = append(iface.Body, d)
+			iface.Members = append(iface.Members, d)
+		}
+	case TokReadonly, TokAttribute:
+		p.parseAttribute(iface)
+	case TokSemi:
+		p.advance()
+	default:
+		p.parseOperation(iface)
+	}
+}
+
+func (p *Parser) parseAttribute(iface *InterfaceDecl) {
+	pos := p.tok.Pos
+	readonly := p.accept(TokReadonly)
+	p.expect(TokAttribute)
+	typ := p.parseParamType()
+	for {
+		name := p.expect(TokIdent)
+		at := &Attribute{
+			declBase: declBase{Name: name.Text, Pos: pos},
+			Readonly: readonly,
+			Type:     typ,
+			Owner:    iface,
+		}
+		p.declare(at, &at.declBase)
+		iface.Attrs = append(iface.Attrs, at)
+		iface.Members = append(iface.Members, at)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	p.expect(TokSemi)
+}
+
+func (p *Parser) parseOperation(iface *InterfaceDecl) {
+	pos := p.tok.Pos
+	oneway := p.accept(TokOneway)
+	var result *Type
+	if p.tok.Kind == TokVoid {
+		p.advance()
+		result = TypeVoid
+	} else {
+		result = p.parseParamType()
+	}
+	name := p.expect(TokIdent)
+	op := &Operation{
+		declBase: declBase{Name: name.Text, Pos: pos},
+		Oneway:   oneway,
+		Result:   result,
+		Owner:    iface,
+	}
+	if oneway && result.Kind != KindVoid {
+		p.errorf(pos, "oneway operation %s must return void", name.Text)
+	}
+	p.declare(op, &op.declBase)
+
+	p.expect(TokLParen)
+	if p.tok.Kind != TokRParen {
+		seenDefault := false
+		for {
+			prm := p.parseParam()
+			if prm != nil {
+				if prm.Default != nil {
+					seenDefault = true
+				} else if seenDefault {
+					p.errorf(prm.Pos, "parameter %q without default follows a defaulted parameter", prm.Name)
+				}
+				op.Params = append(op.Params, prm)
+			}
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	p.expect(TokRParen)
+
+	if p.accept(TokRaises) {
+		p.expect(TokLParen)
+		for {
+			ref := p.parseScopedRef()
+			op.RaiseRefs = append(op.RaiseRefs, ref)
+			if sym := p.lookup(ref); sym != nil {
+				if ex, ok := sym.decl.(*ExceptDecl); ok {
+					op.Raises = append(op.Raises, ex)
+				} else {
+					p.errorf(ref.Pos, "%s is not an exception", ref)
+				}
+			} else {
+				p.errorf(ref.Pos, "undefined exception %s", ref)
+			}
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		p.expect(TokRParen)
+	}
+	if p.accept(TokContext) {
+		p.expect(TokLParen)
+		for {
+			s := p.expect(TokStringLit)
+			op.Context = append(op.Context, s.Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		p.expect(TokRParen)
+	}
+	p.expect(TokSemi)
+	iface.Ops = append(iface.Ops, op)
+	iface.Members = append(iface.Members, op)
+}
+
+func (p *Parser) parseParam() *Param {
+	pos := p.tok.Pos
+	var mode ParamMode
+	switch p.tok.Kind {
+	case TokIn:
+		mode = ModeIn
+	case TokOut:
+		mode = ModeOut
+	case TokInout:
+		mode = ModeInOut
+	case TokIncopy:
+		mode = ModeInCopy
+	default:
+		p.errorf(pos, "expected parameter mode (in, out, inout, incopy), found %s", p.tok)
+		p.sync()
+		return nil
+	}
+	p.advance()
+	typ := p.parseParamType()
+	name := p.expect(TokIdent)
+	prm := &Param{Name: name.Text, Pos: pos, Mode: mode, Type: typ}
+	if p.accept(TokEquals) {
+		// Paper extension: default parameter value.
+		if mode != ModeIn && mode != ModeInCopy {
+			p.errorf(pos, "default value on %s parameter %q (defaults require in or incopy)", mode, name.Text)
+		}
+		val := p.parseConstExpr()
+		prm.Default = p.coerceConst(val, typ, pos)
+	}
+	return prm
+}
+
+// parseTypedef parses a typedef declaration; the first declarator is
+// returned and any further declarators ("typedef long A, B, C[4];") are
+// queued on p.pendingDecls for the enclosing definition loop to collect.
+func (p *Parser) parseTypedef() Decl {
+	pos := p.tok.Pos
+	p.expect(TokTypedef)
+	base := p.parseTypeSpec()
+	var first Decl
+	for {
+		name := p.expect(TokIdent)
+		typ := base
+		// Array declarator.
+		var dims []uint64
+		for p.tok.Kind == TokLBracket {
+			p.advance()
+			v := p.parseConstExpr()
+			n := p.constToBound(v, p.tok.Pos)
+			dims = append(dims, n)
+			p.expect(TokRBracket)
+		}
+		if len(dims) > 0 {
+			typ = &Type{Kind: KindArray, Elem: base, Dims: dims}
+		}
+		td := &TypedefDecl{declBase: declBase{Name: name.Text, Pos: pos}, Aliased: typ}
+		p.declare(td, &td.declBase)
+		if first == nil {
+			first = td
+		} else {
+			p.pendingDecls = append(p.pendingDecls, td)
+		}
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	p.expect(TokSemi)
+	return first
+}
+
+// drainPending returns and clears the declarations queued by multi-
+// declarator forms.
+func (p *Parser) drainPending() []Decl {
+	out := p.pendingDecls
+	p.pendingDecls = nil
+	return out
+}
+
+func (p *Parser) parseStruct() Decl {
+	pos := p.tok.Pos
+	p.expect(TokStruct)
+	name := p.expect(TokIdent)
+	st := &StructDecl{declBase: declBase{Name: name.Text, Pos: pos}}
+	p.declare(st, &st.declBase)
+	p.expect(TokLBrace)
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		typ := p.parseTypeSpec()
+		for {
+			mname := p.expect(TokIdent)
+			mt := typ
+			var dims []uint64
+			for p.tok.Kind == TokLBracket {
+				p.advance()
+				v := p.parseConstExpr()
+				dims = append(dims, p.constToBound(v, p.tok.Pos))
+				p.expect(TokRBracket)
+			}
+			if len(dims) > 0 {
+				mt = &Type{Kind: KindArray, Elem: typ, Dims: dims}
+			}
+			st.Members = append(st.Members, &Member{Name: mname.Text, Pos: mname.Pos, Type: mt})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		p.expect(TokSemi)
+	}
+	p.expect(TokRBrace)
+	return st
+}
+
+func (p *Parser) parseException() Decl {
+	pos := p.tok.Pos
+	p.expect(TokException)
+	name := p.expect(TokIdent)
+	ex := &ExceptDecl{declBase: declBase{Name: name.Text, Pos: pos}}
+	p.declare(ex, &ex.declBase)
+	p.expect(TokLBrace)
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		typ := p.parseTypeSpec()
+		for {
+			mname := p.expect(TokIdent)
+			ex.Members = append(ex.Members, &Member{Name: mname.Text, Pos: mname.Pos, Type: typ})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		p.expect(TokSemi)
+	}
+	p.expect(TokRBrace)
+	p.expect(TokSemi)
+	return ex
+}
+
+func (p *Parser) parseUnion() Decl {
+	pos := p.tok.Pos
+	p.expect(TokUnion)
+	name := p.expect(TokIdent)
+	un := &UnionDecl{declBase: declBase{Name: name.Text, Pos: pos}}
+	p.declare(un, &un.declBase)
+	p.expect(TokSwitch)
+	p.expect(TokLParen)
+	un.Disc = p.parseTypeSpec()
+	switch d := un.Disc.Unalias(); {
+	case d.Kind.IsInteger(), d.Kind == KindBoolean, d.Kind == KindChar, d.Kind == KindEnum:
+		// valid discriminator
+	default:
+		p.errorf(pos, "invalid union discriminator type %s", un.Disc.Name())
+	}
+	p.expect(TokRParen)
+	p.expect(TokLBrace)
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		c := &UnionCase{}
+		for {
+			if p.accept(TokDefault) {
+				c.IsDefault = true
+				p.expect(TokColon)
+			} else if p.accept(TokCase) {
+				v := p.parseConstExpr()
+				c.Labels = append(c.Labels, p.coerceConst(v, un.Disc, p.tok.Pos))
+				p.expect(TokColon)
+			} else {
+				break
+			}
+		}
+		if !c.IsDefault && len(c.Labels) == 0 {
+			p.errorf(p.tok.Pos, "expected 'case' or 'default' in union body, found %s", p.tok)
+			p.sync()
+			continue
+		}
+		c.Type = p.parseTypeSpec()
+		mname := p.expect(TokIdent)
+		c.Name, c.Pos = mname.Text, mname.Pos
+		p.expect(TokSemi)
+		un.Cases = append(un.Cases, c)
+	}
+	p.expect(TokRBrace)
+	return un
+}
+
+func (p *Parser) parseEnum() Decl {
+	pos := p.tok.Pos
+	p.expect(TokEnum)
+	name := p.expect(TokIdent)
+	en := &EnumDecl{declBase: declBase{Name: name.Text, Pos: pos}}
+	p.declare(en, &en.declBase)
+	p.expect(TokLBrace)
+	for {
+		m := p.expect(TokIdent)
+		if m.Kind == TokIdent {
+			en.Members = append(en.Members, m.Text)
+			// Enum members are injected into the enclosing scope.
+			if _, exists := p.cur.entries[m.Text]; exists {
+				p.errorf(m.Pos, "redefinition of %q by enum member", m.Text)
+			} else {
+				p.cur.entries[m.Text] = &symbol{enum: en, name: m.Text}
+			}
+		}
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	p.expect(TokRBrace)
+	return en
+}
+
+func (p *Parser) parseConst() Decl {
+	pos := p.tok.Pos
+	p.expect(TokConst)
+	typ := p.parseTypeSpec()
+	name := p.expect(TokIdent)
+	p.expect(TokEquals)
+	val := p.parseConstExpr()
+	cd := &ConstDecl{
+		declBase: declBase{Name: name.Text, Pos: pos},
+		Type:     typ,
+		Value:    p.coerceConst(val, typ, pos),
+	}
+	p.declare(cd, &cd.declBase)
+	p.expect(TokSemi)
+	return cd
+}
+
+// parseScopedRef parses a scoped name ("A", "::A::B", "A::B").
+func (p *Parser) parseScopedRef() ScopedRef {
+	ref := ScopedRef{Pos: p.tok.Pos}
+	if p.accept(TokScope) {
+		ref.Absolute = true
+	}
+	for {
+		t := p.expect(TokIdent)
+		if t.Kind != TokIdent {
+			break
+		}
+		ref.Parts = append(ref.Parts, t.Text)
+		if !p.accept(TokScope) {
+			break
+		}
+	}
+	return ref
+}
+
+// parseTypeSpec parses a full type specification including constructed
+// anonymous sequence types.
+func (p *Parser) parseTypeSpec() *Type {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokBoolean:
+		p.advance()
+		return TypeBoolean
+	case TokChar:
+		p.advance()
+		return TypeChar
+	case TokWChar:
+		p.advance()
+		return &Type{Kind: KindWChar}
+	case TokOctet:
+		p.advance()
+		return TypeOctet
+	case TokFloat:
+		p.advance()
+		return TypeFloat
+	case TokDouble:
+		p.advance()
+		return TypeDouble
+	case TokAny:
+		p.advance()
+		return TypeAny
+	case TokObject:
+		p.advance()
+		return TypeObject
+	case TokShort:
+		p.advance()
+		return TypeShort
+	case TokLong:
+		p.advance()
+		if p.tok.Kind == TokLong {
+			p.advance()
+			return TypeLongLong
+		}
+		if p.tok.Kind == TokDouble {
+			p.advance()
+			return &Type{Kind: KindLongDouble}
+		}
+		return TypeLong
+	case TokUnsigned:
+		p.advance()
+		switch p.tok.Kind {
+		case TokShort:
+			p.advance()
+			return TypeUShort
+		case TokLong:
+			p.advance()
+			if p.tok.Kind == TokLong {
+				p.advance()
+				return TypeULongLong
+			}
+			return TypeULong
+		default:
+			p.errorf(p.tok.Pos, "expected 'short' or 'long' after 'unsigned', found %s", p.tok)
+			return TypeULong
+		}
+	case TokString, TokWString:
+		kind := KindString
+		if p.tok.Kind == TokWString {
+			kind = KindWString
+		}
+		p.advance()
+		var bound uint64
+		if p.accept(TokLAngle) {
+			v := p.parseConstExpr()
+			bound = p.constToBound(v, pos)
+			p.expect(TokRAngle)
+		}
+		if bound == 0 && kind == KindString {
+			return TypeString
+		}
+		return &Type{Kind: kind, Bound: bound}
+	case TokSequence:
+		p.advance()
+		p.expect(TokLAngle)
+		elem := p.parseTypeSpec()
+		var bound uint64
+		if p.accept(TokComma) {
+			v := p.parseConstExpr()
+			bound = p.constToBound(v, pos)
+		}
+		p.expect(TokRAngle)
+		return &Type{Kind: KindSequence, Elem: elem, Bound: bound}
+	case TokVoid:
+		p.errorf(pos, "'void' is only valid as an operation result type")
+		p.advance()
+		return TypeVoid
+	case TokIdent, TokScope:
+		ref := p.parseScopedRef()
+		sym := p.lookup(ref)
+		if sym == nil {
+			p.errorf(ref.Pos, "undefined type %s", ref)
+			return TypeAny
+		}
+		switch d := sym.decl.(type) {
+		case *InterfaceDecl:
+			return &Type{Kind: KindInterface, Decl: d}
+		case *StructDecl:
+			return &Type{Kind: KindStruct, Decl: d}
+		case *UnionDecl:
+			return &Type{Kind: KindUnion, Decl: d}
+		case *EnumDecl:
+			return &Type{Kind: KindEnum, Decl: d}
+		case *TypedefDecl:
+			return d.Type()
+		default:
+			p.errorf(ref.Pos, "%s does not name a type", ref)
+			return TypeAny
+		}
+	default:
+		p.errorf(pos, "expected type specification, found %s", p.tok)
+		p.advance()
+		return TypeAny
+	}
+}
+
+// parseParamType is parseTypeSpec for contexts where anonymous constructed
+// types other than sequence/string are not permitted (parameters,
+// attributes, results). The grammar subset is identical here.
+func (p *Parser) parseParamType() *Type { return p.parseTypeSpec() }
+
+func (p *Parser) constToBound(v *ConstValue, pos Pos) uint64 {
+	if v == nil {
+		return 0
+	}
+	if v.Kind != ConstInt || v.Int < 0 {
+		p.errorf(pos, "bound must be a non-negative integer constant, got %s", v)
+		return 0
+	}
+	return uint64(v.Int)
+}
+
+// coerceConst checks that a constant value is compatible with the target
+// type and normalises it (e.g. int literal for a float type).
+func (p *Parser) coerceConst(v *ConstValue, typ *Type, pos Pos) *ConstValue {
+	if v == nil || typ == nil {
+		return v
+	}
+	u := typ.Unalias()
+	switch {
+	case u.Kind.IsInteger():
+		if v.Kind != ConstInt {
+			p.errorf(pos, "constant %s is not an integer", v)
+		}
+	case u.Kind == KindFloat || u.Kind == KindDouble || u.Kind == KindLongDouble:
+		if v.Kind == ConstInt {
+			return &ConstValue{Kind: ConstFloat, Flt: float64(v.Int), Ref: v.Ref}
+		}
+		if v.Kind != ConstFloat {
+			p.errorf(pos, "constant %s is not a floating-point value", v)
+		}
+	case u.Kind == KindBoolean:
+		if v.Kind != ConstBool {
+			p.errorf(pos, "constant %s is not a boolean", v)
+		}
+	case u.Kind == KindChar || u.Kind == KindWChar:
+		if v.Kind != ConstChar {
+			p.errorf(pos, "constant %s is not a character", v)
+		}
+	case u.Kind == KindString || u.Kind == KindWString:
+		if v.Kind != ConstString {
+			p.errorf(pos, "constant %s is not a string", v)
+		}
+	case u.Kind == KindEnum:
+		if v.Kind != ConstEnum {
+			p.errorf(pos, "constant %s is not a member of enum %s", v, u.Name())
+		} else if v.Enum != u.Decl {
+			p.errorf(pos, "enum constant %s belongs to %s, not %s", v.Name, v.Enum.DeclName(), u.Name())
+		}
+	}
+	return v
+}
+
+// --- constant expressions --------------------------------------------------
+
+// parseConstExpr parses and evaluates a constant expression with the IDL
+// operator set: | ^ & << >> + - * / % and unary + - ~.
+func (p *Parser) parseConstExpr() *ConstValue { return p.parseOrExpr() }
+
+func (p *Parser) parseOrExpr() *ConstValue {
+	v := p.parseXorExpr()
+	for p.tok.Kind == TokPipe {
+		p.advance()
+		r := p.parseXorExpr()
+		v = p.intBinop(v, r, "|", func(a, b int64) int64 { return a | b })
+	}
+	return v
+}
+
+func (p *Parser) parseXorExpr() *ConstValue {
+	v := p.parseAndExpr()
+	for p.tok.Kind == TokCaret {
+		p.advance()
+		r := p.parseAndExpr()
+		v = p.intBinop(v, r, "^", func(a, b int64) int64 { return a ^ b })
+	}
+	return v
+}
+
+func (p *Parser) parseAndExpr() *ConstValue {
+	v := p.parseShiftExpr()
+	for p.tok.Kind == TokAmp {
+		p.advance()
+		r := p.parseShiftExpr()
+		v = p.intBinop(v, r, "&", func(a, b int64) int64 { return a & b })
+	}
+	return v
+}
+
+func (p *Parser) parseShiftExpr() *ConstValue {
+	v := p.parseAddExpr()
+	for p.tok.Kind == TokShiftLeft || p.tok.Kind == TokShiftRight {
+		op := p.tok.Kind
+		p.advance()
+		r := p.parseAddExpr()
+		if op == TokShiftLeft {
+			v = p.intBinop(v, r, "<<", func(a, b int64) int64 { return a << uint(b&63) })
+		} else {
+			v = p.intBinop(v, r, ">>", func(a, b int64) int64 { return a >> uint(b&63) })
+		}
+	}
+	return v
+}
+
+func (p *Parser) parseAddExpr() *ConstValue {
+	v := p.parseMulExpr()
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := p.tok.Kind
+		p.advance()
+		r := p.parseMulExpr()
+		v = p.arithBinop(v, r, op)
+	}
+	return v
+}
+
+func (p *Parser) parseMulExpr() *ConstValue {
+	v := p.parseUnaryExpr()
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash || p.tok.Kind == TokPercent {
+		op := p.tok.Kind
+		p.advance()
+		r := p.parseUnaryExpr()
+		v = p.arithBinop(v, r, op)
+	}
+	return v
+}
+
+func (p *Parser) parseUnaryExpr() *ConstValue {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokMinus:
+		p.advance()
+		v := p.parseUnaryExpr()
+		switch v.Kind {
+		case ConstInt:
+			return &ConstValue{Kind: ConstInt, Int: -v.Int}
+		case ConstFloat:
+			return &ConstValue{Kind: ConstFloat, Flt: -v.Flt}
+		}
+		p.errorf(pos, "unary '-' requires a numeric operand")
+		return v
+	case TokPlus:
+		p.advance()
+		return p.parseUnaryExpr()
+	case TokTilde:
+		p.advance()
+		v := p.parseUnaryExpr()
+		if v.Kind == ConstInt {
+			return &ConstValue{Kind: ConstInt, Int: ^v.Int}
+		}
+		p.errorf(pos, "unary '~' requires an integer operand")
+		return v
+	}
+	return p.parsePrimaryExpr()
+}
+
+func (p *Parser) parsePrimaryExpr() *ConstValue {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokLParen:
+		p.advance()
+		v := p.parseConstExpr()
+		p.expect(TokRParen)
+		return v
+	case TokIntLit:
+		t := p.tok
+		p.advance()
+		n, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			// Try unsigned range.
+			if u, uerr := strconv.ParseUint(t.Text, 0, 64); uerr == nil {
+				return &ConstValue{Kind: ConstInt, Int: int64(u)}
+			}
+			p.errorf(pos, "invalid integer literal %q: %v", t.Text, err)
+			return &ConstValue{Kind: ConstInt}
+		}
+		return &ConstValue{Kind: ConstInt, Int: n}
+	case TokFloatLit:
+		t := p.tok
+		p.advance()
+		text := strings.TrimSuffix(strings.TrimSuffix(t.Text, "d"), "D")
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			p.errorf(pos, "invalid floating-point literal %q: %v", t.Text, err)
+		}
+		return &ConstValue{Kind: ConstFloat, Flt: f}
+	case TokCharLit:
+		t := p.tok
+		p.advance()
+		return &ConstValue{Kind: ConstChar, Str: t.Text}
+	case TokStringLit:
+		var b strings.Builder
+		for p.tok.Kind == TokStringLit { // adjacent strings concatenate
+			b.WriteString(p.tok.Text)
+			p.advance()
+		}
+		return &ConstValue{Kind: ConstString, Str: b.String()}
+	case TokTrue:
+		p.advance()
+		return &ConstValue{Kind: ConstBool, Bool: true}
+	case TokFalse:
+		p.advance()
+		return &ConstValue{Kind: ConstBool, Bool: false}
+	case TokIdent, TokScope:
+		ref := p.parseScopedRef()
+		sym := p.lookup(ref)
+		if sym == nil {
+			p.errorf(ref.Pos, "undefined constant %s", ref)
+			return &ConstValue{Kind: ConstInt}
+		}
+		if sym.enum != nil {
+			return &ConstValue{Kind: ConstEnum, Enum: sym.enum, Name: sym.name, Ref: ref.String()}
+		}
+		if cd, ok := sym.decl.(*ConstDecl); ok {
+			v := *cd.Value
+			v.Ref = ref.String()
+			return &v
+		}
+		p.errorf(ref.Pos, "%s is not a constant", ref)
+		return &ConstValue{Kind: ConstInt}
+	default:
+		p.errorf(pos, "expected constant expression, found %s", p.tok)
+		p.advance()
+		return &ConstValue{Kind: ConstInt}
+	}
+}
+
+func (p *Parser) intBinop(a, b *ConstValue, op string, fn func(x, y int64) int64) *ConstValue {
+	if a.Kind != ConstInt || b.Kind != ConstInt {
+		p.errorf(p.tok.Pos, "operator %q requires integer operands", op)
+		return &ConstValue{Kind: ConstInt}
+	}
+	return &ConstValue{Kind: ConstInt, Int: fn(a.Int, b.Int)}
+}
+
+func (p *Parser) arithBinop(a, b *ConstValue, op TokenKind) *ConstValue {
+	if a.Kind == ConstInt && b.Kind == ConstInt {
+		switch op {
+		case TokPlus:
+			return &ConstValue{Kind: ConstInt, Int: a.Int + b.Int}
+		case TokMinus:
+			return &ConstValue{Kind: ConstInt, Int: a.Int - b.Int}
+		case TokStar:
+			return &ConstValue{Kind: ConstInt, Int: a.Int * b.Int}
+		case TokSlash:
+			if b.Int == 0 {
+				p.errorf(p.tok.Pos, "division by zero in constant expression")
+				return &ConstValue{Kind: ConstInt}
+			}
+			return &ConstValue{Kind: ConstInt, Int: a.Int / b.Int}
+		case TokPercent:
+			if b.Int == 0 {
+				p.errorf(p.tok.Pos, "modulo by zero in constant expression")
+				return &ConstValue{Kind: ConstInt}
+			}
+			return &ConstValue{Kind: ConstInt, Int: a.Int % b.Int}
+		}
+	}
+	af, aok := numVal(a)
+	bf, bok := numVal(b)
+	if !aok || !bok {
+		p.errorf(p.tok.Pos, "arithmetic requires numeric operands")
+		return &ConstValue{Kind: ConstInt}
+	}
+	var r float64
+	switch op {
+	case TokPlus:
+		r = af + bf
+	case TokMinus:
+		r = af - bf
+	case TokStar:
+		r = af * bf
+	case TokSlash:
+		if bf == 0 {
+			p.errorf(p.tok.Pos, "division by zero in constant expression")
+			return &ConstValue{Kind: ConstFloat}
+		}
+		r = af / bf
+	case TokPercent:
+		p.errorf(p.tok.Pos, "operator %% requires integer operands")
+		return &ConstValue{Kind: ConstFloat}
+	}
+	return &ConstValue{Kind: ConstFloat, Flt: r}
+}
+
+func numVal(v *ConstValue) (float64, bool) {
+	switch v.Kind {
+	case ConstInt:
+		return float64(v.Int), true
+	case ConstFloat:
+		return v.Flt, true
+	}
+	return 0, false
+}
+
+// applyPragmaOverrides rewrites repository IDs for "#pragma ID" and
+// "#pragma version" directives.
+func (p *Parser) applyPragmaOverrides() {
+	if len(p.pragmas) == 0 {
+		return
+	}
+	byName := map[string]*declBase{}
+	p.spec.Walk(func(d Decl) bool {
+		if b := baseOf(d); b != nil {
+			byName[b.Scoped] = b
+			// Also index by simple name when unambiguous.
+			if _, dup := byName[b.Name]; !dup {
+				byName[b.Name] = b
+			}
+		}
+		return true
+	})
+	for _, d := range p.pragmas {
+		if len(d.Args) < 3 {
+			p.errorf(d.Pos, "#pragma %s requires a name and a value", d.Args[0])
+			continue
+		}
+		target := strings.TrimPrefix(d.Args[1], "::")
+		b, ok := byName[target]
+		if !ok {
+			p.errorf(d.Pos, "#pragma %s: unknown name %q", d.Args[0], d.Args[1])
+			continue
+		}
+		switch d.Args[0] {
+		case "ID":
+			b.ID = d.Args[2]
+		case "version":
+			// Replace the trailing ":<ver>".
+			if i := strings.LastIndexByte(b.ID, ':'); i > 3 { // after "IDL"
+				b.ID = b.ID[:i+1] + d.Args[2]
+			}
+		}
+	}
+}
+
+// baseOf extracts the embedded declBase from any Decl.
+func baseOf(d Decl) *declBase {
+	switch n := d.(type) {
+	case *Module:
+		return &n.declBase
+	case *InterfaceDecl:
+		return &n.declBase
+	case *Operation:
+		return &n.declBase
+	case *Attribute:
+		return &n.declBase
+	case *StructDecl:
+		return &n.declBase
+	case *UnionDecl:
+		return &n.declBase
+	case *EnumDecl:
+		return &n.declBase
+	case *TypedefDecl:
+		return &n.declBase
+	case *ConstDecl:
+		return &n.declBase
+	case *ExceptDecl:
+		return &n.declBase
+	}
+	return nil
+}
+
+// checkForwardsDefined reports forward-declared interfaces that were never
+// completed. (OMG IDL permits this in a multi-file compilation; a single
+// translation unit that uses such an interface as a base has already been
+// diagnosed, so this is a warning-level error only for dangling forwards
+// that were actually referenced as types — which we cannot distinguish here,
+// so we leave pure dangling forwards alone.)
+func (p *Parser) checkForwardsDefined() {}

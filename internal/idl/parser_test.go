@@ -1,0 +1,589 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/idl/idltest"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	spec, err := Parse("A.idl", idltest.AIDL)
+	if err != nil {
+		t.Fatalf("Parse(A.idl): %v", err)
+	}
+
+	a, err := spec.LookupInterface("Heidi::A")
+	if err != nil {
+		t.Fatalf("LookupInterface(Heidi::A): %v", err)
+	}
+	if got, want := a.RepoID(), "IDL:Heidi/A:1.0"; got != want {
+		t.Errorf("RepoID = %q, want %q", got, want)
+	}
+	if len(a.Bases) != 1 || a.Bases[0].DeclName() != "S" {
+		t.Fatalf("A.Bases = %v, want [S]", a.BaseRefs)
+	}
+	if !a.Bases[0].Forward {
+		// S is an "external declaration" in A.idl (Fig. 3); its body
+		// lives in another translation unit, so it must stay forward.
+		t.Error("base S should remain forward-declared in A.idl alone")
+	}
+
+	wantOps := []string{"f", "g", "p", "q", "s", "t"}
+	if len(a.Ops) != len(wantOps) {
+		t.Fatalf("A has %d ops, want %d", len(a.Ops), len(wantOps))
+	}
+	for i, w := range wantOps {
+		if a.Ops[i].DeclName() != w {
+			t.Errorf("op %d = %q, want %q", i, a.Ops[i].DeclName(), w)
+		}
+	}
+	if len(a.Attrs) != 1 || a.Attrs[0].DeclName() != "button" || !a.Attrs[0].Readonly {
+		t.Fatalf("A.Attrs = %v, want readonly button", a.Attrs)
+	}
+
+	// Members preserves source interleaving: q precedes button precedes s.
+	var order []string
+	for _, m := range a.Members {
+		order = append(order, m.DeclName())
+	}
+	want := []string{"f", "g", "p", "q", "button", "s", "t"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("Members order = %v, want %v", order, want)
+	}
+
+	// incopy on g.
+	g := a.Ops[1]
+	if g.Params[0].Mode != ModeInCopy {
+		t.Errorf("g's parameter mode = %s, want incopy", g.Params[0].Mode)
+	}
+
+	// Defaults: p(l=0), q(s=Heidi::Start written as scoped ref), s(b=TRUE).
+	p := a.Ops[2]
+	if p.Params[0].Default == nil || p.Params[0].Default.Kind != ConstInt || p.Params[0].Default.Int != 0 {
+		t.Errorf("p default = %v, want integer 0", p.Params[0].Default)
+	}
+	q := a.Ops[3]
+	d := q.Params[0].Default
+	if d == nil || d.Kind != ConstEnum || d.Name != "Start" {
+		t.Fatalf("q default = %v, want enum Start", d)
+	}
+	if d.Ref != "Heidi::Start" {
+		t.Errorf("q default ref = %q, want %q", d.Ref, "Heidi::Start")
+	}
+	s := a.Ops[4]
+	if s.Params[0].Default == nil || s.Params[0].Default.Kind != ConstBool || !s.Params[0].Default.Bool {
+		t.Errorf("s default = %v, want TRUE", s.Params[0].Default)
+	}
+
+	// t takes the SSequence alias of sequence<S>.
+	tt := a.Ops[5]
+	pt := tt.Params[0].Type
+	if pt.Kind != KindAlias || pt.Decl.DeclName() != "SSequence" {
+		t.Fatalf("t param type = %s, want alias SSequence", pt.Name())
+	}
+	u := pt.Unalias()
+	if u.Kind != KindSequence || u.Elem.Kind != KindInterface || u.Elem.Decl.DeclName() != "S" {
+		t.Errorf("SSequence unaliases to %s, want sequence<S>", u.Name())
+	}
+	if !pt.IsVariable() {
+		t.Error("sequence<S> should be variable-size")
+	}
+}
+
+func TestParseRepositoryIDs(t *testing.T) {
+	spec := MustParse("A.idl", idltest.AIDL)
+	wants := map[string]string{
+		"Heidi":            "IDL:Heidi:1.0",
+		"Heidi::Status":    "IDL:Heidi/Status:1.0",
+		"Heidi::SSequence": "IDL:Heidi/SSequence:1.0",
+		"Heidi::A":         "IDL:Heidi/A:1.0",
+		"Heidi::A::f":      "IDL:Heidi/A/f:1.0",
+		"Heidi::A::button": "IDL:Heidi/A/button:1.0",
+	}
+	got := map[string]string{}
+	spec.Walk(func(d Decl) bool {
+		got[d.ScopedName()] = d.RepoID()
+		return true
+	})
+	for scoped, id := range wants {
+		if got[scoped] != id {
+			t.Errorf("RepoID(%s) = %q, want %q", scoped, got[scoped], id)
+		}
+	}
+}
+
+func TestParsePragmaPrefix(t *testing.T) {
+	src := `#pragma prefix "omg.org"
+module CosNaming {
+  interface NamingContext {};
+};
+`
+	spec, err := Parse("naming.idl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	nc, err := spec.LookupInterface("CosNaming::NamingContext")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nc.RepoID(), "IDL:omg.org/CosNaming/NamingContext:1.0"; got != want {
+		t.Errorf("RepoID = %q, want %q", got, want)
+	}
+}
+
+func TestParsePragmaIDAndVersion(t *testing.T) {
+	src := `interface A {};
+interface B {};
+#pragma ID A "IDL:custom/A:2.3"
+#pragma version B 1.1
+`
+	spec, err := Parse("p.idl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a, _ := spec.LookupInterface("A")
+	b, _ := spec.LookupInterface("B")
+	if a.RepoID() != "IDL:custom/A:2.3" {
+		t.Errorf("A RepoID = %q", a.RepoID())
+	}
+	if b.RepoID() != "IDL:B:1.1" {
+		t.Errorf("B RepoID = %q", b.RepoID())
+	}
+}
+
+func TestParseModuleReopening(t *testing.T) {
+	src := `module M { interface A {}; };
+module M { interface B : A {}; };
+`
+	spec, err := Parse("m.idl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	b, err := spec.LookupInterface("M::B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bases) != 1 || b.Bases[0].ScopedName() != "M::A" {
+		t.Errorf("B bases = %v", b.BaseRefs)
+	}
+	// Both A and B live in the single module node.
+	ifaces := spec.Interfaces()
+	if len(ifaces) != 2 {
+		t.Errorf("got %d interfaces, want 2", len(ifaces))
+	}
+}
+
+func TestParseMultipleInheritance(t *testing.T) {
+	spec := MustParse("media.idl", idltest.MediaIDL)
+	sess, err := spec.LookupInterface("Media::Session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Bases) != 2 {
+		t.Fatalf("Session has %d bases, want 2", len(sess.Bases))
+	}
+	all := sess.AllBases()
+	names := map[string]bool{}
+	for _, b := range all {
+		names[b.DeclName()] = true
+	}
+	// Node must appear exactly once despite the diamond.
+	if !names["Source"] || !names["Sink"] || !names["Node"] {
+		t.Errorf("AllBases = %v", names)
+	}
+	if len(all) != 3 {
+		t.Errorf("AllBases length = %d, want 3 (diamond deduplicated)", len(all))
+	}
+	// AllOps pulls in ping() from Node exactly once.
+	count := 0
+	for _, op := range sess.AllOps() {
+		if op.DeclName() == "ping" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("ping appears %d times in AllOps, want 1", count)
+	}
+}
+
+func TestParseStructUnionEnumConstException(t *testing.T) {
+	src := `
+const long MAX = 10 + 2 * 5;
+const double PI = 3.14;
+const string GREETING = "hello" " world";
+const boolean YES = TRUE;
+
+enum Color { Red, Green, Blue };
+const Color FAV = Green;
+
+struct Point { long x, y; double w[2][3]; };
+
+exception Oops { string what; long code; };
+
+union U switch (Color) {
+  case Red: long r;
+  case Green:
+  case Blue: string s;
+  default: boolean b;
+};
+
+typedef long LongArray[MAX];
+typedef sequence<Point, 8> PointSeq;
+`
+	spec, err := Parse("misc.idl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var (
+		maxC, pi, greeting, yes, fav *ConstDecl
+		point                        *StructDecl
+		oops                         *ExceptDecl
+		u                            *UnionDecl
+		la, ps                       *TypedefDecl
+	)
+	spec.Walk(func(d Decl) bool {
+		switch n := d.(type) {
+		case *ConstDecl:
+			switch n.DeclName() {
+			case "MAX":
+				maxC = n
+			case "PI":
+				pi = n
+			case "GREETING":
+				greeting = n
+			case "YES":
+				yes = n
+			case "FAV":
+				fav = n
+			}
+		case *StructDecl:
+			point = n
+		case *ExceptDecl:
+			oops = n
+		case *UnionDecl:
+			u = n
+		case *TypedefDecl:
+			switch n.DeclName() {
+			case "LongArray":
+				la = n
+			case "PointSeq":
+				ps = n
+			}
+		}
+		return true
+	})
+
+	if maxC.Value.Int != 20 {
+		t.Errorf("MAX = %v, want 20", maxC.Value)
+	}
+	if pi.Value.Flt != 3.14 {
+		t.Errorf("PI = %v", pi.Value)
+	}
+	if greeting.Value.Str != "hello world" {
+		t.Errorf("GREETING = %q (string concatenation)", greeting.Value.Str)
+	}
+	if !yes.Value.Bool {
+		t.Errorf("YES = %v", yes.Value)
+	}
+	if fav.Value.Kind != ConstEnum || fav.Value.Name != "Green" {
+		t.Errorf("FAV = %v", fav.Value)
+	}
+
+	if len(point.Members) != 3 {
+		t.Fatalf("Point has %d members, want 3 (x, y, w)", len(point.Members))
+	}
+	w := point.Members[2]
+	if w.Type.Kind != KindArray || len(w.Type.Dims) != 2 || w.Type.Dims[0] != 2 || w.Type.Dims[1] != 3 {
+		t.Errorf("w type = %s, want double[2][3]", w.Type.Name())
+	}
+
+	if len(oops.Members) != 2 {
+		t.Errorf("Oops members = %d, want 2", len(oops.Members))
+	}
+
+	if len(u.Cases) != 3 {
+		t.Fatalf("U has %d cases, want 3", len(u.Cases))
+	}
+	if len(u.Cases[1].Labels) != 2 {
+		t.Errorf("second case has %d labels, want 2 (Green, Blue fallthrough)", len(u.Cases[1].Labels))
+	}
+	if !u.Cases[2].IsDefault {
+		t.Error("third case should be default")
+	}
+	if u.Disc.Unalias().Kind != KindEnum {
+		t.Errorf("U discriminator = %s, want enum", u.Disc.Name())
+	}
+
+	if la.Aliased.Kind != KindArray || la.Aliased.Dims[0] != 20 {
+		t.Errorf("LongArray = %s, want long[20] (const-evaluated bound)", la.Aliased.Name())
+	}
+	if ps.Aliased.Kind != KindSequence || ps.Aliased.Bound != 8 {
+		t.Errorf("PointSeq = %s, want bounded sequence<Point,8>", ps.Aliased.Name())
+	}
+}
+
+func TestParseConstExpressions(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 3", 3},
+		{"10 % 3", 1},
+		{"1 << 4", 16},
+		{"256 >> 2", 64},
+		{"0xFF & 0x0F", 15},
+		{"0xF0 | 0x0F", 255},
+		{"0xFF ^ 0x0F", 240},
+		{"~0", -1},
+		{"-5 + 3", -2},
+		{"+7", 7},
+		{"0x10", 16},
+	}
+	for _, tt := range tests {
+		spec, err := Parse("c.idl", "const long long V = "+tt.expr+";")
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.expr, err)
+			continue
+		}
+		cd := spec.Decls[0].(*ConstDecl)
+		if cd.Value.Int != tt.want {
+			t.Errorf("eval(%q) = %d, want %d", tt.expr, cd.Value.Int, tt.want)
+		}
+	}
+}
+
+func TestParseAllPrimitiveTypes(t *testing.T) {
+	src := `interface P {
+  void m(in boolean a, in char b, in wchar c, in octet d,
+         in short e, in unsigned short f, in long g, in unsigned long h,
+         in long long i, in unsigned long long j, in float k, in double l,
+         in long double m_, in string n, in wstring o, in string<16> p,
+         in any q, in Object r);
+};`
+	spec, err := Parse("prim.idl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	iface, _ := spec.LookupInterface("P")
+	op := iface.Ops[0]
+	wantKinds := []TypeKind{
+		KindBoolean, KindChar, KindWChar, KindOctet,
+		KindShort, KindUShort, KindLong, KindULong,
+		KindLongLong, KindULongLong, KindFloat, KindDouble,
+		KindLongDouble, KindString, KindWString, KindString,
+		KindAny, KindObject,
+	}
+	if len(op.Params) != len(wantKinds) {
+		t.Fatalf("got %d params, want %d", len(op.Params), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if op.Params[i].Type.Kind != k {
+			t.Errorf("param %d (%s): kind = %s, want %s", i, op.Params[i].Name, op.Params[i].Type.Kind, k)
+		}
+	}
+	if op.Params[15].Type.Bound != 16 {
+		t.Errorf("bounded string bound = %d, want 16", op.Params[15].Type.Bound)
+	}
+}
+
+func TestParseOnewayAndRaises(t *testing.T) {
+	spec := MustParse("media.idl", idltest.MediaIDL)
+	src, _ := spec.LookupInterface("Media::Source")
+	var prefetch, open *Operation
+	for _, op := range src.Ops {
+		switch op.DeclName() {
+		case "prefetch":
+			prefetch = op
+		case "open":
+			open = op
+		}
+	}
+	if !prefetch.Oneway {
+		t.Error("prefetch should be oneway")
+	}
+	if len(open.Raises) != 1 || open.Raises[0].DeclName() != "NoSuchStream" {
+		t.Errorf("open raises = %v", open.RaiseRefs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined type", "interface A { void f(in Nope n); };", "undefined type"},
+		{"undefined base", "interface A : Missing {};", "undefined base interface"},
+		{"redefinition", "interface A {}; interface A {};", "redefinition"},
+		{"self inheritance", "interface A : A {};", "inherits from itself"},
+		{"oneway non-void", "interface A { oneway long f(); };", "must return void"},
+		{"default on out", "interface A { void f(out long x = 3); };", "defaults require in or incopy"},
+		{"non-default after default", "interface A { void f(in long x = 1, in long y); };", "without default follows"},
+		{"bad default type", "interface A { void f(in long x = \"str\"); };", "not an integer"},
+		{"division by zero", "const long X = 1 / 0;", "division by zero"},
+		{"bad discriminator", "union U switch (float) { case 1: long x; };", "invalid union discriminator"},
+		{"enum default from wrong enum", `enum E1 { X }; enum E2 { Y };
+interface A { void f(in E1 e = Y); };`, "belongs to"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse("e.idl", tt.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tt.src, tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseForwardCompletion(t *testing.T) {
+	src := `module M {
+  interface S;
+  typedef sequence<S> SSeq;
+  interface S { void ping(); };
+  interface A { void use(in SSeq q); };
+};`
+	spec, err := Parse("fwd.idl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s, err := spec.LookupInterface("M::S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Forward {
+		t.Error("S should be completed")
+	}
+	if len(s.Ops) != 1 {
+		t.Errorf("S ops = %d, want 1", len(s.Ops))
+	}
+	// The typedef's element resolves to the *same* node as the completed
+	// interface (in-place completion).
+	a, _ := spec.LookupInterface("M::A")
+	seq := a.Ops[0].Params[0].Type.Unalias()
+	if seq.Elem.Decl != Decl(s) {
+		t.Error("sequence element is not the completed S node")
+	}
+}
+
+func TestParseNestedInterfaceTypes(t *testing.T) {
+	src := `interface A {
+  enum Mode { Fast, Slow };
+  struct Conf { Mode m; long level; };
+  const long LIMIT = 4;
+  exception Bad { string why; };
+  void set(in Conf c, in Mode m = Slow) raises (Bad);
+};
+interface B : A {
+  void use(in Conf c, in Mode m = Fast);
+};`
+	spec, err := Parse("nest.idl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	b, _ := spec.LookupInterface("B")
+	// B sees A::Conf and A::Mode through inheritance.
+	op := b.Ops[0]
+	if op.Params[0].Type.Unalias().Kind != KindStruct {
+		t.Errorf("B.use conf param = %s", op.Params[0].Type.Name())
+	}
+	if d := op.Params[1].Default; d == nil || d.Name != "Fast" {
+		t.Errorf("B.use mode default = %v", d)
+	}
+}
+
+// TestParseGarbageTerminates guards against parser loops on malformed
+// input: every case must return (with errors), never spin.
+func TestParseGarbageTerminates(t *testing.T) {
+	cases := []string{
+		"}{", "}}}}", "{{{{", ";;;;", "::::",
+		"interface", "interface ;", "module ;", "module X {",
+		"interface A { void", "interface A { void f(; };",
+		"typedef", "const = 3;", "union U switch", "enum E {",
+		"@#$%^&*", "interface A : {};", "struct S { long; };",
+		"interface A { attribute; };", "interface A { oneway; };",
+	}
+	for _, src := range cases {
+		done := make(chan struct{})
+		go func(src string) {
+			defer close(done)
+			Parse("garbage.idl", src) //nolint:errcheck // errors expected
+		}(src)
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("Parse(%q) did not terminate", src)
+		}
+	}
+}
+
+func TestSpecLookupAmbiguity(t *testing.T) {
+	src := `module M1 { interface X {}; };
+module M2 { interface X {}; };`
+	spec := MustParse("amb.idl", src)
+	if _, err := spec.LookupInterface("X"); err == nil {
+		t.Error("LookupInterface(X) should be ambiguous")
+	}
+	if _, err := spec.LookupInterface("M1::X"); err != nil {
+		t.Errorf("LookupInterface(M1::X): %v", err)
+	}
+	if _, err := spec.LookupInterface("Nope"); err == nil {
+		t.Error("LookupInterface(Nope) should fail")
+	}
+}
+
+func TestParseMediaModule(t *testing.T) {
+	spec, err := Parse("media.idl", idltest.MediaIDL)
+	if err != nil {
+		t.Fatalf("Parse(MediaIDL): %v", err)
+	}
+	if n := len(spec.Interfaces()); n != 4 {
+		t.Errorf("interfaces = %d, want 4", n)
+	}
+	sink, _ := spec.LookupInterface("Media::Sink")
+	var cfg *Operation
+	for _, op := range sink.Ops {
+		if op.DeclName() == "configure" {
+			cfg = op
+		}
+	}
+	if cfg.Params[0].Mode != ModeInCopy {
+		t.Errorf("configure info mode = %s, want incopy", cfg.Params[0].Mode)
+	}
+	if cfg.Params[1].Default == nil || cfg.Params[1].Default.Bool {
+		t.Errorf("configure exclusive default = %v, want FALSE", cfg.Params[1].Default)
+	}
+	// Writable attribute.
+	var vol *Attribute
+	for _, at := range sink.Attrs {
+		if at.DeclName() == "volume" {
+			vol = at
+		}
+	}
+	if vol == nil || vol.Readonly {
+		t.Error("volume should be a writable attribute")
+	}
+}
+
+func BenchmarkParseAIDL(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("A.idl", idltest.AIDL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseMediaIDL(b *testing.B) {
+	b.SetBytes(int64(len(idltest.MediaIDL)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("media.idl", idltest.MediaIDL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

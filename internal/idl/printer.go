@@ -1,0 +1,227 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed Spec back to canonically formatted IDL source.
+// Declarations pulled in via #include are omitted (the printer reproduces
+// the main translation unit), and an interface completed after a forward
+// declaration prints in full at the position of the forward declaration.
+//
+// The output is designed to re-parse to an equivalent Spec: Print∘Parse is
+// a fixpoint, which the test suite verifies for every fixture.
+func Print(spec *Spec) string {
+	p := &printer{}
+	for _, d := range spec.Decls {
+		if d.FromInclude() {
+			continue
+		}
+		p.decl(d)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) decl(d Decl) {
+	switch n := d.(type) {
+	case *Module:
+		p.line("module %s {", n.DeclName())
+		p.indent++
+		for _, c := range n.Decls {
+			if !c.FromInclude() {
+				p.decl(c)
+			}
+		}
+		p.indent--
+		p.line("};")
+	case *InterfaceDecl:
+		p.iface(n)
+	case *StructDecl:
+		p.line("struct %s {", n.DeclName())
+		p.indent++
+		for _, m := range n.Members {
+			p.line("%s %s;", typeSpelling(m.Type), memberDeclarator(m))
+		}
+		p.indent--
+		p.line("};")
+	case *ExceptDecl:
+		p.line("exception %s {", n.DeclName())
+		p.indent++
+		for _, m := range n.Members {
+			p.line("%s %s;", typeSpelling(m.Type), memberDeclarator(m))
+		}
+		p.indent--
+		p.line("};")
+	case *UnionDecl:
+		p.line("union %s switch (%s) {", n.DeclName(), typeSpelling(n.Disc))
+		p.indent++
+		for _, c := range n.Cases {
+			for _, l := range c.Labels {
+				p.line("case %s:", l.String())
+			}
+			if c.IsDefault {
+				p.line("default:")
+			}
+			p.indent++
+			p.line("%s %s;", typeSpelling(c.Type), c.Name)
+			p.indent--
+		}
+		p.indent--
+		p.line("};")
+	case *EnumDecl:
+		p.line("enum %s { %s };", n.DeclName(), strings.Join(n.Members, ", "))
+	case *TypedefDecl:
+		if n.Aliased.Kind == KindArray {
+			dims := ""
+			for _, d := range n.Aliased.Dims {
+				dims += fmt.Sprintf("[%d]", d)
+			}
+			p.line("typedef %s %s%s;", typeSpelling(n.Aliased.Elem), n.DeclName(), dims)
+			return
+		}
+		p.line("typedef %s %s;", typeSpelling(n.Aliased), n.DeclName())
+	case *ConstDecl:
+		p.line("const %s %s = %s;", typeSpelling(n.Type), n.DeclName(), n.Value.String())
+	}
+}
+
+func (p *printer) iface(n *InterfaceDecl) {
+	if n.Forward {
+		p.line("interface %s;", n.DeclName())
+		return
+	}
+	head := "interface " + n.DeclName()
+	if len(n.Bases) > 0 {
+		var bases []string
+		for _, b := range n.Bases {
+			bases = append(bases, "::"+b.ScopedName())
+		}
+		head += " : " + strings.Join(bases, ", ")
+	}
+	p.line("%s {", head)
+	p.indent++
+	for _, m := range n.Members {
+		switch x := m.(type) {
+		case *Operation:
+			p.operation(x)
+		case *Attribute:
+			p.attribute(x)
+		default:
+			p.decl(m)
+		}
+	}
+	p.indent--
+	p.line("};")
+}
+
+func (p *printer) operation(op *Operation) {
+	var parts []string
+	for _, prm := range op.Params {
+		s := fmt.Sprintf("%s %s %s", prm.Mode, typeSpelling(prm.Type), prm.Name)
+		if prm.Default != nil {
+			s += " = " + defaultSpelling(prm.Default)
+		}
+		parts = append(parts, s)
+	}
+	line := ""
+	if op.Oneway {
+		line = "oneway "
+	}
+	line += fmt.Sprintf("%s %s(%s)", typeSpelling(op.Result), op.DeclName(), strings.Join(parts, ", "))
+	if len(op.Raises) > 0 {
+		var ex []string
+		for _, e := range op.Raises {
+			ex = append(ex, "::"+e.ScopedName())
+		}
+		line += fmt.Sprintf(" raises (%s)", strings.Join(ex, ", "))
+	}
+	if len(op.Context) > 0 {
+		var cs []string
+		for _, c := range op.Context {
+			cs = append(cs, fmt.Sprintf("%q", c))
+		}
+		line += fmt.Sprintf(" context (%s)", strings.Join(cs, ", "))
+	}
+	p.line("%s;", line)
+}
+
+func (p *printer) attribute(at *Attribute) {
+	qual := ""
+	if at.Readonly {
+		qual = "readonly "
+	}
+	p.line("%sattribute %s %s;", qual, typeSpelling(at.Type), at.DeclName())
+}
+
+// typeSpelling renders a type in source form. Named types are spelled with
+// absolute scope ("::Heidi::S") so the output parses in any context.
+func typeSpelling(t *Type) string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindSequence:
+		if t.Bound > 0 {
+			return fmt.Sprintf("sequence<%s, %d>", typeSpelling(t.Elem), t.Bound)
+		}
+		return fmt.Sprintf("sequence<%s>", typeSpelling(t.Elem))
+	case KindString:
+		if t.Bound > 0 {
+			return fmt.Sprintf("string<%d>", t.Bound)
+		}
+		return "string"
+	case KindWString:
+		if t.Bound > 0 {
+			return fmt.Sprintf("wstring<%d>", t.Bound)
+		}
+		return "wstring"
+	case KindArray:
+		// Anonymous array spelling only occurs inside typedef/member
+		// declarators, handled by the callers.
+		return typeSpelling(t.Elem)
+	}
+	if t.Decl != nil {
+		return "::" + t.Decl.ScopedName()
+	}
+	return t.Kind.String()
+}
+
+// memberDeclarator renders a struct/exception member, folding array
+// dimensions into the declarator.
+func memberDeclarator(m *Member) string {
+	if m.Type.Kind == KindArray {
+		s := m.Name
+		for _, d := range m.Type.Dims {
+			s += fmt.Sprintf("[%d]", d)
+		}
+		return s
+	}
+	return m.Name
+}
+
+// defaultSpelling renders a default value: scoped references keep their
+// original spelling (resolved against the printed absolute form), literals
+// print canonically.
+func defaultSpelling(v *ConstValue) string {
+	if v.Kind == ConstEnum {
+		// Spell the member absolutely via its enum's scope so the
+		// printed form resolves anywhere.
+		scope := v.Enum.ScopedName()
+		if i := strings.LastIndex(scope, "::"); i >= 0 {
+			return "::" + scope[:i] + "::" + v.Name
+		}
+		return "::" + v.Name
+	}
+	return v.String()
+}

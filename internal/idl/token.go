@@ -1,0 +1,257 @@
+// Package idl implements a front-end for the OMG Interface Definition
+// Language (IDL) as used by the template-driven compiler described in
+// "Customizing IDL Mappings and ORB Protocols" (Welling & Ott, Middleware
+// 2000). It provides a lexer, a recursive-descent parser producing a typed
+// abstract syntax tree, and a semantic resolver that computes scoped names,
+// repository IDs and inheritance closures.
+//
+// In addition to the classic IDL subset (modules, interfaces, operations,
+// attributes, structs, unions, enums, typedefs, sequences, arrays, constants
+// and exceptions) the package implements the two syntax extensions the paper
+// introduces for HeidiRMI:
+//
+//   - the "incopy" parameter-passing mode (pass-by-value for object
+//     references, identical to "in" for primitive types), and
+//   - default parameter values ("void p(in long l = 0)").
+package idl
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Keywords get their own kinds so that the parser never
+// compares identifier spellings.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStringLit
+
+	// Punctuation.
+	TokSemi       // ;
+	TokLBrace     // {
+	TokRBrace     // }
+	TokLParen     // (
+	TokRParen     // )
+	TokLBracket   // [
+	TokRBracket   // ]
+	TokLAngle     // <
+	TokRAngle     // >
+	TokComma      // ,
+	TokColon      // :
+	TokScope      // ::
+	TokEquals     // =
+	TokPlus       // +
+	TokMinus      // -
+	TokStar       // *
+	TokSlash      // /
+	TokPercent    // %
+	TokPipe       // |
+	TokCaret      // ^
+	TokAmp        // &
+	TokTilde      // ~
+	TokShiftLeft  // <<
+	TokShiftRight // >>
+
+	// Keywords.
+	TokModule
+	TokInterface
+	TokStruct
+	TokUnion
+	TokSwitch
+	TokCase
+	TokDefault
+	TokEnum
+	TokTypedef
+	TokConst
+	TokException
+	TokRaises
+	TokContext
+	TokOneway
+	TokAttribute
+	TokReadonly
+	TokIn
+	TokOut
+	TokInout
+	TokIncopy // paper extension: pass-by-value qualifier
+	TokVoid
+	TokBoolean
+	TokChar
+	TokWChar
+	TokOctet
+	TokShort
+	TokLong
+	TokFloat
+	TokDouble
+	TokUnsigned
+	TokString
+	TokWString
+	TokSequence
+	TokAny
+	TokObject
+	TokTrue
+	TokFalse
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:        "end of file",
+	TokIdent:      "identifier",
+	TokIntLit:     "integer literal",
+	TokFloatLit:   "floating-point literal",
+	TokCharLit:    "character literal",
+	TokStringLit:  "string literal",
+	TokSemi:       "';'",
+	TokLBrace:     "'{'",
+	TokRBrace:     "'}'",
+	TokLParen:     "'('",
+	TokRParen:     "')'",
+	TokLBracket:   "'['",
+	TokRBracket:   "']'",
+	TokLAngle:     "'<'",
+	TokRAngle:     "'>'",
+	TokComma:      "','",
+	TokColon:      "':'",
+	TokScope:      "'::'",
+	TokEquals:     "'='",
+	TokPlus:       "'+'",
+	TokMinus:      "'-'",
+	TokStar:       "'*'",
+	TokSlash:      "'/'",
+	TokPercent:    "'%'",
+	TokPipe:       "'|'",
+	TokCaret:      "'^'",
+	TokAmp:        "'&'",
+	TokTilde:      "'~'",
+	TokShiftLeft:  "'<<'",
+	TokShiftRight: "'>>'",
+	TokModule:     "'module'",
+	TokInterface:  "'interface'",
+	TokStruct:     "'struct'",
+	TokUnion:      "'union'",
+	TokSwitch:     "'switch'",
+	TokCase:       "'case'",
+	TokDefault:    "'default'",
+	TokEnum:       "'enum'",
+	TokTypedef:    "'typedef'",
+	TokConst:      "'const'",
+	TokException:  "'exception'",
+	TokRaises:     "'raises'",
+	TokContext:    "'context'",
+	TokOneway:     "'oneway'",
+	TokAttribute:  "'attribute'",
+	TokReadonly:   "'readonly'",
+	TokIn:         "'in'",
+	TokOut:        "'out'",
+	TokInout:      "'inout'",
+	TokIncopy:     "'incopy'",
+	TokVoid:       "'void'",
+	TokBoolean:    "'boolean'",
+	TokChar:       "'char'",
+	TokWChar:      "'wchar'",
+	TokOctet:      "'octet'",
+	TokShort:      "'short'",
+	TokLong:       "'long'",
+	TokFloat:      "'float'",
+	TokDouble:     "'double'",
+	TokUnsigned:   "'unsigned'",
+	TokString:     "'string'",
+	TokWString:    "'wstring'",
+	TokSequence:   "'sequence'",
+	TokAny:        "'any'",
+	TokObject:     "'Object'",
+	TokTrue:       "'TRUE'",
+	TokFalse:      "'FALSE'",
+}
+
+// String returns a human-readable description of the token kind, suitable
+// for use in diagnostics ("expected ';', found identifier").
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// keywords maps IDL keyword spellings to their token kinds. IDL keywords are
+// case-sensitive; TRUE and FALSE are boolean literals but lexed as keywords
+// for simplicity.
+var keywords = map[string]TokenKind{
+	"module":    TokModule,
+	"interface": TokInterface,
+	"struct":    TokStruct,
+	"union":     TokUnion,
+	"switch":    TokSwitch,
+	"case":      TokCase,
+	"default":   TokDefault,
+	"enum":      TokEnum,
+	"typedef":   TokTypedef,
+	"const":     TokConst,
+	"exception": TokException,
+	"raises":    TokRaises,
+	"context":   TokContext,
+	"oneway":    TokOneway,
+	"attribute": TokAttribute,
+	"readonly":  TokReadonly,
+	"in":        TokIn,
+	"out":       TokOut,
+	"inout":     TokInout,
+	"incopy":    TokIncopy,
+	"void":      TokVoid,
+	"boolean":   TokBoolean,
+	"char":      TokChar,
+	"wchar":     TokWChar,
+	"octet":     TokOctet,
+	"short":     TokShort,
+	"long":      TokLong,
+	"float":     TokFloat,
+	"double":    TokDouble,
+	"unsigned":  TokUnsigned,
+	"string":    TokString,
+	"wstring":   TokWString,
+	"sequence":  TokSequence,
+	"any":       TokAny,
+	"Object":    TokObject,
+	"TRUE":      TokTrue,
+	"FALSE":     TokFalse,
+}
+
+// Pos is a position in an IDL source file. Line and Column are 1-based.
+type Pos struct {
+	File   string
+	Line   int
+	Column int
+}
+
+// String formats the position as "file:line:col". A zero position formats as
+// "-".
+func (p Pos) String() string {
+	if p.Line == 0 {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Column)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Column)
+}
+
+// Token is a single lexical token with its source position and original
+// spelling. For literal tokens, Text holds the raw spelling; the parser is
+// responsible for interpreting it.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokIntLit, TokFloatLit, TokCharLit, TokStringLit:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

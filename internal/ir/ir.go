@@ -1,0 +1,247 @@
+// Package ir implements an Interface Repository in the style the paper
+// attributes to OmniBroker (§5): "The OmniBroker parser stores an abstract
+// representation of the IDL source in a possibly persistent global
+// Interface Repository (IR) in support of a distributed development
+// environment. The code-generation stage then queries the IR for details of
+// each required IDL interface."
+//
+// The repository stores, per translation unit, the EST script of the parsed
+// source (the paper's re-evaluable representation, Fig. 8) keyed by file
+// name, and indexes every declaration by repository ID. Persistence uses a
+// plain directory of script files plus an index, so a repository survives
+// compiler runs — and, per §5, our code generator "integrates" with it by
+// rebuilding ESTs from the stored scripts instead of re-parsing IDL.
+package ir
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/est"
+	"repro/internal/idl"
+)
+
+// Entry describes one declaration indexed by the repository.
+type Entry struct {
+	RepoID string
+	Scoped string
+	Kind   string // "Interface", "Enum", "Struct", ...
+	File   string // translation unit the declaration came from
+}
+
+// Repository is an in-memory interface repository, optionally backed by a
+// directory (see Save/Load).
+type Repository struct {
+	mu      sync.RWMutex
+	scripts map[string]string // file -> EST script
+	entries map[string]Entry  // repo ID -> entry
+}
+
+// New returns an empty repository.
+func New() *Repository {
+	return &Repository{
+		scripts: make(map[string]string),
+		entries: make(map[string]Entry),
+	}
+}
+
+// AddIDL parses an IDL translation unit and stores it. Re-adding a file
+// replaces its previous contents.
+func (r *Repository) AddIDL(file, src string) error {
+	spec, err := idl.Parse(file, src)
+	if err != nil {
+		return fmt.Errorf("ir: parsing %s: %w", file, err)
+	}
+	root := est.Build(spec)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removeFileLocked(file)
+	r.scripts[file] = est.EmitScript(root)
+	r.indexLocked(file, root)
+	return nil
+}
+
+// removeFileLocked drops a file's entries; callers hold r.mu.
+func (r *Repository) removeFileLocked(file string) {
+	delete(r.scripts, file)
+	for id, e := range r.entries {
+		if e.File == file {
+			delete(r.entries, id)
+		}
+	}
+}
+
+// indexLocked walks an EST recording every declaration with a repoID.
+func (r *Repository) indexLocked(file string, root *est.Node) {
+	var walk func(n *est.Node)
+	walk = func(n *est.Node) {
+		if id := n.PropString("repoID"); id != "" {
+			scoped := ""
+			for _, key := range []string{"interfaceName", "enumName", "aliasName",
+				"structName", "unionName", "constName", "exceptionName", "moduleName"} {
+				if v := n.PropString(key); v != "" {
+					scoped = v
+					break
+				}
+			}
+			if scoped != "" {
+				r.entries[id] = Entry{RepoID: id, Scoped: scoped, Kind: n.Kind, File: file}
+			}
+		}
+		for _, list := range n.ListKeys() {
+			for _, c := range n.List(list) {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+}
+
+// Lookup finds a declaration by repository ID.
+func (r *Repository) Lookup(repoID string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[repoID]
+	return e, ok
+}
+
+// LookupScoped finds a declaration by scoped name ("Heidi::A").
+func (r *Repository) LookupScoped(scoped string) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		if e.Scoped == scoped {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Entries returns all indexed declarations sorted by repository ID.
+func (r *Repository) Entries() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RepoID < out[j].RepoID })
+	return out
+}
+
+// Files returns the stored translation units, sorted.
+func (r *Repository) Files() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.scripts))
+	for f := range r.scripts {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EST rebuilds the EST of a stored translation unit by evaluating its
+// script — the query path a template-driven back-end uses instead of
+// re-parsing IDL (§5).
+func (r *Repository) EST(file string) (*est.Node, error) {
+	r.mu.RLock()
+	script, ok := r.scripts[file]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("ir: no translation unit %q", file)
+	}
+	return est.EvalScript(script)
+}
+
+// ESTFor rebuilds the EST of the translation unit declaring repoID.
+func (r *Repository) ESTFor(repoID string) (*est.Node, error) {
+	e, ok := r.Lookup(repoID)
+	if !ok {
+		return nil, fmt.Errorf("ir: unknown repository ID %q", repoID)
+	}
+	return r.EST(e.File)
+}
+
+// --- persistence ---------------------------------------------------------------
+
+// scriptExt is the on-disk extension for stored EST scripts.
+const scriptExt = ".est"
+
+// Save writes the repository to a directory: one .est script per
+// translation unit. The directory is created if needed; stale scripts from
+// removed files are deleted.
+func (r *Repository) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ir: creating %s: %w", dir, err)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keep := map[string]bool{}
+	for file, script := range r.scripts {
+		name := sanitizeFileName(file) + scriptExt
+		keep[name] = true
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("# source: "+file+"\n"+script), 0o644); err != nil {
+			return fmt.Errorf("ir: writing %s: %w", name, err)
+		}
+	}
+	old, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range old {
+		if strings.HasSuffix(de.Name(), scriptExt) && !keep[de.Name()] {
+			os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
+	return nil
+}
+
+// Load reads a repository previously written by Save.
+func Load(dir string) (*Repository, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ir: reading %s: %w", dir, err)
+	}
+	r := New()
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), scriptExt) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return nil, err
+		}
+		text := string(data)
+		file := strings.TrimSuffix(de.Name(), scriptExt)
+		if strings.HasPrefix(text, "# source: ") {
+			nl := strings.IndexByte(text, '\n')
+			file = strings.TrimPrefix(text[:nl], "# source: ")
+			text = text[nl+1:]
+		}
+		root, err := est.EvalScript(text)
+		if err != nil {
+			return nil, fmt.Errorf("ir: evaluating %s: %w", de.Name(), err)
+		}
+		r.mu.Lock()
+		r.scripts[file] = text
+		r.indexLocked(file, root)
+		r.mu.Unlock()
+	}
+	return r, nil
+}
+
+// sanitizeFileName makes a translation-unit name safe as a file name.
+func sanitizeFileName(file string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '_'
+		}
+		return r
+	}, file)
+}

@@ -1,0 +1,172 @@
+package ir
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/idl/idltest"
+)
+
+func newRepo(t *testing.T) *Repository {
+	t.Helper()
+	r := New()
+	if err := r.AddIDL("A.idl", idltest.AIDLComplete); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddIDL("media.idl", idltest.MediaIDL); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestLookupByRepoID(t *testing.T) {
+	r := newRepo(t)
+	e, ok := r.Lookup("IDL:Heidi/A:1.0")
+	if !ok {
+		t.Fatal("Heidi::A not found")
+	}
+	if e.Scoped != "Heidi::A" || e.Kind != "Interface" || e.File != "A.idl" {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, ok := r.Lookup("IDL:Nope:1.0"); ok {
+		t.Error("found nonexistent ID")
+	}
+
+	e2, ok := r.LookupScoped("Media::StreamInfo")
+	if !ok || e2.Kind != "Struct" {
+		t.Errorf("LookupScoped = %+v, %v", e2, ok)
+	}
+	if _, ok := r.LookupScoped("No::Such"); ok {
+		t.Error("found nonexistent scoped name")
+	}
+}
+
+func TestEntriesAndFiles(t *testing.T) {
+	r := newRepo(t)
+	if got := r.Files(); len(got) != 2 || got[0] != "A.idl" || got[1] != "media.idl" {
+		t.Errorf("Files = %v", got)
+	}
+	entries := r.Entries()
+	if len(entries) < 10 {
+		t.Errorf("entries = %d, want interfaces+types from both units", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].RepoID >= entries[i].RepoID {
+			t.Fatal("entries not sorted")
+		}
+	}
+}
+
+func TestESTQuery(t *testing.T) {
+	r := newRepo(t)
+	root, err := r.ESTFor("IDL:Media/Session:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Find("Interface", "Session") == nil {
+		t.Error("rebuilt EST missing Session")
+	}
+	if _, err := r.EST("missing.idl"); err == nil {
+		t.Error("EST of unknown unit should fail")
+	}
+	if _, err := r.ESTFor("IDL:Nope:1.0"); err == nil {
+		t.Error("ESTFor unknown ID should fail")
+	}
+}
+
+func TestReAddReplaces(t *testing.T) {
+	r := New()
+	if err := r.AddIDL("x.idl", "interface Old {};"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddIDL("x.idl", "interface New {};"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("IDL:Old:1.0"); ok {
+		t.Error("stale entry survived re-add")
+	}
+	if _, ok := r.Lookup("IDL:New:1.0"); !ok {
+		t.Error("new entry missing")
+	}
+}
+
+func TestAddBadIDL(t *testing.T) {
+	r := New()
+	if err := r.AddIDL("bad.idl", "interface {"); err == nil {
+		t.Error("bad IDL accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := newRepo(t)
+	dir := filepath.Join(t.TempDir(), "irdb")
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(loaded.Entries()), len(r.Entries()); got != want {
+		t.Fatalf("loaded %d entries, want %d", got, want)
+	}
+	// The loaded EST equals the original (script round trip).
+	origEST, err := r.EST("A.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedEST, err := loaded.EST("A.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !origEST.Equal(loadedEST) {
+		t.Error("loaded EST differs from original")
+	}
+
+	// Stale scripts are removed on re-save after dropping a unit.
+	r.mu.Lock()
+	r.removeFileLocked("media.idl")
+	r.mu.Unlock()
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reloaded.Files(); len(got) != 1 || got[0] != "A.idl" {
+		t.Errorf("after re-save: %v", got)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("Load of missing dir should fail")
+	}
+}
+
+// TestGenerateFromRepository is the §5 integration: the code generator
+// queries the IR for an interface and generates from the stored
+// representation without re-parsing IDL.
+func TestGenerateFromRepository(t *testing.T) {
+	r := newRepo(t)
+	root, err := r.ESTFor("IDL:Heidi/A:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.CompileEST(root, "heidi-cpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := res.File("A.hh")
+	if hh == "" {
+		t.Fatalf("no A.hh generated; files: %v", res.Order)
+	}
+	for _, want := range []string{"class HdA :", "virtual public HdS"} {
+		if !strings.Contains(hh, want) {
+			t.Errorf("A.hh missing %q", want)
+		}
+	}
+}

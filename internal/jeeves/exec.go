@@ -1,0 +1,313 @@
+package jeeves
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/est"
+)
+
+// Output receives generated text. OpenFile is called by @openfile; Write
+// receives complete substituted lines (with trailing newline included).
+type Output interface {
+	OpenFile(name string) error
+	Write(s string) error
+}
+
+// MemOutput is an in-memory Output collecting one buffer per file. Text
+// emitted before any @openfile goes to the unnamed file "".
+type MemOutput struct {
+	bufs  map[string]*strings.Builder
+	order []string
+	cur   *strings.Builder
+}
+
+// NewMemOutput returns an empty MemOutput.
+func NewMemOutput() *MemOutput {
+	m := &MemOutput{bufs: make(map[string]*strings.Builder)}
+	m.cur = m.open("")
+	return m
+}
+
+func (m *MemOutput) open(name string) *strings.Builder {
+	b, ok := m.bufs[name]
+	if !ok {
+		b = &strings.Builder{}
+		m.bufs[name] = b
+		m.order = append(m.order, name)
+	}
+	return b
+}
+
+// OpenFile implements Output.
+func (m *MemOutput) OpenFile(name string) error {
+	m.cur = m.open(name)
+	return nil
+}
+
+// Write implements Output.
+func (m *MemOutput) Write(s string) error {
+	m.cur.WriteString(s)
+	return nil
+}
+
+// File returns the contents of a named file ("" is the default buffer).
+func (m *MemOutput) File(name string) string {
+	if b, ok := m.bufs[name]; ok {
+		return b.String()
+	}
+	return ""
+}
+
+// Files returns the non-empty file names in creation order, excluding the
+// default buffer when it is empty.
+func (m *MemOutput) Files() []string {
+	var out []string
+	for _, name := range m.order {
+		if name == "" && m.bufs[name].Len() == 0 {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// All returns every file's contents keyed by name.
+func (m *MemOutput) All() map[string]string {
+	out := make(map[string]string, len(m.bufs))
+	for name, b := range m.bufs {
+		if name == "" && b.Len() == 0 {
+			continue
+		}
+		out[name] = b.String()
+	}
+	return out
+}
+
+// ExecError is a template execution diagnostic.
+type ExecError struct {
+	Template string
+	Line     int
+	Msg      string
+}
+
+// Error implements the error interface.
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Template, e.Line, e.Msg)
+}
+
+// frame is one level of the execution scope stack: a current EST node plus
+// loop-local variable bindings.
+type frame struct {
+	node *est.Node
+	vars map[string]string
+}
+
+type execState struct {
+	prog   *Program
+	funcs  FuncMap
+	out    Output
+	frames []frame
+}
+
+// Execute runs the compiled program against an EST rooted at root, writing
+// to out. All map functions referenced by the template must be present in
+// funcs; this is validated before any output is produced.
+func (p *Program) Execute(root *est.Node, funcs FuncMap, out Output) error {
+	var missing []string
+	for _, name := range p.funcs {
+		if _, ok := funcs[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("jeeves: template %s references undefined map functions: %s",
+			p.Name, strings.Join(missing, ", "))
+	}
+	st := &execState{prog: p, funcs: funcs, out: out}
+	st.frames = append(st.frames, frame{node: root, vars: make(map[string]string)})
+	return st.execAll(p.stmts)
+}
+
+// ExecuteToMemory is a convenience wrapper returning the generated files.
+func (p *Program) ExecuteToMemory(root *est.Node, funcs FuncMap) (*MemOutput, error) {
+	out := NewMemOutput()
+	if err := p.Execute(root, funcs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (st *execState) errf(line int, format string, args ...any) error {
+	return &ExecError{Template: st.prog.Name, Line: line + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (st *execState) top() *frame { return &st.frames[len(st.frames)-1] }
+
+// lookup resolves a variable: innermost loop vars first, then that frame's
+// node properties, then outward.
+func (st *execState) lookup(name string) (string, bool) {
+	for i := len(st.frames) - 1; i >= 0; i-- {
+		f := &st.frames[i]
+		if v, ok := f.vars[name]; ok {
+			return v, true
+		}
+		if f.node != nil {
+			if _, ok := f.node.Prop(name); ok {
+				return f.node.PropString(name), true
+			}
+		}
+	}
+	return "", false
+}
+
+func (st *execState) execAll(stmts []stmt) error {
+	for _, s := range stmts {
+		if err := st.exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *execState) exec(s stmt) error {
+	switch n := s.(type) {
+	case textStmt:
+		line, err := st.subst(n.segs, n.line)
+		if err != nil {
+			return err
+		}
+		return st.out.Write(line + "\n")
+	case openfileStmt:
+		name, err := st.subst(n.segs, n.line)
+		if err != nil {
+			return err
+		}
+		if err := st.out.OpenFile(strings.TrimSpace(name)); err != nil {
+			return st.errf(n.line, "@openfile %s: %v", name, err)
+		}
+		return nil
+	case setStmt:
+		val, err := st.subst(n.segs, n.line)
+		if err != nil {
+			return err
+		}
+		// Assign to the nearest frame that already binds the variable so
+		// accumulator patterns work across nested loops; otherwise bind
+		// in the current frame.
+		for i := len(st.frames) - 1; i >= 0; i-- {
+			if _, ok := st.frames[i].vars[n.name]; ok {
+				st.frames[i].vars[n.name] = val
+				return nil
+			}
+		}
+		st.top().vars[n.name] = val
+		return nil
+	case foreachStmt:
+		return st.execForeach(n)
+	case ifStmt:
+		return st.execIf(n)
+	}
+	return fmt.Errorf("jeeves: unknown statement %T", s)
+}
+
+func (st *execState) execForeach(fs foreachStmt) error {
+	node := st.top().node
+	if node == nil {
+		return st.errf(fs.line, "@foreach %s: no current node", fs.list)
+	}
+	items := node.Gather(fs.list)
+	for i, item := range items {
+		vars := make(map[string]string, len(fs.maps)+1)
+		if fs.ifMore != "" {
+			if i < len(items)-1 {
+				vars["ifMore"] = fs.ifMore
+			} else {
+				vars["ifMore"] = ""
+			}
+		}
+		for _, m := range fs.maps {
+			raw := item.PropString(m.srcProp)
+			fn := st.funcs[m.fn]
+			mapped, err := fn(raw, item)
+			if err != nil {
+				return st.errf(fs.line, "-map %s %s on %q: %v", m.varName, m.fn, raw, err)
+			}
+			vars[m.varName] = mapped
+		}
+		st.frames = append(st.frames, frame{node: item, vars: vars})
+		err := st.execAll(fs.body)
+		st.frames = st.frames[:len(st.frames)-1]
+		if err != nil {
+			return err
+		}
+		if fs.sep != "" && i < len(items)-1 {
+			if err := st.out.Write(fs.sep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (st *execState) execIf(is ifStmt) error {
+	for _, br := range is.branches {
+		ok, err := st.evalCond(br.cond, is.line)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return st.execAll(br.body)
+		}
+	}
+	return st.execAll(is.elseBody)
+}
+
+func (st *execState) evalCond(c condExpr, line int) (bool, error) {
+	left, err := st.evalOperand(c.left, line)
+	if err != nil {
+		return false, err
+	}
+	if c.op == "" {
+		return left != "" && left != "false", nil
+	}
+	right, err := st.evalOperand(c.right, line)
+	if err != nil {
+		return false, err
+	}
+	eq := left == right
+	if c.op == "!=" {
+		return !eq, nil
+	}
+	return eq, nil
+}
+
+func (st *execState) evalOperand(o operand, line int) (string, error) {
+	if !o.isRef {
+		return o.lit, nil
+	}
+	v, ok := st.lookup(o.ref)
+	if !ok {
+		return "", st.errf(line, "undefined variable ${%s}", o.ref)
+	}
+	return v, nil
+}
+
+// subst renders a segment list with variable substitution.
+func (st *execState) subst(segs []segment, line int) (string, error) {
+	var b strings.Builder
+	for _, s := range segs {
+		if s.ref == "" {
+			b.WriteString(s.lit)
+			continue
+		}
+		v, ok := st.lookup(s.ref)
+		if !ok {
+			return "", st.errf(line, "undefined variable ${%s}", s.ref)
+		}
+		b.WriteString(v)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,580 @@
+// Package jeeves implements the template-driven code generator of
+// "Customizing IDL Mappings and ORB Protocols" (Welling & Ott, Middleware
+// 2000, §4). The template language is the one shown in Fig. 9 of the paper
+// (itself modelled on Srinivasan's Jeeves processor from Advanced Perl
+// Programming): '@' escapes code-generation commands, '${name}' substitutes
+// node properties and loop variables, and named map functions
+// ("CPP::MapClassName") convert IDL names into target-language spellings.
+//
+// Code generation is the paper's two-step process: CompileTemplate turns a
+// template into an executable Program once ("the first step ... need only
+// be performed once for a particular code-generation template"), and
+// Program.Execute runs it against an EST, producing one or more output
+// files.
+//
+// Template language summary:
+//
+//	@foreach <list> [options]        iterate the EST child list <list>
+//	  -map <var> <func>              rebind ${<var>} to func(value) per node
+//	  -mapto <var> <prop> <func>     bind ${<var>} to func(node prop <prop>)
+//	  -ifMore '<text>'               ${ifMore} = <text> except on the last item
+//	  -sep '<text>'                  emit <text> between iterations
+//	@end <list>                      close the matching @foreach
+//	@if <expr> / @elif <expr> / @else / @fi
+//	                                 conditionals; <expr> is <operand> [==|!= <operand>]
+//	                                 with operands ${var}, 'literal' or "literal"
+//	@openfile <path>                 start a new output file (substitutions apply)
+//	@set <var> <value>               bind a loop-scoped variable
+//	@include <name>                  splice in another template at compile time
+//	@# comment                       ignored
+//	@@...                            literal line starting with '@'
+//
+// Every other line is copied to the output with ${...} substitutions, plus
+// a trailing newline.
+package jeeves
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/est"
+)
+
+// MapFunc converts one property value into a target-language spelling. The
+// node whose property is being mapped is supplied for context (mappings
+// that need to know a type's kind, for instance, can consult its other
+// properties).
+type MapFunc func(value string, n *est.Node) (string, error)
+
+// FuncMap names the map functions available to templates, keyed by the
+// spelling used after -map (conventionally "Lang::Name", e.g.
+// "CPP::MapClassName").
+type FuncMap map[string]MapFunc
+
+// Loader resolves @include names to template source at compile time.
+type Loader func(name string) (string, error)
+
+// CompileError is a template compilation diagnostic.
+type CompileError struct {
+	Template string
+	Line     int
+	Msg      string
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Template, e.Line, e.Msg)
+}
+
+// Program is a compiled template, reusable across executions (the paper's
+// "perl program that represents the actual code generator").
+type Program struct {
+	Name  string
+	stmts []stmt
+	funcs []string // map functions referenced, for early validation
+}
+
+// MapFuncsUsed returns the map-function names the template references, in
+// first-use order. Execute validates all of them up front.
+func (p *Program) MapFuncsUsed() []string { return append([]string(nil), p.funcs...) }
+
+// segment of a substituted line: literal text or a variable reference.
+type segment struct {
+	lit string
+	ref string // variable name when non-empty
+}
+
+type stmt interface{ isStmt() }
+
+type textStmt struct {
+	line int
+	segs []segment
+}
+
+type openfileStmt struct {
+	line int
+	segs []segment
+}
+
+type setStmt struct {
+	line int
+	name string
+	segs []segment
+}
+
+type mapSpec struct {
+	varName string // variable bound in the loop body
+	srcProp string // node property supplying the raw value
+	fn      string
+}
+
+type foreachStmt struct {
+	line   int
+	list   string
+	maps   []mapSpec
+	ifMore string
+	sep    string
+	body   []stmt
+}
+
+type operand struct {
+	lit   string
+	ref   string // variable name when non-empty
+	isRef bool
+}
+
+type condExpr struct {
+	left  operand
+	op    string // "", "==", "!="
+	right operand
+}
+
+type branch struct {
+	cond condExpr
+	body []stmt
+}
+
+type ifStmt struct {
+	line     int
+	branches []branch
+	elseBody []stmt
+}
+
+func (textStmt) isStmt()     {}
+func (openfileStmt) isStmt() {}
+func (setStmt) isStmt()      {}
+func (foreachStmt) isStmt()  {}
+func (ifStmt) isStmt()       {}
+
+// CompileOption configures compilation.
+type CompileOption func(*compiler)
+
+// WithLoader supplies an @include resolver; without one, @include is a
+// compile error.
+func WithLoader(l Loader) CompileOption {
+	return func(c *compiler) { c.loader = l }
+}
+
+type compiler struct {
+	name   string
+	lines  []string
+	pos    int
+	loader Loader
+	funcs  []string
+	seen   map[string]bool
+	depth  int // include nesting guard
+}
+
+// CompileTemplate compiles template source into a Program. name is used in
+// diagnostics.
+func CompileTemplate(name, src string, opts ...CompileOption) (*Program, error) {
+	c := &compiler{name: name, seen: make(map[string]bool)}
+	for _, o := range opts {
+		o(c)
+	}
+	c.lines = splitLines(src)
+	stmts, err := c.compileBlock(nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.pos < len(c.lines) {
+		return nil, c.errf(c.pos, "unexpected %q without matching open", strings.TrimSpace(c.lines[c.pos]))
+	}
+	return &Program{Name: name, stmts: stmts, funcs: c.funcs}, nil
+}
+
+// MustCompile is a helper for statically-known templates; it panics on
+// compile errors, which indicate a programming bug.
+func MustCompile(name, src string, opts ...CompileOption) *Program {
+	p, err := CompileTemplate(name, src, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("jeeves.MustCompile(%s): %v", name, err))
+	}
+	return p
+}
+
+// splitLines splits template source into lines without trailing newlines. A
+// trailing final newline does not produce a phantom empty line.
+func splitLines(src string) []string {
+	if src == "" {
+		return nil
+	}
+	src = strings.TrimSuffix(src, "\n")
+	return strings.Split(src, "\n")
+}
+
+func (c *compiler) errf(line int, format string, args ...any) error {
+	return &CompileError{Template: c.name, Line: line + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// compileBlock compiles statements until one of the terminator directives
+// (nil terminators = EOF). The terminating line is left unconsumed.
+func (c *compiler) compileBlock(terminators []string) ([]stmt, error) {
+	var out []stmt
+	for c.pos < len(c.lines) {
+		raw := c.lines[c.pos]
+		trimmed := strings.TrimLeft(raw, " \t")
+		if strings.HasPrefix(trimmed, "@@") {
+			// Escaped literal '@' line.
+			lit := strings.Replace(raw, "@@", "@", 1)
+			segs, err := c.parseSegments(lit, c.pos)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, textStmt{line: c.pos, segs: segs})
+			c.pos++
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "@") {
+			segs, err := c.parseSegments(raw, c.pos)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, textStmt{line: c.pos, segs: segs})
+			c.pos++
+			continue
+		}
+		directive, rest := splitDirectiveLine(trimmed)
+		for _, t := range terminators {
+			if directive == t {
+				return out, nil
+			}
+		}
+		switch directive {
+		case "@#":
+			c.pos++
+		case "@foreach":
+			s, err := c.compileForeach(rest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case "@if":
+			s, err := c.compileIf(rest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case "@openfile":
+			segs, err := c.parseSegments(strings.TrimSpace(rest), c.pos)
+			if err != nil {
+				return nil, err
+			}
+			if len(segs) == 0 {
+				return nil, c.errf(c.pos, "@openfile requires a file name")
+			}
+			out = append(out, openfileStmt{line: c.pos, segs: segs})
+			c.pos++
+		case "@set":
+			fields := strings.SplitN(strings.TrimSpace(rest), " ", 2)
+			if len(fields) == 0 || fields[0] == "" {
+				return nil, c.errf(c.pos, "@set requires a variable name")
+			}
+			value := ""
+			if len(fields) == 2 {
+				value = strings.TrimSpace(fields[1])
+			}
+			segs, err := c.parseSegments(value, c.pos)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, setStmt{line: c.pos, name: fields[0], segs: segs})
+			c.pos++
+		case "@include":
+			name := strings.TrimSpace(rest)
+			if name == "" {
+				return nil, c.errf(c.pos, "@include requires a template name")
+			}
+			if c.loader == nil {
+				return nil, c.errf(c.pos, "@include %q: no template loader configured", name)
+			}
+			if c.depth >= 16 {
+				return nil, c.errf(c.pos, "@include nesting too deep (cycle through %q?)", name)
+			}
+			src, err := c.loader(name)
+			if err != nil {
+				return nil, c.errf(c.pos, "@include %q: %v", name, err)
+			}
+			sub := &compiler{name: name, loader: c.loader, seen: c.seen, depth: c.depth + 1}
+			sub.lines = splitLines(src)
+			stmts, err := sub.compileBlock(nil)
+			if err != nil {
+				return nil, err
+			}
+			c.mergeFuncs(sub.funcs)
+			out = append(out, stmts...)
+			c.pos++
+		case "@end", "@else", "@elif", "@fi":
+			return nil, c.errf(c.pos, "unexpected %s without matching open", directive)
+		default:
+			return nil, c.errf(c.pos, "unknown directive %s", directive)
+		}
+	}
+	if terminators != nil {
+		return nil, c.errf(len(c.lines)-1, "missing %s at end of template", strings.Join(terminators, " or "))
+	}
+	return out, nil
+}
+
+func (c *compiler) mergeFuncs(names []string) {
+	for _, n := range names {
+		if !c.seen[n] {
+			c.seen[n] = true
+			c.funcs = append(c.funcs, n)
+		}
+	}
+}
+
+// splitDirectiveLine separates "@foreach rest of line" into directive and
+// rest. "@#" comments are recognised even without a space.
+func splitDirectiveLine(s string) (string, string) {
+	if strings.HasPrefix(s, "@#") {
+		return "@#", s[2:]
+	}
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], s[i+1:]
+}
+
+func (c *compiler) compileForeach(rest string) (stmt, error) {
+	line := c.pos
+	fields, err := tokenizeOptions(rest)
+	if err != nil {
+		return nil, c.errf(line, "@foreach: %v", err)
+	}
+	if len(fields) == 0 {
+		return nil, c.errf(line, "@foreach requires a list name")
+	}
+	fs := foreachStmt{line: line, list: fields[0]}
+	i := 1
+	for i < len(fields) {
+		switch fields[i] {
+		case "-map":
+			if i+2 >= len(fields) {
+				return nil, c.errf(line, "-map requires a variable and a function name")
+			}
+			fs.maps = append(fs.maps, mapSpec{varName: fields[i+1], srcProp: fields[i+1], fn: fields[i+2]})
+			c.mergeFuncs([]string{fields[i+2]})
+			i += 3
+		case "-mapto":
+			if i+3 >= len(fields) {
+				return nil, c.errf(line, "-mapto requires a new variable, a source property and a function name")
+			}
+			fs.maps = append(fs.maps, mapSpec{varName: fields[i+1], srcProp: fields[i+2], fn: fields[i+3]})
+			c.mergeFuncs([]string{fields[i+3]})
+			i += 4
+		case "-ifMore":
+			if i+1 >= len(fields) {
+				return nil, c.errf(line, "-ifMore requires a value")
+			}
+			fs.ifMore = fields[i+1]
+			i += 2
+		case "-sep":
+			if i+1 >= len(fields) {
+				return nil, c.errf(line, "-sep requires a value")
+			}
+			fs.sep = fields[i+1]
+			i += 2
+		default:
+			return nil, c.errf(line, "unknown @foreach option %q", fields[i])
+		}
+	}
+	c.pos++
+	body, err := c.compileBlock([]string{"@end"})
+	if err != nil {
+		return nil, err
+	}
+	// Consume the @end line and check the list name matches.
+	_, rest2 := splitDirectiveLine(strings.TrimLeft(c.lines[c.pos], " \t"))
+	endName := strings.TrimSpace(rest2)
+	if endName != "" && endName != fs.list {
+		return nil, c.errf(c.pos, "@end %s does not match @foreach %s (line %d)", endName, fs.list, line+1)
+	}
+	c.pos++
+	fs.body = body
+	return fs, nil
+}
+
+func (c *compiler) compileIf(rest string) (stmt, error) {
+	line := c.pos
+	cond, err := c.parseCond(rest, line)
+	if err != nil {
+		return nil, err
+	}
+	c.pos++
+	is := ifStmt{line: line}
+	body, err := c.compileBlock([]string{"@elif", "@else", "@fi"})
+	if err != nil {
+		return nil, err
+	}
+	is.branches = append(is.branches, branch{cond: cond, body: body})
+
+	for {
+		directive, rest2 := splitDirectiveLine(strings.TrimLeft(c.lines[c.pos], " \t"))
+		switch directive {
+		case "@elif":
+			cond, err := c.parseCond(rest2, c.pos)
+			if err != nil {
+				return nil, err
+			}
+			c.pos++
+			body, err := c.compileBlock([]string{"@elif", "@else", "@fi"})
+			if err != nil {
+				return nil, err
+			}
+			is.branches = append(is.branches, branch{cond: cond, body: body})
+		case "@else":
+			c.pos++
+			body, err := c.compileBlock([]string{"@fi"})
+			if err != nil {
+				return nil, err
+			}
+			is.elseBody = body
+			directive, _ = splitDirectiveLine(strings.TrimLeft(c.lines[c.pos], " \t"))
+			if directive != "@fi" {
+				return nil, c.errf(c.pos, "expected @fi after @else block")
+			}
+			c.pos++
+			return is, nil
+		case "@fi":
+			c.pos++
+			return is, nil
+		default:
+			return nil, c.errf(c.pos, "expected @elif, @else or @fi, found %s", directive)
+		}
+	}
+}
+
+// parseCond parses "<operand> [==|!=|≠ <operand>]".
+func (c *compiler) parseCond(s string, line int) (condExpr, error) {
+	fields, err := tokenizeOptions(s)
+	if err != nil {
+		return condExpr{}, c.errf(line, "@if: %v", err)
+	}
+	switch len(fields) {
+	case 1:
+		op, err := c.parseOperand(fields[0], line)
+		if err != nil {
+			return condExpr{}, err
+		}
+		return condExpr{left: op}, nil
+	case 3:
+		left, err := c.parseOperand(fields[0], line)
+		if err != nil {
+			return condExpr{}, err
+		}
+		right, err := c.parseOperand(fields[2], line)
+		if err != nil {
+			return condExpr{}, err
+		}
+		opName := fields[1]
+		if opName == "≠" {
+			opName = "!="
+		}
+		if opName != "==" && opName != "!=" {
+			return condExpr{}, c.errf(line, "unknown comparison operator %q", fields[1])
+		}
+		return condExpr{left: left, op: opName, right: right}, nil
+	default:
+		return condExpr{}, c.errf(line, "condition must be <operand> or <operand> ==|!= <operand>, got %d tokens", len(fields))
+	}
+}
+
+func (c *compiler) parseOperand(s string, line int) (operand, error) {
+	if strings.HasPrefix(s, "${") && strings.HasSuffix(s, "}") {
+		name := s[2 : len(s)-1]
+		if name == "" {
+			return operand{}, c.errf(line, "empty variable reference")
+		}
+		return operand{ref: name, isRef: true}, nil
+	}
+	return operand{lit: s}, nil
+}
+
+// tokenizeOptions splits an option string on whitespace, honouring single-
+// and double-quoted segments whose quotes are stripped (so -ifMore ','
+// yields ","). Quoted values support the escapes \n, \t, \\ and \<quote>,
+// allowing separators that span lines.
+func tokenizeOptions(s string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		switch q := s[i]; q {
+		case '\'', '"':
+			var b strings.Builder
+			j := i + 1
+			closed := false
+			for j < len(s) {
+				switch {
+				case s[j] == '\\' && j+1 < len(s):
+					switch s[j+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					default:
+						b.WriteByte(s[j+1])
+					}
+					j += 2
+				case s[j] == q:
+					closed = true
+					j++
+				default:
+					b.WriteByte(s[j])
+					j++
+				}
+				if closed {
+					break
+				}
+			}
+			if !closed {
+				return nil, fmt.Errorf("unterminated %c-quoted value", q)
+			}
+			out = append(out, b.String())
+			i = j
+		default:
+			j := i
+			for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+		}
+	}
+	return out, nil
+}
+
+// parseSegments compiles a text line into literal/variable segments.
+func (c *compiler) parseSegments(s string, line int) ([]segment, error) {
+	var segs []segment
+	for {
+		i := strings.Index(s, "${")
+		if i < 0 {
+			if s != "" {
+				segs = append(segs, segment{lit: s})
+			}
+			return segs, nil
+		}
+		if i > 0 {
+			segs = append(segs, segment{lit: s[:i]})
+		}
+		j := strings.IndexByte(s[i:], '}')
+		if j < 0 {
+			return nil, c.errf(line, "unterminated ${...} reference")
+		}
+		name := s[i+2 : i+j]
+		if name == "" {
+			return nil, c.errf(line, "empty ${} reference")
+		}
+		segs = append(segs, segment{ref: name})
+		s = s[i+j+1:]
+	}
+}

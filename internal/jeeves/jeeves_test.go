@@ -1,0 +1,569 @@
+package jeeves
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/est"
+	"repro/internal/idl"
+	"repro/internal/idl/idltest"
+)
+
+// identity map functions used across tests.
+func identFuncs(names ...string) FuncMap {
+	fm := FuncMap{}
+	for _, n := range names {
+		fm[n] = func(v string, _ *est.Node) (string, error) { return v, nil }
+	}
+	return fm
+}
+
+func run(t *testing.T, tmpl string, root *est.Node, funcs FuncMap) string {
+	t.Helper()
+	p, err := CompileTemplate("test.tpl", tmpl)
+	if err != nil {
+		t.Fatalf("CompileTemplate: %v", err)
+	}
+	out, err := p.ExecuteToMemory(root, funcs)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return out.File("")
+}
+
+func sampleTree() *est.Node {
+	root := est.NewRoot()
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		n := est.New("Item", name)
+		n.SetProp("itemName", name)
+		n.SetProp("upper", strings.ToUpper(name))
+		root.AddChild("itemList", n)
+	}
+	return root
+}
+
+func TestTextSubstitution(t *testing.T) {
+	root := est.NewRoot()
+	root.SetProp("who", "world")
+	got := run(t, "hello ${who}!\nplain line\n", root, nil)
+	want := "hello world!\nplain line\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestForeach(t *testing.T) {
+	tmpl := `@foreach itemList
+- ${itemName}
+@end itemList
+`
+	got := run(t, tmpl, sampleTree(), nil)
+	want := "- alpha\n- beta\n- gamma\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestForeachIfMore(t *testing.T) {
+	tmpl := `@foreach itemList -ifMore ','
+${itemName}${ifMore}
+@end itemList
+`
+	got := run(t, tmpl, sampleTree(), nil)
+	want := "alpha,\nbeta,\ngamma\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestForeachMap(t *testing.T) {
+	fm := FuncMap{
+		"Test::Upper": func(v string, _ *est.Node) (string, error) {
+			return strings.ToUpper(v), nil
+		},
+	}
+	tmpl := `@foreach itemList -map itemName Test::Upper
+${itemName}
+@end itemList
+`
+	got := run(t, tmpl, sampleTree(), fm)
+	if got != "ALPHA\nBETA\nGAMMA\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestForeachMapTo(t *testing.T) {
+	// -mapto binds a NEW variable from a different source property,
+	// leaving the original untouched.
+	fm := FuncMap{
+		"Test::Upper": func(v string, _ *est.Node) (string, error) {
+			return strings.ToUpper(v), nil
+		},
+	}
+	tmpl := `@foreach itemList -mapto shout itemName Test::Upper
+${itemName}=${shout}
+@end itemList
+`
+	got := run(t, tmpl, sampleTree(), fm)
+	want := "alpha=ALPHA\nbeta=BETA\ngamma=GAMMA\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+
+	// Compile errors for incomplete -mapto.
+	if _, err := CompileTemplate("t", "@foreach xs -mapto a b\n@end xs\n"); err == nil ||
+		!strings.Contains(err.Error(), "-mapto requires") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestForeachSep(t *testing.T) {
+	tmpl := `@foreach itemList -sep '---\n'
+${itemName}
+@end itemList
+`
+	got := run(t, tmpl, sampleTree(), nil)
+	want := "alpha\n---\nbeta\n---\ngamma\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestNestedForeachScoping(t *testing.T) {
+	root := est.NewRoot()
+	for _, g := range []string{"g1", "g2"} {
+		gn := est.New("Group", g)
+		gn.SetProp("groupName", g)
+		root.AddChild("groupList", gn)
+		for _, m := range []string{"x", "y"} {
+			mn := est.New("Member", m)
+			mn.SetProp("memberName", m)
+			gn.AddChild("memberList", mn)
+		}
+	}
+	// ${groupName} must stay visible inside the inner loop (outer frame).
+	tmpl := `@foreach groupList
+@foreach memberList
+${groupName}.${memberName}
+@end memberList
+@end groupList
+`
+	got := run(t, tmpl, root, nil)
+	want := "g1.x\ng1.y\ng2.x\ng2.y\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestIfElseFi(t *testing.T) {
+	tmpl := `@foreach itemList
+@if ${itemName} == alpha
+first: ${itemName}
+@elif ${itemName} == beta
+second: ${itemName}
+@else
+other: ${itemName}
+@fi
+@end itemList
+`
+	got := run(t, tmpl, sampleTree(), nil)
+	want := "first: alpha\nsecond: beta\nother: gamma\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestIfNotEqualsAndUnicodeNeq(t *testing.T) {
+	for _, op := range []string{"!=", "≠"} {
+		tmpl := "@foreach itemList\n@if ${itemName} " + op + " beta\n${itemName}\n@fi\n@end itemList\n"
+		got := run(t, tmpl, sampleTree(), nil)
+		if got != "alpha\ngamma\n" {
+			t.Errorf("op %s: got %q", op, got)
+		}
+	}
+}
+
+func TestIfEmptyStringComparison(t *testing.T) {
+	// The paper's Fig. 9 idiom: @if ${defaultParam} == ""
+	root := est.NewRoot()
+	a := est.New("P", "a")
+	a.SetProp("defaultParam", "")
+	b := est.New("P", "b")
+	b.SetProp("defaultParam", "42")
+	root.AddChild("ps", a)
+	root.AddChild("ps", b)
+	tmpl := `@foreach ps
+@if ${defaultParam} == ''
+none
+@else
+def=${defaultParam}
+@fi
+@end ps
+`
+	got := run(t, tmpl, root, nil)
+	if got != "none\ndef=42\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIfTruthiness(t *testing.T) {
+	root := est.NewRoot()
+	root.SetProp("yes", true)
+	root.SetProp("no", false)
+	root.SetProp("empty", "")
+	tmpl := `@if ${yes}
+yes-on
+@fi
+@if ${no}
+no-on
+@fi
+@if ${empty}
+empty-on
+@fi
+`
+	got := run(t, tmpl, root, nil)
+	if got != "yes-on\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestOpenFile(t *testing.T) {
+	root := sampleTree()
+	tmpl := `@foreach itemList
+@openfile ${itemName}.txt
+content for ${itemName}
+@end itemList
+`
+	p := MustCompile("t", tmpl)
+	out, err := p.ExecuteToMemory(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := out.Files()
+	if len(files) != 3 {
+		t.Fatalf("files = %v", files)
+	}
+	if out.File("beta.txt") != "content for beta\n" {
+		t.Errorf("beta.txt = %q", out.File("beta.txt"))
+	}
+	if len(out.All()) != 3 {
+		t.Errorf("All() = %v", out.All())
+	}
+}
+
+func TestSetVariable(t *testing.T) {
+	tmpl := `@set greeting Hello
+@foreach itemList
+@set decorated [${itemName}]
+${greeting} ${decorated}
+@end itemList
+`
+	got := run(t, tmpl, sampleTree(), nil)
+	want := "Hello [alpha]\nHello [beta]\nHello [gamma]\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestAtEscape(t *testing.T) {
+	got := run(t, "@@literal at line\n", est.NewRoot(), nil)
+	if got != "@literal at line\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestComment(t *testing.T) {
+	got := run(t, "@# this is a comment\nvisible\n", est.NewRoot(), nil)
+	if got != "visible\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestInclude(t *testing.T) {
+	loader := func(name string) (string, error) {
+		if name == "header" {
+			return "== ${title} ==\n", nil
+		}
+		return "", fmt.Errorf("unknown template %q", name)
+	}
+	root := est.NewRoot()
+	root.SetProp("title", "T")
+	p, err := CompileTemplate("main", "@include header\nbody\n", WithLoader(loader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.ExecuteToMemory(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.File("") != "== T ==\nbody\n" {
+		t.Errorf("got %q", out.File(""))
+	}
+
+	if _, err := CompileTemplate("main", "@include missing\n", WithLoader(loader)); err == nil {
+		t.Error("missing include should fail")
+	}
+	if _, err := CompileTemplate("main", "@include anything\n"); err == nil {
+		t.Error("include without loader should fail")
+	}
+}
+
+func TestIncludeCycleGuard(t *testing.T) {
+	loader := func(name string) (string, error) { return "@include self\n", nil }
+	_, err := CompileTemplate("main", "@include self\n", WithLoader(loader))
+	if err == nil || !strings.Contains(err.Error(), "nesting too deep") {
+		t.Errorf("err = %v, want nesting guard", err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		name, tmpl, wantSub string
+	}{
+		{"unknown directive", "@bogus\n", "unknown directive"},
+		{"unterminated foreach", "@foreach xs\nbody\n", "missing @end"},
+		{"mismatched end", "@foreach xs\n@end ys\n", "does not match"},
+		{"stray end", "@end xs\n", "unexpected @end"},
+		{"stray fi", "@fi\n", "unexpected @fi"},
+		{"stray else", "@else\n", "unexpected @else"},
+		{"if without fi", "@if ${x}\nbody\n", "missing"},
+		{"bad foreach option", "@foreach xs -bogus\n", "unknown @foreach option"},
+		{"map missing args", "@foreach xs -map v\n@end xs\n", "-map requires"},
+		{"ifMore missing value", "@foreach xs -ifMore\n@end xs\n", "-ifMore requires"},
+		{"foreach no list", "@foreach\n@end\n", "requires a list name"},
+		{"bad condition arity", "@if a b\nx\n@fi\n", "condition must be"},
+		{"bad comparison op", "@if ${x} <> y\nx\n@fi\n", "unknown comparison"},
+		{"unterminated ref", "hello ${name\n", "unterminated ${...}"},
+		{"empty ref", "hello ${}\n", "empty ${} reference"},
+		{"openfile no name", "@openfile\n", "@openfile requires"},
+		{"set no name", "@set\n", "@set requires"},
+		{"unterminated quote", "@foreach xs -ifMore 'oops\n@end xs\n", "unterminated"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := CompileTemplate("t", tt.tmpl)
+			if err == nil {
+				t.Fatalf("CompileTemplate(%q) succeeded, want error %q", tt.tmpl, tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	t.Run("undefined variable", func(t *testing.T) {
+		p := MustCompile("t", "${nope}\n")
+		if _, err := p.ExecuteToMemory(est.NewRoot(), nil); err == nil ||
+			!strings.Contains(err.Error(), "undefined variable ${nope}") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("undefined variable in condition", func(t *testing.T) {
+		p := MustCompile("t", "@if ${nope} == x\ny\n@fi\n")
+		if _, err := p.ExecuteToMemory(est.NewRoot(), nil); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("missing map function validated upfront", func(t *testing.T) {
+		p := MustCompile("t", "@foreach xs -map v No::Such\n@end xs\n")
+		_, err := p.ExecuteToMemory(est.NewRoot(), nil)
+		if err == nil || !strings.Contains(err.Error(), "undefined map functions: No::Such") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("map function error propagates", func(t *testing.T) {
+		fm := FuncMap{"Err::Fn": func(v string, _ *est.Node) (string, error) {
+			return "", fmt.Errorf("boom on %q", v)
+		}}
+		root := sampleTree()
+		p := MustCompile("t", "@foreach itemList -map itemName Err::Fn\n${itemName}\n@end itemList\n")
+		_, err := p.Execute(root, fm, NewMemOutput()), error(nil)
+		if err == nil {
+			// Execute returns the error directly.
+		}
+		out := NewMemOutput()
+		if err := p.Execute(root, fm, out); err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestMapFuncsUsed(t *testing.T) {
+	tmpl := `@foreach a -map x F::One -map y F::Two
+@foreach b -map z F::One
+@end b
+@end a
+`
+	p := MustCompile("t", tmpl)
+	used := p.MapFuncsUsed()
+	if strings.Join(used, ",") != "F::One,F::Two" {
+		t.Errorf("MapFuncsUsed = %v", used)
+	}
+}
+
+// TestFig9Template runs a near-verbatim transcription of the paper's Fig. 9
+// template (C++ interface-class header in the HeidiRMI mapping) against the
+// EST of the paper's A.idl, exercising @openfile, nested @foreach with
+// -ifMore and -map, and @if/@else/@fi with the ${defaultParam} idiom.
+func TestFig9Template(t *testing.T) {
+	spec, err := idl.Parse("A.idl", idltest.AIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := est.Build(spec)
+
+	fm := FuncMap{
+		"CPP::MapClassName": func(v string, _ *est.Node) (string, error) {
+			// Heidi::A -> HdA (the paper's class-naming convention).
+			parts := strings.Split(v, "::")
+			return "Hd" + parts[len(parts)-1], nil
+		},
+		"CPP::MapType": func(v string, n *est.Node) (string, error) {
+			switch n.PropString("paramKind") {
+			case "objref":
+				parts := strings.Split(v, "::")
+				return "Hd" + parts[len(parts)-1] + "*", nil
+			case "boolean":
+				return "XBool", nil
+			case "long":
+				return "long", nil
+			case "enum", "alias":
+				parts := strings.Split(v, "::")
+				return "Hd" + parts[len(parts)-1], nil
+			}
+			return v, nil
+		},
+		"CPP::MapReturnType": func(v string, _ *est.Node) (string, error) {
+			if v == "void" {
+				return "void", nil
+			}
+			parts := strings.Split(v, "::")
+			return "Hd" + parts[len(parts)-1], nil
+		},
+	}
+
+	tmpl := `@foreach interfaceList -map interfaceName CPP::MapClassName
+@openfile ${interfaceName}.hh
+/* File ${interfaceName}.hh */
+class ${interfaceName} :
+@foreach inheritedList -ifMore ',' -map inheritedName CPP::MapClassName
+    virtual public ${inheritedName}${ifMore}
+@end inheritedList
+{
+public:
+@foreach methodList -map returnType CPP::MapReturnType
+@foreach paramList -ifMore ', ' -map paramType CPP::MapType
+@if ${defaultParam} == ''
+@set sig ${sig}${paramType}${ifMore}
+@else
+@set sig ${sig}${paramType} ${paramName} = ${defaultParam}${ifMore}
+@fi
+@end paramList
+  virtual ${returnType} ${methodName}(${sig}) = 0;
+@end methodList
+  virtual ~${interfaceName}() {}
+};
+@end interfaceList
+`
+	// ${sig} accumulation needs a seed; adapt with @set before the loop.
+	tmpl = strings.Replace(tmpl, "@foreach paramList", "@set sig \n@foreach paramList", 1)
+
+	p, err := CompileTemplate("fig9.tpl", tmpl)
+	if err != nil {
+		t.Fatalf("CompileTemplate: %v", err)
+	}
+	out, err := p.ExecuteToMemory(root, fm)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+
+	hh := out.File("HdA.hh")
+	if hh == "" {
+		t.Fatalf("HdA.hh not generated; files = %v", out.Files())
+	}
+	for _, want := range []string{
+		"/* File HdA.hh */",
+		"class HdA :",
+		"virtual public HdS",
+		"virtual void f(HdA*) = 0;",
+		"virtual void g(HdS*) = 0;",
+		"virtual void p(long l = 0) = 0;",
+		"virtual void s(XBool b = TRUE) = 0;",
+		"virtual ~HdA() {}",
+	} {
+		if !strings.Contains(hh, want) {
+			t.Errorf("HdA.hh missing %q:\n%s", want, hh)
+		}
+	}
+}
+
+func TestSetScopedToLoopIteration(t *testing.T) {
+	// @set inside a loop body binds to the loop frame, so each iteration
+	// starts fresh — needed for the ${sig} accumulator pattern.
+	tmpl := `@foreach itemList
+@set acc start
+@set acc ${acc}-${itemName}
+${acc}
+@end itemList
+`
+	got := run(t, tmpl, sampleTree(), nil)
+	want := "start-alpha\nstart-beta\nstart-gamma\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestCompileOnceExecuteMany(t *testing.T) {
+	p := MustCompile("t", "@foreach itemList\n${itemName}\n@end itemList\n")
+	for i := 0; i < 3; i++ {
+		out, err := p.ExecuteToMemory(sampleTree(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.File("") != "alpha\nbeta\ngamma\n" {
+			t.Fatalf("iteration %d: %q", i, out.File(""))
+		}
+	}
+}
+
+func BenchmarkCompileTemplate(b *testing.B) {
+	tmpl := `@foreach interfaceList -map interfaceName F::Name
+@openfile ${interfaceName}.h
+@foreach methodList
+@foreach paramList -ifMore ', '
+${paramType}${ifMore}
+@end paramList
+@end methodList
+@end interfaceList
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileTemplate("bench", tmpl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteTemplate(b *testing.B) {
+	spec := idl.MustParse("media.idl", idltest.MediaIDL)
+	root := est.Build(spec)
+	p := MustCompile("bench", `@foreach interfaceList
+${interfaceName}
+@foreach methodList
+  ${methodName} -> ${returnType}
+@foreach paramList -ifMore ', '
+    ${paramMode} ${paramType} ${paramName}
+@end paramList
+@end methodList
+@end interfaceList
+`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ExecuteToMemory(root, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package mappings
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/est"
+	"repro/internal/jeeves"
+)
+
+// The CORBA-prescribed IDL-to-C++ mapping: CORBA-specific data types
+// (Table 1, column 2 of the paper), _ptr/_var smart-reference typedefs
+// (Table 2), and the inheritance-based stub/skeleton hierarchy of Fig. 1
+// (the implementation class derives from the generated skeleton, or uses
+// the generated tie template). Scoped names are flattened with underscores
+// (Heidi::A -> Heidi_A), the convention of pre-namespace C++ ORBs.
+//
+// Being the standard mapping, it ignores the paper's HeidiRMI extensions:
+// default parameter values are dropped and incopy is treated as plain in —
+// which is exactly the legacy-integration gap §2 and Table 2 describe.
+
+const corbaHeaderTemplate = `@openfile ${basename}.hh
+/* File ${basename}.hh -- CORBA-prescribed C++ mapping */
+@foreach enumList -map enumName Corba::MapClassName
+// ${repoID}
+enum ${enumName}
+{
+@foreach memberList -ifMore ',' -mapto member memberName Corba::MapEnumMember
+  ${member}${ifMore}
+@end memberList
+};
+
+@end enumList
+@foreach structList -map structName Corba::MapClassName
+// ${repoID}
+struct ${structName}
+{
+@foreach memberList -map memberType Corba::MapType
+  ${memberType} ${memberName};
+@end memberList
+};
+
+@end structList
+@foreach exceptionList -map exceptionName Corba::MapClassName
+// ${repoID}
+class ${exceptionName} : public CORBA::UserException
+{
+public:
+@foreach memberList -map memberType Corba::MapType
+  ${memberType} ${memberName};
+@end memberList
+  static ${exceptionName}* _narrow(CORBA::Exception* ex);
+};
+
+@end exceptionList
+@foreach aliasList -map aliasName Corba::MapClassName -map typeName Corba::MapType
+// ${repoID}
+typedef ${typeName} ${aliasName};
+
+@end aliasList
+@foreach interfaceList -map interfaceName Corba::MapClassName
+// ${repoID}
+class ${interfaceName};
+typedef ${interfaceName}* ${interfaceName}_ptr;
+typedef ${interfaceName}_ptr ${interfaceName}Ref;
+
+@if ${hasBases}
+class ${interfaceName} :
+@foreach inheritedList -ifMore ',' -map inheritedName Corba::MapClassName
+    virtual public ${inheritedName}${ifMore}
+@end inheritedList
+@else
+class ${interfaceName} : virtual public CORBA::Object
+@fi
+{
+public:
+  typedef ${interfaceName}_ptr _ptr_type;
+  static ${interfaceName}_ptr _duplicate(${interfaceName}_ptr obj);
+  static ${interfaceName}_ptr _narrow(CORBA::Object_ptr obj);
+  static ${interfaceName}_ptr _nil();
+@foreach methodList -map returnType Corba::MapType
+@set sig
+@foreach paramList -ifMore ', ' -mapto paramType paramType Corba::MapParamType
+@set sig ${sig}${paramType} ${paramName}${ifMore}
+@end paramList
+  virtual ${returnType} ${methodName}(${sig}) = 0;
+@end methodList
+@foreach attributeList -map attributeType Corba::MapType
+  virtual ${attributeType} ${attributeName}() = 0;
+@if ${attributeQualifier} != readonly
+  virtual void ${attributeName}(${attributeType} _v) = 0;
+@fi
+@end attributeList
+};
+
+// ${interfaceName}_var: managed reference (Table 2: "A_var a;")
+class ${interfaceName}_var
+{
+public:
+  ${interfaceName}_var() : ptr_(0) { }
+  ${interfaceName}_var(${interfaceName}_ptr p) : ptr_(p) { }
+  ~${interfaceName}_var() { CORBA::release(ptr_); }
+  ${interfaceName}_ptr operator->() { return ptr_; }
+  operator ${interfaceName}_ptr&() { return ptr_; }
+private:
+  ${interfaceName}_ptr ptr_;
+};
+@end interfaceList
+`
+
+const corbaStubSkelTemplate = `@openfile ${basename}_skel.hh
+/* File ${basename}_skel.hh -- CORBA stubs, skeletons and ties (Fig. 1) */
+#include "${basename}.hh"
+@foreach interfaceList -map interfaceName Corba::MapClassName
+
+// Stub for ${repoID}: IDL_A_stub in the Fig. 1 hierarchy.
+class ${interfaceName}_stub :
+@foreach inheritedList -map inheritedName Corba::MapClassName
+    virtual public ${inheritedName}_stub,
+@end inheritedList
+    virtual public ${interfaceName}
+{
+public:
+@foreach methodList -map returnType Corba::MapType -mapto retGet returnKind Corba::MapGetOp
+@set sig
+@foreach paramList -ifMore ', ' -mapto paramType paramType Corba::MapParamType
+@set sig ${sig}${paramType} ${paramName}${ifMore}
+@end paramList
+  virtual ${returnType} ${methodName}(${sig})
+  {
+    CORBA::Request_var _req = _request("${methodName}");
+@foreach paramList -mapto putOp paramKind Corba::MapPutOp
+    _req->${putOp}(${paramName});
+@end paramList
+    _req->invoke();
+@if ${returnKind} == void
+  }
+@else
+    return (${returnType})_req->${retGet}();
+  }
+@fi
+@end methodList
+@foreach attributeList -map attributeType Corba::MapType -mapto attGet attributeKind Corba::MapGetOp
+  virtual ${attributeType} ${attributeName}()
+  {
+    CORBA::Request_var _req = _request("_get_${attributeName}");
+    _req->invoke();
+    return (${attributeType})_req->${attGet}();
+  }
+@if ${attributeQualifier} != readonly
+  virtual void ${attributeName}(${attributeType} _v)
+  {
+    CORBA::Request_var _req = _request("_set_${attributeName}");
+    _req->put(_v);
+    _req->invoke();
+  }
+@fi
+@end attributeList
+};
+
+// Skeleton for ${repoID}: the implementation class derives from this
+// skeleton (inheritance model, Fig. 1) -- contrast with the HeidiRMI
+// delegation model of Fig. 2.
+class POA_${interfaceName} :
+@foreach inheritedList -map inheritedName Corba::MapClassName
+    virtual public POA_${inheritedName},
+@end inheritedList
+    virtual public ${interfaceName}
+{
+public:
+  virtual CORBA::Boolean _dispatch(CORBA::ServerRequest_ptr _req);
+};
+
+// Tie for ${repoID}: bridges an unrelated implementation class to the ORB
+// (Fig. 1 "tie"); method signatures must still match the CORBA mapping,
+// which is why §3 argues ties alone cannot absorb legacy code.
+template<class T>
+class POA_${interfaceName}_tie : public POA_${interfaceName}
+{
+public:
+  POA_${interfaceName}_tie(T& t) : tied_(t) { }
+@foreach methodList -map returnType Corba::MapType
+@set sig
+@set fwd
+@foreach paramList -ifMore ', ' -mapto paramType paramType Corba::MapParamType
+@set sig ${sig}${paramType} ${paramName}${ifMore}
+@set fwd ${fwd}${paramName}${ifMore}
+@end paramList
+  virtual ${returnType} ${methodName}(${sig}) { return tied_.${methodName}(${fwd}); }
+@end methodList
+private:
+  T& tied_;
+};
+@end interfaceList
+`
+
+// corbaCPPFuncs builds the map functions of the CORBA-prescribed C++
+// mapping (Table 1, column 2).
+func corbaCPPFuncs(root *est.Node) jeeves.FuncMap {
+	idx := indexTypes(root)
+
+	mapClassName := func(v string, _ *est.Node) (string, error) {
+		if v == "" {
+			return "", fmt.Errorf("empty name")
+		}
+		return flatName(v), nil
+	}
+
+	var mapType func(v string, n *est.Node) (string, error)
+	mapType = func(v string, n *est.Node) (string, error) {
+		switch v {
+		case "void":
+			return "void", nil
+		case "boolean":
+			return "CORBA::Boolean", nil
+		case "char":
+			return "CORBA::Char", nil
+		case "wchar":
+			return "CORBA::WChar", nil
+		case "octet":
+			return "CORBA::Octet", nil
+		case "short":
+			return "CORBA::Short", nil
+		case "unsigned short":
+			return "CORBA::UShort", nil
+		case "long":
+			return "CORBA::Long", nil
+		case "unsigned long":
+			return "CORBA::ULong", nil
+		case "long long":
+			return "CORBA::LongLong", nil
+		case "unsigned long long":
+			return "CORBA::ULongLong", nil
+		case "float":
+			return "CORBA::Float", nil
+		case "double":
+			return "CORBA::Double", nil
+		case "long double":
+			return "CORBA::LongDouble", nil
+		case "string":
+			return "char*", nil
+		case "wstring":
+			return "CORBA::WChar*", nil
+		case "any":
+			return "CORBA::Any", nil
+		case "Object":
+			return "CORBA::Object_ptr", nil
+		}
+		if elem, bound, ok := parseSequence(v); ok {
+			inner, err := mapType(elem, n)
+			if err != nil {
+				return "", err
+			}
+			if bound != "" {
+				return fmt.Sprintf("CORBA::BoundedSequence<%s, %s>", inner, bound), nil
+			}
+			return fmt.Sprintf("CORBA::Sequence<%s>", inner), nil
+		}
+		if elem, dims, ok := parseArray(v); ok {
+			inner, err := mapType(elem, n)
+			if err != nil {
+				return "", err
+			}
+			return inner + "[" + strings.Join(dims, "][") + "]", nil
+		}
+		if strings.HasPrefix(v, "string<") {
+			return "char*", nil
+		}
+		switch idx[v] {
+		case "Interface":
+			return flatName(v) + "_ptr", nil
+		case "Enum", "Struct", "Union", "Alias", "Exception":
+			return flatName(v), nil
+		}
+		return "", fmt.Errorf("corba-cpp: unknown type %q", v)
+	}
+
+	// mapParamType applies the in-parameter passing conventions: structs
+	// and other constructed types travel as const references, primitives
+	// and object references by value.
+	mapParamType := func(v string, n *est.Node) (string, error) {
+		t, err := mapType(v, n)
+		if err != nil {
+			return "", err
+		}
+		switch kindOf(n) {
+		case "struct", "union", "sequence", "alias", "any":
+			t = "const " + t + "&"
+		case "string":
+			t = "const char*"
+		}
+		switch n.PropString("paramMode") {
+		case "out", "inout":
+			t = strings.TrimPrefix(t, "const ")
+			if !strings.HasSuffix(t, "&") {
+				t += "&"
+			}
+		}
+		return t, nil
+	}
+
+	// Enum members flatten with their enclosing scope: Heidi::Status's
+	// Start becomes Heidi_Start (the enum's own name is not part of the
+	// member's scope in IDL).
+	mapEnumMember := func(v string, n *est.Node) (string, error) {
+		if p := n.Parent(); p != nil {
+			scoped := p.PropString("enumName")
+			if i := strings.LastIndex(scoped, "::"); i >= 0 {
+				return flatName(scoped[:i]) + "_" + v, nil
+			}
+		}
+		return v, nil
+	}
+
+	suffix := func(kind string) string {
+		switch kind {
+		case "boolean":
+			return "boolean"
+		case "char", "wchar":
+			return "char"
+		case "octet":
+			return "octet"
+		case "short", "ushort":
+			return "short"
+		case "long", "ulong", "enum":
+			return "long"
+		case "longlong", "ulonglong":
+			return "longlong"
+		case "float":
+			return "float"
+		case "double", "longdouble":
+			return "double"
+		case "string", "wstring":
+			return "string"
+		case "objref":
+			return "object"
+		default:
+			return "any"
+		}
+	}
+	mapPutOp := func(v string, _ *est.Node) (string, error) {
+		return "put_" + suffix(v), nil
+	}
+	mapGetOp := func(v string, _ *est.Node) (string, error) {
+		if v == "void" {
+			return "", nil
+		}
+		return "get_" + suffix(v), nil
+	}
+
+	return jeeves.FuncMap{
+		"Corba::MapClassName":  mapClassName,
+		"Corba::MapType":       mapType,
+		"Corba::MapParamType":  mapParamType,
+		"Corba::MapEnumMember": mapEnumMember,
+		"Corba::MapPutOp":      mapPutOp,
+		"Corba::MapGetOp":      mapGetOp,
+	}
+}
+
+// CorbaCPP is the CORBA-prescribed C++ mapping (Table 1 col. 2, Fig. 1).
+var CorbaCPP = &Mapping{
+	Name:        "corba-cpp",
+	Description: "CORBA-prescribed C++ mapping: CORBA:: types, _ptr/_var references, inheritance skeletons, tie templates",
+	Templates: map[string]string{
+		"main":     "@include header\n@include stubskel\n",
+		"header":   corbaHeaderTemplate,
+		"stubskel": corbaStubSkelTemplate,
+	},
+	Funcs: corbaCPPFuncs,
+}
+
+func init() { Register(CorbaCPP) }

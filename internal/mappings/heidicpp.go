@@ -1,0 +1,408 @@
+package mappings
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/est"
+	"repro/internal/jeeves"
+)
+
+// The HeidiRMI IDL-to-C++ mapping (§3 of the paper). It uses only
+// Heidi-defined data types (HdList, XBool, Hd-prefixed class names), maps
+// default parameters and incopy, generates the abstract interface class of
+// Fig. 3, and stubs/skeletons following the delegation model of Fig. 2:
+// the skeleton holds a pointer to the implementation object and shares no
+// inheritance relation with it, while dispatch recurses up the skeleton
+// hierarchy mirroring the IDL inheritance graph (Fig. 5).
+
+const heidiHeaderTemplate = `@openfile ${basename}.hh
+/* File ${basename}.hh */
+@foreach enumList -map enumName CPP::MapClassName
+// ${repoID}
+enum ${enumName} { ${members} };
+
+@end enumList
+@foreach structList -map structName CPP::MapClassName
+// ${repoID}
+struct ${structName}
+{
+@foreach memberList -map memberType CPP::MapType
+  ${memberType} ${memberName};
+@end memberList
+};
+
+@end structList
+@foreach exceptionList -map exceptionName CPP::MapClassName
+// ${repoID}
+class ${exceptionName} : public HdException
+{
+public:
+@foreach memberList -map memberType CPP::MapType
+  ${memberType} ${memberName};
+@end memberList
+};
+
+@end exceptionList
+@foreach aliasList -map aliasName CPP::MapClassName -map typeName CPP::MapType -mapto iterType typeName CPP::MapIterType
+// ${repoID}
+typedef ${typeName} ${aliasName};
+@if ${type} == sequence
+typedef ${iterType} ${aliasName}Iter;
+@fi
+
+@end aliasList
+@foreach interfaceList -map interfaceName CPP::MapClassName
+// ${repoID}
+@if ${hasBases}
+class ${interfaceName} :
+@foreach inheritedList -ifMore ',' -map inheritedName CPP::MapClassName
+    virtual public ${inheritedName}${ifMore}
+@end inheritedList
+@else
+class ${interfaceName}
+@fi
+{
+public:
+@foreach methodList -map returnType CPP::MapType
+@set sig
+@foreach paramList -ifMore ', ' -map paramType CPP::MapType -mapto def defaultParam CPP::MapDefault
+@if ${def} == ''
+@set sig ${sig}${paramType}${ifMore}
+@else
+@set sig ${sig}${paramType} ${paramName} = ${def}${ifMore}
+@fi
+@end paramList
+  virtual ${returnType} ${methodName}(${sig}) = 0;
+@end methodList
+@foreach attributeList -map attributeType CPP::MapType -mapto accName attributeName CPP::MapAccessor
+  virtual ${attributeType} Get${accName}() = 0;
+@if ${attributeQualifier} != readonly
+  virtual void Set${accName}(${attributeType}) = 0;
+@fi
+@end attributeList
+  virtual ~${interfaceName}() { }
+};
+@end interfaceList
+`
+
+const heidiStubSkelTemplate = `@openfile ${basename}_rmi.hh
+/* File ${basename}_rmi.hh -- HeidiRMI stubs and skeletons */
+#include "${basename}.hh"
+@foreach interfaceList -map interfaceName CPP::MapClassName
+
+// Stub for ${repoID}
+class ${interfaceName}_stub :
+@foreach inheritedList -map inheritedName CPP::MapClassName
+    virtual public ${inheritedName}_stub,
+@end inheritedList
+    virtual public ${interfaceName},
+    virtual public HdStub
+{
+public:
+@foreach methodList -map returnType CPP::MapType -mapto retGet returnKind CPP::MapGetOp
+@set sig
+@foreach paramList -ifMore ', ' -map paramType CPP::MapType -mapto def defaultParam CPP::MapDefault
+@if ${def} == ''
+@set sig ${sig}${paramType} ${paramName}${ifMore}
+@else
+@set sig ${sig}${paramType} ${paramName} = ${def}${ifMore}
+@fi
+@end paramList
+  virtual ${returnType} ${methodName}(${sig})
+  {
+    HdCall* _c = BeginCall("${methodName}");
+@foreach paramList -mapto putOp paramKind CPP::MapPutOp
+    _c->${putOp}(${paramName});
+@end paramList
+    _c->Invoke();
+@if ${returnKind} == void
+    _c->Release();
+  }
+@else
+    ${returnType} _ret = (${returnType})_c->${retGet}();
+    _c->Release();
+    return _ret;
+  }
+@fi
+@end methodList
+@foreach attributeList -map attributeType CPP::MapType -mapto accName attributeName CPP::MapAccessor -mapto attGet attributeKind CPP::MapGetOp -mapto attPut attributeKind CPP::MapPutOp
+  virtual ${attributeType} Get${accName}()
+  {
+    HdCall* _c = BeginCall("_get_${attributeName}");
+    _c->Invoke();
+    ${attributeType} _ret = (${attributeType})_c->${attGet}();
+    _c->Release();
+    return _ret;
+  }
+@if ${attributeQualifier} != readonly
+  virtual void Set${accName}(${attributeType} _v)
+  {
+    HdCall* _c = BeginCall("_set_${attributeName}");
+    _c->${attPut}(_v);
+    _c->Invoke();
+    _c->Release();
+  }
+@fi
+@end attributeList
+};
+
+// Skeleton for ${repoID} -- delegation model (Fig. 2): the skeleton holds
+// the implementation object and shares no inheritance relation with it.
+@if ${hasBases}
+class ${interfaceName}_skel :
+@foreach inheritedList -ifMore ',' -map inheritedName CPP::MapClassName
+    public ${inheritedName}_skel${ifMore}
+@end inheritedList
+@else
+class ${interfaceName}_skel : public HdSkel
+@fi
+{
+public:
+  ${interfaceName}_skel(${interfaceName}* impl) :
+@foreach inheritedList -map inheritedName CPP::MapClassName
+      ${inheritedName}_skel(impl),
+@end inheritedList
+      _impl(impl) { }
+
+  virtual XBool Dispatch(HdCall* _c)
+  {
+    const char* _m = _c->Method();
+@foreach methodList -map returnType CPP::MapType -mapto retPut returnKind CPP::MapPutOp
+    if (strcmp(_m, "${methodName}") == 0) {
+@set args
+@foreach paramList -ifMore ', ' -map paramType CPP::MapType -mapto getOp paramKind CPP::MapGetOp
+      ${paramType} ${paramName} = (${paramType})_c->${getOp}();
+@set args ${args}${paramName}${ifMore}
+@end paramList
+@if ${returnKind} == void
+      _impl->${methodName}(${args});
+      _c->Reply();
+@else
+      ${returnType} _ret = _impl->${methodName}(${args});
+      _c->${retPut}(_ret);
+      _c->Reply();
+@fi
+      return XTrue;
+    }
+@end methodList
+@foreach attributeList -map attributeType CPP::MapType -mapto accName attributeName CPP::MapAccessor -mapto attGet attributeKind CPP::MapGetOp -mapto attPut attributeKind CPP::MapPutOp
+    if (strcmp(_m, "_get_${attributeName}") == 0) {
+      _c->${attPut}(_impl->Get${accName}());
+      _c->Reply();
+      return XTrue;
+    }
+@if ${attributeQualifier} != readonly
+    if (strcmp(_m, "_set_${attributeName}") == 0) {
+      _impl->Set${accName}((${attributeType})_c->${attGet}());
+      _c->Reply();
+      return XTrue;
+    }
+@fi
+@end attributeList
+    // Recursive dispatch up the IDL inheritance graph (Fig. 5).
+@foreach inheritedList -map inheritedName CPP::MapClassName
+    if (${inheritedName}_skel::Dispatch(_c)) return XTrue;
+@end inheritedList
+    return XFalse;
+  }
+
+private:
+  ${interfaceName}* _impl;
+};
+@end interfaceList
+`
+
+// heidiCPPFuncs builds the map functions of the HeidiRMI C++ mapping.
+func heidiCPPFuncs(root *est.Node) jeeves.FuncMap {
+	idx := indexTypes(root)
+
+	// mapClassName converts an IDL scoped name to the Heidi class-naming
+	// convention: Heidi::A -> HdA (§3.1: "Heidi::A and Heidi::S are
+	// respectively mapped to the C++ interface classes HdA and HdS").
+	mapClassName := func(v string, _ *est.Node) (string, error) {
+		if v == "" {
+			return "", fmt.Errorf("empty name")
+		}
+		return "Hd" + lastComponent(v), nil
+	}
+
+	var mapType func(v string, n *est.Node) (string, error)
+	mapType = func(v string, n *est.Node) (string, error) {
+		switch v {
+		case "void":
+			return "void", nil
+		case "boolean":
+			return "XBool", nil
+		case "char":
+			return "char", nil
+		case "wchar":
+			return "wchar_t", nil
+		case "octet":
+			return "unsigned char", nil
+		case "short", "long", "float", "double",
+			"unsigned short", "unsigned long":
+			return v, nil
+		case "long long":
+			return "long long", nil
+		case "unsigned long long":
+			return "unsigned long long", nil
+		case "long double":
+			return "long double", nil
+		case "string":
+			return "HdString*", nil
+		case "wstring":
+			return "HdWString*", nil
+		case "any":
+			return "HdAny*", nil
+		case "Object":
+			return "HdObject*", nil
+		}
+		if elem, _, ok := parseSequence(v); ok {
+			// Element class name without the pointer star:
+			// sequence<Heidi::S> -> HdList<HdS>.
+			inner, err := mapType(elem, n)
+			if err != nil {
+				return "", err
+			}
+			return "HdList<" + strings.TrimSuffix(inner, "*") + ">", nil
+		}
+		if elem, dims, ok := parseArray(v); ok {
+			inner, err := mapType(elem, n)
+			if err != nil {
+				return "", err
+			}
+			return inner + "[" + strings.Join(dims, "][") + "]", nil
+		}
+		if strings.HasPrefix(v, "string<") {
+			return "HdString*", nil
+		}
+		if strings.HasPrefix(v, "wstring<") {
+			return "HdWString*", nil
+		}
+		switch idx[v] {
+		case "Interface":
+			return "Hd" + lastComponent(v) + "*", nil
+		case "Enum":
+			return "Hd" + lastComponent(v), nil
+		case "Struct", "Union", "Exception":
+			return "Hd" + lastComponent(v) + "*", nil
+		case "Alias":
+			name := "Hd" + lastComponent(v)
+			if n != nil && n.PropBool("IsVariable") {
+				return name + "*", nil
+			}
+			return name, nil
+		}
+		return "", fmt.Errorf("heidi-cpp: unknown type %q", v)
+	}
+
+	mapIterType := func(v string, n *est.Node) (string, error) {
+		elem, _, ok := parseSequence(v)
+		if !ok {
+			return "", nil
+		}
+		inner, err := mapType(elem, n)
+		if err != nil {
+			return "", err
+		}
+		return "HdListIterator<" + strings.TrimSuffix(inner, "*") + ">", nil
+	}
+
+	// mapDefault converts an IDL default value into the Heidi C++
+	// spelling: TRUE -> XTrue (Fig. 3), enum references lose their scope
+	// qualifier (Heidi::Start -> Start), literals pass through.
+	mapDefault := func(v string, _ *est.Node) (string, error) {
+		switch v {
+		case "":
+			return "", nil
+		case "TRUE":
+			return "XTrue", nil
+		case "FALSE":
+			return "XFalse", nil
+		}
+		if idx[v] == "" && strings.Contains(v, "::") {
+			// Scoped constant or enum member reference.
+			return lastComponent(v), nil
+		}
+		return v, nil
+	}
+
+	marshalSuffix := func(kind string, n *est.Node) string {
+		switch kind {
+		case "boolean":
+			return "Bool"
+		case "char", "wchar":
+			return "Char"
+		case "octet":
+			return "Octet"
+		case "short":
+			return "Short"
+		case "ushort":
+			return "UShort"
+		case "long":
+			return "Long"
+		case "ulong":
+			return "ULong"
+		case "longlong":
+			return "LongLong"
+		case "ulonglong":
+			return "ULongLong"
+		case "float":
+			return "Float"
+		case "double", "longdouble":
+			return "Double"
+		case "string", "wstring":
+			return "String"
+		case "enum":
+			return "Enum"
+		case "objref":
+			// incopy object references travel by value (§3.1): the
+			// ORB run-time uses the HdSerializable marshaling the
+			// implementation provides.
+			if n != nil && n.PropString("paramMode") == "incopy" {
+				return "ObjectByValue"
+			}
+			return "Object"
+		default:
+			return "Value"
+		}
+	}
+	mapPutOp := func(v string, n *est.Node) (string, error) {
+		return "Put" + marshalSuffix(v, n), nil
+	}
+	mapGetOp := func(v string, n *est.Node) (string, error) {
+		if v == "void" {
+			return "", nil
+		}
+		return "Get" + marshalSuffix(v, n), nil
+	}
+
+	mapAccessor := func(v string, _ *est.Node) (string, error) {
+		return capitalize(v), nil
+	}
+
+	return jeeves.FuncMap{
+		"CPP::MapClassName": mapClassName,
+		"CPP::MapType":      mapType,
+		"CPP::MapIterType":  mapIterType,
+		"CPP::MapDefault":   mapDefault,
+		"CPP::MapPutOp":     mapPutOp,
+		"CPP::MapGetOp":     mapGetOp,
+		"CPP::MapAccessor":  mapAccessor,
+	}
+}
+
+// HeidiCPP is the HeidiRMI C++ mapping (Figs. 2–3 of the paper).
+var HeidiCPP = &Mapping{
+	Name:        "heidi-cpp",
+	Description: "HeidiRMI C++ mapping: Hd-prefixed classes, XBool/HdList types, delegation skeletons, default parameters, incopy",
+	Templates: map[string]string{
+		"main":     "@include header\n@include stubskel\n",
+		"header":   heidiHeaderTemplate,
+		"stubskel": heidiStubSkelTemplate,
+	},
+	Funcs: heidiCPPFuncs,
+}
+
+func init() { Register(HeidiCPP) }

@@ -1,0 +1,336 @@
+package mappings
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/est"
+	"repro/internal/jeeves"
+)
+
+// The HeidiRMI-compatible IDL-to-Java mapping of §4.2: "The class
+// inheritance structure in our IDL-Java mapping was similar to the HeidiRMI
+// C++ mapping, but expanded multiple super-classes in order to get around
+// the unavailability of multiple inheritance in Java. The IDL-Java mapping
+// we implemented also does not support default parameters as the
+// corresponding C++ mapping does."
+//
+// Interfaces map to Java interfaces (which may extend several bases); stub
+// classes can only extend HdStub, so every inherited operation is expanded
+// into the stub and skeleton bodies via the EST's flattened allMethodList.
+// Default parameter values are dropped.
+
+const javaTemplate = `@openfile ${basename}.java
+/* File ${basename}.java -- HeidiRMI Java mapping (no default parameters) */
+@foreach enumList -map enumName Java::MapClassName
+// ${repoID}
+public final class ${enumName} {
+@foreach memberList
+  public static final int ${memberName} = ${memberOrdinal};
+@end memberList
+  private ${enumName}() { }
+}
+
+@end enumList
+@foreach structList -map structName Java::MapClassName
+// ${repoID}
+public class ${structName} implements HdSerializable {
+@foreach memberList -map memberType Java::MapType
+  public ${memberType} ${memberName};
+@end memberList
+}
+
+@end structList
+@foreach exceptionList -map exceptionName Java::MapClassName
+// ${repoID}
+public class ${exceptionName} extends HdUserException {
+@foreach memberList -map memberType Java::MapType
+  public ${memberType} ${memberName};
+@end memberList
+}
+
+@end exceptionList
+@foreach interfaceList -map interfaceName Java::MapClassName
+// ${repoID}
+@if ${hasBases}
+@set ext
+@foreach inheritedList -ifMore ', ' -map inheritedName Java::MapClassName
+@set ext ${ext}${inheritedName}${ifMore}
+@end inheritedList
+public interface ${interfaceName} extends ${ext} {
+@else
+public interface ${interfaceName} {
+@fi
+@foreach methodList -map returnType Java::MapType
+@set sig
+@foreach paramList -ifMore ', ' -map paramType Java::MapType
+@set sig ${sig}${paramType} ${paramName}${ifMore}
+@end paramList
+  ${returnType} ${methodName}(${sig});
+@end methodList
+@foreach attributeList -map attributeType Java::MapType -mapto accName attributeName Java::MapAccessor
+  ${attributeType} get${accName}();
+@if ${attributeQualifier} != readonly
+  void set${accName}(${attributeType} v);
+@fi
+@end attributeList
+}
+
+// Stub for ${repoID}: extends HdStub only, so inherited operations are
+// expanded (multiple super-classes flattened for Java).
+public class ${interfaceName}Stub extends HdStub implements ${interfaceName} {
+@foreach allMethodList -map returnType Java::MapType -mapto retGet returnKind Java::MapGetOp
+@set sig
+@foreach paramList -ifMore ', ' -map paramType Java::MapType
+@set sig ${sig}${paramType} ${paramName}${ifMore}
+@end paramList
+  // declared in ${declaredIn}
+  public ${returnType} ${methodName}(${sig}) {
+    HdCall c = beginCall("${methodName}");
+@foreach paramList -mapto putOp paramKind Java::MapPutOp
+    c.${putOp}(${paramName});
+@end paramList
+    c.invoke();
+@if ${returnKind} == void
+    c.release();
+  }
+@else
+    ${returnType} ret = (${returnType})c.${retGet}();
+    c.release();
+    return ret;
+  }
+@fi
+@end allMethodList
+@foreach allAttributeList -map attributeType Java::MapType -mapto accName attributeName Java::MapAccessor -mapto attGet attributeKind Java::MapGetOp -mapto attPut attributeKind Java::MapPutOp
+  public ${attributeType} get${accName}() {
+    HdCall c = beginCall("_get_${attributeName}");
+    c.invoke();
+    ${attributeType} ret = (${attributeType})c.${attGet}();
+    c.release();
+    return ret;
+  }
+@if ${attributeQualifier} != readonly
+  public void set${accName}(${attributeType} v) {
+    HdCall c = beginCall("_set_${attributeName}");
+    c.${attPut}(v);
+    c.invoke();
+    c.release();
+  }
+@fi
+@end allAttributeList
+}
+
+// Skeleton for ${repoID}: delegation model; dispatch is flattened over the
+// full inheritance closure instead of recursing through base skeletons.
+public class ${interfaceName}Skeleton extends HdSkeleton {
+  private final ${interfaceName} impl;
+  public ${interfaceName}Skeleton(${interfaceName} impl) { this.impl = impl; }
+
+  public boolean dispatch(HdCall c) {
+    String m = c.method();
+@foreach allMethodList -map returnType Java::MapType -mapto retPut returnKind Java::MapPutOp
+    if (m.equals("${methodName}")) {
+@set args
+@foreach paramList -ifMore ', ' -map paramType Java::MapType -mapto getOp paramKind Java::MapGetOp
+      ${paramType} ${paramName} = (${paramType})c.${getOp}();
+@set args ${args}${paramName}${ifMore}
+@end paramList
+@if ${returnKind} == void
+      impl.${methodName}(${args});
+      c.reply();
+@else
+      c.${retPut}(impl.${methodName}(${args}));
+      c.reply();
+@fi
+      return true;
+    }
+@end allMethodList
+@foreach allAttributeList -mapto accName attributeName Java::MapAccessor -mapto attPut attributeKind Java::MapPutOp -map attributeType Java::MapType -mapto attGet attributeKind Java::MapGetOp
+    if (m.equals("_get_${attributeName}")) {
+      c.${attPut}(impl.get${accName}());
+      c.reply();
+      return true;
+    }
+@if ${attributeQualifier} != readonly
+    if (m.equals("_set_${attributeName}")) {
+      impl.set${accName}((${attributeType})c.${attGet}());
+      c.reply();
+      return true;
+    }
+@fi
+@end allAttributeList
+    return false;
+  }
+}
+@end interfaceList
+`
+
+// javaFuncs builds the map functions of the HeidiRMI Java mapping.
+func javaFuncs(root *est.Node) jeeves.FuncMap {
+	idx := indexTypes(root)
+
+	mapClassName := func(v string, _ *est.Node) (string, error) {
+		if v == "" {
+			return "", fmt.Errorf("empty name")
+		}
+		return "Hd" + lastComponent(v), nil
+	}
+
+	var mapType func(v string, n *est.Node) (string, error)
+	mapType = func(v string, n *est.Node) (string, error) {
+		switch v {
+		case "void":
+			return "void", nil
+		case "boolean":
+			return "boolean", nil
+		case "char", "wchar":
+			return "char", nil
+		case "octet":
+			return "byte", nil
+		case "short", "unsigned short":
+			return "short", nil
+		case "long", "unsigned long":
+			return "int", nil
+		case "long long", "unsigned long long":
+			return "long", nil
+		case "float":
+			return "float", nil
+		case "double", "long double":
+			return "double", nil
+		case "string", "wstring":
+			return "String", nil
+		case "any":
+			return "Object", nil
+		case "Object":
+			return "HdObject", nil
+		}
+		if elem, _, ok := parseSequence(v); ok {
+			inner, err := mapType(elem, n)
+			if err != nil {
+				return "", err
+			}
+			return inner + "[]", nil
+		}
+		if elem, dims, ok := parseArray(v); ok {
+			inner, err := mapType(elem, n)
+			if err != nil {
+				return "", err
+			}
+			return inner + strings.Repeat("[]", len(dims)), nil
+		}
+		if strings.HasPrefix(v, "string<") || strings.HasPrefix(v, "wstring<") {
+			return "String", nil
+		}
+		switch idx[v] {
+		case "Interface", "Struct", "Union", "Exception":
+			return "Hd" + lastComponent(v), nil
+		case "Enum":
+			return "int", nil // 1.1-era int-constant mapping
+		case "Alias":
+			return "Hd" + lastComponent(v) + "[]", nil
+		}
+		return "", fmt.Errorf("java: unknown type %q", v)
+	}
+
+	// Alias types of sequences map to arrays of the element type rather
+	// than a named type; refine using the node's nested info when
+	// available.
+	mapTypeRefined := func(v string, n *est.Node) (string, error) {
+		if idx[v] == "Alias" {
+			// Prefer the aliased element spelling when the node
+			// describes a sequence alias.
+			if tn := findAlias(root, v); tn != nil {
+				if tn.PropString("type") == "sequence" {
+					return mapType(tn.PropString("typeName"), tn)
+				}
+				return mapType(tn.PropString("typeName"), tn)
+			}
+		}
+		return mapType(v, n)
+	}
+
+	suffix := func(kind string) string {
+		switch kind {
+		case "boolean":
+			return "Boolean"
+		case "char", "wchar":
+			return "Char"
+		case "octet":
+			return "Octet"
+		case "short", "ushort":
+			return "Short"
+		case "long", "ulong", "enum":
+			return "Int"
+		case "longlong", "ulonglong":
+			return "Long"
+		case "float":
+			return "Float"
+		case "double", "longdouble":
+			return "Double"
+		case "string", "wstring":
+			return "String"
+		case "objref":
+			return "Object"
+		default:
+			return "Value"
+		}
+	}
+	mapPutOp := func(v string, n *est.Node) (string, error) {
+		if v == "objref" && n.PropString("paramMode") == "incopy" {
+			return "putObjectByValue", nil
+		}
+		return "put" + suffix(v), nil
+	}
+	mapGetOp := func(v string, n *est.Node) (string, error) {
+		if v == "void" {
+			return "", nil
+		}
+		if v == "objref" && n.PropString("paramMode") == "incopy" {
+			return "getObjectByValue", nil
+		}
+		return "get" + suffix(v), nil
+	}
+	mapAccessor := func(v string, _ *est.Node) (string, error) {
+		return capitalize(v), nil
+	}
+
+	return jeeves.FuncMap{
+		"Java::MapClassName": mapClassName,
+		"Java::MapType":      mapTypeRefined,
+		"Java::MapPutOp":     mapPutOp,
+		"Java::MapGetOp":     mapGetOp,
+		"Java::MapAccessor":  mapAccessor,
+	}
+}
+
+// findAlias locates the Alias node with the given scoped name.
+func findAlias(root *est.Node, scoped string) *est.Node {
+	var found *est.Node
+	var walk func(n *est.Node)
+	walk = func(n *est.Node) {
+		if found != nil {
+			return
+		}
+		if n.Kind == "Alias" && n.PropString("aliasName") == scoped {
+			found = n
+			return
+		}
+		for _, list := range n.ListKeys() {
+			for _, c := range n.List(list) {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	return found
+}
+
+// Java is the HeidiRMI-compatible Java mapping (§4.2 of the paper).
+var Java = &Mapping{
+	Name:        "java",
+	Description: "HeidiRMI Java mapping: interfaces, expanded multiple inheritance in stubs/skeletons, no default parameters",
+	Templates:   map[string]string{"main": javaTemplate},
+	Funcs:       javaFuncs,
+}
+
+func init() { Register(Java) }

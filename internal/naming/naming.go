@@ -1,0 +1,113 @@
+// Package naming implements a CosNaming-style name service over the
+// generated Naming::Context bindings: servers bind stringified object
+// references under human-readable names and clients resolve them, replacing
+// out-of-band reference exchange. The paper's HeidiRMI bootstraps through a
+// well-known port (§3.1); a name service is the conventional next step the
+// CORBA ecosystem pairs with it.
+package naming
+
+import (
+	"sort"
+	"sync"
+
+	gen "repro/internal/gen/naming"
+	"repro/internal/orb"
+)
+
+// Context is an in-memory Naming::Context servant. It is safe for
+// concurrent use.
+type Context struct {
+	mu       sync.Mutex
+	bindings map[string]orb.ObjectRef
+}
+
+// NewContext returns an empty naming context.
+func NewContext() *Context {
+	return &Context{bindings: make(map[string]orb.ObjectRef)}
+}
+
+// Bind implements Naming::Context: it fails if the name is taken.
+func (c *Context) Bind(name string, obj orb.ObjectRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, taken := c.bindings[name]; taken {
+		return &gen.HdAlreadyBound{Name: name}
+	}
+	c.bindings[name] = obj
+	return nil
+}
+
+// Rebind implements Naming::Context: it overwrites silently.
+func (c *Context) Rebind(name string, obj orb.ObjectRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bindings[name] = obj
+	return nil
+}
+
+// Resolve implements Naming::Context.
+func (c *Context) Resolve(name string) (orb.ObjectRef, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref, ok := c.bindings[name]
+	if !ok {
+		return orb.ObjectRef{}, &gen.HdNotFound{Name: name}
+	}
+	return ref, nil
+}
+
+// Unbind implements Naming::Context.
+func (c *Context) Unbind(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.bindings[name]; !ok {
+		return &gen.HdNotFound{Name: name}
+	}
+	delete(c.bindings, name)
+	return nil
+}
+
+// List implements Naming::Context, returning bound names sorted.
+func (c *Context) List() (gen.HdNameSeq, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.bindings))
+	for n := range c.bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// GetSize implements the readonly size attribute.
+func (c *Context) GetSize() (int32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int32(len(c.bindings)), nil
+}
+
+// Serve exports a fresh naming context on o and returns its reference and
+// servant.
+func Serve(o *orb.ORB) (orb.ObjectRef, *Context, error) {
+	impl := NewContext()
+	ref, err := o.Export(impl, gen.NewHdContextTable(impl))
+	if err != nil {
+		return orb.ObjectRef{}, nil, err
+	}
+	return ref, impl, nil
+}
+
+// Connect resolves a remote naming context reference into a typed client.
+// The stub factory is registered on first use.
+func Connect(o *orb.ORB, ref orb.ObjectRef) (gen.HdContext, error) {
+	gen.RegisterNamingStubs(o)
+	obj, err := o.Resolve(ref)
+	if err != nil {
+		return nil, err
+	}
+	ctx, ok := obj.(gen.HdContext)
+	if !ok {
+		return nil, &gen.HdNotFound{Name: ref.String()}
+	}
+	return ctx, nil
+}

@@ -1,0 +1,182 @@
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/gen/media"
+	gen "repro/internal/gen/naming"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+// startNaming serves a naming context and returns a remote client for it.
+func startNaming(t *testing.T, proto wire.Protocol) (gen.HdContext, *Context) {
+	t.Helper()
+	server := orb.New(orb.Options{Protocol: proto})
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Shutdown() })
+	ref, impl, err := Serve(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := orb.New(orb.Options{Protocol: proto})
+	t.Cleanup(func() { client.Shutdown() })
+	ctx, err := Connect(client, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, impl
+}
+
+func mustRef(t *testing.T, s string) orb.ObjectRef {
+	t.Helper()
+	ref, err := orb.ParseRef(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func TestBindResolveUnbind(t *testing.T) {
+	for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+		t.Run(proto.Name(), func(t *testing.T) {
+			ctx, _ := startNaming(t, proto)
+			ref := mustRef(t, "@tcp:h:1#42#IDL:X:1.0")
+
+			if err := ctx.Bind("player", ref); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ctx.Resolve("player")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != ref {
+				t.Errorf("Resolve = %v, want %v", got, ref)
+			}
+
+			// Duplicate bind raises AlreadyBound.
+			err = ctx.Bind("player", ref)
+			var re *orb.RemoteError
+			if !errors.As(err, &re) || re.Status != wire.StatusUserException ||
+				!strings.Contains(re.Msg, "AlreadyBound") {
+				t.Errorf("duplicate bind = %v", err)
+			}
+
+			// Rebind overwrites.
+			ref2 := mustRef(t, "@tcp:h:2#43#IDL:Y:1.0")
+			if err := ctx.Rebind("player", ref2); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := ctx.Resolve("player"); got != ref2 {
+				t.Error("rebind did not overwrite")
+			}
+
+			if err := ctx.Unbind("player"); err != nil {
+				t.Fatal(err)
+			}
+			_, err = ctx.Resolve("player")
+			if !errors.As(err, &re) || !strings.Contains(re.Msg, "NotFound") {
+				t.Errorf("resolve after unbind = %v", err)
+			}
+			if err := ctx.Unbind("player"); err == nil {
+				t.Error("unbind of unbound name should fail")
+			}
+		})
+	}
+}
+
+func TestListAndSize(t *testing.T) {
+	ctx, _ := startNaming(t, wire.Text)
+	for _, n := range []string{"charlie", "alpha", "bravo"} {
+		if err := ctx.Bind(n, mustRef(t, "@tcp:h:1#1#IDL:T:1.0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := ctx.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, ",") != "alpha,bravo,charlie" {
+		t.Errorf("List = %v", names)
+	}
+	if n, err := ctx.GetSize(); err != nil || n != 3 {
+		t.Errorf("GetSize = %d, %v", n, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ctx, impl := startNaming(t, wire.CDR)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				name := fmt.Sprintf("svc-%d-%d", g, i)
+				if err := ctx.Bind(name, mustRef(t, "@tcp:h:1#9#IDL:T:1.0")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n, _ := impl.GetSize(); n != 60 {
+		t.Errorf("size = %d, want 60", n)
+	}
+}
+
+// TestDiscoveryFlow is the deployment story: a media server binds its
+// session into the name service; a client that knows only the naming
+// reference resolves the name, then the typed object, and calls it.
+func TestDiscoveryFlow(t *testing.T) {
+	// One server process hosts both the naming context and the session.
+	server, sessionRef, _, err := demo.Serve(orb.Options{Protocol: wire.Text}, "discovered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	namingRef, _, err := Serve(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The server binds its own session under a well-known name,
+	// remotely, through the same public interface clients use.
+	bootstrapClient := orb.New(orb.Options{Protocol: wire.Text})
+	defer bootstrapClient.Shutdown()
+	ctx, err := Connect(bootstrapClient, namingRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Bind("media/session-main", sessionRef); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh client knows only namingRef.
+	client := demo.Connect(orb.Options{Protocol: wire.Text})
+	defer client.Shutdown()
+	ctx2, err := Connect(client, namingRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ctx2.Resolve("media/session-main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := obj.(media.HdSession)
+	if name, err := session.GetName(); err != nil || name != "discovered" {
+		t.Errorf("GetName via discovery = %q, %v", name, err)
+	}
+}

@@ -1,0 +1,342 @@
+package orb
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/heidi"
+	"repro/internal/wire"
+)
+
+// callBase carries the marshaling surface shared by client and server
+// calls: typed Put/Get primitives delegating to the protocol's
+// encoder/decoder, plus the object-reference and pass-by-value helpers.
+// A call implements heidi.Writer and heidi.Reader, so HdSerializable
+// objects marshal themselves straight into the call (§3.1).
+type callBase struct {
+	orb *ORB
+	enc wire.Encoder
+	dec wire.Decoder
+}
+
+// --- marshaling (heidi.Writer and extras) ------------------------------------
+
+func (c *callBase) PutBool(v bool)        { c.enc.PutBool(v) }
+func (c *callBase) PutOctet(v byte)       { c.enc.PutOctet(v) }
+func (c *callBase) PutShort(v int16)      { c.enc.PutShort(v) }
+func (c *callBase) PutUShort(v uint16)    { c.enc.PutUShort(v) }
+func (c *callBase) PutLong(v int32)       { c.enc.PutLong(v) }
+func (c *callBase) PutULong(v uint32)     { c.enc.PutULong(v) }
+func (c *callBase) PutLongLong(v int64)   { c.enc.PutLongLong(v) }
+func (c *callBase) PutULongLong(v uint64) { c.enc.PutULongLong(v) }
+func (c *callBase) PutFloat(v float32)    { c.enc.PutFloat(v) }
+func (c *callBase) PutDouble(v float64)   { c.enc.PutDouble(v) }
+func (c *callBase) PutChar(v rune)        { c.enc.PutChar(v) }
+func (c *callBase) PutString(v string)    { c.enc.PutString(v) }
+func (c *callBase) Begin(tag string)      { c.enc.Begin(tag) }
+func (c *callBase) End()                  { c.enc.End() }
+
+// PutEnum marshals an enum ordinal.
+func (c *callBase) PutEnum(v int32) { c.enc.PutLong(v) }
+
+// --- unmarshaling (heidi.Reader and extras) ----------------------------------
+
+func (c *callBase) GetBool() (bool, error)        { return c.dec.GetBool() }
+func (c *callBase) GetOctet() (byte, error)       { return c.dec.GetOctet() }
+func (c *callBase) GetShort() (int16, error)      { return c.dec.GetShort() }
+func (c *callBase) GetUShort() (uint16, error)    { return c.dec.GetUShort() }
+func (c *callBase) GetLong() (int32, error)       { return c.dec.GetLong() }
+func (c *callBase) GetULong() (uint32, error)     { return c.dec.GetULong() }
+func (c *callBase) GetLongLong() (int64, error)   { return c.dec.GetLongLong() }
+func (c *callBase) GetULongLong() (uint64, error) { return c.dec.GetULongLong() }
+func (c *callBase) GetFloat() (float32, error)    { return c.dec.GetFloat() }
+func (c *callBase) GetDouble() (float64, error)   { return c.dec.GetDouble() }
+func (c *callBase) GetChar() (rune, error)        { return c.dec.GetChar() }
+func (c *callBase) GetString() (string, error)    { return c.dec.GetString() }
+func (c *callBase) BeginGet() (string, error)     { return c.dec.BeginGet() }
+func (c *callBase) EndGet() error                 { return c.dec.EndGet() }
+
+// GetEnum unmarshals an enum ordinal.
+func (c *callBase) GetEnum() (int32, error) { return c.dec.GetLong() }
+
+// --- object references ---------------------------------------------------------
+
+// PutObjectRef marshals an object reference (nil allowed).
+func (c *callBase) PutObjectRef(ref ObjectRef) {
+	if ref.IsNil() {
+		c.enc.PutString(NilRefString)
+		return
+	}
+	c.enc.PutString(ref.String())
+}
+
+// GetObjectRef unmarshals an object reference.
+func (c *callBase) GetObjectRef() (ObjectRef, error) {
+	s, err := c.dec.GetString()
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	return ParseRef(s)
+}
+
+// PutObject marshals a by-reference object parameter: a stub forwards its
+// reference, an exported implementation reuses its reference, and an
+// unexported implementation is exported on the spot with mkTable — the
+// paper's lazily created skeleton (§3.1). Generated stubs pass the
+// type-specific skeleton constructor as mkTable.
+func (c *callBase) PutObject(impl any, mkTable func() *MethodTable) error {
+	if impl == nil {
+		c.PutObjectRef(ObjectRef{})
+		return nil
+	}
+	ref, err := c.orb.ExportIfNeeded(impl, mkTable)
+	if err != nil {
+		return err
+	}
+	c.PutObjectRef(ref)
+	return nil
+}
+
+// GetObject unmarshals a by-reference object parameter into a stub (or the
+// local implementation for a collocated reference). Returns nil for a nil
+// reference.
+func (c *callBase) GetObject() (any, error) {
+	ref, err := c.GetObjectRef()
+	if err != nil {
+		return nil, err
+	}
+	return c.orb.Resolve(ref)
+}
+
+// PutValue marshals a Serializable value (generated structs implement
+// heidi.Serializable) into the call.
+func (c *callBase) PutValue(v heidi.Serializable) error {
+	c.enc.Begin(v.HdTypeName())
+	if err := v.HdMarshal(c); err != nil {
+		return fmt.Errorf("orb: marshaling %s: %w", v.HdTypeName(), err)
+	}
+	c.enc.End()
+	return nil
+}
+
+// GetValue unmarshals a Serializable value in place.
+func (c *callBase) GetValue(into heidi.Serializable) error {
+	if _, err := c.dec.BeginGet(); err != nil {
+		return err
+	}
+	if err := into.HdUnmarshal(c); err != nil {
+		return fmt.Errorf("orb: unmarshaling %s: %w", into.HdTypeName(), err)
+	}
+	return c.dec.EndGet()
+}
+
+// Wire markers for the incopy hybrid: value-carried or reference-carried.
+const (
+	incopyByValue = "V"
+	incopyByRef   = "R"
+)
+
+// PutObjectIncopy implements the paper's incopy semantics: "object
+// references passed incopy are copied across the IDL interface, if
+// possible" (§3.1). A heidi.Serializable argument travels by value (its
+// type name plus its marshaled state — no skeleton is ever created);
+// anything else falls back to by-reference with lazy export.
+func (c *callBase) PutObjectIncopy(impl any, mkTable func() *MethodTable) error {
+	if s, ok := heidi.IsSerializable(impl); ok {
+		c.enc.PutString(incopyByValue)
+		c.enc.Begin(s.HdTypeName())
+		c.enc.PutString(s.HdTypeName())
+		if err := s.HdMarshal(c); err != nil {
+			return fmt.Errorf("orb: marshaling %s by value: %w", s.HdTypeName(), err)
+		}
+		c.enc.End()
+		return nil
+	}
+	c.enc.PutString(incopyByRef)
+	return c.PutObject(impl, mkTable)
+}
+
+// GetObjectIncopy unmarshals an incopy parameter: a by-value payload is
+// reconstructed through Heidi's dynamic type registry ("the type
+// information contained in the object reference is utilized to create a
+// stub of the appropriate type" — here, the value's registered type
+// creates a fresh local instance); a by-reference payload resolves to a
+// stub as usual.
+func (c *callBase) GetObjectIncopy() (any, error) {
+	marker, err := c.dec.GetString()
+	if err != nil {
+		return nil, err
+	}
+	switch marker {
+	case incopyByValue:
+		if _, err := c.dec.BeginGet(); err != nil {
+			return nil, err
+		}
+		typeName, err := c.dec.GetString()
+		if err != nil {
+			return nil, err
+		}
+		obj, err := heidi.NewInstance(typeName)
+		if err != nil {
+			return nil, err
+		}
+		if err := obj.HdUnmarshal(c); err != nil {
+			return nil, fmt.Errorf("orb: unmarshaling %s by value: %w", typeName, err)
+		}
+		if err := c.dec.EndGet(); err != nil {
+			return nil, err
+		}
+		return obj, nil
+	case incopyByRef:
+		return c.GetObject()
+	default:
+		return nil, fmt.Errorf("orb: bad incopy marker %q", marker)
+	}
+}
+
+// --- client call ---------------------------------------------------------------
+
+// ClientCall is the paper's Call object on the client side (Fig. 4): "a new
+// Call object that provides the generic functionality for making a remote
+// method call is created"; the target's stringified reference forms its
+// header, parameters are marshaled in, and Invoke sends the request.
+type ClientCall struct {
+	callBase
+	ref     ObjectRef
+	method  string
+	invoked bool
+}
+
+// NewCall creates a Call for one remote method invocation.
+func (o *ORB) NewCall(ref ObjectRef, method string) (*ClientCall, error) {
+	if ref.IsNil() {
+		return nil, fmt.Errorf("orb: call %q on nil object reference", method)
+	}
+	return &ClientCall{
+		callBase: callBase{orb: o, enc: o.proto.NewEncoder()},
+		ref:      ref,
+		method:   method,
+	}, nil
+}
+
+// Invoke sends the request and waits for the reply; afterwards the Get
+// methods read the marshaled results. A non-OK reply surfaces as
+// *RemoteError (matching orb.ErrUnknownMethod / orb.ErrUnknownObject via
+// errors.Is).
+func (c *ClientCall) Invoke() error {
+	reply, err := c.roundTrip(false)
+	if err != nil {
+		return err
+	}
+	if reply.Status != wire.StatusOK {
+		return &RemoteError{Status: reply.Status, Msg: reply.ErrMsg}
+	}
+	c.dec = c.orb.proto.NewDecoder(reply.Body)
+	return nil
+}
+
+// InvokeOneway sends the request without waiting for any reply (IDL oneway
+// operations).
+func (c *ClientCall) InvokeOneway() error {
+	_, err := c.roundTrip(true)
+	return err
+}
+
+func (c *ClientCall) roundTrip(oneway bool) (*wire.Message, error) {
+	if c.invoked {
+		return nil, fmt.Errorf("orb: call %q invoked twice", c.method)
+	}
+	c.invoked = true
+	ctx := &ClientContext{Ref: c.ref, Method: c.method, Oneway: oneway}
+	var reply *wire.Message
+	err := c.orb.runClientChain(ctx, func() error {
+		r, err := c.transact(oneway)
+		reply = r
+		return err
+	})
+	return reply, err
+}
+
+// transact performs the wire round trip of one invocation.
+func (c *ClientCall) transact(oneway bool) (*wire.Message, error) {
+	id := atomic.AddUint32(&c.orb.reqID, 1)
+	req := &wire.Message{
+		Type:      wire.MsgRequest,
+		RequestID: id,
+		TargetRef: c.ref.String(),
+		Method:    c.method,
+		Oneway:    oneway,
+		Body:      c.enc.Bytes(),
+	}
+	conn, err := c.orb.pool.Get(c.ref.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+	}
+	if d := c.orb.opts.CallTimeout; d > 0 {
+		conn.SetDeadline(time.Now().Add(d))
+		defer conn.SetDeadline(time.Time{})
+	}
+	if err := conn.Send(req); err != nil {
+		c.orb.pool.Put(c.ref.Addr, conn, false)
+		return nil, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+	}
+	if oneway {
+		atomic.AddUint64(&c.orb.stats.OnewaysSent, 1)
+		c.orb.pool.Put(c.ref.Addr, conn, true)
+		return nil, nil
+	}
+	atomic.AddUint64(&c.orb.stats.CallsSent, 1)
+	for {
+		reply, err := conn.Recv()
+		if err != nil {
+			c.orb.pool.Put(c.ref.Addr, conn, false)
+			return nil, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
+		}
+		if reply.Type != wire.MsgReply || reply.RequestID != id {
+			continue // stale reply on a cached connection: skip
+		}
+		c.orb.pool.Put(c.ref.Addr, conn, true)
+		return reply, nil
+	}
+}
+
+// Release ends the call; the Call object may not be reused afterwards. It
+// exists to mirror the HeidiRMI API shape (stubs release their Call after
+// unmarshaling results).
+func (c *ClientCall) Release() {
+	c.enc = nil
+	c.dec = nil
+}
+
+// Method returns the remote method name.
+func (c *ClientCall) Method() string { return c.method }
+
+// --- server call -----------------------------------------------------------------
+
+// ServerCall is the paper's Call object on the server side (Fig. 5): the
+// skeleton's handler unmarshals parameters from it, invokes the target
+// implementation, and marshals any results back in; the ORB sends the
+// reply when the handler returns.
+type ServerCall struct {
+	callBase
+	method string
+	oneway bool
+}
+
+// Method returns the invoked method name.
+func (c *ServerCall) Method() string { return c.method }
+
+// Oneway reports whether the request expects no reply.
+func (c *ServerCall) Oneway() bool { return c.oneway }
+
+// ORB returns the serving ORB (for Resolve/Export in handlers).
+func (c *ServerCall) ORB() *ORB { return c.orb }
+
+// newTestServerCall builds a detached ServerCall for tests and benchmarks.
+func newTestServerCall(o *ORB, method string, body []byte) *ServerCall {
+	return &ServerCall{
+		callBase: callBase{orb: o, enc: o.proto.NewEncoder(), dec: o.proto.NewDecoder(body)},
+		method:   method,
+	}
+}

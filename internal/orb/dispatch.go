@@ -1,0 +1,171 @@
+package orb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Handler services one incoming call: it unmarshals parameters from the
+// ServerCall, invokes the implementation, marshals results and calls
+// Reply. Generated skeletons register one handler per operation.
+type Handler func(c *ServerCall) error
+
+// Strategy selects how a MethodTable locates a handler by operation name.
+// §2 of the paper: "many IDL compilers use string comparisons to implement
+// the dispatching logic in the skeleton. Such a scheme can be very
+// expensive for interfaces with a large number of methods with long names.
+// Alternate schemes that utilize nested comparisons, or a hash-table can
+// result in faster dispatching." Benchmark C1 compares the three.
+type Strategy int
+
+// Dispatch strategies.
+const (
+	// StrategyLinear walks the method list comparing names in
+	// registration order — the naive generated-skeleton scheme.
+	StrategyLinear Strategy = iota
+	// StrategyBinary performs binary search over the sorted method
+	// names (the paper's "nested comparisons").
+	StrategyBinary
+	// StrategyHash looks the name up in a hash table.
+	StrategyHash
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyLinear:
+		return "linear"
+	case StrategyBinary:
+		return "binary"
+	case StrategyHash:
+		return "hash"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// MethodTable is a skeleton's dispatch table: the operations an interface
+// declares itself, plus the tables of its base interfaces. Dispatch tries
+// the interface's own operations first, then delegates to each base in
+// declaration order, recursively — the paper's Fig. 5 scheme ("If A
+// inherits from more than one interface, then dispatching is delegated to
+// each of the corresponding skeleton super-classes in order").
+type MethodTable struct {
+	typeID   string
+	strategy Strategy
+
+	names    []string // registration order (linear scan order)
+	handlers []Handler
+
+	sorted []int // indices of names in sorted order (binary search)
+	byName map[string]int
+
+	bases []*MethodTable
+}
+
+// NewMethodTable creates an empty table for the given repository ID.
+func NewMethodTable(typeID string) *MethodTable {
+	return &MethodTable{typeID: typeID, byName: make(map[string]int)}
+}
+
+// TypeID returns the repository ID the table dispatches for.
+func (t *MethodTable) TypeID() string { return t.typeID }
+
+// Register adds an operation handler. Registering a duplicate name panics:
+// generated code never does this, so it indicates a hand-wiring bug.
+func (t *MethodTable) Register(name string, h Handler) *MethodTable {
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("orb: duplicate method %q in table %s", name, t.typeID))
+	}
+	idx := len(t.names)
+	t.names = append(t.names, name)
+	t.handlers = append(t.handlers, h)
+	t.byName[name] = idx
+	// Insert into the sorted index.
+	pos := sort.Search(len(t.sorted), func(i int) bool {
+		return t.names[t.sorted[i]] >= name
+	})
+	t.sorted = append(t.sorted, 0)
+	copy(t.sorted[pos+1:], t.sorted[pos:])
+	t.sorted[pos] = idx
+	return t
+}
+
+// Inherit appends a base interface's table; dispatch delegates to bases in
+// the order they were added.
+func (t *MethodTable) Inherit(base *MethodTable) *MethodTable {
+	t.bases = append(t.bases, base)
+	return t
+}
+
+// SetStrategy selects the lookup strategy for this table and, recursively,
+// its bases.
+func (t *MethodTable) SetStrategy(s Strategy) *MethodTable {
+	t.strategy = s
+	for _, b := range t.bases {
+		b.SetStrategy(s)
+	}
+	return t
+}
+
+// Methods returns the operation names registered on this table (not
+// including bases), in registration order.
+func (t *MethodTable) Methods() []string { return append([]string(nil), t.names...) }
+
+// Bases returns the inherited tables.
+func (t *MethodTable) Bases() []*MethodTable { return append([]*MethodTable(nil), t.bases...) }
+
+// lookup finds the handler for name among this table's own operations.
+func (t *MethodTable) lookup(name string) (Handler, bool) {
+	switch t.strategy {
+	case StrategyBinary:
+		i := sort.Search(len(t.sorted), func(i int) bool {
+			return t.names[t.sorted[i]] >= name
+		})
+		if i < len(t.sorted) && t.names[t.sorted[i]] == name {
+			return t.handlers[t.sorted[i]], true
+		}
+		return nil, false
+	case StrategyHash:
+		if i, ok := t.byName[name]; ok {
+			return t.handlers[i], true
+		}
+		return nil, false
+	default: // StrategyLinear
+		for i, n := range t.names {
+			if n == name {
+				return t.handlers[i], true
+			}
+		}
+		return nil, false
+	}
+}
+
+// Dispatch locates and runs the handler for name, recursing through base
+// tables when the interface's own operations do not match. The boolean
+// result reports whether any handler matched.
+func (t *MethodTable) Dispatch(name string, c *ServerCall) (bool, error) {
+	if h, ok := t.lookup(name); ok {
+		return true, h(c)
+	}
+	for _, b := range t.bases {
+		handled, err := b.Dispatch(name, c)
+		if handled {
+			return true, err
+		}
+	}
+	return false, nil
+}
+
+// Resolve returns the handler that Dispatch would run, without running it.
+// It is exported for the dispatch-strategy benchmarks.
+func (t *MethodTable) Resolve(name string) (Handler, bool) {
+	if h, ok := t.lookup(name); ok {
+		return h, true
+	}
+	for _, b := range t.bases {
+		if h, ok := b.Resolve(name); ok {
+			return h, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,194 @@
+package orb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func noop(*ServerCall) error { return nil }
+
+func TestMethodTableStrategiesAgree(t *testing.T) {
+	// All three strategies must resolve identically on the same table —
+	// the correctness precondition for benchmark C1.
+	names := []string{"open", "close", "play", "stop", "pause", "seek", "list", "ping"}
+	for _, s := range []Strategy{StrategyLinear, StrategyBinary, StrategyHash} {
+		tb := NewMethodTable("IDL:T:1.0").SetStrategy(s)
+		for _, n := range names {
+			n := n
+			tb.Register(n, func(c *ServerCall) error { return fmt.Errorf("%s", n) })
+		}
+		tb.SetStrategy(s)
+		for _, n := range names {
+			h, ok := tb.Resolve(n)
+			if !ok {
+				t.Fatalf("%s: method %q not found", s, n)
+			}
+			if got := h(nil).Error(); got != n {
+				t.Errorf("%s: Resolve(%q) found handler for %q", s, n, got)
+			}
+		}
+		if _, ok := tb.Resolve("missing"); ok {
+			t.Errorf("%s: found nonexistent method", s)
+		}
+	}
+}
+
+// TestStrategyEquivalenceProperty: for random method sets and probes, all
+// strategies agree on hit/miss and on which handler is selected.
+func TestStrategyEquivalenceProperty(t *testing.T) {
+	f := func(raw []string, probeIdx uint8, probeRaw string) bool {
+		sanitize := func(s string) string {
+			s = strings.Map(func(r rune) rune {
+				if r >= 'a' && r <= 'z' {
+					return r
+				}
+				return 'a' + (r&0x7)%26
+			}, s)
+			if s == "" {
+				s = "m"
+			}
+			if len(s) > 16 {
+				s = s[:16]
+			}
+			return s
+		}
+		seen := map[string]bool{}
+		var names []string
+		for _, r := range raw {
+			n := sanitize(r)
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+		tables := make([]*MethodTable, 3)
+		for i, s := range []Strategy{StrategyLinear, StrategyBinary, StrategyHash} {
+			tb := NewMethodTable("IDL:P:1.0")
+			for _, n := range names {
+				n := n
+				tb.Register(n, func(*ServerCall) error { return fmt.Errorf("%s", n) })
+			}
+			tb.SetStrategy(s)
+			tables[i] = tb
+		}
+		var probe string
+		if len(names) > 0 && int(probeIdx)%2 == 0 {
+			probe = names[int(probeIdx)%len(names)]
+		} else {
+			probe = sanitize(probeRaw) + "_miss"
+		}
+		h0, ok0 := tables[0].Resolve(probe)
+		h1, ok1 := tables[1].Resolve(probe)
+		h2, ok2 := tables[2].Resolve(probe)
+		if ok0 != ok1 || ok1 != ok2 {
+			return false
+		}
+		if !ok0 {
+			return true
+		}
+		return h0(nil).Error() == h1(nil).Error() && h1(nil).Error() == h2(nil).Error()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecursiveDispatch reproduces Fig. 5's delegation: A_skel tries its own
+// methods, then delegates to S_skel; with multiple bases, in order.
+func TestRecursiveDispatch(t *testing.T) {
+	var trace []string
+	mk := func(typeID string, methods ...string) *MethodTable {
+		tb := NewMethodTable(typeID)
+		for _, m := range methods {
+			m := m
+			tb.Register(m, func(*ServerCall) error {
+				trace = append(trace, typeID+"."+m)
+				return nil
+			})
+		}
+		return tb
+	}
+	node := mk("IDL:Node:1.0", "ping")
+	source := mk("IDL:Source:1.0", "open").Inherit(node)
+	sink := mk("IDL:Sink:1.0", "configure").Inherit(node)
+	session := mk("IDL:Session:1.0", "play").Inherit(source).Inherit(sink)
+
+	cases := []struct {
+		method string
+		want   string
+	}{
+		{"play", "IDL:Session:1.0.play"},        // own method
+		{"open", "IDL:Source:1.0.open"},         // first base
+		{"configure", "IDL:Sink:1.0.configure"}, // second base
+		{"ping", "IDL:Node:1.0.ping"},           // diamond: via first base
+	}
+	for _, c := range cases {
+		trace = nil
+		handled, err := session.Dispatch(c.method, nil)
+		if err != nil || !handled {
+			t.Fatalf("Dispatch(%q) = %v, %v", c.method, handled, err)
+		}
+		if len(trace) != 1 || trace[0] != c.want {
+			t.Errorf("Dispatch(%q) ran %v, want [%s]", c.method, trace, c.want)
+		}
+	}
+
+	handled, _ := session.Dispatch("nope", nil)
+	if handled {
+		t.Error("unknown method reported handled")
+	}
+}
+
+// TestOverrideShadowsBase: a derived interface redeclaring a base method
+// dispatches to the derived handler (own methods are tried first, Fig. 5).
+func TestOverrideShadowsBase(t *testing.T) {
+	got := ""
+	base := NewMethodTable("IDL:B:1.0").Register("m", func(*ServerCall) error {
+		got = "base"
+		return nil
+	})
+	derived := NewMethodTable("IDL:D:1.0").Register("m", func(*ServerCall) error {
+		got = "derived"
+		return nil
+	}).Inherit(base)
+	if handled, _ := derived.Dispatch("m", nil); !handled || got != "derived" {
+		t.Errorf("dispatch hit %q, want derived", got)
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	NewMethodTable("t").Register("m", noop).Register("m", noop)
+}
+
+func TestSetStrategyPropagates(t *testing.T) {
+	base := NewMethodTable("b").Register("x", noop)
+	top := NewMethodTable("t").Inherit(base)
+	top.SetStrategy(StrategyHash)
+	if base.strategy != StrategyHash {
+		t.Error("SetStrategy did not propagate to bases")
+	}
+}
+
+func TestMethodsAndBases(t *testing.T) {
+	base := NewMethodTable("b")
+	tb := NewMethodTable("t").Register("b", noop).Register("a", noop).Inherit(base)
+	if got := strings.Join(tb.Methods(), ","); got != "b,a" {
+		t.Errorf("Methods() = %s (registration order expected)", got)
+	}
+	if len(tb.Bases()) != 1 || tb.Bases()[0] != base {
+		t.Error("Bases()")
+	}
+	if tb.TypeID() != "t" {
+		t.Error("TypeID()")
+	}
+	if StrategyLinear.String() != "linear" || StrategyBinary.String() != "binary" || StrategyHash.String() != "hash" {
+		t.Error("Strategy.String()")
+	}
+}

@@ -1,0 +1,58 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Sentinel errors surfaced by the runtime.
+var (
+	// ErrUnknownMethod is reported when dispatch falls off the end of
+	// the skeleton inheritance chain without a match (Fig. 5).
+	ErrUnknownMethod = errors.New("orb: unknown method")
+	// ErrUnknownObject is reported when a request names an object
+	// identifier that is not registered in the address space.
+	ErrUnknownObject = errors.New("orb: unknown object")
+	// ErrNotExportable is reported when a value passed as an object
+	// reference is neither a stub, an exported servant, nor exportable.
+	ErrNotExportable = errors.New("orb: value is not a stub and has no skeleton factory")
+	// ErrShutdown is reported for operations on a stopped ORB.
+	ErrShutdown = errors.New("orb: shut down")
+)
+
+// UserError marks generated exception types (IDL raises clauses): a handler
+// returning a UserError produces a user-exception reply rather than a
+// system error.
+type UserError interface {
+	error
+	// HdUserError distinguishes IDL user exceptions from system errors.
+	HdUserError()
+}
+
+// RemoteError is the client-side image of a non-OK reply.
+type RemoteError struct {
+	Status wire.ReplyStatus
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("orb: remote error (%s)", e.Status)
+	}
+	return fmt.Sprintf("orb: remote error (%s): %s", e.Status, e.Msg)
+}
+
+// Is maps reply statuses onto the package sentinels so callers can use
+// errors.Is(err, orb.ErrUnknownMethod) across the wire.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrUnknownMethod:
+		return e.Status == wire.StatusUnknownMethod
+	case ErrUnknownObject:
+		return e.Status == wire.StatusUnknownObject
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package orb
+
+// Interceptors are the exposed-hook style of ORB customization the paper's
+// related-work section surveys — "Orbix provides filters that are triggered
+// in the dispatch path ... Visibroker provides similar features called
+// interceptors" (§5) — and positions as complementary to template-driven
+// generation: templates customize the language bridge, interceptors
+// customize the request path at run time.
+//
+// Client interceptors wrap the outgoing invocation; server interceptors
+// wrap dispatch. Both may short-circuit by returning an error, observe
+// timings, or mutate nothing at all (the common tracing case).
+
+// ClientContext describes one outgoing invocation.
+type ClientContext struct {
+	Ref    ObjectRef
+	Method string
+	Oneway bool
+}
+
+// ServerContext describes one incoming request.
+type ServerContext struct {
+	TargetRef string
+	TypeID    string
+	Method    string
+	Oneway    bool
+}
+
+// ClientInterceptor wraps an outgoing call; invoke runs the rest of the
+// chain and finally the transport round trip. Returning an error without
+// calling invoke cancels the call.
+type ClientInterceptor func(ctx *ClientContext, invoke func() error) error
+
+// ServerInterceptor wraps an incoming dispatch; handle runs the rest of
+// the chain and finally the skeleton. Returning an error produces a
+// system-error (or user-exception, for UserError values) reply.
+type ServerInterceptor func(ctx *ServerContext, handle func() error) error
+
+// AddClientInterceptor appends an interceptor to the outgoing chain;
+// interceptors run in registration order (the first added is outermost).
+func (o *ORB) AddClientInterceptor(i ClientInterceptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.clientInts = append(o.clientInts, i)
+}
+
+// AddServerInterceptor appends an interceptor to the dispatch chain;
+// interceptors run in registration order (the first added is outermost).
+func (o *ORB) AddServerInterceptor(i ServerInterceptor) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.serverInts = append(o.serverInts, i)
+}
+
+// runClientChain composes the registered client interceptors around core.
+func (o *ORB) runClientChain(ctx *ClientContext, core func() error) error {
+	o.mu.Lock()
+	ints := o.clientInts
+	o.mu.Unlock()
+	call := core
+	for i := len(ints) - 1; i >= 0; i-- {
+		next, ic := call, ints[i]
+		call = func() error { return ic(ctx, next) }
+	}
+	return call()
+}
+
+// runServerChain composes the registered server interceptors around core.
+func (o *ORB) runServerChain(ctx *ServerContext, core func() error) error {
+	o.mu.Lock()
+	ints := o.serverInts
+	o.mu.Unlock()
+	handle := core
+	for i := len(ints) - 1; i >= 0; i-- {
+		next, ic := handle, ints[i]
+		handle = func() error { return ic(ctx, next) }
+	}
+	return handle()
+}
+
+// errNotDispatched marks an unknown-method outcome through the interceptor
+// chain without losing the distinction from handler errors.
+type errNotDispatched struct{ typeID, method string }
+
+func (e *errNotDispatched) Error() string {
+	return "orb: no method " + e.method + " on " + e.typeID
+}
+
+// Is maps the sentinel for errors.Is.
+func (e *errNotDispatched) Is(target error) bool { return target == ErrUnknownMethod }

@@ -1,0 +1,186 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestInterceptorsObserveCalls: client and server interceptors see every
+// two-way invocation with the right context, in registration order.
+func TestInterceptorsObserveCalls(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+
+	var mu sync.Mutex
+	var trace []string
+	client.AddClientInterceptor(func(ctx *ClientContext, invoke func() error) error {
+		mu.Lock()
+		trace = append(trace, "outer:"+ctx.Method)
+		mu.Unlock()
+		err := invoke()
+		mu.Lock()
+		trace = append(trace, "outer-done:"+ctx.Method)
+		mu.Unlock()
+		return err
+	})
+	client.AddClientInterceptor(func(ctx *ClientContext, invoke func() error) error {
+		mu.Lock()
+		trace = append(trace, "inner:"+ctx.Method)
+		mu.Unlock()
+		return invoke()
+	})
+
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.(Echo).Ping(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := strings.Join(trace, ",")
+	mu.Unlock()
+	want := "outer:ping,inner:ping,outer-done:ping"
+	if got != want {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+}
+
+// TestServerInterceptorWrapsDispatch: a server interceptor sees the target
+// type and can veto requests — the Orbix-filter behaviour of §5.
+func TestServerInterceptorWrapsDispatch(t *testing.T) {
+	impl := &echoImpl{}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	server.AddServerInterceptor(func(ctx *ServerContext, handle func() error) error {
+		mu.Lock()
+		seen[ctx.TypeID+"."+ctx.Method]++
+		mu.Unlock()
+		if ctx.Method == "fail" {
+			return fmt.Errorf("rejected by filter")
+		}
+		return handle()
+	})
+
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(tcpText())
+	registerEchoStub(client)
+	defer client.Shutdown()
+	obj, _ := client.Resolve(ref)
+	echo := obj.(Echo)
+
+	if err := echo.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	pings := seen["IDL:test/Echo:1.0.ping"]
+	mu.Unlock()
+	if pings != 1 {
+		t.Errorf("interceptor saw %d pings, want 1", pings)
+	}
+
+	// The filter rejects "fail" before the handler runs.
+	err = echo.Fail("boom")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != wire.StatusSystemError {
+		t.Fatalf("filtered call = %v, want system error", err)
+	}
+	if !strings.Contains(re.Msg, "rejected by filter") {
+		t.Errorf("msg = %q", re.Msg)
+	}
+}
+
+// TestClientInterceptorShortCircuit: an interceptor can cancel an
+// invocation locally without touching the wire.
+func TestClientInterceptorShortCircuit(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+	client.AddClientInterceptor(func(ctx *ClientContext, invoke func() error) error {
+		if ctx.Method == "add" {
+			return fmt.Errorf("add is disabled here")
+		}
+		return invoke()
+	})
+	obj, _ := client.Resolve(ref)
+	echo := obj.(Echo)
+	if _, err := echo.Add(1, 2); err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Errorf("Add = %v, want local rejection", err)
+	}
+	if err := echo.Ping(); err != nil {
+		t.Errorf("Ping should pass: %v", err)
+	}
+	if n := client.Stats().CallsSent; n != 1 {
+		t.Errorf("calls sent = %d, want 1 (add never reached the wire)", n)
+	}
+}
+
+// TestServerInterceptorUnknownMethodPreserved: interceptors do not swallow
+// the unknown-method status.
+func TestServerInterceptorUnknownMethodPreserved(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+	// The server in newServerClient has no interceptors; use a fresh pair
+	// with a pass-through interceptor.
+	impl := &echoImpl{}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	server.AddServerInterceptor(func(ctx *ServerContext, handle func() error) error {
+		return handle()
+	})
+	ref2, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.NewCall(ref2, "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("err = %v, want ErrUnknownMethod through interceptor", err)
+	}
+	_ = ref
+}
+
+// TestServerInterceptorUserException: a UserError returned by an
+// interceptor maps to a user-exception reply, like one from a handler.
+func TestServerInterceptorUserException(t *testing.T) {
+	impl := &echoImpl{}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	server.AddServerInterceptor(func(ctx *ServerContext, handle func() error) error {
+		if ctx.Method == "echo" {
+			return &FailError{Why: "quota exceeded"}
+		}
+		return handle()
+	})
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(tcpText())
+	registerEchoStub(client)
+	defer client.Shutdown()
+	obj, _ := client.Resolve(ref)
+	_, err = obj.(Echo).Echo("x")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != wire.StatusUserException {
+		t.Errorf("err = %v, want user exception from interceptor", err)
+	}
+}

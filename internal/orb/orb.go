@@ -1,0 +1,418 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Options configures an ORB. The zero value serves a text-protocol TCP ORB
+// on an ephemeral loopback port — the paper's default HeidiRMI setup.
+type Options struct {
+	// Protocol frames messages and encodes call bodies. Defaults to
+	// wire.Text (the HeidiRMI ASCII protocol); use wire.CDR for the
+	// binary protocol.
+	Protocol wire.Protocol
+	// Transport carries messages. Defaults to transport.NewTCP(Protocol).
+	Transport transport.Transport
+	// ListenAddr is the bootstrap endpoint. Defaults to "127.0.0.1:0".
+	ListenAddr string
+	// DispatchStrategy selects skeleton method lookup (benchmark C1).
+	DispatchStrategy Strategy
+	// CallTimeout bounds one remote invocation's wire round trip (send
+	// plus reply wait). Zero means no bound — the HeidiRMI default,
+	// where idle cached connections may legitimately sit for hours.
+	CallTimeout time.Duration
+	// DisableConnCache ablates the §3.1 connection cache (benchmark C3).
+	DisableConnCache bool
+	// DisableStubCache ablates the §3.1 stub cache (benchmark C3).
+	DisableStubCache bool
+}
+
+// StubFactory builds a typed stub for a reference; generated bindings
+// register one per interface repository ID.
+type StubFactory func(o *ORB, ref ObjectRef) any
+
+// servant is one exported object: the implementation plus its dispatch
+// table (the delegation skeleton of Fig. 2).
+type servant struct {
+	oid    string
+	typeID string
+	table  *MethodTable
+	impl   any
+}
+
+// ORB is one HeidiRMI address space: a bootstrap listener, the object
+// adapter mapping object identifiers to servants, stub/skeleton caches and
+// a client connection pool.
+type ORB struct {
+	opts  Options
+	proto wire.Protocol
+	trans transport.Transport
+	pool  *transport.Pool
+
+	mu        sync.Mutex
+	listener  transport.Listener
+	servants  map[string]*servant // oid -> servant
+	byImpl    map[any]ObjectRef   // skeleton cache: impl -> exported ref
+	stubs     map[string]any      // stub cache: ref string -> stub
+	factories map[string]StubFactory
+	conns     map[transport.Conn]struct{} // live server-side connections
+	closed    bool
+
+	clientInts []ClientInterceptor
+	serverInts []ServerInterceptor
+
+	nextOID uint64 // object identifiers, atomically allocated
+	reqID   uint32 // request identifiers
+
+	wg sync.WaitGroup
+
+	stats Stats
+}
+
+// Stats counts runtime events; all fields are cumulative.
+type Stats struct {
+	CallsSent        uint64
+	OnewaysSent      uint64
+	RequestsServed   uint64
+	DispatchMisses   uint64
+	StubCacheHits    uint64
+	StubsCreated     uint64
+	SkeletonsCreated uint64
+}
+
+// New creates an ORB with the given options. Call Start to begin serving;
+// a pure-client ORB may skip Start.
+func New(opts Options) *ORB {
+	if opts.Protocol == nil {
+		opts.Protocol = wire.Text
+	}
+	if opts.Transport == nil {
+		opts.Transport = transport.NewTCP(opts.Protocol)
+	}
+	if opts.ListenAddr == "" {
+		opts.ListenAddr = "127.0.0.1:0"
+	}
+	o := &ORB{
+		opts:      opts,
+		proto:     opts.Protocol,
+		trans:     opts.Transport,
+		servants:  make(map[string]*servant),
+		byImpl:    make(map[any]ObjectRef),
+		stubs:     make(map[string]any),
+		factories: make(map[string]StubFactory),
+		conns:     make(map[transport.Conn]struct{}),
+	}
+	o.pool = &transport.Pool{Dial: opts.Transport.Dial, Disabled: opts.DisableConnCache}
+	return o
+}
+
+// Protocol returns the ORB's wire protocol.
+func (o *ORB) Protocol() wire.Protocol { return o.proto }
+
+// Start opens the bootstrap port and begins accepting connections
+// (Fig. 5 step 1). It returns once the listener is bound, so Addr is valid
+// immediately after.
+func (o *ORB) Start() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrShutdown
+	}
+	if o.listener != nil {
+		return fmt.Errorf("orb: already started on %s", o.listener.Addr())
+	}
+	l, err := o.trans.Listen(o.opts.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("orb: starting bootstrap listener: %w", err)
+	}
+	o.listener = l
+	o.wg.Add(1)
+	go o.acceptLoop(l)
+	return nil
+}
+
+// Addr returns the bootstrap endpoint, or "" before Start.
+func (o *ORB) Addr() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.listener == nil {
+		return ""
+	}
+	return o.listener.Addr()
+}
+
+// Shutdown stops the listener, closes pooled connections and waits for
+// in-flight request goroutines to drain.
+func (o *ORB) Shutdown() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	l := o.listener
+	conns := make([]transport.Conn, 0, len(o.conns))
+	for c := range o.conns {
+		conns = append(conns, c)
+	}
+	o.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	// Unblock per-connection server goroutines parked in Recv on
+	// connections the peers keep cached.
+	for _, c := range conns {
+		c.Close()
+	}
+	o.pool.Close()
+	o.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of runtime counters.
+func (o *ORB) Stats() Stats {
+	return Stats{
+		CallsSent:        atomic.LoadUint64(&o.stats.CallsSent),
+		OnewaysSent:      atomic.LoadUint64(&o.stats.OnewaysSent),
+		RequestsServed:   atomic.LoadUint64(&o.stats.RequestsServed),
+		DispatchMisses:   atomic.LoadUint64(&o.stats.DispatchMisses),
+		StubCacheHits:    atomic.LoadUint64(&o.stats.StubCacheHits),
+		StubsCreated:     atomic.LoadUint64(&o.stats.StubsCreated),
+		SkeletonsCreated: atomic.LoadUint64(&o.stats.SkeletonsCreated),
+	}
+}
+
+// PoolStats returns the connection cache counters.
+func (o *ORB) PoolStats() transport.PoolStats { return o.pool.Stats() }
+
+// --- object adapter ----------------------------------------------------------
+
+// Export registers an implementation with its dispatch table and returns
+// its object reference. Exporting the same implementation again returns the
+// cached reference (the skeleton cache of §3.1). The ORB must have been
+// started, since the reference embeds the bootstrap endpoint.
+func (o *ORB) Export(impl any, table *MethodTable) (ObjectRef, error) {
+	if impl == nil || table == nil {
+		return ObjectRef{}, fmt.Errorf("orb: Export requires an implementation and a method table")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ObjectRef{}, ErrShutdown
+	}
+	if ref, ok := o.byImpl[impl]; ok {
+		return ref, nil
+	}
+	if o.listener == nil {
+		return ObjectRef{}, fmt.Errorf("orb: cannot export before Start (reference needs the bootstrap endpoint)")
+	}
+	table.SetStrategy(o.opts.DispatchStrategy)
+	oid := strconv.FormatUint(atomic.AddUint64(&o.nextOID, 1), 10)
+	ref := ObjectRef{
+		Proto:    o.trans.Name(),
+		Addr:     o.listener.Addr(),
+		ObjectID: oid,
+		TypeID:   table.TypeID(),
+	}
+	o.servants[oid] = &servant{oid: oid, typeID: table.TypeID(), table: table, impl: impl}
+	o.byImpl[impl] = ref
+	atomic.AddUint64(&o.stats.SkeletonsCreated, 1)
+	return ref, nil
+}
+
+// ExportIfNeeded implements the paper's lazy skeleton creation: "The
+// skeleton for a particular object is only created when a reference to it
+// is being passed" (§3.1). Stubs forward their existing reference; already
+// exported implementations reuse their reference; otherwise mkTable is
+// invoked to build the skeleton and the object is exported.
+func (o *ORB) ExportIfNeeded(impl any, mkTable func() *MethodTable) (ObjectRef, error) {
+	if rh, ok := impl.(RefHolder); ok {
+		return rh.HdRef(), nil
+	}
+	o.mu.Lock()
+	ref, ok := o.byImpl[impl]
+	o.mu.Unlock()
+	if ok {
+		return ref, nil
+	}
+	if mkTable == nil {
+		return ObjectRef{}, fmt.Errorf("%w (type %T)", ErrNotExportable, impl)
+	}
+	return o.Export(impl, mkTable())
+}
+
+// Unexport removes a servant, releasing its object identifier.
+func (o *ORB) Unexport(impl any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if ref, ok := o.byImpl[impl]; ok {
+		delete(o.servants, ref.ObjectID)
+		delete(o.byImpl, impl)
+	}
+}
+
+// RegisterStubFactory installs the stub constructor for a repository ID.
+// Generated bindings call this during registration.
+func (o *ORB) RegisterStubFactory(typeID string, f StubFactory) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.factories[typeID] = f
+}
+
+// Resolve returns a client object for a reference: the local
+// implementation when the reference names a servant in this address space,
+// otherwise a stub built by the registered factory (and cached, §3.1:
+// "Both stubs and skeletons are cached in each address-space in order to
+// minimize the overhead of their creation").
+func (o *ORB) Resolve(ref ObjectRef) (any, error) {
+	if ref.IsNil() {
+		return nil, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil, ErrShutdown
+	}
+	// Collocated object: hand back the implementation itself.
+	if o.listener != nil && ref.Addr == o.listener.Addr() && ref.Proto == o.trans.Name() {
+		if s, ok := o.servants[ref.ObjectID]; ok {
+			return s.impl, nil
+		}
+		return nil, fmt.Errorf("%w: %s", ErrUnknownObject, ref)
+	}
+	if !o.opts.DisableStubCache {
+		if stub, ok := o.stubs[ref.String()]; ok {
+			atomic.AddUint64(&o.stats.StubCacheHits, 1)
+			return stub, nil
+		}
+	}
+	f, ok := o.factories[ref.TypeID]
+	if !ok {
+		return nil, fmt.Errorf("orb: no stub factory registered for %q", ref.TypeID)
+	}
+	stub := f(o, ref)
+	atomic.AddUint64(&o.stats.StubsCreated, 1)
+	if !o.opts.DisableStubCache {
+		o.stubs[ref.String()] = stub
+	}
+	return stub, nil
+}
+
+// lookupServant finds the servant for an incoming request's target.
+func (o *ORB) lookupServant(refStr string) (*servant, error) {
+	ref, err := ParseRef(refStr)
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.servants[ref.ObjectID]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %q", ErrUnknownObject, ref.ObjectID)
+	}
+	return s, nil
+}
+
+// --- server loop -------------------------------------------------------------
+
+// acceptLoop accepts connections on the bootstrap port and serves each on
+// its own goroutine (Fig. 5: an ObjectCommunicator is wrapped around every
+// accepted connection).
+func (o *ORB) acceptLoop(l transport.Listener) {
+	defer o.wg.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		o.wg.Add(1)
+		go o.serveConn(c)
+	}
+}
+
+// serveConn reads requests off one connection, dispatches them and writes
+// replies, until the peer closes.
+func (o *ORB) serveConn(c transport.Conn) {
+	defer o.wg.Done()
+	defer c.Close()
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.conns[c] = struct{}{}
+	o.mu.Unlock()
+	defer func() {
+		o.mu.Lock()
+		delete(o.conns, c)
+		o.mu.Unlock()
+	}()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return // closed or protocol error: drop the connection
+		}
+		if m.Type != wire.MsgRequest {
+			continue // ignore stray replies
+		}
+		o.serveRequest(c, m)
+	}
+}
+
+// serveRequest handles a single request message.
+func (o *ORB) serveRequest(c transport.Conn, m *wire.Message) {
+	atomic.AddUint64(&o.stats.RequestsServed, 1)
+	reply := func(status wire.ReplyStatus, errMsg string, body []byte) {
+		if m.Oneway {
+			return
+		}
+		c.Send(&wire.Message{
+			Type:      wire.MsgReply,
+			RequestID: m.RequestID,
+			Status:    status,
+			ErrMsg:    errMsg,
+			Body:      body,
+		})
+	}
+
+	s, err := o.lookupServant(m.TargetRef)
+	if err != nil {
+		reply(wire.StatusUnknownObject, err.Error(), nil)
+		return
+	}
+	sc := &ServerCall{
+		callBase: callBase{orb: o, enc: o.proto.NewEncoder(), dec: o.proto.NewDecoder(m.Body)},
+		method:   m.Method,
+		oneway:   m.Oneway,
+	}
+	ctx := &ServerContext{TargetRef: m.TargetRef, TypeID: s.typeID, Method: m.Method, Oneway: m.Oneway}
+	err = o.runServerChain(ctx, func() error {
+		handled, err := s.table.Dispatch(m.Method, sc)
+		if !handled {
+			atomic.AddUint64(&o.stats.DispatchMisses, 1)
+			return &errNotDispatched{typeID: s.typeID, method: m.Method}
+		}
+		return err
+	})
+	switch {
+	case err == nil:
+		reply(wire.StatusOK, "", sc.enc.Bytes())
+	case errors.Is(err, ErrUnknownMethod):
+		reply(wire.StatusUnknownMethod, err.Error(), nil)
+	default:
+		if _, ok := err.(UserError); ok {
+			reply(wire.StatusUserException, err.Error(), nil)
+		} else {
+			reply(wire.StatusSystemError, err.Error(), nil)
+		}
+	}
+}

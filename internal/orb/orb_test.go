@@ -1,0 +1,763 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/heidi"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// The hand-written bindings below have exactly the shape the Go mapping
+// generates (internal/mappings, "go" mapping); keeping them in sync pins
+// the generated-code API.
+
+// Echo is the Go mapping of:
+//
+//	interface Echo {
+//	  string echo(in string s);
+//	  long add(in long a, in long b);
+//	  void ping();
+//	  oneway void poke();
+//	  void fail(in string why);
+//	};
+type Echo interface {
+	Echo(s string) (string, error)
+	Add(a, b int32) (int32, error)
+	Ping() error
+	Poke() error
+	Fail(why string) error
+}
+
+const echoTypeID = "IDL:test/Echo:1.0"
+
+// FailError is the generated user-exception type for "fail".
+type FailError struct{ Why string }
+
+func (e *FailError) Error() string { return "Echo::Fail: " + e.Why }
+func (e *FailError) HdUserError()  {}
+
+type echoStub struct {
+	o   *ORB
+	ref ObjectRef
+}
+
+func (s *echoStub) HdRef() ObjectRef { return s.ref }
+
+func (s *echoStub) Echo(v string) (string, error) {
+	c, err := s.o.NewCall(s.ref, "echo")
+	if err != nil {
+		return "", err
+	}
+	defer c.Release()
+	c.PutString(v)
+	if err := c.Invoke(); err != nil {
+		return "", err
+	}
+	return c.GetString()
+}
+
+func (s *echoStub) Add(a, b int32) (int32, error) {
+	c, err := s.o.NewCall(s.ref, "add")
+	if err != nil {
+		return 0, err
+	}
+	defer c.Release()
+	c.PutLong(a)
+	c.PutLong(b)
+	if err := c.Invoke(); err != nil {
+		return 0, err
+	}
+	return c.GetLong()
+}
+
+func (s *echoStub) Ping() error {
+	c, err := s.o.NewCall(s.ref, "ping")
+	if err != nil {
+		return err
+	}
+	defer c.Release()
+	return c.Invoke()
+}
+
+func (s *echoStub) Poke() error {
+	c, err := s.o.NewCall(s.ref, "poke")
+	if err != nil {
+		return err
+	}
+	defer c.Release()
+	return c.InvokeOneway()
+}
+
+func (s *echoStub) Fail(why string) error {
+	c, err := s.o.NewCall(s.ref, "fail")
+	if err != nil {
+		return err
+	}
+	defer c.Release()
+	c.PutString(why)
+	return c.Invoke()
+}
+
+// NewEchoTable is the generated delegation skeleton for Echo.
+func NewEchoTable(impl Echo) *MethodTable {
+	t := NewMethodTable(echoTypeID)
+	t.Register("echo", func(c *ServerCall) error {
+		s, err := c.GetString()
+		if err != nil {
+			return err
+		}
+		r, err := impl.Echo(s)
+		if err != nil {
+			return err
+		}
+		c.PutString(r)
+		return nil
+	})
+	t.Register("add", func(c *ServerCall) error {
+		a, err := c.GetLong()
+		if err != nil {
+			return err
+		}
+		b, err := c.GetLong()
+		if err != nil {
+			return err
+		}
+		r, err := impl.Add(a, b)
+		if err != nil {
+			return err
+		}
+		c.PutLong(r)
+		return nil
+	})
+	t.Register("ping", func(c *ServerCall) error { return impl.Ping() })
+	t.Register("poke", func(c *ServerCall) error { return impl.Poke() })
+	t.Register("fail", func(c *ServerCall) error {
+		why, err := c.GetString()
+		if err != nil {
+			return err
+		}
+		return impl.Fail(why)
+	})
+	return t
+}
+
+func registerEchoStub(o *ORB) {
+	o.RegisterStubFactory(echoTypeID, func(o *ORB, ref ObjectRef) any {
+		return &echoStub{o: o, ref: ref}
+	})
+}
+
+// echoImpl is the "legacy" implementation object; note it has no relation
+// to any generated type beyond satisfying Echo (the delegation model).
+type echoImpl struct {
+	mu    sync.Mutex
+	pokes int
+	poked chan struct{}
+}
+
+func (e *echoImpl) Echo(s string) (string, error) { return s, nil }
+func (e *echoImpl) Add(a, b int32) (int32, error) { return a + b, nil }
+func (e *echoImpl) Ping() error                   { return nil }
+func (e *echoImpl) Poke() error {
+	e.mu.Lock()
+	e.pokes++
+	e.mu.Unlock()
+	if e.poked != nil {
+		e.poked <- struct{}{}
+	}
+	return nil
+}
+func (e *echoImpl) Fail(why string) error { return &FailError{Why: why} }
+
+// newServerClient starts a server ORB exporting an echoImpl and a separate
+// client ORB, over the given protocol/transport.
+func newServerClient(t testing.TB, mk func() Options) (client *ORB, ref ObjectRef, impl *echoImpl) {
+	t.Helper()
+	impl = &echoImpl{}
+
+	server := New(mk())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Shutdown() })
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client = New(mk())
+	registerEchoStub(client)
+	t.Cleanup(func() { client.Shutdown() })
+	return client, ref, impl
+}
+
+func tcpText() Options { return Options{Protocol: wire.Text} }
+func tcpCDR() Options  { return Options{Protocol: wire.CDR} }
+
+func configs() map[string]func() Options {
+	return map[string]func() Options{
+		"tcp-text": tcpText,
+		"tcp-cdr":  tcpCDR,
+	}
+}
+
+func TestRemoteCallRoundTrip(t *testing.T) {
+	for name, mk := range configs() {
+		t.Run(name, func(t *testing.T) {
+			client, ref, _ := newServerClient(t, mk)
+			obj, err := client.Resolve(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			echo := obj.(Echo)
+
+			if got, err := echo.Echo("hello remote"); err != nil || got != "hello remote" {
+				t.Errorf("Echo = %q, %v", got, err)
+			}
+			if got, err := echo.Add(40, 2); err != nil || got != 42 {
+				t.Errorf("Add = %d, %v", got, err)
+			}
+			if err := echo.Ping(); err != nil {
+				t.Errorf("Ping: %v", err)
+			}
+		})
+	}
+}
+
+func TestUserException(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+	obj, _ := client.Resolve(ref)
+	err := obj.(Echo).Fail("bad input")
+	if err == nil {
+		t.Fatal("Fail returned nil")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error type %T", err)
+	}
+	if re.Status != wire.StatusUserException {
+		t.Errorf("status = %s, want user-exception", re.Status)
+	}
+	if !strings.Contains(re.Msg, "bad input") {
+		t.Errorf("msg = %q", re.Msg)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+	c, err := client.NewCall(ref, "no_such_method")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Invoke()
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("err = %v, want ErrUnknownMethod", err)
+	}
+}
+
+func TestUnknownObject(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+	bogus := ref
+	bogus.ObjectID = "999999"
+	c, err := client.NewCall(bogus, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Invoke()
+	if !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("err = %v, want ErrUnknownObject", err)
+	}
+}
+
+func TestOneway(t *testing.T) {
+	impl := &echoImpl{poked: make(chan struct{}, 1)}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(tcpText())
+	registerEchoStub(client)
+	defer client.Shutdown()
+
+	obj, _ := client.Resolve(ref)
+	if err := obj.(Echo).Poke(); err != nil {
+		t.Fatal(err)
+	}
+	<-impl.poked // delivered without a reply
+	st := client.Stats()
+	if st.OnewaysSent != 1 || st.CallsSent != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpCDR)
+	obj, _ := client.Resolve(ref)
+	echo := obj.(Echo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				want := fmt.Sprintf("msg-%d-%d", g, i)
+				got, err := echo.Echo(want)
+				if err != nil || got != want {
+					t.Errorf("Echo(%q) = %q, %v", want, got, err)
+					return
+				}
+				if sum, err := echo.Add(int32(g), int32(i)); err != nil || sum != int32(g+i) {
+					t.Errorf("Add = %d, %v", sum, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStubCaching(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+	s1, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("stub not cached: distinct instances for same ref")
+	}
+	st := client.Stats()
+	if st.StubsCreated != 1 || st.StubCacheHits != 1 {
+		t.Errorf("stats = %+v, want 1 created, 1 hit", st)
+	}
+
+	// Ablation: caching disabled yields fresh stubs.
+	client2 := New(Options{Protocol: wire.Text, DisableStubCache: true})
+	registerEchoStub(client2)
+	defer client2.Shutdown()
+	a, _ := client2.Resolve(ref)
+	b, _ := client2.Resolve(ref)
+	if a == b {
+		t.Error("DisableStubCache still returned the cached stub")
+	}
+}
+
+func TestResolveCollocated(t *testing.T) {
+	impl := &echoImpl{}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != any(impl) {
+		t.Error("collocated resolve should return the implementation itself")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	client := New(tcpText())
+	defer client.Shutdown()
+	// No factory registered.
+	ref := ObjectRef{Proto: "tcp", Addr: "h:1", ObjectID: "1", TypeID: "IDL:Nope:1.0"}
+	if _, err := client.Resolve(ref); err == nil {
+		t.Error("Resolve without factory should fail")
+	}
+	// Nil ref resolves to nil object.
+	if obj, err := client.Resolve(ObjectRef{}); err != nil || obj != nil {
+		t.Errorf("Resolve(nil) = %v, %v", obj, err)
+	}
+}
+
+func TestExportIdempotent(t *testing.T) {
+	impl := &echoImpl{}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	r1, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("re-export produced a different reference (skeleton cache miss)")
+	}
+	if server.Stats().SkeletonsCreated != 1 {
+		t.Errorf("skeletons = %d, want 1", server.Stats().SkeletonsCreated)
+	}
+
+	server.Unexport(impl)
+	if _, err := server.Resolve(r1); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("resolve after unexport = %v", err)
+	}
+}
+
+func TestExportBeforeStart(t *testing.T) {
+	o := New(tcpText())
+	defer o.Shutdown()
+	impl := &echoImpl{}
+	if _, err := o.Export(impl, NewEchoTable(impl)); err == nil {
+		t.Error("Export before Start should fail (no bootstrap endpoint)")
+	}
+}
+
+func TestShutdownSemantics(t *testing.T) {
+	o := New(tcpText())
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Shutdown(); err != nil {
+		t.Errorf("double shutdown: %v", err)
+	}
+	impl := &echoImpl{}
+	if _, err := o.Export(impl, NewEchoTable(impl)); !errors.Is(err, ErrShutdown) {
+		t.Errorf("Export after shutdown = %v", err)
+	}
+	if err := o.Start(); !errors.Is(err, ErrShutdown) {
+		t.Errorf("Start after shutdown = %v", err)
+	}
+}
+
+func TestDoubleInvoke(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+	c, err := client.NewCall(ref, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(); err == nil {
+		t.Error("second Invoke should fail")
+	}
+}
+
+func TestCallOnNilRef(t *testing.T) {
+	client := New(tcpText())
+	defer client.Shutdown()
+	if _, err := client.NewCall(ObjectRef{}, "m"); err == nil {
+		t.Error("NewCall on nil ref should fail")
+	}
+}
+
+func TestInprocTransport(t *testing.T) {
+	inproc := transport.NewInproc(wire.Text)
+	mk := func() Options {
+		return Options{Protocol: wire.Text, Transport: inproc, ListenAddr: ":0"}
+	}
+	client, ref, _ := newServerClient(t, mk)
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := obj.(Echo).Echo("via inproc"); err != nil || got != "via inproc" {
+		t.Errorf("Echo = %q, %v", got, err)
+	}
+	if ref.Proto != "inproc" {
+		t.Errorf("ref proto = %q", ref.Proto)
+	}
+}
+
+// --- pass-by-reference and incopy --------------------------------------------
+
+// Greeter exercises object-valued parameters:
+//
+//	interface Greeter {
+//	  string greet(in Echo who);       // by reference
+//	  string describe(incopy Note n);  // by value when possible
+//	};
+type Greeter interface {
+	Greet(who Echo) (string, error)
+	Describe(n any) (string, error)
+}
+
+const greeterTypeID = "IDL:test/Greeter:1.0"
+
+type greeterStub struct {
+	o   *ORB
+	ref ObjectRef
+}
+
+func (s *greeterStub) HdRef() ObjectRef { return s.ref }
+
+func (s *greeterStub) Greet(who Echo) (string, error) {
+	c, err := s.o.NewCall(s.ref, "greet")
+	if err != nil {
+		return "", err
+	}
+	defer c.Release()
+	// Lazy export with the type-specific skeleton constructor, exactly
+	// what the generated stub emits for an objref parameter.
+	if err := c.PutObject(who, func() *MethodTable { return NewEchoTable(who) }); err != nil {
+		return "", err
+	}
+	if err := c.Invoke(); err != nil {
+		return "", err
+	}
+	return c.GetString()
+}
+
+func (s *greeterStub) Describe(n any) (string, error) {
+	c, err := s.o.NewCall(s.ref, "describe")
+	if err != nil {
+		return "", err
+	}
+	defer c.Release()
+	if err := c.PutObjectIncopy(n, nil); err != nil {
+		return "", err
+	}
+	if err := c.Invoke(); err != nil {
+		return "", err
+	}
+	return c.GetString()
+}
+
+func newGreeterTable(impl Greeter) *MethodTable {
+	t := NewMethodTable(greeterTypeID)
+	t.Register("greet", func(c *ServerCall) error {
+		obj, err := c.GetObject()
+		if err != nil {
+			return err
+		}
+		echo, ok := obj.(Echo)
+		if !ok {
+			return fmt.Errorf("greet: got %T", obj)
+		}
+		r, err := impl.Greet(echo)
+		if err != nil {
+			return err
+		}
+		c.PutString(r)
+		return nil
+	})
+	t.Register("describe", func(c *ServerCall) error {
+		obj, err := c.GetObjectIncopy()
+		if err != nil {
+			return err
+		}
+		r, err := impl.Describe(obj)
+		if err != nil {
+			return err
+		}
+		c.PutString(r)
+		return nil
+	})
+	return t
+}
+
+// greeterImpl calls back into the Echo object it is handed.
+type greeterImpl struct{}
+
+func (greeterImpl) Greet(who Echo) (string, error) {
+	r, err := who.Echo("callback")
+	if err != nil {
+		return "", fmt.Errorf("callback failed: %w", err)
+	}
+	return "greeted:" + r, nil
+}
+
+func (greeterImpl) Describe(n any) (string, error) {
+	switch v := n.(type) {
+	case *Note:
+		return fmt.Sprintf("note(value):%s/%d", v.Text, v.Prio), nil
+	case Echo:
+		r, _ := v.Echo("ref")
+		return "echo(ref):" + r, nil
+	default:
+		return "", fmt.Errorf("describe: unexpected %T", n)
+	}
+}
+
+// Note is a Serializable Heidi object (pass-by-value eligible).
+type Note struct {
+	Text string
+	Prio int32
+}
+
+const noteTypeName = "test.Note"
+
+func (n *Note) HdTypeName() string { return noteTypeName }
+func (n *Note) HdMarshal(w heidi.Writer) error {
+	w.PutString(n.Text)
+	w.PutLong(n.Prio)
+	return nil
+}
+func (n *Note) HdUnmarshal(r heidi.Reader) error {
+	var err error
+	if n.Text, err = r.GetString(); err != nil {
+		return err
+	}
+	if n.Prio, err = r.GetLong(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func init() {
+	heidi.RegisterType(noteTypeName, func() heidi.Serializable { return &Note{} })
+}
+
+// TestPassByReferenceWithCallback: client passes its *local* Echo impl to a
+// remote Greeter; the ORB lazily exports it (creating the skeleton only
+// when the reference is passed, §3.1) and the server calls back over the
+// wire.
+func TestPassByReferenceWithCallback(t *testing.T) {
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	registerEchoStub(server) // server resolves the callback stub
+	gref, err := server.Export(greeterImpl{}, newGreeterTable(greeterImpl{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := New(tcpText())
+	if err := client.Start(); err != nil { // client must serve the callback
+		t.Fatal(err)
+	}
+	defer client.Shutdown()
+	client.RegisterStubFactory(greeterTypeID, func(o *ORB, ref ObjectRef) any {
+		return &greeterStub{o: o, ref: ref}
+	})
+
+	obj, err := client.Resolve(gref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := &echoImpl{}
+	if n := client.Stats().SkeletonsCreated; n != 0 {
+		t.Fatalf("premature skeletons: %d", n)
+	}
+	got, err := obj.(Greeter).Greet(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "greeted:callback" {
+		t.Errorf("Greet = %q", got)
+	}
+	if n := client.Stats().SkeletonsCreated; n != 1 {
+		t.Errorf("skeletons after passing reference = %d, want 1 (lazy creation)", n)
+	}
+}
+
+// TestIncopyByValue: a Serializable argument crosses the interface by value
+// — the receiver gets a fresh local copy and no skeleton is ever created
+// (§3.1: "if the implementation object is Serializable and is being
+// passed-by-value, then no skeleton is ever created").
+func TestIncopyByValue(t *testing.T) {
+	server := New(tcpCDR())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	gref, err := server.Export(greeterImpl{}, newGreeterTable(greeterImpl{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := New(tcpCDR())
+	defer client.Shutdown()
+	client.RegisterStubFactory(greeterTypeID, func(o *ORB, ref ObjectRef) any {
+		return &greeterStub{o: o, ref: ref}
+	})
+	obj, err := client.Resolve(gref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := obj.(Greeter).Describe(&Note{Text: "urgent", Prio: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "note(value):urgent/3" {
+		t.Errorf("Describe = %q", got)
+	}
+	if n := client.Stats().SkeletonsCreated; n != 0 {
+		t.Errorf("by-value pass created %d skeletons, want 0", n)
+	}
+}
+
+// TestIncopyFallsBackToReference: a non-Serializable argument passed incopy
+// travels by reference ("copied across the IDL interface, if possible" —
+// here it is not possible).
+func TestIncopyFallsBackToReference(t *testing.T) {
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	registerEchoStub(server)
+	gref, err := server.Export(greeterImpl{}, newGreeterTable(greeterImpl{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := New(tcpText())
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer client.Shutdown()
+	client.RegisterStubFactory(greeterTypeID, func(o *ORB, ref ObjectRef) any {
+		return &greeterStub{o: o, ref: ref}
+	})
+	obj, err := client.Resolve(gref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// echoImpl is not Serializable: must fall back to by-reference. The
+	// stub's Describe passes nil mkTable, so the fallback needs the
+	// object already exported.
+	local := &echoImpl{}
+	if _, err := client.Export(local, NewEchoTable(local)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj.(Greeter).Describe(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "echo(ref):ref" {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestIncopyUnexportableFails(t *testing.T) {
+	client := New(tcpText())
+	defer client.Shutdown()
+	c := &ClientCall{callBase: callBase{orb: client, enc: wire.Text.NewEncoder()}}
+	type opaque struct{ int }
+	err := c.PutObjectIncopy(&opaque{}, nil)
+	if !errors.Is(err, ErrNotExportable) {
+		t.Errorf("err = %v, want ErrNotExportable", err)
+	}
+}

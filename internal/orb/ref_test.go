@@ -1,0 +1,82 @@
+package orb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRefPaperExample(t *testing.T) {
+	// The exact stringified reference from §3.1 of the paper.
+	s := "@tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0"
+	ref, err := ParseRef(s)
+	if err != nil {
+		t.Fatalf("ParseRef: %v", err)
+	}
+	if ref.Proto != "tcp" || ref.Addr != "galaxy.nec.com:1234" ||
+		ref.ObjectID != "9876" || ref.TypeID != "IDL:Heidi/A:1.0" {
+		t.Errorf("parsed %+v", ref)
+	}
+	if ref.String() != s {
+		t.Errorf("String() = %q, want %q", ref.String(), s)
+	}
+}
+
+func TestParseRefErrors(t *testing.T) {
+	bad := []string{
+		"", "tcp:host:1#2#t", "@", "@:x#1#t", "@tcp", "@tcp:addr",
+		"@tcp:addr#1", "@tcp:#1#t", "@tcp:addr##t", "@tcp:addr#1#",
+	}
+	for _, s := range bad {
+		if _, err := ParseRef(s); err == nil {
+			t.Errorf("ParseRef(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestNilRef(t *testing.T) {
+	ref, err := ParseRef(NilRefString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.IsNil() {
+		t.Error("parsed nil ref is not nil")
+	}
+	if (ObjectRef{Proto: "tcp"}).IsNil() {
+		t.Error("non-zero ref reported nil")
+	}
+}
+
+// TestRefRoundTripProperty: format∘parse is the identity for generated
+// component values (components drawn from reference-safe alphabets).
+func TestRefRoundTripProperty(t *testing.T) {
+	clean := func(s string, alphabet string, fallback string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if strings.ContainsRune(alphabet, r) {
+				b.WriteRune(r)
+			}
+		}
+		if b.Len() == 0 {
+			return fallback
+		}
+		return b.String()
+	}
+	const protoAl = "abcdefghijklmnopqrstuvwxyz"
+	const addrAl = "abcdefghijklmnopqrstuvwxyz0123456789.:-"
+	const oidAl = "0123456789abcdef"
+	const typeAl = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:/._-"
+	f := func(p, a, o, ty string) bool {
+		ref := ObjectRef{
+			Proto:    clean(p, protoAl, "tcp"),
+			Addr:     clean(a, addrAl, "h:1"),
+			ObjectID: clean(o, oidAl, "1"),
+			TypeID:   clean(ty, typeAl, "IDL:T:1.0"),
+		}
+		got, err := ParseRef(ref.String())
+		return err == nil && got == ref
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

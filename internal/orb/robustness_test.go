@@ -1,0 +1,218 @@
+package orb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// dialRaw opens a plain TCP connection to an ORB's bootstrap port.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestServerSurvivesGarbage: a connection spewing non-protocol bytes is
+// dropped without disturbing other clients.
+func TestServerSurvivesGarbage(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := obj.(Echo)
+	if err := echo.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	garbage := []string{
+		"complete nonsense\n",
+		"call\n",
+		"call one two\n",
+		strings.Repeat("x", 1<<16) + "\n",
+		"\x00\x01\x02\x03\n",
+	}
+	for _, g := range garbage {
+		raw := dialRaw(t, ref.Addr)
+		fmt.Fprint(raw, g)
+		// The server replies nothing parseable or closes; either way it
+		// must not crash.
+		raw.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		bufio.NewReader(raw).ReadString('\n')
+		raw.Close()
+	}
+
+	// The healthy client still works.
+	for i := 0; i < 3; i++ {
+		if err := echo.Ping(); err != nil {
+			t.Fatalf("healthy client broken after garbage: %v", err)
+		}
+	}
+}
+
+// TestServerSurvivesProtocolMismatch: CDR frames sent to a text-protocol
+// server (and vice versa) drop the offending connection only.
+func TestServerSurvivesProtocolMismatch(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpText)
+
+	// Speak CDR at the text server.
+	raw := dialRaw(t, ref.Addr)
+	cdrFrame := func() []byte {
+		var buf strings.Builder
+		wire.CDR.WriteMessage(&buf, &wire.Message{
+			Type: wire.MsgRequest, RequestID: 1,
+			TargetRef: ref.String(), Method: "ping",
+		})
+		return []byte(buf.String())
+	}()
+	raw.Write(cdrFrame)
+	raw.Close()
+
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.(Echo).Ping(); err != nil {
+		t.Fatalf("server broken after protocol mismatch: %v", err)
+	}
+}
+
+// TestClientMismatchedProtocolFails: a CDR client calling a text server
+// reports an error rather than hanging.
+func TestClientMismatchedProtocolFails(t *testing.T) {
+	_, ref, _ := newServerClient(t, tcpText)
+
+	cdrClient := New(Options{Protocol: wire.CDR, CallTimeout: 500 * time.Millisecond})
+	registerEchoStub(cdrClient)
+	defer cdrClient.Shutdown()
+	obj, err := cdrClient.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- obj.(Echo).Ping() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("mismatched protocols should not succeed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mismatched-protocol call hung")
+	}
+}
+
+// TestHumanTelnetSession drives a live ORB through a raw socket with
+// hand-typed protocol lines — the §4.2 debugging story against the real
+// server loop.
+func TestHumanTelnetSession(t *testing.T) {
+	impl := &echoImpl{}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw := dialRaw(t, ref.Addr)
+	r := bufio.NewReader(raw)
+	send := func(line string) string {
+		t.Helper()
+		if _, err := fmt.Fprintf(raw, "%s\n", line); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimRight(reply, "\n")
+	}
+
+	if got := send(fmt.Sprintf(`call 1 %s echo "typed by hand"`, ref)); got != `ok 1 "typed by hand"` {
+		t.Errorf("echo reply = %q", got)
+	}
+	if got := send(fmt.Sprintf("call 2 %s add 19 23", ref)); got != "ok 2 42" {
+		t.Errorf("add reply = %q", got)
+	}
+	if got := send(fmt.Sprintf("call 3 %s no_such", ref)); !strings.HasPrefix(got, "err 3 3") {
+		t.Errorf("unknown method reply = %q", got)
+	}
+	bogus := ref
+	bogus.ObjectID = "404"
+	if got := send(fmt.Sprintf("call 4 %s ping", bogus)); !strings.HasPrefix(got, "err 4 4") {
+		t.Errorf("unknown object reply = %q", got)
+	}
+}
+
+// TestTruncatedBodyIsError: a request whose body lies about its contents
+// produces a system error reply, not a hang or crash.
+func TestTruncatedBodyIsError(t *testing.T) {
+	impl := &echoImpl{}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw := dialRaw(t, ref.Addr)
+	r := bufio.NewReader(raw)
+	// echo expects a string argument; send none.
+	fmt.Fprintf(raw, "call 9 %s echo\n", ref)
+	reply, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(reply, "err 9") {
+		t.Errorf("reply to truncated body = %q", reply)
+	}
+}
+
+// TestManySequentialConnections exercises connection churn: clients that
+// dial, call once and vanish must not leak server goroutines that block
+// shutdown.
+func TestManySequentialConnections(t *testing.T) {
+	impl := &echoImpl{}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		raw, err := net.Dial("tcp", ref.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(raw, "call %d %s ping\n", i, ref)
+		bufio.NewReader(raw).ReadString('\n')
+		raw.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		server.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown blocked after connection churn")
+	}
+}

@@ -1,0 +1,24 @@
+// Command writeidl syncs the idl/ directory from the idltest fixtures.
+package main
+
+import (
+	"os"
+
+	"repro/internal/idl/idltest"
+)
+
+func main() {
+	files := map[string]string{
+		"idl/A.idl":        idltest.AIDLComplete,
+		"idl/Afig3.idl":    idltest.AIDL,
+		"idl/Receiver.idl": idltest.ReceiverIDL,
+		"idl/media.idl":    idltest.MediaIDL,
+		"idl/calc.idl":     idltest.CalcIDL,
+		"idl/naming.idl":   idltest.NamingIDL,
+	}
+	for path, src := range files {
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			panic(err)
+		}
+	}
+}

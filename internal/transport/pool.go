@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is the HeidiRMI connection cache (§3.1): connections to an endpoint
+// are checked out exclusively for the duration of one call and returned for
+// reuse; only when no idle connection is available is a new one dialed.
+// Set Disabled to ablate caching (benchmark C3).
+type Pool struct {
+	// Dial opens a new connection to an endpoint; typically a
+	// Transport's Dial.
+	Dial func(addr string) (Conn, error)
+
+	// MaxIdlePerHost bounds the number of idle connections cached per
+	// endpoint; zero means DefaultMaxIdlePerHost. Excess returned
+	// connections are closed.
+	MaxIdlePerHost int
+
+	// Disabled turns caching off: Get always dials and Put always
+	// closes.
+	Disabled bool
+
+	mu     sync.Mutex
+	idle   map[string][]Conn
+	closed bool
+
+	// Stats counters (read with Stats).
+	hits, misses, dials int
+}
+
+// DefaultMaxIdlePerHost is the per-endpoint idle cap when none is set.
+const DefaultMaxIdlePerHost = 8
+
+// PoolStats reports cache effectiveness.
+type PoolStats struct {
+	Hits, Misses, Dials int
+}
+
+// NewPool builds a pool dialing with the given transport.
+func NewPool(t Transport) *Pool {
+	return &Pool{Dial: t.Dial}
+}
+
+// Get checks out a connection to addr, reusing an idle cached connection
+// when one exists.
+func (p *Pool) Get(addr string) (Conn, error) {
+	if p.Dial == nil {
+		return nil, fmt.Errorf("transport: pool has no dialer")
+	}
+	if !p.Disabled {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("transport: pool closed")
+		}
+		if list := p.idle[addr]; len(list) > 0 {
+			c := list[len(list)-1]
+			p.idle[addr] = list[:len(list)-1]
+			p.hits++
+			p.mu.Unlock()
+			return c, nil
+		}
+		p.misses++
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.dials++
+	p.mu.Unlock()
+	return p.Dial(addr)
+}
+
+// Put returns a healthy connection to the cache. Pass healthy=false after
+// an I/O error so the connection is discarded rather than reused.
+func (p *Pool) Put(addr string, c Conn, healthy bool) {
+	if c == nil {
+		return
+	}
+	if p.Disabled || !healthy {
+		c.Close()
+		return
+	}
+	max := p.MaxIdlePerHost
+	if max <= 0 {
+		max = DefaultMaxIdlePerHost
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.idle[addr]) >= max {
+		c.Close()
+		return
+	}
+	if p.idle == nil {
+		p.idle = make(map[string][]Conn)
+	}
+	p.idle[addr] = append(p.idle[addr], c)
+}
+
+// Stats returns cache counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses, Dials: p.dials}
+}
+
+// Close closes every idle connection and marks the pool closed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, list := range p.idle {
+		for _, c := range list {
+			c.Close()
+		}
+	}
+	p.idle = nil
+	return nil
+}

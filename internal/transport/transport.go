@@ -1,0 +1,237 @@
+// Package transport provides the connection layer beneath HeidiRMI's
+// ObjectCommunicator: framed, protocol-agnostic message channels over TCP
+// (the paper's bootstrap-port model, Fig. 5) and over in-process pipes for
+// deterministic tests, plus the connection cache of §3.1 ("Connections are
+// cached and reused in HeidiRMI, and only if there is no available
+// connection is a new connection opened").
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Conn is one framed message channel. A Conn is not safe for concurrent
+// Send or concurrent Recv; the pool hands each checked-out Conn to a single
+// caller at a time, and the server side reads from its own goroutine.
+type Conn interface {
+	// Send writes one message.
+	Send(m *wire.Message) error
+	// Recv reads the next message, returning wire.ErrClosed after a
+	// clean shutdown.
+	Recv() (*wire.Message, error)
+	// SetDeadline bounds subsequent Send and Recv calls; the zero time
+	// removes the bound. Expired deadlines surface as I/O errors.
+	SetDeadline(t time.Time) error
+	// Close tears the channel down.
+	Close() error
+	// RemoteAddr describes the peer for diagnostics.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on a bootstrap endpoint.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the bound endpoint ("127.0.0.1:4321" or an inproc
+	// name), suitable for embedding in object references.
+	Addr() string
+}
+
+// Transport creates listeners and outbound connections for one scheme.
+type Transport interface {
+	// Name is the scheme used in object references ("tcp", "inproc").
+	Name() string
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// ErrListenerClosed is returned by Accept after Close.
+var ErrListenerClosed = errors.New("transport: listener closed")
+
+// streamConn frames messages over any io stream with a wire.Protocol.
+type streamConn struct {
+	nc     net.Conn
+	r      *bufio.Reader
+	proto  wire.Protocol
+	sendMu sync.Mutex
+}
+
+// NewStreamConn wraps a net.Conn (TCP socket, net.Pipe end, ...) into a
+// Conn framing messages with proto.
+func NewStreamConn(nc net.Conn, proto wire.Protocol) Conn {
+	return &streamConn{nc: nc, r: bufio.NewReader(nc), proto: proto}
+}
+
+func (c *streamConn) Send(m *wire.Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.proto.WriteMessage(c.nc, m)
+}
+
+func (c *streamConn) Recv() (*wire.Message, error) {
+	m, err := c.proto.ReadMessage(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type == wire.MsgClose {
+		return nil, wire.ErrClosed
+	}
+	return m, nil
+}
+
+func (c *streamConn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+func (c *streamConn) Close() error { return c.nc.Close() }
+
+func (c *streamConn) RemoteAddr() string {
+	if a := c.nc.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
+}
+
+// TCP is the production transport: a TCP listener per address space (the
+// bootstrap port) and plain TCP dials, framed with the given protocol.
+type TCP struct {
+	Proto wire.Protocol
+}
+
+// NewTCP returns a TCP transport framing messages with proto.
+func NewTCP(proto wire.Protocol) *TCP { return &TCP{Proto: proto} }
+
+// Name implements Transport.
+func (t *TCP) Name() string { return "tcp" }
+
+// Listen implements Transport. Use addr ":0" for an ephemeral port.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{nl: nl, proto: t.Proto}, nil
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewStreamConn(nc, t.Proto), nil
+}
+
+type tcpListener struct {
+	nl    net.Listener
+	proto wire.Protocol
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrListenerClosed
+		}
+		return nil, err
+	}
+	return NewStreamConn(nc, l.proto), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
+
+// Inproc is an in-process transport: listeners register under names in a
+// shared namespace and dials create net.Pipe pairs, so the full protocol
+// encode/decode path is exercised without sockets.
+type Inproc struct {
+	Proto wire.Protocol
+
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAuto  int
+}
+
+// NewInproc returns an empty in-process namespace.
+func NewInproc(proto wire.Protocol) *Inproc {
+	return &Inproc{Proto: proto, listeners: make(map[string]*inprocListener)}
+}
+
+// Name implements Transport.
+func (t *Inproc) Name() string { return "inproc" }
+
+// Listen implements Transport. An empty or ":0" address allocates a fresh
+// name.
+func (t *Inproc) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr == "" || addr == ":0" {
+		t.nextAuto++
+		addr = fmt.Sprintf("ep%d", t.nextAuto)
+	}
+	if _, dup := t.listeners[addr]; dup {
+		return nil, fmt.Errorf("transport: inproc address %q in use", addr)
+	}
+	l := &inprocListener{
+		owner: t,
+		addr:  addr,
+		ch:    make(chan Conn, 8),
+		done:  make(chan struct{}),
+	}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (t *Inproc) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no inproc listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	sc := NewStreamConn(server, t.Proto)
+	select {
+	case l.ch <- sc:
+		return NewStreamConn(client, t.Proto), nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, ErrListenerClosed
+	}
+}
+
+type inprocListener struct {
+	owner *Inproc
+	addr  string
+	ch    chan Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, ErrListenerClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.owner.mu.Lock()
+		delete(l.owner.listeners, l.addr)
+		l.owner.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }

@@ -1,0 +1,397 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// TextProtocol is HeidiRMI's original wire protocol: every message is a
+// single newline-terminated ASCII line (§3.1). The format is deliberately
+// human-typable — §4.2: "Utilizing such a text-based protocol permitted a
+// 'human' client to telnet into the bootstrap port of a Heidi application
+// and type in simple HeidiRMI requests to debug the system."
+//
+// Message grammar (one line each):
+//
+//	call <id> <ref> <method> <body tokens...>     two-way request
+//	send <id> <ref> <method> <body tokens...>     oneway request
+//	ok <id> <body tokens...>                      successful reply
+//	err <id> <status> <quoted message>            failure reply
+//	close                                         connection close
+//
+// Body tokens: integers and floats in decimal, booleans as T/F, strings
+// Go-quoted, composite values bracketed by {tag ... }.
+type TextProtocol struct{}
+
+// Text is the shared TextProtocol instance.
+var Text Protocol = TextProtocol{}
+
+// Name implements Protocol.
+func (TextProtocol) Name() string { return "text" }
+
+// WriteMessage implements Protocol.
+func (TextProtocol) WriteMessage(w io.Writer, m *Message) error {
+	var b strings.Builder
+	b.Grow(len(m.Body) + len(m.TargetRef) + len(m.Method) + 32)
+	switch m.Type {
+	case MsgRequest:
+		if m.Oneway {
+			b.WriteString("send ")
+		} else {
+			b.WriteString("call ")
+		}
+		b.WriteString(strconv.FormatUint(uint64(m.RequestID), 10))
+		b.WriteByte(' ')
+		b.WriteString(m.TargetRef)
+		b.WriteByte(' ')
+		b.WriteString(m.Method)
+	case MsgReply:
+		if m.Status == StatusOK {
+			b.WriteString("ok ")
+			b.WriteString(strconv.FormatUint(uint64(m.RequestID), 10))
+		} else {
+			b.WriteString("err ")
+			b.WriteString(strconv.FormatUint(uint64(m.RequestID), 10))
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(int(m.Status)))
+			b.WriteByte(' ')
+			b.WriteString(strconv.Quote(m.ErrMsg))
+		}
+	case MsgClose:
+		b.WriteString("close")
+	default:
+		return fmt.Errorf("wire: cannot encode message type %s", m.Type)
+	}
+	if len(m.Body) > 0 {
+		b.WriteByte(' ')
+		b.Write(m.Body)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadMessage implements Protocol.
+func (TextProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("wire: reading text message: %w", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) > MaxBodyLen {
+		return nil, fmt.Errorf("wire: text message exceeds %d bytes", MaxBodyLen)
+	}
+	verb, rest := nextField(line)
+	m := &Message{}
+	switch verb {
+	case "close":
+		m.Type = MsgClose
+		return m, nil
+	case "call", "send":
+		m.Type = MsgRequest
+		m.Oneway = verb == "send"
+		id, rest2 := nextField(rest)
+		ref, rest3 := nextField(rest2)
+		method, body := nextField(rest3)
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("wire: bad request id %q", id)
+		}
+		if ref == "" || method == "" {
+			return nil, fmt.Errorf("wire: request missing target or method: %q", line)
+		}
+		m.RequestID = uint32(n)
+		m.TargetRef = ref
+		m.Method = method
+		m.Body = []byte(body)
+		return m, nil
+	case "ok":
+		m.Type = MsgReply
+		m.Status = StatusOK
+		id, body := nextField(rest)
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("wire: bad reply id %q", id)
+		}
+		m.RequestID = uint32(n)
+		m.Body = []byte(body)
+		return m, nil
+	case "err":
+		m.Type = MsgReply
+		id, rest2 := nextField(rest)
+		status, rest3 := nextField(rest2)
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("wire: bad reply id %q", id)
+		}
+		sc, err := strconv.Atoi(status)
+		if err != nil || sc == int(StatusOK) {
+			return nil, fmt.Errorf("wire: bad error status %q", status)
+		}
+		msg := strings.TrimSpace(rest3)
+		if unq, err := strconv.Unquote(msg); err == nil {
+			msg = unq
+		}
+		m.RequestID = uint32(n)
+		m.Status = ReplyStatus(sc)
+		m.ErrMsg = msg
+		return m, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown text verb %q", verb)
+	}
+}
+
+// nextField splits off the next space-delimited field.
+func nextField(s string) (field, rest string) {
+	s = strings.TrimLeft(s, " ")
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], s[i+1:]
+}
+
+// NewEncoder implements Protocol.
+func (TextProtocol) NewEncoder() Encoder { return &textEncoder{} }
+
+// NewDecoder implements Protocol.
+func (TextProtocol) NewDecoder(body []byte) Decoder {
+	return &textDecoder{rest: string(body)}
+}
+
+// textEncoder renders body values as space-separated tokens.
+type textEncoder struct {
+	b strings.Builder
+}
+
+func (e *textEncoder) token(s string) {
+	if e.b.Len() > 0 {
+		e.b.WriteByte(' ')
+	}
+	e.b.WriteString(s)
+}
+
+func (e *textEncoder) PutBool(v bool) {
+	if v {
+		e.token("T")
+	} else {
+		e.token("F")
+	}
+}
+func (e *textEncoder) PutOctet(v byte)       { e.token(strconv.FormatUint(uint64(v), 10)) }
+func (e *textEncoder) PutShort(v int16)      { e.token(strconv.FormatInt(int64(v), 10)) }
+func (e *textEncoder) PutUShort(v uint16)    { e.token(strconv.FormatUint(uint64(v), 10)) }
+func (e *textEncoder) PutLong(v int32)       { e.token(strconv.FormatInt(int64(v), 10)) }
+func (e *textEncoder) PutULong(v uint32)     { e.token(strconv.FormatUint(uint64(v), 10)) }
+func (e *textEncoder) PutLongLong(v int64)   { e.token(strconv.FormatInt(v, 10)) }
+func (e *textEncoder) PutULongLong(v uint64) { e.token(strconv.FormatUint(v, 10)) }
+func (e *textEncoder) PutFloat(v float32) {
+	e.token(strconv.FormatFloat(float64(v), 'g', -1, 32))
+}
+func (e *textEncoder) PutDouble(v float64) {
+	e.token(strconv.FormatFloat(v, 'g', -1, 64))
+}
+func (e *textEncoder) PutChar(v rune)     { e.token(strconv.QuoteRune(v)) }
+func (e *textEncoder) PutString(v string) { e.token(strconv.Quote(v)) }
+func (e *textEncoder) Begin(tag string)   { e.token("{" + tag) }
+func (e *textEncoder) End()               { e.token("}") }
+func (e *textEncoder) Bytes() []byte      { return []byte(e.b.String()) }
+
+// textDecoder tokenizes an encoded body.
+type textDecoder struct {
+	rest string
+	off  int
+}
+
+func (d *textDecoder) next() (string, error) {
+	s := strings.TrimLeft(d.rest, " ")
+	d.off += len(d.rest) - len(s)
+	if s == "" {
+		return "", errTruncated("token", d.off)
+	}
+	// Quoted tokens may contain spaces.
+	if s[0] == '"' || s[0] == '\'' {
+		prefix, err := quotedPrefix(s)
+		if err != nil {
+			return "", fmt.Errorf("wire: bad quoted token at offset %d: %w", d.off, err)
+		}
+		d.rest = s[len(prefix):]
+		d.off += len(prefix)
+		return prefix, nil
+	}
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		d.rest = ""
+		d.off += len(s)
+		return s, nil
+	}
+	d.rest = s[i:]
+	d.off += i
+	return s[:i], nil
+}
+
+// quotedPrefix returns the leading quoted token of s (Go string or rune
+// quoting).
+func quotedPrefix(s string) (string, error) {
+	if s[0] == '"' {
+		return strconv.QuotedPrefix(s)
+	}
+	// Rune literal: find the closing quote honouring backslash escapes.
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '\'':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated rune literal")
+}
+
+func (d *textDecoder) GetBool() (bool, error) {
+	t, err := d.next()
+	if err != nil {
+		return false, err
+	}
+	switch t {
+	case "T":
+		return true, nil
+	case "F":
+		return false, nil
+	}
+	return false, fmt.Errorf("wire: bad boolean token %q", t)
+}
+
+func (d *textDecoder) int(bits int) (int64, error) {
+	t, err := d.next()
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(t, 10, bits)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad integer token %q", t)
+	}
+	return n, nil
+}
+
+func (d *textDecoder) uint(bits int) (uint64, error) {
+	t, err := d.next()
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseUint(t, 10, bits)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad unsigned token %q", t)
+	}
+	return n, nil
+}
+
+func (d *textDecoder) GetOctet() (byte, error) {
+	n, err := d.uint(8)
+	return byte(n), err
+}
+func (d *textDecoder) GetShort() (int16, error) {
+	n, err := d.int(16)
+	return int16(n), err
+}
+func (d *textDecoder) GetUShort() (uint16, error) {
+	n, err := d.uint(16)
+	return uint16(n), err
+}
+func (d *textDecoder) GetLong() (int32, error) {
+	n, err := d.int(32)
+	return int32(n), err
+}
+func (d *textDecoder) GetULong() (uint32, error) {
+	n, err := d.uint(32)
+	return uint32(n), err
+}
+func (d *textDecoder) GetLongLong() (int64, error) { return d.int(64) }
+func (d *textDecoder) GetULongLong() (uint64, error) {
+	return d.uint(64)
+}
+
+func (d *textDecoder) GetFloat() (float32, error) {
+	t, err := d.next()
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(t, 32)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad float token %q", t)
+	}
+	return float32(f), nil
+}
+
+func (d *textDecoder) GetDouble() (float64, error) {
+	t, err := d.next()
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad double token %q", t)
+	}
+	return f, nil
+}
+
+func (d *textDecoder) GetChar() (rune, error) {
+	t, err := d.next()
+	if err != nil {
+		return 0, err
+	}
+	s, err := strconv.Unquote(t)
+	if err != nil || s == "" {
+		return 0, fmt.Errorf("wire: bad char token %q", t)
+	}
+	r, _ := utf8.DecodeRuneInString(s)
+	return r, nil
+}
+
+func (d *textDecoder) GetString() (string, error) {
+	t, err := d.next()
+	if err != nil {
+		return "", err
+	}
+	s, err := strconv.Unquote(t)
+	if err != nil {
+		return "", fmt.Errorf("wire: bad string token %q", t)
+	}
+	if len(s) > MaxStringLen {
+		return "", fmt.Errorf("wire: string exceeds %d bytes", MaxStringLen)
+	}
+	return s, nil
+}
+
+func (d *textDecoder) BeginGet() (string, error) {
+	t, err := d.next()
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(t, "{") {
+		return "", fmt.Errorf("wire: expected composite begin, got %q", t)
+	}
+	return t[1:], nil
+}
+
+func (d *textDecoder) EndGet() error {
+	t, err := d.next()
+	if err != nil {
+		return err
+	}
+	if t != "}" {
+		return fmt.Errorf("wire: expected composite end, got %q", t)
+	}
+	return nil
+}
+
+func (d *textDecoder) Remaining() int {
+	return len(strings.TrimLeft(d.rest, " "))
+}

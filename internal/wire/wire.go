@@ -1,0 +1,151 @@
+// Package wire defines HeidiRMI's on-the-wire representation: the Message
+// envelope exchanged between address spaces and the Protocol abstraction
+// that renders messages and call bodies in a concrete encoding.
+//
+// Two protocols are provided, matching the paper's positioning of the ORB
+// protocol as a configurable aspect (§2 "Customizing the ORB Protocol and
+// Messaging Formats", §4.2):
+//
+//   - Text: "a newline terminated string of ASCII characters" (§3.1) that a
+//     human can type into the bootstrap port with telnet — the debugging
+//     trick §4.2 recounts.
+//   - CDR: a compact aligned binary encoding in the style of GIOP/IIOP,
+//     with configurable byte order, standing in for the "general-purpose"
+//     standard protocol the paper contrasts with.
+//
+// The Encoder/Decoder pair is the paper's Call marshaling surface: "the
+// functions for marshaling and unmarshaling all primitive data types, as
+// well as additional begin and end functions that permit structuring of the
+// call request so that such composite data types as structs or sequences
+// can be easily represented" (§3.1).
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/heidi"
+)
+
+// MsgType discriminates messages on a connection.
+type MsgType byte
+
+// Message types.
+const (
+	MsgRequest MsgType = iota + 1
+	MsgReply
+	MsgClose
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "request"
+	case MsgReply:
+		return "reply"
+	case MsgClose:
+		return "close"
+	}
+	return fmt.Sprintf("msgtype(%d)", byte(t))
+}
+
+// ReplyStatus is the outcome carried by a reply message.
+type ReplyStatus byte
+
+// Reply statuses.
+const (
+	StatusOK ReplyStatus = iota
+	StatusUserException
+	StatusSystemError
+	StatusUnknownMethod
+	StatusUnknownObject
+)
+
+// String names the reply status.
+func (s ReplyStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusUserException:
+		return "user-exception"
+	case StatusSystemError:
+		return "system-error"
+	case StatusUnknownMethod:
+		return "unknown-method"
+	case StatusUnknownObject:
+		return "unknown-object"
+	}
+	return fmt.Sprintf("status(%d)", byte(s))
+}
+
+// Message is one request, reply or close notification. The stringified
+// object reference of the target "forms the header of the Call" (§3.1).
+type Message struct {
+	Type      MsgType
+	RequestID uint32
+
+	// Request fields.
+	TargetRef string // stringified object reference
+	Method    string
+	Oneway    bool // no reply expected
+
+	// Reply fields.
+	Status ReplyStatus
+	ErrMsg string // for non-OK statuses
+
+	// Body carries the protocol-encoded parameters or results.
+	Body []byte
+}
+
+// Encoder marshals one call body. It extends the heidi.Writer primitive
+// surface (so HdSerializable objects can marshal themselves into a call)
+// with the remaining IDL primitive types.
+type Encoder interface {
+	heidi.Writer
+	// Bytes returns the encoded body. The encoder remains usable.
+	Bytes() []byte
+}
+
+// Decoder unmarshals one call body, mirroring Encoder.
+type Decoder interface {
+	heidi.Reader
+	// Remaining reports how many unconsumed bytes are left.
+	Remaining() int
+}
+
+// Protocol renders messages and call bodies in one concrete encoding. A
+// Protocol must be safe for concurrent use; encoders and decoders it
+// creates are not.
+type Protocol interface {
+	// Name identifies the protocol in object references and diagnostics
+	// ("text", "cdr", "cdr-le").
+	Name() string
+	// WriteMessage renders m (including its Body) onto w.
+	WriteMessage(w io.Writer, m *Message) error
+	// ReadMessage reads the next message from r.
+	ReadMessage(r *bufio.Reader) (*Message, error)
+	// NewEncoder returns an empty body encoder.
+	NewEncoder() Encoder
+	// NewDecoder returns a decoder over an encoded body.
+	NewDecoder(body []byte) Decoder
+}
+
+// Limits applied by both protocols while decoding untrusted input.
+const (
+	// MaxBodyLen bounds a single message body.
+	MaxBodyLen = 16 << 20
+	// MaxStringLen bounds a single marshaled string.
+	MaxStringLen = 8 << 20
+)
+
+// ErrClosed is returned when reading from a connection whose peer sent a
+// close message or shut the stream down cleanly.
+var ErrClosed = errors.New("wire: connection closed")
+
+// errTruncated builds a descriptive truncation error.
+func errTruncated(what string, off int) error {
+	return fmt.Errorf("wire: truncated %s at offset %d: %w", what, off, io.ErrUnexpectedEOF)
+}
