@@ -1,0 +1,34 @@
+# Development entry points. Everything is plain go tooling; the Makefile
+# just pins the invocations CI and reviewers should use.
+
+GO ?= go
+
+.PHONY: all build test vet race fuzz bench check fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detect the runtime packages the fault-tolerance layer touches.
+race:
+	$(GO) test -race ./internal/orb/... ./internal/transport/...
+
+# Brief fuzz pass over the reference parser + wire framings.
+fuzz:
+	$(GO) test -fuzz FuzzParseRef -fuzztime 30s ./internal/orb/
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+fmt:
+	gofmt -l -w .
+
+# The tier-1 gate: what must be green before merging.
+check: build vet test race

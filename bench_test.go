@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/demo"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/jeeves"
 	"repro/internal/mappings"
 	"repro/internal/orb"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -150,6 +152,39 @@ func BenchmarkFig4_RemoteCall_Parallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRobustnessOverhead prices the fault-tolerance layer on the
+// healthy path: the same remote call with every policy at its zero value
+// (the seed invocation path) and with retry, circuit breaking and
+// connection health management all enabled. The delta is what a fault-free
+// call pays for the insurance.
+func BenchmarkRobustnessOverhead(b *testing.B) {
+	cases := []struct {
+		name string
+		opts func(*orb.Options)
+	}{
+		{"disabled", nil},
+		{"enabled", func(o *orb.Options) {
+			o.Retry = orb.RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond, Budget: 64}
+			o.Breaker = transport.BreakerPolicy{Threshold: 5}
+			o.ConnIdleTTL = time.Minute
+			o.ConnMaxLifetime = time.Hour
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			sess := remoteSession(b, wire.CDR, c.opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.GetVolume(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFig5_Dispatch isolates the server-side selection of Fig. 5: an

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/demo"
 	"repro/internal/orb"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -43,6 +44,17 @@ func run() error {
 		proto    = flag.String("proto", "text", "wire protocol: text, cdr or cdr-le")
 		strategy = flag.String("strategy", "linear", "dispatch strategy: linear, binary or hash")
 		name     = flag.String("name", "session-0", "session object name")
+
+		// Fault-tolerance policy for this address space's outgoing calls
+		// (callbacks and object references it invokes). All default off,
+		// preserving the paper's exact invocation behavior.
+		retryMax     = flag.Int("retry-max", 0, "max attempts per outgoing call (<=1 disables retries)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base backoff before a retry (doubles with jitter)")
+		retryBudget  = flag.Int("retry-budget", 0, "ORB-wide retry token budget (0 = unlimited)")
+		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive failures tripping an endpoint's circuit breaker (0 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 0, "how long a tripped breaker stays open before probing")
+		connIdleTTL  = flag.Duration("conn-idle-ttl", 0, "evict cached connections idle longer than this (0 = never)")
+		connLifetime = flag.Duration("conn-max-lifetime", 0, "retire cached connections older than this (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -59,6 +71,20 @@ func run() error {
 		Protocol:         p,
 		ListenAddr:       *listen,
 		DispatchStrategy: s,
+		Retry: orb.RetryPolicy{
+			MaxAttempts: *retryMax,
+			Backoff:     *retryBackoff,
+			Budget:      *retryBudget,
+		},
+		Breaker: transport.BreakerPolicy{
+			Threshold: *brkThreshold,
+			Cooldown:  *brkCooldown,
+		},
+		OnBreakerChange: func(addr string, from, to transport.BreakerState) {
+			fmt.Fprintf(os.Stderr, "orbd: circuit breaker for %s: %s -> %s\n", addr, from, to)
+		},
+		ConnIdleTTL:     *connIdleTTL,
+		ConnMaxLifetime: *connLifetime,
 	}, *name)
 	if err != nil {
 		return err

@@ -1,0 +1,179 @@
+// Fault tolerance: retries, circuit breaking and connection health on the
+// client invocation path.
+//
+// The paper's ORB (§3.1) caches connections but says nothing about
+// endpoints that flake or die: a dropped connection surfaces as a failed
+// invocation and a dead endpoint makes every caller pay the full dial
+// timeout. This example shows the policy layer this repo adds on top —
+// everything is opt-in via orb.Options, and with the options zeroed the
+// invocation path behaves exactly as the paper describes.
+//
+// Three scenes, all deterministic (faults are injected by
+// transport.FaultTransport, no real network flakiness needed):
+//
+//  1. A transport that drops the first send to every endpoint; a retry
+//     policy rides over it and every call completes.
+//  2. An endpoint whose replies get lost; only calls declared idempotent
+//     are retried, since the request may already have been processed.
+//  3. A dead endpoint trips the circuit breaker; subsequent calls fail
+//     fast instead of re-dialing, and the state change is observable.
+//
+// Run it with:
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/demo"
+	"repro/internal/gen/media"
+	"repro/internal/orb"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	scene1RetriedDrops()
+	scene2IdempotentOnly()
+	scene3CircuitBreaker()
+}
+
+// faultedPair starts a demo session server and a fault-injecting client over
+// a shared in-process transport.
+func faultedPair(tweak func(*orb.Options)) (*orb.ORB, media.HdSession, *transport.FaultTransport, func()) {
+	ft := transport.NewFaultTransport(transport.NewInproc(wire.Text))
+	server, ref, _, err := demo.Serve(orb.Options{Protocol: wire.Text, Transport: ft, ListenAddr: ":0"}, "resilient")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := orb.Options{Protocol: wire.Text, Transport: ft}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	client := demo.Connect(opts)
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanup := func() {
+		client.Shutdown()
+		server.Shutdown()
+	}
+	return client, obj.(media.HdSession), ft, cleanup
+}
+
+func scene1RetriedDrops() {
+	fmt.Println("=== scene 1: retry over dropped connections ===")
+	client, session, ft, cleanup := faultedPair(func(o *orb.Options) {
+		o.Retry = orb.RetryPolicy{
+			MaxAttempts: 3,
+			Backoff:     5 * time.Millisecond,
+			Budget:      16,
+		}
+	})
+	defer cleanup()
+
+	// Drop the connection on the first send toward each endpoint — the
+	// classic "server closed our cached connection" failure.
+	ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+		if i.Op == transport.FaultSend && i.PerAddr == 1 {
+			return transport.FaultDrop
+		}
+		return transport.FaultPass
+	}
+
+	for i := 0; i < 5; i++ {
+		name, err := session.GetName()
+		if err != nil {
+			log.Fatalf("call %d failed despite retry policy: %v", i, err)
+		}
+		_ = name
+	}
+	st := client.Stats()
+	fmt.Printf("5 calls completed; %d transparent retries\n\n", st.Retries)
+}
+
+func scene2IdempotentOnly() {
+	fmt.Println("=== scene 2: ambiguous failures retry only idempotent calls ===")
+	_, session, ft, cleanup := faultedPair(func(o *orb.Options) {
+		o.Retry = orb.RetryPolicy{
+			MaxAttempts: 3,
+			// _get_name is a read: safe to re-send even if the server
+			// already processed it. play is not declared idempotent.
+			Idempotent: func(method string) bool { return method == "_get_name" },
+		}
+	})
+	defer cleanup()
+
+	// Lose the first reply per endpoint: the server processed the request,
+	// the client never hears back.
+	dropFirstRecv := func(i transport.FaultInfo) transport.FaultVerdict {
+		if i.Op == transport.FaultRecv && i.PerAddr == 1 {
+			return transport.FaultDrop
+		}
+		return transport.FaultPass
+	}
+
+	ft.Decide = dropFirstRecv
+	name, err := session.GetName()
+	if err != nil {
+		log.Fatalf("idempotent read not retried: %v", err)
+	}
+	fmt.Printf("_get_name survived a lost reply (idempotent): %q\n", name)
+
+	// Fresh fault plan targeting the non-idempotent mutation.
+	_, session2, ft2, cleanup2 := faultedPair(func(o *orb.Options) {
+		o.Retry = orb.RetryPolicy{MaxAttempts: 3}
+	})
+	defer cleanup2()
+	ft2.Decide = dropFirstRecv
+	if err := session2.Play("news.mpg", media.HdStreamStatePlaying); err != nil {
+		fmt.Printf("play surfaced its lost reply (not idempotent): %v\n\n", err)
+	} else {
+		log.Fatal("non-idempotent call was silently retried")
+	}
+}
+
+func scene3CircuitBreaker() {
+	fmt.Println("=== scene 3: circuit breaker fails fast on a dead endpoint ===")
+	client, session, ft, cleanup := faultedPair(func(o *orb.Options) {
+		o.Breaker = transport.BreakerPolicy{Threshold: 3, Cooldown: time.Minute}
+		o.OnBreakerChange = func(addr string, from, to transport.BreakerState) {
+			fmt.Printf("breaker %s: %s -> %s\n", addr, from, to)
+		}
+	})
+	defer cleanup()
+
+	// Warm call, then the endpoint dies: every dial fails.
+	if _, err := session.GetName(); err != nil {
+		log.Fatal(err)
+	}
+	ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+		if i.Op == transport.FaultDial {
+			return transport.FaultFail
+		}
+		// Kill cached connections too, so calls must re-dial.
+		if i.Op == transport.FaultSend {
+			return transport.FaultDrop
+		}
+		return transport.FaultPass
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := session.GetName(); err == nil {
+			log.Fatal("call against dead endpoint succeeded")
+		}
+	}
+	start := time.Now()
+	_, err := session.GetName()
+	if !errors.Is(err, orb.ErrCircuitOpen) {
+		log.Fatalf("expected ErrCircuitOpen, got %v", err)
+	}
+	fmt.Printf("tripped call failed in %v without dialing\n", time.Since(start).Round(time.Microsecond))
+	fmt.Printf("pool stats: %+v\n", client.PoolStats())
+	_ = ft
+}

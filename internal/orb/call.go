@@ -1,11 +1,14 @@
 package orb
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/heidi"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -203,9 +206,10 @@ func (c *callBase) GetObjectIncopy() (any, error) {
 // header, parameters are marshaled in, and Invoke sends the request.
 type ClientCall struct {
 	callBase
-	ref     ObjectRef
-	method  string
-	invoked bool
+	ref        ObjectRef
+	method     string
+	invoked    bool
+	idempotent bool
 }
 
 // NewCall creates a Call for one remote method invocation.
@@ -243,6 +247,12 @@ func (c *ClientCall) InvokeOneway() error {
 	return err
 }
 
+// SetIdempotent marks this call as safe to retry even when a failure is
+// ambiguous (the request may already have been processed). Generated stubs
+// set it for IDL operations annotated idempotent; it has no effect unless
+// the ORB's RetryPolicy is enabled.
+func (c *ClientCall) SetIdempotent(v bool) { c.idempotent = v }
+
 func (c *ClientCall) roundTrip(oneway bool) (*wire.Message, error) {
 	if c.invoked {
 		return nil, fmt.Errorf("orb: call %q invoked twice", c.method)
@@ -251,15 +261,74 @@ func (c *ClientCall) roundTrip(oneway bool) (*wire.Message, error) {
 	ctx := &ClientContext{Ref: c.ref, Method: c.method, Oneway: oneway}
 	var reply *wire.Message
 	err := c.orb.runClientChain(ctx, func() error {
-		r, err := c.transact(oneway)
+		r, err := c.transact(ctx, oneway)
 		reply = r
 		return err
 	})
 	return reply, err
 }
 
-// transact performs the wire round trip of one invocation.
-func (c *ClientCall) transact(oneway bool) (*wire.Message, error) {
+// maxStaleReplies bounds how many mismatched messages one invocation will
+// skip before declaring the peer misbehaving and discarding the
+// connection; without a bound a bad server could spin a client forever.
+const maxStaleReplies = 32
+
+// transact performs the wire round trip of one invocation, re-attempting
+// per the ORB's RetryPolicy. With the policy disabled (the default) exactly
+// one attempt is made and the wire behavior is unchanged.
+func (c *ClientCall) transact(ctx *ClientContext, oneway bool) (*wire.Message, error) {
+	pol := c.orb.opts.Retry
+	maxAttempts := pol.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		ctx.Attempts = attempt
+		reply, class, err := c.attempt(oneway)
+		if err == nil {
+			c.orb.refundRetryToken()
+			return reply, nil
+		}
+		if attempt >= maxAttempts || !c.retryable(class, oneway) || !c.orb.takeRetryToken() {
+			return nil, err
+		}
+		atomic.AddUint64(&c.orb.stats.Retries, 1)
+		c.orb.backoffSleep(attempt)
+	}
+}
+
+// retryable decides whether a failed attempt may be re-sent.
+func (c *ClientCall) retryable(class failureClass, oneway bool) bool {
+	switch class {
+	case failSafe:
+		return true
+	case failAmbiguous:
+		if oneway || c.idempotent {
+			return true
+		}
+		pol := c.orb.opts.Retry
+		return pol.Idempotent != nil && pol.Idempotent(c.method)
+	default:
+		return false
+	}
+}
+
+// attempt performs one wire round trip and classifies any failure.
+func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
+	conn, reused, err := c.orb.pool.Checkout(c.ref.Addr)
+	if err != nil {
+		switch {
+		case errors.Is(err, transport.ErrPoolClosed):
+			// The pool closes only on Shutdown: surface the ORB's
+			// shutdown sentinel, not a transport detail.
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, ErrShutdown)
+		case errors.Is(err, transport.ErrCircuitOpen):
+			// Fail fast: retrying a tripped endpoint defeats the
+			// breaker's purpose.
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+		}
+		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+	}
 	id := atomic.AddUint32(&c.orb.reqID, 1)
 	req := &wire.Message{
 		Type:      wire.MsgRequest,
@@ -269,36 +338,60 @@ func (c *ClientCall) transact(oneway bool) (*wire.Message, error) {
 		Oneway:    oneway,
 		Body:      c.enc.Bytes(),
 	}
-	conn, err := c.orb.pool.Get(c.ref.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+	hasDeadline := c.orb.opts.CallTimeout > 0
+	if hasDeadline {
+		conn.SetDeadline(time.Now().Add(c.orb.opts.CallTimeout))
 	}
-	if d := c.orb.opts.CallTimeout; d > 0 {
-		conn.SetDeadline(time.Now().Add(d))
-		defer conn.SetDeadline(time.Time{})
+	// putBack clears the deadline while the connection is still
+	// exclusively ours — clearing it after Put would race with the next
+	// caller's checkout and clobber their deadline.
+	putBack := func(healthy bool) {
+		if hasDeadline && healthy {
+			conn.SetDeadline(time.Time{})
+		}
+		c.orb.pool.Put(c.ref.Addr, conn, healthy)
 	}
 	if err := conn.Send(req); err != nil {
-		c.orb.pool.Put(c.ref.Addr, conn, false)
-		return nil, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+		putBack(false)
+		return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
 	}
 	if oneway {
 		atomic.AddUint64(&c.orb.stats.OnewaysSent, 1)
-		c.orb.pool.Put(c.ref.Addr, conn, true)
-		return nil, nil
+		putBack(true)
+		return nil, failNone, nil
 	}
 	atomic.AddUint64(&c.orb.stats.CallsSent, 1)
-	for {
+	for skipped := 0; ; {
 		reply, err := conn.Recv()
 		if err != nil {
-			c.orb.pool.Put(c.ref.Addr, conn, false)
-			return nil, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
+			putBack(false)
+			class := failAmbiguous
+			if reused && skipped == 0 && isConnClosed(err) {
+				// A cached connection the peer closed while it
+				// sat idle: nothing was processed.
+				class = failSafe
+			}
+			return nil, class, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
 		}
 		if reply.Type != wire.MsgReply || reply.RequestID != id {
+			skipped++
+			if skipped >= maxStaleReplies {
+				putBack(false)
+				return nil, failAmbiguous, fmt.Errorf(
+					"orb: awaiting reply for %q: gave up after %d mismatched messages from %s",
+					c.method, skipped, c.ref.Addr)
+			}
 			continue // stale reply on a cached connection: skip
 		}
-		c.orb.pool.Put(c.ref.Addr, conn, true)
-		return reply, nil
+		putBack(true)
+		return reply, failNone, nil
 	}
+}
+
+// isConnClosed reports the error shapes a closed-by-peer connection
+// produces on read.
+func isConnClosed(err error) bool {
+	return errors.Is(err, wire.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // Release ends the call; the Call object may not be reused afterwards. It

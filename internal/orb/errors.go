@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -18,8 +19,13 @@ var (
 	// ErrNotExportable is reported when a value passed as an object
 	// reference is neither a stub, an exported servant, nor exportable.
 	ErrNotExportable = errors.New("orb: value is not a stub and has no skeleton factory")
-	// ErrShutdown is reported for operations on a stopped ORB.
+	// ErrShutdown is reported for operations on a stopped ORB, including
+	// invocations whose connection pool has been closed.
 	ErrShutdown = errors.New("orb: shut down")
+	// ErrCircuitOpen is reported for invocations failed fast by a
+	// tripped per-endpoint circuit breaker (Options.Breaker); it aliases
+	// the transport sentinel so callers need not import transport.
+	ErrCircuitOpen = transport.ErrCircuitOpen
 )
 
 // UserError marks generated exception types (IDL raises clauses): a handler

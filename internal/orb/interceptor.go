@@ -16,6 +16,11 @@ type ClientContext struct {
 	Ref    ObjectRef
 	Method string
 	Oneway bool
+	// Attempts is the number of transport attempts made so far; after
+	// invoke returns it is the total (1 unless the RetryPolicy re-sent
+	// the call). Interceptors observe retries and breaker fast-failures
+	// through it together with the returned error.
+	Attempts int
 }
 
 // ServerContext describes one incoming request.

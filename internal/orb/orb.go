@@ -33,6 +33,28 @@ type Options struct {
 	DisableConnCache bool
 	// DisableStubCache ablates the §3.1 stub cache (benchmark C3).
 	DisableStubCache bool
+
+	// Retry configures client-side retries of remote invocations; the
+	// zero value disables them and leaves invocation semantics exactly
+	// as before.
+	Retry RetryPolicy
+	// Breaker enables a per-endpoint circuit breaker on the client
+	// connection pool (Threshold > 0); a tripped endpoint fails fast
+	// with ErrCircuitOpen instead of dialing.
+	Breaker transport.BreakerPolicy
+	// OnBreakerChange observes circuit-breaker transitions — the
+	// interceptor-style hook that makes breaker trips visible to
+	// monitoring without polling PoolStats.
+	OnBreakerChange func(addr string, from, to transport.BreakerState)
+	// ConnIdleTTL evicts pooled connections idle longer than this; zero
+	// keeps them forever (the paper's behavior).
+	ConnIdleTTL time.Duration
+	// ConnMaxLifetime retires pooled connections older than this; zero
+	// means unlimited.
+	ConnMaxLifetime time.Duration
+	// ConnHealthCheck, when set, probes cached connections at checkout;
+	// failing connections are discarded instead of handed to callers.
+	ConnHealthCheck func(transport.Conn) error
 }
 
 // StubFactory builds a typed stub for a reference; generated bindings
@@ -72,7 +94,10 @@ type ORB struct {
 	nextOID uint64 // object identifiers, atomically allocated
 	reqID   uint32 // request identifiers
 
-	wg sync.WaitGroup
+	retry *retryState
+
+	wg    sync.WaitGroup
+	reqWG sync.WaitGroup // in-flight server dispatches (drained by Shutdown)
 
 	stats Stats
 }
@@ -86,6 +111,8 @@ type Stats struct {
 	StubCacheHits    uint64
 	StubsCreated     uint64
 	SkeletonsCreated uint64
+	// Retries counts re-attempted invocations under the RetryPolicy.
+	Retries uint64
 }
 
 // New creates an ORB with the given options. Call Start to begin serving;
@@ -110,7 +137,19 @@ func New(opts Options) *ORB {
 		factories: make(map[string]StubFactory),
 		conns:     make(map[transport.Conn]struct{}),
 	}
-	o.pool = &transport.Pool{Dial: opts.Transport.Dial, Disabled: opts.DisableConnCache}
+	o.pool = &transport.Pool{
+		Dial:        opts.Transport.Dial,
+		Disabled:    opts.DisableConnCache,
+		IdleTTL:     opts.ConnIdleTTL,
+		MaxLifetime: opts.ConnMaxLifetime,
+		CheckHealth: opts.ConnHealthCheck,
+	}
+	if opts.Breaker.Threshold > 0 {
+		bs := transport.NewBreakerSet(opts.Breaker)
+		bs.OnStateChange = opts.OnBreakerChange
+		o.pool.Breaker = bs
+	}
+	o.retry = newRetryState(opts.Retry)
 	return o
 }
 
@@ -149,8 +188,9 @@ func (o *ORB) Addr() string {
 	return o.listener.Addr()
 }
 
-// Shutdown stops the listener, closes pooled connections and waits for
-// in-flight request goroutines to drain.
+// Shutdown stops the listener, drains in-flight server dispatches (their
+// replies are still sent), then closes pooled and serving connections and
+// waits for connection goroutines to exit.
 func (o *ORB) Shutdown() error {
 	o.mu.Lock()
 	if o.closed {
@@ -168,6 +208,10 @@ func (o *ORB) Shutdown() error {
 	if l != nil {
 		l.Close()
 	}
+	// Graceful drain: requests already being dispatched finish and
+	// reply over their still-open connections. serveConn stops starting
+	// new dispatches once closed is set, so this converges.
+	o.reqWG.Wait()
 	// Unblock per-connection server goroutines parked in Recv on
 	// connections the peers keep cached.
 	for _, c := range conns {
@@ -188,6 +232,7 @@ func (o *ORB) Stats() Stats {
 		StubCacheHits:    atomic.LoadUint64(&o.stats.StubCacheHits),
 		StubsCreated:     atomic.LoadUint64(&o.stats.StubsCreated),
 		SkeletonsCreated: atomic.LoadUint64(&o.stats.SkeletonsCreated),
+		Retries:          atomic.LoadUint64(&o.stats.Retries),
 	}
 }
 
@@ -364,7 +409,19 @@ func (o *ORB) serveConn(c transport.Conn) {
 		if m.Type != wire.MsgRequest {
 			continue // ignore stray replies
 		}
+		// Register the dispatch under reqWG while holding mu, so
+		// Shutdown (which sets closed under mu before draining) either
+		// sees this request or prevents it — never a late Add racing
+		// the drain.
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			return
+		}
+		o.reqWG.Add(1)
+		o.mu.Unlock()
 		o.serveRequest(c, m)
+		o.reqWG.Done()
 	}
 }
 

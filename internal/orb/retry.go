@@ -1,0 +1,138 @@
+package orb
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy configures client-side retries of remote invocations. The
+// zero value disables retries entirely, leaving the invocation path
+// byte-identical to the un-retried HeidiRMI behavior.
+//
+// Retries are attempted only for failures that occur before the request
+// could have been processed by the server — dial failures, send failures,
+// and an EOF on the first read of a reused cached connection (the peer
+// closed the idle connection while it sat in the pool). Failures after the
+// request may have been processed (a lost reply) are retried only for
+// oneway calls, for methods the Idempotent predicate accepts, or for calls
+// explicitly marked with ClientCall.SetIdempotent.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per call, including
+	// the first; values <= 1 disable retries.
+	MaxAttempts int
+	// Backoff is the base delay before the second attempt; it doubles
+	// per attempt with full jitter (a uniform draw from [d/2, d]).
+	// Zero retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; zero means uncapped.
+	MaxBackoff time.Duration
+	// Budget bounds retry amplification ORB-wide: at most Budget retry
+	// tokens exist, each retry consumes one, and each successful call
+	// refunds one (up to Budget). Zero means unlimited.
+	Budget int
+	// Idempotent opts methods into retrying ambiguous failures (the
+	// request may have been processed). Nil means no method is.
+	Idempotent func(method string) bool
+	// Seed fixes the jitter source for deterministic tests; zero seeds
+	// from the clock.
+	Seed int64
+}
+
+// enabled reports whether the policy retries at all.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// retryState is the ORB's runtime retry bookkeeping.
+type retryState struct {
+	tokens int64 // remaining retry budget (atomic); unused when Budget <= 0
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+}
+
+func newRetryState(p RetryPolicy) *retryState {
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &retryState{
+		tokens: int64(p.Budget),
+		jitter: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// take consumes one retry token; false means the budget is exhausted and
+// the failure must surface instead of retrying.
+func (o *ORB) takeRetryToken() bool {
+	if o.opts.Retry.Budget <= 0 {
+		return true
+	}
+	for {
+		cur := atomic.LoadInt64(&o.retry.tokens)
+		if cur <= 0 {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(&o.retry.tokens, cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// refundRetryToken returns one token after a successful call, capped at the
+// configured budget.
+func (o *ORB) refundRetryToken() {
+	budget := int64(o.opts.Retry.Budget)
+	if budget <= 0 {
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(&o.retry.tokens)
+		if cur >= budget {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&o.retry.tokens, cur, cur+1) {
+			return
+		}
+	}
+}
+
+// backoffSleep sleeps the exponential-with-full-jitter delay before attempt
+// number attempt+1 (attempt is the 1-based attempt that just failed).
+func (o *ORB) backoffSleep(attempt int) {
+	pol := o.opts.Retry
+	if pol.Backoff <= 0 {
+		return
+	}
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := pol.Backoff << shift
+	if pol.MaxBackoff > 0 && d > pol.MaxBackoff {
+		d = pol.MaxBackoff
+	}
+	if half := d / 2; half > 0 {
+		o.retry.jitterMu.Lock()
+		d = half + time.Duration(o.retry.jitter.Int63n(int64(half)+1))
+		o.retry.jitterMu.Unlock()
+	}
+	time.Sleep(d)
+}
+
+// failureClass classifies one attempt's failure for the retry decision.
+type failureClass int
+
+const (
+	// failNone: the attempt succeeded.
+	failNone failureClass = iota
+	// failSafe: the failure occurred before the request could have been
+	// processed (dial/send failure, stale cached connection) — always
+	// safe to retry.
+	failSafe
+	// failAmbiguous: the request may have been processed (reply lost);
+	// retried only for oneway or idempotent calls.
+	failAmbiguous
+	// failFatal: never retried (shutdown, open circuit breaker).
+	failFatal
+)

@@ -1,0 +1,545 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// faultSession builds a server+client pair over an in-process transport
+// wrapped in fault injection. Only the client side is faulted (the
+// FaultTransport passes Listen through), and tweak customizes the client's
+// Options (retry policy, breaker, ...).
+func faultSession(t testing.TB, tweak func(*Options)) (*ORB, ObjectRef, *transport.FaultTransport) {
+	t.Helper()
+	ft := transport.NewFaultTransport(transport.NewInproc(wire.Text))
+
+	server := New(Options{Protocol: wire.Text, Transport: ft, ListenAddr: ":0"})
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { server.Shutdown() })
+	impl := &echoImpl{}
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	copts := Options{Protocol: wire.Text, Transport: ft}
+	if tweak != nil {
+		tweak(&copts)
+	}
+	client := New(copts)
+	registerEchoStub(client)
+	t.Cleanup(func() { client.Shutdown() })
+	return client, ref, ft
+}
+
+// observeAttempts registers an interceptor recording ClientContext.Attempts
+// of the most recent invocation.
+func observeAttempts(client *ORB) *int {
+	n := new(int)
+	client.AddClientInterceptor(func(ctx *ClientContext, invoke func() error) error {
+		err := invoke()
+		*n = ctx.Attempts
+		return err
+	})
+	return n
+}
+
+// TestRetryFirstSendDrop is the headline acceptance scenario: a transport
+// that drops the connection on the first send to each endpoint, a retry
+// policy with MaxAttempts=3 — every call completes.
+func TestRetryFirstSendDrop(t *testing.T) {
+	client, ref, ft := faultSession(t, func(o *Options) {
+		o.Retry = RetryPolicy{MaxAttempts: 3, Seed: 1}
+	})
+	ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+		if i.Op == transport.FaultSend && i.PerAddr == 1 {
+			return transport.FaultDrop
+		}
+		return transport.FaultPass
+	}
+	attempts := observeAttempts(client)
+
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := obj.(Echo)
+	for i := 0; i < 20; i++ {
+		want := fmt.Sprintf("msg-%d", i)
+		got, err := echo.Echo(want)
+		if err != nil {
+			t.Fatalf("call %d failed despite retry: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("call %d = %q, want %q", i, got, want)
+		}
+	}
+	if *attempts != 1 {
+		t.Errorf("last call attempts = %d, want 1 (only the first send is dropped)", *attempts)
+	}
+	st := client.Stats()
+	if st.Retries != 1 {
+		t.Errorf("retries = %d, want exactly 1 (the dropped first send)", st.Retries)
+	}
+	// Oneways ride the same policy.
+	if err := echo.Poke(); err != nil {
+		t.Errorf("oneway after faults: %v", err)
+	}
+}
+
+// TestRetryDisabledSingleAttempt: the zero policy makes exactly one attempt
+// and surfaces the failure — the pre-PR behavior.
+func TestRetryDisabledSingleAttempt(t *testing.T) {
+	client, ref, ft := faultSession(t, nil)
+	ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+		if i.Op == transport.FaultSend {
+			return transport.FaultFail
+		}
+		return transport.FaultPass
+	}
+	attempts := observeAttempts(client)
+
+	obj, _ := client.Resolve(ref)
+	if _, err := obj.(Echo).Echo("x"); !errors.Is(err, transport.ErrInjected) {
+		t.Fatalf("err = %v, want injected send failure", err)
+	}
+	if *attempts != 1 {
+		t.Errorf("attempts = %d, want 1", *attempts)
+	}
+	if st := client.Stats(); st.Retries != 0 {
+		t.Errorf("retries = %d, want 0", st.Retries)
+	}
+}
+
+// TestRetryAmbiguousRequiresIdempotent: a lost reply (the request reached
+// the server) is retried only for calls declared idempotent.
+func TestRetryAmbiguousRequiresIdempotent(t *testing.T) {
+	newSession := func(t *testing.T, pol RetryPolicy) (*ORB, ObjectRef, *transport.FaultTransport) {
+		client, ref, ft := faultSession(t, func(o *Options) { o.Retry = pol })
+		// Drop the first reply read per endpoint: the server has already
+		// processed the request when the client's recv fails.
+		ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+			if i.Op == transport.FaultRecv && i.PerAddr == 1 {
+				return transport.FaultDrop
+			}
+			return transport.FaultPass
+		}
+		return client, ref, ft
+	}
+
+	t.Run("non-idempotent fails", func(t *testing.T) {
+		client, ref, _ := newSession(t, RetryPolicy{MaxAttempts: 3, Seed: 1})
+		attempts := observeAttempts(client)
+		obj, _ := client.Resolve(ref)
+		if _, err := obj.(Echo).Echo("x"); err == nil {
+			t.Fatal("ambiguous failure of a non-idempotent call must surface")
+		}
+		if *attempts != 1 {
+			t.Errorf("attempts = %d, want 1 (no retry after the request may have run)", *attempts)
+		}
+	})
+
+	t.Run("policy predicate retries", func(t *testing.T) {
+		client, ref, _ := newSession(t, RetryPolicy{
+			MaxAttempts: 3, Seed: 1,
+			Idempotent: func(m string) bool { return m == "echo" },
+		})
+		attempts := observeAttempts(client)
+		obj, _ := client.Resolve(ref)
+		got, err := obj.(Echo).Echo("again")
+		if err != nil || got != "again" {
+			t.Fatalf("idempotent call = %q, %v", got, err)
+		}
+		if *attempts != 2 {
+			t.Errorf("attempts = %d, want 2", *attempts)
+		}
+	})
+
+	t.Run("SetIdempotent retries", func(t *testing.T) {
+		client, ref, _ := newSession(t, RetryPolicy{MaxAttempts: 3, Seed: 1})
+		c, err := client.NewCall(ref, "ping")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetIdempotent(true)
+		if err := c.Invoke(); err != nil {
+			t.Fatalf("idempotent-marked call: %v", err)
+		}
+	})
+}
+
+// TestRetryBudget: the token bucket bounds amplification ORB-wide.
+func TestRetryBudget(t *testing.T) {
+	client, ref, ft := faultSession(t, func(o *Options) {
+		o.Retry = RetryPolicy{MaxAttempts: 3, Budget: 1, Seed: 1}
+	})
+	ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+		if i.Op == transport.FaultSend {
+			return transport.FaultFail
+		}
+		return transport.FaultPass
+	}
+	attempts := observeAttempts(client)
+	obj, _ := client.Resolve(ref)
+	echo := obj.(Echo)
+
+	// First failing call: one retry consumes the whole budget.
+	if _, err := echo.Echo("a"); err == nil {
+		t.Fatal("call with every send failing must error")
+	}
+	if *attempts != 2 {
+		t.Errorf("first call attempts = %d, want 2 (MaxAttempts=3 capped by Budget=1)", *attempts)
+	}
+	// Second failing call: no tokens left, single attempt.
+	if _, err := echo.Echo("b"); err == nil {
+		t.Fatal("second call must error")
+	}
+	if *attempts != 1 {
+		t.Errorf("second call attempts = %d, want 1 (budget exhausted)", *attempts)
+	}
+
+	// A success refunds a token.
+	ft.Decide = nil
+	if _, err := echo.Echo("ok"); err != nil {
+		t.Fatal(err)
+	}
+	ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+		if i.Op == transport.FaultSend {
+			return transport.FaultFail
+		}
+		return transport.FaultPass
+	}
+	if _, err := echo.Echo("c"); err == nil {
+		t.Fatal("call must error")
+	}
+	if *attempts != 2 {
+		t.Errorf("post-refund attempts = %d, want 2", *attempts)
+	}
+}
+
+// TestBreakerFailsFast is the second acceptance scenario: once the breaker
+// trips on a dead endpoint, calls fail immediately — far quicker than the
+// retry backoff floor — and stop dialing.
+func TestBreakerFailsFast(t *testing.T) {
+	const backoff = 200 * time.Millisecond
+	var transitions []string
+	var mu sync.Mutex
+	client, ref, ft := faultSession(t, func(o *Options) {
+		o.Retry = RetryPolicy{MaxAttempts: 3, Backoff: backoff, Seed: 1}
+		o.Breaker = transport.BreakerPolicy{Threshold: 3, Cooldown: time.Hour}
+		o.OnBreakerChange = func(addr string, from, to transport.BreakerState) {
+			mu.Lock()
+			transitions = append(transitions, from.String()+">"+to.String())
+			mu.Unlock()
+		}
+	})
+	ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+		if i.Op == transport.FaultDial {
+			return transport.FaultFail
+		}
+		return transport.FaultPass
+	}
+	obj, _ := client.Resolve(ref)
+	echo := obj.(Echo)
+
+	// Call 1: three dial attempts (MaxAttempts=3), all fail — the third
+	// consecutive failure trips the breaker.
+	if _, err := echo.Echo("x"); err == nil {
+		t.Fatal("call against dead endpoint succeeded")
+	}
+	if got := ft.Counts()[transport.FaultDial]; got != 3 {
+		t.Fatalf("dials = %d, want 3", got)
+	}
+
+	// Call 2: fails fast on the open breaker — no dial, no backoff sleep.
+	start := time.Now()
+	_, err := echo.Echo("y")
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if elapsed >= backoff/2 {
+		t.Errorf("tripped call took %v, want well under the %v backoff floor", elapsed, backoff/2)
+	}
+	if got := ft.Counts()[transport.FaultDial]; got != 3 {
+		t.Errorf("dials after trip = %d, want still 3 (breaker must prevent dialing)", got)
+	}
+
+	// Observability: the hook saw the trip and PoolStats exposes the state.
+	mu.Lock()
+	trans := strings.Join(transitions, ",")
+	mu.Unlock()
+	if trans != "closed>open" {
+		t.Errorf("transitions = %q, want closed>open", trans)
+	}
+	if st := client.PoolStats(); st.Breakers[ref.Addr] != transport.BreakerOpen {
+		t.Errorf("PoolStats breakers = %v, want %s open", st.Breakers, ref.Addr)
+	}
+	if st := client.PoolStats(); st.Rejected == 0 {
+		t.Error("rejected checkouts not counted")
+	}
+}
+
+// TestStaleCachedConnRetry: a cached connection whose peer restarted is
+// retried transparently — the EOF on first read of a reused connection
+// means the new server never saw the request.
+func TestStaleCachedConnRetry(t *testing.T) {
+	inproc := transport.NewInproc(wire.Text)
+	mkServer := func() (*ORB, ObjectRef) {
+		s := New(Options{Protocol: wire.Text, Transport: inproc, ListenAddr: "ep"})
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		impl := &echoImpl{}
+		ref, err := s.Export(impl, NewEchoTable(impl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, ref
+	}
+
+	s1, ref := mkServer()
+	client := New(Options{
+		Protocol: wire.Text, Transport: inproc,
+		Retry: RetryPolicy{MaxAttempts: 2, Seed: 1},
+	})
+	registerEchoStub(client)
+	t.Cleanup(func() { client.Shutdown() })
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := obj.(Echo)
+
+	if _, err := echo.Echo("warm"); err != nil {
+		t.Fatal(err) // connection now cached in the client pool
+	}
+	s1.Shutdown()
+
+	// Same endpoint, fresh server; the first object exported gets the same
+	// object identifier, so the old reference stays valid.
+	s2, ref2 := mkServer()
+	t.Cleanup(func() { s2.Shutdown() })
+	if ref2 != ref {
+		t.Fatalf("restarted server ref = %s, want %s", ref2, ref)
+	}
+
+	got, err := echo.Echo("after restart")
+	if err != nil {
+		t.Fatalf("call through stale cached conn: %v", err)
+	}
+	if got != "after restart" {
+		t.Errorf("Echo = %q", got)
+	}
+	if st := client.Stats(); st.Retries != 1 {
+		t.Errorf("retries = %d, want 1", st.Retries)
+	}
+}
+
+// TestShutdownMapsPoolClosed: invoking through a shut-down client ORB
+// reports ErrShutdown, not a bare transport error.
+func TestShutdownMapsPoolClosed(t *testing.T) {
+	client, ref, _ := faultSession(t, nil)
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := obj.(Echo)
+	if _, err := echo.Echo("up"); err != nil {
+		t.Fatal(err)
+	}
+	client.Shutdown()
+	_, err = echo.Echo("down")
+	if !errors.Is(err, ErrShutdown) {
+		t.Errorf("call after shutdown = %v, want ErrShutdown", err)
+	}
+}
+
+// TestShutdownDrainsInFlight: Shutdown waits for a dispatch already in
+// progress, whose reply still reaches the client.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	impl := &gatedEcho{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	server := New(tcpText())
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(tcpText())
+	registerEchoStub(client)
+	defer client.Shutdown()
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		got string
+		err error
+	}
+	callDone := make(chan result, 1)
+	go func() {
+		got, err := obj.(Echo).Echo("draining")
+		callDone <- result{got, err}
+	}()
+	<-impl.entered // the dispatch is running
+
+	shutDone := make(chan struct{})
+	go func() {
+		server.Shutdown()
+		close(shutDone)
+	}()
+	// Shutdown must be draining, not killing: the call is still pending.
+	select {
+	case r := <-callDone:
+		t.Fatalf("call finished before release: %+v", r)
+	case <-shutDone:
+		t.Fatal("shutdown completed with a dispatch in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(impl.release)
+	select {
+	case r := <-callDone:
+		if r.err != nil || r.got != "draining" {
+			t.Errorf("drained call = %q, %v", r.got, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never completed")
+	}
+	select {
+	case <-shutDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown never completed")
+	}
+}
+
+// gatedEcho blocks Echo until released, for shutdown-drain tests.
+type gatedEcho struct {
+	echoImpl
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedEcho) Echo(v string) (string, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	return v, nil
+}
+
+// TestStaleReplyFlood: a misbehaving peer spewing mismatched replies cannot
+// spin an invocation forever — the client gives up after a bounded number.
+func TestStaleReplyFlood(t *testing.T) {
+	client := New(Options{Protocol: wire.Text, Transport: junkTransport{}})
+	defer client.Shutdown()
+	ref := ObjectRef{Proto: "junk", Addr: "x", ObjectID: "1", TypeID: echoTypeID}
+	c, err := client.NewCall(ref, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Invoke() }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "mismatched") {
+			t.Errorf("err = %v, want mismatched-messages failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stale-reply flood hung the invocation")
+	}
+}
+
+// junkTransport dials connections that answer every request with replies
+// for a request ID nobody asked about.
+type junkTransport struct{}
+
+func (junkTransport) Name() string { return "junk" }
+func (junkTransport) Listen(addr string) (transport.Listener, error) {
+	return nil, fmt.Errorf("junk transport cannot listen")
+}
+func (junkTransport) Dial(addr string) (transport.Conn, error) { return &junkConn{}, nil }
+
+type junkConn struct{}
+
+func (*junkConn) Send(*wire.Message) error { return nil }
+func (*junkConn) Recv() (*wire.Message, error) {
+	return &wire.Message{Type: wire.MsgReply, RequestID: 0, Status: wire.StatusOK}, nil
+}
+func (*junkConn) SetDeadline(time.Time) error { return nil }
+func (*junkConn) Close() error                { return nil }
+func (*junkConn) RemoteAddr() string          { return "junk" }
+
+// TestDeadlineClearedBeforeReuse: a pooled connection must not carry the
+// previous call's deadline. With the old order (Put before clearing) the
+// second call below raced against an already-expired deadline.
+func TestDeadlineClearedBeforeReuse(t *testing.T) {
+	client, ref, _ := newServerClient(t, func() Options {
+		return Options{Protocol: wire.Text, CallTimeout: 300 * time.Millisecond}
+	})
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := obj.(Echo)
+	if _, err := echo.Echo("first"); err != nil {
+		t.Fatal(err)
+	}
+	// Let the first call's deadline pass while the connection sits idle.
+	time.Sleep(400 * time.Millisecond)
+	if _, err := echo.Echo("second"); err != nil {
+		t.Fatalf("reused connection inherited a stale deadline: %v", err)
+	}
+	if st := client.PoolStats(); st.Hits < 1 {
+		t.Fatalf("second call did not reuse the cached connection: %+v", st)
+	}
+}
+
+// TestDisabledPoliciesWireIdentical: with every robustness knob at its zero
+// value the client sends exactly one request message per invocation with
+// the same shape as the seed implementation (request ids dense from 1, no
+// extra traffic).
+func TestDisabledPoliciesWireIdentical(t *testing.T) {
+	client, ref, ft := faultSession(t, nil)
+	var mu sync.Mutex
+	var ops []transport.FaultInfo
+	ft.Decide = func(i transport.FaultInfo) transport.FaultVerdict {
+		mu.Lock()
+		ops = append(ops, i)
+		mu.Unlock()
+		return transport.FaultPass
+	}
+	obj, _ := client.Resolve(ref)
+	echo := obj.(Echo)
+	for i := 0; i < 3; i++ {
+		if _, err := echo.Echo("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var dials, sends, recvs int
+	for _, op := range ops {
+		switch op.Op {
+		case transport.FaultDial:
+			dials++
+		case transport.FaultSend:
+			sends++
+		case transport.FaultRecv:
+			recvs++
+		}
+	}
+	if dials != 1 || sends != 3 || recvs != 3 {
+		t.Errorf("wire ops = %d dials, %d sends, %d recvs; want 1/3/3", dials, sends, recvs)
+	}
+}

@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The circuit breaker is the RAFDA-style "distribution policy as a
+// pluggable layer" applied to HeidiRMI's connection cache: the paper's ORB
+// (§3.1) says nothing about endpoints that stall or die, so without a
+// breaker every caller pays the full dial/timeout cost against a dead
+// endpoint. A BreakerSet tracks consecutive failures per endpoint and, once
+// tripped, fails checkouts immediately until a cooldown elapses and a single
+// half-open probe proves the endpoint back.
+
+// BreakerState is one endpoint's circuit state.
+type BreakerState int
+
+const (
+	// BreakerClosed lets traffic through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails checkouts immediately.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through after the cooldown.
+	BreakerHalfOpen
+)
+
+// String renders the state for stats and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// ErrCircuitOpen is returned by Pool.Get while an endpoint's breaker is
+// open (or while its single half-open probe is already in flight).
+var ErrCircuitOpen = errors.New("transport: circuit open")
+
+// BreakerPolicy configures a BreakerSet. The zero value disables breaking.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive failures that trips the
+	// breaker; zero or negative disables it.
+	Threshold int
+	// Cooldown is how long a tripped breaker stays open before allowing
+	// a half-open probe; zero means DefaultBreakerCooldown.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerCooldown applies when BreakerPolicy.Cooldown is zero.
+const DefaultBreakerCooldown = 5 * time.Second
+
+// BreakerSet holds one circuit breaker per endpoint address.
+type BreakerSet struct {
+	policy BreakerPolicy
+
+	// OnStateChange, when set, observes every transition. It is invoked
+	// without internal locks held, so it may call back into the set.
+	OnStateChange func(addr string, from, to BreakerState)
+
+	now func() time.Time // test clock; nil means time.Now
+
+	mu  sync.Mutex
+	eps map[string]*breaker
+}
+
+type breaker struct {
+	state    BreakerState
+	failures int
+	openedAt time.Time
+}
+
+// NewBreakerSet builds a set with the given policy.
+func NewBreakerSet(p BreakerPolicy) *BreakerSet {
+	return &BreakerSet{policy: p, eps: make(map[string]*breaker)}
+}
+
+func (s *BreakerSet) timeNow() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
+}
+
+func (s *BreakerSet) cooldown() time.Duration {
+	if s.policy.Cooldown > 0 {
+		return s.policy.Cooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+// enabled reports whether the set does anything at all.
+func (s *BreakerSet) enabled() bool { return s != nil && s.policy.Threshold > 0 }
+
+// Allow reports whether a checkout to addr may proceed. An open breaker
+// whose cooldown has elapsed transitions to half-open and admits exactly
+// one probe; concurrent callers fail fast until the probe settles.
+func (s *BreakerSet) Allow(addr string) error {
+	if !s.enabled() {
+		return nil
+	}
+	s.mu.Lock()
+	b := s.eps[addr]
+	if b == nil || b.state == BreakerClosed {
+		s.mu.Unlock()
+		return nil
+	}
+	switch b.state {
+	case BreakerOpen:
+		if s.timeNow().Sub(b.openedAt) < s.cooldown() {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrCircuitOpen, addr)
+		}
+		b.state = BreakerHalfOpen
+		s.mu.Unlock()
+		s.notify(addr, BreakerOpen, BreakerHalfOpen)
+		return nil // the half-open probe
+	default: // BreakerHalfOpen: a probe is already in flight
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s (probe in flight)", ErrCircuitOpen, addr)
+	}
+}
+
+// Success records a successful call to addr, closing its breaker.
+func (s *BreakerSet) Success(addr string) {
+	if !s.enabled() {
+		return
+	}
+	s.mu.Lock()
+	b := s.eps[addr]
+	if b == nil {
+		// Never-failed endpoints are not tracked (keeps the map bounded
+		// by the set of endpoints that have ever misbehaved).
+		s.mu.Unlock()
+		return
+	}
+	from := b.state
+	b.state = BreakerClosed
+	b.failures = 0
+	s.mu.Unlock()
+	if from != BreakerClosed {
+		s.notify(addr, from, BreakerClosed)
+	}
+}
+
+// Failure records a failed dial or call to addr; Threshold consecutive
+// failures (or any failure of a half-open probe) open the breaker.
+func (s *BreakerSet) Failure(addr string) {
+	if !s.enabled() {
+		return
+	}
+	s.mu.Lock()
+	b := s.eps[addr]
+	if b == nil {
+		b = &breaker{}
+		s.eps[addr] = b
+	}
+	b.failures++
+	from := b.state
+	if from == BreakerHalfOpen || (from == BreakerClosed && b.failures >= s.policy.Threshold) {
+		b.state = BreakerOpen
+		b.openedAt = s.timeNow()
+		s.mu.Unlock()
+		s.notify(addr, from, BreakerOpen)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// State returns addr's current state (BreakerClosed for unknown endpoints).
+func (s *BreakerSet) State(addr string) BreakerState {
+	if !s.enabled() {
+		return BreakerClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b := s.eps[addr]; b != nil {
+		return b.state
+	}
+	return BreakerClosed
+}
+
+// States snapshots every tracked endpoint's state.
+func (s *BreakerSet) States() map[string]BreakerState {
+	if !s.enabled() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.eps) == 0 {
+		return nil
+	}
+	m := make(map[string]BreakerState, len(s.eps))
+	for addr, b := range s.eps {
+		m[addr] = b.state
+	}
+	return m
+}
+
+func (s *BreakerSet) notify(addr string, from, to BreakerState) {
+	if s.OnStateChange != nil {
+		s.OnStateChange(addr, from, to)
+	}
+}

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for deterministic
+// TTL/cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	type change struct{ from, to BreakerState }
+	var changes []change
+	s := NewBreakerSet(BreakerPolicy{Threshold: 3, Cooldown: time.Minute})
+	s.now = clk.Now
+	s.OnStateChange = func(addr string, from, to BreakerState) {
+		changes = append(changes, change{from, to})
+	}
+	const addr = "ep1"
+
+	// Closed admits traffic; failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if err := s.Allow(addr); err != nil {
+			t.Fatalf("Allow #%d while closed: %v", i, err)
+		}
+		s.Failure(addr)
+	}
+	if st := s.State(addr); st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+
+	// The third consecutive failure trips the breaker.
+	s.Failure(addr)
+	if st := s.State(addr); st != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", st)
+	}
+	if err := s.Allow(addr); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow while open = %v, want ErrCircuitOpen", err)
+	}
+
+	// After the cooldown one probe is admitted; concurrent callers are not.
+	clk.Advance(time.Minute)
+	if err := s.Allow(addr); err != nil {
+		t.Fatalf("half-open probe denied: %v", err)
+	}
+	if st := s.State(addr); st != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", st)
+	}
+	if err := s.Allow(addr); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second probe admitted: %v", err)
+	}
+
+	// A failed probe re-opens immediately, restarting the cooldown.
+	s.Failure(addr)
+	if st := s.State(addr); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	if err := s.Allow(addr); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow right after failed probe = %v, want ErrCircuitOpen", err)
+	}
+
+	// A successful probe closes the breaker again.
+	clk.Advance(time.Minute)
+	if err := s.Allow(addr); err != nil {
+		t.Fatalf("second probe denied: %v", err)
+	}
+	s.Success(addr)
+	if st := s.State(addr); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if err := s.Allow(addr); err != nil {
+		t.Fatalf("Allow after recovery: %v", err)
+	}
+
+	want := []change{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("transitions = %v, want %v", changes, want)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Errorf("transition %d = %v -> %v, want %v -> %v",
+				i, changes[i].from, changes[i].to, want[i].from, want[i].to)
+		}
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	s := NewBreakerSet(BreakerPolicy{Threshold: 2})
+	const addr = "ep"
+	s.Failure(addr)
+	s.Success(addr) // consecutive count resets
+	s.Failure(addr)
+	if st := s.State(addr); st != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", st)
+	}
+	s.Failure(addr)
+	if st := s.State(addr); st != BreakerOpen {
+		t.Fatalf("2 consecutive failures did not trip: %v", st)
+	}
+}
+
+func TestBreakerPerEndpointIsolation(t *testing.T) {
+	s := NewBreakerSet(BreakerPolicy{Threshold: 1, Cooldown: time.Hour})
+	s.Failure("dead")
+	if err := s.Allow("dead"); !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("dead endpoint not tripped: %v", err)
+	}
+	if err := s.Allow("alive"); err != nil {
+		t.Errorf("healthy endpoint affected by another's breaker: %v", err)
+	}
+	states := s.States()
+	if len(states) != 1 || states["dead"] != BreakerOpen {
+		t.Errorf("States() = %v", states)
+	}
+}
+
+func TestBreakerDisabledAndNil(t *testing.T) {
+	// A nil set (no breaker configured on the pool) is inert.
+	var s *BreakerSet
+	if err := s.Allow("x"); err != nil {
+		t.Errorf("nil set Allow = %v", err)
+	}
+	s.Success("x")
+	s.Failure("x")
+	if st := s.State("x"); st != BreakerClosed {
+		t.Errorf("nil set State = %v", st)
+	}
+	if m := s.States(); m != nil {
+		t.Errorf("nil set States = %v", m)
+	}
+
+	// Threshold <= 0 disables breaking even with failures recorded.
+	z := NewBreakerSet(BreakerPolicy{})
+	for i := 0; i < 100; i++ {
+		z.Failure("x")
+	}
+	if err := z.Allow("x"); err != nil {
+		t.Errorf("zero-policy set Allow = %v", err)
+	}
+}
+
+func TestBreakerDefaultCooldown(t *testing.T) {
+	clk := newFakeClock()
+	s := NewBreakerSet(BreakerPolicy{Threshold: 1}) // Cooldown unset
+	s.now = clk.Now
+	s.Failure("ep")
+	clk.Advance(DefaultBreakerCooldown - time.Millisecond)
+	if err := s.Allow("ep"); !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("probe admitted before default cooldown: %v", err)
+	}
+	clk.Advance(2 * time.Millisecond)
+	if err := s.Allow("ep"); err != nil {
+		t.Errorf("probe denied after default cooldown: %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestFaultTransportVerdicts exercises each verdict against a live echo
+// server: FaultFail errors without I/O, FaultDrop kills the connection, and
+// FaultPartial completes the send before dropping (the ambiguous outcome).
+func TestFaultTransportVerdicts(t *testing.T) {
+	inner := NewInproc(wire.Text)
+	ft := NewFaultTransport(inner)
+	s := startEcho(t, ft)
+	addr := s.l.Addr()
+
+	req := func(id uint32) *wire.Message {
+		return &wire.Message{Type: wire.MsgRequest, RequestID: id, TargetRef: "@x#1#t", Method: "m"}
+	}
+
+	// Fail the first send outright; the second passes on a fresh conn.
+	ft.Decide = func(i FaultInfo) FaultVerdict {
+		if i.Op == FaultSend && i.Global == 1 {
+			return FaultFail
+		}
+		return FaultPass
+	}
+	c, err := ft.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(req(1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first send = %v, want ErrInjected", err)
+	}
+	c.Close()
+	c, err = ft.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(req(2)); err != nil {
+		t.Fatalf("second send: %v", err)
+	}
+	if _, err := c.Recv(); err != nil {
+		t.Fatalf("recv after clean send: %v", err)
+	}
+	c.Close()
+
+	// FaultPartial on send: the peer processes the request even though the
+	// caller sees an error — observable as a served request.
+	ft.Decide = func(i FaultInfo) FaultVerdict {
+		if i.Op == FaultSend && i.PerConn == 1 {
+			return FaultPartial
+		}
+		return FaultPass
+	}
+	before := s.connCount()
+	c, err = ft.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(req(3)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial send = %v, want ErrInjected", err)
+	}
+	// The message went out before the drop; the server saw the connection.
+	if got := s.connCount(); got != before+1 {
+		t.Errorf("connCount = %d, want %d", got, before+1)
+	}
+	// The connection is dead now.
+	if _, err := c.Recv(); err == nil {
+		t.Error("recv on dropped connection succeeded")
+	}
+
+	// FaultFail on dial never reaches the inner transport.
+	ft.Decide = func(i FaultInfo) FaultVerdict {
+		if i.Op == FaultDial {
+			return FaultFail
+		}
+		return FaultPass
+	}
+	if _, err := ft.Dial(addr); !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulted dial = %v, want ErrInjected", err)
+	}
+
+	counts := ft.Counts()
+	if counts[FaultDial] < 3 || counts[FaultSend] < 3 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+// TestFaultOrdinals verifies the 1-based numbering the Decide hook keys on.
+func TestFaultOrdinals(t *testing.T) {
+	inner := NewInproc(wire.Text)
+	ft := NewFaultTransport(inner)
+	startEchoAddr := func() string { return startEcho(t, ft).l.Addr() }
+	a1, a2 := startEchoAddr(), startEchoAddr()
+
+	var got []FaultInfo
+	ft.Decide = func(i FaultInfo) FaultVerdict {
+		got = append(got, i)
+		return FaultPass
+	}
+
+	c1, err := ft.Dial(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := ft.Dial(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	m := &wire.Message{Type: wire.MsgRequest, RequestID: 1, TargetRef: "@x#1#t", Method: "m"}
+	// Inproc connections are synchronous pipes: each reply must be read
+	// before the server can serve the next request.
+	rt := func(c Conn) {
+		t.Helper()
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt(c1)
+	rt(c2)
+	rt(c2)
+
+	want := []FaultInfo{
+		{Op: FaultDial, Addr: a1, Global: 1, PerAddr: 1, PerConn: 0},
+		{Op: FaultDial, Addr: a2, Global: 2, PerAddr: 1, PerConn: 0},
+		{Op: FaultSend, Addr: a1, Global: 1, PerAddr: 1, PerConn: 1},
+		{Op: FaultRecv, Addr: a1, Global: 1, PerAddr: 1, PerConn: 1},
+		{Op: FaultSend, Addr: a2, Global: 2, PerAddr: 1, PerConn: 1},
+		{Op: FaultRecv, Addr: a2, Global: 2, PerAddr: 1, PerConn: 1},
+		{Op: FaultSend, Addr: a2, Global: 3, PerAddr: 2, PerConn: 2},
+		{Op: FaultRecv, Addr: a2, Global: 3, PerAddr: 2, PerConn: 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d ops %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFaultScheduleDeterministic: the same seed yields the same fault plan;
+// a different seed yields a different one (with overwhelming probability at
+// this sample size).
+func TestFaultScheduleDeterministic(t *testing.T) {
+	plan := func(seed int64) []FaultVerdict {
+		d := FaultSchedule(seed, 0.3, 0.3, 0.3)
+		var vs []FaultVerdict
+		for op := FaultDial; op <= FaultRecv; op++ {
+			for n := 1; n <= 50; n++ {
+				vs = append(vs, d(FaultInfo{Op: op, Global: n}))
+			}
+		}
+		return vs
+	}
+	a, b, c := plan(42), plan(42), plan(43)
+	same := func(x, y []FaultVerdict) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different fault plans")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical fault plans")
+	}
+	var faults int
+	for _, v := range a {
+		if v != FaultPass {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Errorf("p=0.3 schedule injected %d/%d faults", faults, len(a))
+	}
+}

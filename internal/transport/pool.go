@@ -1,14 +1,22 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Pool is the HeidiRMI connection cache (§3.1): connections to an endpoint
 // are checked out exclusively for the duration of one call and returned for
 // reuse; only when no idle connection is available is a new one dialed.
 // Set Disabled to ablate caching (benchmark C3).
+//
+// Beyond the paper's cache, the pool carries the fault-tolerance policy of
+// the invocation layer: an optional per-endpoint circuit breaker consulted
+// on checkout, idle-TTL and max-lifetime eviction so stale cached
+// connections are not handed to callers, and an optional liveness check on
+// checkout.
 type Pool struct {
 	// Dial opens a new connection to an endpoint; typically a
 	// Transport's Dial.
@@ -23,20 +31,69 @@ type Pool struct {
 	// closes.
 	Disabled bool
 
+	// IdleTTL evicts idle connections that have sat unused for longer
+	// than this; zero means idle connections never expire (the HeidiRMI
+	// default, where cached connections may legitimately sit for hours).
+	IdleTTL time.Duration
+
+	// MaxLifetime closes connections older than this instead of
+	// re-caching them (defense against servers that rotate or leak
+	// per-connection state); zero means unlimited.
+	MaxLifetime time.Duration
+
+	// CheckHealth, when set, probes each cached connection at checkout;
+	// a non-nil error discards that connection and falls through to the
+	// next idle connection (or a fresh dial). Fresh dials are not
+	// checked.
+	CheckHealth func(Conn) error
+
+	// Breaker, when set, gates checkouts per endpoint: Get fails fast
+	// with ErrCircuitOpen while an endpoint's breaker is open, and
+	// Get/Put outcomes feed the breaker's failure/success counts.
+	Breaker *BreakerSet
+
+	now func() time.Time // test clock; nil means time.Now
+
 	mu     sync.Mutex
-	idle   map[string][]Conn
+	idle   map[string][]idleConn
 	closed bool
 
 	// Stats counters (read with Stats).
-	hits, misses, dials int
+	hits, misses, dials, expired, rejected int
+}
+
+// idleConn is one cached connection plus the time it was returned.
+type idleConn struct {
+	c     Conn
+	since time.Time
+}
+
+// pooledConn tags a dialed connection with its creation time so
+// MaxLifetime can be enforced when it is returned. It is only used when
+// MaxLifetime is configured, so pools without a lifetime bound hand back
+// the dialer's connection unchanged.
+type pooledConn struct {
+	Conn
+	created time.Time
 }
 
 // DefaultMaxIdlePerHost is the per-endpoint idle cap when none is set.
 const DefaultMaxIdlePerHost = 8
 
-// PoolStats reports cache effectiveness.
+// ErrPoolClosed is returned by Get after Close; the ORB maps it onto its
+// shutdown semantics.
+var ErrPoolClosed = errors.New("transport: pool closed")
+
+// PoolStats reports cache effectiveness and fault-policy activity.
 type PoolStats struct {
 	Hits, Misses, Dials int
+	// Expired counts connections evicted by IdleTTL or MaxLifetime.
+	Expired int
+	// Rejected counts checkouts denied by an open circuit breaker.
+	Rejected int
+	// Breakers snapshots the per-endpoint breaker states (nil when no
+	// breaker is configured or no endpoint has ever failed).
+	Breakers map[string]BreakerState
 }
 
 // NewPool builds a pool dialing with the given transport.
@@ -44,43 +101,157 @@ func NewPool(t Transport) *Pool {
 	return &Pool{Dial: t.Dial}
 }
 
+func (p *Pool) timeNow() time.Time {
+	if p.now != nil {
+		return p.now()
+	}
+	return time.Now()
+}
+
 // Get checks out a connection to addr, reusing an idle cached connection
 // when one exists.
 func (p *Pool) Get(addr string) (Conn, error) {
+	c, _, err := p.Checkout(addr)
+	return c, err
+}
+
+// Checkout is Get plus a report of whether the connection was reused from
+// the cache — the signal the retry layer needs to treat an EOF on first
+// read as a stale cached connection rather than an ambiguous failure.
+func (p *Pool) Checkout(addr string) (Conn, bool, error) {
 	if p.Dial == nil {
-		return nil, fmt.Errorf("transport: pool has no dialer")
+		return nil, false, fmt.Errorf("transport: pool has no dialer")
+	}
+	if err := p.Breaker.Allow(addr); err != nil {
+		p.mu.Lock()
+		p.rejected++
+		p.mu.Unlock()
+		return nil, false, err
 	}
 	if !p.Disabled {
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			return nil, fmt.Errorf("transport: pool closed")
+		for {
+			c, err, done := p.checkoutIdle(addr)
+			if done {
+				if err != nil {
+					return nil, false, err
+				}
+				if c == nil {
+					break // cache miss: dial below
+				}
+				return c, true, nil
+			}
 		}
-		if list := p.idle[addr]; len(list) > 0 {
-			c := list[len(list)-1]
-			p.idle[addr] = list[:len(list)-1]
-			p.hits++
-			p.mu.Unlock()
-			return c, nil
-		}
-		p.misses++
-		p.mu.Unlock()
 	}
 	p.mu.Lock()
 	p.dials++
 	p.mu.Unlock()
-	return p.Dial(addr)
+	c, err := p.Dial(addr)
+	if err != nil {
+		p.Breaker.Failure(addr)
+		return nil, false, err
+	}
+	if p.MaxLifetime > 0 {
+		c = &pooledConn{Conn: c, created: p.timeNow()}
+	}
+	return c, false, nil
+}
+
+// checkoutIdle attempts one cached-connection checkout. done=false means a
+// candidate failed its health check and the caller should try again;
+// done=true with a nil Conn and nil error means the cache is empty (miss).
+func (p *Pool) checkoutIdle(addr string) (Conn, error, bool) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed, true
+	}
+	now := p.timeNow()
+	list := p.idle[addr]
+	// Evict expired idle connections wholesale: the list is short
+	// (MaxIdlePerHost) and eviction must not depend on checkout order.
+	var evict []Conn
+	if p.IdleTTL > 0 || p.MaxLifetime > 0 {
+		live := list[:0]
+		for _, ic := range list {
+			if p.expiredLocked(ic, now) {
+				evict = append(evict, ic.c)
+				p.expired++
+				continue
+			}
+			live = append(live, ic)
+		}
+		list = live
+	}
+	var c Conn
+	if n := len(list); n > 0 {
+		c = list[n-1].c
+		list = list[:n-1]
+		p.hits++
+	} else {
+		p.misses++
+	}
+	if p.idle != nil {
+		p.idle[addr] = list
+	}
+	p.mu.Unlock()
+	for _, ec := range evict {
+		ec.Close()
+	}
+	if c == nil {
+		return nil, nil, true
+	}
+	if p.CheckHealth != nil {
+		if err := p.CheckHealth(c); err != nil {
+			c.Close()
+			// The hit was provisional; try the next candidate.
+			p.mu.Lock()
+			p.hits--
+			p.mu.Unlock()
+			return nil, nil, false
+		}
+	}
+	return c, nil, true
+}
+
+// expiredLocked reports whether an idle connection is past its idle TTL or
+// total lifetime.
+func (p *Pool) expiredLocked(ic idleConn, now time.Time) bool {
+	if p.IdleTTL > 0 && now.Sub(ic.since) >= p.IdleTTL {
+		return true
+	}
+	if p.MaxLifetime > 0 {
+		if pc, ok := ic.c.(*pooledConn); ok && now.Sub(pc.created) >= p.MaxLifetime {
+			return true
+		}
+	}
+	return false
 }
 
 // Put returns a healthy connection to the cache. Pass healthy=false after
-// an I/O error so the connection is discarded rather than reused.
+// an I/O error so the connection is discarded rather than reused. Outcomes
+// feed the circuit breaker when one is configured.
 func (p *Pool) Put(addr string, c Conn, healthy bool) {
 	if c == nil {
 		return
 	}
+	if healthy {
+		p.Breaker.Success(addr)
+	} else {
+		p.Breaker.Failure(addr)
+	}
 	if p.Disabled || !healthy {
 		c.Close()
 		return
+	}
+	now := p.timeNow()
+	if p.MaxLifetime > 0 {
+		if pc, ok := c.(*pooledConn); ok && now.Sub(pc.created) >= p.MaxLifetime {
+			p.mu.Lock()
+			p.expired++
+			p.mu.Unlock()
+			c.Close()
+			return
+		}
 	}
 	max := p.MaxIdlePerHost
 	if max <= 0 {
@@ -93,16 +264,23 @@ func (p *Pool) Put(addr string, c Conn, healthy bool) {
 		return
 	}
 	if p.idle == nil {
-		p.idle = make(map[string][]Conn)
+		p.idle = make(map[string][]idleConn)
 	}
-	p.idle[addr] = append(p.idle[addr], c)
+	p.idle[addr] = append(p.idle[addr], idleConn{c: c, since: now})
 }
 
-// Stats returns cache counters.
+// Stats returns cache counters and breaker states.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return PoolStats{Hits: p.hits, Misses: p.misses, Dials: p.dials}
+	st := PoolStats{
+		Hits: p.hits, Misses: p.misses, Dials: p.dials,
+		Expired: p.expired, Rejected: p.rejected,
+	}
+	p.mu.Unlock()
+	if p.Breaker.enabled() {
+		st.Breakers = p.Breaker.States()
+	}
+	return st
 }
 
 // Close closes every idle connection and marks the pool closed.
@@ -111,8 +289,8 @@ func (p *Pool) Close() error {
 	defer p.mu.Unlock()
 	p.closed = true
 	for _, list := range p.idle {
-		for _, c := range list {
-			c.Close()
+		for _, ic := range list {
+			ic.c.Close()
 		}
 	}
 	p.idle = nil
