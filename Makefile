@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench check fmt
+.PHONY: all build test vet race fuzz bench bench-all check fmt
 
 all: check
 
@@ -24,7 +24,15 @@ race:
 fuzz:
 	$(GO) test -fuzz FuzzParseRef -fuzztime 30s ./internal/orb/
 
+# The paper-claim and extension benchmarks (C-series, Fig4, multiplexing,
+# robustness), captured as diffable JSON. Commit BENCH_results.json when the
+# numbers move for a reason.
 bench:
+	$(GO) test -run xxx -bench 'C[0-9]|Fig4|Multiplex|Robustness' -benchmem . \
+		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson > BENCH_results.json
+
+# Every benchmark in every package, human-readable.
+bench-all:
 	$(GO) test -bench . -benchmem ./...
 
 fmt:

@@ -12,6 +12,7 @@ package repro
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -568,6 +569,99 @@ func TestC5MappingMatrix(t *testing.T) {
 			loc += mappings.TclLoC(res.Files[f])
 		}
 		t.Logf("C5: %-10s -> %d files, %4d LoC, %5d bytes", m.Name, len(res.Order), loc, res.TotalBytes())
+	}
+}
+
+// slowDialTransport models a realistic connection-establishment cost (TCP
+// handshake, authentication) on an otherwise instant in-process transport.
+// Without it a benchmark on loopback would price dials at ~0 and hide
+// exactly the cost that distinguishes connection strategies.
+type slowDialTransport struct {
+	transport.Transport
+	cost time.Duration
+}
+
+func (t slowDialTransport) Dial(addr string) (transport.Conn, error) {
+	time.Sleep(t.cost)
+	return t.Transport.Dial(addr)
+}
+
+// BenchmarkC5_Multiplex compares the exclusive checkout pool (§3.1's literal
+// connection cache) against the multiplexed shared connection under
+// fan-out bursts: each wave issues `callers` parallel calls and waits for
+// all of them — the canonical RPC shape of a server fanning a request out to
+// a backend. The exclusive pool binds one connection per in-flight call, so
+// a 32-wide burst needs 32 connections, of which only the idle cap (8)
+// survive between waves — every wave redials the rest at full dial cost. The
+// mux path pipelines the whole burst over one shared connection and never
+// redials. Single-caller runs measure the latency cost of the demux
+// indirection; the server worker pool is enabled only for the concurrent
+// runs (a lone caller never pipelines).
+func BenchmarkC5_Multiplex(b *testing.B) {
+	const dialCost = 300 * time.Microsecond
+	for _, mux := range []bool{false, true} {
+		for _, callers := range []int{1, 8, 32} {
+			mux, callers := mux, callers
+			mode := "exclusive"
+			if mux {
+				mode = "mux"
+			}
+			b.Run(fmt.Sprintf("%s/callers=%d", mode, callers), func(b *testing.B) {
+				inner := transport.NewInproc(wire.CDR)
+				sess := remoteSession(b, wire.CDR, func(o *orb.Options) {
+					o.Transport = slowDialTransport{Transport: inner, cost: dialCost}
+					o.ListenAddr = ":0"
+					o.Multiplex = mux
+					if callers > 1 {
+						o.MaxConcurrentPerConn = 64
+						// A single demux reader saturates around 8 pipelined
+						// callers on loopback; 4 shared connections still use
+						// 8x fewer sockets than a 32-wide exclusive burst.
+						o.MuxConnsPerEndpoint = 4
+					}
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				if callers == 1 {
+					for i := 0; i < b.N; i++ {
+						if _, err := sess.GetVolume(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					return
+				}
+				errCh := make(chan error, 1)
+				record := func(err error) {
+					select {
+					case errCh <- err:
+					default:
+					}
+				}
+				var wg sync.WaitGroup
+				for done := 0; done < b.N; {
+					width := callers
+					if rem := b.N - done; rem < width {
+						width = rem
+					}
+					wg.Add(width)
+					for g := 0; g < width; g++ {
+						go func() {
+							defer wg.Done()
+							if _, err := sess.GetVolume(); err != nil {
+								record(err)
+							}
+						}()
+					}
+					wg.Wait()
+					done += width
+				}
+				select {
+				case err := <-errCh:
+					b.Fatal(err)
+				default:
+				}
+			})
+		}
 	}
 }
 

@@ -313,8 +313,13 @@ func (c *ClientCall) retryable(class failureClass, oneway bool) bool {
 	}
 }
 
-// attempt performs one wire round trip and classifies any failure.
+// attempt performs one wire round trip and classifies any failure. With
+// Options.Multiplex on, the round trip rides a shared connection instead of
+// an exclusive pooled checkout.
 func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
+	if c.orb.mux != nil {
+		return c.attemptMux(oneway)
+	}
 	conn, reused, err := c.orb.pool.Checkout(c.ref.Addr)
 	if err != nil {
 		switch {
@@ -386,6 +391,72 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 		putBack(true)
 		return reply, failNone, nil
 	}
+}
+
+// attemptMux performs one round trip over the endpoint's shared multiplexed
+// connection. Classification mirrors the exclusive path, with the shapes a
+// shared connection imposes:
+//
+//   - A dial or whole-send failure means the request never reached the peer
+//     (failSafe); the circuit breaker is fed either way.
+//   - Once the request is on the wire, any failure — the shared connection
+//     dying under other callers' traffic included — is failAmbiguous, since
+//     the peer may have processed the request before the channel died.
+//   - CallTimeout is enforced with a per-call timer: SetDeadline is
+//     connection-global and would abort every other caller sharing the
+//     connection. A timed-out call is deregistered and its late reply
+//     dropped by the demux reader; the connection stays up.
+func (c *ClientCall) attemptMux(oneway bool) (*wire.Message, failureClass, error) {
+	mc, err := c.orb.mux.Get(c.ref.Addr)
+	if err != nil {
+		switch {
+		case errors.Is(err, transport.ErrPoolClosed):
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, ErrShutdown)
+		case errors.Is(err, transport.ErrCircuitOpen):
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+		}
+		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+	}
+	id := atomic.AddUint32(&c.orb.reqID, 1)
+	req := &wire.Message{
+		Type:      wire.MsgRequest,
+		RequestID: id,
+		TargetRef: c.ref.String(),
+		Method:    c.method,
+		Oneway:    oneway,
+		Body:      c.enc.Bytes(),
+	}
+	atomic.AddUint64(&c.orb.stats.MuxCalls, 1)
+	if oneway {
+		if err := mc.SendOneway(req); err != nil {
+			c.orb.mux.Report(c.ref.Addr, false)
+			return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+		}
+		atomic.AddUint64(&c.orb.stats.OnewaysSent, 1)
+		c.orb.mux.Report(c.ref.Addr, true)
+		return nil, failNone, nil
+	}
+	pending, err := mc.Invoke(req)
+	if err != nil {
+		// The request did not go out whole; nothing for the peer to have
+		// processed.
+		c.orb.mux.Report(c.ref.Addr, false)
+		return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+	}
+	atomic.AddUint64(&c.orb.stats.CallsSent, 1)
+	var timeout <-chan time.Time
+	if d := c.orb.opts.CallTimeout; d > 0 {
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	reply, err := pending.Wait(timeout)
+	if err != nil {
+		c.orb.mux.Report(c.ref.Addr, false)
+		return nil, failAmbiguous, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
+	}
+	c.orb.mux.Report(c.ref.Addr, true)
+	return reply, failNone, nil
 }
 
 // isConnClosed reports the error shapes a closed-by-peer connection

@@ -97,15 +97,20 @@ func (t *MethodTable) Inherit(base *MethodTable) *MethodTable {
 	return t
 }
 
-// SetStrategy selects the lookup strategy for this table and, recursively,
-// its bases.
+// SetStrategy selects the lookup strategy used when dispatching through
+// this table. It deliberately does not touch base tables: base tables are
+// routinely shared between interfaces (two generated bindings inheriting
+// the same base reuse one table), so writing the strategy into them would
+// let two ORBs — or two interfaces in one ORB — clobber each other's
+// choice. The strategy instead travels with the dispatch: every level of
+// the inheritance recursion uses the dispatching table's strategy.
 func (t *MethodTable) SetStrategy(s Strategy) *MethodTable {
 	t.strategy = s
-	for _, b := range t.bases {
-		b.SetStrategy(s)
-	}
 	return t
 }
+
+// Strategy returns the table's own lookup strategy.
+func (t *MethodTable) Strategy() Strategy { return t.strategy }
 
 // Methods returns the operation names registered on this table (not
 // including bases), in registration order.
@@ -114,9 +119,10 @@ func (t *MethodTable) Methods() []string { return append([]string(nil), t.names.
 // Bases returns the inherited tables.
 func (t *MethodTable) Bases() []*MethodTable { return append([]*MethodTable(nil), t.bases...) }
 
-// lookup finds the handler for name among this table's own operations.
-func (t *MethodTable) lookup(name string) (Handler, bool) {
-	switch t.strategy {
+// lookup finds the handler for name among this table's own operations,
+// using the dispatching table's strategy s.
+func (t *MethodTable) lookup(name string, s Strategy) (Handler, bool) {
+	switch s {
 	case StrategyBinary:
 		i := sort.Search(len(t.sorted), func(i int) bool {
 			return t.names[t.sorted[i]] >= name
@@ -142,13 +148,19 @@ func (t *MethodTable) lookup(name string) (Handler, bool) {
 
 // Dispatch locates and runs the handler for name, recursing through base
 // tables when the interface's own operations do not match. The boolean
-// result reports whether any handler matched.
+// result reports whether any handler matched. Every level of the recursion
+// looks up with this (the dispatching) table's strategy, so shared base
+// tables never need mutating.
 func (t *MethodTable) Dispatch(name string, c *ServerCall) (bool, error) {
-	if h, ok := t.lookup(name); ok {
+	return t.dispatch(name, c, t.strategy)
+}
+
+func (t *MethodTable) dispatch(name string, c *ServerCall, s Strategy) (bool, error) {
+	if h, ok := t.lookup(name, s); ok {
 		return true, h(c)
 	}
 	for _, b := range t.bases {
-		handled, err := b.Dispatch(name, c)
+		handled, err := b.dispatch(name, c, s)
 		if handled {
 			return true, err
 		}
@@ -159,11 +171,15 @@ func (t *MethodTable) Dispatch(name string, c *ServerCall) (bool, error) {
 // Resolve returns the handler that Dispatch would run, without running it.
 // It is exported for the dispatch-strategy benchmarks.
 func (t *MethodTable) Resolve(name string) (Handler, bool) {
-	if h, ok := t.lookup(name); ok {
+	return t.resolve(name, t.strategy)
+}
+
+func (t *MethodTable) resolve(name string, s Strategy) (Handler, bool) {
+	if h, ok := t.lookup(name, s); ok {
 		return h, true
 	}
 	for _, b := range t.bases {
-		if h, ok := b.Resolve(name); ok {
+		if h, ok := b.resolve(name, s); ok {
 			return h, true
 		}
 	}

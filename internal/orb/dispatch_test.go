@@ -167,12 +167,32 @@ func TestDuplicateRegisterPanics(t *testing.T) {
 	NewMethodTable("t").Register("m", noop).Register("m", noop)
 }
 
-func TestSetStrategyPropagates(t *testing.T) {
+// TestSetStrategyLeavesBasesAlone: base tables are shared between derived
+// interfaces, so SetStrategy on one derived table must not clobber the
+// strategy another dispatcher sees. The strategy travels with the dispatch
+// instead: inherited methods still resolve using the dispatching table's
+// strategy.
+func TestSetStrategyLeavesBasesAlone(t *testing.T) {
 	base := NewMethodTable("b").Register("x", noop)
 	top := NewMethodTable("t").Inherit(base)
+	other := NewMethodTable("o").Inherit(base).SetStrategy(StrategyBinary)
+
 	top.SetStrategy(StrategyHash)
-	if base.strategy != StrategyHash {
-		t.Error("SetStrategy did not propagate to bases")
+	if got := base.Strategy(); got != StrategyLinear {
+		t.Errorf("SetStrategy on derived table mutated shared base: %s", got)
+	}
+	if got := other.Strategy(); got != StrategyBinary {
+		t.Errorf("sibling table strategy clobbered: %s", got)
+	}
+	// Inherited lookups still work under every root strategy.
+	for _, s := range []Strategy{StrategyLinear, StrategyBinary, StrategyHash} {
+		top.SetStrategy(s)
+		if _, ok := top.Resolve("x"); !ok {
+			t.Errorf("strategy %s: inherited method x not resolved", s)
+		}
+		if handled, err := top.Dispatch("x", nil); !handled || err != nil {
+			t.Errorf("strategy %s: Dispatch(x) = %v, %v", s, handled, err)
+		}
 	}
 }
 

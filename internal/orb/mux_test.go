@@ -1,0 +1,321 @@
+package orb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// --- multiplexed invocation path ---------------------------------------------
+
+func muxConfigs() map[string]func() Options {
+	return map[string]func() Options{
+		"tcp-text": func() Options {
+			return Options{Protocol: wire.Text, Multiplex: true, MaxConcurrentPerConn: 8}
+		},
+		"tcp-cdr": func() Options {
+			return Options{Protocol: wire.CDR, Multiplex: true, MaxConcurrentPerConn: 8}
+		},
+	}
+}
+
+func TestMuxRemoteCallRoundTrip(t *testing.T) {
+	for name, mk := range muxConfigs() {
+		t.Run(name, func(t *testing.T) {
+			client, ref, _ := newServerClient(t, mk)
+			obj, err := client.Resolve(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			echo := obj.(Echo)
+
+			if got, err := echo.Echo("over shared conn"); err != nil || got != "over shared conn" {
+				t.Errorf("Echo = %q, %v", got, err)
+			}
+			if got, err := echo.Add(40, 2); err != nil || got != 42 {
+				t.Errorf("Add = %d, %v", got, err)
+			}
+			if err := echo.Poke(); err != nil {
+				t.Errorf("Poke (oneway): %v", err)
+			}
+			if err := echo.Fail("boom"); err == nil {
+				t.Error("Fail did not surface the user exception")
+			}
+
+			st := client.Stats()
+			if st.MuxCalls < 4 {
+				t.Errorf("MuxCalls = %d, want >= 4", st.MuxCalls)
+			}
+			if d := client.PoolStats().Dials; d != 0 {
+				t.Errorf("exclusive pool dialed %d times on the mux path", d)
+			}
+			if ms := client.MuxStats(); ms.Dials != 1 || ms.Active != 1 {
+				t.Errorf("MuxStats = %+v, want exactly one shared connection", ms)
+			}
+		})
+	}
+}
+
+// TestMuxConcurrentCallsOneConnection: 8 callers x 100 calls ride a single
+// shared connection end to end (client demux + server worker pool), with the
+// exclusive pool never touched.
+func TestMuxConcurrentCallsOneConnection(t *testing.T) {
+	mk := func() Options {
+		return Options{Protocol: wire.CDR, Multiplex: true, MaxConcurrentPerConn: 16}
+	}
+	client, ref, _ := newServerClient(t, mk)
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := obj.(Echo)
+
+	const callers, perCaller = 8, 100
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		go func(g int) {
+			for i := 0; i < perCaller; i++ {
+				a, b := int32(g), int32(i)
+				got, err := echo.Add(a, b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != a+b {
+					errs <- &FailError{Why: "wrong sum"}
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < callers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ms := client.MuxStats(); ms.Dials != 1 {
+		t.Errorf("MuxStats.Dials = %d, want 1 shared connection for all %d calls", ms.Dials, callers*perCaller)
+	}
+	if d := client.PoolStats().Dials; d != 0 {
+		t.Errorf("exclusive pool dialed %d times on the mux path", d)
+	}
+	if got := client.Stats().MuxCalls; got != callers*perCaller {
+		t.Errorf("MuxCalls = %d, want %d", got, callers*perCaller)
+	}
+}
+
+// --- mid-stream kill semantics ----------------------------------------------
+
+// blockTypeID is a one-method interface whose handler parks until released,
+// letting tests hold a known number of calls in flight.
+const blockTypeID = "IDL:test/Block:1.0"
+
+type blockImpl struct {
+	blocking int32 // 1: handlers park on release; 0: return immediately
+	entered  int32 // handlers that reached the park
+	release  chan struct{}
+}
+
+func newBlockTable(b *blockImpl) *MethodTable {
+	return NewMethodTable(blockTypeID).Register("block", func(*ServerCall) error {
+		if atomic.LoadInt32(&b.blocking) == 1 {
+			atomic.AddInt32(&b.entered, 1)
+			<-b.release
+		}
+		return nil
+	})
+}
+
+// captureTransport records every dialed connection so tests can kill the
+// shared client connection mid-flight.
+type captureTransport struct {
+	transport.Transport
+	mu    sync.Mutex
+	conns []transport.Conn
+}
+
+func (t *captureTransport) Dial(addr string) (transport.Conn, error) {
+	c, err := t.Transport.Dial(addr)
+	if err == nil {
+		t.mu.Lock()
+		t.conns = append(t.conns, c)
+		t.mu.Unlock()
+	}
+	return c, err
+}
+
+func (t *captureTransport) killAll() {
+	t.mu.Lock()
+	conns := t.conns
+	t.conns = nil
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// TestMuxConnKillFailsInFlight holds 8 calls in flight on one shared
+// connection (which also proves the server dispatches them concurrently:
+// with serial dispatch only one would reach the servant), kills the
+// connection, and checks the failure semantics the design demands:
+//
+//   - every in-flight call fails;
+//   - the failure is classified ambiguous, so plain calls are NOT retried
+//     even with a retry policy enabled, while idempotent calls are retried
+//     and succeed over a redialed connection;
+//   - the next call after the kill transparently redials.
+func TestMuxConnKillFailsInFlight(t *testing.T) {
+	for _, idem := range []bool{false, true} {
+		name := "ambiguous-not-retried"
+		if idem {
+			name = "idempotent-retried"
+		}
+		t.Run(name, func(t *testing.T) {
+			inner := transport.NewInproc(wire.CDR)
+			impl := &blockImpl{blocking: 1, release: make(chan struct{})}
+			server := New(Options{
+				Protocol: wire.CDR, Transport: inner, ListenAddr: ":0",
+				MaxConcurrentPerConn: 16,
+			})
+			if err := server.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer server.Shutdown()
+			ref, err := server.Export(impl, newBlockTable(impl))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ct := &captureTransport{Transport: inner}
+			client := New(Options{
+				Protocol: wire.CDR, Transport: ct,
+				Multiplex: true,
+				Retry:     RetryPolicy{MaxAttempts: 3},
+			})
+			defer client.Shutdown()
+
+			const n = 8
+			errs := make(chan error, n)
+			for i := 0; i < n; i++ {
+				go func() {
+					c, err := client.NewCall(ref, "block")
+					if err != nil {
+						errs <- err
+						return
+					}
+					c.SetIdempotent(idem)
+					errs <- c.Invoke()
+				}()
+			}
+			// Every call provably on the wire and mid-dispatch: all n
+			// handlers are parked inside the servant concurrently.
+			deadline := time.Now().Add(5 * time.Second)
+			for atomic.LoadInt32(&impl.entered) < n && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if got := atomic.LoadInt32(&impl.entered); got != n {
+				t.Fatalf("only %d of %d calls reached the servant concurrently", got, n)
+			}
+			if idem {
+				// Retried calls must complete instead of parking again.
+				atomic.StoreInt32(&impl.blocking, 0)
+			}
+
+			ct.killAll() // mid-stream kill of the shared connection
+
+			var failed, succeeded int
+			for i := 0; i < n; i++ {
+				if err := <-errs; err != nil {
+					failed++
+				} else {
+					succeeded++
+				}
+			}
+			atomic.StoreInt32(&impl.blocking, 0)
+			close(impl.release) // free parked handlers so Shutdown drains
+
+			if idem {
+				if succeeded != n {
+					t.Errorf("%d of %d idempotent calls failed despite retries", failed, n)
+				}
+				if r := client.Stats().Retries; r < n {
+					t.Errorf("Retries = %d, want >= %d (one per killed in-flight call)", r, n)
+				}
+			} else {
+				if failed != n {
+					t.Errorf("%d of %d in-flight calls survived the connection kill", succeeded, n)
+				}
+				if r := client.Stats().Retries; r != 0 {
+					t.Errorf("ambiguous failures were retried %d times; non-idempotent calls must not be", r)
+				}
+			}
+
+			// The next call transparently redials a fresh shared connection.
+			c, err := client.NewCall(ref, "block")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Invoke(); err != nil {
+				t.Fatalf("call after kill: %v", err)
+			}
+			if st := client.MuxStats(); st.Redials == 0 {
+				t.Errorf("no redial recorded after kill: %+v", st)
+			}
+		})
+	}
+}
+
+// TestMuxCallTimeoutSparesConnection: CallTimeout on the mux path is a
+// per-call timer, not a connection deadline — a timed-out call fails alone
+// and later calls reuse the same shared connection.
+func TestMuxCallTimeoutSparesConnection(t *testing.T) {
+	inner := transport.NewInproc(wire.CDR)
+	impl := &blockImpl{blocking: 1, release: make(chan struct{})}
+	server := New(Options{
+		Protocol: wire.CDR, Transport: inner, ListenAddr: ":0",
+		MaxConcurrentPerConn: 4,
+	})
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ref, err := server.Export(impl, newBlockTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := New(Options{
+		Protocol: wire.CDR, Transport: inner,
+		Multiplex:   true,
+		CallTimeout: 30 * time.Millisecond,
+	})
+	defer client.Shutdown()
+
+	c, err := client.NewCall(ref, "block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(); err == nil {
+		t.Fatal("blocked call did not time out")
+	}
+	atomic.StoreInt32(&impl.blocking, 0)
+	close(impl.release)
+
+	// The shared connection survived the timeout: the next call succeeds
+	// without a redial.
+	c2, err := client.NewCall(ref, "block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Invoke(); err != nil {
+		t.Fatalf("call after per-call timeout: %v", err)
+	}
+	if st := client.MuxStats(); st.Dials != 1 || st.Redials != 0 {
+		t.Errorf("MuxStats = %+v, want the original connection still in use", st)
+	}
+}

@@ -55,6 +55,29 @@ type Options struct {
 	// ConnHealthCheck, when set, probes cached connections at checkout;
 	// failing connections are discarded instead of handed to callers.
 	ConnHealthCheck func(transport.Conn) error
+
+	// Multiplex enables the shared-connection invocation path: instead of
+	// checking out an exclusive pooled connection per in-flight call
+	// (§3.1's literal model), concurrent calls to one endpoint interleave
+	// request/reply frames over a small fixed set of shared connections,
+	// demultiplexed by RequestID. Per-call deadlines (CallTimeout) are
+	// enforced by timers rather than connection deadlines, and the retry
+	// and breaker policies compose unchanged: a dying shared connection
+	// fails its in-flight calls ambiguously and the next call redials.
+	// The zero value keeps the exclusive checkout path byte-for-byte.
+	Multiplex bool
+	// MuxConnsPerEndpoint is the number of shared connections per endpoint
+	// when Multiplex is on; <= 0 means one, which suffices until the
+	// single writer or demux reader saturates.
+	MuxConnsPerEndpoint int
+	// MaxConcurrentPerConn bounds concurrent server-side dispatches per
+	// connection. The zero value preserves the serial behavior (one
+	// request at a time per connection); pipelined clients need a value
+	// > 1 for later requests to overtake a slow call ahead of them.
+	// Interleaved replies are safe on any client: the exclusive path has
+	// at most one request outstanding per connection, and the mux path
+	// pairs replies by RequestID.
+	MaxConcurrentPerConn int
 }
 
 // StubFactory builds a typed stub for a reference; generated bindings
@@ -78,6 +101,7 @@ type ORB struct {
 	proto wire.Protocol
 	trans transport.Transport
 	pool  *transport.Pool
+	mux   *transport.MuxPool // non-nil iff Options.Multiplex
 
 	mu        sync.Mutex
 	listener  transport.Listener
@@ -113,6 +137,9 @@ type Stats struct {
 	SkeletonsCreated uint64
 	// Retries counts re-attempted invocations under the RetryPolicy.
 	Retries uint64
+	// MuxCalls counts invocations (two-way and oneway) sent over the
+	// multiplexed shared-connection path.
+	MuxCalls uint64
 }
 
 // New creates an ORB with the given options. Call Start to begin serving;
@@ -148,6 +175,16 @@ func New(opts Options) *ORB {
 		bs := transport.NewBreakerSet(opts.Breaker)
 		bs.OnStateChange = opts.OnBreakerChange
 		o.pool.Breaker = bs
+	}
+	if opts.Multiplex {
+		// The mux pool shares the exclusive pool's breaker set, so an
+		// endpoint's failures trip one circuit no matter which path fed
+		// them, and PoolStats.Breakers stays the single source of truth.
+		o.mux = &transport.MuxPool{
+			Dial:    opts.Transport.Dial,
+			Width:   opts.MuxConnsPerEndpoint,
+			Breaker: o.pool.Breaker,
+		}
 	}
 	o.retry = newRetryState(opts.Retry)
 	return o
@@ -218,6 +255,9 @@ func (o *ORB) Shutdown() error {
 		c.Close()
 	}
 	o.pool.Close()
+	if o.mux != nil {
+		o.mux.Close()
+	}
 	o.wg.Wait()
 	return nil
 }
@@ -233,11 +273,21 @@ func (o *ORB) Stats() Stats {
 		StubsCreated:     atomic.LoadUint64(&o.stats.StubsCreated),
 		SkeletonsCreated: atomic.LoadUint64(&o.stats.SkeletonsCreated),
 		Retries:          atomic.LoadUint64(&o.stats.Retries),
+		MuxCalls:         atomic.LoadUint64(&o.stats.MuxCalls),
 	}
 }
 
 // PoolStats returns the connection cache counters.
 func (o *ORB) PoolStats() transport.PoolStats { return o.pool.Stats() }
+
+// MuxStats returns the shared-connection counters; the zero value when
+// Options.Multiplex is off.
+func (o *ORB) MuxStats() transport.MuxPoolStats {
+	if o.mux == nil {
+		return transport.MuxPoolStats{}
+	}
+	return o.mux.Stats()
+}
 
 // --- object adapter ----------------------------------------------------------
 
@@ -323,12 +373,13 @@ func (o *ORB) Resolve(ref ObjectRef) (any, error) {
 		return nil, nil
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	if o.closed {
+		o.mu.Unlock()
 		return nil, ErrShutdown
 	}
 	// Collocated object: hand back the implementation itself.
 	if o.listener != nil && ref.Addr == o.listener.Addr() && ref.Proto == o.trans.Name() {
+		defer o.mu.Unlock()
 		if s, ok := o.servants[ref.ObjectID]; ok {
 			return s.impl, nil
 		}
@@ -336,17 +387,29 @@ func (o *ORB) Resolve(ref ObjectRef) (any, error) {
 	}
 	if !o.opts.DisableStubCache {
 		if stub, ok := o.stubs[ref.String()]; ok {
+			o.mu.Unlock()
 			atomic.AddUint64(&o.stats.StubCacheHits, 1)
 			return stub, nil
 		}
 	}
 	f, ok := o.factories[ref.TypeID]
+	o.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("orb: no stub factory registered for %q", ref.TypeID)
 	}
+	// Run the factory outside o.mu: factories are user/generated code that
+	// may legitimately re-enter the ORB (resolving a nested reference,
+	// exporting a callback object) and would self-deadlock under the lock.
 	stub := f(o, ref)
 	atomic.AddUint64(&o.stats.StubsCreated, 1)
 	if !o.opts.DisableStubCache {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		// Re-check: a concurrent Resolve may have inserted first; keep the
+		// cached stub so every caller shares one instance (§3.1).
+		if cached, ok := o.stubs[ref.String()]; ok {
+			return cached, nil
+		}
 		o.stubs[ref.String()] = stub
 	}
 	return stub, nil
@@ -384,8 +447,12 @@ func (o *ORB) acceptLoop(l transport.Listener) {
 	}
 }
 
-// serveConn reads requests off one connection, dispatches them and writes
-// replies, until the peer closes.
+// serveConn reads requests off one connection and dispatches them until the
+// peer closes. With Options.MaxConcurrentPerConn at its zero value each
+// request is served inline — strictly serially, the seed behavior. With a
+// positive bound, requests dispatch on a bounded worker pool so a pipelined
+// client's later requests are not stuck behind a slow call; interleaved
+// replies are serialized by the connection's internal send lock.
 func (o *ORB) serveConn(c transport.Conn) {
 	defer o.wg.Done()
 	defer c.Close()
@@ -401,6 +468,16 @@ func (o *ORB) serveConn(c transport.Conn) {
 		delete(o.conns, c)
 		o.mu.Unlock()
 	}()
+	var (
+		sem    chan struct{}
+		connWG sync.WaitGroup
+	)
+	// Let in-flight workers finish sending their replies before the
+	// deferred c.Close above runs (defers are LIFO).
+	defer connWG.Wait()
+	if limit := o.opts.MaxConcurrentPerConn; limit > 0 {
+		sem = make(chan struct{}, limit)
+	}
 	for {
 		m, err := c.Recv()
 		if err != nil {
@@ -420,8 +497,19 @@ func (o *ORB) serveConn(c transport.Conn) {
 		}
 		o.reqWG.Add(1)
 		o.mu.Unlock()
-		o.serveRequest(c, m)
-		o.reqWG.Done()
+		if sem == nil {
+			o.serveRequest(c, m)
+			o.reqWG.Done()
+			continue
+		}
+		sem <- struct{}{} // bound reached: block reading until a worker frees
+		connWG.Add(1)
+		go func(m *wire.Message) {
+			defer o.reqWG.Done()
+			defer connWG.Done()
+			defer func() { <-sem }()
+			o.serveRequest(c, m)
+		}(m)
 	}
 }
 

@@ -1,0 +1,75 @@
+package orb
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestResolveReentrantFactory: stub factories are user/generated code and may
+// legitimately re-enter the ORB — resolving a nested reference, exporting a
+// callback — so Resolve must not hold the ORB lock while running them.
+// Before stub construction moved outside the lock this deadlocked.
+func TestResolveReentrantFactory(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpCDR)
+
+	const nestedType = "IDL:test/Nested:1.0"
+	client.RegisterStubFactory(nestedType, func(o *ORB, r ObjectRef) any {
+		return &echoStub{o: o, ref: r}
+	})
+	client.RegisterStubFactory(echoTypeID, func(o *ORB, r ObjectRef) any {
+		nested := r
+		nested.TypeID = nestedType
+		nested.ObjectID = "nested-999"
+		if _, err := o.Resolve(nested); err != nil { // re-entrant Resolve
+			t.Errorf("nested Resolve: %v", err)
+		}
+		return &echoStub{o: o, ref: r}
+	})
+
+	done := make(chan any, 1)
+	go func() {
+		obj, err := client.Resolve(ref)
+		if err != nil {
+			t.Errorf("Resolve: %v", err)
+		}
+		done <- obj
+	}()
+	select {
+	case obj := <-done:
+		if _, ok := obj.(Echo); !ok {
+			t.Fatalf("Resolve returned %T, want an Echo stub", obj)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Resolve deadlocked on a re-entrant stub factory")
+	}
+}
+
+// TestResolveConcurrentSharesOneStub: when concurrent Resolves race on a
+// cache miss, every caller must end up with the same cached stub instance
+// (§3.1's shared stub cache), however the insert race resolves.
+func TestResolveConcurrentSharesOneStub(t *testing.T) {
+	client, ref, _ := newServerClient(t, tcpCDR)
+
+	const n = 16
+	results := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			obj, err := client.Resolve(ref)
+			if err != nil {
+				t.Errorf("Resolve: %v", err)
+				return
+			}
+			results[i] = obj
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent Resolve handed out distinct stub instances")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, so benchmark runs can be committed and diffed as
+// data (BENCH_results.json) instead of pasted prose.
+//
+// Usage:
+//
+//	go test -bench . -benchmem . | go run ./internal/tools/benchjson
+//
+// Lines that are not benchmark results (package headers, PASS/ok, logs) are
+// ignored. When the same benchmark appears more than once (-count=N), the
+// last result wins — matching how a human reads the tail of a bench log.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkFig4_RemoteCall/cdr-8   166731   6925 ns/op   1552 B/op   30 allocs/op
+//
+// The -benchmem columns are optional; fractional ns/op values occur for
+// sub-nanosecond benchmarks.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+type result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	results := make(map[string]result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := result{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, _ := strconv.ParseInt(m[4], 10, 64)
+			r.BytesPerOp = &b
+		}
+		if m[5] != "" {
+			a, _ := strconv.ParseInt(m[5], 10, 64)
+			r.AllocsPerOp = &a
+		}
+		results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	// Deterministic output: sorted names, stable key order via struct tags.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintln(out, "{")
+	for i, n := range names {
+		v, _ := json.Marshal(results[n])
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(out, "  %q: %s%s\n", n, v, comma)
+	}
+	fmt.Fprintln(out, "}")
+}

@@ -1,0 +1,385 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// This file is the multiplexed counterpart to the exclusive-checkout pool:
+// instead of binding one cached connection to each in-flight call (§3.1's
+// literal model), any number of concurrent callers interleave their
+// request/reply frames over one shared connection per endpoint, the way
+// GIOP-style ORBs pipeline invocations. The wire Message already carries the
+// RequestID needed to pair replies with callers; MuxConn exploits it with a
+// single serialized writer and one demultiplexing reader goroutine.
+
+// ErrMuxTimeout is returned by PendingReply.Wait when the per-call deadline
+// fires before the reply arrives. The request stays abandoned — a late reply
+// is dropped by the demux reader — but the shared connection stays up, which
+// is exactly what SetDeadline (connection-global) could not provide.
+var ErrMuxTimeout = errors.New("transport: timed out awaiting multiplexed reply")
+
+// muxResult is what a waiting caller receives: a reply or the connection's
+// terminal error.
+type muxResult struct {
+	reply *wire.Message
+	err   error
+}
+
+// resultChPool recycles the per-call completion channels. A channel may be
+// recycled only after its owner received a value cleanly: routing and
+// failure each deliver at most one send (the pending-map delete is atomic
+// with the route), so a received-from channel is provably empty. The timeout
+// and send-error paths never recycle — a late route may still be in flight
+// toward the channel there.
+var resultChPool = sync.Pool{
+	New: func() any { return make(chan muxResult, 1) },
+}
+
+// MuxConn shares one Conn among any number of concurrent callers. Sends are
+// serialized by a writer mutex; a dedicated reader goroutine receives every
+// inbound message and routes replies to the in-flight call registered under
+// the matching RequestID. When the connection dies, every in-flight call
+// fails with the terminal error — the caller cannot know whether the peer
+// processed its request, so the failure is inherently ambiguous.
+type MuxConn struct {
+	conn Conn
+
+	sendMu sync.Mutex // the single writer: whole frames, never interleaved
+
+	mu      sync.Mutex
+	pending map[uint32]chan muxResult // RequestID -> waiting caller
+	err     error                     // terminal error, set once by the reader
+	late    int                       // replies that arrived after their caller gave up
+
+	done chan struct{} // closed when the demux reader exits
+}
+
+// NewMuxConn wraps c and starts its demux reader. The MuxConn owns c: do
+// not Send or Recv on it directly afterwards.
+func NewMuxConn(c Conn) *MuxConn {
+	m := &MuxConn{
+		conn:    c,
+		pending: make(map[uint32]chan muxResult),
+		done:    make(chan struct{}),
+	}
+	go m.demux()
+	return m
+}
+
+// demux is the reader goroutine: it routes each reply to the caller
+// registered under its RequestID and fails every in-flight call when the
+// connection dies. Replies whose caller already gave up (per-call deadline)
+// are counted and dropped.
+func (m *MuxConn) demux() {
+	for {
+		r, err := m.conn.Recv()
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		if r.Type != wire.MsgReply {
+			continue // requests/noise on a client channel: ignore
+		}
+		m.mu.Lock()
+		ch, ok := m.pending[r.RequestID]
+		if ok {
+			delete(m.pending, r.RequestID)
+		} else {
+			m.late++
+		}
+		m.mu.Unlock()
+		if ok {
+			ch <- muxResult{reply: r} // buffered: never blocks the reader
+		}
+	}
+}
+
+// fail marks the connection dead and delivers err to every in-flight call.
+func (m *MuxConn) fail(err error) {
+	m.conn.Close()
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	pend := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, ch := range pend {
+		ch <- muxResult{err: fmt.Errorf("transport: shared connection failed: %w", err)}
+	}
+	close(m.done)
+}
+
+// send is the single serialized writer. A failed write may have left a
+// partial frame on the stream, poisoning the framing for every other call,
+// so the connection is killed — the demux reader then fails the rest.
+func (m *MuxConn) send(req *wire.Message) error {
+	m.sendMu.Lock()
+	err := m.conn.Send(req)
+	m.sendMu.Unlock()
+	if err != nil {
+		m.conn.Close()
+	}
+	return err
+}
+
+// Invoke registers req's RequestID and sends the request. The returned
+// PendingReply completes when the matching reply arrives or the connection
+// dies. An Invoke error means the request did not go out whole (no reply
+// will ever come, and the peer cannot have processed it).
+func (m *MuxConn) Invoke(req *wire.Message) (*PendingReply, error) {
+	ch := resultChPool.Get().(chan muxResult)
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	if _, dup := m.pending[req.RequestID]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("transport: duplicate request id %d on shared connection", req.RequestID)
+	}
+	m.pending[req.RequestID] = ch
+	m.mu.Unlock()
+
+	if err := m.send(req); err != nil {
+		m.forget(req.RequestID)
+		return nil, err
+	}
+	return &PendingReply{m: m, id: req.RequestID, ch: ch}, nil
+}
+
+// SendOneway sends a request expecting no reply.
+func (m *MuxConn) SendOneway(req *wire.Message) error {
+	m.mu.Lock()
+	err := m.err
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return m.send(req)
+}
+
+// forget deregisters an in-flight call (send failure or per-call timeout).
+func (m *MuxConn) forget(id uint32) {
+	m.mu.Lock()
+	delete(m.pending, id) // nil map after fail: delete is a no-op
+	m.mu.Unlock()
+}
+
+// Dead reports whether the demux reader has exited (the connection is
+// unusable and a fresh one must be dialed).
+func (m *MuxConn) Dead() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the terminal connection error, or nil while the connection is
+// live.
+func (m *MuxConn) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// InFlight reports the number of calls awaiting replies.
+func (m *MuxConn) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Close tears the shared connection down; in-flight calls fail.
+func (m *MuxConn) Close() error { return m.conn.Close() }
+
+// RemoteAddr describes the peer for diagnostics.
+func (m *MuxConn) RemoteAddr() string { return m.conn.RemoteAddr() }
+
+// PendingReply is one in-flight multiplexed call's completion handle.
+type PendingReply struct {
+	m  *MuxConn
+	id uint32
+	ch chan muxResult
+}
+
+// Wait blocks until the reply arrives, the shared connection dies, or
+// timeout fires (a nil channel never fires — no bound). On timeout the call
+// is deregistered so the demux reader drops the late reply; the shared
+// connection itself stays up for the other callers.
+func (p *PendingReply) Wait(timeout <-chan time.Time) (*wire.Message, error) {
+	select {
+	case r := <-p.ch:
+		resultChPool.Put(p.ch)
+		return r.reply, r.err
+	case <-timeout:
+		p.m.forget(p.id)
+		// The reply may have been routed concurrently with the timeout;
+		// prefer it over reporting a spurious deadline error.
+		select {
+		case r := <-p.ch:
+			resultChPool.Put(p.ch)
+			return r.reply, r.err
+		default:
+		}
+		return nil, ErrMuxTimeout
+	}
+}
+
+// MuxPool hands out the shared multiplexed connections, a small fixed set
+// per endpoint (Width, the paper's connection cache shrunk to its logical
+// minimum). Callers never check connections out: Get returns a live shared
+// MuxConn, dialing lazily and replacing dead connections on the next call.
+// The same per-endpoint circuit breaker as the exclusive pool gates dials
+// and is fed per-call outcomes via Report.
+type MuxPool struct {
+	// Dial opens a new connection to an endpoint; typically a Transport's
+	// Dial.
+	Dial func(addr string) (Conn, error)
+	// Width is the number of shared connections per endpoint; <= 0 means
+	// one, which suffices until the single writer or reader saturates.
+	Width int
+	// Breaker, when set, gates Get per endpoint exactly as in Pool.
+	Breaker *BreakerSet
+
+	mu     sync.Mutex
+	conns  map[string][]*MuxConn // fixed Width slots per endpoint
+	rr     uint32                // round-robin cursor across Get calls
+	closed bool
+
+	dials, redials, late int
+}
+
+// MuxPoolStats reports shared-connection activity.
+type MuxPoolStats struct {
+	// Dials counts every connection opened, Redials the subset that
+	// replaced a dead shared connection.
+	Dials, Redials int
+	// Active counts currently live shared connections.
+	Active int
+	// InFlight counts calls currently awaiting replies across all shared
+	// connections.
+	InFlight int
+	// Late counts replies that arrived after their caller's deadline.
+	Late int
+}
+
+// Get returns a live shared connection to addr, dialing on first use and
+// redialing slots whose connection has died. Unlike Pool.Checkout, the
+// returned MuxConn is shared — the caller must not close it.
+func (p *MuxPool) Get(addr string) (*MuxConn, error) {
+	if p.Dial == nil {
+		return nil, fmt.Errorf("transport: mux pool has no dialer")
+	}
+	if err := p.Breaker.Allow(addr); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	width := p.Width
+	if width <= 0 {
+		width = 1
+	}
+	if p.conns == nil {
+		p.conns = make(map[string][]*MuxConn)
+	}
+	slots := p.conns[addr]
+	if len(slots) != width {
+		slots = make([]*MuxConn, width)
+		p.conns[addr] = slots
+	}
+	p.rr++
+	slot := int(p.rr) % width
+	// A connection is replaced as soon as its terminal error is set — which
+	// happens before any caller sees its call fail — so a failed caller's
+	// immediate retry never gets handed the same dying connection back.
+	if mc := slots[slot]; mc != nil && mc.Err() == nil {
+		return mc, nil
+	}
+	// First use, or the slot's connection died: dial a replacement under
+	// the pool lock so concurrent callers of a dead slot produce one
+	// redial, not a stampede.
+	c, err := p.Dial(addr)
+	if err != nil {
+		p.Breaker.Failure(addr)
+		return nil, err
+	}
+	if old := slots[slot]; old != nil {
+		p.redials++
+		p.late += old.lateCount()
+	}
+	p.dials++
+	mc := NewMuxConn(c)
+	slots[slot] = mc
+	return mc, nil
+}
+
+// Report feeds one call outcome to the endpoint's circuit breaker,
+// mirroring what Pool.Put does for exclusive checkouts.
+func (p *MuxPool) Report(addr string, healthy bool) {
+	if healthy {
+		p.Breaker.Success(addr)
+	} else {
+		p.Breaker.Failure(addr)
+	}
+}
+
+// lateCount reads a connection's dropped-late-reply counter.
+func (m *MuxConn) lateCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.late
+}
+
+// Stats returns shared-connection counters.
+func (p *MuxPool) Stats() MuxPoolStats {
+	p.mu.Lock()
+	st := MuxPoolStats{Dials: p.dials, Redials: p.redials, Late: p.late}
+	var live []*MuxConn
+	for _, slots := range p.conns {
+		for _, mc := range slots {
+			if mc != nil && !mc.Dead() {
+				live = append(live, mc)
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, mc := range live {
+		st.Active++
+		st.InFlight += mc.InFlight()
+		st.Late += mc.lateCount()
+	}
+	return st
+}
+
+// Close tears down every shared connection (failing their in-flight calls)
+// and marks the pool closed.
+func (p *MuxPool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	var all []*MuxConn
+	for _, slots := range p.conns {
+		for _, mc := range slots {
+			if mc != nil {
+				all = append(all, mc)
+			}
+		}
+	}
+	p.conns = nil
+	p.mu.Unlock()
+	for _, mc := range all {
+		mc.Close()
+	}
+	return nil
+}

@@ -1,0 +1,450 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// muxEchoServer accepts connections and answers every request from a
+// per-request goroutine, so replies can overtake each other on the shared
+// connection — exactly the reordering the demux reader must tolerate.
+func muxEchoServer(t *testing.T, tr Transport) (addr string, stop func()) {
+	t.Helper()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c Conn) {
+				defer wg.Done()
+				defer c.Close()
+				var reqWG sync.WaitGroup
+				defer reqWG.Wait()
+				for {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if m.Type != wire.MsgRequest {
+						continue
+					}
+					reqWG.Add(1)
+					go func(m *wire.Message) {
+						defer reqWG.Done()
+						c.Send(&wire.Message{
+							Type:      wire.MsgReply,
+							RequestID: m.RequestID,
+							Status:    wire.StatusOK,
+							Body:      m.Body,
+						})
+					}(m)
+				}
+			}(c)
+		}
+	}()
+	return l.Addr(), func() { l.Close(); wg.Wait() }
+}
+
+func muxReq(id uint32) *wire.Message {
+	return &wire.Message{
+		Type:      wire.MsgRequest,
+		RequestID: id,
+		TargetRef: "@x#1#IDL:T:1.0",
+		Method:    "echo",
+		Body:      []byte(fmt.Sprintf("%d", id)),
+	}
+}
+
+// TestMuxConcurrentCalls drives 8 goroutines x 125 calls through ONE shared
+// connection and checks every caller gets its own reply back (run under
+// -race, this is the satellite's required interleaving test).
+func TestMuxConcurrentCalls(t *testing.T) {
+	for name, proto := range map[string]wire.Protocol{"text": wire.Text, "cdr": wire.CDR} {
+		t.Run(name, func(t *testing.T) {
+			tr := NewInproc(proto)
+			addr, stop := muxEchoServer(t, tr)
+			c, err := tr.Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NewMuxConn(c)
+
+			const callers, perCaller = 8, 125
+			var nextID uint32
+			errs := make(chan error, callers)
+			for g := 0; g < callers; g++ {
+				go func() {
+					for i := 0; i < perCaller; i++ {
+						id := atomic.AddUint32(&nextID, 1)
+						p, err := m.Invoke(muxReq(id))
+						if err != nil {
+							errs <- err
+							return
+						}
+						r, err := p.Wait(nil)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if r.RequestID != id || string(r.Body) != fmt.Sprintf("%d", id) {
+							errs <- fmt.Errorf("call %d got reply %d body %q", id, r.RequestID, r.Body)
+							return
+						}
+					}
+					errs <- nil
+				}()
+			}
+			for g := 0; g < callers; g++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := m.InFlight(); n != 0 {
+				t.Errorf("InFlight() = %d after all calls completed", n)
+			}
+			m.Close()
+			stop()
+		})
+	}
+}
+
+// TestMuxConnDeathFailsInFlight kills the shared connection while calls are
+// outstanding: every in-flight call must fail (the inherently ambiguous
+// outcome), and the MuxConn must report itself dead so the pool redials.
+func TestMuxConnDeathFailsInFlight(t *testing.T) {
+	tr := NewInproc(wire.CDR)
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 8
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+		c.Close() // all n requests received, none answered
+	}()
+
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMuxConn(c)
+	pends := make([]*PendingReply, n)
+	for i := range pends {
+		p, err := m.Invoke(muxReq(uint32(i + 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pends[i] = p
+	}
+	for i, p := range pends {
+		if _, err := p.Wait(nil); err == nil {
+			t.Errorf("call %d survived connection death", i+1)
+		}
+	}
+	if !m.Dead() {
+		t.Error("Dead() = false after connection death")
+	}
+	if _, err := m.Invoke(muxReq(99)); err == nil {
+		t.Error("Invoke on a dead shared connection succeeded")
+	}
+	if err := m.SendOneway(muxReq(100)); err == nil {
+		t.Error("SendOneway on a dead shared connection succeeded")
+	}
+}
+
+// TestMuxPerCallTimeoutKeepsConnAlive: a per-call deadline abandons only the
+// slow call — the shared connection stays up for everyone else, and the late
+// reply is dropped (counted) rather than misdelivered.
+func TestMuxPerCallTimeoutKeepsConnAlive(t *testing.T) {
+	tr := NewInproc(wire.CDR)
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	release := make(chan struct{})
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			reply := &wire.Message{Type: wire.MsgReply, RequestID: m.RequestID, Status: wire.StatusOK}
+			if m.Method == "slow" {
+				go func() {
+					<-release
+					c.Send(reply)
+				}()
+				continue
+			}
+			c.Send(reply)
+		}
+	}()
+
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMuxConn(c)
+	defer m.Close()
+
+	slow := muxReq(1)
+	slow.Method = "slow"
+	p, err := m.Invoke(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired := make(chan time.Time)
+	close(expired) // deadline already passed
+	if _, err := p.Wait(expired); !errors.Is(err, ErrMuxTimeout) {
+		t.Fatalf("Wait with expired deadline = %v, want ErrMuxTimeout", err)
+	}
+	if n := m.InFlight(); n != 0 {
+		t.Errorf("timed-out call still registered: InFlight() = %d", n)
+	}
+
+	close(release) // server now emits the late reply for request 1
+
+	// The connection must remain usable for other callers.
+	p2, err := m.Invoke(muxReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p2.Wait(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RequestID != 2 {
+		t.Errorf("reply routed to wrong caller: id %d", r.RequestID)
+	}
+	if m.Dead() {
+		t.Error("shared connection died after a per-call timeout")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.lateCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := m.lateCount(); n != 1 {
+		t.Errorf("late reply count = %d, want 1", n)
+	}
+}
+
+// TestMuxPoolRedial: a width-1 pool hands every caller the same shared
+// connection, and replaces it (counting the redial) after it dies.
+func TestMuxPoolRedial(t *testing.T) {
+	tr := NewInproc(wire.CDR)
+	addr, stop := muxEchoServer(t, tr)
+	defer stop()
+
+	var dials int32
+	p := &MuxPool{Dial: func(a string) (Conn, error) {
+		atomic.AddInt32(&dials, 1)
+		return tr.Dial(a)
+	}}
+	defer p.Close()
+
+	mc, err := p.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc2, err := p.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc2 != mc {
+		t.Error("width-1 pool handed out distinct connections")
+	}
+	pr, err := mc.Invoke(muxReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mc.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for !mc.Dead() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !mc.Dead() {
+		t.Fatal("closed connection never reported dead")
+	}
+
+	mc3, err := p.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc3 == mc {
+		t.Fatal("pool handed out the dead connection")
+	}
+	pr, err = mc3.Invoke(muxReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Wait(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.Stats()
+	if st.Dials != 2 || st.Redials != 1 || st.Active != 1 {
+		t.Errorf("stats = %+v, want Dials 2 Redials 1 Active 1", st)
+	}
+	if n := atomic.LoadInt32(&dials); n != 2 {
+		t.Errorf("dialer invoked %d times, want 2", n)
+	}
+}
+
+// TestMuxPoolBreaker: dial failures trip the shared breaker and Get fails
+// fast with ErrCircuitOpen, mirroring the exclusive pool's behavior.
+func TestMuxPoolBreaker(t *testing.T) {
+	dialErr := errors.New("endpoint down")
+	p := &MuxPool{
+		Dial:    func(string) (Conn, error) { return nil, dialErr },
+		Breaker: NewBreakerSet(BreakerPolicy{Threshold: 2, Cooldown: time.Hour}),
+	}
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := p.Get("dead"); !errors.Is(err, dialErr) {
+			t.Fatalf("Get #%d = %v, want dial error", i+1, err)
+		}
+	}
+	if _, err := p.Get("dead"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Get after threshold = %v, want ErrCircuitOpen", err)
+	}
+	if st := p.Breaker.State("dead"); st != BreakerOpen {
+		t.Errorf("breaker state = %s, want open", st)
+	}
+}
+
+// TestMuxPoolClosed: Get after Close returns the pool sentinel, and Close
+// fails any calls still in flight on the shared connections.
+func TestMuxPoolClosed(t *testing.T) {
+	tr := NewInproc(wire.CDR)
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.Recv() // swallow the request, never reply
+	}()
+
+	p := &MuxPool{Dial: tr.Dial}
+	mc, err := p.Get(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := mc.Invoke(muxReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := pr.Wait(nil); err == nil {
+		t.Error("in-flight call survived pool Close")
+	}
+	if _, err := p.Get(l.Addr()); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Get after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestMuxMidStreamFaultRecovery runs the mandated >=8 goroutines x >=100
+// calls workload against a fault-injecting transport that kills every
+// connection mid-stream (after 25 replies). Callers see their in-flight
+// calls fail, re-Get from the pool, and finish on redialed connections.
+func TestMuxMidStreamFaultRecovery(t *testing.T) {
+	inner := NewInproc(wire.CDR)
+	addr, stop := muxEchoServer(t, inner)
+	defer stop()
+	ft := NewFaultTransport(inner)
+	ft.Decide = func(info FaultInfo) FaultVerdict {
+		if info.Op == FaultRecv && info.PerConn == 25 {
+			return FaultDrop // kill the shared connection mid-stream
+		}
+		return FaultPass
+	}
+
+	p := &MuxPool{Dial: ft.Dial}
+	defer p.Close()
+
+	const callers, perCaller = 8, 100
+	var nextID uint32
+	var failures int32
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		go func() {
+			for i := 0; i < perCaller; i++ {
+				id := atomic.AddUint32(&nextID, 1)
+				for {
+					mc, err := p.Get(addr)
+					if err != nil {
+						errs <- err
+						return
+					}
+					pr, err := mc.Invoke(muxReq(id))
+					if err != nil {
+						atomic.AddInt32(&failures, 1)
+						continue // conn died under us: redial via Get
+					}
+					r, err := pr.Wait(nil)
+					if err != nil {
+						atomic.AddInt32(&failures, 1)
+						continue
+					}
+					if r.RequestID != id {
+						errs <- fmt.Errorf("call %d got reply %d", id, r.RequestID)
+						return
+					}
+					break
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < callers; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Redials == 0 {
+		t.Error("mid-stream kills produced no redials")
+	}
+	if atomic.LoadInt32(&failures) == 0 {
+		t.Error("mid-stream kills produced no failed calls")
+	}
+	t.Logf("stats after recovery: %+v (%d call failures)", st, failures)
+}

@@ -17,9 +17,13 @@ import (
 	"repro/internal/wire"
 )
 
-// Conn is one framed message channel. A Conn is not safe for concurrent
-// Send or concurrent Recv; the pool hands each checked-out Conn to a single
-// caller at a time, and the server side reads from its own goroutine.
+// Conn is one framed message channel. Implementations must serialize
+// concurrent Send calls internally (streamConn holds a send lock around each
+// whole frame) — the server interleaves replies from concurrent dispatches
+// on one connection, and MuxConn relies on whole-frame writes. Recv is
+// single-consumer: only one goroutine may read (the pool hands each
+// checked-out Conn to one caller at a time; the mux and server sides each
+// read from a single dedicated goroutine).
 type Conn interface {
 	// Send writes one message.
 	Send(m *wire.Message) error
@@ -63,10 +67,19 @@ type streamConn struct {
 	sendMu sync.Mutex
 }
 
+// readerPool recycles per-connection read buffers: a connection-churn
+// workload (cache ablation, pool eviction, mux redials) otherwise pays a
+// fresh 4 KiB bufio allocation per dial.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 4096) },
+}
+
 // NewStreamConn wraps a net.Conn (TCP socket, net.Pipe end, ...) into a
 // Conn framing messages with proto.
 func NewStreamConn(nc net.Conn, proto wire.Protocol) Conn {
-	return &streamConn{nc: nc, r: bufio.NewReader(nc), proto: proto}
+	r := readerPool.Get().(*bufio.Reader)
+	r.Reset(nc)
+	return &streamConn{nc: nc, r: r, proto: proto}
 }
 
 func (c *streamConn) Send(m *wire.Message) error {
@@ -76,14 +89,33 @@ func (c *streamConn) Send(m *wire.Message) error {
 }
 
 func (c *streamConn) Recv() (*wire.Message, error) {
+	if c.r == nil {
+		return nil, wire.ErrClosed
+	}
 	m, err := c.proto.ReadMessage(c.r)
 	if err != nil {
+		if errors.Is(err, wire.ErrClosed) {
+			// Clean shutdown: the single Recv consumer owns the buffer at
+			// this point, so it can go back to the pool for the next dial.
+			// Close never recycles — it may race a blocked Recv.
+			c.recycleReader()
+		}
 		return nil, err
 	}
 	if m.Type == wire.MsgClose {
+		c.recycleReader()
 		return nil, wire.ErrClosed
 	}
 	return m, nil
+}
+
+// recycleReader returns the read buffer to the pool; later Recv calls
+// report a closed connection.
+func (c *streamConn) recycleReader() {
+	r := c.r
+	c.r = nil
+	r.Reset(nil) // drop the net.Conn reference while pooled
+	readerPool.Put(r)
 }
 
 func (c *streamConn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }

@@ -33,8 +33,9 @@ import (
 // the body on an 8-byte boundary preserves the alignment the encoder
 // established.
 type CDRProtocol struct {
-	order byteOrder
-	name  string
+	order  byteOrder
+	name   string
+	little bool
 }
 
 // byteOrder combines the read and append byte-order interfaces; both
@@ -48,7 +49,7 @@ type byteOrder interface {
 // one.
 var (
 	CDR       Protocol = &CDRProtocol{order: binary.BigEndian, name: "cdr"}
-	CDRLittle Protocol = &CDRProtocol{order: binary.LittleEndian, name: "cdr-le"}
+	CDRLittle Protocol = &CDRProtocol{order: binary.LittleEndian, name: "cdr-le", little: true}
 )
 
 const (
@@ -63,9 +64,17 @@ const (
 // Name implements Protocol.
 func (p *CDRProtocol) Name() string { return p.name }
 
-// WriteMessage implements Protocol.
+// WriteMessage implements Protocol. The whole frame is assembled in one
+// pooled scratch buffer and written with a single Write call.
 func (p *CDRProtocol) WriteMessage(w io.Writer, m *Message) error {
-	meta := &cdrEncoder{order: p.order}
+	bp := getFrame()
+	b := append(*bp, cdrZeros[:cdrHeaderLen]...)
+
+	// Encode the meta strings directly into the frame after the header.
+	// cdrHeaderLen is a multiple of cdrBodyAlign, so encoder alignment
+	// (relative to buffer start) still matches decoder alignment (relative
+	// to payload start).
+	meta := cdrEncoder{buf: b, order: p.order}
 	switch m.Type {
 	case MsgRequest:
 		meta.PutString(m.TargetRef)
@@ -77,38 +86,40 @@ func (p *CDRProtocol) WriteMessage(w io.Writer, m *Message) error {
 	case MsgClose:
 		// no meta
 	default:
+		putFrame(bp)
 		return fmt.Errorf("wire: cannot encode message type %s", m.Type)
 	}
-	metaLen := len(meta.buf)
-	pad := 0
+	b = meta.buf
 	if len(m.Body) > 0 {
-		pad = (cdrBodyAlign - metaLen%cdrBodyAlign) % cdrBodyAlign
+		if rem := (len(b) - cdrHeaderLen) % cdrBodyAlign; rem != 0 {
+			b = append(b, cdrZeros[:cdrBodyAlign-rem]...)
+		}
 	}
-	payload := metaLen + pad + len(m.Body)
+	payload := len(b) - cdrHeaderLen + len(m.Body)
 	if payload > MaxBodyLen {
+		putFrame(bp)
 		return fmt.Errorf("wire: message payload %d exceeds %d bytes", payload, MaxBodyLen)
 	}
+	b = append(b, m.Body...)
 
-	hdr := make([]byte, cdrHeaderLen, cdrHeaderLen+payload)
-	copy(hdr, cdrMagic)
-	hdr[4] = cdrVersion
-	hdr[5] = byte(m.Type)
+	copy(b, cdrMagic)
+	b[4] = cdrVersion
+	b[5] = byte(m.Type)
 	flags := byte(0)
-	if p.order.Uint16([]byte{1, 0}) == 1 { // little-endian probe
+	if p.little {
 		flags |= flagLittle
 	}
 	if m.Oneway {
 		flags |= flagOneway
 	}
-	hdr[6] = flags
-	hdr[7] = byte(m.Status)
-	p.order.PutUint32(hdr[8:], m.RequestID)
-	p.order.PutUint32(hdr[12:], uint32(payload))
+	b[6] = flags
+	b[7] = byte(m.Status)
+	p.order.PutUint32(b[8:12], m.RequestID)
+	p.order.PutUint32(b[12:16], uint32(payload))
 
-	frame := append(hdr, meta.buf...)
-	frame = append(frame, make([]byte, pad)...)
-	frame = append(frame, m.Body...)
-	_, err := w.Write(frame)
+	*bp = b // recycle the grown buffer, not the original slice
+	_, err := w.Write(b)
+	putFrame(bp)
 	return err
 }
 
@@ -201,9 +212,12 @@ type cdrEncoder struct {
 	order byteOrder
 }
 
+// cdrZeros supplies header and padding bytes without per-call allocation.
+var cdrZeros [cdrHeaderLen]byte
+
 func (e *cdrEncoder) align(n int) {
 	if rem := len(e.buf) % n; rem != 0 {
-		e.buf = append(e.buf, make([]byte, n-rem)...)
+		e.buf = append(e.buf, cdrZeros[:n-rem]...)
 	}
 }
 

@@ -33,45 +33,48 @@ var Text Protocol = TextProtocol{}
 // Name implements Protocol.
 func (TextProtocol) Name() string { return "text" }
 
-// WriteMessage implements Protocol.
+// WriteMessage implements Protocol. The frame is assembled in a pooled
+// scratch buffer and written in one call.
 func (TextProtocol) WriteMessage(w io.Writer, m *Message) error {
-	var b strings.Builder
-	b.Grow(len(m.Body) + len(m.TargetRef) + len(m.Method) + 32)
+	bp := getFrame()
+	defer putFrame(bp)
+	b := *bp
 	switch m.Type {
 	case MsgRequest:
 		if m.Oneway {
-			b.WriteString("send ")
+			b = append(b, "send "...)
 		} else {
-			b.WriteString("call ")
+			b = append(b, "call "...)
 		}
-		b.WriteString(strconv.FormatUint(uint64(m.RequestID), 10))
-		b.WriteByte(' ')
-		b.WriteString(m.TargetRef)
-		b.WriteByte(' ')
-		b.WriteString(m.Method)
+		b = strconv.AppendUint(b, uint64(m.RequestID), 10)
+		b = append(b, ' ')
+		b = append(b, m.TargetRef...)
+		b = append(b, ' ')
+		b = append(b, m.Method...)
 	case MsgReply:
 		if m.Status == StatusOK {
-			b.WriteString("ok ")
-			b.WriteString(strconv.FormatUint(uint64(m.RequestID), 10))
+			b = append(b, "ok "...)
+			b = strconv.AppendUint(b, uint64(m.RequestID), 10)
 		} else {
-			b.WriteString("err ")
-			b.WriteString(strconv.FormatUint(uint64(m.RequestID), 10))
-			b.WriteByte(' ')
-			b.WriteString(strconv.Itoa(int(m.Status)))
-			b.WriteByte(' ')
-			b.WriteString(strconv.Quote(m.ErrMsg))
+			b = append(b, "err "...)
+			b = strconv.AppendUint(b, uint64(m.RequestID), 10)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(m.Status), 10)
+			b = append(b, ' ')
+			b = strconv.AppendQuote(b, m.ErrMsg)
 		}
 	case MsgClose:
-		b.WriteString("close")
+		b = append(b, "close"...)
 	default:
 		return fmt.Errorf("wire: cannot encode message type %s", m.Type)
 	}
 	if len(m.Body) > 0 {
-		b.WriteByte(' ')
-		b.Write(m.Body)
+		b = append(b, ' ')
+		b = append(b, m.Body...)
 	}
-	b.WriteByte('\n')
-	_, err := io.WriteString(w, b.String())
+	b = append(b, '\n')
+	*bp = b
+	_, err := w.Write(b)
 	return err
 }
 
@@ -166,43 +169,82 @@ func (TextProtocol) NewDecoder(body []byte) Decoder {
 	return &textDecoder{rest: string(body)}
 }
 
-// textEncoder renders body values as space-separated tokens.
+// textEncoder renders body values as space-separated tokens, appended
+// directly to a byte buffer (no intermediate token strings, and Bytes hands
+// the buffer out without copying).
 type textEncoder struct {
-	b strings.Builder
+	buf []byte
 }
 
-func (e *textEncoder) token(s string) {
-	if e.b.Len() > 0 {
-		e.b.WriteByte(' ')
+// sep writes the token separator before every token but the first.
+func (e *textEncoder) sep() {
+	if len(e.buf) > 0 {
+		e.buf = append(e.buf, ' ')
 	}
-	e.b.WriteString(s)
 }
 
 func (e *textEncoder) PutBool(v bool) {
+	e.sep()
 	if v {
-		e.token("T")
+		e.buf = append(e.buf, 'T')
 	} else {
-		e.token("F")
+		e.buf = append(e.buf, 'F')
 	}
 }
-func (e *textEncoder) PutOctet(v byte)       { e.token(strconv.FormatUint(uint64(v), 10)) }
-func (e *textEncoder) PutShort(v int16)      { e.token(strconv.FormatInt(int64(v), 10)) }
-func (e *textEncoder) PutUShort(v uint16)    { e.token(strconv.FormatUint(uint64(v), 10)) }
-func (e *textEncoder) PutLong(v int32)       { e.token(strconv.FormatInt(int64(v), 10)) }
-func (e *textEncoder) PutULong(v uint32)     { e.token(strconv.FormatUint(uint64(v), 10)) }
-func (e *textEncoder) PutLongLong(v int64)   { e.token(strconv.FormatInt(v, 10)) }
-func (e *textEncoder) PutULongLong(v uint64) { e.token(strconv.FormatUint(v, 10)) }
+func (e *textEncoder) PutOctet(v byte) {
+	e.sep()
+	e.buf = strconv.AppendUint(e.buf, uint64(v), 10)
+}
+func (e *textEncoder) PutShort(v int16) {
+	e.sep()
+	e.buf = strconv.AppendInt(e.buf, int64(v), 10)
+}
+func (e *textEncoder) PutUShort(v uint16) {
+	e.sep()
+	e.buf = strconv.AppendUint(e.buf, uint64(v), 10)
+}
+func (e *textEncoder) PutLong(v int32) {
+	e.sep()
+	e.buf = strconv.AppendInt(e.buf, int64(v), 10)
+}
+func (e *textEncoder) PutULong(v uint32) {
+	e.sep()
+	e.buf = strconv.AppendUint(e.buf, uint64(v), 10)
+}
+func (e *textEncoder) PutLongLong(v int64) {
+	e.sep()
+	e.buf = strconv.AppendInt(e.buf, v, 10)
+}
+func (e *textEncoder) PutULongLong(v uint64) {
+	e.sep()
+	e.buf = strconv.AppendUint(e.buf, v, 10)
+}
 func (e *textEncoder) PutFloat(v float32) {
-	e.token(strconv.FormatFloat(float64(v), 'g', -1, 32))
+	e.sep()
+	e.buf = strconv.AppendFloat(e.buf, float64(v), 'g', -1, 32)
 }
 func (e *textEncoder) PutDouble(v float64) {
-	e.token(strconv.FormatFloat(v, 'g', -1, 64))
+	e.sep()
+	e.buf = strconv.AppendFloat(e.buf, v, 'g', -1, 64)
 }
-func (e *textEncoder) PutChar(v rune)     { e.token(strconv.QuoteRune(v)) }
-func (e *textEncoder) PutString(v string) { e.token(strconv.Quote(v)) }
-func (e *textEncoder) Begin(tag string)   { e.token("{" + tag) }
-func (e *textEncoder) End()               { e.token("}") }
-func (e *textEncoder) Bytes() []byte      { return []byte(e.b.String()) }
+func (e *textEncoder) PutChar(v rune) {
+	e.sep()
+	e.buf = strconv.AppendQuoteRune(e.buf, v)
+}
+func (e *textEncoder) PutString(v string) {
+	e.sep()
+	e.buf = strconv.AppendQuote(e.buf, v)
+}
+func (e *textEncoder) Begin(tag string) {
+	e.sep()
+	e.buf = append(e.buf, '{')
+	e.buf = append(e.buf, tag...)
+}
+func (e *textEncoder) End() {
+	e.sep()
+	e.buf = append(e.buf, '}')
+}
+func (e *textEncoder) Bytes() []byte { return e.buf }
 
 // textDecoder tokenizes an encoded body.
 type textDecoder struct {

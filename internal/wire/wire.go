@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/heidi"
 )
@@ -144,6 +145,32 @@ const (
 // ErrClosed is returned when reading from a connection whose peer sent a
 // close message or shut the stream down cleanly.
 var ErrClosed = errors.New("wire: connection closed")
+
+// framePool recycles the scratch buffers WriteMessage implementations
+// assemble frames in. The buffer never escapes the write (it is handed to
+// w.Write and returned), so pooling is safe; it removes the dominant
+// per-message allocation on the invocation hot path.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// maxPooledFrame keeps one giant payload from pinning a huge buffer in the
+// pool forever.
+const maxPooledFrame = 64 << 10
+
+// getFrame returns an empty scratch buffer.
+func getFrame() *[]byte {
+	return framePool.Get().(*[]byte)
+}
+
+// putFrame recycles a scratch buffer obtained from getFrame.
+func putFrame(b *[]byte) {
+	if cap(*b) > maxPooledFrame {
+		return
+	}
+	*b = (*b)[:0]
+	framePool.Put(b)
+}
 
 // errTruncated builds a descriptive truncation error.
 func errTruncated(what string, off int) error {
