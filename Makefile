@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz bench bench-all check fmt
+.PHONY: all build test vet lint race fuzz bench bench-all check fmt fmtcheck
 
 all: check
 
@@ -15,6 +15,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# idlvet: semantic checks over the shipped IDL specs plus a lint of every
+# registered mapping's templates.
+lint:
+	$(GO) run ./cmd/idlvet -templates ./idl/...
 
 # Race-detect the runtime packages the fault-tolerance layer touches.
 race:
@@ -38,5 +43,9 @@ bench-all:
 fmt:
 	gofmt -l -w .
 
+# Fails if any file is not gofmt-clean (listing the offenders).
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 # The tier-1 gate: what must be green before merging.
-check: build vet test race
+check: build vet lint test race fmtcheck

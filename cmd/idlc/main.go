@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/mappings"
 )
@@ -48,6 +49,7 @@ func run(args []string) error {
 		tmplFile   = fs.String("template", "", "generate with a custom template file instead of a registered mapping")
 		funcsFrom  = fs.String("funcs", "", "mapping whose map functions a custom template may use")
 		stdout     = fs.Bool("stdout", false, "print generated files to stdout instead of writing them")
+		novet      = fs.Bool("novet", false, "skip the idlvet static checks before generation")
 		includes   includeDirs
 	)
 	fs.Var(&includes, "I", "directory to search for #include files (repeatable)")
@@ -109,6 +111,19 @@ func run(args []string) error {
 		}
 		fmt.Print(script)
 		return nil
+	}
+
+	// Refuse to generate from a spec that fails static checking (idlvet's
+	// error-severity diagnostics); warnings print but do not block. EST
+	// scripts were vetted when they were emitted.
+	if !*novet && !*fromScript {
+		diags := check.VetSource(name, src, resolver)
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, "idlc:", d)
+		}
+		if check.HasErrors(diags) {
+			return fmt.Errorf("idlvet reported errors; no files generated (use -novet to override)")
+		}
 	}
 
 	var res *core.Result

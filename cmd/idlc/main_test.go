@@ -159,6 +159,30 @@ func TestRunList(t *testing.T) {
 	}
 }
 
+func TestRunVetBlocksGeneration(t *testing.T) {
+	dir := t.TempDir()
+	// Parses cleanly but fails idlvet: "foo" and "Foo" collide under
+	// CORBA's case-insensitive identifier rules.
+	in := write(t, dir, "bad.idl", "interface I { void foo(); void Foo(); };\n")
+	out := filepath.Join(dir, "gen")
+
+	err := run([]string{"-m", "heidi-cpp", "-o", out, in})
+	if err == nil || !strings.Contains(err.Error(), "idlvet") {
+		t.Fatalf("run on vet-failing spec: err=%v, want idlvet error", err)
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Error("output directory created despite vet errors")
+	}
+
+	// -novet bypasses the gate and generation proceeds.
+	if err := run([]string{"-m", "heidi-cpp", "-novet", "-o", out, in}); err != nil {
+		t.Fatalf("-novet: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "bad.hh")); err != nil {
+		t.Error("-novet did not generate bad.hh")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	in := write(t, dir, "demo.idl", testIDL)

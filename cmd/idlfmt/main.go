@@ -8,6 +8,7 @@
 //	idlfmt file.idl          print the formatted unit to stdout
 //	idlfmt -w file.idl       rewrite the file in place
 //	idlfmt -d file.idl       exit non-zero if the file is not canonical
+//	idlfmt -vet file.idl     also run the idlvet static checks
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/check"
 	"repro/internal/idl"
 )
 
@@ -30,13 +32,14 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("idlfmt", flag.ContinueOnError)
 	write := fs.Bool("w", false, "rewrite files in place")
 	diff := fs.Bool("d", false, "report files whose formatting differs (non-zero exit)")
+	vet := fs.Bool("vet", false, "run the idlvet static checks as well (errors fail the run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("expected at least one IDL file")
 	}
-	dirty := false
+	dirty, vetFailed := false, false
 	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -45,6 +48,15 @@ func run(args []string) error {
 		spec, err := idl.Parse(filepath.Base(path), string(data))
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
+		}
+		if *vet {
+			diags := check.VetSpec(spec)
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, "idlfmt:", d)
+			}
+			if check.HasErrors(diags) {
+				vetFailed = true
+			}
 		}
 		formatted := idl.Print(spec)
 		switch {
@@ -63,6 +75,9 @@ func run(args []string) error {
 		default:
 			fmt.Print(formatted)
 		}
+	}
+	if vetFailed {
+		return fmt.Errorf("idlvet reported errors")
 	}
 	if dirty {
 		return fmt.Errorf("files need formatting")

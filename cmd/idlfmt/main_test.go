@@ -56,6 +56,19 @@ func TestDiffMode(t *testing.T) {
 	}
 }
 
+func TestVetFlag(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "collide.idl")
+	os.WriteFile(bad, []byte("interface I {\n  void foo();\n  void Foo();\n};\n"), 0o644)
+	if err := run([]string{"-w", bad}); err != nil {
+		t.Fatalf("without -vet the collision formats fine: %v", err)
+	}
+	err := run([]string{"-vet", "-w", bad})
+	if err == nil || !strings.Contains(err.Error(), "idlvet") {
+		t.Errorf("-vet on colliding identifiers: err=%v, want idlvet error", err)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.idl")

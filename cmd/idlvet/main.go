@@ -1,0 +1,176 @@
+// Command idlvet statically checks IDL specs and Jeeves mapping templates
+// before any code is generated: the semantic rules of the paper's IDL
+// extensions (incopy serializability, default-parameter legality), the
+// CORBA rules a mapping must honor (oneway shape, identifier case rules,
+// inheritance collisions), reachability of declared names, union case
+// coverage, and — with -templates — a lint of every registered mapping's
+// templates against the EST attribute schema.
+//
+// Usage:
+//
+//	idlvet idl/...                  vet every .idl file under idl/
+//	idlvet -json a.idl b.idl        machine-readable diagnostics
+//	idlvet -strict a.idl            treat warnings as errors
+//	idlvet -templates               lint every registered mapping's templates
+//	idlvet -list                    list registered analyzers
+//
+// Exit status is 1 when any error-severity diagnostic (or, with -strict,
+// any diagnostic at all) is reported, and 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/mappings"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idlvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fsFlags := flag.NewFlagSet("idlvet", flag.ContinueOnError)
+	var (
+		jsonOut   = fsFlags.Bool("json", false, "print diagnostics as a JSON array")
+		strict    = fsFlags.Bool("strict", false, "treat warnings as errors for the exit status")
+		templates = fsFlags.Bool("templates", false, "also lint every registered mapping's templates")
+		list      = fsFlags.Bool("list", false, "list registered analyzers and exit")
+		includes  includeDirs
+	)
+	fsFlags.Var(&includes, "I", "directory to search for #include files (repeatable)")
+	if err := fsFlags.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *list {
+		for _, a := range check.Analyzers() {
+			kind := "spec"
+			if a.Kind == check.KindTemplate {
+				kind = "template"
+			}
+			fmt.Fprintf(out, "%-26s %-8s %-7s %s\n", a.Name, kind, a.Severity, a.Doc)
+		}
+		return 0, nil
+	}
+
+	files, err := expandArgs(fsFlags.Args())
+	if err != nil {
+		return 2, err
+	}
+	if len(files) == 0 && !*templates {
+		return 2, fmt.Errorf("no input files (pass .idl files, directories, dir/... patterns, or -templates)")
+	}
+
+	var diags []check.Diagnostic
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 2, err
+		}
+		searchDirs := append([]string{filepath.Dir(path)}, includes...)
+		resolver := func(incName string) (string, error) {
+			for _, dir := range searchDirs {
+				b, err := os.ReadFile(filepath.Join(dir, incName))
+				if err == nil {
+					return string(b), nil
+				}
+			}
+			return "", fmt.Errorf("not found in %v", searchDirs)
+		}
+		diags = append(diags, check.VetSource(path, string(data), resolver)...)
+	}
+
+	if *templates {
+		for _, m := range mappings.List() {
+			diags = append(diags, check.VetMapping(m)...)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []check.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+
+	failed := check.HasErrors(diags) || (*strict && len(diags) > 0)
+	if failed {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// expandArgs turns file, directory and dir/... arguments into a flat list
+// of .idl files. A plain directory is scanned one level deep; a dir/...
+// pattern recurses.
+func expandArgs(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		switch {
+		case strings.HasSuffix(arg, "/..."):
+			root := strings.TrimSuffix(arg, "/...")
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && strings.HasSuffix(path, ".idl") {
+					out = append(out, path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			info, err := os.Stat(arg)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				out = append(out, arg)
+				continue
+			}
+			entries, err := os.ReadDir(arg)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".idl") {
+					out = append(out, filepath.Join(arg, e.Name()))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// includeDirs implements flag.Value for the repeatable -I option.
+type includeDirs []string
+
+func (d *includeDirs) String() string { return fmt.Sprint([]string(*d)) }
+
+func (d *includeDirs) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSpec(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCleanSpecExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSpec(t, dir, "ok.idl", "interface I { void f(in long x); };\n")
+	var out strings.Builder
+	code, err := run([]string{path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out.String() != "" {
+		t.Errorf("clean spec: code=%d out=%q, want 0 and empty", code, out.String())
+	}
+}
+
+func TestRunBadSpecExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSpec(t, dir, "bad.idl", "interface I { oneway void f(out long x); };\n")
+	var out strings.Builder
+	code, err := run([]string{path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("bad spec: code=%d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "[oneway-mode]") {
+		t.Errorf("output %q missing oneway-mode diagnostic", out.String())
+	}
+}
+
+func TestRunStrictPromotesWarnings(t *testing.T) {
+	dir := t.TempDir()
+	src := "interface I { void f(incopy long n); };\n"
+	path := writeSpec(t, dir, "warn.idl", src)
+	var out strings.Builder
+	code, err := run([]string{path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("warning-only spec without -strict: code=%d, want 0", code)
+	}
+	out.Reset()
+	code, err = run([]string{"-strict", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("warning-only spec with -strict: code=%d, want 1", code)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSpec(t, dir, "bad.idl", "interface I { oneway long f(); };\n")
+	var out strings.Builder
+	code, err := run([]string{"-json", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("code=%d, want 1", code)
+	}
+	var diags []struct {
+		Pos struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+		} `json:"pos"`
+		Severity string `json:"severity"`
+		Check    string `json:"check"`
+		Msg      string `json:"msg"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("invalid JSON %q: %v", out.String(), err)
+	}
+	if len(diags) == 0 || diags[0].Check == "" || diags[0].Pos.Line == 0 {
+		t.Errorf("JSON diagnostics incomplete: %+v", diags)
+	}
+}
+
+func TestRunDirExpansionAndTemplates(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "nested")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeSpec(t, dir, "top.idl", "interface T { void f(); };\n")
+	writeSpec(t, sub, "deep.idl", "interface D { oneway long g(); };\n")
+
+	// Plain directory: one level only, so the bad nested spec is skipped.
+	var out strings.Builder
+	code, err := run([]string{dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("dir (shallow): code=%d out=%s", code, out.String())
+	}
+
+	// dir/... recurses and finds the bad spec.
+	out.Reset()
+	code, err = run([]string{dir + "/..."}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "deep.idl") {
+		t.Errorf("dir/...: code=%d out=%s", code, out.String())
+	}
+
+	// -templates alone lints the registered mappings (all clean).
+	out.Reset()
+	code, err = run([]string{"-templates"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 || out.String() != "" {
+		t.Errorf("-templates: code=%d out=%q, want clean", code, out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("-list: code=%d err=%v", code, err)
+	}
+	for _, id := range []string{"incopy-type", "oneway-result", "tmpl-var-undefined"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package check is the static-analysis layer of the IDL toolchain: a
+// diagnostics engine plus two analyzer suites, one over parsed IDL specs
+// and one over compiled Jeeves templates. Each check is a self-registering
+// Analyzer (go/analysis style: name, doc, run function) so new mappings can
+// add rules without touching the drivers. Diagnostics carry a position, a
+// severity and a stable check ID, and render as human text or JSON.
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/idl"
+	"repro/internal/jeeves"
+)
+
+// Severity classifies a diagnostic. Errors make a vet run fail (and block
+// code generation in idlc); warnings are advisory.
+type Severity int
+
+// Severity levels, ordered by increasing gravity.
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Diagnostic is one finding: where, how bad, which check, and what.
+type Diagnostic struct {
+	Pos      idl.Pos  `json:"pos"`
+	Severity Severity `json:"severity"`
+	Check    string   `json:"check"`
+	Msg      string   `json:"msg"`
+}
+
+// String renders the diagnostic in the conventional
+// "file:line:col: severity: message [check-id]" shape.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Pos, d.Severity, d.Msg, d.Check)
+}
+
+// AnalyzerKind says which input an analyzer consumes.
+type AnalyzerKind int
+
+// Analyzer kinds.
+const (
+	KindSpec     AnalyzerKind = iota // runs over a parsed *idl.Spec
+	KindTemplate                     // runs over a compiled jeeves.Program
+)
+
+// Analyzer is one registered check. Name doubles as the stable check ID
+// reported in diagnostics; Doc is a one-line description shown by
+// `idlvet -list`. Run inspects the Pass input and reports findings.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Kind     AnalyzerKind
+	Severity Severity // default severity for Reportf
+	Run      func(*Pass)
+}
+
+// TemplateInfo is the input to a template analyzer: the compiled program's
+// statement view plus the environment it will execute in.
+type TemplateInfo struct {
+	Name   string
+	Stmts  []jeeves.StmtView
+	Funcs  map[string]bool // registered map-function names
+	Schema *Schema
+}
+
+// Pass carries one analyzer's inputs and collects its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Spec     *idl.Spec     // set for KindSpec analyzers
+	Template *TemplateInfo // set for KindTemplate analyzers
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos with the analyzer's default severity.
+func (p *Pass) Reportf(pos idl.Pos, format string, args ...any) {
+	p.report(p.Analyzer.Severity, pos, format, args...)
+}
+
+// Warnf records a warning-severity finding regardless of the analyzer's
+// default severity.
+func (p *Pass) Warnf(pos idl.Pos, format string, args ...any) {
+	p.report(SevWarning, pos, format, args...)
+}
+
+func (p *Pass) report(sev Severity, pos idl.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Severity: sev,
+		Check:    p.Analyzer.Name,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// registry holds every analyzer, keyed by name. Analyzers self-register
+// from init functions in their defining files.
+var registry = map[string]*Analyzer{}
+
+// Register adds an analyzer to the global registry. Duplicate names are a
+// programming error and panic at init time.
+func Register(a *Analyzer) {
+	if a.Name == "" || a.Run == nil {
+		panic("check: Register: analyzer needs a name and a run function")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic("check: duplicate analyzer " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns all registered analyzers sorted by name.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// sortDiags orders diagnostics by position, then check ID, then message,
+// and drops exact duplicates.
+func sortDiags(diags []Diagnostic) []Diagnostic {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	out := diags[:0]
+	for _, d := range diags {
+		if n := len(out); n > 0 && out[n-1] == d {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// HasErrors reports whether any diagnostic in diags is error-severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// VetSpec runs every spec analyzer over an already-parsed spec and returns
+// the sorted, deduplicated findings. The spec may be partial (best-effort
+// parse output); analyzers tolerate missing pieces.
+func VetSpec(spec *idl.Spec) []Diagnostic {
+	if spec == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		if a.Kind != KindSpec {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Spec: spec}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	return sortDiags(diags)
+}
+
+// VetSource parses src (best-effort, resolving #include through resolver,
+// which may be nil) and vets the resulting spec. Parse errors surface as
+// error-severity diagnostics with check ID "syntax", merged and sorted with
+// the semantic findings.
+func VetSource(file, src string, resolver idl.Resolver) []Diagnostic {
+	spec, err := idl.ParseWithIncludes(file, src, resolver)
+	var diags []Diagnostic
+	if err != nil {
+		if list, ok := err.(idl.ErrorList); ok {
+			for _, e := range list.Sorted() {
+				diags = append(diags, Diagnostic{
+					Pos: e.Pos, Severity: SevError, Check: "syntax", Msg: e.Msg,
+				})
+			}
+		} else {
+			diags = append(diags, Diagnostic{
+				Pos: idl.Pos{File: file}, Severity: SevError, Check: "syntax", Msg: err.Error(),
+			})
+		}
+	}
+	diags = append(diags, VetSpec(spec)...)
+	return sortDiags(diags)
+}
+
+// VetTemplate runs every template analyzer over a compiled program. funcs
+// is the set of registered map-function names; schema declares the EST
+// attributes and lists available per node kind (nil means DefaultSchema).
+func VetTemplate(prog *jeeves.Program, funcs []string, schema *Schema) []Diagnostic {
+	if prog == nil {
+		return nil
+	}
+	if schema == nil {
+		schema = DefaultSchema()
+	}
+	info := &TemplateInfo{
+		Name:   prog.Name,
+		Stmts:  prog.View(),
+		Funcs:  map[string]bool{},
+		Schema: schema,
+	}
+	for _, f := range funcs {
+		info.Funcs[f] = true
+	}
+	var diags []Diagnostic
+	for _, a := range Analyzers() {
+		if a.Kind != KindTemplate {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Template: info}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	return sortDiags(diags)
+}
+
+// VetTemplateSource compiles one template source (resolving @include through
+// loader, which may be nil) and vets it. Compile errors surface as a single
+// error-severity diagnostic with check ID "tmpl-syntax".
+func VetTemplateSource(name, src string, loader jeeves.Loader, funcs []string, schema *Schema) []Diagnostic {
+	var opts []jeeves.CompileOption
+	if loader != nil {
+		opts = append(opts, jeeves.WithLoader(loader))
+	}
+	prog, err := jeeves.CompileTemplate(name, src, opts...)
+	if err != nil {
+		pos := idl.Pos{File: name, Line: 1, Column: 1}
+		msg := err.Error()
+		if ce, ok := err.(*jeeves.CompileError); ok {
+			pos = idl.Pos{File: ce.Template, Line: ce.Line, Column: 1}
+			if pos.File == "" {
+				pos.File = name
+			}
+			msg = ce.Msg
+		}
+		return []Diagnostic{{Pos: pos, Severity: SevError, Check: "tmpl-syntax", Msg: msg}}
+	}
+	return VetTemplate(prog, funcs, schema)
+}
+
+// VetTemplateSet vets a named set of templates that @include each other —
+// the shape of a mapping's Templates map — starting from entry. Every
+// template in the set is vetted individually so unreferenced templates are
+// still checked.
+func VetTemplateSet(templates map[string]string, entry string, funcs []string, schema *Schema) []Diagnostic {
+	loader := func(name string) (string, error) {
+		src, ok := templates[name]
+		if !ok {
+			return "", fmt.Errorf("unknown template %q", name)
+		}
+		return src, nil
+	}
+	names := make([]string, 0, len(templates))
+	for n := range templates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	// Vet the entry first (its compiled program splices in every reachable
+	// include), then any template not reachable from the entry.
+	order := append([]string{entry}, names...)
+	for _, n := range order {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		src, ok := templates[n]
+		if !ok {
+			continue
+		}
+		if n != entry && includedBy(templates, entry, n) {
+			continue // already covered by the entry's spliced program
+		}
+		diags = append(diags, VetTemplateSource(n, src, loader, funcs, schema)...)
+	}
+	return sortDiags(diags)
+}
+
+// includedBy reports whether template name is reachable from entry via
+// @include directives (textual scan; good enough to avoid double-reporting).
+func includedBy(templates map[string]string, entry, name string) bool {
+	seen := map[string]bool{}
+	var walk func(cur string) bool
+	walk = func(cur string) bool {
+		if seen[cur] {
+			return false
+		}
+		seen[cur] = true
+		src, ok := templates[cur]
+		if !ok {
+			return false
+		}
+		for _, line := range strings.Split(src, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if !strings.HasPrefix(trimmed, "@include") {
+				continue
+			}
+			inc := strings.TrimSpace(strings.TrimPrefix(trimmed, "@include"))
+			if inc == name || walk(inc) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(entry)
+}

@@ -1,0 +1,90 @@
+package check_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/mappings"
+)
+
+// Every spec shipped under idl/ must vet without a single diagnostic: the
+// repository's own examples are the reference corpus for "clean".
+func TestShippedSpecsVetClean(t *testing.T) {
+	dir := "../../idl"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	resolver := func(name string) (string, error) {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		return string(b), err
+	}
+	found := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".idl") {
+			continue
+		}
+		found++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read %s: %v", e.Name(), err)
+		}
+		diags := check.VetSource(e.Name(), string(src), resolver)
+		for _, d := range diags {
+			t.Errorf("%s: unexpected diagnostic: %s", e.Name(), d)
+		}
+	}
+	if found == 0 {
+		t.Fatalf("no .idl files found in %s", dir)
+	}
+}
+
+// Every shipped mapping's template set must lint without a single
+// diagnostic against the default EST schema extended with the mapping's
+// declared attributes.
+func TestShippedMappingsLintClean(t *testing.T) {
+	for _, m := range mappings.List() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			diags := check.VetMapping(m)
+			for _, d := range diags {
+				t.Errorf("mapping %s: unexpected diagnostic: %s", m.Name, d)
+			}
+		})
+	}
+}
+
+// The analyzer registry must stay coherent: unique names (enforced at
+// Register time), docs present, and both suites populated.
+func TestAnalyzerRegistry(t *testing.T) {
+	var specs, tmpls int
+	for _, a := range check.Analyzers() {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc string", a.Name)
+		}
+		switch a.Kind {
+		case check.KindSpec:
+			specs++
+		case check.KindTemplate:
+			tmpls++
+		}
+	}
+	if specs < 5 || tmpls < 4 {
+		t.Fatalf("registry too small: %d spec analyzers, %d template analyzers", specs, tmpls)
+	}
+}
+
+// Example-style smoke: a bad spec produces positioned, stable-ID output.
+func ExampleVetSource() {
+	src := "interface I { oneway long f(in string s); };\n"
+	for _, d := range check.VetSource("bad.idl", src, nil) {
+		fmt.Println(d)
+	}
+	// Output:
+	// bad.idl:1:15: error: oneway operation "f" must return void, not long [oneway-result]
+	// bad.idl:1:15: error: oneway operation f must return void [syntax]
+}

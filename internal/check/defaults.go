@@ -1,0 +1,114 @@
+package check
+
+import "repro/internal/idl"
+
+// Default-parameter legality (the paper's §3 IDL extension): defaults must
+// be trailing, carried by in/incopy parameters only, and the constant value
+// must be type-compatible with the declared parameter type. The parser
+// reports these as syntax errors too; the analyzers re-derive them from the
+// best-effort AST so `idlvet` gives each a stable check ID even when the
+// spec arrived pre-parsed.
+
+func init() {
+	Register(&Analyzer{
+		Name:     "default-order",
+		Doc:      "parameters without defaults may not follow parameters with defaults",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runDefaultOrder,
+	})
+	Register(&Analyzer{
+		Name:     "default-mode",
+		Doc:      "default values are only legal on in and incopy parameters",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runDefaultMode,
+	})
+	Register(&Analyzer{
+		Name:     "default-type",
+		Doc:      "a default value must be type-compatible with the declared parameter type",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runDefaultType,
+	})
+}
+
+func runDefaultOrder(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		seenDefault := false
+		for _, p := range op.Params {
+			switch {
+			case p.Default != nil:
+				seenDefault = true
+			case seenDefault:
+				pass.Reportf(p.Pos, "parameter %q without a default follows a defaulted parameter (defaults must be trailing)",
+					p.Name)
+			}
+		}
+	})
+}
+
+func runDefaultMode(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		for _, p := range op.Params {
+			if p.Default == nil {
+				continue
+			}
+			if p.Mode == idl.ModeOut || p.Mode == idl.ModeInOut {
+				pass.Reportf(p.Pos, "%s parameter %q may not have a default value (defaults require in or incopy)",
+					p.Mode, p.Name)
+			}
+		}
+	})
+}
+
+func runDefaultType(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		for _, p := range op.Params {
+			if p.Default == nil || p.Type == nil {
+				continue
+			}
+			u := p.Type.Unalias()
+			if u == nil {
+				continue
+			}
+			if !defaultCompatible(u, p.Default) {
+				pass.Reportf(p.Pos, "default value %s is not compatible with parameter type %s",
+					p.Default, p.Type.Name())
+			}
+		}
+	})
+}
+
+// defaultCompatible reports whether constant value v can initialize a
+// parameter of (unaliased) type u.
+func defaultCompatible(u *idl.Type, v *idl.ConstValue) bool {
+	switch {
+	case u.Kind.IsInteger():
+		return v.Kind == idl.ConstInt
+	case u.Kind == idl.KindFloat || u.Kind == idl.KindDouble || u.Kind == idl.KindLongDouble:
+		return v.Kind == idl.ConstFloat || v.Kind == idl.ConstInt
+	case u.Kind == idl.KindBoolean:
+		return v.Kind == idl.ConstBool
+	case u.Kind == idl.KindChar || u.Kind == idl.KindWChar:
+		return v.Kind == idl.ConstChar
+	case u.Kind == idl.KindString || u.Kind == idl.KindWString:
+		return v.Kind == idl.ConstString
+	case u.Kind == idl.KindEnum:
+		if v.Kind != idl.ConstEnum || v.Enum == nil {
+			return false
+		}
+		return idl.Decl(v.Enum) == u.Decl || v.Enum.ScopedName() == declScoped(u.Decl)
+	default:
+		// Structs, unions, sequences, arrays, interfaces, any: no constant
+		// syntax can express a default for these.
+		return false
+	}
+}
+
+func declScoped(d idl.Decl) string {
+	if d == nil {
+		return ""
+	}
+	return d.ScopedName()
+}

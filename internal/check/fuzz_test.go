@@ -1,0 +1,42 @@
+package check_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/idl"
+)
+
+// FuzzVetSpec: the vetter must never panic or loop on any input the parser
+// accepts — including partial specs from best-effort parses of garbage.
+// Seeded with every shipped spec and every fixture.
+func FuzzVetSpec(f *testing.F) {
+	for _, dir := range []string{"../../idl", "testdata"} {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.idl"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+	// Hand-picked adversarial seeds: self-referential and malformed shapes.
+	f.Add("struct S { S s; };")
+	f.Add("interface I; interface I : I { void f(incopy I i); };")
+	f.Add("union U switch (")
+	f.Add("interface A { oneway A f(out any a = 3) raises (A); };")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, _ := idl.Parse("fuzz.idl", src)
+		if spec == nil {
+			return
+		}
+		_ = check.VetSpec(spec)
+	})
+}

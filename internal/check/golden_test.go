@@ -1,0 +1,84 @@
+package check_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureFuncs is the function table template fixtures may reference.
+var fixtureFuncs = []string{"Test::Known"}
+
+// TestGolden runs the vetter over every fixture under testdata and compares
+// the rendered diagnostics — exact check IDs and positions — against the
+// fixture's .golden file. Regenerate with `go test ./internal/check -update`.
+func TestGolden(t *testing.T) {
+	idls, err := filepath.Glob(filepath.Join("testdata", "*.idl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpls, err := filepath.Glob(filepath.Join("testdata", "*.tpl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idls) == 0 || len(tpls) == 0 {
+		t.Fatalf("no fixtures found (idl=%d tpl=%d)", len(idls), len(tpls))
+	}
+	for _, path := range append(idls, tpls...) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := filepath.Base(path)
+			var diags []check.Diagnostic
+			if strings.HasSuffix(path, ".idl") {
+				diags = check.VetSource(name, string(src), nil)
+			} else {
+				diags = check.VetTemplateSource(name, string(src), nil, fixtureFuncs, nil)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(d.String())
+				b.WriteString("\n")
+			}
+			got := b.String()
+
+			goldenPath := strings.TrimSuffix(path, filepath.Ext(path)) + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			// Every fixture must trip the check it is named after (fixture
+			// basename "oneway_mode.idl" -> check ID "oneway-mode").
+			wantCheck := strings.ReplaceAll(strings.TrimSuffix(name, filepath.Ext(name)), "_", "-")
+			found := false
+			for _, d := range diags {
+				if d.Check == wantCheck {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("fixture %s produced no %q diagnostic", name, wantCheck)
+			}
+		})
+	}
+}

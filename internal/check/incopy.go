@@ -1,0 +1,130 @@
+package check
+
+import "repro/internal/idl"
+
+// The paper's incopy extension passes object references by value: the
+// argument is serialized (the HdSerializable dynamic check of §3) and
+// reconstructed on the server. That check is hoisted to compile time here:
+// a type that can never serialize — it transitively contains an `any` or a
+// generic CORBA::Object — fails at every call site, so reject it up front.
+
+func init() {
+	Register(&Analyzer{
+		Name:     "incopy-type",
+		Doc:      "incopy parameters must have serializable types (no any, no generic Object)",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runIncopyType,
+	})
+	Register(&Analyzer{
+		Name:     "incopy-primitive",
+		Doc:      "incopy on a primitive type behaves exactly like in",
+		Kind:     KindSpec,
+		Severity: SevWarning,
+		Run:      runIncopyPrimitive,
+	})
+}
+
+func runIncopyType(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		for _, p := range op.Params {
+			if p.Mode != idl.ModeInCopy || p.Type == nil {
+				continue
+			}
+			if bad := unserializable(p.Type, nil); bad != nil {
+				reason := bad.Name()
+				if bad.Unalias() == p.Type.Unalias() {
+					pass.Reportf(p.Pos, "incopy parameter %q has unserializable type %s",
+						p.Name, p.Type.Name())
+					continue
+				}
+				pass.Reportf(p.Pos, "incopy parameter %q has type %s, which contains unserializable %s",
+					p.Name, p.Type.Name(), reason)
+			}
+		}
+	})
+}
+
+func runIncopyPrimitive(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		for _, p := range op.Params {
+			if p.Mode != idl.ModeInCopy || p.Type == nil {
+				continue
+			}
+			u := p.Type.Unalias()
+			if u == nil || !u.Kind.IsPrimitive() {
+				continue
+			}
+			switch u.Kind {
+			case idl.KindAny, idl.KindObject:
+				continue // incopy-type already rejects these
+			}
+			pass.Reportf(p.Pos, "incopy on primitive type %s behaves exactly like in (only object references and constructed types are serialized)",
+				u.Name())
+		}
+	})
+}
+
+// unserializable returns the first transitively-contained type that can
+// never be serialized (any, or a generic Object reference with no known
+// interface), or nil when the type is serializable. seen guards against
+// recursive structs/unions reachable through best-effort parses.
+func unserializable(t *idl.Type, seen map[idl.Decl]bool) *idl.Type {
+	if t == nil {
+		return nil
+	}
+	u := t.Unalias()
+	if u == nil {
+		return nil
+	}
+	switch u.Kind {
+	case idl.KindAny, idl.KindObject:
+		return u
+	case idl.KindSequence, idl.KindArray:
+		return unserializable(u.Elem, seen)
+	case idl.KindStruct:
+		st, ok := u.Decl.(*idl.StructDecl)
+		if !ok || seen[st] {
+			return nil
+		}
+		if seen == nil {
+			seen = map[idl.Decl]bool{}
+		}
+		seen[st] = true
+		for _, m := range st.Members {
+			if bad := unserializable(m.Type, seen); bad != nil {
+				return bad
+			}
+		}
+	case idl.KindUnion:
+		un, ok := u.Decl.(*idl.UnionDecl)
+		if !ok || seen[un] {
+			return nil
+		}
+		if seen == nil {
+			seen = map[idl.Decl]bool{}
+		}
+		seen[un] = true
+		for _, c := range un.Cases {
+			if bad := unserializable(c.Type, seen); bad != nil {
+				return bad
+			}
+		}
+	}
+	return nil
+}
+
+// forEachMainOp visits every operation declared in the main translation
+// unit (declarations pulled in via #include belong to their own unit).
+func forEachMainOp(spec *idl.Spec, fn func(*idl.Operation)) {
+	for _, iface := range spec.Interfaces() {
+		if iface.FromInclude() {
+			continue
+		}
+		for _, op := range iface.Ops {
+			if op != nil {
+				fn(op)
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package check
+
+import "repro/internal/mappings"
+
+// VetMapping lints every template of a shipped mapping against the default
+// EST schema extended with the mapping's declared extra attributes, using
+// the mapping's own function table for -map validation.
+func VetMapping(m *mappings.Mapping) []Diagnostic {
+	schema := DefaultSchema()
+	for kind, props := range m.Attrs {
+		schema = schema.WithProps(kind, props...)
+	}
+	return VetTemplateSet(m.Templates, "main", m.FuncNames(), schema)
+}

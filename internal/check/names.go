@@ -1,0 +1,269 @@
+package check
+
+import (
+	"strings"
+
+	"repro/internal/idl"
+)
+
+// CORBA identifier rules the mapping must honor: identifiers in one scope
+// may not differ only in case (clients in case-sensitive languages would
+// disagree about which one they mean), members of one scope must be unique,
+// and an interface may not reach two different members with the same name
+// through multiple inheritance.
+
+func init() {
+	Register(&Analyzer{
+		Name:     "case-collision",
+		Doc:      "identifiers in the same scope may not differ only in case",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runCaseCollision,
+	})
+	Register(&Analyzer{
+		Name:     "dup-name",
+		Doc:      "parameters, members and union cases must have unique names in their scope",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runDupName,
+	})
+	Register(&Analyzer{
+		Name:     "inherit-collision",
+		Doc:      "an interface may not inherit or redefine same-named members from multiple bases",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runInheritCollision,
+	})
+}
+
+// scopeEntry is one named thing inside a scope.
+type scopeEntry struct {
+	name string
+	pos  idl.Pos
+	what string
+}
+
+// scope is a named scope plus its entries, in declaration order.
+type scope struct {
+	what    string // "file", "module", "interface", ...
+	name    string
+	entries []scopeEntry
+	// declScope marks scopes whose exact-name duplicates the parser
+	// already rejects as redefinitions; dup-name skips those.
+	declScope bool
+}
+
+// scopes collects every naming scope of the main translation unit.
+func scopes(spec *idl.Spec) []scope {
+	var out []scope
+
+	declEntries := func(decls []idl.Decl) []scopeEntry {
+		var es []scopeEntry
+		for _, d := range decls {
+			if d == nil || d.FromInclude() {
+				continue
+			}
+			if i, ok := d.(*idl.InterfaceDecl); ok && i.Forward {
+				// A forward declaration shares its name with the eventual
+				// definition by design; skip to avoid self-collisions.
+				continue
+			}
+			es = append(es, scopeEntry{name: d.DeclName(), pos: d.DeclPos(), what: declWhat(d)})
+			// IDL enum members scope into the enclosing scope.
+			if e, ok := d.(*idl.EnumDecl); ok {
+				for _, m := range e.Members {
+					es = append(es, scopeEntry{name: m, pos: e.DeclPos(), what: "enum member"})
+				}
+			}
+		}
+		return es
+	}
+
+	out = append(out, scope{what: "file", name: spec.File, declScope: true,
+		entries: declEntries(spec.Decls)})
+
+	spec.Walk(func(d idl.Decl) bool {
+		if d.FromInclude() {
+			return false
+		}
+		switch n := d.(type) {
+		case *idl.Module:
+			out = append(out, scope{what: "module", name: n.ScopedName(), declScope: true,
+				entries: declEntries(n.Decls)})
+		case *idl.InterfaceDecl:
+			if n.Forward {
+				return false
+			}
+			es := declEntries(n.Body)
+			for _, at := range n.Attrs {
+				es = append(es, scopeEntry{name: at.DeclName(), pos: at.DeclPos(), what: "attribute"})
+			}
+			for _, op := range n.Ops {
+				es = append(es, scopeEntry{name: op.DeclName(), pos: op.DeclPos(), what: "operation"})
+			}
+			out = append(out, scope{what: "interface", name: n.ScopedName(), declScope: true, entries: es})
+		case *idl.Operation:
+			var es []scopeEntry
+			for _, p := range n.Params {
+				es = append(es, scopeEntry{name: p.Name, pos: p.Pos, what: "parameter"})
+			}
+			out = append(out, scope{what: "operation", name: n.DeclName(), entries: es})
+		case *idl.StructDecl:
+			out = append(out, scope{what: "struct", name: n.ScopedName(),
+				entries: memberEntries(n.Members)})
+		case *idl.ExceptDecl:
+			out = append(out, scope{what: "exception", name: n.ScopedName(),
+				entries: memberEntries(n.Members)})
+		case *idl.UnionDecl:
+			var es []scopeEntry
+			for _, c := range n.Cases {
+				es = append(es, scopeEntry{name: c.Name, pos: c.Pos, what: "union case"})
+			}
+			out = append(out, scope{what: "union", name: n.ScopedName(), entries: es})
+		case *idl.EnumDecl:
+			var es []scopeEntry
+			for _, m := range n.Members {
+				es = append(es, scopeEntry{name: m, pos: n.DeclPos(), what: "enum member"})
+			}
+			out = append(out, scope{what: "enum", name: n.ScopedName(), entries: es})
+		}
+		return true
+	})
+	return out
+}
+
+func memberEntries(members []*idl.Member) []scopeEntry {
+	var es []scopeEntry
+	for _, m := range members {
+		if m != nil {
+			es = append(es, scopeEntry{name: m.Name, pos: m.Pos, what: "member"})
+		}
+	}
+	return es
+}
+
+func declWhat(d idl.Decl) string {
+	switch d.(type) {
+	case *idl.Module:
+		return "module"
+	case *idl.InterfaceDecl:
+		return "interface"
+	case *idl.StructDecl:
+		return "struct"
+	case *idl.UnionDecl:
+		return "union"
+	case *idl.EnumDecl:
+		return "enum"
+	case *idl.TypedefDecl:
+		return "typedef"
+	case *idl.ConstDecl:
+		return "constant"
+	case *idl.ExceptDecl:
+		return "exception"
+	}
+	return "declaration"
+}
+
+func runCaseCollision(pass *Pass) {
+	for _, sc := range scopes(pass.Spec) {
+		first := map[string]scopeEntry{} // lowercased name -> first entry
+		for _, e := range sc.entries {
+			lower := strings.ToLower(e.name)
+			prev, ok := first[lower]
+			if !ok {
+				first[lower] = e
+				continue
+			}
+			if prev.name != e.name {
+				pass.Reportf(e.pos, "%s %q collides with %s %q in %s %s (identifiers may not differ only in case)",
+					e.what, e.name, prev.what, prev.name, sc.what, sc.name)
+			}
+		}
+	}
+}
+
+func runDupName(pass *Pass) {
+	for _, sc := range scopes(pass.Spec) {
+		if sc.declScope {
+			continue // the parser rejects exact redefinitions in declaration scopes
+		}
+		first := map[string]scopeEntry{}
+		for _, e := range sc.entries {
+			prev, ok := first[e.name]
+			if !ok {
+				first[e.name] = e
+				continue
+			}
+			pass.Reportf(e.pos, "duplicate %s %q in %s %s (first declared at %s)",
+				e.what, e.name, sc.what, sc.name, prev.pos)
+		}
+	}
+}
+
+// inheritedMember is one operation or attribute visible through the base
+// closure, identified by the declaring object so a diamond (the same base
+// reached twice) does not self-collide.
+type inheritedMember struct {
+	id    any // *idl.Operation or *idl.Attribute pointer identity
+	name  string
+	what  string
+	owner string
+}
+
+func runInheritCollision(pass *Pass) {
+	for _, iface := range pass.Spec.Interfaces() {
+		if iface.FromInclude() {
+			continue
+		}
+		inherited := map[string][]inheritedMember{} // lowercased name -> members
+		for _, base := range iface.AllBases() {
+			for _, op := range base.Ops {
+				m := inheritedMember{id: op, name: op.DeclName(), what: "operation", owner: base.ScopedName()}
+				inherited[strings.ToLower(m.name)] = append(inherited[strings.ToLower(m.name)], m)
+			}
+			for _, at := range base.Attrs {
+				m := inheritedMember{id: at, name: at.DeclName(), what: "attribute", owner: base.ScopedName()}
+				inherited[strings.ToLower(m.name)] = append(inherited[strings.ToLower(m.name)], m)
+			}
+		}
+
+		// Two *different* members with the same name via multiple bases.
+		for _, members := range inherited {
+			for i := 1; i < len(members); i++ {
+				if sameMember(members[i], members[:i]) {
+					continue
+				}
+				pass.Reportf(iface.DeclPos(), "interface %q inherits %s %q from %s and %s %q from %s",
+					iface.DeclName(),
+					members[0].what, members[0].name, members[0].owner,
+					members[i].what, members[i].name, members[i].owner)
+			}
+		}
+
+		// Own members redefining (or case-colliding with) inherited ones.
+		report := func(name, what string, pos idl.Pos) {
+			for _, m := range inherited[strings.ToLower(name)] {
+				pass.Reportf(pos, "%s %q in interface %q redefines inherited %s %q from %s",
+					what, name, iface.DeclName(), m.what, m.name, m.owner)
+				return // one diagnostic per own member is enough
+			}
+		}
+		for _, op := range iface.Ops {
+			report(op.DeclName(), "operation", op.DeclPos())
+		}
+		for _, at := range iface.Attrs {
+			report(at.DeclName(), "attribute", at.DeclPos())
+		}
+	}
+}
+
+// sameMember reports whether m is the same declaration as any of prev
+// (diamond inheritance reaches one declaration through several paths).
+func sameMember(m inheritedMember, prev []inheritedMember) bool {
+	for _, p := range prev {
+		if p.id == m.id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package check
+
+import "repro/internal/idl"
+
+// CORBA oneway legality: a oneway operation is fire-and-forget, so nothing
+// may flow back — the result must be void, no parameter may be out/inout,
+// and it may not raise user exceptions.
+
+func init() {
+	Register(&Analyzer{
+		Name:     "oneway-result",
+		Doc:      "oneway operations must return void",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runOnewayResult,
+	})
+	Register(&Analyzer{
+		Name:     "oneway-mode",
+		Doc:      "oneway operations may not have out or inout parameters",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runOnewayMode,
+	})
+	Register(&Analyzer{
+		Name:     "oneway-raises",
+		Doc:      "oneway operations may not raise exceptions",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runOnewayRaises,
+	})
+}
+
+func runOnewayResult(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		if !op.Oneway || op.Result == nil {
+			return
+		}
+		if op.Result.Unalias().Kind != idl.KindVoid {
+			pass.Reportf(op.DeclPos(), "oneway operation %q must return void, not %s",
+				op.DeclName(), op.Result.Name())
+		}
+	})
+}
+
+func runOnewayMode(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		if !op.Oneway {
+			return
+		}
+		for _, p := range op.Params {
+			if p.Mode == idl.ModeOut || p.Mode == idl.ModeInOut {
+				pass.Reportf(p.Pos, "oneway operation %q may not have %s parameter %q",
+					op.DeclName(), p.Mode, p.Name)
+			}
+		}
+	})
+}
+
+func runOnewayRaises(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		if !op.Oneway {
+			return
+		}
+		if len(op.Raises) > 0 || len(op.RaiseRefs) > 0 {
+			pass.Reportf(op.DeclPos(), "oneway operation %q may not have a raises clause",
+				op.DeclName())
+		}
+	})
+}

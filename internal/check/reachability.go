@@ -1,0 +1,132 @@
+package check
+
+import "repro/internal/idl"
+
+// Scoped-name reachability: type declarations nobody references (dead
+// weight in every generated binding) and forward declarations that are
+// neither completed nor referenced (the useful dangling-forward is the
+// paper's "external declaration" — forward-declared, then *used*; one that
+// is never even referenced is a leftover).
+
+func init() {
+	Register(&Analyzer{
+		Name:     "unused-type",
+		Doc:      "a type declared in the main unit is never referenced by any other declaration",
+		Kind:     KindSpec,
+		Severity: SevWarning,
+		Run:      runUnusedType,
+	})
+	Register(&Analyzer{
+		Name:     "dangling-forward",
+		Doc:      "a forward-declared interface is never defined nor referenced",
+		Kind:     KindSpec,
+		Severity: SevWarning,
+		Run:      runDanglingForward,
+	})
+}
+
+// referencedDecls walks every type usage in the spec and returns the set of
+// declarations referenced by some *other* declaration.
+func referencedDecls(spec *idl.Spec) map[idl.Decl]bool {
+	refs := map[idl.Decl]bool{}
+	var markType func(t *idl.Type)
+	markType = func(t *idl.Type) {
+		seen := 0
+		for t != nil {
+			if t.Decl != nil {
+				if refs[t.Decl] {
+					return
+				}
+				refs[t.Decl] = true
+			}
+			// Descend into element types (sequence<S> references S); cap
+			// the chain defensively against malformed cyclic input.
+			if seen++; seen > 64 {
+				return
+			}
+			switch t.Kind {
+			case idl.KindSequence, idl.KindArray, idl.KindAlias:
+				t = t.Elem
+			default:
+				return
+			}
+		}
+	}
+	markValue := func(v *idl.ConstValue) {
+		if v != nil && v.Kind == idl.ConstEnum && v.Enum != nil {
+			refs[v.Enum] = true
+		}
+	}
+	spec.Walk(func(d idl.Decl) bool {
+		switch n := d.(type) {
+		case *idl.InterfaceDecl:
+			for _, b := range n.Bases {
+				refs[b] = true
+			}
+		case *idl.Operation:
+			markType(n.Result)
+			for _, p := range n.Params {
+				markType(p.Type)
+				markValue(p.Default)
+			}
+			for _, ex := range n.Raises {
+				refs[ex] = true
+			}
+		case *idl.Attribute:
+			markType(n.Type)
+		case *idl.StructDecl:
+			for _, m := range n.Members {
+				markType(m.Type)
+			}
+		case *idl.ExceptDecl:
+			for _, m := range n.Members {
+				markType(m.Type)
+			}
+		case *idl.UnionDecl:
+			markType(n.Disc)
+			for _, c := range n.Cases {
+				markType(c.Type)
+				for _, l := range c.Labels {
+					markValue(l)
+				}
+			}
+		case *idl.TypedefDecl:
+			markType(n.Aliased)
+		case *idl.ConstDecl:
+			markType(n.Type)
+			markValue(n.Value)
+		}
+		return true
+	})
+	return refs
+}
+
+func runUnusedType(pass *Pass) {
+	refs := referencedDecls(pass.Spec)
+	pass.Spec.Walk(func(d idl.Decl) bool {
+		if d.FromInclude() {
+			return false
+		}
+		switch n := d.(type) {
+		case *idl.StructDecl, *idl.EnumDecl, *idl.TypedefDecl:
+			if !refs[d] {
+				pass.Reportf(d.DeclPos(), "%s %q is never referenced in this unit", declWhat(d), n.DeclName())
+			}
+		}
+		return true
+	})
+}
+
+func runDanglingForward(pass *Pass) {
+	refs := referencedDecls(pass.Spec)
+	pass.Spec.Walk(func(d idl.Decl) bool {
+		if d.FromInclude() {
+			return false
+		}
+		if i, ok := d.(*idl.InterfaceDecl); ok && i.Forward && !refs[d] {
+			pass.Reportf(i.DeclPos(), "forward declaration of interface %q is never defined nor referenced",
+				i.DeclName())
+		}
+		return true
+	})
+}

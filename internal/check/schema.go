@@ -1,0 +1,183 @@
+package check
+
+import "sort"
+
+// Schema declares, per EST node kind, which properties and child lists the
+// builder populates. Template lint resolves ${var} references and @foreach
+// list names against it. Mappings that inject extra root properties (e.g.
+// the Go mapping's goPackage, set via core.WithProp) extend the default
+// schema with WithProps before vetting their templates.
+type Schema struct {
+	// Props maps a node kind ("Root", "Interface", ...) to the property
+	// names available on nodes of that kind.
+	Props map[string]map[string]bool
+	// Lists maps a node kind to the child-list names that can be non-empty
+	// under it.
+	Lists map[string]map[string]bool
+	// Elems maps a list name to the node kinds of its elements.
+	Elems map[string][]string
+}
+
+// HasProp reports whether any of the node kinds declares the property.
+func (s *Schema) HasProp(kinds []string, name string) bool {
+	for _, k := range kinds {
+		if s.Props[k][name] {
+			return true
+		}
+	}
+	return false
+}
+
+// ListValid reports whether the list can yield elements under any of the
+// node kinds. Gather descends through nested modules, so every list valid
+// under Module is also valid under Root and vice versa (handled when the
+// schema is built).
+func (s *Schema) ListValid(kinds []string, list string) bool {
+	for _, k := range kinds {
+		if s.Lists[k][list] {
+			return true
+		}
+	}
+	return false
+}
+
+// ListElems returns the node kinds produced by iterating the list, or nil
+// if the list is unknown to the schema.
+func (s *Schema) ListElems(list string) []string {
+	return s.Elems[list]
+}
+
+// Known reports whether the list name appears anywhere in the schema.
+func (s *Schema) Known(list string) bool {
+	_, ok := s.Elems[list]
+	return ok
+}
+
+// Kinds returns all declared node kinds, sorted.
+func (s *Schema) Kinds() []string {
+	out := make([]string, 0, len(s.Props))
+	for k := range s.Props {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WithProps returns a deep copy of the schema with extra properties added
+// to the given node kind (creating the kind if new). This is how a mapping
+// declares template attributes beyond the builder's defaults.
+func (s *Schema) WithProps(kind string, props ...string) *Schema {
+	out := &Schema{
+		Props: map[string]map[string]bool{},
+		Lists: map[string]map[string]bool{},
+		Elems: map[string][]string{},
+	}
+	for k, set := range s.Props {
+		cp := make(map[string]bool, len(set))
+		for p := range set {
+			cp[p] = true
+		}
+		out.Props[k] = cp
+	}
+	for k, set := range s.Lists {
+		cp := make(map[string]bool, len(set))
+		for l := range set {
+			cp[l] = true
+		}
+		out.Lists[k] = cp
+	}
+	for l, kinds := range s.Elems {
+		out.Elems[l] = append([]string(nil), kinds...)
+	}
+	if out.Props[kind] == nil {
+		out.Props[kind] = map[string]bool{}
+	}
+	for _, p := range props {
+		out.Props[kind][p] = true
+	}
+	return out
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// typeLists are the declaration lists any scope (Root, Module, Interface)
+// can carry, since IDL allows type declarations at each of those levels.
+var typeLists = []string{
+	"interfaceList", "enumList", "aliasList", "structList",
+	"unionList", "constList", "exceptionList",
+}
+
+// DefaultSchema returns the attribute schema matching internal/est's
+// builder: every property SetProp'd per node kind and every list each kind
+// can populate. Kept in sync by the clean-pass test over shipped mappings.
+func DefaultSchema() *Schema {
+	scopeLists := append([]string{"moduleList"}, typeLists...)
+	s := &Schema{
+		Props: map[string]map[string]bool{
+			"Root":      set("file", "basename", "basenameTitle", "prefix"),
+			"Module":    set("moduleName", "repoID"),
+			"Interface": set("interfaceName", "localName", "repoID", "hasBases"),
+			"Inherited": set("inheritedName", "inheritedRepoID", "IsForward"),
+			"Attribute": set("attributeName", "attributeType", "attributeKind",
+				"attributeTypeName", "IsVariable", "attributeQualifier", "repoID", "declaredIn"),
+			"Operation": set("methodName", "returnType", "returnKind", "returnTypeName",
+				"IsVariable", "oneway", "repoID", "declaredIn"),
+			"Param": set("paramName", "paramType", "paramKind", "paramTypeName",
+				"IsVariable", "paramMode", "defaultParam"),
+			"Raises": set("raiseName", "raiseRepoID"),
+			"Enum":   set("enumName", "repoID", "members"),
+			"Member": set("memberName", "memberOrdinal", "memberType", "memberKind",
+				"memberTypeName", "IsVariable"),
+			"Alias":    set("aliasName", "repoID", "type", "typeName", "IsVariable"),
+			"Sequence": set("type", "kind", "typeName", "IsVariable", "bound"),
+			"Array":    set("type", "kind", "typeName", "IsVariable", "dims"),
+			"Struct":   set("structName", "repoID", "IsVariable"),
+			"Union":    set("unionName", "repoID", "discType", "discKind", "IsVariable"),
+			"Case": set("caseName", "caseType", "caseKind", "caseTypeName",
+				"IsVariable", "caseLabels", "isDefault"),
+			"Const":     set("constName", "repoID", "constType", "constKind", "constValue"),
+			"Exception": set("exceptionName", "repoID"),
+		},
+		Lists: map[string]map[string]bool{
+			"Root":   set(scopeLists...),
+			"Module": set(scopeLists...),
+			"Interface": set(append([]string{
+				"inheritedList", "attributeList", "methodList",
+				"allAttributeList", "allMethodList",
+			}, typeLists...)...),
+			"Operation": set("paramList", "raisesList"),
+			"Enum":      set("memberList"),
+			"Struct":    set("memberList"),
+			"Exception": set("memberList"),
+			"Union":     set("caseList"),
+			"Alias":     set("typeList"),
+		},
+		Elems: map[string][]string{
+			"moduleList":       {"Module"},
+			"interfaceList":    {"Interface"},
+			"enumList":         {"Enum"},
+			"aliasList":        {"Alias"},
+			"structList":       {"Struct"},
+			"unionList":        {"Union"},
+			"constList":        {"Const"},
+			"exceptionList":    {"Exception"},
+			"inheritedList":    {"Inherited"},
+			"attributeList":    {"Attribute"},
+			"allAttributeList": {"Attribute"},
+			"methodList":       {"Operation"},
+			"allMethodList":    {"Operation"},
+			"paramList":        {"Param"},
+			"raisesList":       {"Raises"},
+			"memberList":       {"Member"},
+			"caseList":         {"Case"},
+			"typeList":         {"Sequence", "Array"},
+		},
+	}
+	return s
+}

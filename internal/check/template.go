@@ -1,0 +1,278 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/idl"
+	"repro/internal/jeeves"
+)
+
+// Template lint: a static walk of the compiled jeeves.Program that mirrors
+// the executor's scoping rules (a frame per @foreach; @set binds into the
+// nearest frame already holding the name, so @if bodies leak definitions
+// but @foreach bodies do not). Each analyzer consumes the events of one
+// shared walk so the scope model lives in exactly one place.
+
+func init() {
+	Register(&Analyzer{
+		Name:     "tmpl-var-undefined",
+		Doc:      "${var} references must resolve to a loop variable, @set variable or schema attribute",
+		Kind:     KindTemplate,
+		Severity: SevError,
+		Run:      func(p *Pass) { walkTemplate(p, eventRef) },
+	})
+	Register(&Analyzer{
+		Name:     "tmpl-func-unknown",
+		Doc:      "-map functions must exist in the mapping's registered function table",
+		Kind:     KindTemplate,
+		Severity: SevError,
+		Run:      func(p *Pass) { walkTemplate(p, eventFunc) },
+	})
+	Register(&Analyzer{
+		Name:     "tmpl-map-prop",
+		Doc:      "-map should read a property the iterated node kind declares",
+		Kind:     KindTemplate,
+		Severity: SevWarning,
+		Run:      func(p *Pass) { walkTemplate(p, eventMapProp) },
+	})
+	Register(&Analyzer{
+		Name:     "tmpl-list-unknown",
+		Doc:      "@foreach lists must be declared in the EST schema",
+		Kind:     KindTemplate,
+		Severity: SevError,
+		Run:      func(p *Pass) { walkTemplate(p, eventListUnknown) },
+	})
+	Register(&Analyzer{
+		Name:     "tmpl-list-misplaced",
+		Doc:      "@foreach over a list the enclosing node kind never populates yields nothing",
+		Kind:     KindTemplate,
+		Severity: SevWarning,
+		Run:      func(p *Pass) { walkTemplate(p, eventListMisplaced) },
+	})
+	Register(&Analyzer{
+		Name:     "tmpl-cond-const",
+		Doc:      "@if conditions with only literal operands are constant",
+		Kind:     KindTemplate,
+		Severity: SevWarning,
+		Run:      func(p *Pass) { walkTemplate(p, eventCondConst) },
+	})
+	Register(&Analyzer{
+		Name:     "tmpl-openfile-unreachable",
+		Doc:      "@openfile under a constant-false branch or never-yielding loop can never execute",
+		Kind:     KindTemplate,
+		Severity: SevWarning,
+		Run:      func(p *Pass) { walkTemplate(p, eventOpenfileDead) },
+	})
+}
+
+// tmplEvent discriminates walker callbacks so one walk serves every
+// analyzer without each re-implementing the scope model.
+type tmplEvent int
+
+const (
+	eventRef tmplEvent = iota
+	eventFunc
+	eventMapProp
+	eventListUnknown
+	eventListMisplaced
+	eventCondConst
+	eventOpenfileDead
+)
+
+// tmplScope is one static frame: the node kinds the frame can hold plus the
+// variables bound in it. wild frames (unknown list element kinds) resolve
+// every name so one unknown list does not cascade into spurious findings.
+type tmplScope struct {
+	kinds []string
+	wild  bool
+	vars  map[string]bool
+}
+
+type tmplWalker struct {
+	pass     *Pass
+	info     *TemplateInfo
+	event    tmplEvent
+	stack    []*tmplScope
+	reported map[string]bool // per-name dedupe for undefined variables
+}
+
+func walkTemplate(pass *Pass, event tmplEvent) {
+	info := pass.Template
+	if info == nil || info.Schema == nil {
+		return
+	}
+	w := &tmplWalker{
+		pass:     pass,
+		info:     info,
+		event:    event,
+		stack:    []*tmplScope{{kinds: []string{"Root"}, vars: map[string]bool{}}},
+		reported: map[string]bool{},
+	}
+	w.walk(info.Stmts, false)
+}
+
+func (w *tmplWalker) pos(line int) idl.Pos {
+	return idl.Pos{File: w.info.Name, Line: line, Column: 1}
+}
+
+// defined mirrors exec's lookup: innermost-out through loop variables and
+// the frame's node properties (resolved statically via the schema).
+func (w *tmplWalker) defined(name string) bool {
+	for i := len(w.stack) - 1; i >= 0; i-- {
+		sc := w.stack[i]
+		if sc.vars[name] || sc.wild || w.info.Schema.HasProp(sc.kinds, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindSet mirrors exec's @set: rebinding the nearest frame that already
+// holds the variable, else binding in the innermost frame.
+func (w *tmplWalker) bindSet(name string) {
+	for i := len(w.stack) - 1; i >= 0; i-- {
+		if w.stack[i].vars[name] {
+			return
+		}
+	}
+	w.stack[len(w.stack)-1].vars[name] = true
+}
+
+func (w *tmplWalker) checkRefs(line int, refs []string) {
+	if w.event != eventRef {
+		return
+	}
+	for _, ref := range refs {
+		if w.defined(ref) || w.reported[ref] {
+			continue
+		}
+		w.reported[ref] = true
+		w.pass.Reportf(w.pos(line), "undefined variable ${%s} (not a loop variable, @set variable or declared attribute of %s)",
+			ref, w.kindsHere())
+	}
+}
+
+// kindsHere renders the node kinds in scope, innermost first, for messages.
+func (w *tmplWalker) kindsHere() string {
+	seen := map[string]bool{}
+	var kinds []string
+	for i := len(w.stack) - 1; i >= 0; i-- {
+		for _, k := range w.stack[i].kinds {
+			if !seen[k] {
+				seen[k] = true
+				kinds = append(kinds, k)
+			}
+		}
+	}
+	sort.Strings(kinds)
+	return fmt.Sprintf("%v", kinds)
+}
+
+func (w *tmplWalker) walk(stmts []jeeves.StmtView, dead bool) {
+	for _, s := range stmts {
+		switch s.Kind {
+		case jeeves.StmtText:
+			w.checkRefs(s.Line, s.Refs)
+		case jeeves.StmtOpenFile:
+			w.checkRefs(s.Line, s.Refs)
+			if dead && w.event == eventOpenfileDead {
+				w.pass.Reportf(w.pos(s.Line), "@openfile can never execute (constant-false branch or never-yielding @foreach encloses it)")
+			}
+		case jeeves.StmtSet:
+			w.checkRefs(s.Line, s.Refs)
+			w.bindSet(s.SetName)
+		case jeeves.StmtForeach:
+			w.walkForeach(s, dead)
+		case jeeves.StmtIf:
+			w.walkIf(s, dead)
+		}
+	}
+}
+
+func (w *tmplWalker) walkForeach(s jeeves.StmtView, dead bool) {
+	schema := w.info.Schema
+	known := schema.Known(s.List)
+	top := w.stack[len(w.stack)-1]
+	// Gather reads the innermost frame's node (descending nested modules),
+	// so list validity is judged against that frame alone.
+	valid := known && (top.wild || schema.ListValid(top.kinds, s.List))
+
+	switch {
+	case !known && w.event == eventListUnknown:
+		w.pass.Reportf(w.pos(s.Line), "@foreach %s: list is not declared in the EST schema", s.List)
+	case known && !valid && w.event == eventListMisplaced:
+		w.pass.Reportf(w.pos(s.Line), "@foreach %s: %v nodes never populate this list, so the loop yields nothing",
+			s.List, top.kinds)
+	}
+
+	elems := schema.ListElems(s.List)
+	sc := &tmplScope{kinds: elems, wild: !known, vars: map[string]bool{}}
+	for _, m := range s.Maps {
+		if !w.info.Funcs[m.Func] && w.event == eventFunc {
+			w.pass.Reportf(w.pos(s.Line), "-map function %s is not in the mapping's function table", m.Func)
+		}
+		if known && !sc.wild && !schema.HasProp(elems, m.Prop) && w.event == eventMapProp {
+			w.pass.Reportf(w.pos(s.Line), "-map reads property %q, which %v nodes do not declare (the function will receive an empty string)",
+				m.Prop, elems)
+		}
+		sc.vars[m.Var] = true
+	}
+	if s.IfMore {
+		sc.vars["ifMore"] = true
+	}
+	w.stack = append(w.stack, sc)
+	// A loop that can never yield makes its whole body dead.
+	w.walk(s.Body, dead || (known && !valid))
+	w.stack = w.stack[:len(w.stack)-1]
+}
+
+func (w *tmplWalker) walkIf(s jeeves.StmtView, dead bool) {
+	// Optimistic path-insensitive model: every branch's @set bindings land
+	// in the enclosing frame (matching exec, where @if pushes no frame), and
+	// a variable counts as defined if any path defines it.
+	priorConstTrue := false
+	for _, br := range s.Branches {
+		w.checkCondRefs(s.Line, br.Cond)
+		isConst, truth := constCond(br.Cond)
+		if isConst && w.event == eventCondConst && !dead {
+			w.pass.Reportf(w.pos(s.Line), "@if condition is constant (always %v): both operands are literals", truth)
+		}
+		w.walk(br.Body, dead || priorConstTrue || (isConst && !truth))
+		if isConst && truth {
+			priorConstTrue = true
+		}
+	}
+	w.walk(s.Else, dead || priorConstTrue)
+}
+
+func (w *tmplWalker) checkCondRefs(line int, c jeeves.CondView) {
+	var refs []string
+	if c.Left.IsRef {
+		refs = append(refs, c.Left.Ref)
+	}
+	if c.Op != "" && c.Right.IsRef {
+		refs = append(refs, c.Right.Ref)
+	}
+	w.checkRefs(line, refs)
+}
+
+// constCond reports whether the condition's operands are all literals, and
+// if so its truth value under exec's rules (bare operand: non-empty and not
+// "false"; comparison: string (in)equality).
+func constCond(c jeeves.CondView) (isConst, truth bool) {
+	if c.Left.IsRef {
+		return false, false
+	}
+	if c.Op == "" {
+		return true, c.Left.Lit != "" && c.Left.Lit != "false"
+	}
+	if c.Right.IsRef {
+		return false, false
+	}
+	eq := c.Left.Lit == c.Right.Lit
+	if c.Op == "!=" {
+		return true, !eq
+	}
+	return true, eq
+}

@@ -1,0 +1,6 @@
+@if 'x' == 'y'
+never
+@fi
+@if 'same' == 'same'
+always
+@fi

@@ -1,0 +1,3 @@
+@foreach interfaceList -map interfaceName No::Such
+${interfaceName}
+@end

@@ -1,0 +1,3 @@
+@foreach paramList
+${paramName}
+@end

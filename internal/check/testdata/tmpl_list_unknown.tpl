@@ -1,0 +1,3 @@
+@foreach widgetList
+${anything} is fine here, the list is unknown
+@end

@@ -1,0 +1,3 @@
+@foreach interfaceList -mapto n interfaceNaem Test::Known
+${n}
+@end

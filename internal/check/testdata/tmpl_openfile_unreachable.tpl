@@ -1,0 +1,8 @@
+@if ''
+@openfile dead.txt
+@fi
+@foreach interfaceList
+@foreach moduleList
+@openfile ${interfaceName}.txt
+@end
+@end

@@ -1,0 +1,2 @@
+@foreach interfaceList
+unterminated loop

@@ -1,0 +1,7 @@
+// Generated for ${basename}
+@foreach interfaceList
+class ${interfaceName} uses ${nonesuch}
+@foreach methodList
+  method ${methodName} -> ${retrunType}
+@end
+@end

@@ -1,0 +1,171 @@
+package check
+
+import (
+	"strings"
+
+	"repro/internal/idl"
+)
+
+// Union case coverage vs. the discriminator's value range: duplicate labels
+// are always wrong; a default arm behind an exhaustive label set can never
+// be selected; an enum-discriminated union with neither a default nor a
+// label per member leaves values with no arm at all.
+
+func init() {
+	Register(&Analyzer{
+		Name:     "union-label-dup",
+		Doc:      "union case labels must be distinct",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runUnionLabelDup,
+	})
+	Register(&Analyzer{
+		Name:     "union-default-unreachable",
+		Doc:      "a default arm behind an exhaustive label set can never be selected",
+		Kind:     KindSpec,
+		Severity: SevWarning,
+		Run:      runUnionDefaultUnreachable,
+	})
+	Register(&Analyzer{
+		Name:     "union-uncovered",
+		Doc:      "an enum-discriminated union without a default must label every member",
+		Kind:     KindSpec,
+		Severity: SevWarning,
+		Run:      runUnionUncovered,
+	})
+}
+
+func forEachMainUnion(spec *idl.Spec, fn func(*idl.UnionDecl)) {
+	spec.Walk(func(d idl.Decl) bool {
+		if d.FromInclude() {
+			return false
+		}
+		if u, ok := d.(*idl.UnionDecl); ok {
+			fn(u)
+		}
+		return true
+	})
+}
+
+func runUnionLabelDup(pass *Pass) {
+	forEachMainUnion(pass.Spec, func(u *idl.UnionDecl) {
+		var seen []*idl.ConstValue
+		for _, c := range u.Cases {
+			for _, l := range c.Labels {
+				dup := false
+				for _, prev := range seen {
+					if l.Equal(prev) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					pass.Reportf(c.Pos, "duplicate case label %s in union %q", l, u.DeclName())
+					continue
+				}
+				seen = append(seen, l)
+			}
+		}
+	})
+}
+
+// discRange returns the number of distinct discriminator values, or 0 when
+// the range is too large to reason about (integer and char discriminators).
+func discRange(u *idl.UnionDecl) int {
+	if u.Disc == nil {
+		return 0
+	}
+	switch d := u.Disc.Unalias(); d.Kind {
+	case idl.KindBoolean:
+		return 2
+	case idl.KindEnum:
+		if e, ok := d.Decl.(*idl.EnumDecl); ok {
+			return len(e.Members)
+		}
+	}
+	return 0
+}
+
+// distinctLabels counts the union's distinct case-label values.
+func distinctLabels(u *idl.UnionDecl) []*idl.ConstValue {
+	var seen []*idl.ConstValue
+	for _, c := range u.Cases {
+		for _, l := range c.Labels {
+			dup := false
+			for _, prev := range seen {
+				if l.Equal(prev) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen = append(seen, l)
+			}
+		}
+	}
+	return seen
+}
+
+func runUnionDefaultUnreachable(pass *Pass) {
+	forEachMainUnion(pass.Spec, func(u *idl.UnionDecl) {
+		size := discRange(u)
+		if size == 0 {
+			return
+		}
+		var deflt *idl.UnionCase
+		for _, c := range u.Cases {
+			if c.IsDefault {
+				deflt = c
+				break
+			}
+		}
+		if deflt != nil && len(distinctLabels(u)) >= size {
+			pass.Reportf(deflt.Pos, "default arm of union %q is unreachable: all %d values of %s are labeled",
+				u.DeclName(), size, u.Disc.Name())
+		}
+	})
+}
+
+func runUnionUncovered(pass *Pass) {
+	forEachMainUnion(pass.Spec, func(u *idl.UnionDecl) {
+		if u.Disc == nil {
+			return
+		}
+		d := u.Disc.Unalias()
+		if d.Kind != idl.KindEnum {
+			return
+		}
+		e, ok := d.Decl.(*idl.EnumDecl)
+		if !ok {
+			return
+		}
+		for _, c := range u.Cases {
+			if c.IsDefault {
+				return
+			}
+		}
+		labeled := map[string]bool{}
+		for _, l := range distinctLabels(u) {
+			if l.Kind == idl.ConstEnum {
+				labeled[l.Name] = true
+			}
+		}
+		var missing []string
+		for _, m := range e.Members {
+			if !labeled[m] {
+				missing = append(missing, m)
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		shown := missing
+		suffix := ""
+		if len(shown) > 3 {
+			shown = shown[:3]
+			suffix = ", ..."
+		}
+		pass.Reportf(u.DeclPos(), "union %q has no arm for enum value(s) %s%s and no default",
+			u.DeclName(), strings.Join(shown, ", "), suffix)
+	})
+}

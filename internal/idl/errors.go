@@ -3,6 +3,7 @@ package idl
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -26,21 +27,58 @@ func (l *ErrorList) Add(pos Pos, format string, args ...any) {
 	*l = append(*l, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
-// Error implements the error interface by joining the first few diagnostics.
+// Sort orders the list by file, then line, then column, then message, so
+// diagnostics from multiple passes (and included files) render in source
+// order rather than discovery order.
+func (l ErrorList) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Sorted returns a sorted copy of the list with exact duplicates (same
+// position and message) removed. The receiver is not modified.
+func (l ErrorList) Sorted() ErrorList {
+	out := make(ErrorList, len(l))
+	copy(out, l)
+	out.Sort()
+	dedup := out[:0]
+	for _, e := range out {
+		if n := len(dedup); n > 0 && dedup[n-1].Pos == e.Pos && dedup[n-1].Msg == e.Msg {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	return dedup
+}
+
+// Error implements the error interface by joining the first few diagnostics,
+// sorted by position and deduplicated.
 func (l ErrorList) Error() string {
-	switch len(l) {
+	sorted := l.Sorted()
+	switch len(sorted) {
 	case 0:
 		return "no errors"
 	case 1:
-		return l[0].Error()
+		return sorted[0].Error()
 	}
 	var b strings.Builder
-	for i, e := range l {
+	for i, e := range sorted {
 		if i > 0 {
 			b.WriteString("\n")
 		}
 		if i == 8 {
-			fmt.Fprintf(&b, "... and %d more errors", len(l)-i)
+			fmt.Fprintf(&b, "... and %d more errors", len(sorted)-i)
 			break
 		}
 		b.WriteString(e.Error())

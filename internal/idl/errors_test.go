@@ -1,0 +1,54 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestErrorListSortedDedupes(t *testing.T) {
+	var l ErrorList
+	l.Add(Pos{File: "b.idl", Line: 3, Column: 1}, "third")
+	l.Add(Pos{File: "a.idl", Line: 9, Column: 2}, "second")
+	l.Add(Pos{File: "a.idl", Line: 2, Column: 5}, "first")
+	l.Add(Pos{File: "a.idl", Line: 9, Column: 2}, "second") // exact duplicate
+	l.Add(Pos{File: "a.idl", Line: 9, Column: 1}, "also second line")
+
+	sorted := l.Sorted()
+	if len(sorted) != 4 {
+		t.Fatalf("Sorted() kept %d entries, want 4 (dedupe)", len(sorted))
+	}
+	var order []string
+	for _, e := range sorted {
+		order = append(order, e.Msg)
+	}
+	want := "first,also second line,second,third"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("sort order = %s, want %s", got, want)
+	}
+	if len(l) != 5 {
+		t.Errorf("Sorted() mutated the receiver (len %d, want 5)", len(l))
+	}
+}
+
+func TestErrorListErrorRendersSorted(t *testing.T) {
+	var l ErrorList
+	l.Add(Pos{File: "z.idl", Line: 1, Column: 1}, "late")
+	l.Add(Pos{File: "a.idl", Line: 1, Column: 1}, "early")
+	l.Add(Pos{File: "a.idl", Line: 1, Column: 1}, "early")
+	got := l.Error()
+	want := "a.idl:1:1: early\nz.idl:1:1: late"
+	if got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestErrorListErrorTruncates(t *testing.T) {
+	var l ErrorList
+	for i := 1; i <= 12; i++ {
+		l.Add(Pos{File: "f.idl", Line: i, Column: 1}, "boom")
+	}
+	got := l.Error()
+	if !strings.Contains(got, "... and 4 more errors") {
+		t.Errorf("Error() = %q, want truncation note for 4 more", got)
+	}
+}

@@ -220,9 +220,9 @@ var keywords = map[string]TokenKind{
 
 // Pos is a position in an IDL source file. Line and Column are 1-based.
 type Pos struct {
-	File   string
-	Line   int
-	Column int
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"col"`
 }
 
 // String formats the position as "file:line:col". A zero position formats as

@@ -61,9 +61,15 @@ type CompileError struct {
 	Msg      string
 }
 
-// Error implements the error interface.
+// Error implements the error interface. The template name always appears
+// in the message; anonymous templates render as "template" so the user is
+// never left with a bare ":12: ..." position.
 func (e *CompileError) Error() string {
-	return fmt.Sprintf("%s:%d: %s", e.Template, e.Line, e.Msg)
+	name := e.Template
+	if name == "" {
+		name = "template"
+	}
+	return fmt.Sprintf("%s:%d: %s", name, e.Line, e.Msg)
 }
 
 // Program is a compiled template, reusable across executions (the paper's
@@ -299,6 +305,11 @@ func (c *compiler) compileBlock(terminators []string) ([]stmt, error) {
 			sub.lines = splitLines(src)
 			stmts, err := sub.compileBlock(nil)
 			if err != nil {
+				// Keep the sub-template's own position but record the
+				// include chain so the user can find the @include site.
+				if ce, ok := err.(*CompileError); ok {
+					return nil, c.errf(c.pos, "@include %q: %v", name, ce)
+				}
 				return nil, err
 			}
 			c.mergeFuncs(sub.funcs)

@@ -1,0 +1,156 @@
+package jeeves
+
+// This file exposes a read-only structural view of a compiled Program for
+// static analysis (internal/check's template lint). The executable stmt
+// representation stays unexported; View converts it into plain exported
+// values so analyzers never depend on executor internals.
+
+// StmtKind classifies a statement in a compiled template.
+type StmtKind int
+
+// Statement kinds, mirroring the template language's directives.
+const (
+	StmtText StmtKind = iota
+	StmtOpenFile
+	StmtSet
+	StmtForeach
+	StmtIf
+)
+
+// String returns the directive spelling of the kind.
+func (k StmtKind) String() string {
+	switch k {
+	case StmtText:
+		return "text"
+	case StmtOpenFile:
+		return "@openfile"
+	case StmtSet:
+		return "@set"
+	case StmtForeach:
+		return "@foreach"
+	case StmtIf:
+		return "@if"
+	}
+	return "stmt(?)"
+}
+
+// MapBinding is one -map/-mapto option of a @foreach: the loop variable it
+// binds, the node property it reads, and the map function it applies.
+type MapBinding struct {
+	Var  string
+	Prop string
+	Func string
+}
+
+// OperandView is one side of an @if comparison: either a literal or a
+// ${name} variable reference.
+type OperandView struct {
+	Lit   string
+	Ref   string
+	IsRef bool
+}
+
+// CondView is a compiled @if/@elif condition.
+type CondView struct {
+	Left  OperandView
+	Op    string // "", "==" or "!="
+	Right OperandView
+}
+
+// BranchView is one @if/@elif branch: its condition and body.
+type BranchView struct {
+	Cond CondView
+	Body []StmtView
+}
+
+// StmtView is the exported, read-only form of one compiled statement.
+// Fields are populated according to Kind; Line is 1-based and relative to
+// the template the statement was compiled from (for @include'd statements,
+// the included template).
+type StmtView struct {
+	Kind StmtKind
+	Line int
+
+	// Refs lists the ${name} references of a text, @openfile or @set
+	// statement, in order of appearance.
+	Refs []string
+
+	// SetName is the variable bound by a @set statement.
+	SetName string
+
+	// List, Maps and IfMore describe a @foreach statement; Body is its
+	// compiled body.
+	List   string
+	Maps   []MapBinding
+	IfMore bool
+	Body   []StmtView
+
+	// Branches and Else describe an @if statement.
+	Branches []BranchView
+	Else     []StmtView
+}
+
+// View returns the compiled statement tree of the program for static
+// analysis. The returned slices are fresh copies on every call.
+func (p *Program) View() []StmtView {
+	return viewStmts(p.stmts)
+}
+
+func viewStmts(stmts []stmt) []StmtView {
+	out := make([]StmtView, 0, len(stmts))
+	for _, s := range stmts {
+		out = append(out, viewStmt(s))
+	}
+	return out
+}
+
+func viewStmt(s stmt) StmtView {
+	switch n := s.(type) {
+	case textStmt:
+		return StmtView{Kind: StmtText, Line: n.line + 1, Refs: segRefs(n.segs)}
+	case openfileStmt:
+		return StmtView{Kind: StmtOpenFile, Line: n.line + 1, Refs: segRefs(n.segs)}
+	case setStmt:
+		return StmtView{Kind: StmtSet, Line: n.line + 1, SetName: n.name, Refs: segRefs(n.segs)}
+	case foreachStmt:
+		v := StmtView{
+			Kind:   StmtForeach,
+			Line:   n.line + 1,
+			List:   n.list,
+			IfMore: n.ifMore != "",
+			Body:   viewStmts(n.body),
+		}
+		for _, m := range n.maps {
+			v.Maps = append(v.Maps, MapBinding{Var: m.varName, Prop: m.srcProp, Func: m.fn})
+		}
+		return v
+	case ifStmt:
+		v := StmtView{Kind: StmtIf, Line: n.line + 1, Else: viewStmts(n.elseBody)}
+		for _, br := range n.branches {
+			v.Branches = append(v.Branches, BranchView{
+				Cond: CondView{
+					Left:  viewOperand(br.cond.left),
+					Op:    br.cond.op,
+					Right: viewOperand(br.cond.right),
+				},
+				Body: viewStmts(br.body),
+			})
+		}
+		return v
+	}
+	return StmtView{}
+}
+
+func viewOperand(o operand) OperandView {
+	return OperandView{Lit: o.lit, Ref: o.ref, IsRef: o.isRef}
+}
+
+func segRefs(segs []segment) []string {
+	var refs []string
+	for _, s := range segs {
+		if s.ref != "" {
+			refs = append(refs, s.ref)
+		}
+	}
+	return refs
+}

@@ -1,0 +1,78 @@
+package jeeves
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestViewExposesStatementTree(t *testing.T) {
+	src := "" +
+		"@openfile ${basename}.txt\n" +
+		"@set acc\n" +
+		"@foreach methodList -mapto n methodName My::Map -ifMore ','\n" +
+		"  ${n}${ifMore}\n" +
+		"@end\n" +
+		"@if ${acc} == ''\n" +
+		"empty\n" +
+		"@else\n" +
+		"full\n" +
+		"@fi\n"
+	prog, err := CompileTemplate("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := prog.View()
+	if len(view) != 4 {
+		t.Fatalf("got %d top-level statements, want 4", len(view))
+	}
+	if view[0].Kind != StmtOpenFile || view[0].Refs[0] != "basename" || view[0].Line != 1 {
+		t.Errorf("openfile view wrong: %+v", view[0])
+	}
+	if view[1].Kind != StmtSet || view[1].SetName != "acc" {
+		t.Errorf("set view wrong: %+v", view[1])
+	}
+	fe := view[2]
+	if fe.Kind != StmtForeach || fe.List != "methodList" || !fe.IfMore || fe.Line != 3 {
+		t.Errorf("foreach view wrong: %+v", fe)
+	}
+	if len(fe.Maps) != 1 || fe.Maps[0] != (MapBinding{Var: "n", Prop: "methodName", Func: "My::Map"}) {
+		t.Errorf("map bindings wrong: %+v", fe.Maps)
+	}
+	if len(fe.Body) != 1 || fe.Body[0].Kind != StmtText || strings.Join(fe.Body[0].Refs, ",") != "n,ifMore" {
+		t.Errorf("foreach body wrong: %+v", fe.Body)
+	}
+	is := view[3]
+	if is.Kind != StmtIf || len(is.Branches) != 1 || len(is.Else) != 1 {
+		t.Fatalf("if view wrong: %+v", is)
+	}
+	cond := is.Branches[0].Cond
+	if !cond.Left.IsRef || cond.Left.Ref != "acc" || cond.Op != "==" || cond.Right.IsRef || cond.Right.Lit != "" {
+		t.Errorf("cond view wrong: %+v", cond)
+	}
+}
+
+// Regression: compile errors must carry the template name, even for
+// anonymous templates and for errors inside @include'd templates (where
+// only the line number used to survive to the user).
+func TestCompileErrorNamesTemplate(t *testing.T) {
+	_, err := CompileTemplate("", "@fi\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := err.Error(); !strings.HasPrefix(got, "template:1:") {
+		t.Errorf("anonymous template error = %q, want template:1: prefix", got)
+	}
+
+	loader := func(name string) (string, error) { return "@foreach xs\nno end\n", nil }
+	_, err = CompileTemplate("mymap/main", "@include sub\n", WithLoader(loader))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	got := err.Error()
+	if !strings.Contains(got, "mymap/main:1:") {
+		t.Errorf("include error %q does not name the including template and line", got)
+	}
+	if !strings.Contains(got, `@include "sub"`) || !strings.Contains(got, "sub:2:") {
+		t.Errorf("include error %q does not name the included template position", got)
+	}
+}

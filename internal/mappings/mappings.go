@@ -37,10 +37,31 @@ type Mapping struct {
 	// Funcs builds the map functions for one generation run. The EST
 	// root is supplied so functions can index declared type names.
 	Funcs func(root *est.Node) jeeves.FuncMap
+	// Attrs declares extra EST properties the mapping's driver injects
+	// beyond what internal/est builds, keyed by node kind (e.g. the Go
+	// mapping sets "goPackage" on Root via core.WithProp). Template lint
+	// resolves ${var} references against the default schema plus these.
+	Attrs map[string][]string
 }
 
 // Entry returns the entry-point template source.
 func (m *Mapping) Entry() string { return m.Templates["main"] }
+
+// FuncNames returns the mapping's registered map-function names, sorted,
+// by instantiating the function table against an empty EST. Static
+// analysis uses this to validate -map references without a generation run.
+func (m *Mapping) FuncNames() []string {
+	if m.Funcs == nil {
+		return nil
+	}
+	fm := m.Funcs(est.NewRoot())
+	out := make([]string, 0, len(fm))
+	for name := range fm {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Compile compiles the mapping's entry template (resolving @include against
 // the mapping's template set). The compiled program is reusable across
