@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz bench bench-all check fmt fmtcheck
+.PHONY: all build test vet lint race fuzz bench bench-all bench-diff check fmt fmtcheck
 
 all: check
 
@@ -40,6 +40,20 @@ bench:
 bench-all:
 	$(GO) test -bench . -benchmem ./...
 
+# Perf regression gate: re-run the invocation-path macrobenchmarks and fail
+# on ns/op regressions against the committed baseline. The gate compares only
+# the stable C-series names (-only) and allows 25% drift — wide enough to
+# absorb scheduler noise on small machines, narrow enough that a lost
+# optimization (pooling, coalescing, the text fast path) still trips it.
+# Each benchmark runs 3× and the fastest run is kept (-min): interference
+# only ever slows a run down, so min-of-3 is stable where any one 0.5s run
+# can throw a 25%+ outlier.
+bench-diff:
+	$(GO) test -run xxx -bench 'C2_|C5_|C6_' -benchtime 0.5s -count 3 -benchmem . \
+		| $(GO) run ./internal/tools/benchjson -min > /tmp/bench_new.json
+	$(GO) run ./internal/tools/benchjson -diff BENCH_results.json /tmp/bench_new.json \
+		-threshold 25 -only 'C2_|C5_|C6_'
+
 fmt:
 	gofmt -l -w .
 
@@ -47,5 +61,6 @@ fmt:
 fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# The tier-1 gate: what must be green before merging.
-check: build vet lint test race fmtcheck
+# The tier-1 gate: what must be green before merging. race covers the
+# transport/orb concurrency (coalescer included); bench-diff gates perf.
+check: build vet lint test race fmtcheck bench-diff

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -655,6 +656,74 @@ func BenchmarkC5_Multiplex(b *testing.B) {
 					wg.Wait()
 					done += width
 				}
+				select {
+				case err := <-errCh:
+					b.Fatal(err)
+				default:
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkC6_Coalesce measures write coalescing on the multiplexed path
+// over real loopback TCP (net.Buffers only becomes writev on a real socket):
+// the PR-2 mux path (coalesce=off) against the gathered-write path
+// (coalesce=on), at 1, 8 and 32 parallel callers on ONE shared connection.
+// With a single caller both modes take a direct write — the delta is the
+// fast path's latency tax, budgeted under 10%. Under fan-out the coalescer
+// collapses the callers' frames into a handful of writev calls on the client
+// and the server's reply side alike. Callers are persistent goroutines
+// draining a shared work counter — the shape of a real pipelined client —
+// so the harness measures the wire path, not goroutine spawn.
+func BenchmarkC6_Coalesce(b *testing.B) {
+	for _, coalesce := range []bool{false, true} {
+		for _, callers := range []int{1, 8, 32} {
+			coalesce, callers := coalesce, callers
+			mode := "mux"
+			if coalesce {
+				mode = "coalesce"
+			}
+			b.Run(fmt.Sprintf("%s/callers=%d", mode, callers), func(b *testing.B) {
+				sess := remoteSession(b, wire.CDR, func(o *orb.Options) {
+					o.Multiplex = true
+					o.MaxConcurrentPerConn = 64
+					o.CoalesceWrites = coalesce
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				if callers == 1 {
+					for i := 0; i < b.N; i++ {
+						if _, err := sess.GetVolume(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					return
+				}
+				errCh := make(chan error, 1)
+				record := func(err error) {
+					select {
+					case errCh <- err:
+					default:
+					}
+				}
+				var (
+					wg   sync.WaitGroup
+					next int64
+				)
+				wg.Add(callers)
+				for g := 0; g < callers; g++ {
+					go func() {
+						defer wg.Done()
+						for atomic.AddInt64(&next, 1) <= int64(b.N) {
+							if _, err := sess.GetVolume(); err != nil {
+								record(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
 				select {
 				case err := <-errCh:
 					b.Fatal(err)

@@ -10,7 +10,11 @@
 // This example fires waves of 32 concurrent calls through both paths over a
 // transport whose Dial costs a realistic 300µs, and prints how many
 // connections each path opened. With `Multiplex: true` the whole run rides
-// one connection; the exclusive pool re-dials every wave.
+// one connection; the exclusive pool re-dials every wave. A third run adds
+// `CoalesceWrites: true`, batching each wave's requests and replies into
+// gathered writes (DESIGN.md §9) — the win over plain multiplexing is
+// syscall count, so it is modest over in-process pipes and largest over
+// real TCP (EXPERIMENTS.md R3).
 //
 // Run it with:
 //
@@ -49,15 +53,18 @@ func (t slowDial) Dial(addr string) (transport.Conn, error) {
 
 func main() {
 	fmt.Printf("%d waves of %d concurrent calls, dial cost %v\n\n", waves, callers, dialCost)
-	run("exclusive pool", false)
-	run("multiplexed   ", true)
+	run("exclusive pool", false, false)
+	run("multiplexed   ", true, false)
+	run("mux+coalesce  ", true, true)
 }
 
-func run(label string, mux bool) {
+func run(label string, mux, coalesce bool) {
 	tr := slowDial{transport.NewInproc(wire.CDR)}
 	server, ref, _, err := demo.Serve(orb.Options{
 		Protocol: wire.CDR, Transport: tr, ListenAddr: ":0",
 		MaxConcurrentPerConn: callers,
+		// Batch concurrent replies into gathered writes (DESIGN.md §9).
+		CoalesceWrites: coalesce,
 	}, "shared")
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +74,13 @@ func run(label string, mux bool) {
 	client := demo.Connect(orb.Options{
 		Protocol: wire.CDR, Transport: tr,
 		Multiplex: mux,
+		// Batch the wave's pipelined requests into gathered writes. The
+		// bounds are the defaults (64 frames / 256 KiB per batch) spelled
+		// out; CoalesceLinger stays zero — yield-based accumulation forms
+		// the batches without adding wall-clock latency.
+		CoalesceWrites:    coalesce,
+		CoalesceMaxFrames: 64,
+		CoalesceMaxBytes:  256 << 10,
 	})
 	defer client.Shutdown()
 	obj, err := client.Resolve(ref)

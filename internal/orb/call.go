@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +22,9 @@ type callBase struct {
 	orb *ORB
 	enc wire.Encoder
 	dec wire.Decoder
+	// proto is the protocol enc/dec belong to; pooled calls reuse them via
+	// Reset only when the owning ORB's protocol matches.
+	proto wire.Protocol
 }
 
 // --- marshaling (heidi.Writer and extras) ------------------------------------
@@ -210,6 +214,33 @@ type ClientCall struct {
 	method     string
 	invoked    bool
 	idempotent bool
+	released   bool
+	// reply is the reply message whose (possibly lease-backed) body the
+	// decoder views; it is held until Release so the view cannot be
+	// recycled under the caller's Get reads.
+	reply *wire.Message
+	ctx   ClientContext
+	// cachedRef/cachedStr memoize the stringified target header across pool
+	// reuse (they survive Release): stubs invoke the same reference over and
+	// over, and rebuilding the header string was measurable on the wire path.
+	cachedRef ObjectRef
+	cachedStr string
+}
+
+// targetRef returns the stringified target reference for the request header,
+// memoized across pooled reuse of this call.
+func (c *ClientCall) targetRef() string {
+	if c.cachedStr == "" || c.cachedRef != c.ref {
+		c.cachedRef, c.cachedStr = c.ref, c.ref.String()
+	}
+	return c.cachedStr
+}
+
+// clientCallPool recycles ClientCall structs together with their
+// encoder/decoder pairs; NewCall + Release on the hot path then allocate
+// nothing.
+var clientCallPool = sync.Pool{
+	New: func() any { return new(ClientCall) },
 }
 
 // NewCall creates a Call for one remote method invocation.
@@ -217,11 +248,19 @@ func (o *ORB) NewCall(ref ObjectRef, method string) (*ClientCall, error) {
 	if ref.IsNil() {
 		return nil, fmt.Errorf("orb: call %q on nil object reference", method)
 	}
-	return &ClientCall{
-		callBase: callBase{orb: o, enc: o.proto.NewEncoder()},
-		ref:      ref,
-		method:   method,
-	}, nil
+	c := clientCallPool.Get().(*ClientCall)
+	c.orb = o
+	if c.enc == nil || c.proto != o.proto {
+		c.proto = o.proto
+		c.enc = o.proto.NewEncoder()
+		c.dec = nil
+	} else {
+		c.enc.Reset()
+	}
+	c.ref = ref
+	c.method = method
+	c.invoked, c.idempotent, c.released = false, false, false
+	return c, nil
 }
 
 // Invoke sends the request and waits for the reply; afterwards the Get
@@ -234,9 +273,18 @@ func (c *ClientCall) Invoke() error {
 		return err
 	}
 	if reply.Status != wire.StatusOK {
-		return &RemoteError{Status: reply.Status, Msg: reply.ErrMsg}
+		rerr := &RemoteError{Status: reply.Status, Msg: reply.ErrMsg}
+		wire.FreeMessage(reply)
+		return rerr
 	}
-	c.dec = c.orb.proto.NewDecoder(reply.Body)
+	// Hold the reply until Release: the decoder's body view may alias a
+	// pooled read buffer whose lease travels with the message.
+	c.reply = reply
+	if c.dec == nil {
+		c.dec = c.orb.proto.NewDecoder(reply.Body)
+	} else {
+		c.dec.Reset(reply.Body)
+	}
 	return nil
 }
 
@@ -258,10 +306,14 @@ func (c *ClientCall) roundTrip(oneway bool) (*wire.Message, error) {
 		return nil, fmt.Errorf("orb: call %q invoked twice", c.method)
 	}
 	c.invoked = true
-	ctx := &ClientContext{Ref: c.ref, Method: c.method, Oneway: oneway}
+	c.ctx = ClientContext{Ref: c.ref, Method: c.method, Oneway: oneway}
+	if !c.orb.hasClientInts() {
+		// No interceptors: skip the chain (and its closure) entirely.
+		return c.transact(&c.ctx, oneway)
+	}
 	var reply *wire.Message
-	err := c.orb.runClientChain(ctx, func() error {
-		r, err := c.transact(ctx, oneway)
+	err := c.orb.runClientChain(&c.ctx, func() error {
+		r, err := c.transact(&c.ctx, oneway)
 		reply = r
 		return err
 	})
@@ -335,14 +387,13 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
 	}
 	id := atomic.AddUint32(&c.orb.reqID, 1)
-	req := &wire.Message{
-		Type:      wire.MsgRequest,
-		RequestID: id,
-		TargetRef: c.ref.String(),
-		Method:    c.method,
-		Oneway:    oneway,
-		Body:      c.enc.Bytes(),
-	}
+	req := wire.NewMessage()
+	req.Type = wire.MsgRequest
+	req.RequestID = id
+	req.TargetRef = c.targetRef()
+	req.Method = c.method
+	req.Oneway = oneway
+	req.Body = c.enc.Bytes()
 	hasDeadline := c.orb.opts.CallTimeout > 0
 	if hasDeadline {
 		conn.SetDeadline(time.Now().Add(c.orb.opts.CallTimeout))
@@ -356,7 +407,9 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 		}
 		c.orb.pool.Put(c.ref.Addr, conn, healthy)
 	}
-	if err := conn.Send(req); err != nil {
+	err = conn.Send(req)
+	wire.FreeMessage(req) // the frame is on the wire (or failed); enc owns the body
+	if err != nil {
 		putBack(false)
 		return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
 	}
@@ -379,6 +432,7 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 			return nil, class, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
 		}
 		if reply.Type != wire.MsgReply || reply.RequestID != id {
+			wire.FreeMessage(reply) // skipped: release its read-buffer lease
 			skipped++
 			if skipped >= maxStaleReplies {
 				putBack(false)
@@ -418,30 +472,30 @@ func (c *ClientCall) attemptMux(oneway bool) (*wire.Message, failureClass, error
 		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
 	}
 	id := atomic.AddUint32(&c.orb.reqID, 1)
-	req := &wire.Message{
-		Type:      wire.MsgRequest,
-		RequestID: id,
-		TargetRef: c.ref.String(),
-		Method:    c.method,
-		Oneway:    oneway,
-		Body:      c.enc.Bytes(),
-	}
+	req := wire.NewMessage()
+	req.Type = wire.MsgRequest
+	req.RequestID = id
+	req.TargetRef = c.targetRef()
+	req.Method = c.method
+	req.Oneway = oneway
+	req.Body = c.enc.Bytes()
 	atomic.AddUint64(&c.orb.stats.MuxCalls, 1)
 	if oneway {
-		if err := mc.SendOneway(req); err != nil {
+		err := mc.SendOneway(req)
+		wire.FreeMessage(req)
+		if err != nil {
 			c.orb.mux.Report(c.ref.Addr, false)
-			return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+			return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
 		}
 		atomic.AddUint64(&c.orb.stats.OnewaysSent, 1)
 		c.orb.mux.Report(c.ref.Addr, true)
 		return nil, failNone, nil
 	}
 	pending, err := mc.Invoke(req)
+	wire.FreeMessage(req) // sends are synchronous: the frame is out (or failed)
 	if err != nil {
-		// The request did not go out whole; nothing for the peer to have
-		// processed.
 		c.orb.mux.Report(c.ref.Addr, false)
-		return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+		return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
 	}
 	atomic.AddUint64(&c.orb.stats.CallsSent, 1)
 	var timeout <-chan time.Time
@@ -459,18 +513,38 @@ func (c *ClientCall) attemptMux(oneway bool) (*wire.Message, failureClass, error
 	return reply, failNone, nil
 }
 
+// sendFailureClass classifies a multiplexed send failure. A plain send error
+// means the frame did not go out whole (nothing for the peer to process), and
+// ErrNotSent means the coalescer never attempted it — both failSafe. A frame
+// caught in a failed gathered write (ErrFlushFailed) may have reached the
+// peer, so it is ambiguous.
+func sendFailureClass(err error) failureClass {
+	if errors.Is(err, transport.ErrFlushFailed) {
+		return failAmbiguous
+	}
+	return failSafe
+}
+
 // isConnClosed reports the error shapes a closed-by-peer connection
 // produces on read.
 func isConnClosed(err error) bool {
 	return errors.Is(err, wire.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// Release ends the call; the Call object may not be reused afterwards. It
-// exists to mirror the HeidiRMI API shape (stubs release their Call after
-// unmarshaling results).
+// Release ends the call and recycles it; the Call object may not be used
+// afterwards. It mirrors the HeidiRMI API shape (stubs release their Call
+// after unmarshaling results) — and is what returns the reply's read-buffer
+// lease, so result strings must be copied out (Get methods do) before it.
 func (c *ClientCall) Release() {
-	c.enc = nil
-	c.dec = nil
+	if c.released {
+		return
+	}
+	c.released = true
+	wire.FreeMessage(c.reply)
+	c.reply = nil
+	c.ref = ObjectRef{}
+	c.orb = nil
+	clientCallPool.Put(c)
 }
 
 // Method returns the remote method name.
@@ -486,6 +560,39 @@ type ServerCall struct {
 	callBase
 	method string
 	oneway bool
+	// ctx is the interceptor context, embedded so dispatching with
+	// interceptors registered does not allocate one per request.
+	ctx ServerContext
+}
+
+// serverCallPool recycles ServerCall structs with their encoder/decoder
+// pairs across dispatches.
+var serverCallPool = sync.Pool{
+	New: func() any { return new(ServerCall) },
+}
+
+// getServerCall returns a ServerCall wired to o and m's body, reusing the
+// pooled encoder/decoder when the protocol matches.
+func (o *ORB) getServerCall(m *wire.Message) *ServerCall {
+	sc := serverCallPool.Get().(*ServerCall)
+	sc.orb = o
+	if sc.enc == nil || sc.proto != o.proto {
+		sc.proto = o.proto
+		sc.enc = o.proto.NewEncoder()
+		sc.dec = o.proto.NewDecoder(m.Body)
+	} else {
+		sc.enc.Reset()
+		sc.dec.Reset(m.Body)
+	}
+	sc.method, sc.oneway = m.Method, m.Oneway
+	return sc
+}
+
+// putServerCall recycles a ServerCall once its reply has been sent.
+func putServerCall(sc *ServerCall) {
+	sc.orb = nil
+	sc.ctx = ServerContext{}
+	serverCallPool.Put(sc)
 }
 
 // Method returns the invoked method name.

@@ -57,6 +57,23 @@ func (o *ORB) AddServerInterceptor(i ServerInterceptor) {
 	o.serverInts = append(o.serverInts, i)
 }
 
+// hasClientInts reports whether any client interceptors are registered; the
+// hot path uses it to skip the chain (and its closures) entirely.
+func (o *ORB) hasClientInts() bool {
+	o.mu.Lock()
+	n := len(o.clientInts)
+	o.mu.Unlock()
+	return n > 0
+}
+
+// hasServerInts is hasClientInts for the dispatch chain.
+func (o *ORB) hasServerInts() bool {
+	o.mu.Lock()
+	n := len(o.serverInts)
+	o.mu.Unlock()
+	return n > 0
+}
+
 // runClientChain composes the registered client interceptors around core.
 func (o *ORB) runClientChain(ctx *ClientContext, core func() error) error {
 	o.mu.Lock()

@@ -78,6 +78,25 @@ type Options struct {
 	// at most one request outstanding per connection, and the mux path
 	// pairs replies by RequestID.
 	MaxConcurrentPerConn int
+
+	// CoalesceWrites batches concurrent frames into gathered writes
+	// (writev) on shared connections: the client's multiplexed send path
+	// (requires Multiplex) and the server's reply path when
+	// MaxConcurrentPerConn > 1. Single in-flight callers take a direct
+	// write, so the latency cost when there is nothing to batch is
+	// marginal; see DESIGN.md §9 for when not to enable it.
+	CoalesceWrites bool
+	// CoalesceMaxFrames bounds the writer queue and the number of frames
+	// in one gathered write; <= 0 selects the transport default (64).
+	CoalesceMaxFrames int
+	// CoalesceMaxBytes bounds one gathered write's payload bytes; <= 0
+	// selects the transport default (256 KiB).
+	CoalesceMaxBytes int
+	// CoalesceLinger makes the flusher wait this long after the first
+	// queued frame to accumulate a larger batch, trading per-call latency
+	// for batch size. Zero (the default) flushes as soon as the flusher
+	// runs; microseconds are the sensible scale otherwise.
+	CoalesceLinger time.Duration
 }
 
 // StubFactory builds a typed stub for a reference; generated bindings
@@ -111,6 +130,11 @@ type ORB struct {
 	factories map[string]StubFactory
 	conns     map[transport.Conn]struct{} // live server-side connections
 	closed    bool
+
+	// servantCache memoizes lookupServant hits by the request's literal
+	// target string (lock-free reads on the dispatch path); invalidated
+	// wholesale by Unexport.
+	servantCache sync.Map
 
 	clientInts []ClientInterceptor
 	serverInts []ServerInterceptor
@@ -185,9 +209,23 @@ func New(opts Options) *ORB {
 			Width:   opts.MuxConnsPerEndpoint,
 			Breaker: o.pool.Breaker,
 		}
+		if opts.CoalesceWrites {
+			cfg := o.coalesceConfig()
+			o.mux.Coalesce = &cfg
+		}
 	}
 	o.retry = newRetryState(opts.Retry)
 	return o
+}
+
+// coalesceConfig maps the Options knobs onto the transport's coalescer
+// configuration.
+func (o *ORB) coalesceConfig() transport.CoalesceConfig {
+	return transport.CoalesceConfig{
+		MaxFrames: o.opts.CoalesceMaxFrames,
+		MaxBytes:  o.opts.CoalesceMaxBytes,
+		Linger:    o.opts.CoalesceLinger,
+	}
 }
 
 // Protocol returns the ORB's wire protocol.
@@ -352,6 +390,13 @@ func (o *ORB) Unexport(impl any) {
 	if ref, ok := o.byImpl[impl]; ok {
 		delete(o.servants, ref.ObjectID)
 		delete(o.byImpl, impl)
+		// Drop the whole dispatch cache: entries are keyed by the client's
+		// literal target spelling, so the removed servant's keys cannot be
+		// enumerated directly.
+		o.servantCache.Range(func(k, _ any) bool {
+			o.servantCache.Delete(k)
+			return true
+		})
 	}
 }
 
@@ -415,18 +460,27 @@ func (o *ORB) Resolve(ref ObjectRef) (any, error) {
 	return stub, nil
 }
 
-// lookupServant finds the servant for an incoming request's target.
+// lookupServant finds the servant for an incoming request's target. Hits are
+// served from a lock-free cache keyed by the request's literal target string:
+// every request pays this lookup, and parsing the reference plus taking the
+// ORB lock was measurable at high pipelining depth. The cache is invalidated
+// wholesale on Unexport (rare) — a stale entry can otherwise outlive its
+// servant.
 func (o *ORB) lookupServant(refStr string) (*servant, error) {
+	if s, ok := o.servantCache.Load(refStr); ok {
+		return s.(*servant), nil
+	}
 	ref, err := ParseRef(refStr)
 	if err != nil {
 		return nil, err
 	}
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	s, ok := o.servants[ref.ObjectID]
+	o.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: id %q", ErrUnknownObject, ref.ObjectID)
 	}
+	o.servantCache.Store(refStr, s)
 	return s, nil
 }
 
@@ -469,14 +523,58 @@ func (o *ORB) serveConn(c transport.Conn) {
 		o.mu.Unlock()
 	}()
 	var (
-		sem    chan struct{}
 		connWG sync.WaitGroup
+		active int32 // requests accepted but not yet replied (group-commit hint)
 	)
+	// With write coalescing on and concurrent dispatch enabled, replies
+	// from the per-connection workers batch into gathered writes instead
+	// of each taking the conn's send lock and a syscall. The in-flight
+	// request count is the group-commit hint: with other requests accepted
+	// and not yet replied, more reply frames are imminent, so queue this
+	// one for gathering; the last reply standing takes the direct write.
+	// The read loop increments at accept — counting at dispatch start would
+	// undercount on a busy connection, since requests the read loop has
+	// pulled off the wire but not yet handed over are exactly the ones
+	// about to produce replies worth waiting for.
+	send := c.Send
+	if o.opts.CoalesceWrites && o.opts.MaxConcurrentPerConn > 1 {
+		co := transport.NewCoalescer(c, o.coalesceConfig())
+		// Runs after connWG.Wait below (defers are LIFO), so every
+		// worker's reply has been flushed or failed before the conn dies.
+		defer co.Close()
+		send = func(m *wire.Message) error {
+			if atomic.LoadInt32(&active) > 1 {
+				return co.SendBatched(m)
+			}
+			return co.Send(m)
+		}
+	}
 	// Let in-flight workers finish sending their replies before the
 	// deferred c.Close above runs (defers are LIFO).
 	defer connWG.Wait()
-	if limit := o.opts.MaxConcurrentPerConn; limit > 0 {
-		sem = make(chan struct{}, limit)
+	// Concurrent dispatch runs on persistent per-connection workers rather
+	// than a goroutine per request: worker stacks grow through the dispatch
+	// + send path once and stay grown, where fresh 2 KiB-stack goroutines
+	// would pay a copystack inside the write syscall on every request.
+	// Workers spawn lazily up to the bound; the unbuffered channel gives the
+	// same backpressure as a semaphore — the read loop blocks when every
+	// worker is busy.
+	var (
+		reqs    chan *wire.Message
+		workers int
+	)
+	limit := o.opts.MaxConcurrentPerConn
+	if limit > 0 {
+		reqs = make(chan *wire.Message)
+		defer close(reqs) // before connWG.Wait: lets idle workers exit
+	}
+	worker := func() {
+		defer connWG.Done()
+		for m := range reqs {
+			o.serveRequest(send, m)
+			atomic.AddInt32(&active, -1)
+			o.reqWG.Done()
+		}
 	}
 	for {
 		m, err := c.Recv()
@@ -484,6 +582,7 @@ func (o *ORB) serveConn(c transport.Conn) {
 			return // closed or protocol error: drop the connection
 		}
 		if m.Type != wire.MsgRequest {
+			wire.FreeMessage(m)
 			continue // ignore stray replies
 		}
 		// Register the dispatch under reqWG while holding mu, so
@@ -497,67 +596,82 @@ func (o *ORB) serveConn(c transport.Conn) {
 		}
 		o.reqWG.Add(1)
 		o.mu.Unlock()
-		if sem == nil {
-			o.serveRequest(c, m)
+		if reqs == nil {
+			o.serveRequest(send, m)
 			o.reqWG.Done()
 			continue
 		}
-		sem <- struct{}{} // bound reached: block reading until a worker frees
-		connWG.Add(1)
-		go func(m *wire.Message) {
-			defer o.reqWG.Done()
-			defer connWG.Done()
-			defer func() { <-sem }()
-			o.serveRequest(c, m)
-		}(m)
+		atomic.AddInt32(&active, 1)
+		select {
+		case reqs <- m: // an idle worker took it
+		default:
+			if workers < limit {
+				workers++
+				connWG.Add(1)
+				go worker()
+			}
+			reqs <- m // bound reached: block reading until a worker frees
+		}
 	}
 }
 
-// serveRequest handles a single request message.
-func (o *ORB) serveRequest(c transport.Conn, m *wire.Message) {
-	atomic.AddUint64(&o.stats.RequestsServed, 1)
-	reply := func(status wire.ReplyStatus, errMsg string, body []byte) {
-		if m.Oneway {
-			return
-		}
-		c.Send(&wire.Message{
-			Type:      wire.MsgReply,
-			RequestID: m.RequestID,
-			Status:    status,
-			ErrMsg:    errMsg,
-			Body:      body,
-		})
+// sendReply emits one reply frame through the connection's send path (plain
+// or coalesced), using a pooled message struct.
+func (o *ORB) sendReply(send func(*wire.Message) error, id uint32, status wire.ReplyStatus, errMsg string, body []byte) {
+	r := wire.NewMessage()
+	r.Type = wire.MsgReply
+	r.RequestID = id
+	r.Status = status
+	r.ErrMsg = errMsg
+	r.Body = body
+	send(r)
+	wire.FreeMessage(r)
+}
+
+// dispatch runs the skeleton lookup and handler for one request.
+func (o *ORB) dispatch(s *servant, m *wire.Message, sc *ServerCall) error {
+	handled, err := s.table.Dispatch(m.Method, sc)
+	if !handled {
+		atomic.AddUint64(&o.stats.DispatchMisses, 1)
+		return &errNotDispatched{typeID: s.typeID, method: m.Method}
 	}
+	return err
+}
+
+// serveRequest handles a single request message. It owns m (and the read
+// buffer its body views), releasing both when the dispatch completes.
+func (o *ORB) serveRequest(send func(*wire.Message) error, m *wire.Message) {
+	atomic.AddUint64(&o.stats.RequestsServed, 1)
+	defer wire.FreeMessage(m)
 
 	s, err := o.lookupServant(m.TargetRef)
 	if err != nil {
-		reply(wire.StatusUnknownObject, err.Error(), nil)
+		if !m.Oneway {
+			o.sendReply(send, m.RequestID, wire.StatusUnknownObject, err.Error(), nil)
+		}
 		return
 	}
-	sc := &ServerCall{
-		callBase: callBase{orb: o, enc: o.proto.NewEncoder(), dec: o.proto.NewDecoder(m.Body)},
-		method:   m.Method,
-		oneway:   m.Oneway,
+	sc := o.getServerCall(m)
+	defer putServerCall(sc)
+	if o.hasServerInts() {
+		sc.ctx = ServerContext{TargetRef: m.TargetRef, TypeID: s.typeID, Method: m.Method, Oneway: m.Oneway}
+		err = o.runServerChain(&sc.ctx, func() error { return o.dispatch(s, m, sc) })
+	} else {
+		err = o.dispatch(s, m, sc)
 	}
-	ctx := &ServerContext{TargetRef: m.TargetRef, TypeID: s.typeID, Method: m.Method, Oneway: m.Oneway}
-	err = o.runServerChain(ctx, func() error {
-		handled, err := s.table.Dispatch(m.Method, sc)
-		if !handled {
-			atomic.AddUint64(&o.stats.DispatchMisses, 1)
-			return &errNotDispatched{typeID: s.typeID, method: m.Method}
-		}
-		return err
-	})
+	if m.Oneway {
+		return
+	}
 	switch {
 	case err == nil:
-		reply(wire.StatusOK, "", sc.enc.Bytes())
+		o.sendReply(send, m.RequestID, wire.StatusOK, "", sc.enc.Bytes())
 	case errors.Is(err, ErrUnknownMethod):
-		reply(wire.StatusUnknownMethod, err.Error(), nil)
+		o.sendReply(send, m.RequestID, wire.StatusUnknownMethod, err.Error(), nil)
 	default:
 		if _, ok := err.(UserError); ok {
-			reply(wire.StatusUserException, err.Error(), nil)
+			o.sendReply(send, m.RequestID, wire.StatusUserException, err.Error(), nil)
 		} else {
-			reply(wire.StatusSystemError, err.Error(), nil)
+			o.sendReply(send, m.RequestID, wire.StatusSystemError, err.Error(), nil)
 		}
 	}
 }

@@ -5,20 +5,34 @@
 // Usage:
 //
 //	go test -bench . -benchmem . | go run ./internal/tools/benchjson
+//	go run ./internal/tools/benchjson -diff old.json new.json -threshold 10
 //
 // Lines that are not benchmark results (package headers, PASS/ok, logs) are
 // ignored. When the same benchmark appears more than once (-count=N), the
-// last result wins — matching how a human reads the tail of a bench log.
+// last result wins — matching how a human reads the tail of a bench log —
+// unless -min is given, in which case the fastest ns/op run wins. Min-of-N
+// is the noise-robust statistic the regression gate wants: scheduler
+// interference only ever slows a run down, so the minimum tracks the code's
+// actual cost while any single run can be an outlier.
+//
+// Diff mode compares two result files and exits non-zero if any benchmark
+// present in both regressed by more than -threshold percent in ns/op — the
+// regression gate behind `make bench-diff`. -only restricts the comparison
+// to names matching a regexp (noisy micro-benchmarks need not gate CI);
+// benchmarks that exist on only one side are reported but never fail the
+// gate, so adding or retiring benchmarks does not break the build.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches e.g.
@@ -38,6 +52,29 @@ type result struct {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two JSON result files instead of parsing bench output")
+	threshold := flag.Float64("threshold", 10, "max ns/op regression percent before -diff fails")
+	only := flag.String("only", "", "regexp restricting which benchmarks -diff compares")
+	min := flag.Bool("min", false, "keep the fastest of repeated (-count=N) runs instead of the last")
+	flag.Parse()
+	if *diff {
+		// The documented shape is `-diff old.json new.json -threshold 10`,
+		// but flag.Parse stops at the first positional argument, so any
+		// trailing flags land in Args(). Peel off file operands and feed
+		// runs of flags back through the parser until everything is
+		// consumed.
+		var files []string
+		for args := flag.Args(); len(args) > 0; args = flag.Args() {
+			if args[0] == "-" || !strings.HasPrefix(args[0], "-") {
+				files = append(files, args[0])
+				args = args[1:]
+			}
+			if err := flag.CommandLine.Parse(args); err != nil {
+				os.Exit(2)
+			}
+		}
+		os.Exit(runDiff(files, *threshold, *only))
+	}
 	results := make(map[string]result)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -56,6 +93,9 @@ func main() {
 		if m[5] != "" {
 			a, _ := strconv.ParseInt(m[5], 10, 64)
 			r.AllocsPerOp = &a
+		}
+		if prev, ok := results[m[1]]; ok && *min && prev.NsPerOp <= r.NsPerOp {
+			continue
 		}
 		results[m[1]] = r
 	}
@@ -83,4 +123,86 @@ func main() {
 		fmt.Fprintf(out, "  %q: %s%s\n", n, v, comma)
 	}
 	fmt.Fprintln(out, "}")
+}
+
+// loadResults reads one benchjson output file.
+func loadResults(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]result
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// runDiff implements -diff: compare old and new result files, returning the
+// process exit code (0 ok, 1 regression or usage/IO error).
+func runDiff(args []string, threshold float64, only string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+		return 1
+	}
+	var filter *regexp.Regexp
+	if only != "" {
+		var err error
+		if filter, err = regexp.Compile(only); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -only regexp:", err)
+			return 1
+		}
+	}
+	oldR, err := loadResults(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	newR, err := loadResults(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	names := make([]string, 0, len(oldR))
+	for n := range oldR {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	compared := 0
+	for _, n := range names {
+		if filter != nil && !filter.MatchString(n) {
+			continue
+		}
+		o := oldR[n]
+		nw, ok := newR[n]
+		if !ok {
+			fmt.Printf("  gone   %-60s (baseline %.0f ns/op)\n", n, o.NsPerOp)
+			continue
+		}
+		compared++
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		delta := (nw.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		mark := "  ok    "
+		if delta > threshold {
+			mark = "  REGR  "
+			regressed++
+		}
+		fmt.Printf("%s%-60s %10.0f -> %10.0f ns/op  %+6.1f%%\n", mark, n, o.NsPerOp, nw.NsPerOp, delta)
+	}
+	for n := range newR {
+		if _, ok := oldR[n]; !ok && (filter == nil || filter.MatchString(n)) {
+			fmt.Printf("  new    %-60s (%.0f ns/op)\n", n, newR[n].NsPerOp)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed more than %.0f%% ns/op\n",
+			regressed, compared, threshold)
+		return 1
+	}
+	fmt.Printf("benchjson: %d benchmarks within %.0f%% of baseline\n", compared, threshold)
+	return 0
 }

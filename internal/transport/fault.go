@@ -195,6 +195,54 @@ func (c *faultConn) Send(m *wire.Message) error {
 	return c.Conn.Send(m)
 }
 
+// SendBatch implements BatchSender: every frame in the batch is numbered and
+// ticked individually, so a schedule can kill the connection mid-batch — the
+// passing prefix reaches the peer, the faulted frame and everything after it
+// do not. This is what the coalescing-writer torture tests drive.
+func (c *faultConn) SendBatch(ms []*wire.Message) error {
+	bs, ok := c.Conn.(BatchSender)
+	if !ok {
+		for _, m := range ms {
+			if err := c.Send(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, m := range ms {
+		_ = m
+		c.sends++
+		info, verdict := c.t.tick(FaultSend, c.addr, c.sends)
+		switch verdict {
+		case FaultPass:
+			continue
+		case FaultFail:
+			if i > 0 {
+				if err := bs.SendBatch(ms[:i]); err != nil {
+					return err
+				}
+			}
+			return fmt.Errorf("%w: send to %s (send #%d, batch frame %d/%d)", ErrInjected, c.addr, info.Global, i+1, len(ms))
+		case FaultDrop:
+			if i > 0 {
+				if err := bs.SendBatch(ms[:i]); err != nil {
+					return err
+				}
+			}
+			c.Conn.Close()
+			return fmt.Errorf("%w: connection to %s dropped before send #%d (batch frame %d/%d)", ErrInjected, c.addr, info.Global, i+1, len(ms))
+		case FaultPartial:
+			err := bs.SendBatch(ms[:i+1])
+			c.Conn.Close()
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("%w: connection to %s dropped during send #%d (batch frame %d/%d)", ErrInjected, c.addr, info.Global, i+1, len(ms))
+		}
+	}
+	return bs.SendBatch(ms)
+}
+
 func (c *faultConn) Recv() (*wire.Message, error) {
 	c.recvs++
 	info, verdict := c.t.tick(FaultRecv, c.addr, c.recvs)

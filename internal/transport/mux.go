@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -48,6 +49,7 @@ var resultChPool = sync.Pool{
 // processed its request, so the failure is inherently ambiguous.
 type MuxConn struct {
 	conn Conn
+	co   *Coalescer // when non-nil, all sends route through the coalescer
 
 	sendMu sync.Mutex // the single writer: whole frames, never interleaved
 
@@ -56,16 +58,28 @@ type MuxConn struct {
 	err     error                     // terminal error, set once by the reader
 	late    int                       // replies that arrived after their caller gave up
 
+	inflight atomic.Int32 // len(pending), readable without the mutex
+	broken   atomic.Bool  // mirrors err != nil, readable without the mutex
+
 	done chan struct{} // closed when the demux reader exits
 }
 
 // NewMuxConn wraps c and starts its demux reader. The MuxConn owns c: do
 // not Send or Recv on it directly afterwards.
-func NewMuxConn(c Conn) *MuxConn {
+func NewMuxConn(c Conn) *MuxConn { return NewMuxConnCoalescing(c, nil) }
+
+// NewMuxConnCoalescing is NewMuxConn with an optional coalescing writer:
+// when cfg is non-nil, concurrent callers' frames are batched into gathered
+// writes (DESIGN.md §9) instead of each taking the writer lock and a
+// syscall.
+func NewMuxConnCoalescing(c Conn, cfg *CoalesceConfig) *MuxConn {
 	m := &MuxConn{
 		conn:    c,
 		pending: make(map[uint32]chan muxResult),
 		done:    make(chan struct{}),
+	}
+	if cfg != nil {
+		m.co = NewCoalescer(c, *cfg)
 	}
 	go m.demux()
 	return m
@@ -83,18 +97,22 @@ func (m *MuxConn) demux() {
 			return
 		}
 		if r.Type != wire.MsgReply {
-			continue // requests/noise on a client channel: ignore
+			wire.FreeMessage(r) // requests/noise on a client channel: drop
+			continue
 		}
 		m.mu.Lock()
 		ch, ok := m.pending[r.RequestID]
 		if ok {
 			delete(m.pending, r.RequestID)
+			m.inflight.Add(-1)
 		} else {
 			m.late++
 		}
 		m.mu.Unlock()
 		if ok {
 			ch <- muxResult{reply: r} // buffered: never blocks the reader
+		} else {
+			wire.FreeMessage(r) // caller gave up: release the body lease
 		}
 	}
 }
@@ -106,23 +124,47 @@ func (m *MuxConn) fail(err error) {
 	if m.err == nil {
 		m.err = err
 	}
+	// Mark the connection unhealthy before any caller observes its failure,
+	// so a failed call's immediate retry never draws this connection again.
+	m.broken.Store(true)
 	pend := m.pending
 	m.pending = nil
+	m.inflight.Store(0)
 	m.mu.Unlock()
 	for _, ch := range pend {
 		ch <- muxResult{err: fmt.Errorf("transport: shared connection failed: %w", err)}
 	}
 	close(m.done)
+	if m.co != nil {
+		// Resolve any frames still queued in the coalescer (ErrNotSent) and
+		// stop its flusher. The connection is already closed above.
+		m.co.Close()
+	}
 }
 
 // send is the single serialized writer. A failed write may have left a
 // partial frame on the stream, poisoning the framing for every other call,
 // so the connection is killed — the demux reader then fails the rest.
 func (m *MuxConn) send(req *wire.Message) error {
-	m.sendMu.Lock()
-	err := m.conn.Send(req)
-	m.sendMu.Unlock()
-	if err != nil {
+	var err error
+	if m.co != nil {
+		// Group commit: with other calls already awaiting replies on this
+		// shared connection, more frames are imminent — skip the direct
+		// write so the flusher can gather them. A lone caller (inflight
+		// counts this call once registered) keeps the direct path.
+		if m.inflight.Load() > 1 {
+			err = m.co.SendBatched(req)
+		} else {
+			err = m.co.Send(req)
+		}
+	} else {
+		m.sendMu.Lock()
+		err = m.conn.Send(req)
+		m.sendMu.Unlock()
+	}
+	if err != nil && !errors.Is(err, ErrNotSent) {
+		// ErrNotSent frames never touched the stream, so the framing is
+		// intact; everything else may have poisoned it.
 		m.conn.Close()
 	}
 	return err
@@ -145,13 +187,16 @@ func (m *MuxConn) Invoke(req *wire.Message) (*PendingReply, error) {
 		return nil, fmt.Errorf("transport: duplicate request id %d on shared connection", req.RequestID)
 	}
 	m.pending[req.RequestID] = ch
+	m.inflight.Add(1)
 	m.mu.Unlock()
 
 	if err := m.send(req); err != nil {
 		m.forget(req.RequestID)
 		return nil, err
 	}
-	return &PendingReply{m: m, id: req.RequestID, ch: ch}, nil
+	p := pendingPool.Get().(*PendingReply)
+	p.m, p.id, p.ch = m, req.RequestID, ch
+	return p, nil
 }
 
 // SendOneway sends a request expecting no reply.
@@ -168,7 +213,10 @@ func (m *MuxConn) SendOneway(req *wire.Message) error {
 // forget deregisters an in-flight call (send failure or per-call timeout).
 func (m *MuxConn) forget(id uint32) {
 	m.mu.Lock()
-	delete(m.pending, id) // nil map after fail: delete is a no-op
+	if _, ok := m.pending[id]; ok { // nil map after fail: absent, no-op
+		delete(m.pending, id)
+		m.inflight.Add(-1)
+	}
 	m.mu.Unlock()
 }
 
@@ -191,12 +239,21 @@ func (m *MuxConn) Err() error {
 	return m.err
 }
 
-// InFlight reports the number of calls awaiting replies.
-func (m *MuxConn) InFlight() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.pending)
+// healthy reports whether the shared connection can still carry calls: the
+// demux reader has seen no terminal error and the coalescing writer (if any)
+// has not been poisoned by a write failure. The write side can die first —
+// and under heavy retry pressure the reader goroutine may not have run yet —
+// so the pool checks both before handing the connection out again. Both
+// checks are lock-free: this runs inside every MuxPool.Get.
+func (m *MuxConn) healthy() bool {
+	if m.broken.Load() {
+		return false
+	}
+	return m.co == nil || !m.co.dead()
 }
+
+// InFlight reports the number of calls awaiting replies.
+func (m *MuxConn) InFlight() int { return int(m.inflight.Load()) }
 
 // Close tears the shared connection down; in-flight calls fail.
 func (m *MuxConn) Close() error { return m.conn.Close() }
@@ -204,21 +261,31 @@ func (m *MuxConn) Close() error { return m.conn.Close() }
 // RemoteAddr describes the peer for diagnostics.
 func (m *MuxConn) RemoteAddr() string { return m.conn.RemoteAddr() }
 
-// PendingReply is one in-flight multiplexed call's completion handle.
+// PendingReply is one in-flight multiplexed call's completion handle. The
+// struct is pooled: Wait consumes it, and the caller must not touch the
+// handle afterwards.
 type PendingReply struct {
 	m  *MuxConn
 	id uint32
 	ch chan muxResult
 }
 
+// pendingPool recycles the completion handles; one is allocated per
+// successful Invoke and recycled when Wait consumes it.
+var pendingPool = sync.Pool{
+	New: func() any { return new(PendingReply) },
+}
+
 // Wait blocks until the reply arrives, the shared connection dies, or
 // timeout fires (a nil channel never fires — no bound). On timeout the call
 // is deregistered so the demux reader drops the late reply; the shared
-// connection itself stays up for the other callers.
+// connection itself stays up for the other callers. Wait consumes the
+// handle: it must be called exactly once.
 func (p *PendingReply) Wait(timeout <-chan time.Time) (*wire.Message, error) {
 	select {
 	case r := <-p.ch:
 		resultChPool.Put(p.ch)
+		p.recycle()
 		return r.reply, r.err
 	case <-timeout:
 		p.m.forget(p.id)
@@ -227,11 +294,21 @@ func (p *PendingReply) Wait(timeout <-chan time.Time) (*wire.Message, error) {
 		select {
 		case r := <-p.ch:
 			resultChPool.Put(p.ch)
+			p.recycle()
 			return r.reply, r.err
 		default:
 		}
+		// The channel may still receive a late route: it is lost to the
+		// pool, but the handle itself is safe to recycle.
+		p.recycle()
 		return nil, ErrMuxTimeout
 	}
+}
+
+// recycle returns the handle to the pool.
+func (p *PendingReply) recycle() {
+	*p = PendingReply{}
+	pendingPool.Put(p)
 }
 
 // MuxPool hands out the shared multiplexed connections, a small fixed set
@@ -249,6 +326,9 @@ type MuxPool struct {
 	Width int
 	// Breaker, when set, gates Get per endpoint exactly as in Pool.
 	Breaker *BreakerSet
+	// Coalesce, when set, routes every shared connection's writes through a
+	// coalescing writer with this configuration (DESIGN.md §9).
+	Coalesce *CoalesceConfig
 
 	mu     sync.Mutex
 	conns  map[string][]*MuxConn // fixed Width slots per endpoint
@@ -301,10 +381,11 @@ func (p *MuxPool) Get(addr string) (*MuxConn, error) {
 	}
 	p.rr++
 	slot := int(p.rr) % width
-	// A connection is replaced as soon as its terminal error is set — which
-	// happens before any caller sees its call fail — so a failed caller's
-	// immediate retry never gets handed the same dying connection back.
-	if mc := slots[slot]; mc != nil && mc.Err() == nil {
+	// A connection is replaced as soon as its terminal error is set (or its
+	// coalescing writer is poisoned) — which happens before any caller sees
+	// its call fail — so a failed caller's immediate retry never gets
+	// handed the same dying connection back.
+	if mc := slots[slot]; mc != nil && mc.healthy() {
 		return mc, nil
 	}
 	// First use, or the slot's connection died: dial a replacement under
@@ -320,7 +401,7 @@ func (p *MuxPool) Get(addr string) (*MuxConn, error) {
 		p.late += old.lateCount()
 	}
 	p.dials++
-	mc := NewMuxConn(c)
+	mc := NewMuxConnCoalescing(c, p.Coalesce)
 	slots[slot] = mc
 	return mc, nil
 }

@@ -59,12 +59,25 @@ type Transport interface {
 // ErrListenerClosed is returned by Accept after Close.
 var ErrListenerClosed = errors.New("transport: listener closed")
 
+// BatchSender is implemented by Conns that can emit several frames as one
+// gathered write. SendBatch is atomic with respect to concurrent Send calls
+// (no frame interleaving) and is the primitive the Coalescer builds on: on
+// TCP it collapses N frames into a single writev syscall.
+type BatchSender interface {
+	SendBatch(ms []*wire.Message) error
+}
+
 // streamConn frames messages over any io stream with a wire.Protocol.
 type streamConn struct {
 	nc     net.Conn
 	r      *bufio.Reader
 	proto  wire.Protocol
 	sendMu sync.Mutex
+
+	// Gathered-write scratch, guarded by sendMu: per-frame encode buffers
+	// (capacity reused across batches) and the iovec slice handed to writev.
+	frames [][]byte
+	segs   net.Buffers
 }
 
 // readerPool recycles per-connection read buffers: a connection-churn
@@ -88,6 +101,49 @@ func (c *streamConn) Send(m *wire.Message) error {
 	return c.proto.WriteMessage(c.nc, m)
 }
 
+// maxRetainedFrame bounds the capacity of per-conn batch encode buffers kept
+// across batches (same bound as the wire frame pool).
+const maxRetainedFrame = 64 << 10
+
+// SendBatch implements BatchSender: each message is encoded into its own
+// retained buffer and the set is written with net.Buffers, which on TCP is a
+// single writev. On non-TCP streams (net.Pipe) net.Buffers degrades to
+// sequential writes, preserving semantics if not the syscall win.
+func (c *streamConn) SendBatch(ms []*wire.Message) error {
+	switch len(ms) {
+	case 0:
+		return nil
+	case 1:
+		return c.Send(ms[0])
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	segs := c.segs[:0]
+	for i, m := range ms {
+		if i == len(c.frames) {
+			c.frames = append(c.frames, nil)
+		}
+		b, err := c.proto.AppendMessage(c.frames[i][:0], m)
+		if err != nil {
+			return err
+		}
+		c.frames[i] = b
+		segs = append(segs, b)
+	}
+	// WriteTo consumes its receiver as it writes; give it a copy of the
+	// header so the backing array can be reused for the next batch.
+	wv := segs
+	_, err := wv.WriteTo(c.nc)
+	// Drop any oversized encode buffers so one huge payload is not pinned.
+	c.segs = segs[:0]
+	for i := range c.frames {
+		if cap(c.frames[i]) > maxRetainedFrame {
+			c.frames[i] = nil
+		}
+	}
+	return err
+}
+
 func (c *streamConn) Recv() (*wire.Message, error) {
 	if c.r == nil {
 		return nil, wire.ErrClosed
@@ -103,6 +159,7 @@ func (c *streamConn) Recv() (*wire.Message, error) {
 		return nil, err
 	}
 	if m.Type == wire.MsgClose {
+		wire.FreeMessage(m)
 		c.recycleReader()
 		return nil, wire.ErrClosed
 	}

@@ -68,13 +68,28 @@ func (p *CDRProtocol) Name() string { return p.name }
 // pooled scratch buffer and written with a single Write call.
 func (p *CDRProtocol) WriteMessage(w io.Writer, m *Message) error {
 	bp := getFrame()
-	b := append(*bp, cdrZeros[:cdrHeaderLen]...)
+	b, err := p.AppendMessage(*bp, m)
+	if err != nil {
+		putFrame(bp)
+		return err
+	}
+	*bp = b // recycle the grown buffer, not the original slice
+	_, err = w.Write(b)
+	putFrame(bp)
+	return err
+}
+
+// AppendMessage implements Protocol. Alignment inside the frame is relative
+// to the frame's own start, so frames append correctly at any dst offset.
+func (p *CDRProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	base := len(dst)
+	b := append(dst, cdrZeros[:cdrHeaderLen]...)
 
 	// Encode the meta strings directly into the frame after the header.
 	// cdrHeaderLen is a multiple of cdrBodyAlign, so encoder alignment
-	// (relative to buffer start) still matches decoder alignment (relative
+	// (relative to frame start) still matches decoder alignment (relative
 	// to payload start).
-	meta := cdrEncoder{buf: b, order: p.order}
+	meta := cdrEncoder{buf: b, base: base, order: p.order}
 	switch m.Type {
 	case MsgRequest:
 		meta.PutString(m.TargetRef)
@@ -86,25 +101,24 @@ func (p *CDRProtocol) WriteMessage(w io.Writer, m *Message) error {
 	case MsgClose:
 		// no meta
 	default:
-		putFrame(bp)
-		return fmt.Errorf("wire: cannot encode message type %s", m.Type)
+		return dst, fmt.Errorf("wire: cannot encode message type %s", m.Type)
 	}
 	b = meta.buf
 	if len(m.Body) > 0 {
-		if rem := (len(b) - cdrHeaderLen) % cdrBodyAlign; rem != 0 {
+		if rem := (len(b) - base - cdrHeaderLen) % cdrBodyAlign; rem != 0 {
 			b = append(b, cdrZeros[:cdrBodyAlign-rem]...)
 		}
 	}
-	payload := len(b) - cdrHeaderLen + len(m.Body)
+	payload := len(b) - base - cdrHeaderLen + len(m.Body)
 	if payload > MaxBodyLen {
-		putFrame(bp)
-		return fmt.Errorf("wire: message payload %d exceeds %d bytes", payload, MaxBodyLen)
+		return dst, fmt.Errorf("wire: message payload %d exceeds %d bytes", payload, MaxBodyLen)
 	}
 	b = append(b, m.Body...)
 
-	copy(b, cdrMagic)
-	b[4] = cdrVersion
-	b[5] = byte(m.Type)
+	hdr := b[base:]
+	copy(hdr, cdrMagic)
+	hdr[4] = cdrVersion
+	hdr[5] = byte(m.Type)
 	flags := byte(0)
 	if p.little {
 		flags |= flagLittle
@@ -112,24 +126,27 @@ func (p *CDRProtocol) WriteMessage(w io.Writer, m *Message) error {
 	if m.Oneway {
 		flags |= flagOneway
 	}
-	b[6] = flags
-	b[7] = byte(m.Status)
-	p.order.PutUint32(b[8:12], m.RequestID)
-	p.order.PutUint32(b[12:16], uint32(payload))
-
-	*bp = b // recycle the grown buffer, not the original slice
-	_, err := w.Write(b)
-	putFrame(bp)
-	return err
+	hdr[6] = flags
+	hdr[7] = byte(m.Status)
+	p.order.PutUint32(hdr[8:12], m.RequestID)
+	p.order.PutUint32(hdr[12:16], uint32(payload))
+	return b, nil
 }
 
 // ReadMessage implements Protocol. It accepts either byte order regardless
-// of which instance reads, per the flags byte.
+// of which instance reads, per the flags byte. The payload is read into a
+// pooled lease buffer and Body views into it — no copy; the caller owns the
+// returned message (FreeMessage when done).
 func (p *CDRProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
-	hdr := make([]byte, cdrHeaderLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		if err == io.EOF {
+	// Peek the fixed header out of the bufio buffer instead of copying it
+	// into a fresh allocation; the buffer (4 KiB) always fits 16 bytes.
+	hdr, err := r.Peek(cdrHeaderLen)
+	if err != nil {
+		if err == io.EOF && len(hdr) == 0 {
 			return nil, ErrClosed
+		}
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
 		}
 		return nil, fmt.Errorf("wire: reading cdr header: %w", err)
 	}
@@ -143,45 +160,62 @@ func (p *CDRProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 	if hdr[6]&flagLittle != 0 {
 		order = binary.LittleEndian
 	}
-	m := &Message{
-		Type:      MsgType(hdr[5]),
-		Oneway:    hdr[6]&flagOneway != 0,
-		Status:    ReplyStatus(hdr[7]),
-		RequestID: order.Uint32(hdr[8:]),
-	}
+	m := NewMessage()
+	m.Type = MsgType(hdr[5])
+	m.Oneway = hdr[6]&flagOneway != 0
+	m.Status = ReplyStatus(hdr[7])
+	m.RequestID = order.Uint32(hdr[8:])
 	payloadLen := order.Uint32(hdr[12:])
+	r.Discard(cdrHeaderLen)
 	if payloadLen > MaxBodyLen {
+		FreeMessage(m)
 		return nil, fmt.Errorf("wire: payload length %d exceeds %d", payloadLen, MaxBodyLen)
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("wire: reading cdr payload: %w", err)
+	var payload []byte
+	if payloadLen > 0 {
+		lease := newLease(int(payloadLen))
+		if _, err := io.ReadFull(r, lease.buf); err != nil {
+			lease.release()
+			FreeMessage(m)
+			return nil, fmt.Errorf("wire: reading cdr payload: %w", err)
+		}
+		m.lease = lease
+		payload = lease.buf
 	}
 
 	meta := &cdrDecoder{buf: payload, order: order}
+	bad := func(what string, err error) (*Message, error) {
+		FreeMessage(m)
+		return nil, fmt.Errorf("wire: %s: %w", what, err)
+	}
 	switch m.Type {
 	case MsgRequest:
 		ref, err := meta.GetString()
 		if err != nil {
-			return nil, fmt.Errorf("wire: request target: %w", err)
+			return bad("request target", err)
 		}
 		method, err := meta.GetString()
 		if err != nil {
-			return nil, fmt.Errorf("wire: request method: %w", err)
+			return bad("request method", err)
 		}
 		m.TargetRef, m.Method = ref, method
 	case MsgReply:
 		if m.Status != StatusOK {
 			msg, err := meta.GetString()
 			if err != nil {
-				return nil, fmt.Errorf("wire: reply error message: %w", err)
+				return bad("reply error message", err)
 			}
 			m.ErrMsg = msg
 		}
 	case MsgClose:
+		m.ReleaseBody()
 		return m, nil
 	default:
-		return nil, fmt.Errorf("wire: unknown message type %d", hdr[5])
+		// hdr views the bufio buffer and is stale after the payload read;
+		// the type byte was already captured into m.
+		t := byte(m.Type)
+		FreeMessage(m)
+		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}
 	if meta.off < len(payload) {
 		body := meta.off
@@ -192,6 +226,10 @@ func (p *CDRProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 			body = len(payload)
 		}
 		m.Body = payload[body:]
+	} else {
+		// Meta consumed the whole payload: nothing for Body to view, so
+		// give the buffer back now rather than when the call completes.
+		m.ReleaseBody()
 	}
 	return m, nil
 }
@@ -204,11 +242,12 @@ func (p *CDRProtocol) NewDecoder(body []byte) Decoder {
 	return &cdrDecoder{buf: body, order: p.order}
 }
 
-// cdrEncoder writes aligned binary values. Alignment is relative to the
-// start of the buffer, preserved across framing by the 8-byte body re-base
-// in WriteMessage.
+// cdrEncoder writes aligned binary values. Alignment is relative to base
+// (the frame's start inside buf; zero for standalone body encoders),
+// preserved across framing by the 8-byte body re-base in AppendMessage.
 type cdrEncoder struct {
 	buf   []byte
+	base  int
 	order byteOrder
 }
 
@@ -216,7 +255,7 @@ type cdrEncoder struct {
 var cdrZeros [cdrHeaderLen]byte
 
 func (e *cdrEncoder) align(n int) {
-	if rem := len(e.buf) % n; rem != 0 {
+	if rem := (len(e.buf) - e.base) % n; rem != 0 {
 		e.buf = append(e.buf, cdrZeros[:n-rem]...)
 	}
 }
@@ -281,6 +320,9 @@ func (e *cdrEncoder) Begin(string) {}
 func (e *cdrEncoder) End()         {}
 
 func (e *cdrEncoder) Bytes() []byte { return e.buf }
+
+// Reset implements Encoder, keeping the buffer's capacity for the next call.
+func (e *cdrEncoder) Reset() { e.buf = e.buf[:0] }
 
 // cdrDecoder reads aligned binary values.
 type cdrDecoder struct {
@@ -435,6 +477,9 @@ func (d *cdrDecoder) GetString() (string, error) {
 // BeginGet/EndGet are no-ops in CDR; BeginGet reports an empty tag.
 func (d *cdrDecoder) BeginGet() (string, error) { return "", nil }
 func (d *cdrDecoder) EndGet() error             { return nil }
+
+// Reset implements Decoder, re-targeting the decoder at a new body.
+func (d *cdrDecoder) Reset(body []byte) { d.buf, d.off = body, 0 }
 
 func (d *cdrDecoder) Remaining() int {
 	if d.off >= len(d.buf) {

@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the buffer-lease protocol behind zero-copy decoding:
+// ReadMessage reads each frame's payload into a pooled buffer and hands out
+// Message.Body as a view into it instead of copying. The buffer is on lease —
+// refcounted, recycled only when every holder has released it — so a body
+// view stays valid for exactly as long as someone owns the message, no matter
+// how reads on other connections churn the pool. See DESIGN.md §9.
+//
+// Ownership rules:
+//
+//   - ReadMessage returns a Message owning one reference on its lease.
+//   - FreeMessage (or ReleaseBody) drops that reference; at zero the buffer
+//     returns to the pool for the next read.
+//   - A holder that hands the body onward while keeping its own view calls
+//     RetainBody first; both sides then release independently.
+//   - Over-release panics: recycling a buffer somebody still views would
+//     silently corrupt a later message, the worst possible failure mode, so
+//     the refcount fails loudly instead.
+
+// bodyLease is one refcounted pooled payload buffer.
+type bodyLease struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+// leasePool recycles payload buffers across connections.
+var leasePool = sync.Pool{
+	New: func() any { return &bodyLease{} },
+}
+
+// maxPooledLease keeps one giant payload from pinning a huge buffer in the
+// pool forever (same bound as the write-side frame pool).
+const maxPooledLease = 64 << 10
+
+// newLease returns a lease with a buffer of length n and one reference.
+func newLease(n int) *bodyLease {
+	l := leasePool.Get().(*bodyLease)
+	if cap(l.buf) < n {
+		l.buf = make([]byte, n)
+	} else {
+		l.buf = l.buf[:n]
+	}
+	l.refs.Store(1)
+	return l
+}
+
+// retain adds a reference.
+func (l *bodyLease) retain() { l.refs.Add(1) }
+
+// release drops a reference, recycling the buffer at zero.
+func (l *bodyLease) release() {
+	switch n := l.refs.Add(-1); {
+	case n == 0:
+		if cap(l.buf) <= maxPooledLease {
+			leasePool.Put(l)
+		}
+	case n < 0:
+		panic("wire: message body lease over-released")
+	}
+}
+
+// msgPool recycles Message structs across the demux -> PendingReply ->
+// ClientCall chain (and the server's read -> dispatch -> reply chain).
+var msgPool = sync.Pool{
+	New: func() any { return new(Message) },
+}
+
+// NewMessage returns an empty Message from the pool. Pair with FreeMessage;
+// a forgotten Free leaks nothing but the recycling opportunity.
+func NewMessage() *Message { return msgPool.Get().(*Message) }
+
+// FreeMessage releases m's body lease (if any) and returns the struct to the
+// pool. m must not be used afterwards. FreeMessage(nil) is a no-op.
+func FreeMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	m.ReleaseBody()
+	*m = Message{}
+	msgPool.Put(m)
+}
+
+// RetainBody adds a reference to the pooled buffer Body views, for holders
+// that pass the message onward while keeping the view. No-op for bodies that
+// do not alias a lease (encoder output, literals).
+func (m *Message) RetainBody() {
+	if m.lease != nil {
+		m.lease.retain()
+	}
+}
+
+// ReleaseBody drops this message's reference on its body buffer and detaches
+// Body. Safe to call more than once on the same struct and on messages whose
+// Body never aliased a lease.
+func (m *Message) ReleaseBody() {
+	if l := m.lease; l != nil {
+		m.lease = nil
+		m.Body = nil
+		l.release()
+	}
+}
+
+// Leased reports whether Body aliases a pooled read buffer (diagnostics and
+// tests).
+func (m *Message) Leased() bool { return m.lease != nil }

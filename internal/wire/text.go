@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -35,10 +36,21 @@ func (TextProtocol) Name() string { return "text" }
 
 // WriteMessage implements Protocol. The frame is assembled in a pooled
 // scratch buffer and written in one call.
-func (TextProtocol) WriteMessage(w io.Writer, m *Message) error {
+func (p TextProtocol) WriteMessage(w io.Writer, m *Message) error {
 	bp := getFrame()
 	defer putFrame(bp)
-	b := *bp
+	b, err := p.AppendMessage(*bp, m)
+	if err != nil {
+		return err
+	}
+	*bp = b
+	_, err = w.Write(b)
+	return err
+}
+
+// AppendMessage implements Protocol.
+func (TextProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	b := dst
 	switch m.Type {
 	case MsgRequest:
 		if m.Oneway {
@@ -61,104 +73,213 @@ func (TextProtocol) WriteMessage(w io.Writer, m *Message) error {
 			b = append(b, ' ')
 			b = strconv.AppendInt(b, int64(m.Status), 10)
 			b = append(b, ' ')
-			b = strconv.AppendQuote(b, m.ErrMsg)
+			b = appendQuoted(b, m.ErrMsg)
 		}
 	case MsgClose:
 		b = append(b, "close"...)
 	default:
-		return fmt.Errorf("wire: cannot encode message type %s", m.Type)
+		return dst, fmt.Errorf("wire: cannot encode message type %s", m.Type)
 	}
 	if len(m.Body) > 0 {
 		b = append(b, ' ')
 		b = append(b, m.Body...)
 	}
-	b = append(b, '\n')
-	*bp = b
-	_, err := w.Write(b)
-	return err
+	return append(b, '\n'), nil
 }
 
-// ReadMessage implements Protocol.
+// ReadMessage implements Protocol. The line is read into a pooled lease
+// buffer; request/reply bodies view into it without copying. The caller owns
+// the returned message (FreeMessage when done).
 func (TextProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		if err == io.EOF && line == "" {
+	lease := newLease(0)
+	buf := lease.buf[:0]
+	for {
+		frag, err := r.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			if len(buf) > MaxBodyLen {
+				lease.release()
+				return nil, fmt.Errorf("wire: text message exceeds %d bytes", MaxBodyLen)
+			}
+			continue
+		}
+		lease.release()
+		if err == io.EOF && len(buf) == 0 {
 			return nil, ErrClosed
 		}
 		return nil, fmt.Errorf("wire: reading text message: %w", err)
 	}
-	line = strings.TrimRight(line, "\r\n")
+	lease.buf = buf // keep the grown capacity with the lease
+	line := buf
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
 	if len(line) > MaxBodyLen {
+		lease.release()
 		return nil, fmt.Errorf("wire: text message exceeds %d bytes", MaxBodyLen)
 	}
+	bad := func(format string, args ...any) (*Message, error) {
+		lease.release()
+		return nil, fmt.Errorf("wire: "+format, args...)
+	}
 	verb, rest := nextField(line)
-	m := &Message{}
-	switch verb {
+	m := NewMessage()
+	switch string(verb) {
 	case "close":
+		lease.release()
 		m.Type = MsgClose
 		return m, nil
 	case "call", "send":
 		m.Type = MsgRequest
-		m.Oneway = verb == "send"
+		m.Oneway = verb[0] == 's'
 		id, rest2 := nextField(rest)
 		ref, rest3 := nextField(rest2)
 		method, body := nextField(rest3)
-		n, err := strconv.ParseUint(id, 10, 32)
+		n, err := strconv.ParseUint(string(id), 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("wire: bad request id %q", id)
+			FreeMessage(m)
+			return bad("bad request id %q", id)
 		}
-		if ref == "" || method == "" {
-			return nil, fmt.Errorf("wire: request missing target or method: %q", line)
+		if len(ref) == 0 || len(method) == 0 {
+			FreeMessage(m)
+			return bad("request missing target or method: %q", line)
 		}
 		m.RequestID = uint32(n)
-		m.TargetRef = ref
-		m.Method = method
-		m.Body = []byte(body)
+		m.TargetRef = string(ref)
+		m.Method = string(method)
+		if len(body) > 0 {
+			m.Body = body
+			m.lease = lease
+		} else {
+			lease.release()
+		}
 		return m, nil
 	case "ok":
 		m.Type = MsgReply
 		m.Status = StatusOK
 		id, body := nextField(rest)
-		n, err := strconv.ParseUint(id, 10, 32)
+		n, err := strconv.ParseUint(string(id), 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("wire: bad reply id %q", id)
+			FreeMessage(m)
+			return bad("bad reply id %q", id)
 		}
 		m.RequestID = uint32(n)
-		m.Body = []byte(body)
+		if len(body) > 0 {
+			m.Body = body
+			m.lease = lease
+		} else {
+			lease.release()
+		}
 		return m, nil
 	case "err":
 		m.Type = MsgReply
 		id, rest2 := nextField(rest)
 		status, rest3 := nextField(rest2)
-		n, err := strconv.ParseUint(id, 10, 32)
+		n, err := strconv.ParseUint(string(id), 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("wire: bad reply id %q", id)
+			FreeMessage(m)
+			return bad("bad reply id %q", id)
 		}
-		sc, err := strconv.Atoi(status)
+		sc, err := strconv.Atoi(string(status))
 		if err != nil || sc == int(StatusOK) {
-			return nil, fmt.Errorf("wire: bad error status %q", status)
+			FreeMessage(m)
+			return bad("bad error status %q", status)
 		}
-		msg := strings.TrimSpace(rest3)
-		if unq, err := strconv.Unquote(msg); err == nil {
+		msg := string(bytes.TrimSpace(rest3))
+		if unq, err := unquoteToken(msg); err == nil {
 			msg = unq
 		}
 		m.RequestID = uint32(n)
 		m.Status = ReplyStatus(sc)
 		m.ErrMsg = msg
+		lease.release()
 		return m, nil
 	default:
-		return nil, fmt.Errorf("wire: unknown text verb %q", verb)
+		FreeMessage(m)
+		return bad("unknown text verb %q", verb)
 	}
 }
 
 // nextField splits off the next space-delimited field.
-func nextField(s string) (field, rest string) {
-	s = strings.TrimLeft(s, " ")
-	i := strings.IndexByte(s, ' ')
+func nextField(s []byte) (field, rest []byte) {
+	for len(s) > 0 && s[0] == ' ' {
+		s = s[1:]
+	}
+	i := bytes.IndexByte(s, ' ')
 	if i < 0 {
-		return s, ""
+		return s, nil
 	}
 	return s[:i], s[i+1:]
+}
+
+// --- quoting fast path --------------------------------------------------------
+//
+// Strings on the text wire are Go-quoted, but the overwhelming majority of
+// real payloads are plain printable ASCII needing no escapes at all. A single
+// memchr-style scan decides whether the strconv round trip is needed; when it
+// is not, quoting is one copy and unquoting is a zero-copy sub-view. This is
+// what brings text/payload1k within reach of CDR (EXPERIMENTS.md R3).
+
+// SWAR constants: one bit pattern repeated across all eight byte lanes.
+const (
+	swarLSB   = 0x0101010101010101
+	swarMSB   = 0x8080808080808080
+	swarSpace = 0x2020202020202020 // 0x20 in every lane
+	swarDel   = 0x7f7f7f7f7f7f7f7f // DEL in every lane
+	swarQuote = 0x2222222222222222 // '"' in every lane
+	swarSlash = 0x5c5c5c5c5c5c5c5c // '\\' in every lane
+)
+
+// swarHasZero flags (high bit of) every all-zero byte lane in v.
+func swarHasZero(v uint64) uint64 { return (v - swarLSB) & ^v & swarMSB }
+
+// quotePlain reports whether every byte of s can travel inside double quotes
+// unescaped: printable ASCII excluding the quote and backslash characters.
+// The scan is eight bytes per step: a lane is flagged if it is non-ASCII,
+// a control byte (<0x20), DEL, '"', or '\\'. On kilobyte payloads this scan
+// is the whole cost of the quoting fast path, so it is worth the bit tricks.
+func quotePlain(s string) bool {
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		x := uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+			uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+		bad := x & swarMSB                    // non-ASCII
+		bad |= (x - swarSpace) & ^x & swarMSB // < 0x20
+		bad |= swarHasZero(x ^ swarDel)       // == 0x7f
+		bad |= swarHasZero(x ^ swarQuote)     // == '"'
+		bad |= swarHasZero(x ^ swarSlash)     // == '\\'
+		if bad != 0 {
+			return false
+		}
+	}
+	for ; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendQuoted is strconv.AppendQuote with the escape-free fast path.
+func appendQuoted(b []byte, s string) []byte {
+	if quotePlain(s) {
+		b = append(b, '"')
+		b = append(b, s...)
+		return append(b, '"')
+	}
+	return strconv.AppendQuote(b, s)
+}
+
+// unquoteToken is strconv.Unquote with the escape-free fast path; on the
+// fast path the result is a sub-view of t, not a copy.
+func unquoteToken(t string) (string, error) {
+	if len(t) >= 2 && t[0] == '"' && t[len(t)-1] == '"' && quotePlain(t[1:len(t)-1]) {
+		return t[1 : len(t)-1], nil
+	}
+	return strconv.Unquote(t)
 }
 
 // NewEncoder implements Protocol.
@@ -233,7 +354,7 @@ func (e *textEncoder) PutChar(v rune) {
 }
 func (e *textEncoder) PutString(v string) {
 	e.sep()
-	e.buf = strconv.AppendQuote(e.buf, v)
+	e.buf = appendQuoted(e.buf, v)
 }
 func (e *textEncoder) Begin(tag string) {
 	e.sep()
@@ -245,11 +366,20 @@ func (e *textEncoder) End() {
 	e.buf = append(e.buf, '}')
 }
 func (e *textEncoder) Bytes() []byte { return e.buf }
+func (e *textEncoder) Reset()        { e.buf = e.buf[:0] }
 
-// textDecoder tokenizes an encoded body.
+// textDecoder tokenizes an encoded body. The body is copied into a string up
+// front, so tokens it hands out (including GetString's zero-copy sub-views)
+// never alias the pooled read buffer and stay valid after the lease returns.
 type textDecoder struct {
 	rest string
 	off  int
+}
+
+// Reset implements Decoder.
+func (d *textDecoder) Reset(body []byte) {
+	d.rest = string(body)
+	d.off = 0
 }
 
 func (d *textDecoder) next() (string, error) {
@@ -283,7 +413,26 @@ func (d *textDecoder) next() (string, error) {
 // quoting).
 func quotedPrefix(s string) (string, error) {
 	if s[0] == '"' {
-		return strconv.QuotedPrefix(s)
+		// Fast path: both scans below are vectorized memchr. If the first
+		// closing quote has no backslash anywhere before it, no escape can
+		// reach it and the token ends there.
+		if j := strings.IndexByte(s[1:], '"'); j >= 0 {
+			if strings.IndexByte(s[1:1+j], '\\') < 0 {
+				return s[:j+2], nil
+			}
+		}
+		// Find the closing unescaped quote directly; malformed escapes are
+		// caught when the token is unquoted. strconv.QuotedPrefix decodes
+		// every rune on the way, which the hot path does not need.
+		for i := 1; i < len(s); i++ {
+			switch s[i] {
+			case '\\':
+				i++
+			case '"':
+				return s[:i+1], nil
+			}
+		}
+		return "", fmt.Errorf("unterminated string literal")
 	}
 	// Rune literal: find the closing quote honouring backslash escapes.
 	for i := 1; i < len(s); i++ {
@@ -402,7 +551,7 @@ func (d *textDecoder) GetString() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s, err := strconv.Unquote(t)
+	s, err := unquoteToken(t)
 	if err != nil {
 		return "", fmt.Errorf("wire: bad string token %q", t)
 	}

@@ -97,8 +97,15 @@ type Message struct {
 	Status ReplyStatus
 	ErrMsg string // for non-OK statuses
 
-	// Body carries the protocol-encoded parameters or results.
+	// Body carries the protocol-encoded parameters or results. On messages
+	// produced by ReadMessage it may be a view into a pooled, refcounted
+	// read buffer (see lease.go): holders release it via ReleaseBody or
+	// FreeMessage when the call completes.
 	Body []byte
+
+	// lease is the pooled buffer Body aliases, nil when Body is owned
+	// outright (encoder output, literals, copies).
+	lease *bodyLease
 }
 
 // Encoder marshals one call body. It extends the heidi.Writer primitive
@@ -108,6 +115,9 @@ type Encoder interface {
 	heidi.Writer
 	// Bytes returns the encoded body. The encoder remains usable.
 	Bytes() []byte
+	// Reset discards accumulated output, keeping capacity, so one encoder
+	// serves many calls (the pooled-call hot path).
+	Reset()
 }
 
 // Decoder unmarshals one call body, mirroring Encoder.
@@ -115,6 +125,9 @@ type Decoder interface {
 	heidi.Reader
 	// Remaining reports how many unconsumed bytes are left.
 	Remaining() int
+	// Reset re-targets the decoder at a new encoded body, so one decoder
+	// serves many calls (the pooled-call hot path).
+	Reset(body []byte)
 }
 
 // Protocol renders messages and call bodies in one concrete encoding. A
@@ -126,7 +139,15 @@ type Protocol interface {
 	Name() string
 	// WriteMessage renders m (including its Body) onto w.
 	WriteMessage(w io.Writer, m *Message) error
-	// ReadMessage reads the next message from r.
+	// AppendMessage appends m's encoded frame to dst and returns the
+	// extended slice. Frames are self-contained: appending several then
+	// writing the result (or writing the per-frame slices as one gathered
+	// write) is equivalent to sequential WriteMessage calls. This is the
+	// primitive beneath write coalescing.
+	AppendMessage(dst []byte, m *Message) ([]byte, error)
+	// ReadMessage reads the next message from r. The returned message is
+	// pooled and its Body may view a pooled read buffer: the consumer owns
+	// it and releases it with FreeMessage when the call completes.
 	ReadMessage(r *bufio.Reader) (*Message, error)
 	// NewEncoder returns an empty body encoder.
 	NewEncoder() Encoder
