@@ -33,7 +33,7 @@ fuzz:
 # robustness), captured as diffable JSON. Commit BENCH_results.json when the
 # numbers move for a reason.
 bench:
-	$(GO) test -run xxx -bench 'C[0-9]|Fig4|Multiplex|Robustness' -benchmem . \
+	$(GO) test -run xxx -bench 'C[0-9]|Fig4|Multiplex|Robustness|Overload' -benchmem . \
 		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson > BENCH_results.json
 
 # Every benchmark in every package, human-readable.

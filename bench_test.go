@@ -801,3 +801,91 @@ func TestFig4Fig5RoundTrip(t *testing.T) {
 		t.Fatal("unexpected XBool rendering")
 	}
 }
+
+// --- R4: goodput under overload — admission control on vs off ----------------
+
+// BenchmarkOverloadShedding drives a capacity-2 servant (2ms under a
+// 2-slot semaphore) from 32 closed-loop callers with 5ms call budgets —
+// a sustained ~16x oversubscription. With shedding off every request is
+// dispatched, parks behind the semaphore long past its caller's patience,
+// and the server burns its capacity producing replies nobody is waiting
+// for: goodput (replies that met the budget, "good/s") collapses toward
+// zero. With Admission matched to the servant's real capacity the excess
+// is refused in microseconds with StatusOverloaded, the admitted few meet
+// their budget, and goodput tracks the servant's ceiling. EXPERIMENTS.md
+// R4 records the measured numbers.
+func BenchmarkOverloadShedding(b *testing.B) {
+	const (
+		callers  = 32
+		capacity = 2
+		service  = 2 * time.Millisecond
+		budget   = 5 * time.Millisecond
+	)
+	for _, shed := range []bool{false, true} {
+		mode := "shed=off"
+		if shed {
+			mode = "shed=on"
+		}
+		b.Run(mode, func(b *testing.B) {
+			inner := transport.NewInproc(wire.CDR)
+			sem := make(chan struct{}, capacity)
+			table := orb.NewMethodTable("IDL:bench/Work:1.0").Register("work", func(c *orb.ServerCall) error {
+				sem <- struct{}{}
+				time.Sleep(service)
+				<-sem
+				return nil
+			})
+			serverOpts := orb.Options{
+				Protocol: wire.CDR, Transport: inner, ListenAddr: ":0",
+				MaxConcurrentPerConn: 256, DrainTimeout: 100 * time.Millisecond,
+			}
+			if shed {
+				serverOpts.Admission = orb.AdmissionPolicy{MaxInFlight: capacity, MaxQueue: capacity}
+			}
+			server := orb.New(serverOpts)
+			if err := server.Start(); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { server.Shutdown() })
+			ref, err := server.Export(&struct{}{}, table)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := orb.New(orb.Options{
+				Protocol: wire.CDR, Transport: inner,
+				Multiplex: true, MaxConcurrentPerConn: 256, CoalesceWrites: true,
+			})
+			b.Cleanup(func() { client.Shutdown() })
+
+			var good atomic.Uint64
+			var next atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < callers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						c, err := client.NewCall(ref, "work")
+						if err != nil {
+							continue
+						}
+						c.SetTimeout(budget)
+						if c.Invoke() == nil {
+							good.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			el := b.Elapsed().Seconds()
+			if el > 0 {
+				b.ReportMetric(float64(good.Load())/el, "good/s")
+			}
+			b.ReportMetric(float64(good.Load())/float64(b.N), "good/call")
+			st := server.ORBStats()
+			b.ReportMetric(float64(st.Shed+st.Expired)/float64(b.N), "shed/call")
+		})
+	}
+}

@@ -97,6 +97,66 @@ func Serve(o *orb.ORB) (orb.ObjectRef, *Context, error) {
 	return ref, impl, nil
 }
 
+// Directory wraps a naming-context client with the bookkeeping that makes
+// drain-aware rebinding work: every Resolve records which name produced
+// which reference, so when that reference's server later announces shutdown
+// (GOAWAY), Rebind can ask the name service again — "the same name, wherever
+// it lives now" — and hand the ORB the relocated reference. Install it with
+// orb.Options.Rebind or ORB.SetRebind:
+//
+//	dir := naming.NewDirectory(ns)
+//	client.SetRebind(dir.Rebind)
+//	ref, err := dir.Resolve("service")
+//
+// Directory is safe for concurrent use.
+type Directory struct {
+	ns gen.HdContext
+
+	mu    sync.Mutex
+	names map[string]string // resolved ref string -> name it came from
+}
+
+// NewDirectory returns a Directory resolving through ns.
+func NewDirectory(ns gen.HdContext) *Directory {
+	return &Directory{ns: ns, names: make(map[string]string)}
+}
+
+// Resolve looks name up in the naming context and records the association
+// for later rebinding.
+func (d *Directory) Resolve(name string) (orb.ObjectRef, error) {
+	ref, err := d.ns.Resolve(name)
+	if err != nil {
+		return orb.ObjectRef{}, err
+	}
+	d.mu.Lock()
+	d.names[ref.String()] = name
+	d.mu.Unlock()
+	return ref, nil
+}
+
+// Rebind re-resolves the name that previously produced old; it satisfies
+// orb.RebindFunc. References the Directory never resolved are returned
+// unchanged (the ORB keeps their original endpoint), as is a re-resolution
+// that fails — naming may simply not have caught up with the restart yet,
+// and the ORB asks again on the next call. A successful re-resolution is
+// recorded, so a further drain of the new endpoint chains.
+func (d *Directory) Rebind(old orb.ObjectRef) (orb.ObjectRef, error) {
+	d.mu.Lock()
+	name, ok := d.names[old.String()]
+	d.mu.Unlock()
+	if !ok {
+		return old, nil
+	}
+	ref, err := d.ns.Resolve(name)
+	if err != nil {
+		return old, err
+	}
+	d.mu.Lock()
+	d.names[ref.String()] = name
+	d.mu.Unlock()
+	return ref, nil
+}
+
 // Connect resolves a remote naming context reference into a typed client.
 // The stub factory is registered on first use.
 func Connect(o *orb.ORB, ref orb.ObjectRef) (gen.HdContext, error) {

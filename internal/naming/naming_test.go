@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/demo"
 	"repro/internal/gen/media"
@@ -178,5 +179,120 @@ func TestDiscoveryFlow(t *testing.T) {
 	session := obj.(media.HdSession)
 	if name, err := session.GetName(); err != nil || name != "discovered" {
 		t.Errorf("GetName via discovery = %q, %v", name, err)
+	}
+}
+
+// TestDirectoryRebind: the Directory remembers which name produced which
+// reference and re-resolves it on demand — the naming-service half of
+// drain-aware rebinding.
+func TestDirectoryRebind(t *testing.T) {
+	ns := NewContext()
+	dir := NewDirectory(ns)
+	ref1 := mustRef(t, "@tcp:a:1#1#IDL:X:1.0")
+	ref2 := mustRef(t, "@tcp:b:2#1#IDL:X:1.0")
+	ref3 := mustRef(t, "@tcp:c:3#1#IDL:X:1.0")
+	if err := ns.Bind("svc", ref1); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, err := dir.Resolve("svc"); err != nil || got != ref1 {
+		t.Fatalf("Resolve = %v, %v, want %v", got, err, ref1)
+	}
+	// A reference the Directory never resolved passes through untouched.
+	other := mustRef(t, "@tcp:z:9#9#IDL:Y:1.0")
+	if got, err := dir.Rebind(other); err != nil || got != other {
+		t.Fatalf("Rebind(unknown) = %v, %v, want the reference unchanged", got, err)
+	}
+
+	// The service relocates; rebinding the old reference finds the new one.
+	if err := ns.Rebind("svc", ref2); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := dir.Rebind(ref1); err != nil || got != ref2 {
+		t.Fatalf("Rebind after relocation = %v, %v, want %v", got, err, ref2)
+	}
+	// And the new answer is recorded, so a second relocation chains.
+	if err := ns.Rebind("svc", ref3); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := dir.Rebind(ref2); err != nil || got != ref3 {
+		t.Fatalf("chained Rebind = %v, %v, want %v", got, err, ref3)
+	}
+
+	// A failed re-resolution keeps the old reference and reports the error.
+	if err := ns.Unbind("svc"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dir.Rebind(ref3)
+	if err == nil {
+		t.Error("Rebind after unbind reported no error")
+	}
+	if got != ref3 {
+		t.Errorf("Rebind after unbind = %v, want the old reference kept", got)
+	}
+}
+
+// TestDirectoryRebindEndToEnd wires a Directory into a client ORB and drains
+// the server behind it: the standby bound under the same name takes over.
+func TestDirectoryRebindEndToEnd(t *testing.T) {
+	mk := func() orb.Options {
+		return orb.Options{Protocol: wire.Text, DrainTimeout: time.Second}
+	}
+	srv1, srv2 := orb.New(mk()), orb.New(mk())
+	for _, s := range []*orb.ORB{srv1, srv2} {
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer srv2.Shutdown()
+	impl1, impl2 := NewContext(), NewContext()
+	ref1, err := srv1.Export(impl1, gen.NewHdContextTable(impl1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := srv2.Export(impl2, gen.NewHdContextTable(impl2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	impl1.Bind("payload", mustRef(t, "@tcp:p:1#1#IDL:P:1.0"))
+	impl2.Bind("payload", mustRef(t, "@tcp:p:1#1#IDL:P:1.0"))
+
+	// The registry knows the naming service itself under a name; the
+	// Directory resolves through a local registry context.
+	registry := NewContext()
+	registry.Bind("naming", ref1)
+	dir := NewDirectory(registry)
+
+	client := orb.New(orb.Options{Protocol: wire.Text, Multiplex: true, Rebind: dir.Rebind})
+	defer client.Shutdown()
+	nsRef, err := dir.Resolve("naming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := Connect(client, nsRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Resolve("payload"); err != nil {
+		t.Fatalf("resolve before drain: %v", err)
+	}
+
+	// The naming service relocates: registry repointed, old server drained.
+	registry.Rebind("naming", ref2)
+	if err := srv1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for client.ORBStats().GoAwaysSeen == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never saw the GOAWAY")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := ns.Resolve("payload"); err != nil {
+		t.Fatalf("resolve after drain: %v", err)
+	}
+	if served := srv2.Stats().RequestsServed; served == 0 {
+		t.Error("standby naming server served nothing; Directory rebind failed")
 	}
 }

@@ -1,0 +1,174 @@
+package orb
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Admission control is the server-side half of the distribution policy the
+// client's RetryPolicy/Breaker began: instead of letting load queue invisibly
+// in the kernel and in parked goroutines, the ORB bounds how much work it
+// accepts and sheds the rest with StatusOverloaded — an explicit, retriable
+// "not now" that the client's backoff and breakers understand. Shedding is
+// deadline-aware: a request whose propagated deadline has already passed is
+// refused outright (its caller has given up; dispatching it is pure waste),
+// and one that expires while queued for a slot is dropped without dispatch.
+
+// AdmissionPolicy bounds concurrent server-side dispatch. The zero value
+// admits everything — the seed behavior — while still counting traffic for
+// ORBStats.
+type AdmissionPolicy struct {
+	// MaxInFlight bounds requests being dispatched concurrently across the
+	// whole ORB (all connections); <= 0 means unbounded.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a dispatch slot when MaxInFlight
+	// is reached; an arrival beyond it is shed with StatusOverloaded.
+	// Zero queues nothing: at capacity, arrivals shed immediately.
+	MaxQueue int
+}
+
+// admitResult is the outcome of one admission decision.
+type admitResult int
+
+const (
+	// admitOK: dispatch; the caller must release() when done.
+	admitOK admitResult = iota
+	// admitShed: over capacity, refuse with StatusOverloaded.
+	admitShed
+	// admitExpired: the request's deadline passed before a slot freed (or
+	// before arrival); refuse with StatusDeadlineExceeded.
+	admitExpired
+)
+
+// admission is the runtime: a channel semaphore for the slots plus counters.
+// It is always instantiated — with no bound the semaphore is nil and acquire
+// is a few atomic adds, so the unconfigured cost is negligible against the
+// syscall-laden dispatch path it meters.
+type admission struct {
+	slots    chan struct{} // capacity MaxInFlight; nil when unbounded
+	maxQueue int32
+
+	queued   atomic.Int32
+	inflight atomic.Int32
+	hwm      atomic.Int32
+
+	accepted atomic.Uint64
+	shed     atomic.Uint64
+	expired  atomic.Uint64
+}
+
+func newAdmission(p AdmissionPolicy) *admission {
+	a := &admission{}
+	if p.MaxInFlight > 0 {
+		a.slots = make(chan struct{}, p.MaxInFlight)
+		if p.MaxQueue > 0 {
+			a.maxQueue = int32(p.MaxQueue)
+		}
+	}
+	return a
+}
+
+// acquire decides one request's fate. deadline is the server-side image of
+// the propagated deadline (zero: unbounded). On admitOK the caller must call
+// release exactly once after dispatch.
+func (a *admission) acquire(deadline time.Time) admitResult {
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		// Dead on arrival: the caller's patience ran out in transit (or in
+		// the connection's read queue).
+		a.expired.Add(1)
+		return admitExpired
+	}
+	if a.slots == nil {
+		a.admitted()
+		return admitOK
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted()
+		return admitOK
+	default:
+	}
+	// At capacity: take a queue position if one is free, shed otherwise.
+	for {
+		q := a.queued.Load()
+		if q >= a.maxQueue {
+			a.shed.Add(1)
+			return admitShed
+		}
+		if a.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+	if deadline.IsZero() {
+		a.slots <- struct{}{}
+		a.admitted()
+		return admitOK
+	}
+	t := transport.AcquireTimer(time.Until(deadline))
+	defer transport.ReleaseTimer(t)
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted()
+		return admitOK
+	case <-t.C:
+		a.expired.Add(1)
+		return admitExpired
+	}
+}
+
+// admitted records an acceptance and maintains the in-flight high-water mark.
+func (a *admission) admitted() {
+	a.accepted.Add(1)
+	in := a.inflight.Add(1)
+	for {
+		h := a.hwm.Load()
+		if in <= h || a.hwm.CompareAndSwap(h, in) {
+			return
+		}
+	}
+}
+
+// release frees the slot taken by an admitOK acquire.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	if a.slots != nil {
+		<-a.slots
+	}
+}
+
+// ORBStats reports server-side admission and drain activity, the
+// counterpart of PoolStats/MuxPoolStats on the client side.
+type ORBStats struct {
+	// Accepted counts requests admitted to dispatch.
+	Accepted uint64
+	// Shed counts requests refused with StatusOverloaded (queue full).
+	Shed uint64
+	// Expired counts requests refused with StatusDeadlineExceeded before
+	// dispatch (dead on arrival, or deadline passed while queued).
+	Expired uint64
+	// InFlight is the current number of dispatching requests;
+	// InFlightHighWater the maximum ever observed.
+	InFlight          int
+	InFlightHighWater int
+	// GoAwaysSent counts drain announcements broadcast by Shutdown;
+	// GoAwaysSeen counts announcements received from peers of this ORB's
+	// client side.
+	GoAwaysSent uint64
+	GoAwaysSeen uint64
+}
+
+// ORBStats returns a snapshot of the admission and drain counters.
+func (o *ORB) ORBStats() ORBStats {
+	return ORBStats{
+		Accepted:          o.adm.accepted.Load(),
+		Shed:              o.adm.shed.Load(),
+		Expired:           o.adm.expired.Load(),
+		InFlight:          int(o.adm.inflight.Load()),
+		InFlightHighWater: int(o.adm.hwm.Load()),
+		GoAwaysSent:       o.goAwaysSent.Load(),
+		GoAwaysSeen:       o.goAwaysSeen.Load(),
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -215,6 +217,10 @@ type ClientCall struct {
 	invoked    bool
 	idempotent bool
 	released   bool
+	// timeout is the per-call round-trip bound; zero falls back to
+	// Options.CallTimeout. The effective bound is propagated on the wire
+	// as the request's relative deadline.
+	timeout time.Duration
 	// reply is the reply message whose (possibly lease-backed) body the
 	// decoder views; it is held until Release so the view cannot be
 	// recycled under the caller's Get reads.
@@ -260,7 +266,37 @@ func (o *ORB) NewCall(ref ObjectRef, method string) (*ClientCall, error) {
 	c.ref = ref
 	c.method = method
 	c.invoked, c.idempotent, c.released = false, false, false
+	c.timeout = 0
 	return c, nil
+}
+
+// SetTimeout bounds this call's round trip, overriding Options.CallTimeout
+// for this invocation only. The bound is propagated on the wire as the
+// request's relative deadline, so an overloaded server sheds the work
+// instead of computing a result nobody is waiting for. Zero restores the
+// ORB default.
+func (c *ClientCall) SetTimeout(d time.Duration) { c.timeout = d }
+
+// callTimeout is the effective round-trip bound for this call.
+func (c *ClientCall) callTimeout() time.Duration {
+	if c.timeout > 0 {
+		return c.timeout
+	}
+	return c.orb.opts.CallTimeout
+}
+
+// deadlineMillis renders a timeout as the wire's relative-millisecond
+// deadline: rounded up (never to zero, which means "unbounded" on the wire)
+// and saturated at the field's width.
+func deadlineMillis(d time.Duration) uint32 {
+	ms := (int64(d) + int64(time.Millisecond) - 1) / int64(time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	return uint32(ms)
 }
 
 // Invoke sends the request and waits for the reply; afterwards the Get
@@ -337,6 +373,24 @@ func (c *ClientCall) transact(ctx *ClientContext, oneway bool) (*wire.Message, e
 	for attempt := 1; ; attempt++ {
 		ctx.Attempts = attempt
 		reply, class, err := c.attempt(oneway)
+		if err == nil && reply != nil {
+			switch reply.Status {
+			case wire.StatusOverloaded:
+				// The server shed the request without dispatching it — a
+				// safe failure the policy may retry after backoff (on a
+				// rebound endpoint when the shed accompanied a drain).
+				err = &RemoteError{Status: reply.Status, Msg: reply.ErrMsg}
+				class = failSafe
+				wire.FreeMessage(reply)
+				reply = nil
+			case wire.StatusDeadlineExceeded:
+				// The propagated deadline expired server-side: the caller's
+				// patience is already spent, so retrying cannot help.
+				rerr := &RemoteError{Status: reply.Status, Msg: reply.ErrMsg}
+				wire.FreeMessage(reply)
+				return nil, rerr
+			}
+		}
 		if err == nil {
 			c.orb.refundRetryToken()
 			return reply, nil
@@ -372,31 +426,34 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 	if c.orb.mux != nil {
 		return c.attemptMux(oneway)
 	}
-	conn, reused, err := c.orb.pool.Checkout(c.ref.Addr)
+	ref, refStr := c.orb.routeRef(c.ref, c.targetRef())
+	conn, reused, err := c.orb.pool.Checkout(ref.Addr)
 	if err != nil {
 		switch {
 		case errors.Is(err, transport.ErrPoolClosed):
 			// The pool closes only on Shutdown: surface the ORB's
 			// shutdown sentinel, not a transport detail.
-			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, ErrShutdown)
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, ErrShutdown)
 		case errors.Is(err, transport.ErrCircuitOpen):
 			// Fail fast: retrying a tripped endpoint defeats the
 			// breaker's purpose.
-			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
 		}
-		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
 	}
 	id := atomic.AddUint32(&c.orb.reqID, 1)
 	req := wire.NewMessage()
 	req.Type = wire.MsgRequest
 	req.RequestID = id
-	req.TargetRef = c.targetRef()
+	req.TargetRef = refStr
 	req.Method = c.method
 	req.Oneway = oneway
 	req.Body = c.enc.Bytes()
-	hasDeadline := c.orb.opts.CallTimeout > 0
+	d := c.callTimeout()
+	hasDeadline := d > 0
 	if hasDeadline {
-		conn.SetDeadline(time.Now().Add(c.orb.opts.CallTimeout))
+		req.Deadline = deadlineMillis(d)
+		conn.SetDeadline(time.Now().Add(d))
 	}
 	// putBack clears the deadline while the connection is still
 	// exclusively ours — clearing it after Put would race with the next
@@ -405,13 +462,13 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 		if hasDeadline && healthy {
 			conn.SetDeadline(time.Time{})
 		}
-		c.orb.pool.Put(c.ref.Addr, conn, healthy)
+		c.orb.pool.Put(ref.Addr, conn, healthy)
 	}
 	err = conn.Send(req)
 	wire.FreeMessage(req) // the frame is on the wire (or failed); enc owns the body
 	if err != nil {
 		putBack(false)
-		return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+		return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, ref.Addr, err)
 	}
 	if oneway {
 		atomic.AddUint64(&c.orb.stats.OnewaysSent, 1)
@@ -429,7 +486,20 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 				// sat idle: nothing was processed.
 				class = failSafe
 			}
+			if isTimeout(err) {
+				// The per-call deadline fired before the reply: still
+				// ambiguous (the server may be mid-dispatch), but callers
+				// match it with errors.Is(err, ErrDeadlineExceeded).
+				return nil, class, fmt.Errorf("orb: awaiting reply for %q: %w: %w", c.method, ErrDeadlineExceeded, err)
+			}
 			return nil, class, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
+		}
+		if reply.Type == wire.MsgGoAway {
+			// The server is draining; later calls re-resolve via Rebind.
+			// This reply still arrives on this connection, so keep reading.
+			c.orb.markDraining(ref.Addr)
+			wire.FreeMessage(reply)
+			continue
 		}
 		if reply.Type != wire.MsgReply || reply.RequestID != id {
 			wire.FreeMessage(reply) // skipped: release its read-buffer lease
@@ -438,13 +508,24 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 				putBack(false)
 				return nil, failAmbiguous, fmt.Errorf(
 					"orb: awaiting reply for %q: gave up after %d mismatched messages from %s",
-					c.method, skipped, c.ref.Addr)
+					c.method, skipped, ref.Addr)
 			}
 			continue // stale reply on a cached connection: skip
 		}
 		putBack(true)
 		return reply, failNone, nil
 	}
+}
+
+// isTimeout reports whether err is a transport-level deadline expiry (a
+// net.Conn read deadline on the exclusive path, the per-call timer on the
+// multiplexed path).
+func isTimeout(err error) bool {
+	if errors.Is(err, transport.ErrMuxTimeout) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
 }
 
 // attemptMux performs one round trip over the endpoint's shared multiplexed
@@ -461,55 +542,66 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 //     connection. A timed-out call is deregistered and its late reply
 //     dropped by the demux reader; the connection stays up.
 func (c *ClientCall) attemptMux(oneway bool) (*wire.Message, failureClass, error) {
-	mc, err := c.orb.mux.Get(c.ref.Addr)
+	ref, refStr := c.orb.routeRef(c.ref, c.targetRef())
+	mc, err := c.orb.mux.Get(ref.Addr)
 	if err != nil {
 		switch {
 		case errors.Is(err, transport.ErrPoolClosed):
-			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, ErrShutdown)
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, ErrShutdown)
 		case errors.Is(err, transport.ErrCircuitOpen):
-			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
 		}
-		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", c.ref.Addr, err)
+		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
 	}
 	id := atomic.AddUint32(&c.orb.reqID, 1)
 	req := wire.NewMessage()
 	req.Type = wire.MsgRequest
 	req.RequestID = id
-	req.TargetRef = c.targetRef()
+	req.TargetRef = refStr
 	req.Method = c.method
 	req.Oneway = oneway
 	req.Body = c.enc.Bytes()
+	d := c.callTimeout()
+	if d > 0 {
+		req.Deadline = deadlineMillis(d)
+	}
 	atomic.AddUint64(&c.orb.stats.MuxCalls, 1)
 	if oneway {
 		err := mc.SendOneway(req)
 		wire.FreeMessage(req)
 		if err != nil {
-			c.orb.mux.Report(c.ref.Addr, false)
-			return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+			c.orb.mux.Report(ref.Addr, false)
+			return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", c.method, ref.Addr, err)
 		}
 		atomic.AddUint64(&c.orb.stats.OnewaysSent, 1)
-		c.orb.mux.Report(c.ref.Addr, true)
+		c.orb.mux.Report(ref.Addr, true)
 		return nil, failNone, nil
 	}
 	pending, err := mc.Invoke(req)
 	wire.FreeMessage(req) // sends are synchronous: the frame is out (or failed)
 	if err != nil {
-		c.orb.mux.Report(c.ref.Addr, false)
-		return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", c.method, c.ref.Addr, err)
+		c.orb.mux.Report(ref.Addr, false)
+		return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", c.method, ref.Addr, err)
 	}
 	atomic.AddUint64(&c.orb.stats.CallsSent, 1)
 	var timeout <-chan time.Time
-	if d := c.orb.opts.CallTimeout; d > 0 {
-		tm := time.NewTimer(d)
-		defer tm.Stop()
+	if d > 0 {
+		// Pooled timer: Release stops AND drains it, so a fired-but-unread
+		// expiry can never leak into the next caller's wait (the timer-leak
+		// bug this PR's audit fixed).
+		tm := transport.AcquireTimer(d)
+		defer transport.ReleaseTimer(tm)
 		timeout = tm.C
 	}
 	reply, err := pending.Wait(timeout)
 	if err != nil {
-		c.orb.mux.Report(c.ref.Addr, false)
+		c.orb.mux.Report(ref.Addr, false)
+		if isTimeout(err) {
+			return nil, failAmbiguous, fmt.Errorf("orb: awaiting reply for %q: %w: %w", c.method, ErrDeadlineExceeded, err)
+		}
 		return nil, failAmbiguous, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
 	}
-	c.orb.mux.Report(c.ref.Addr, true)
+	c.orb.mux.Report(ref.Addr, true)
 	return reply, failNone, nil
 }
 
@@ -560,6 +652,9 @@ type ServerCall struct {
 	callBase
 	method string
 	oneway bool
+	// deadline is the server-side image of the request's propagated
+	// deadline (zero: unbounded), anchored at receipt.
+	deadline time.Time
 	// ctx is the interceptor context, embedded so dispatching with
 	// interceptors registered does not allocate one per request.
 	ctx ServerContext
@@ -591,6 +686,7 @@ func (o *ORB) getServerCall(m *wire.Message) *ServerCall {
 // putServerCall recycles a ServerCall once its reply has been sent.
 func putServerCall(sc *ServerCall) {
 	sc.orb = nil
+	sc.deadline = time.Time{}
 	sc.ctx = ServerContext{}
 	serverCallPool.Put(sc)
 }
@@ -600,6 +696,18 @@ func (c *ServerCall) Method() string { return c.method }
 
 // Oneway reports whether the request expects no reply.
 func (c *ServerCall) Oneway() bool { return c.oneway }
+
+// Deadline reports the request's propagated deadline (anchored at receipt)
+// and whether one was set. Long-running servants should check it — the ORB
+// cannot preempt a handler, but it will convert a result produced after the
+// deadline into a StatusDeadlineExceeded reply.
+func (c *ServerCall) Deadline() (time.Time, bool) { return c.deadline, !c.deadline.IsZero() }
+
+// Expired reports whether the propagated deadline has already passed —
+// the cheap poll for servants that can abandon work mid-way.
+func (c *ServerCall) Expired() bool {
+	return !c.deadline.IsZero() && !time.Now().Before(c.deadline)
+}
 
 // ORB returns the serving ORB (for Resolve/Export in handlers).
 func (c *ServerCall) ORB() *ORB { return c.orb }

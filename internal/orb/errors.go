@@ -26,6 +26,18 @@ var (
 	// tripped per-endpoint circuit breaker (Options.Breaker); it aliases
 	// the transport sentinel so callers need not import transport.
 	ErrCircuitOpen = transport.ErrCircuitOpen
+	// ErrDeadlineExceeded is reported when a call's deadline expires:
+	// locally (the reply did not arrive in time — the outcome is ambiguous
+	// and retried only for idempotent calls) or remotely (the server
+	// observed the propagated deadline pass and shed the work — fatal,
+	// since the caller's patience is spent and retrying cannot help).
+	// Match with errors.Is; both shapes satisfy it.
+	ErrDeadlineExceeded = errors.New("orb: deadline exceeded")
+	// ErrOverloaded is reported when the server's admission control shed
+	// the request without dispatching it. Nothing ran, so the failure is
+	// safe: the RetryPolicy re-sends it after backoff (and the Rebind hook
+	// may route it to another endpoint).
+	ErrOverloaded = errors.New("orb: server overloaded")
 )
 
 // UserError marks generated exception types (IDL raises clauses): a handler
@@ -59,6 +71,10 @@ func (e *RemoteError) Is(target error) bool {
 		return e.Status == wire.StatusUnknownMethod
 	case ErrUnknownObject:
 		return e.Status == wire.StatusUnknownObject
+	case ErrDeadlineExceeded:
+		return e.Status == wire.StatusDeadlineExceeded
+	case ErrOverloaded:
+		return e.Status == wire.StatusOverloaded
 	}
 	return false
 }

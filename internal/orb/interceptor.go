@@ -11,6 +11,8 @@ package orb
 // wrap dispatch. Both may short-circuit by returning an error, observe
 // timings, or mutate nothing at all (the common tracing case).
 
+import "time"
+
 // ClientContext describes one outgoing invocation.
 type ClientContext struct {
 	Ref    ObjectRef
@@ -29,6 +31,9 @@ type ServerContext struct {
 	TypeID    string
 	Method    string
 	Oneway    bool
+	// Deadline is the request's propagated deadline, anchored at receipt;
+	// zero means the caller set no bound.
+	Deadline time.Time
 }
 
 // ClientInterceptor wraps an outgoing call; invoke runs the rest of the

@@ -97,7 +97,33 @@ type Options struct {
 	// for batch size. Zero (the default) flushes as soon as the flusher
 	// runs; microseconds are the sensible scale otherwise.
 	CoalesceLinger time.Duration
+
+	// Admission bounds concurrent server-side dispatch and sheds the
+	// excess with StatusOverloaded (see admission.go). The zero value
+	// admits everything — the seed behavior.
+	Admission AdmissionPolicy
+	// DrainTimeout bounds Shutdown's graceful drain: after the GOAWAY
+	// broadcast, in-flight dispatches get this long to finish and reply
+	// before connections are torn down. Zero waits indefinitely (the seed
+	// behavior).
+	DrainTimeout time.Duration
+	// Rebind, when set, re-resolves object references whose endpoint has
+	// announced it is draining (GOAWAY): the next invocation routes to the
+	// reference Rebind returns — typically a fresh naming-service lookup
+	// (naming.Directory.Rebind) — and the result is memoized. Nil leaves
+	// references pinned to their original endpoint.
+	Rebind RebindFunc
+	// DispatchFault, when set, is consulted after every servant dispatch
+	// and before the reply is written — server-side fault injection for
+	// tests (delay a reply past its caller's deadline, drop it outright)
+	// without planting time.Sleep in servants.
+	DispatchFault func(transport.DispatchFaultInfo) transport.DispatchVerdict
 }
+
+// RebindFunc re-resolves a reference whose endpoint is draining. Returning
+// the input reference (or an error) keeps the original endpoint; the hook is
+// then consulted again on the next invocation.
+type RebindFunc func(ref ObjectRef) (ObjectRef, error)
 
 // StubFactory builds a typed stub for a reference; generated bindings
 // register one per interface repository ID.
@@ -143,6 +169,19 @@ type ORB struct {
 	reqID   uint32 // request identifiers
 
 	retry *retryState
+	adm   *admission
+
+	// draining marks endpoint addresses whose server announced shutdown
+	// (GOAWAY); rebound memoizes the Rebind hook's answers, keyed by the
+	// original reference string so a stub's fixed reference maps straight
+	// to its relocated target on every later call.
+	draining sync.Map // addr string -> struct{}
+	rebound  sync.Map // original ref string -> *reboundEntry
+	rebind   atomic.Pointer[RebindFunc]
+
+	goAwaysSent atomic.Uint64
+	goAwaysSeen atomic.Uint64
+	dispatchSeq atomic.Uint64 // ordinal fed to the DispatchFault hook
 
 	wg    sync.WaitGroup
 	reqWG sync.WaitGroup // in-flight server dispatches (drained by Shutdown)
@@ -213,9 +252,71 @@ func New(opts Options) *ORB {
 			cfg := o.coalesceConfig()
 			o.mux.Coalesce = &cfg
 		}
+		// A GOAWAY on any shared connection marks its endpoint draining, so
+		// the next invocation re-resolves instead of pipelining into the
+		// dying server.
+		o.mux.OnDraining = o.markDraining
 	}
 	o.retry = newRetryState(opts.Retry)
+	o.adm = newAdmission(opts.Admission)
+	if opts.Rebind != nil {
+		f := opts.Rebind
+		o.rebind.Store(&f)
+	}
 	return o
+}
+
+// SetRebind installs (or, with nil, removes) the drain-aware rebind hook
+// after construction — naming.Directory is typically built against an ORB
+// that already exists.
+func (o *ORB) SetRebind(f RebindFunc) {
+	if f == nil {
+		o.rebind.Store(nil)
+		return
+	}
+	o.rebind.Store(&f)
+}
+
+// markDraining records that addr's server announced shutdown.
+func (o *ORB) markDraining(addr string) {
+	o.goAwaysSeen.Add(1)
+	o.draining.Store(addr, struct{}{})
+}
+
+// reboundEntry memoizes one Rebind answer (the reference and its
+// stringified request header).
+type reboundEntry struct {
+	ref ObjectRef
+	str string
+}
+
+// routeRef maps an invocation target through the drain-aware rebind layer:
+// while ref's endpoint has not announced draining (the overwhelmingly common
+// case) the original reference is returned untouched; afterwards the Rebind
+// hook re-resolves it and the answer is memoized under the original
+// reference string. Chained drains re-resolve from the latest answer.
+func (o *ORB) routeRef(ref ObjectRef, refStr string) (ObjectRef, string) {
+	fp := o.rebind.Load()
+	if fp == nil {
+		return ref, refStr
+	}
+	cur, curStr := ref, refStr
+	if e, ok := o.rebound.Load(refStr); ok {
+		re := e.(*reboundEntry)
+		cur, curStr = re.ref, re.str
+	}
+	if _, draining := o.draining.Load(cur.Addr); !draining {
+		return cur, curStr
+	}
+	nref, err := (*fp)(cur)
+	if err != nil || nref.IsNil() || nref == cur {
+		// No better answer: keep the current endpoint (and ask again on
+		// the next call — naming may catch up).
+		return cur, curStr
+	}
+	e := &reboundEntry{ref: nref, str: nref.String()}
+	o.rebound.Store(refStr, e)
+	return e.ref, e.str
 }
 
 // coalesceConfig maps the Options knobs onto the transport's coalescer
@@ -263,9 +364,12 @@ func (o *ORB) Addr() string {
 	return o.listener.Addr()
 }
 
-// Shutdown stops the listener, drains in-flight server dispatches (their
-// replies are still sent), then closes pooled and serving connections and
-// waits for connection goroutines to exit.
+// Shutdown stops the listener, announces the drain with a GOAWAY frame on
+// every live server-side connection (so mux clients stop pipelining here and
+// re-resolve via their Rebind hook), drains in-flight server dispatches
+// (their replies are still sent; Options.DrainTimeout bounds the wait), then
+// closes pooled and serving connections and waits for connection goroutines
+// to exit.
 func (o *ORB) Shutdown() error {
 	o.mu.Lock()
 	if o.closed {
@@ -283,15 +387,58 @@ func (o *ORB) Shutdown() error {
 	if l != nil {
 		l.Close()
 	}
+	// Announce the drain before waiting it out: clients that hear the
+	// GOAWAY stop submitting here, which is what makes the drain converge
+	// under sustained load. Conn.Send is frame-atomic against concurrent
+	// reply writes (plain and gathered share the conn's send lock). Each
+	// announcement gets its own goroutine: a peer that is not currently
+	// reading (an idle pooled connection over a synchronous in-memory
+	// pipe) would block a direct send indefinitely; stragglers unblock
+	// with an error when the connections are closed after the drain.
+	var goAwayWG sync.WaitGroup
+	ga := &wire.Message{Type: wire.MsgGoAway}
+	for _, c := range conns {
+		goAwayWG.Add(1)
+		go func(c transport.Conn) {
+			defer goAwayWG.Done()
+			if c.Send(ga) == nil {
+				o.goAwaysSent.Add(1)
+			}
+		}(c)
+	}
+	// Give the broadcast a moment to reach reading peers before the
+	// connections come down: with nothing in flight the drain below is
+	// instant, and closing a connection before its announcement goroutine
+	// runs would lose the GOAWAY an attentive client needed. Reading
+	// peers take the frame in microseconds; the timeout only fires for
+	// peers that never read, whose send is abandoned at close anyway.
+	sent := make(chan struct{})
+	go func() { goAwayWG.Wait(); close(sent) }()
+	select {
+	case <-sent:
+	case <-time.After(50 * time.Millisecond):
+	}
 	// Graceful drain: requests already being dispatched finish and
 	// reply over their still-open connections. serveConn stops starting
-	// new dispatches once closed is set, so this converges.
-	o.reqWG.Wait()
+	// new dispatches once closed is set, so this converges; DrainTimeout
+	// bounds the wait against a servant that never returns.
+	if d := o.opts.DrainTimeout; d > 0 {
+		done := make(chan struct{})
+		go func() { o.reqWG.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(d):
+		}
+	} else {
+		o.reqWG.Wait()
+	}
 	// Unblock per-connection server goroutines parked in Recv on
-	// connections the peers keep cached.
+	// connections the peers keep cached (and any GOAWAY send still stuck
+	// on a peer that stopped reading).
 	for _, c := range conns {
 		c.Close()
 	}
+	goAwayWG.Wait()
 	o.pool.Close()
 	if o.mux != nil {
 		o.mux.Close()
@@ -592,6 +739,14 @@ func (o *ORB) serveConn(c transport.Conn) {
 		o.mu.Lock()
 		if o.closed {
 			o.mu.Unlock()
+			// Shed, don't ghost: a request that raced the drain gets an
+			// explicit StatusOverloaded — a safe failure the client retries
+			// (after rebinding via GOAWAY) instead of waiting out its
+			// deadline on a reply that will never come.
+			if !m.Oneway {
+				o.sendReply(send, m.RequestID, wire.StatusOverloaded, "orb: server draining", nil)
+			}
+			wire.FreeMessage(m)
 			return
 		}
 		o.reqWG.Add(1)
@@ -640,9 +795,37 @@ func (o *ORB) dispatch(s *servant, m *wire.Message, sc *ServerCall) error {
 
 // serveRequest handles a single request message. It owns m (and the read
 // buffer its body views), releasing both when the dispatch completes.
+//
+// The request's propagated deadline (wire millis, relative to receipt) is
+// enforced at three points: admission (dead-on-arrival and expired-in-queue
+// requests are refused without dispatch), during the servant (which may poll
+// ServerCall.Expired/Deadline to abandon long work), and after the servant
+// returns — a result the caller stopped waiting for is replaced by
+// StatusDeadlineExceeded, which the client classes fatal. The server-side
+// deadline starts at receipt, strictly later than the caller's own timer,
+// so that conversion can never race a caller still willing to accept the
+// result.
 func (o *ORB) serveRequest(send func(*wire.Message) error, m *wire.Message) {
 	atomic.AddUint64(&o.stats.RequestsServed, 1)
 	defer wire.FreeMessage(m)
+
+	var deadline time.Time
+	if m.Deadline > 0 {
+		deadline = time.Now().Add(time.Duration(m.Deadline) * time.Millisecond)
+	}
+	switch o.adm.acquire(deadline) {
+	case admitShed:
+		if !m.Oneway {
+			o.sendReply(send, m.RequestID, wire.StatusOverloaded, "orb: admission queue full", nil)
+		}
+		return
+	case admitExpired:
+		if !m.Oneway {
+			o.sendReply(send, m.RequestID, wire.StatusDeadlineExceeded, "orb: deadline expired before dispatch", nil)
+		}
+		return
+	}
+	defer o.adm.release()
 
 	s, err := o.lookupServant(m.TargetRef)
 	if err != nil {
@@ -652,14 +835,30 @@ func (o *ORB) serveRequest(send func(*wire.Message) error, m *wire.Message) {
 		return
 	}
 	sc := o.getServerCall(m)
+	sc.deadline = deadline
 	defer putServerCall(sc)
 	if o.hasServerInts() {
-		sc.ctx = ServerContext{TargetRef: m.TargetRef, TypeID: s.typeID, Method: m.Method, Oneway: m.Oneway}
+		sc.ctx = ServerContext{TargetRef: m.TargetRef, TypeID: s.typeID, Method: m.Method, Oneway: m.Oneway, Deadline: deadline}
 		err = o.runServerChain(&sc.ctx, func() error { return o.dispatch(s, m, sc) })
 	} else {
 		err = o.dispatch(s, m, sc)
 	}
+	if hook := o.opts.DispatchFault; hook != nil {
+		v := hook(transport.DispatchFaultInfo{Method: m.Method, Oneway: m.Oneway, Seq: o.dispatchSeq.Add(1)})
+		if v.Delay > 0 {
+			time.Sleep(v.Delay)
+		}
+		if v.DropReply {
+			return
+		}
+	}
 	if m.Oneway {
+		return
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		// The servant outran the caller's patience: whatever it produced,
+		// nobody is waiting for it.
+		o.sendReply(send, m.RequestID, wire.StatusDeadlineExceeded, "orb: deadline exceeded during dispatch", nil)
 		return
 	}
 	switch {

@@ -60,6 +60,11 @@ type MuxConn struct {
 
 	inflight atomic.Int32 // len(pending), readable without the mutex
 	broken   atomic.Bool  // mirrors err != nil, readable without the mutex
+	draining atomic.Bool  // peer sent GOAWAY: no new calls, replies still flow
+
+	// onGoAway, when set, runs once when the peer announces it is draining
+	// (first GOAWAY frame). It runs on the demux goroutine: keep it short.
+	onGoAway func()
 
 	done chan struct{} // closed when the demux reader exits
 }
@@ -73,10 +78,18 @@ func NewMuxConn(c Conn) *MuxConn { return NewMuxConnCoalescing(c, nil) }
 // writes (DESIGN.md §9) instead of each taking the writer lock and a
 // syscall.
 func NewMuxConnCoalescing(c Conn, cfg *CoalesceConfig) *MuxConn {
+	return newMuxConn(c, cfg, nil)
+}
+
+// newMuxConn is the full constructor: onGoAway (may be nil) is installed
+// before the demux reader starts, so the first GOAWAY frame cannot race the
+// callback's registration.
+func newMuxConn(c Conn, cfg *CoalesceConfig, onGoAway func()) *MuxConn {
 	m := &MuxConn{
-		conn:    c,
-		pending: make(map[uint32]chan muxResult),
-		done:    make(chan struct{}),
+		conn:     c,
+		pending:  make(map[uint32]chan muxResult),
+		onGoAway: onGoAway,
+		done:     make(chan struct{}),
 	}
 	if cfg != nil {
 		m.co = NewCoalescer(c, *cfg)
@@ -95,6 +108,16 @@ func (m *MuxConn) demux() {
 		if err != nil {
 			m.fail(err)
 			return
+		}
+		if r.Type == wire.MsgGoAway {
+			// The peer is draining: mark the connection so the pool stops
+			// handing it out, but keep reading — replies to requests already
+			// in flight still arrive on this stream.
+			wire.FreeMessage(r)
+			if m.draining.CompareAndSwap(false, true) && m.onGoAway != nil {
+				m.onGoAway()
+			}
+			continue
 		}
 		if r.Type != wire.MsgReply {
 			wire.FreeMessage(r) // requests/noise on a client channel: drop
@@ -246,11 +269,16 @@ func (m *MuxConn) Err() error {
 // so the pool checks both before handing the connection out again. Both
 // checks are lock-free: this runs inside every MuxPool.Get.
 func (m *MuxConn) healthy() bool {
-	if m.broken.Load() {
+	if m.broken.Load() || m.draining.Load() {
 		return false
 	}
 	return m.co == nil || !m.co.dead()
 }
+
+// Draining reports whether the peer announced (via GOAWAY) that it is
+// shutting down: in-flight replies still arrive, but no new calls should be
+// pipelined onto this connection.
+func (m *MuxConn) Draining() bool { return m.draining.Load() }
 
 // InFlight reports the number of calls awaiting replies.
 func (m *MuxConn) InFlight() int { return int(m.inflight.Load()) }
@@ -311,6 +339,36 @@ func (p *PendingReply) recycle() {
 	pendingPool.Put(p)
 }
 
+// timerPool recycles the per-call deadline timers fed to PendingReply.Wait.
+// Every call with a deadline used to allocate a fresh time.Timer; under
+// pipelining that is one allocation plus one runtime timer start per call.
+var timerPool sync.Pool
+
+// AcquireTimer returns a timer that fires after d, drawn from a pool.
+// Release it with ReleaseTimer once the wait completes — never reuse or
+// read its channel afterwards.
+func AcquireTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// ReleaseTimer stops t and returns it to the pool. A timer that already
+// fired has a value sitting in its channel; it must be drained here, or the
+// next AcquireTimer caller would see a stale expiry the instant it waits —
+// a "deadline exceeded" for a call that never ran out of time.
+func ReleaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // MuxPool hands out the shared multiplexed connections, a small fixed set
 // per endpoint (Width, the paper's connection cache shrunk to its logical
 // minimum). Callers never check connections out: Get returns a live shared
@@ -329,6 +387,10 @@ type MuxPool struct {
 	// Coalesce, when set, routes every shared connection's writes through a
 	// coalescing writer with this configuration (DESIGN.md §9).
 	Coalesce *CoalesceConfig
+	// OnDraining, when set, is called once per connection whose peer sends a
+	// GOAWAY frame, with the endpoint address. Set before the first Get; it
+	// runs on the connection's demux goroutine.
+	OnDraining func(addr string)
 
 	mu     sync.Mutex
 	conns  map[string][]*MuxConn // fixed Width slots per endpoint
@@ -401,7 +463,11 @@ func (p *MuxPool) Get(addr string) (*MuxConn, error) {
 		p.late += old.lateCount()
 	}
 	p.dials++
-	mc := NewMuxConnCoalescing(c, p.Coalesce)
+	var onGoAway func()
+	if cb := p.OnDraining; cb != nil {
+		onGoAway = func() { cb(addr) }
+	}
+	mc := newMuxConn(c, p.Coalesce, onGoAway)
 	slots[slot] = mc
 	return mc, nil
 }

@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimerPoolNoStaleFire is the regression test for the pooled-timer leak:
+// a timer released after it fired, without draining its channel, would hand
+// the next acquirer a pre-delivered expiry — a reply wait that "times out"
+// instantly. ReleaseTimer must stop and drain unconditionally.
+func TestTimerPoolNoStaleFire(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		tm := AcquireTimer(time.Microsecond)
+		time.Sleep(2 * time.Millisecond) // let it fire, leaving the tick undrained
+		ReleaseTimer(tm)
+
+		tm2 := AcquireTimer(time.Hour)
+		select {
+		case <-tm2.C:
+			t.Fatalf("iteration %d: recycled timer delivered a stale expiry", i)
+		case <-time.After(5 * time.Millisecond):
+		}
+		ReleaseTimer(tm2)
+	}
+}
+
+// TestTimerPoolStillFires: a recycled timer must still deliver a genuine
+// expiry after Reset — the drain in ReleaseTimer must not eat future ticks.
+func TestTimerPoolStillFires(t *testing.T) {
+	tm := AcquireTimer(time.Microsecond)
+	time.Sleep(2 * time.Millisecond)
+	ReleaseTimer(tm)
+
+	tm2 := AcquireTimer(time.Millisecond)
+	defer ReleaseTimer(tm2)
+	select {
+	case <-tm2.C:
+	case <-time.After(time.Second):
+		t.Fatal("recycled timer never fired")
+	}
+}

@@ -22,13 +22,14 @@ import (
 //	offset 0  4 bytes  magic "HRMI"
 //	offset 4  1 byte   version (1)
 //	offset 5  1 byte   message type
-//	offset 6  1 byte   flags (bit0: little-endian, bit1: oneway)
+//	offset 6  1 byte   flags (bit0: little-endian, bit1: oneway, bit2: deadline)
 //	offset 7  1 byte   reply status
 //	offset 8  4 bytes  request ID
 //	offset 12 4 bytes  payload length
 //
-// The payload holds the CDR-encoded meta strings (target reference and
-// method for requests, error message for failure replies), padding to an
+// The payload holds the CDR-encoded meta values (for requests: an optional
+// relative-deadline ULong when the deadline flag is set, then the target
+// reference and method; for failure replies: the error message), padding to an
 // 8-byte boundary, then the call body produced by the encoder. Re-basing
 // the body on an 8-byte boundary preserves the alignment the encoder
 // established.
@@ -58,6 +59,7 @@ const (
 	cdrHeaderLen = 16
 	flagLittle   = 1 << 0
 	flagOneway   = 1 << 1
+	flagDeadline = 1 << 2
 	cdrBodyAlign = 8
 )
 
@@ -92,13 +94,16 @@ func (p *CDRProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	meta := cdrEncoder{buf: b, base: base, order: p.order}
 	switch m.Type {
 	case MsgRequest:
+		if m.Deadline > 0 {
+			meta.PutULong(m.Deadline)
+		}
 		meta.PutString(m.TargetRef)
 		meta.PutString(m.Method)
 	case MsgReply:
 		if m.Status != StatusOK {
 			meta.PutString(m.ErrMsg)
 		}
-	case MsgClose:
+	case MsgClose, MsgGoAway:
 		// no meta
 	default:
 		return dst, fmt.Errorf("wire: cannot encode message type %s", m.Type)
@@ -125,6 +130,9 @@ func (p *CDRProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
 	}
 	if m.Oneway {
 		flags |= flagOneway
+	}
+	if m.Type == MsgRequest && m.Deadline > 0 {
+		flags |= flagDeadline
 	}
 	hdr[6] = flags
 	hdr[7] = byte(m.Status)
@@ -160,6 +168,7 @@ func (p *CDRProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 	if hdr[6]&flagLittle != 0 {
 		order = binary.LittleEndian
 	}
+	hasDeadline := hdr[6]&flagDeadline != 0
 	m := NewMessage()
 	m.Type = MsgType(hdr[5])
 	m.Oneway = hdr[6]&flagOneway != 0
@@ -190,6 +199,16 @@ func (p *CDRProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 	}
 	switch m.Type {
 	case MsgRequest:
+		if hasDeadline {
+			dl, err := meta.GetULong()
+			if err != nil {
+				return bad("request deadline", err)
+			}
+			if dl == 0 {
+				return bad("request deadline", fmt.Errorf("deadline flag set with zero value"))
+			}
+			m.Deadline = dl
+		}
 		ref, err := meta.GetString()
 		if err != nil {
 			return bad("request target", err)
@@ -207,7 +226,7 @@ func (p *CDRProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 			}
 			m.ErrMsg = msg
 		}
-	case MsgClose:
+	case MsgClose, MsgGoAway:
 		m.ReleaseBody()
 		return m, nil
 	default:

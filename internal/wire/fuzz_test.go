@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -98,4 +99,55 @@ func TestCDRLengthLies(t *testing.T) {
 
 func wireReq() Message {
 	return Message{Type: MsgRequest, RequestID: 1, TargetRef: "@t:a#1#x", Method: "m"}
+}
+
+// FuzzDeadlineHeader covers the deadline extension of both codecs: arbitrary
+// text lines (including malformed @-tokens) never panic the reader, and any
+// non-zero deadline round-trips bit-exactly through every protocol.
+func FuzzDeadlineHeader(f *testing.F) {
+	f.Add("call 1 @tcp:x:1#1#IDL:T:1.0 ping @50 hi", uint32(50))
+	f.Add("send 2 @nil poke @0", uint32(1))
+	f.Add("call 3 @tcp:x:1#2#IDL:T:1.0 m @99999999999999999999", uint32(1<<31))
+	f.Add("call 4 @tcp:x:1#2#IDL:T:1.0 m @-7 x", uint32(4294967295))
+	f.Add("goaway", uint32(17))
+	f.Fuzz(func(t *testing.T, line string, dl uint32) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("text reader panicked on %q: %v", line, r)
+				}
+			}()
+			r := bufio.NewReader(strings.NewReader(line + "\n"))
+			for i := 0; i < 4; i++ {
+				if _, err := Text.ReadMessage(r); err != nil {
+					break
+				}
+			}
+		}()
+		if dl == 0 {
+			return
+		}
+		req := &Message{
+			Type: MsgRequest, RequestID: 7,
+			TargetRef: "@tcp:h:1#9#IDL:T:1.0", Method: "m",
+			Deadline: dl, Body: []byte("x"),
+		}
+		for _, p := range protocols {
+			buf, err := p.AppendMessage(nil, req)
+			if err != nil {
+				t.Fatalf("%s: AppendMessage: %v", p.Name(), err)
+			}
+			got, err := p.ReadMessage(bufio.NewReader(bytes.NewReader(buf)))
+			if err != nil {
+				t.Fatalf("%s: ReadMessage: %v", p.Name(), err)
+			}
+			if got.Deadline != dl {
+				t.Fatalf("%s: deadline round-trip = %d, want %d", p.Name(), got.Deadline, dl)
+			}
+			if got.TargetRef != req.TargetRef || got.Method != req.Method || string(got.Body) != "x" {
+				t.Fatalf("%s: request fields corrupted by deadline token: %+v", p.Name(), got)
+			}
+			FreeMessage(got)
+		}
+	})
 }

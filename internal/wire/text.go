@@ -18,11 +18,18 @@ import (
 //
 // Message grammar (one line each):
 //
-//	call <id> <ref> <method> <body tokens...>     two-way request
-//	send <id> <ref> <method> <body tokens...>     oneway request
-//	ok <id> <body tokens...>                      successful reply
-//	err <id> <status> <quoted message>            failure reply
-//	close                                         connection close
+//	call <id> <ref> <method> [@<ms>] <body tokens...>   two-way request
+//	send <id> <ref> <method> [@<ms>] <body tokens...>   oneway request
+//	ok <id> <body tokens...>                            successful reply
+//	err <id> <status> <quoted message>                  failure reply
+//	close                                               connection close
+//	goaway                                              server draining
+//
+// The optional @<ms> header token is the request's relative deadline in
+// milliseconds ("this call is worth 150 more milliseconds of your time");
+// absent means unbounded, keeping deadline-free frames byte-identical to
+// the seed protocol. The token cannot be mistaken for a body token: body
+// tokens are numbers, T/F, quoted strings, or braces, never '@'.
 //
 // Body tokens: integers and floats in decimal, booleans as T/F, strings
 // Go-quoted, composite values bracketed by {tag ... }.
@@ -63,6 +70,10 @@ func (TextProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
 		b = append(b, m.TargetRef...)
 		b = append(b, ' ')
 		b = append(b, m.Method...)
+		if m.Deadline > 0 {
+			b = append(b, " @"...)
+			b = strconv.AppendUint(b, uint64(m.Deadline), 10)
+		}
 	case MsgReply:
 		if m.Status == StatusOK {
 			b = append(b, "ok "...)
@@ -77,6 +88,8 @@ func (TextProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
 		}
 	case MsgClose:
 		b = append(b, "close"...)
+	case MsgGoAway:
+		b = append(b, "goaway"...)
 	default:
 		return dst, fmt.Errorf("wire: cannot encode message type %s", m.Type)
 	}
@@ -132,6 +145,10 @@ func (TextProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 		lease.release()
 		m.Type = MsgClose
 		return m, nil
+	case "goaway":
+		lease.release()
+		m.Type = MsgGoAway
+		return m, nil
 	case "call", "send":
 		m.Type = MsgRequest
 		m.Oneway = verb[0] == 's'
@@ -150,6 +167,14 @@ func (TextProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 		m.RequestID = uint32(n)
 		m.TargetRef = string(ref)
 		m.Method = string(method)
+		if dl, rest4, derr, ok := deadlineToken(body); ok {
+			if derr != nil {
+				FreeMessage(m)
+				return bad("bad deadline token in %q", line)
+			}
+			m.Deadline = dl
+			body = rest4
+		}
 		if len(body) > 0 {
 			m.Body = body
 			m.lease = lease
@@ -201,6 +226,25 @@ func (TextProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 		FreeMessage(m)
 		return bad("unknown text verb %q", verb)
 	}
+}
+
+// deadlineToken recognizes the optional @<ms> deadline header between the
+// method and the body. ok reports whether a deadline token is present at
+// all (body tokens never start with '@'); err reports a present-but-
+// malformed one.
+func deadlineToken(body []byte) (dl uint32, rest []byte, err error, ok bool) {
+	for len(body) > 0 && body[0] == ' ' {
+		body = body[1:]
+	}
+	if len(body) == 0 || body[0] != '@' {
+		return 0, body, nil, false
+	}
+	tok, rest := nextField(body)
+	n, err := strconv.ParseUint(string(tok[1:]), 10, 32)
+	if err != nil || n == 0 {
+		return 0, body, fmt.Errorf("wire: bad deadline token %q", tok), true
+	}
+	return uint32(n), rest, nil, true
 }
 
 // nextField splits off the next space-delimited field.

@@ -38,6 +38,12 @@ const (
 	MsgRequest MsgType = iota + 1
 	MsgReply
 	MsgClose
+	// MsgGoAway announces that the sending address space is draining: the
+	// peer should stop submitting new requests on this connection (replies
+	// to requests already in flight still arrive) and re-resolve the
+	// endpoint before its next call. It is the wire image of a graceful
+	// server shutdown, in the HTTP/2 GOAWAY tradition.
+	MsgGoAway
 )
 
 // String names the message type.
@@ -49,6 +55,8 @@ func (t MsgType) String() string {
 		return "reply"
 	case MsgClose:
 		return "close"
+	case MsgGoAway:
+		return "goaway"
 	}
 	return fmt.Sprintf("msgtype(%d)", byte(t))
 }
@@ -63,6 +71,14 @@ const (
 	StatusSystemError
 	StatusUnknownMethod
 	StatusUnknownObject
+	// StatusDeadlineExceeded reports that the request's propagated
+	// deadline expired before (or while) the servant ran; the caller has
+	// already given up, so retrying is pointless.
+	StatusDeadlineExceeded
+	// StatusOverloaded reports that the server shed the request without
+	// dispatching it (admission control); nothing was processed, so the
+	// request is safe to retry elsewhere or after backoff.
+	StatusOverloaded
 )
 
 // String names the reply status.
@@ -78,6 +94,10 @@ func (s ReplyStatus) String() string {
 		return "unknown-method"
 	case StatusUnknownObject:
 		return "unknown-object"
+	case StatusDeadlineExceeded:
+		return "deadline-exceeded"
+	case StatusOverloaded:
+		return "overloaded"
 	}
 	return fmt.Sprintf("status(%d)", byte(s))
 }
@@ -92,6 +112,12 @@ type Message struct {
 	TargetRef string // stringified object reference
 	Method    string
 	Oneway    bool // no reply expected
+	// Deadline is the caller's remaining patience in milliseconds,
+	// relative to receipt (relative, so clocks need not be synchronized);
+	// zero means unbounded — the seed behavior, and the only shape the
+	// seed codecs emit. Servers use it to shed work whose caller has
+	// already given up.
+	Deadline uint32
 
 	// Reply fields.
 	Status ReplyStatus
