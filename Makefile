@@ -21,19 +21,23 @@ vet:
 lint:
 	$(GO) run ./cmd/idlvet -templates ./idl/...
 
-# Race-detect the runtime packages the fault-tolerance layer touches.
+# Race-detect the runtime packages the fault-tolerance layer touches,
+# including the replica kill+drain torture test (TestReplicaTortureKillDrain)
+# and the balance policies.
 race:
-	$(GO) test -race ./internal/orb/... ./internal/transport/...
+	$(GO) test -race ./internal/orb/... ./internal/transport/... ./internal/balance/...
 
-# Brief fuzz pass over the reference parser + wire framings.
+# Brief fuzz pass over the reference parsers (single and replica-set) + wire
+# framings. The anchored pattern matches FuzzParseRef and FuzzParseRefSet.
 fuzz:
-	$(GO) test -fuzz FuzzParseRef -fuzztime 30s ./internal/orb/
+	$(GO) test -fuzz 'FuzzParseRef$$' -fuzztime 30s ./internal/orb/
+	$(GO) test -fuzz 'FuzzParseRefSet$$' -fuzztime 30s ./internal/orb/
 
 # The paper-claim and extension benchmarks (C-series, Fig4, multiplexing,
 # robustness), captured as diffable JSON. Commit BENCH_results.json when the
 # numbers move for a reason.
 bench:
-	$(GO) test -run xxx -bench 'C[0-9]|Fig4|Multiplex|Robustness|Overload' -benchmem . \
+	$(GO) test -run xxx -bench 'C[0-9]|Fig4|Multiplex|Robustness|Overload|Replica' -benchmem . \
 		| tee /dev/stderr | $(GO) run ./internal/tools/benchjson > BENCH_results.json
 
 # Every benchmark in every package, human-readable.
@@ -42,17 +46,26 @@ bench-all:
 
 # Perf regression gate: re-run the invocation-path macrobenchmarks and fail
 # on ns/op regressions against the committed baseline. The gate compares only
-# the stable C-series names (-only) and allows 25% drift — wide enough to
-# absorb scheduler noise on small machines, narrow enough that a lost
-# optimization (pooling, coalescing, the text fast path) still trips it.
-# Each benchmark runs 3× and the fastest run is kept (-min): interference
-# only ever slows a run down, so min-of-3 is stable where any one 0.5s run
-# can throw a 25%+ outlier.
+# the stable C-series names (-only). The suite runs as three separate passes
+# and the fastest sample of each benchmark is kept (-min): interference only
+# ever slows a run down, so min-of-3 tracks real cost — and because slow host
+# phases last whole seconds, the three samples of one name are spaced a full
+# pass apart (~30s) rather than back-to-back, so one phase cannot capture all
+# of them. On shared or virtualized hardware the whole machine also drifts —
+# measured 2× between quiet and busy host phases, which no absolute threshold
+# survives — so the comparison is calibrated: the plain-round-trip
+# reference's old/new ratio divides out the machine factor and the gate
+# judges relative cost. The threshold is 50%: residual per-benchmark jitter
+# after calibration stays well under it, while every optimization this gate
+# protects is a ≥1.9× relative win (connection pooling 6×, write coalescing
+# 2.6× at 32 callers, the text quoting fast path 1.9×). The committed
+# baseline is recorded with the same estimator.
 bench-diff:
-	$(GO) test -run xxx -bench 'C2_|C5_|C6_' -benchtime 0.5s -count 3 -benchmem . \
-		| $(GO) run ./internal/tools/benchjson -min > /tmp/bench_new.json
+	( for i in 1 2 3; do \
+		$(GO) test -run xxx -bench 'C2_|C5_|C6_' -benchtime 0.5s -benchmem . || exit 1; \
+	done ) | $(GO) run ./internal/tools/benchjson -min > /tmp/bench_new.json
 	$(GO) run ./internal/tools/benchjson -diff BENCH_results.json /tmp/bench_new.json \
-		-threshold 25 -only 'C2_|C5_|C6_'
+		-threshold 50 -only 'C2_|C5_|C6_' -calibrate 'BenchmarkC2_Protocol/cdr/empty'
 
 fmt:
 	gofmt -l -w .

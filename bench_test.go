@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/balance"
 	"repro/internal/core"
 	"repro/internal/demo"
 	"repro/internal/est"
@@ -663,6 +664,94 @@ func BenchmarkC5_Multiplex(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkReplicaBalance compares the replica endpoint-selection policies
+// under the C5 fan-out shape: 32 parallel callers balancing over a 3-replica
+// set on loopback TCP, against a single-endpoint baseline (no replica set
+// registered — the selection layer entirely bypassed). The deltas price the
+// selection machinery itself: round-robin pays one atomic increment,
+// least-in-flight adds the per-member in-flight reads, consistent hashing
+// the per-member rendezvous hash.
+func BenchmarkReplicaBalance(b *testing.B) {
+	const callers = 32
+	cases := []struct {
+		name string
+		pol  func() balance.Policy
+	}{
+		{"single", nil},
+		{"round-robin", balance.RoundRobin},
+		{"least-in-flight", balance.LeastInFlight},
+		{"consistent-hash", balance.ConsistentHash},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(fmt.Sprintf("%s/callers=%d", c.name, callers), func(b *testing.B) {
+			nServers := 3
+			if c.pol == nil {
+				nServers = 1
+			}
+			refs := make([]orb.ObjectRef, 0, nServers)
+			for i := 0; i < nServers; i++ {
+				server, ref, _, err := demo.Serve(orb.Options{Protocol: wire.CDR, MaxConcurrentPerConn: 64}, "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { server.Shutdown() })
+				refs = append(refs, ref)
+			}
+			clientOpts := orb.Options{Protocol: wire.CDR}
+			if c.pol != nil {
+				clientOpts.Balance = c.pol()
+			}
+			client := demo.Connect(clientOpts)
+			b.Cleanup(func() { client.Shutdown() })
+			target := refs[0]
+			if c.pol != nil {
+				var err error
+				if target, err = client.RegisterReplicaSet(refs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			obj, err := client.Resolve(target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess := obj.(media.HdSession)
+			b.ReportAllocs()
+			b.ResetTimer()
+			errCh := make(chan error, 1)
+			record := func(err error) {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+			var wg sync.WaitGroup
+			for done := 0; done < b.N; {
+				width := callers
+				if rem := b.N - done; rem < width {
+					width = rem
+				}
+				wg.Add(width)
+				for g := 0; g < width; g++ {
+					go func() {
+						defer wg.Done()
+						if _, err := sess.GetVolume(); err != nil {
+							record(err)
+						}
+					}()
+				}
+				wg.Wait()
+				done += width
+			}
+			select {
+			case err := <-errCh:
+				b.Fatal(err)
+			default:
+			}
+		})
 	}
 }
 

@@ -1,0 +1,147 @@
+// Replicas: one name, many servers — balancing, failover, live migration.
+//
+// The paper separates distribution policy from application logic; this
+// example applies that to placement. Three media engines announce themselves
+// under ONE name with Naming::Context.bindReplica; a client pulls the whole
+// set with resolveSet, registers it (orb.RegisterReplicaSet), and every call
+// through its ordinary generated stub is balanced over the members by the
+// configured balance.Policy. Nothing in the calling code knows the service
+// is replicated.
+//
+// The fault story composes with the PR-1/PR-5 machinery: a replica killed
+// without ceremony costs retried attempts, not lost calls — the retry layer
+// fails over to the next member and the circuit breaker then skips the corpse
+// at selection time; a replica draining gracefully (GOAWAY) migrates its
+// share of traffic across the survivors through the naming Directory's
+// Rebind path, mid-burst, with zero failed calls.
+//
+// Run it with:
+//
+//	go run ./examples/replicas
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/demo"
+	"repro/internal/gen/media"
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func opts() orb.Options {
+	return orb.Options{
+		Protocol: wire.Text,
+		// Idempotent reads may retry through ambiguous failures; the breaker
+		// takes a dead endpoint out of selection after two strikes.
+		Retry:   orb.RetryPolicy{MaxAttempts: 5, Backoff: 2 * time.Millisecond},
+		Breaker: transport.BreakerPolicy{Threshold: 2, Cooldown: time.Minute},
+	}
+}
+
+func main() {
+	// The registry address space hosts the name service.
+	registryORB := orb.New(opts())
+	if err := registryORB.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer registryORB.Shutdown()
+	namingRef, _, err := naming.Serve(registryORB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three replica servers; each announces itself under the SAME name.
+	// bindReplica is idempotent, so a restarted server re-announces freely.
+	const name = "media/player"
+	var (
+		servers []*orb.ORB
+		refs    []orb.ObjectRef
+	)
+	announcer := demo.Connect(opts())
+	defer announcer.Shutdown()
+	registry, err := naming.Connect(announcer, namingRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		srv, ref, _, err := demo.Serve(opts(), fmt.Sprintf("replica-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Shutdown()
+		if err := registry.BindReplica(name, ref); err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, srv)
+		refs = append(refs, ref)
+	}
+
+	// The client knows only the naming reference. The Directory records
+	// which name produced which members, so a drained member can later be
+	// re-resolved through the same name (Rebind). Balance defaults to
+	// round-robin; try balance.LeastInFlight() or balance.ConsistentHash().
+	client := demo.Connect(opts())
+	defer client.Shutdown()
+	ns, err := naming.Connect(client, namingRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := naming.NewDirectory(ns)
+	client.SetRebind(dir.Rebind)
+	set, err := dir.ResolveSet(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	primary, err := client.RegisterReplicaSet(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := client.Resolve(primary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	player := obj.(media.HdSession)
+
+	call := func(n int, phase string) {
+		for i := 0; i < n; i++ {
+			if _, err := player.GetVolume(); err != nil {
+				log.Fatalf("%s: call %d failed: %v", phase, i, err)
+			}
+		}
+		fmt.Printf("%-28s served per replica:", phase)
+		for _, srv := range servers {
+			fmt.Printf(" %3d", srv.Stats().RequestsServed)
+		}
+		st := client.Stats()
+		fmt.Printf("   (failovers: %d)\n", st.Failovers)
+	}
+
+	fmt.Printf("replica set under %q: %d members\n", name, len(set))
+	call(30, "healthy burst")
+
+	// Replica 1 dies without ceremony — no GOAWAY, connections severed.
+	// Calls that land on the corpse fail over; after two strikes its breaker
+	// opens and selection skips it without paying a dial.
+	servers[1].Abort()
+	call(30, "after kill -9 of replica 1")
+	// The operator eventually notices and deregisters the corpse.
+	if err := registry.UnbindReplica(name, refs[1]); err != nil {
+		log.Fatal(err)
+	}
+
+	// Replica 2 drains gracefully: its GOAWAY reaches the client, which
+	// re-resolves that member through the Directory — the name now maps to
+	// the survivors, so replica 2's share migrates live, zero calls lost.
+	done := make(chan struct{})
+	go func() { servers[2].Shutdown(); close(done) }()
+	call(30, "during drain of replica 2")
+	<-done
+	call(30, "after drain")
+
+	fmt.Println("every call succeeded across kill, drain and migration")
+}

@@ -1,0 +1,149 @@
+// Package balance holds the client-side endpoint-selection policies the ORB
+// consults when an invocation target is a replica set. It is the paper's
+// customization thesis applied to placement: which replica a call lands on
+// is policy, not application logic, and swapping the policy is a one-line
+// configuration change (orb.Options.Balance).
+//
+// The package is deliberately free of ORB types: a Policy sees only
+// Endpoint descriptors — a stable per-replica key, the current address, and
+// the in-flight load — so it can be unit-tested (and reused) without a
+// running ORB. Policies must be safe for concurrent use; one instance
+// serves every call a client makes.
+package balance
+
+import (
+	"hash/maphash"
+	"sync/atomic"
+)
+
+// Endpoint describes one eligible replica at selection time. The ORB has
+// already filtered out replicas the policy must not pick (tried this
+// invocation, draining, breaker open) — a Policy only ranks survivors.
+type Endpoint struct {
+	// Key identifies the replica stably across address changes (the
+	// member's original reference string): consistent hashing ranks by Key,
+	// so a replica that migrates keeps its share of the keyspace.
+	Key string
+	// Addr is the replica's current endpoint address.
+	Addr string
+	// InFlight is the number of calls currently outstanding against Addr,
+	// as reported by the transport pools.
+	InFlight int
+}
+
+// Policy picks one endpoint per invocation attempt.
+type Policy interface {
+	// Name identifies the policy in stats and logs.
+	Name() string
+	// Pick returns the index of the chosen endpoint in eps, or -1 when eps
+	// is empty. key is the call's shard key (the target object's identity
+	// unless overridden per call); policies that do not shard ignore it.
+	Pick(eps []Endpoint, key string) int
+}
+
+// --- round robin ---------------------------------------------------------------
+
+// roundRobin cycles through endpoints in order, the classic equal-share
+// spread for homogeneous replicas.
+type roundRobin struct {
+	n atomic.Uint64
+}
+
+// RoundRobin returns a policy that cycles through the eligible endpoints in
+// order. It is the default when a replica set is registered and no policy
+// was configured.
+func RoundRobin() Policy { return new(roundRobin) }
+
+func (r *roundRobin) Name() string { return "round-robin" }
+
+func (r *roundRobin) Pick(eps []Endpoint, _ string) int {
+	if len(eps) == 0 {
+		return -1
+	}
+	return int((r.n.Add(1) - 1) % uint64(len(eps)))
+}
+
+// --- least in-flight -----------------------------------------------------------
+
+// leastInFlight picks the endpoint with the fewest outstanding calls — the
+// load-adaptive policy for replicas of unequal speed (a draining box, a cold
+// cache, a noisy neighbor). Ties rotate round-robin so idle replicas share
+// work instead of all traffic piling onto the first listed.
+type leastInFlight struct {
+	n atomic.Uint64
+}
+
+// LeastInFlight returns a policy that picks the endpoint with the fewest
+// in-flight calls, breaking ties round-robin.
+func LeastInFlight() Policy { return new(leastInFlight) }
+
+func (l *leastInFlight) Name() string { return "least-in-flight" }
+
+func (l *leastInFlight) Pick(eps []Endpoint, _ string) int {
+	if len(eps) == 0 {
+		return -1
+	}
+	min := -1
+	for _, ep := range eps {
+		if min < 0 || ep.InFlight < min {
+			min = ep.InFlight
+		}
+	}
+	// Rotate among the minimum-load endpoints.
+	ties := 0
+	for _, ep := range eps {
+		if ep.InFlight == min {
+			ties++
+		}
+	}
+	skip := int((l.n.Add(1) - 1) % uint64(ties))
+	for i, ep := range eps {
+		if ep.InFlight == min {
+			if skip == 0 {
+				return i
+			}
+			skip--
+		}
+	}
+	return 0 // unreachable
+}
+
+// --- consistent hashing --------------------------------------------------------
+
+// consistentHash implements rendezvous (highest-random-weight) hashing: for
+// a given shard key, every endpoint gets a pseudo-random score from
+// hash(endpoint key, shard key) and the highest score wins. The same key
+// always lands on the same replica while that replica is eligible — sticky
+// sharding for per-object server-side state — and when a replica drops out,
+// only its keys move (to their second-highest choice); everyone else's
+// placement is undisturbed. That minimal-disruption property is what "ring"
+// consistent hashing buys, without maintaining a ring as membership shifts
+// per call with health filtering.
+type consistentHash struct {
+	seed maphash.Seed
+}
+
+// ConsistentHash returns a rendezvous-hashing policy: calls shard stickily
+// by key across the eligible endpoints, and a lost replica relocates only
+// its own keys.
+func ConsistentHash() Policy { return &consistentHash{seed: maphash.MakeSeed()} }
+
+func (c *consistentHash) Name() string { return "consistent-hash" }
+
+func (c *consistentHash) Pick(eps []Endpoint, key string) int {
+	if len(eps) == 0 {
+		return -1
+	}
+	best, bestScore := 0, uint64(0)
+	var h maphash.Hash
+	for i, ep := range eps {
+		h.SetSeed(c.seed)
+		h.WriteString(ep.Key)
+		h.WriteByte(0)
+		h.WriteString(key)
+		if s := h.Sum64(); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,156 @@
+package balance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func eps(n int) []Endpoint {
+	out := make([]Endpoint, n)
+	for i := range out {
+		out[i] = Endpoint{
+			Key:  fmt.Sprintf("@tcp:h%d:1#%d#IDL:X:1.0", i, i+1),
+			Addr: fmt.Sprintf("h%d:1", i),
+		}
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := RoundRobin()
+	set := eps(3)
+	counts := make([]int, 3)
+	for i := 0; i < 30; i++ {
+		idx := p.Pick(set, "")
+		if idx < 0 || idx >= 3 {
+			t.Fatalf("Pick = %d", idx)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c != 10 {
+			t.Errorf("endpoint %d picked %d times, want 10 (counts %v)", i, c, counts)
+		}
+	}
+	if p.Pick(nil, "") != -1 {
+		t.Error("Pick(empty) != -1")
+	}
+}
+
+func TestLeastInFlightPrefersIdle(t *testing.T) {
+	p := LeastInFlight()
+	set := eps(3)
+	set[0].InFlight = 5
+	set[1].InFlight = 1
+	set[2].InFlight = 5
+	for i := 0; i < 8; i++ {
+		if idx := p.Pick(set, ""); idx != 1 {
+			t.Fatalf("Pick = %d, want 1 (the least-loaded endpoint)", idx)
+		}
+	}
+	if p.Pick(nil, "") != -1 {
+		t.Error("Pick(empty) != -1")
+	}
+}
+
+func TestLeastInFlightRotatesTies(t *testing.T) {
+	p := LeastInFlight()
+	set := eps(3)
+	set[1].InFlight = 9 // never eligible; 0 and 2 tie at zero
+	counts := make([]int, 3)
+	for i := 0; i < 20; i++ {
+		counts[p.Pick(set, "")]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("loaded endpoint picked %d times", counts[1])
+	}
+	if counts[0] != 10 || counts[2] != 10 {
+		t.Errorf("tie rotation uneven: %v", counts)
+	}
+}
+
+func TestConsistentHashSticky(t *testing.T) {
+	p := ConsistentHash()
+	set := eps(4)
+	for _, key := range []string{"1", "2", "objekt-42", ""} {
+		first := p.Pick(set, key)
+		for i := 0; i < 10; i++ {
+			if got := p.Pick(set, key); got != first {
+				t.Fatalf("key %q moved: %d then %d", key, first, got)
+			}
+		}
+	}
+	if p.Pick(nil, "x") != -1 {
+		t.Error("Pick(empty) != -1")
+	}
+}
+
+// TestConsistentHashMinimalDisruption: removing one endpoint relocates only
+// the keys that lived on it; every other key keeps its replica.
+func TestConsistentHashMinimalDisruption(t *testing.T) {
+	p := ConsistentHash()
+	full := eps(4)
+	const keys = 200
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("obj-%d", i)
+		before[k] = full[p.Pick(full, k)].Key
+	}
+	// Drop endpoint 2 (as health filtering does when a replica dies).
+	reduced := append(append([]Endpoint{}, full[:2]...), full[3])
+	moved := 0
+	for k, owner := range before {
+		now := reduced[p.Pick(reduced, k)].Key
+		if owner == full[2].Key {
+			if now == owner {
+				t.Fatalf("key %q still on the removed endpoint", k)
+			}
+			continue
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved off surviving endpoints (want 0: rendezvous hashing only relocates the lost replica's keys)", moved)
+	}
+}
+
+// TestConsistentHashSpread: keys spread over all endpoints (no degenerate
+// single-bucket hashing).
+func TestConsistentHashSpread(t *testing.T) {
+	p := ConsistentHash()
+	set := eps(4)
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		counts[p.Pick(set, fmt.Sprintf("obj-%d", i))]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("endpoint %d never chosen: %v", i, counts)
+		}
+	}
+}
+
+// TestPoliciesConcurrent: one Policy instance serves every call a client
+// makes; Pick must be race-free (run under -race via make race).
+func TestPoliciesConcurrent(t *testing.T) {
+	set := eps(3)
+	for _, p := range []Policy{RoundRobin(), LeastInFlight(), ConsistentHash()} {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					if idx := p.Pick(set, fmt.Sprintf("k%d", g)); idx < 0 || idx >= 3 {
+						t.Errorf("%s: Pick = %d", p.Name(), idx)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}

@@ -99,9 +99,12 @@ const CalcIDL = `module Calc {
 // NamingIDL is a CosNaming-style name service: the companion service every
 // ORB deployment pairs with its bootstrap mechanism. Bindings hold untyped
 // object references (IDL Object), which the Go mapping carries as raw
-// orb.ObjectRef values.
+// orb.ObjectRef values. Replica operations let one name map to a set of
+// redundant servers: bindReplica appends a member, resolveSet returns the
+// whole set for client-side load balancing.
 const NamingIDL = `module Naming {
   typedef sequence<string> NameSeq;
+  typedef sequence<Object> ObjectSeq;
 
   exception NotFound     { string name; };
   exception AlreadyBound { string name; };
@@ -111,6 +114,9 @@ const NamingIDL = `module Naming {
     void rebind(in string name, in Object obj);
     Object resolve(in string name) raises (NotFound);
     void unbind(in string name) raises (NotFound);
+    void bindReplica(in string name, in Object obj);
+    void unbindReplica(in string name, in Object obj) raises (NotFound);
+    ObjectSeq resolveSet(in string name) raises (NotFound);
     NameSeq list();
     readonly attribute long size;
   };

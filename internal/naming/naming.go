@@ -4,6 +4,13 @@
 // out-of-band reference exchange. The paper's HeidiRMI bootstraps through a
 // well-known port (§3.1); a name service is the conventional next step the
 // CORBA ecosystem pairs with it.
+//
+// Beyond the single-endpoint model, a name may map to a *replica set*:
+// BindReplica appends redundant servers under one name and ResolveSet hands
+// the whole set to clients, which spread calls across the members with a
+// balance.Policy (orb.Options.Balance) and fail over between them. This is
+// the RAFDA thesis — distribution policy separated from application logic —
+// applied to placement.
 package naming
 
 import (
@@ -14,16 +21,19 @@ import (
 	"repro/internal/orb"
 )
 
-// Context is an in-memory Naming::Context servant. It is safe for
+// Context is an in-memory Naming::Context servant. Each name maps to an
+// ordered set of references: classic Bind/Rebind/Resolve keep their
+// one-reference semantics (Resolve returns the set's first member), while
+// BindReplica/UnbindReplica/ResolveSet manage the full set. It is safe for
 // concurrent use.
 type Context struct {
 	mu       sync.Mutex
-	bindings map[string]orb.ObjectRef
+	bindings map[string][]orb.ObjectRef
 }
 
 // NewContext returns an empty naming context.
 func NewContext() *Context {
-	return &Context{bindings: make(map[string]orb.ObjectRef)}
+	return &Context{bindings: make(map[string][]orb.ObjectRef)}
 }
 
 // Bind implements Naming::Context: it fails if the name is taken.
@@ -33,30 +43,87 @@ func (c *Context) Bind(name string, obj orb.ObjectRef) error {
 	if _, taken := c.bindings[name]; taken {
 		return &gen.HdAlreadyBound{Name: name}
 	}
-	c.bindings[name] = obj
+	c.bindings[name] = []orb.ObjectRef{obj}
 	return nil
 }
 
-// Rebind implements Naming::Context: it overwrites silently.
+// Rebind implements Naming::Context: it overwrites silently, collapsing any
+// replica set bound under the name to the single given reference.
 func (c *Context) Rebind(name string, obj orb.ObjectRef) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.bindings[name] = obj
+	c.bindings[name] = []orb.ObjectRef{obj}
 	return nil
 }
 
-// Resolve implements Naming::Context.
+// BindReplica implements Naming::Context: it appends obj to the name's
+// replica set, creating the set if the name is unbound. Re-announcing a
+// member already in the set is a no-op, so a restarted server may register
+// itself unconditionally.
+func (c *Context) BindReplica(name string, obj orb.ObjectRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.bindings[name] {
+		if m == obj {
+			return nil
+		}
+	}
+	c.bindings[name] = append(c.bindings[name], obj)
+	return nil
+}
+
+// UnbindReplica implements Naming::Context: it removes one member from the
+// name's replica set (a server deregistering before shutdown). Removing the
+// last member unbinds the name.
+func (c *Context) UnbindReplica(name string, obj orb.ObjectRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.bindings[name]
+	if !ok {
+		return &gen.HdNotFound{Name: name}
+	}
+	for i, m := range set {
+		if m == obj {
+			set = append(set[:i], set[i+1:]...)
+			if len(set) == 0 {
+				delete(c.bindings, name)
+			} else {
+				c.bindings[name] = set
+			}
+			return nil
+		}
+	}
+	return &gen.HdNotFound{Name: name}
+}
+
+// Resolve implements Naming::Context. For a replica set it returns the
+// first member — the compatibility view for clients that are not
+// replica-aware; balancing clients use ResolveSet.
 func (c *Context) Resolve(name string) (orb.ObjectRef, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ref, ok := c.bindings[name]
+	set, ok := c.bindings[name]
 	if !ok {
 		return orb.ObjectRef{}, &gen.HdNotFound{Name: name}
 	}
-	return ref, nil
+	return set[0], nil
 }
 
-// Unbind implements Naming::Context.
+// ResolveSet implements Naming::Context, returning a copy of the name's
+// full replica set.
+func (c *Context) ResolveSet(name string) (gen.HdObjectSeq, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.bindings[name]
+	if !ok {
+		return nil, &gen.HdNotFound{Name: name}
+	}
+	out := make(gen.HdObjectSeq, len(set))
+	copy(out, set)
+	return out, nil
+}
+
+// Unbind implements Naming::Context, removing the name and its whole set.
 func (c *Context) Unbind(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -79,7 +146,7 @@ func (c *Context) List() (gen.HdNameSeq, error) {
 	return names, nil
 }
 
-// GetSize implements the readonly size attribute.
+// GetSize implements the readonly size attribute (bound names, not members).
 func (c *Context) GetSize() (int32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -112,13 +179,27 @@ func Serve(o *orb.ORB) (orb.ObjectRef, *Context, error) {
 type Directory struct {
 	ns gen.HdContext
 
-	mu    sync.Mutex
-	names map[string]string // resolved ref string -> name it came from
+	mu       sync.Mutex
+	names    map[string]string        // resolved ref string -> name it came from
+	inflight map[string]*rebindFlight // old ref string -> in-progress re-resolution
+}
+
+// rebindFlight is one in-progress re-resolution; concurrent Rebind calls for
+// the same old reference wait on it instead of each hitting the name service
+// (single-flight).
+type rebindFlight struct {
+	done chan struct{}
+	ref  orb.ObjectRef
+	err  error
 }
 
 // NewDirectory returns a Directory resolving through ns.
 func NewDirectory(ns gen.HdContext) *Directory {
-	return &Directory{ns: ns, names: make(map[string]string)}
+	return &Directory{
+		ns:       ns,
+		names:    make(map[string]string),
+		inflight: make(map[string]*rebindFlight),
+	}
 }
 
 // Resolve looks name up in the naming context and records the association
@@ -134,27 +215,79 @@ func (d *Directory) Resolve(name string) (orb.ObjectRef, error) {
 	return ref, nil
 }
 
+// ResolveSet looks up name's full replica set and records every member for
+// later rebinding, so a drain of any one replica can re-resolve through the
+// same name.
+func (d *Directory) ResolveSet(name string) ([]orb.ObjectRef, error) {
+	refs, err := d.ns.ResolveSet(name)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	for _, ref := range refs {
+		d.names[ref.String()] = name
+	}
+	d.mu.Unlock()
+	return refs, nil
+}
+
 // Rebind re-resolves the name that previously produced old; it satisfies
 // orb.RebindFunc. References the Directory never resolved are returned
 // unchanged (the ORB keeps their original endpoint), as is a re-resolution
 // that fails — naming may simply not have caught up with the restart yet,
 // and the ORB asks again on the next call. A successful re-resolution is
-// recorded, so a further drain of the new endpoint chains.
+// recorded under the new reference and the old reference's record is
+// dropped — chained rebinds would otherwise accumulate one entry per
+// address the service has ever lived at. Concurrent rebinds of the same old
+// reference are single-flighted: one name-service lookup serves them all.
 func (d *Directory) Rebind(old orb.ObjectRef) (orb.ObjectRef, error) {
+	key := old.String()
 	d.mu.Lock()
-	name, ok := d.names[old.String()]
-	d.mu.Unlock()
+	name, ok := d.names[key]
 	if !ok {
+		d.mu.Unlock()
 		return old, nil
 	}
+	if f := d.inflight[key]; f != nil {
+		// Another caller is already re-resolving this reference; share its
+		// answer instead of issuing a duplicate lookup.
+		d.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return old, f.err
+		}
+		return f.ref, nil
+	}
+	f := &rebindFlight{done: make(chan struct{})}
+	d.inflight[key] = f
+	d.mu.Unlock()
+
 	ref, err := d.ns.Resolve(name)
+	d.mu.Lock()
+	delete(d.inflight, key)
+	if err == nil {
+		if s := ref.String(); s != key {
+			// The record under the superseded reference is dead weight now:
+			// the ORB memoizes old -> ref and will only ever ask about ref.
+			delete(d.names, key)
+			d.names[s] = name
+		}
+	}
+	d.mu.Unlock()
+	f.ref, f.err = ref, err
+	close(f.done)
 	if err != nil {
 		return old, err
 	}
-	d.mu.Lock()
-	d.names[ref.String()] = name
-	d.mu.Unlock()
 	return ref, nil
+}
+
+// tracked reports how many resolved-reference records the Directory holds
+// (tests assert chained rebinds do not accumulate stale entries).
+func (d *Directory) tracked() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.names)
 }
 
 // Connect resolves a remote naming context reference into a typed client.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -229,6 +230,225 @@ func TestDirectoryRebind(t *testing.T) {
 	}
 	if got != ref3 {
 		t.Errorf("Rebind after unbind = %v, want the old reference kept", got)
+	}
+}
+
+// TestReplicaBindResolveSet exercises the replica operations over the wire
+// through the generated bindings, on both protocols.
+func TestReplicaBindResolveSet(t *testing.T) {
+	for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+		t.Run(proto.Name(), func(t *testing.T) {
+			ctx, _ := startNaming(t, proto)
+			r1 := mustRef(t, "@tcp:a:1#1#IDL:X:1.0")
+			r2 := mustRef(t, "@tcp:b:1#2#IDL:X:1.0")
+			r3 := mustRef(t, "@tcp:c:1#3#IDL:X:1.0")
+
+			for _, r := range []orb.ObjectRef{r1, r2, r3, r2 /* idempotent re-announce */} {
+				if err := ctx.BindReplica("svc", r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			set, err := ctx.ResolveSet("svc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(set) != 3 || set[0] != r1 || set[1] != r2 || set[2] != r3 {
+				t.Errorf("ResolveSet = %v", set)
+			}
+			// The compatibility view for replica-unaware clients.
+			if got, err := ctx.Resolve("svc"); err != nil || got != r1 {
+				t.Errorf("Resolve = %v, %v, want first member", got, err)
+			}
+
+			if err := ctx.UnbindReplica("svc", r2); err != nil {
+				t.Fatal(err)
+			}
+			if set, _ = ctx.ResolveSet("svc"); len(set) != 2 {
+				t.Errorf("set after UnbindReplica = %v", set)
+			}
+			var re *orb.RemoteError
+			if err := ctx.UnbindReplica("svc", r2); !errors.As(err, &re) || !strings.Contains(re.Msg, "NotFound") {
+				t.Errorf("removing an absent member = %v", err)
+			}
+			if err := ctx.UnbindReplica("ghost", r1); !errors.As(err, &re) || !strings.Contains(re.Msg, "NotFound") {
+				t.Errorf("removing from an unbound name = %v", err)
+			}
+			// Removing the last member unbinds the name entirely.
+			ctx.UnbindReplica("svc", r1)
+			ctx.UnbindReplica("svc", r3)
+			if _, err := ctx.ResolveSet("svc"); !errors.As(err, &re) || !strings.Contains(re.Msg, "NotFound") {
+				t.Errorf("ResolveSet after emptying = %v", err)
+			}
+			if _, err := ctx.Resolve("svc"); !errors.As(err, &re) || !strings.Contains(re.Msg, "NotFound") {
+				t.Errorf("Resolve after emptying = %v", err)
+			}
+		})
+	}
+}
+
+// TestDirectoryNoGrowth: re-resolution drops the superseded reference's
+// record, so a service that relocates N times leaves one record, not N — the
+// unbounded-growth regression fix.
+func TestDirectoryNoGrowth(t *testing.T) {
+	ns := NewContext()
+	dir := NewDirectory(ns)
+	ns.Bind("svc", mustRef(t, "@tcp:h0:1#1#IDL:X:1.0"))
+	cur, err := dir.Resolve("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		next := mustRef(t, fmt.Sprintf("@tcp:h%d:1#1#IDL:X:1.0", i))
+		ns.Rebind("svc", next)
+		got, err := dir.Rebind(cur)
+		if err != nil || got != next {
+			t.Fatalf("hop %d: Rebind = %v, %v", i, got, err)
+		}
+		if n := dir.tracked(); n != 1 {
+			t.Fatalf("hop %d: directory tracks %d records, want 1 (unbounded growth)", i, n)
+		}
+		cur = next
+	}
+	// A re-resolution that returns the same reference must keep the record.
+	if _, err := dir.Rebind(cur); err != nil {
+		t.Fatal(err)
+	}
+	if n := dir.tracked(); n != 1 {
+		t.Errorf("same-answer rebind left %d records, want 1", n)
+	}
+	// A failed re-resolution keeps the record too, so later calls can retry.
+	ns.Unbind("svc")
+	if _, err := dir.Rebind(cur); err == nil {
+		t.Error("rebind of an unbound name reported no error")
+	}
+	if n := dir.tracked(); n != 1 {
+		t.Errorf("failed rebind left %d records, want 1", n)
+	}
+}
+
+// slowNS wraps a Context, counting Resolve calls and holding each one until
+// released — the probe for duplicate concurrent re-resolutions.
+type slowNS struct {
+	*Context
+	resolves atomic.Int32
+	gate     chan struct{}
+}
+
+func (s *slowNS) Resolve(name string) (orb.ObjectRef, error) {
+	s.resolves.Add(1)
+	<-s.gate
+	return s.Context.Resolve(name)
+}
+
+// TestDirectorySingleFlight: concurrent rebinds of one stale reference share
+// a single name-service lookup instead of issuing one each.
+func TestDirectorySingleFlight(t *testing.T) {
+	ns := &slowNS{Context: NewContext(), gate: make(chan struct{})}
+	dir := NewDirectory(ns)
+	old := mustRef(t, "@tcp:old:1#1#IDL:X:1.0")
+	next := mustRef(t, "@tcp:new:1#1#IDL:X:1.0")
+	ns.Context.Bind("svc", old)
+	close(ns.gate)
+	if _, err := dir.Resolve("svc"); err != nil {
+		t.Fatal(err)
+	}
+	ns.Context.Rebind("svc", next)
+	ns.resolves.Store(0)
+	ns.gate = make(chan struct{})
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]orb.ObjectRef, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := dir.Rebind(old)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = got
+		}(i)
+	}
+	// Let every caller reach the Directory before the lookup completes.
+	deadline := time.Now().Add(5 * time.Second)
+	for ns.resolves.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no caller reached the name service")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // latecomers must park on the flight
+	close(ns.gate)
+	wg.Wait()
+
+	if n := ns.resolves.Load(); n != 1 {
+		t.Errorf("%d callers issued %d name-service lookups, want 1 (single-flight)", callers, n)
+	}
+	for i, got := range results {
+		if got != next {
+			t.Errorf("caller %d got %v, want %v", i, got, next)
+		}
+	}
+}
+
+// TestReplicaNamingEndToEnd is the full bootstrap story: servers announce
+// themselves with BindReplica, a client pulls the set with
+// Directory.ResolveSet, registers it, and its calls spread over the members.
+func TestReplicaNamingEndToEnd(t *testing.T) {
+	mk := func() orb.Options { return orb.Options{Protocol: wire.Text} }
+	// Two replica servers, each exporting its own naming Context servant as
+	// the replicated payload service.
+	var (
+		servers []*orb.ORB
+		refs    []orb.ObjectRef
+	)
+	for i := 0; i < 2; i++ {
+		srv := orb.New(mk())
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Shutdown()
+		ref, _, err := Serve(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		refs = append(refs, ref)
+	}
+	// The registry: each server binds itself under one name.
+	registry := NewContext()
+	for _, ref := range refs {
+		if err := registry.BindReplica("svc", ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	client := orb.New(mk())
+	defer client.Shutdown()
+	dir := NewDirectory(registry)
+	set, err := dir.ResolveSet("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary, err := client.RegisterReplicaSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := Connect(client, primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		if _, err := svc.GetSize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, srv := range servers {
+		if served := srv.Stats().RequestsServed; served != calls/2 {
+			t.Errorf("replica %d served %d requests, want %d", i, served, calls/2)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/balance"
 	"repro/internal/heidi"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -231,6 +232,49 @@ type ClientCall struct {
 	// over, and rebuilding the header string was measurable on the wire path.
 	cachedRef ObjectRef
 	cachedStr string
+	// shardKey overrides the consistent-hashing key for this invocation;
+	// empty falls back to the target reference string. tried records the
+	// endpoint addresses already attempted this invocation, so replica
+	// failover prefers members not yet burned. repCands/repEps/repIdx are
+	// selection scratch reused across attempts and pooled reuse.
+	shardKey string
+	tried    []string
+	repCands []replicaCand
+	repEps   []balance.Endpoint
+	repIdx   []int
+}
+
+// SetShardKey sets the key consistent-hash balancing shards this call by,
+// instead of the default (the target reference string, which pins all of one
+// stub's calls to one replica). Generated stubs or applications set it to a
+// domain key — an account, a session — for finer sticky sharding. It has no
+// effect on the other balance policies.
+func (c *ClientCall) SetShardKey(k string) { c.shardKey = k }
+
+// shardKeyOrDefault is the effective consistent-hashing key.
+func (c *ClientCall) shardKeyOrDefault() string {
+	if c.shardKey != "" {
+		return c.shardKey
+	}
+	return c.targetRef()
+}
+
+// noteTried records an attempted endpoint address.
+func (c *ClientCall) noteTried(addr string) {
+	if !c.hasTried(addr) {
+		c.tried = append(c.tried, addr)
+	}
+}
+
+// hasTried reports whether this invocation already attempted addr. Linear
+// scan: replica sets are small and the slice is pooled.
+func (c *ClientCall) hasTried(addr string) bool {
+	for _, a := range c.tried {
+		if a == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // targetRef returns the stringified target reference for the request header,
@@ -267,6 +311,8 @@ func (o *ORB) NewCall(ref ObjectRef, method string) (*ClientCall, error) {
 	c.method = method
 	c.invoked, c.idempotent, c.released = false, false, false
 	c.timeout = 0
+	c.shardKey = ""
+	c.tried = c.tried[:0]
 	return c, nil
 }
 
@@ -426,7 +472,7 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 	if c.orb.mux != nil {
 		return c.attemptMux(oneway)
 	}
-	ref, refStr := c.orb.routeRef(c.ref, c.targetRef())
+	ref, refStr := c.orb.routeCall(c)
 	conn, reused, err := c.orb.pool.Checkout(ref.Addr)
 	if err != nil {
 		switch {
@@ -436,7 +482,12 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, ErrShutdown)
 		case errors.Is(err, transport.ErrCircuitOpen):
 			// Fail fast: retrying a tripped endpoint defeats the
-			// breaker's purpose.
+			// breaker's purpose — except on a replica-routed call, where
+			// the breaker tripping between selection and checkout is a
+			// safe failure the next attempt serves from another member.
+			if len(c.tried) > 0 {
+				return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
+			}
 			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
 		}
 		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
@@ -542,13 +593,16 @@ func isTimeout(err error) bool {
 //     connection. A timed-out call is deregistered and its late reply
 //     dropped by the demux reader; the connection stays up.
 func (c *ClientCall) attemptMux(oneway bool) (*wire.Message, failureClass, error) {
-	ref, refStr := c.orb.routeRef(c.ref, c.targetRef())
+	ref, refStr := c.orb.routeCall(c)
 	mc, err := c.orb.mux.Get(ref.Addr)
 	if err != nil {
 		switch {
 		case errors.Is(err, transport.ErrPoolClosed):
 			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, ErrShutdown)
 		case errors.Is(err, transport.ErrCircuitOpen):
+			if len(c.tried) > 0 { // replica-routed: fail over, don't fail fast
+				return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
+			}
 			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
 		}
 		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)

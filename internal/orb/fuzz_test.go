@@ -67,3 +67,53 @@ func FuzzParseRef(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseRefSet fuzzes the replica-set reference grammar: any input the
+// parser accepts must re-format (every member is separator-clean by
+// construction, since the parser split on the separator) and the re-formatted
+// string must parse back to the identical member list.
+func FuzzParseRefSet(f *testing.F) {
+	seeds := []string{
+		"@set|@tcp:a:1#1#IDL:X:1.0",
+		"@set|@tcp:a:1#1#IDL:X:1.0|@tcp:b:1#2#IDL:X:1.0",
+		"@set|@inproc:ep1#1#IDL:test/Echo:1.0|@inproc:ep2#2#IDL:test/Echo:1.0|@inproc:ep3#3#IDL:test/Echo:1.0",
+		"@set|",
+		"@set",
+		"@set|@nil",
+		"@set||",
+		"@set|not a ref",
+		"@tcp:a:1#1#IDL:X:1.0",
+		"@set|@tcp:h:1#id#t#extra#hashes|@tcp:h:1#id#t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		members, err := ParseRefSet(s)
+		if err != nil {
+			return
+		}
+		if len(members) == 0 {
+			t.Fatalf("ParseRefSet(%q) accepted an empty set", s)
+		}
+		if !IsRefSet(s) {
+			t.Fatalf("ParseRefSet(%q) accepted input IsRefSet rejects", s)
+		}
+		out, err := FormatRefSet(members)
+		if err != nil {
+			t.Fatalf("FormatRefSet of ParseRefSet(%q) failed: %v", s, err)
+		}
+		back, err := ParseRefSet(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", out, s, err)
+		}
+		if len(back) != len(members) {
+			t.Fatalf("round-trip of %q changed member count: %d -> %d", s, len(members), len(back))
+		}
+		for i := range members {
+			if back[i] != members[i] {
+				t.Fatalf("round-trip of %q changed member %d: %+v -> %+v", s, i, members[i], back[i])
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/balance"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -113,6 +114,11 @@ type Options struct {
 	// (naming.Directory.Rebind) — and the result is memoized. Nil leaves
 	// references pinned to their original endpoint.
 	Rebind RebindFunc
+	// Balance selects which member of a replica set (RegisterReplicaSet)
+	// each invocation attempt targets: balance.RoundRobin (the default),
+	// balance.LeastInFlight, or balance.ConsistentHash. It has no effect on
+	// calls whose target is not a registered replica member.
+	Balance balance.Policy
 	// DispatchFault, when set, is consulted after every servant dispatch
 	// and before the reply is written — server-side fault injection for
 	// tests (delay a reply past its caller's deadline, drop it outright)
@@ -179,6 +185,12 @@ type ORB struct {
 	rebound  sync.Map // original ref string -> *reboundEntry
 	rebind   atomic.Pointer[RebindFunc]
 
+	// groups maps each registered replica member's reference string to its
+	// group; groupCount lets the invocation path skip the map lookup
+	// entirely while no set has ever been registered.
+	groups     sync.Map // member ref string -> *replicaGroup
+	groupCount atomic.Int32
+
 	goAwaysSent atomic.Uint64
 	goAwaysSeen atomic.Uint64
 	dispatchSeq atomic.Uint64 // ordinal fed to the DispatchFault hook
@@ -203,6 +215,11 @@ type Stats struct {
 	// MuxCalls counts invocations (two-way and oneway) sent over the
 	// multiplexed shared-connection path.
 	MuxCalls uint64
+	// ReplicaPicks counts invocation attempts routed through a replica
+	// group; Failovers counts the subset re-routed after an earlier attempt
+	// of the same invocation failed.
+	ReplicaPicks uint64
+	Failovers    uint64
 }
 
 // New creates an ORB with the given options. Call Start to begin serving;
@@ -216,6 +233,9 @@ func New(opts Options) *ORB {
 	}
 	if opts.ListenAddr == "" {
 		opts.ListenAddr = "127.0.0.1:0"
+	}
+	if opts.Balance == nil {
+		opts.Balance = balance.RoundRobin()
 	}
 	o := &ORB{
 		opts:      opts,
@@ -447,6 +467,41 @@ func (o *ORB) Shutdown() error {
 	return nil
 }
 
+// Abort tears the ORB down with no grace at all: no GOAWAY announcement, no
+// drain — the listener and every live connection close immediately and
+// in-flight dispatches lose their reply channel mid-flight. It approximates a
+// killed process for failover testing (clients see ambiguous failures, not an
+// orderly drain) and is the emergency stop when a drain cannot be afforded.
+// Unlike a real kill it still reclaims this address space's goroutines:
+// servants already dispatched run to completion against closed connections.
+func (o *ORB) Abort() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	l := o.listener
+	conns := make([]transport.Conn, 0, len(o.conns))
+	for c := range o.conns {
+		conns = append(conns, c)
+	}
+	o.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	o.pool.Close()
+	if o.mux != nil {
+		o.mux.Close()
+	}
+	o.wg.Wait()
+	return nil
+}
+
 // Stats returns a snapshot of runtime counters.
 func (o *ORB) Stats() Stats {
 	return Stats{
@@ -459,6 +514,8 @@ func (o *ORB) Stats() Stats {
 		SkeletonsCreated: atomic.LoadUint64(&o.stats.SkeletonsCreated),
 		Retries:          atomic.LoadUint64(&o.stats.Retries),
 		MuxCalls:         atomic.LoadUint64(&o.stats.MuxCalls),
+		ReplicaPicks:     atomic.LoadUint64(&o.stats.ReplicaPicks),
+		Failovers:        atomic.LoadUint64(&o.stats.Failovers),
 	}
 }
 

@@ -1,0 +1,68 @@
+package orb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A replica-set reference is the stringified form of a group of object
+// references that one name resolves to — the bootstrap artifact for
+// replicated services, exchangeable anywhere a single stringified reference
+// is (config files, environment, the naming service's own bootstrap):
+//
+//	@set|@tcp:a:1#7#IDL:X:1.0|@tcp:b:1#3#IDL:X:1.0
+//
+// Members are complete object references joined by '|' after the "@set"
+// marker. Parse with ParseRefSet, register with ORB.RegisterReplicaSet.
+
+// RefSetPrefix starts every stringified replica-set reference.
+const RefSetPrefix = "@set|"
+
+// refSetSep joins member references; members containing it are rejected at
+// format time so every formatted set re-parses to the same members.
+const refSetSep = "|"
+
+// FormatRefSet renders members as one replica-set reference string.
+func FormatRefSet(members []ObjectRef) (string, error) {
+	if len(members) == 0 {
+		return "", fmt.Errorf("orb: replica set has no members")
+	}
+	var b strings.Builder
+	b.WriteString("@set")
+	for _, m := range members {
+		if m.IsNil() {
+			return "", fmt.Errorf("orb: replica set contains a nil reference")
+		}
+		s := m.String()
+		if strings.Contains(s, refSetSep) {
+			return "", fmt.Errorf("orb: reference %q contains the set separator %q", s, refSetSep)
+		}
+		b.WriteString(refSetSep)
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+// ParseRefSet parses a stringified replica-set reference into its member
+// references.
+func ParseRefSet(s string) ([]ObjectRef, error) {
+	if !strings.HasPrefix(s, RefSetPrefix) {
+		return nil, fmt.Errorf("orb: replica set %q does not start with %q", s, RefSetPrefix)
+	}
+	parts := strings.Split(s[len(RefSetPrefix):], refSetSep)
+	members := make([]ObjectRef, 0, len(parts))
+	for _, p := range parts {
+		ref, err := ParseRef(p)
+		if err != nil {
+			return nil, fmt.Errorf("orb: replica set member: %w", err)
+		}
+		if ref.IsNil() {
+			return nil, fmt.Errorf("orb: replica set %q contains a nil member", s)
+		}
+		members = append(members, ref)
+	}
+	return members, nil
+}
+
+// IsRefSet reports whether s spells a replica-set reference.
+func IsRefSet(s string) bool { return strings.HasPrefix(s, RefSetPrefix) }

@@ -1,0 +1,189 @@
+package orb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/balance"
+	"repro/internal/transport"
+)
+
+// Replica groups generalize the single-endpoint invocation model: one
+// client-side object (a stub, resolved once) fans its calls out over a set of
+// redundant servers exporting the same interface. Which member a call lands
+// on is policy (Options.Balance — round-robin, least-in-flight, consistent
+// hashing), and the fault-tolerance machinery composes per member: a member
+// whose circuit breaker is open or whose server announced draining (GOAWAY)
+// is skipped at selection time — not discovered at connection checkout — and
+// a retryable failure re-attempts on the next member rather than hammering
+// the one that just failed. Each member independently rides the drain-aware
+// Rebind path, so a migrated member rejoins the set at its new address with a
+// fresh breaker.
+
+// replicaMember is one member of a replica group. str is the member's
+// original stringified reference — its stable identity for consistent
+// hashing and for the Rebind memo, surviving address migration.
+type replicaMember struct {
+	ref ObjectRef
+	str string
+}
+
+// replicaGroup is an immutable snapshot of a replica set; registration
+// replaces the group wholesale, invocations only read it.
+type replicaGroup struct {
+	typeID  string
+	members []replicaMember
+}
+
+// RegisterReplicaSet declares that the given references are replicas of one
+// service and returns the primary (first) reference — resolve a stub from it
+// and every invocation through that stub balances over the whole set.
+// Members must share a type and be non-nil; duplicates collapse. Each member
+// reference is also registered as an entry point: a stub resolved from any
+// member balances over the same group. Registering a set that overlaps an
+// earlier one re-points the shared members at the new group.
+func (o *ORB) RegisterReplicaSet(members []ObjectRef) (ObjectRef, error) {
+	if len(members) == 0 {
+		return ObjectRef{}, fmt.Errorf("orb: replica set has no members")
+	}
+	g := &replicaGroup{typeID: members[0].TypeID}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.IsNil() {
+			return ObjectRef{}, fmt.Errorf("orb: replica set contains a nil reference")
+		}
+		if m.TypeID != g.typeID {
+			return ObjectRef{}, fmt.Errorf("orb: replica set mixes types %q and %q", g.typeID, m.TypeID)
+		}
+		s := m.String()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		g.members = append(g.members, replicaMember{ref: m, str: s})
+	}
+	for _, m := range g.members {
+		o.groups.Store(m.str, g)
+	}
+	o.groupCount.Add(1)
+	return g.members[0].ref, nil
+}
+
+// ResolveReplicaSet is RegisterReplicaSet followed by Resolve of the primary
+// reference: the one-call path from a member list (say, naming's ResolveSet)
+// to a balancing stub.
+func (o *ORB) ResolveReplicaSet(members []ObjectRef) (any, error) {
+	primary, err := o.RegisterReplicaSet(members)
+	if err != nil {
+		return nil, err
+	}
+	return o.Resolve(primary)
+}
+
+// balancePolicy returns the configured selection policy.
+func (o *ORB) balancePolicy() balance.Policy { return o.opts.Balance }
+
+// routeCall maps one invocation attempt onto its wire target: replica-group
+// selection when the call's reference is registered as a group member, then
+// the drain-aware rebind layer either way. Non-replicated calls take one
+// atomic load past the seed path.
+func (o *ORB) routeCall(c *ClientCall) (ObjectRef, string) {
+	refStr := c.targetRef()
+	if o.groupCount.Load() > 0 {
+		if gv, ok := o.groups.Load(refStr); ok {
+			g := gv.(*replicaGroup)
+			if i := o.pickReplica(g, c); i >= 0 {
+				atomic.AddUint64(&o.stats.ReplicaPicks, 1)
+				if len(c.tried) > 0 {
+					atomic.AddUint64(&o.stats.Failovers, 1)
+				}
+				m := g.members[i]
+				ref, str := o.routeRef(m.ref, m.str)
+				c.noteTried(ref.Addr)
+				return ref, str
+			}
+		}
+	}
+	return o.routeRef(c.ref, refStr)
+}
+
+// replicaCand is one member's selection-time health snapshot.
+type replicaCand struct {
+	key   string // stable member identity (original reference string)
+	addr  string // current address, after any rebind
+	tried bool   // already attempted this invocation
+	drain bool   // endpoint announced draining (GOAWAY)
+	open  bool   // endpoint's circuit breaker is open
+}
+
+// pickReplica chooses a member index for one attempt. Selection filters
+// before the policy ranks: first the members that are healthy (not draining,
+// breaker not open) and untried this invocation; failing that, any untried
+// member (better a suspect replica than none while breakers re-probe);
+// failing that, the whole set — the call then fails the way a single-endpoint
+// call against a down server fails, rather than inventing a new error.
+// Returns -1 only for an empty group.
+func (o *ORB) pickReplica(g *replicaGroup, c *ClientCall) int {
+	cands := c.repCands[:0]
+	for _, m := range g.members {
+		// Route every member through the drain-aware rebind layer, not just
+		// the one ultimately picked: a member whose server announced GOAWAY
+		// migrates here — live, mid-selection — and rejoins the eligible set
+		// at its new address instead of being filtered out until chosen.
+		cur, _ := o.routeRef(m.ref, m.str)
+		_, drain := o.draining.Load(cur.Addr)
+		cands = append(cands, replicaCand{
+			key:   m.str,
+			addr:  cur.Addr,
+			tried: c.hasTried(cur.Addr),
+			drain: drain,
+			open:  o.breakerOpen(cur.Addr),
+		})
+	}
+	c.repCands = cands
+	if i := o.pickStage(c, cands, func(cd replicaCand) bool { return !cd.tried && !cd.drain && !cd.open }); i >= 0 {
+		return i
+	}
+	if i := o.pickStage(c, cands, func(cd replicaCand) bool { return !cd.tried }); i >= 0 {
+		return i
+	}
+	return o.pickStage(c, cands, func(replicaCand) bool { return true })
+}
+
+// pickStage runs the balance policy over the candidates passing one filter
+// stage; candidate order (and thus index) matches the group's member order.
+func (o *ORB) pickStage(c *ClientCall, cands []replicaCand, eligible func(replicaCand) bool) int {
+	eps := c.repEps[:0]
+	idx := c.repIdx[:0]
+	for i, cd := range cands {
+		if !eligible(cd) {
+			continue
+		}
+		eps = append(eps, balance.Endpoint{Key: cd.key, Addr: cd.addr, InFlight: o.endpointInFlight(cd.addr)})
+		idx = append(idx, i)
+	}
+	c.repEps, c.repIdx = eps, idx
+	if len(eps) == 0 {
+		return -1
+	}
+	p := o.balancePolicy().Pick(eps, c.shardKeyOrDefault())
+	if p < 0 {
+		return -1
+	}
+	return idx[p]
+}
+
+// breakerOpen reports whether addr's circuit is open (shared between the
+// exclusive and multiplexed paths; false when no breaker is configured).
+func (o *ORB) breakerOpen(addr string) bool {
+	return o.pool.Breaker.State(addr) == transport.BreakerOpen
+}
+
+// endpointInFlight reads addr's outstanding-call count from whichever
+// transport path this ORB invokes over.
+func (o *ORB) endpointInFlight(addr string) int {
+	if o.mux != nil {
+		return o.mux.InFlight(addr)
+	}
+	return o.pool.InFlight(addr)
+}

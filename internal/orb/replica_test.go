@@ -1,0 +1,523 @@
+package orb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// countingEcho is an Echo servant that records every dispatch: total calls,
+// per-payload dispatch counts (the duplicate detector for the torture test),
+// and an optional block channel so a test can park one call in-flight.
+type countingEcho struct {
+	mu      sync.Mutex
+	calls   int
+	seen    map[string]int
+	block   chan struct{} // non-nil: Echo parks until it is closed
+	started chan struct{} // non-nil: signaled when a blocking Echo begins
+}
+
+func (e *countingEcho) Echo(s string) (string, error) {
+	e.mu.Lock()
+	e.calls++
+	if e.seen != nil {
+		e.seen[s]++
+	}
+	block, started := e.block, e.started
+	e.mu.Unlock()
+	if block != nil {
+		if started != nil {
+			started <- struct{}{}
+		}
+		<-block
+	}
+	return s, nil
+}
+
+func (e *countingEcho) Add(a, b int32) (int32, error) { return a + b, nil }
+func (e *countingEcho) Ping() error                   { return nil }
+func (e *countingEcho) Poke() error                   { return nil }
+func (e *countingEcho) Fail(why string) error         { return &FailError{Why: why} }
+
+func (e *countingEcho) count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
+
+// replicaCluster is n server ORBs each exporting one countingEcho, plus a
+// client ORB with the set registered.
+type replicaCluster struct {
+	servers []*ORB
+	impls   []*countingEcho
+	refs    []ObjectRef
+	client  *ORB
+	primary ObjectRef
+}
+
+func newReplicaCluster(t testing.TB, n int, mkServer, mkClient func() Options) *replicaCluster {
+	t.Helper()
+	cl := &replicaCluster{}
+	for i := 0; i < n; i++ {
+		impl := &countingEcho{seen: make(map[string]int)}
+		srv := New(mkServer())
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Shutdown() })
+		ref, err := srv.Export(impl, NewEchoTable(impl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.servers = append(cl.servers, srv)
+		cl.impls = append(cl.impls, impl)
+		cl.refs = append(cl.refs, ref)
+	}
+	cl.client = New(mkClient())
+	registerEchoStub(cl.client)
+	t.Cleanup(func() { cl.client.Shutdown() })
+	primary, err := cl.client.RegisterReplicaSet(cl.refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.primary = primary
+	return cl
+}
+
+func (cl *replicaCluster) stub(t testing.TB) Echo {
+	t.Helper()
+	obj, err := cl.client.Resolve(cl.primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj.(Echo)
+}
+
+// callEcho invokes "echo" through a raw call so the test controls
+// idempotency marking and the shard key.
+func callEcho(o *ORB, ref ObjectRef, payload, shardKey string, idem bool) error {
+	c, err := o.NewCall(ref, "echo")
+	if err != nil {
+		return err
+	}
+	defer c.Release()
+	c.SetIdempotent(idem)
+	if shardKey != "" {
+		c.SetShardKey(shardKey)
+	}
+	c.PutString(payload)
+	if err := c.Invoke(); err != nil {
+		return err
+	}
+	got, err := c.GetString()
+	if err != nil {
+		return err
+	}
+	if got != payload {
+		return fmt.Errorf("echo %q returned %q", payload, got)
+	}
+	return nil
+}
+
+func TestRegisterReplicaSetValidation(t *testing.T) {
+	o := New(Options{})
+	if _, err := o.RegisterReplicaSet(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := o.RegisterReplicaSet([]ObjectRef{{}}); err == nil {
+		t.Error("nil member accepted")
+	}
+	a := ObjectRef{Proto: "tcp", Addr: "a:1", ObjectID: "1", TypeID: "IDL:X:1.0"}
+	b := ObjectRef{Proto: "tcp", Addr: "b:1", ObjectID: "2", TypeID: "IDL:Y:1.0"}
+	if _, err := o.RegisterReplicaSet([]ObjectRef{a, b}); err == nil {
+		t.Error("mixed-type set accepted")
+	}
+	primary, err := o.RegisterReplicaSet([]ObjectRef{a, a, a})
+	if err != nil {
+		t.Fatalf("duplicate-collapsing registration failed: %v", err)
+	}
+	if primary != a {
+		t.Errorf("primary = %+v, want %+v", primary, a)
+	}
+	gv, ok := o.groups.Load(a.String())
+	if !ok {
+		t.Fatal("member not registered")
+	}
+	if got := len(gv.(*replicaGroup).members); got != 1 {
+		t.Errorf("duplicates not collapsed: %d members", got)
+	}
+}
+
+func TestRefSetRoundTrip(t *testing.T) {
+	a := ObjectRef{Proto: "tcp", Addr: "a:1", ObjectID: "1", TypeID: "IDL:X:1.0"}
+	b := ObjectRef{Proto: "tcp", Addr: "b:1", ObjectID: "2", TypeID: "IDL:X:1.0"}
+	s, err := FormatRefSet([]ObjectRef{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsRefSet(s) {
+		t.Errorf("IsRefSet(%q) = false", s)
+	}
+	members, err := ParseRefSet(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || members[0] != a || members[1] != b {
+		t.Errorf("ParseRefSet(%q) = %+v", s, members)
+	}
+	if _, err := FormatRefSet(nil); err == nil {
+		t.Error("FormatRefSet(nil) succeeded")
+	}
+	bad := ObjectRef{Proto: "tcp", Addr: "a:1", ObjectID: "1", TypeID: "IDL:X|Y:1.0"}
+	if _, err := FormatRefSet([]ObjectRef{bad}); err == nil {
+		t.Error("separator-bearing member accepted")
+	}
+	if _, err := ParseRefSet("@tcp:a:1#1#IDL:X:1.0"); err == nil {
+		t.Error("plain reference parsed as a set")
+	}
+}
+
+// TestReplicaRoundRobinSpread: the default policy spreads a stub's calls
+// evenly across the set, on both the exclusive and multiplexed paths.
+func TestReplicaRoundRobinSpread(t *testing.T) {
+	for name, mux := range map[string]bool{"exclusive": false, "mux": true} {
+		t.Run(name, func(t *testing.T) {
+			mk := func() Options { return Options{Protocol: wire.Text, Multiplex: mux} }
+			cl := newReplicaCluster(t, 3, mk, mk)
+			echo := cl.stub(t)
+			const calls = 30
+			for i := 0; i < calls; i++ {
+				if _, err := echo.Echo(fmt.Sprintf("m%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, impl := range cl.impls {
+				if got := impl.count(); got != calls/3 {
+					t.Errorf("replica %d served %d calls, want %d", i, got, calls/3)
+				}
+			}
+			if st := cl.client.Stats(); st.ReplicaPicks != calls {
+				t.Errorf("ReplicaPicks = %d, want %d", st.ReplicaPicks, calls)
+			}
+		})
+	}
+}
+
+// TestReplicaLeastInFlight: with one call parked on a replica, the
+// load-adaptive policy steers every following call elsewhere.
+func TestReplicaLeastInFlight(t *testing.T) {
+	mkServer := func() Options { return Options{Protocol: wire.Text} }
+	mkClient := func() Options { return Options{Protocol: wire.Text, Balance: balance.LeastInFlight()} }
+	cl := newReplicaCluster(t, 3, mkServer, mkClient)
+	echo := cl.stub(t)
+
+	// Tie rotation starts at member 0, so the parked call lands there.
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	cl.impls[0].mu.Lock()
+	cl.impls[0].block, cl.impls[0].started = block, started
+	cl.impls[0].mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := echo.Echo("parked"); err != nil {
+			t.Errorf("parked call: %v", err)
+		}
+	}()
+	<-started // the parked call is in-flight on replica 0
+
+	cl.impls[0].mu.Lock()
+	cl.impls[0].block, cl.impls[0].started = nil, nil
+	cl.impls[0].mu.Unlock()
+	for i := 0; i < 10; i++ {
+		if _, err := echo.Echo(fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(block)
+	wg.Wait()
+
+	if got := cl.impls[0].count(); got != 1 {
+		t.Errorf("loaded replica served %d calls, want only the parked one", got)
+	}
+	if a, b := cl.impls[1].count(), cl.impls[2].count(); a+b != 10 {
+		t.Errorf("idle replicas served %d+%d calls, want 10 total", a, b)
+	}
+}
+
+// TestReplicaConsistentHashSticky: the default shard key pins one stub's
+// calls to one replica; per-call shard keys spread across the set and stay
+// sticky per key.
+func TestReplicaConsistentHashSticky(t *testing.T) {
+	mkServer := func() Options { return Options{Protocol: wire.Text} }
+	mkClient := func() Options { return Options{Protocol: wire.Text, Balance: balance.ConsistentHash()} }
+	cl := newReplicaCluster(t, 3, mkServer, mkClient)
+	echo := cl.stub(t)
+
+	for i := 0; i < 12; i++ {
+		if _, err := echo.Echo("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owners := 0
+	for _, impl := range cl.impls {
+		if n := impl.count(); n > 0 {
+			owners++
+			if n != 12 {
+				t.Errorf("owning replica served %d calls, want 12", n)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Errorf("stub's calls landed on %d replicas, want 1", owners)
+	}
+
+	// Distinct shard keys spread; repeating a key re-lands on its replica.
+	before := make([]int, 3)
+	for i := range cl.impls {
+		before[i] = cl.impls[i].count()
+	}
+	keyOwner := make(map[string]int)
+	for round := 0; round < 2; round++ {
+		for k := 0; k < 30; k++ {
+			key := fmt.Sprintf("acct-%d", k)
+			if err := callEcho(cl.client, cl.primary, key, key, true); err != nil {
+				t.Fatal(err)
+			}
+			owner := -1
+			for i, impl := range cl.impls {
+				if d := impl.count() - before[i]; d > 0 {
+					owner = i
+					before[i] += d
+				}
+			}
+			if prev, ok := keyOwner[key]; ok && prev != owner {
+				t.Fatalf("key %q moved from replica %d to %d", key, prev, owner)
+			}
+			keyOwner[key] = owner
+		}
+	}
+	spread := make(map[int]bool)
+	for _, o := range keyOwner {
+		spread[o] = true
+	}
+	if len(spread) < 2 {
+		t.Errorf("30 shard keys all landed on one replica")
+	}
+}
+
+// TestReplicaFailoverOnKill: killing a replica mid-sequence loses no
+// idempotent calls — failed attempts retry on the next member, and once the
+// breaker trips the dead member is skipped at selection.
+func TestReplicaFailoverOnKill(t *testing.T) {
+	mk := func() Options {
+		return Options{
+			Protocol: wire.Text,
+			Retry:    RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond, Seed: 1},
+			Breaker:  transport.BreakerPolicy{Threshold: 2, Cooldown: time.Minute},
+		}
+	}
+	cl := newReplicaCluster(t, 3, mk, mk)
+	for i := 0; i < 9; i++ {
+		if err := callEcho(cl.client, cl.primary, fmt.Sprintf("pre-%d", i), "", true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.servers[0].Abort()
+	for i := 0; i < 30; i++ {
+		if err := callEcho(cl.client, cl.primary, fmt.Sprintf("post-%d", i), "", true); err != nil {
+			t.Fatalf("call %d after kill: %v", i, err)
+		}
+	}
+	if st := cl.client.Stats(); st.Failovers == 0 {
+		t.Error("no failovers recorded despite a killed replica")
+	}
+	deadAddr := cl.refs[0].Addr
+	if state := cl.client.pool.Breaker.State(deadAddr); state != transport.BreakerOpen {
+		t.Errorf("dead replica's breaker = %v, want open", state)
+	}
+	liveAddr := cl.refs[1].Addr
+	if state := cl.client.pool.Breaker.State(liveAddr); state != transport.BreakerClosed {
+		t.Errorf("live replica's breaker = %v, want closed (breaker state must be per-endpoint)", state)
+	}
+}
+
+// TestReplicaGoAwayMigration: a draining replica's GOAWAY routes its share of
+// traffic through the Rebind hook to its successor — live migration across
+// the surviving set — and the successor starts with a closed breaker even
+// though the member it replaces had tripped its own.
+func TestReplicaGoAwayMigration(t *testing.T) {
+	mk := func() Options {
+		return Options{
+			Protocol:  wire.Text,
+			Multiplex: true,
+			Retry:     RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond, Seed: 1},
+			Breaker:   transport.BreakerPolicy{Threshold: 2, Cooldown: time.Minute},
+		}
+	}
+	cl := newReplicaCluster(t, 3, mk, mk)
+
+	// The replacement replica the drained member migrates to.
+	replImpl := &countingEcho{seen: make(map[string]int)}
+	repl := New(mk())
+	if err := repl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repl.Shutdown() })
+	replRef, err := repl.Export(replImpl, NewEchoTable(replImpl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainedRef := cl.refs[2]
+	cl.client.SetRebind(func(ref ObjectRef) (ObjectRef, error) {
+		if ref == drainedRef {
+			return replRef, nil
+		}
+		return ref, nil
+	})
+
+	for i := 0; i < 9; i++ {
+		if err := callEcho(cl.client, cl.primary, fmt.Sprintf("pre-%d", i), "", true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	served := cl.impls[2].count()
+
+	// Drain server 2 and wait for its GOAWAY to reach the client's demux.
+	done := make(chan struct{})
+	go func() { cl.servers[2].Shutdown(); close(done) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, draining := cl.client.draining.Load(drainedRef.Addr); draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never observed the GOAWAY")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+
+	for i := 0; i < 30; i++ {
+		if err := callEcho(cl.client, cl.primary, fmt.Sprintf("post-%d", i), "", true); err != nil {
+			t.Fatalf("call %d during migration: %v", i, err)
+		}
+	}
+	if got := cl.impls[2].count(); got != served {
+		t.Errorf("drained replica served %d more calls after GOAWAY", got-served)
+	}
+	if got := replImpl.count(); got == 0 {
+		t.Error("replacement replica served nothing: migration did not happen")
+	}
+	// The migrated member is a fresh endpoint: its breaker starts closed.
+	if state := cl.client.pool.Breaker.State(replRef.Addr); state != transport.BreakerClosed {
+		t.Errorf("migrated replica's breaker = %v, want closed", state)
+	}
+}
+
+// TestReplicaTortureKillDrain is the tentpole torture test: 32 callers
+// hammer a 4-replica set while one replica is killed outright (no GOAWAY)
+// and another drains gracefully mid-burst. Invariants: zero lost idempotent
+// calls (every one eventually succeeds) and zero duplicate non-idempotent
+// dispatches (a non-idempotent payload is dispatched at most once, exactly
+// once when its call succeeded). Run under -race by make race.
+func TestReplicaTortureKillDrain(t *testing.T) {
+	for name, mux := range map[string]bool{"exclusive": false, "mux": true} {
+		t.Run(name, func(t *testing.T) {
+			mk := func() Options {
+				return Options{
+					Protocol:  wire.Text,
+					Multiplex: mux,
+					Retry:     RetryPolicy{MaxAttempts: 8, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+					Breaker:   transport.BreakerPolicy{Threshold: 2, Cooldown: 50 * time.Millisecond},
+				}
+			}
+			const (
+				callers   = 32
+				perCaller = 25
+				total     = callers * perCaller
+			)
+			cl := newReplicaCluster(t, 4, mk, mk)
+
+			var (
+				completed atomic.Int64
+				wg        sync.WaitGroup
+				mu        sync.Mutex
+				nonIdemOK = make(map[string]bool) // payload -> call succeeded
+			)
+			// One replica dies without ceremony at ~1/4 of the burst; another
+			// drains gracefully at ~1/2.
+			killerDone := make(chan struct{})
+			go func() {
+				defer close(killerDone)
+				for completed.Load() < total/4 {
+					time.Sleep(time.Millisecond)
+				}
+				cl.servers[1].Abort()
+				for completed.Load() < total/2 {
+					time.Sleep(time.Millisecond)
+				}
+				cl.servers[2].Shutdown()
+			}()
+
+			for g := 0; g < callers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perCaller; i++ {
+						payload := fmt.Sprintf("c%d-%d", g, i)
+						if i%5 == 4 {
+							// Every fifth call is non-idempotent: an ambiguous
+							// failure surfaces as an error rather than a retry.
+							err := callEcho(cl.client, cl.primary, "n-"+payload, "", false)
+							if err == nil {
+								mu.Lock()
+								nonIdemOK["n-"+payload] = true
+								mu.Unlock()
+							}
+						} else if err := callEcho(cl.client, cl.primary, payload, "", true); err != nil {
+							t.Errorf("idempotent call %s lost: %v", payload, err)
+						}
+						completed.Add(1)
+					}
+				}(g)
+			}
+			wg.Wait()
+			<-killerDone
+
+			// Aggregate per-payload dispatch counts across the cluster.
+			dispatched := make(map[string]int)
+			for _, impl := range cl.impls {
+				impl.mu.Lock()
+				for p, n := range impl.seen {
+					dispatched[p] += n
+				}
+				impl.mu.Unlock()
+			}
+			for p, n := range dispatched {
+				if strings.HasPrefix(p, "n-") && n > 1 {
+					t.Errorf("non-idempotent payload %s dispatched %d times", p, n)
+				}
+			}
+			mu.Lock()
+			for p := range nonIdemOK {
+				if dispatched[p] != 1 {
+					t.Errorf("succeeded non-idempotent payload %s dispatched %d times, want exactly 1", p, dispatched[p])
+				}
+			}
+			mu.Unlock()
+			if st := cl.client.Stats(); st.Failovers == 0 {
+				t.Error("torture burst recorded no failovers")
+			}
+		})
+	}
+}

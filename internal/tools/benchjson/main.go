@@ -21,6 +21,16 @@
 // to names matching a regexp (noisy micro-benchmarks need not gate CI);
 // benchmarks that exist on only one side are reported but never fail the
 // gate, so adding or retiring benchmarks does not break the build.
+//
+// -calibrate NAME rescales every new ns/op by old[NAME]/new[NAME] before
+// comparing. On shared hardware the machine itself can be 2× slower between
+// a baseline run and a gate run; dividing out one reference benchmark's
+// drift cancels that uniform factor, so the gate judges *relative* cost —
+// which is what it protects (pooling, coalescing, fast paths are all
+// relative wins). The blind spot is a regression that slows the reference
+// benchmark by the same factor as everything else; the reference should
+// therefore be the plainest round-trip, whose own fast paths are covered by
+// the ratios of the other nineteen names against it.
 package main
 
 import (
@@ -56,6 +66,7 @@ func main() {
 	threshold := flag.Float64("threshold", 10, "max ns/op regression percent before -diff fails")
 	only := flag.String("only", "", "regexp restricting which benchmarks -diff compares")
 	min := flag.Bool("min", false, "keep the fastest of repeated (-count=N) runs instead of the last")
+	calibrate := flag.String("calibrate", "", "benchmark name whose old/new ns/op ratio rescales all new results before -diff compares")
 	flag.Parse()
 	if *diff {
 		// The documented shape is `-diff old.json new.json -threshold 10`,
@@ -73,7 +84,7 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		os.Exit(runDiff(files, *threshold, *only))
+		os.Exit(runDiff(files, *threshold, *only, *calibrate))
 	}
 	results := make(map[string]result)
 	sc := bufio.NewScanner(os.Stdin)
@@ -140,7 +151,7 @@ func loadResults(path string) (map[string]result, error) {
 
 // runDiff implements -diff: compare old and new result files, returning the
 // process exit code (0 ok, 1 regression or usage/IO error).
-func runDiff(args []string, threshold float64, only string) int {
+func runDiff(args []string, threshold float64, only, calibrate string) int {
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 		return 1
@@ -162,6 +173,18 @@ func runDiff(args []string, threshold float64, only string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 1
+	}
+	scale := 1.0
+	if calibrate != "" {
+		o, okO := oldR[calibrate]
+		nw, okN := newR[calibrate]
+		if !okO || !okN || o.NsPerOp <= 0 || nw.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -calibrate %q not present (with ns/op > 0) in both files\n", calibrate)
+			return 1
+		}
+		scale = o.NsPerOp / nw.NsPerOp
+		fmt.Printf("  cal    %-60s %10.0f -> %10.0f ns/op  machine factor %.2fx\n",
+			calibrate, o.NsPerOp, nw.NsPerOp, 1/scale)
 	}
 	names := make([]string, 0, len(oldR))
 	for n := range oldR {
@@ -185,13 +208,13 @@ func runDiff(args []string, threshold float64, only string) int {
 		if o.NsPerOp <= 0 {
 			continue
 		}
-		delta := (nw.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		delta := (nw.NsPerOp*scale - o.NsPerOp) / o.NsPerOp * 100
 		mark := "  ok    "
 		if delta > threshold {
 			mark = "  REGR  "
 			regressed++
 		}
-		fmt.Printf("%s%-60s %10.0f -> %10.0f ns/op  %+6.1f%%\n", mark, n, o.NsPerOp, nw.NsPerOp, delta)
+		fmt.Printf("%s%-60s %10.0f -> %10.0f ns/op  %+6.1f%%\n", mark, n, o.NsPerOp, nw.NsPerOp*scale, delta)
 	}
 	for n := range newR {
 		if _, ok := oldR[n]; !ok && (filter == nil || filter.MatchString(n)) {

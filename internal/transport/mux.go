@@ -472,6 +472,24 @@ func (p *MuxPool) Get(addr string) (*MuxConn, error) {
 	return mc, nil
 }
 
+// InFlight reports the number of calls awaiting replies across addr's
+// shared connections — the selection hook replica balancing reads
+// (balance.Endpoint.InFlight), mirroring Pool.InFlight on the exclusive
+// path.
+func (p *MuxPool) InFlight(addr string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	// Dead/InFlight are lock-free atomics, safe to read under the pool
+	// lock; the slot slice itself is only mutated under it.
+	for _, mc := range p.conns[addr] {
+		if mc != nil && !mc.Dead() {
+			n += mc.InFlight()
+		}
+	}
+	return n
+}
+
 // Report feeds one call outcome to the endpoint's circuit breaker,
 // mirroring what Pool.Put does for exclusive checkouts.
 func (p *MuxPool) Report(addr string, healthy bool) {

@@ -58,6 +58,11 @@ type Pool struct {
 	idle   map[string][]idleConn
 	closed bool
 
+	// outstanding counts checked-out connections per endpoint — the
+	// exclusive path's in-flight load, fed to balance.LeastInFlight via
+	// InFlight.
+	outstanding map[string]int
+
 	// Stats counters (read with Stats).
 	hits, misses, dials, expired, rejected int
 }
@@ -138,6 +143,7 @@ func (p *Pool) Checkout(addr string) (Conn, bool, error) {
 				if c == nil {
 					break // cache miss: dial below
 				}
+				p.track(addr, 1)
 				return c, true, nil
 			}
 		}
@@ -153,7 +159,32 @@ func (p *Pool) Checkout(addr string) (Conn, bool, error) {
 	if p.MaxLifetime > 0 {
 		c = &pooledConn{Conn: c, created: p.timeNow()}
 	}
+	p.track(addr, 1)
 	return c, false, nil
+}
+
+// track adjusts addr's checked-out connection count.
+func (p *Pool) track(addr string, delta int) {
+	p.mu.Lock()
+	if p.outstanding == nil {
+		p.outstanding = make(map[string]int)
+	}
+	n := p.outstanding[addr] + delta
+	if n <= 0 {
+		delete(p.outstanding, addr)
+	} else {
+		p.outstanding[addr] = n
+	}
+	p.mu.Unlock()
+}
+
+// InFlight reports how many connections to addr are currently checked out —
+// on the exclusive path, one per in-flight call. It is the selection hook
+// replica balancing reads (balance.Endpoint.InFlight).
+func (p *Pool) InFlight(addr string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.outstanding[addr]
 }
 
 // checkoutIdle attempts one cached-connection checkout. done=false means a
@@ -234,6 +265,7 @@ func (p *Pool) Put(addr string, c Conn, healthy bool) {
 	if c == nil {
 		return
 	}
+	p.track(addr, -1)
 	if healthy {
 		p.Breaker.Success(addr)
 	} else {
