@@ -978,3 +978,55 @@ func BenchmarkOverloadShedding(b *testing.B) {
 		})
 	}
 }
+
+// --- R6: collocation fast path ------------------------------------------------
+
+// collocatedSession starts one ORB serving a Session and returns a generated
+// stub bound to that same ORB — the full client call path against a
+// collocated target. (Resolve would hand back the implementation itself for
+// a collocated reference, bypassing the path under measurement.)
+func collocatedSession(b *testing.B, opts orb.Options) media.HdSession {
+	b.Helper()
+	server, ref, _, err := demo.Serve(opts, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { server.Shutdown() })
+	return &media.HdSessionStub{HdORB: server, Ref: ref}
+}
+
+// BenchmarkCollocated measures the collocation fast path (ISSUE 7,
+// EXPERIMENTS.md R6): the complete stub -> Call -> route -> admission ->
+// skeleton -> reply round trip with the target in the caller's own address
+// space and Options.Collocation = CollocateFast. No connection, framing or
+// goroutine handoff — but the codec round trip (incopy copy semantics),
+// admission and deadline machinery all still run. Compare against
+// BenchmarkCollocatedLoopback, the same call shape over the seed's loopback
+// wire routing.
+func BenchmarkCollocated(b *testing.B) {
+	sess := collocatedSession(b, orb.Options{
+		Protocol:    wire.Text,
+		Collocation: orb.CollocateFast,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollocatedLoopback is the baseline BenchmarkCollocated is judged
+// against: the identical collocated call with the knob at its seed default
+// (CollocateWire), riding the text protocol over loopback TCP.
+func BenchmarkCollocatedLoopback(b *testing.B) {
+	sess := collocatedSession(b, orb.Options{Protocol: wire.Text})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

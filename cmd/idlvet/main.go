@@ -15,7 +15,8 @@
 //	idlvet -list                    list registered analyzers
 //
 // Exit status is 1 when any error-severity diagnostic (or, with -strict,
-// any diagnostic at all) is reported, and 0 otherwise.
+// any warning) is reported, and 0 otherwise. Note-severity diagnostics are
+// informational and never affect the exit status.
 package main
 
 import (
@@ -114,11 +115,22 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 	}
 
-	failed := check.HasErrors(diags) || (*strict && len(diags) > 0)
+	failed := check.HasErrors(diags) || (*strict && hasWarnings(diags))
 	if failed {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// hasWarnings reports whether any diagnostic is warning severity or worse —
+// what -strict promotes to failure (notes stay informational).
+func hasWarnings(diags []check.Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity >= check.SevWarning {
+			return true
+		}
+	}
+	return false
 }
 
 // expandArgs turns file, directory and dir/... arguments into a flat list

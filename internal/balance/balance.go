@@ -108,6 +108,17 @@ func (l *leastInFlight) Pick(eps []Endpoint, _ string) int {
 	return 0 // unreachable
 }
 
+// Sticky marks policies whose placement is a deliberate function of the
+// shard key (the same key must keep landing on the same endpoint).
+// Optimizations that would override placement — such as the ORB's preference
+// for a collocated replica member — must skip sticky policies: locality is
+// not worth breaking sharded server-side state.
+type Sticky interface {
+	// StickyPlacement reports that this policy's endpoint choice carries
+	// placement semantics beyond load spreading.
+	StickyPlacement()
+}
+
 // --- consistent hashing --------------------------------------------------------
 
 // consistentHash implements rendezvous (highest-random-weight) hashing: for
@@ -129,6 +140,10 @@ type consistentHash struct {
 func ConsistentHash() Policy { return &consistentHash{seed: maphash.MakeSeed()} }
 
 func (c *consistentHash) Name() string { return "consistent-hash" }
+
+// StickyPlacement marks consistent hashing sticky: a key's placement is the
+// point, so replica selection must not be overridden for locality.
+func (c *consistentHash) StickyPlacement() {}
 
 func (c *consistentHash) Pick(eps []Endpoint, key string) int {
 	if len(eps) == 0 {

@@ -17,21 +17,27 @@ import (
 )
 
 // Severity classifies a diagnostic. Errors make a vet run fail (and block
-// code generation in idlc); warnings are advisory.
+// code generation in idlc); warnings are advisory; notes are informational
+// only — they surface semantic subtleties (a collocated aliasing hazard, say)
+// without failing even a -strict run.
 type Severity int
 
 // Severity levels, ordered by increasing gravity.
 const (
-	SevWarning Severity = iota
+	SevNote Severity = iota
+	SevWarning
 	SevError
 )
 
-// String returns "warning" or "error".
+// String returns "note", "warning" or "error".
 func (s Severity) String() string {
-	if s == SevError {
+	switch s {
+	case SevError:
 		return "error"
+	case SevWarning:
+		return "warning"
 	}
-	return "warning"
+	return "note"
 }
 
 // MarshalJSON renders the severity as its lowercase name.

@@ -11,8 +11,12 @@ import (
 	"repro/internal/mappings"
 )
 
-// Every spec shipped under idl/ must vet without a single diagnostic: the
+// Every spec shipped under idl/ must vet without a warning or error: the
 // repository's own examples are the reference corpus for "clean".
+// Note-severity diagnostics are permitted — they flag legitimate-but-subtle
+// semantics (the paper's own Fig. 3 passes an interface incopy, which is
+// exactly what collocate-incopy-unserializable annotates) and never fail a
+// run, -strict included.
 func TestShippedSpecsVetClean(t *testing.T) {
 	dir := "../../idl"
 	entries, err := os.ReadDir(dir)
@@ -35,7 +39,9 @@ func TestShippedSpecsVetClean(t *testing.T) {
 		}
 		diags := check.VetSource(e.Name(), string(src), resolver)
 		for _, d := range diags {
-			t.Errorf("%s: unexpected diagnostic: %s", e.Name(), d)
+			if d.Severity >= check.SevWarning {
+				t.Errorf("%s: unexpected diagnostic: %s", e.Name(), d)
+			}
 		}
 	}
 	if found == 0 {

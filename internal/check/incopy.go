@@ -23,6 +23,13 @@ func init() {
 		Severity: SevWarning,
 		Run:      runIncopyPrimitive,
 	})
+	Register(&Analyzer{
+		Name:     "collocate-incopy-unserializable",
+		Doc:      "incopy parameters whose deep copy cannot be derived statically may alias on collocated calls",
+		Kind:     KindSpec,
+		Severity: SevNote,
+		Run:      runCollocateIncopy,
+	})
 }
 
 func runIncopyType(pass *Pass) {
@@ -61,6 +68,36 @@ func runIncopyPrimitive(pass *Pass) {
 			}
 			pass.Reportf(p.Pos, "incopy on primitive type %s behaves exactly like in (only object references and constructed types are serialized)",
 				u.Name())
+		}
+	})
+}
+
+// runCollocateIncopy surfaces the collocation corollary of the incopy
+// contract: incopy's deep copy is realized by the codec round trip, so it
+// holds on collocated calls only when the parameter actually serializes. A
+// type the generator cannot prove serializable — a declared interface (the
+// HdSerializable check happens at runtime), or an unserializable any/Object
+// (already an error from incopy-type) — may fall back to by-reference, and
+// under Options.Collocation = CollocateFast that fallback hands the servant
+// the caller's live object instead of a copy. Note severity: the fallback is
+// specified behavior, but the aliasing is easy to miss when a deployment
+// turns collocation on.
+func runCollocateIncopy(pass *Pass) {
+	forEachMainOp(pass.Spec, func(op *idl.Operation) {
+		for _, p := range op.Params {
+			if p.Mode != idl.ModeInCopy || p.Type == nil {
+				continue
+			}
+			u := p.Type.Unalias()
+			if u != nil && u.Kind == idl.KindInterface {
+				pass.Reportf(p.Pos, "incopy parameter %q has interface type %s: whether it serializes is decided at runtime, and a by-reference fallback aliases the caller's object on collocated calls",
+					p.Name, p.Type.Name())
+				continue
+			}
+			if bad := unserializable(p.Type, nil); bad != nil {
+				pass.Reportf(p.Pos, "incopy parameter %q cannot be deep-copied (%s is unserializable); on collocated calls a by-reference fallback would alias the caller's object",
+					p.Name, bad.Name())
+			}
 		}
 	})
 }

@@ -226,7 +226,32 @@ type ClientCall struct {
 	// decoder views; it is held until Release so the view cannot be
 	// recycled under the caller's Get reads.
 	reply *wire.Message
-	ctx   ClientContext
+	// colloc is the server-side call collocated fast-path dispatches run
+	// on. It is embedded (not pooled per dispatch) because its lifetime is
+	// naturally the ClientCall's: the reply body the client decoder views
+	// is the server encoder's buffer (no copy is made), which therefore
+	// must survive until Release — and the next collocated call on this
+	// pooled ClientCall resets it anyway.
+	colloc ServerCall
+	// collocMsg is the embedded reply frame collocated dispatches fabricate
+	// (marked wire.Message.Static so FreeMessage call sites on the shared
+	// status-handling path never pool a caller-owned struct).
+	collocMsg wire.Message
+	// collocSrv memoizes the servant a collocated target resolved to,
+	// valid while the owning ORB, its servant generation, and the routed
+	// target string all still match — stubs hammer one reference, and the
+	// servant-cache map lookup was measurable at fast-path timescales.
+	// collocHandler/collocMethod memoize the resolved skeleton handler
+	// under the same guard (cleared whenever the servant memo refreshes):
+	// a registered name's handler can never change, so repeat calls skip
+	// the dispatch-table walk entirely.
+	collocSrv     *servant
+	collocORB     *ORB
+	collocStr     string
+	collocGen     uint64
+	collocHandler Handler
+	collocMethod  string
+	ctx           ClientContext
 	// cachedRef/cachedStr memoize the stringified target header across pool
 	// reuse (they survive Release): stubs invoke the same reference over and
 	// over, and rebuilding the header string was measurable on the wire path.
@@ -280,7 +305,14 @@ func (c *ClientCall) hasTried(addr string) bool {
 // targetRef returns the stringified target reference for the request header,
 // memoized across pooled reuse of this call.
 func (c *ClientCall) targetRef() string {
-	if c.cachedStr == "" || c.cachedRef != c.ref {
+	// Field-wise compare, not struct equality: a stub re-invokes with the
+	// very same ObjectRef value, so each string compare hits the
+	// pointer-identity fast path inline — the compiler's generated struct-eq
+	// routine (four runtime.memequal calls) was measurable on the
+	// collocated fast path.
+	if c.cachedStr == "" ||
+		c.cachedRef.Addr != c.ref.Addr || c.cachedRef.ObjectID != c.ref.ObjectID ||
+		c.cachedRef.Proto != c.ref.Proto || c.cachedRef.TypeID != c.ref.TypeID {
 		c.cachedRef, c.cachedStr = c.ref, c.ref.String()
 	}
 	return c.cachedStr
@@ -328,7 +360,7 @@ func (c *ClientCall) callTimeout() time.Duration {
 	if c.timeout > 0 {
 		return c.timeout
 	}
-	return c.orb.opts.CallTimeout
+	return c.orb.defTimeout
 }
 
 // deadlineMillis renders a timeout as the wire's relative-millisecond
@@ -388,11 +420,12 @@ func (c *ClientCall) roundTrip(oneway bool) (*wire.Message, error) {
 		return nil, fmt.Errorf("orb: call %q invoked twice", c.method)
 	}
 	c.invoked = true
-	c.ctx = ClientContext{Ref: c.ref, Method: c.method, Oneway: oneway}
 	if !c.orb.hasClientInts() {
-		// No interceptors: skip the chain (and its closure) entirely.
+		// No interceptors: skip the chain (and its closure) entirely — and
+		// the context fill too; transact only writes ctx.Attempts.
 		return c.transact(&c.ctx, oneway)
 	}
+	c.ctx = ClientContext{Ref: c.ref, Method: c.method, Oneway: oneway}
 	var reply *wire.Message
 	err := c.orb.runClientChain(&c.ctx, func() error {
 		r, err := c.transact(&c.ctx, oneway)
@@ -465,14 +498,31 @@ func (c *ClientCall) retryable(class failureClass, oneway bool) bool {
 	}
 }
 
-// attempt performs one wire round trip and classifies any failure. With
-// Options.Multiplex on, the round trip rides a shared connection instead of
-// an exclusive pooled checkout.
+// attempt performs one round trip and classifies any failure. Routing runs
+// first: a target collocated with this ORB takes the direct-dispatch fast
+// path (collocate.go) when enabled; otherwise, with Options.Multiplex on,
+// the round trip rides a shared connection instead of an exclusive pooled
+// checkout.
 func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
-	if c.orb.mux != nil {
-		return c.attemptMux(oneway)
+	var (
+		ref    ObjectRef
+		refStr string
+	)
+	if c.orb.groupCount.Load() == 0 && c.orb.rebind.Load() == nil {
+		// Trivial routing — no replica groups registered, no rebind hook:
+		// routeCall would hand back (c.ref, c.targetRef()) unchanged, so
+		// skip its layers outright; the collocated fast path runs at
+		// timescales where even those empty traversals showed up.
+		ref, refStr = c.ref, c.targetRef()
+	} else {
+		ref, refStr = c.orb.routeCall(c)
 	}
-	ref, refStr := c.orb.routeCall(c)
+	if c.orb.isCollocated(ref) {
+		return c.orb.dispatchCollocated(c, refStr, oneway)
+	}
+	if c.orb.mux != nil {
+		return c.attemptMux(ref, refStr, oneway)
+	}
 	conn, reused, err := c.orb.pool.Checkout(ref.Addr)
 	if err != nil {
 		switch {
@@ -503,7 +553,13 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 	d := c.callTimeout()
 	hasDeadline := d > 0
 	if hasDeadline {
-		req.Deadline = deadlineMillis(d)
+		// The deadline header rides the wire only when the peer understands
+		// it (or the connection never negotiated, where static configuration
+		// — both ends built alike — applies). Local enforcement via the
+		// connection deadline is unconditional either way.
+		if neg, ok := transport.Negotiation(conn); !ok || neg.Allows(wire.FeatureDeadline) {
+			req.Deadline = deadlineMillis(d)
+		}
 		conn.SetDeadline(time.Now().Add(d))
 	}
 	// putBack clears the deadline while the connection is still
@@ -592,8 +648,7 @@ func isTimeout(err error) bool {
 //     connection-global and would abort every other caller sharing the
 //     connection. A timed-out call is deregistered and its late reply
 //     dropped by the demux reader; the connection stays up.
-func (c *ClientCall) attemptMux(oneway bool) (*wire.Message, failureClass, error) {
-	ref, refStr := c.orb.routeCall(c)
+func (c *ClientCall) attemptMux(ref ObjectRef, refStr string, oneway bool) (*wire.Message, failureClass, error) {
 	mc, err := c.orb.mux.Get(ref.Addr)
 	if err != nil {
 		switch {
@@ -617,7 +672,12 @@ func (c *ClientCall) attemptMux(oneway bool) (*wire.Message, failureClass, error
 	req.Body = c.enc.Bytes()
 	d := c.callTimeout()
 	if d > 0 {
-		req.Deadline = deadlineMillis(d)
+		// As on the exclusive path: stamp the header only for peers that
+		// negotiated deadline support (or never negotiated). The per-call
+		// timer below enforces the bound locally regardless.
+		if neg, ok := mc.Negotiated(); !ok || neg.Allows(wire.FeatureDeadline) {
+			req.Deadline = deadlineMillis(d)
+		}
 	}
 	atomic.AddUint64(&c.orb.stats.MuxCalls, 1)
 	if oneway {
@@ -723,18 +783,32 @@ var serverCallPool = sync.Pool{
 // getServerCall returns a ServerCall wired to o and m's body, reusing the
 // pooled encoder/decoder when the protocol matches.
 func (o *ORB) getServerCall(m *wire.Message) *ServerCall {
+	return o.getServerCallBody(m.Method, m.Oneway, m.Body)
+}
+
+// getServerCallBody is getServerCall without a wire message: the collocated
+// fast path hands the client encoder's bytes straight to the server-side
+// decoder (the codec round trip that realizes incopy deep-copy semantics).
+func (o *ORB) getServerCallBody(method string, oneway bool, body []byte) *ServerCall {
 	sc := serverCallPool.Get().(*ServerCall)
+	o.fillServerCall(sc, method, oneway, body)
+	return sc
+}
+
+// fillServerCall wires sc to o and body, reusing its encoder/decoder pair
+// when the protocol matches. Shared between pooled server calls (the wire
+// path) and the embedded one a ClientCall carries for collocated dispatch.
+func (o *ORB) fillServerCall(sc *ServerCall, method string, oneway bool, body []byte) {
 	sc.orb = o
 	if sc.enc == nil || sc.proto != o.proto {
 		sc.proto = o.proto
 		sc.enc = o.proto.NewEncoder()
-		sc.dec = o.proto.NewDecoder(m.Body)
+		sc.dec = o.proto.NewDecoder(body)
 	} else {
 		sc.enc.Reset()
-		sc.dec.Reset(m.Body)
+		sc.dec.Reset(body)
 	}
-	sc.method, sc.oneway = m.Method, m.Oneway
-	return sc
+	sc.method, sc.oneway = method, oneway
 }
 
 // putServerCall recycles a ServerCall once its reply has been sent.

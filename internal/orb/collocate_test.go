@@ -1,0 +1,511 @@
+package orb
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Collocation fast-path semantics (ISSUE 7): skipping the wire must not be
+// observable beyond the stats and the speed. These tests invoke through
+// stubs constructed directly against the exporting ORB — Resolve hands a
+// collocated caller the implementation itself, which would bypass the call
+// path under test.
+
+// newCollocated starts one ORB with the fast path on and an echo servant
+// exported, returning a stub that invokes through the full client call path.
+func newCollocated(t testing.TB, mutate func(*Options)) (*ORB, *echoStub, *echoImpl) {
+	t.Helper()
+	opts := Options{Protocol: wire.CDR, Collocation: CollocateFast}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	o := New(opts)
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { o.Shutdown() })
+	impl := &echoImpl{}
+	ref, err := o.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, &echoStub{o: o, ref: ref}, impl
+}
+
+func TestCollocatedRoundTrip(t *testing.T) {
+	o, stub, _ := newCollocated(t, nil)
+	if got, err := stub.Echo("local"); err != nil || got != "local" {
+		t.Fatalf("Echo = %q, %v", got, err)
+	}
+	if got, err := stub.Add(40, 2); err != nil || got != 42 {
+		t.Fatalf("Add = %d, %v", got, err)
+	}
+	if err := stub.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.CollocatedCalls != 3 {
+		t.Errorf("CollocatedCalls = %d, want 3", st.CollocatedCalls)
+	}
+	if st.CallsSent != 0 || st.MuxCalls != 0 {
+		t.Errorf("wire counters moved on the fast path: %+v", st)
+	}
+	if st.RequestsServed != 3 {
+		t.Errorf("RequestsServed = %d, want 3 (the servant did serve)", st.RequestsServed)
+	}
+}
+
+// TestCollocatedDefaultTakesWire pins the seed behavior: with the knob at
+// its zero value, a self-targeted call rides the loopback wire.
+func TestCollocatedDefaultTakesWire(t *testing.T) {
+	o, stub, _ := newCollocated(t, func(opts *Options) { opts.Collocation = CollocateWire })
+	if got, err := stub.Echo("loopback"); err != nil || got != "loopback" {
+		t.Fatalf("Echo = %q, %v", got, err)
+	}
+	st := o.Stats()
+	if st.CollocatedCalls != 0 {
+		t.Errorf("CollocatedCalls = %d, want 0 with CollocateWire", st.CollocatedCalls)
+	}
+	if st.CallsSent != 1 {
+		t.Errorf("CallsSent = %d, want 1", st.CallsSent)
+	}
+}
+
+func TestCollocatedErrorsMatchRemote(t *testing.T) {
+	o, stub, _ := newCollocated(t, nil)
+
+	// User exception: same RemoteError surface as the wire path.
+	err := stub.Fail("bad input")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != wire.StatusUserException {
+		t.Errorf("Fail = %v, want user-exception RemoteError", err)
+	}
+	if !strings.Contains(re.Msg, "bad input") {
+		t.Errorf("msg = %q", re.Msg)
+	}
+
+	// Unknown method.
+	c, err := o.NewCall(stub.ref, "no_such_method")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method = %v", err)
+	}
+	c.Release()
+
+	// Unknown object: locally known to have dispatched nothing, so the
+	// error is a plain (safe) failure still matching the sentinel.
+	bogus := stub.ref
+	bogus.ObjectID = "999999"
+	c, err = o.NewCall(bogus, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("unknown object = %v", err)
+	}
+	c.Release()
+}
+
+func TestCollocatedOneway(t *testing.T) {
+	o, stub, impl := newCollocated(t, nil)
+	impl.poked = make(chan struct{}, 1)
+	if err := stub.Poke(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-impl.poked:
+	case <-time.After(time.Second):
+		t.Fatal("oneway never reached the servant")
+	}
+	st := o.Stats()
+	if st.OnewaysSent != 0 || st.CollocatedCalls != 1 {
+		t.Errorf("stats = %+v, want the oneway counted collocated, not on the wire", st)
+	}
+}
+
+// TestCollocatedIncopyDeepCopy: an incopy Serializable parameter must reach
+// the servant as a fresh copy even with no wire in between — mutations on
+// either side of the call must not be visible on the other (the paper's
+// pass-by-value contract, realized by the codec round trip).
+func TestCollocatedIncopyDeepCopy(t *testing.T) {
+	o, _, _ := newCollocated(t, nil)
+	keeper := &keeperImpl{}
+	kref, err := o.Export(keeper, newKeeperTable(keeper))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arg := &Note{Text: "original", Prio: 1}
+	c, err := o.NewCall(kref, "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutObjectIncopy(arg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	c.Release()
+
+	kept := keeper.last()
+	if kept == arg {
+		t.Fatal("servant received the caller's pointer: incopy aliased, not copied")
+	}
+	if kept.Text != "original" || kept.Prio != 1 {
+		t.Fatalf("servant copy = %+v", kept)
+	}
+	// Mutations after the call stay on their own side.
+	arg.Text = "caller-mutated"
+	kept.Prio = 99
+	if keeper.last().Text != "original" {
+		t.Error("caller mutation leaked into the servant's copy")
+	}
+	if arg.Prio != 1 {
+		t.Error("servant mutation leaked into the caller's argument")
+	}
+	if o.Stats().CollocatedCalls != 1 {
+		t.Errorf("CollocatedCalls = %d", o.Stats().CollocatedCalls)
+	}
+}
+
+// keeperImpl stores the incopy object it is handed, exposing the servant's
+// view for aliasing checks.
+type keeperImpl struct {
+	mu   sync.Mutex
+	note *Note
+}
+
+func (k *keeperImpl) last() *Note {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.note
+}
+
+func newKeeperTable(k *keeperImpl) *MethodTable {
+	t := NewMethodTable("IDL:test/Keeper:1.0")
+	t.Register("keep", func(c *ServerCall) error {
+		obj, err := c.GetObjectIncopy()
+		if err != nil {
+			return err
+		}
+		n, ok := obj.(*Note)
+		if !ok {
+			return errors.New("keep: not a Note")
+		}
+		k.mu.Lock()
+		k.note = n
+		k.mu.Unlock()
+		return nil
+	})
+	return t
+}
+
+// TestCollocatedAdmissionShed: collocated callers compete for the same
+// admission slots as remote ones — a burst past MaxInFlight is shed with
+// ErrOverloaded, not silently admitted because it skipped the wire.
+func TestCollocatedAdmissionShed(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	slow := &slowImpl{block: block, entered: entered}
+
+	o := New(Options{
+		Protocol:    wire.CDR,
+		Collocation: CollocateFast,
+		Admission:   AdmissionPolicy{MaxInFlight: 1},
+	})
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Shutdown()
+	ref, err := o.Export(slow, NewEchoTable(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := &echoStub{o: o, ref: ref}
+
+	done := make(chan error, 1)
+	go func() { done <- stub.Ping() }()
+	<-entered // the single slot is now held by a blocked dispatch
+
+	if err := stub.Ping(); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("burst call = %v, want ErrOverloaded", err)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("holder failed: %v", err)
+	}
+	if shed := o.ORBStats().Shed; shed != 1 {
+		t.Errorf("Shed = %d, want 1", shed)
+	}
+}
+
+// slowImpl blocks Ping until released; other Echo ops are trivial.
+type slowImpl struct {
+	block   chan struct{}
+	entered chan struct{}
+}
+
+func (s *slowImpl) Echo(v string) (string, error) { return v, nil }
+func (s *slowImpl) Add(a, b int32) (int32, error) { return a + b, nil }
+func (s *slowImpl) Ping() error {
+	select {
+	case s.entered <- struct{}{}:
+	default:
+	}
+	<-s.block
+	return nil
+}
+func (s *slowImpl) Poke() error           { return nil }
+func (s *slowImpl) Fail(why string) error { return &FailError{Why: why} }
+
+// TestCollocatedDeadline: a servant that outruns the caller's timeout gets
+// its result replaced by StatusDeadlineExceeded, exactly like the wire path.
+func TestCollocatedDeadline(t *testing.T) {
+	block := make(chan struct{})
+	slow := &slowImpl{block: block, entered: make(chan struct{}, 1)}
+	defer close(block)
+	go func() {
+		<-slow.entered
+		time.Sleep(30 * time.Millisecond)
+		block <- struct{}{}
+	}()
+
+	o := New(Options{Protocol: wire.CDR, Collocation: CollocateFast})
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Shutdown()
+	ref, err := o.Export(slow, NewEchoTable(slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := o.NewCall(ref, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release()
+	c.SetTimeout(5 * time.Millisecond)
+	if err := c.Invoke(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("Invoke = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+// TestCollocatedInterceptors: both interceptor chains wrap a collocated
+// invocation — customization hooks must not silently vanish with the wire.
+func TestCollocatedInterceptors(t *testing.T) {
+	o, stub, _ := newCollocated(t, nil)
+	var clientSeen, serverSeen []string
+	o.AddClientInterceptor(func(ctx *ClientContext, invoke func() error) error {
+		clientSeen = append(clientSeen, ctx.Method)
+		return invoke()
+	})
+	o.AddServerInterceptor(func(ctx *ServerContext, handle func() error) error {
+		serverSeen = append(serverSeen, ctx.Method+"@"+ctx.TypeID)
+		return handle()
+	})
+	if _, err := stub.Echo("x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(clientSeen) != 1 || clientSeen[0] != "echo" {
+		t.Errorf("client chain saw %v", clientSeen)
+	}
+	if len(serverSeen) != 1 || serverSeen[0] != "echo@"+echoTypeID {
+		t.Errorf("server chain saw %v", serverSeen)
+	}
+}
+
+// TestCollocatedShutdownFallsThrough: Shutdown withdraws the fast path
+// before tearing down, so a late collocated call fails like a remote call
+// against a stopped server instead of dispatching into the teardown.
+func TestCollocatedShutdownFallsThrough(t *testing.T) {
+	o, stub, _ := newCollocated(t, nil)
+	if err := stub.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stub.Ping(); !errors.Is(err, ErrShutdown) {
+		t.Errorf("post-shutdown call = %v, want ErrShutdown", err)
+	}
+}
+
+// TestCollocatedReplicaPreference: the balancer prefers a healthy collocated
+// member over remote ones, fails over to the remotes when the local member
+// disappears, and fails cleanly when the whole set is gone.
+func TestCollocatedReplicaPreference(t *testing.T) {
+	implA := &echoImpl{}
+	a := New(Options{
+		Protocol:    wire.CDR,
+		Collocation: CollocateFast,
+		Retry:       RetryPolicy{MaxAttempts: 3, Seed: 1},
+	})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	refA, err := a.Export(implA, NewEchoTable(implA))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	implB := &echoImpl{}
+	b := New(Options{Protocol: wire.CDR})
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	refB, err := b.Export(implB, NewEchoTable(implB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote member listed first: preference, not list order, must pick the
+	// collocated one.
+	primary, err := a.RegisterReplicaSet([]ObjectRef{refB, refA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := &echoStub{o: a, ref: primary}
+
+	for i := 0; i < 10; i++ {
+		if err := stub.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats().CollocatedCalls; got != 10 {
+		t.Errorf("CollocatedCalls = %d, want 10 (collocated member preferred)", got)
+	}
+	if got := b.Stats().RequestsServed; got != 0 {
+		t.Errorf("remote member served %d calls during preference phase", got)
+	}
+
+	// Local member gone: the safe miss fails over to the remote member.
+	a.Unexport(implA)
+	if err := stub.Ping(); err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if got := b.Stats().RequestsServed; got == 0 {
+		t.Error("remote member served nothing after local member unexported")
+	}
+	if got := a.Stats().Failovers; got == 0 {
+		t.Error("failover not counted")
+	}
+
+	// Whole set gone: a clean error, not a hang or panic.
+	if err := b.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stub.Ping(); err == nil {
+		t.Error("call with every member down should fail")
+	}
+}
+
+// TestCollocatedStickyPolicyKeepsPlacement: consistent hashing's placement
+// is sharding semantics — the collocated preference must not override it.
+func TestCollocatedStickyPolicyKeepsPlacement(t *testing.T) {
+	o, _, _ := newCollocated(t, nil)
+	if _, sticky := o.balancePolicy().(interface{ StickyPlacement() }); sticky {
+		t.Fatal("round-robin must not be sticky")
+	}
+}
+
+// TestStatsRaceMixedCollocatedRemote hammers collocated and remote calls
+// concurrently with stats readers; under -race this audits the counter and
+// high-water-mark paths the fast path shares with the wire path.
+func TestStatsRaceMixedCollocatedRemote(t *testing.T) {
+	implA := &echoImpl{}
+	a := New(Options{
+		Protocol:    wire.CDR,
+		Collocation: CollocateFast,
+		Admission:   AdmissionPolicy{MaxInFlight: 4, MaxQueue: 64},
+		CallTimeout: 5 * time.Second,
+	})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	refA, err := a.Export(implA, NewEchoTable(implA))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	implB := &echoImpl{}
+	b := New(Options{Protocol: wire.CDR})
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown()
+	refB, err := b.Export(implB, NewEchoTable(implB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := &echoStub{o: a, ref: refA}
+	remote := &echoStub{o: a, ref: refB}
+	const per = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := local.Ping(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := remote.Ping(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = a.Stats()
+				_ = a.ORBStats()
+				_ = a.PoolStats()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := a.Stats()
+	if st.CollocatedCalls != 4*per {
+		t.Errorf("CollocatedCalls = %d, want %d", st.CollocatedCalls, 4*per)
+	}
+	if st.CallsSent != 4*per {
+		t.Errorf("CallsSent = %d, want %d", st.CallsSent, 4*per)
+	}
+	os := a.ORBStats()
+	if os.Accepted != 4*per {
+		t.Errorf("Accepted = %d, want %d (collocated calls pass admission)", os.Accepted, 4*per)
+	}
+	if os.InFlightHighWater < 1 || os.InFlightHighWater > 4 {
+		t.Errorf("InFlightHighWater = %d, want within (0, MaxInFlight]", os.InFlightHighWater)
+	}
+}

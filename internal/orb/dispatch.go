@@ -169,7 +169,9 @@ func (t *MethodTable) dispatch(name string, c *ServerCall, s Strategy) (bool, er
 }
 
 // Resolve returns the handler that Dispatch would run, without running it.
-// It is exported for the dispatch-strategy benchmarks.
+// It is exported for the dispatch-strategy benchmarks. The result is also
+// memoizable — a registered name's handler never changes (duplicate Register
+// panics) — which the collocated fast path exploits per call object.
 func (t *MethodTable) Resolve(name string) (Handler, bool) {
 	return t.resolve(name, t.strategy)
 }

@@ -52,6 +52,7 @@ func (o *ORB) AddClientInterceptor(i ClientInterceptor) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.clientInts = append(o.clientInts, i)
+	o.clientIntN.Store(int32(len(o.clientInts)))
 }
 
 // AddServerInterceptor appends an interceptor to the dispatch chain;
@@ -60,24 +61,17 @@ func (o *ORB) AddServerInterceptor(i ServerInterceptor) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.serverInts = append(o.serverInts, i)
+	o.serverIntN.Store(int32(len(o.serverInts)))
 }
 
 // hasClientInts reports whether any client interceptors are registered; the
-// hot path uses it to skip the chain (and its closures) entirely.
-func (o *ORB) hasClientInts() bool {
-	o.mu.Lock()
-	n := len(o.clientInts)
-	o.mu.Unlock()
-	return n > 0
-}
+// hot path uses it to skip the chain (and its closures) entirely. It reads
+// the mirrored atomic count — the collocated fast path runs this per call
+// and cannot afford o.mu.
+func (o *ORB) hasClientInts() bool { return o.clientIntN.Load() > 0 }
 
 // hasServerInts is hasClientInts for the dispatch chain.
-func (o *ORB) hasServerInts() bool {
-	o.mu.Lock()
-	n := len(o.serverInts)
-	o.mu.Unlock()
-	return n > 0
-}
+func (o *ORB) hasServerInts() bool { return o.serverIntN.Load() > 0 }
 
 // runClientChain composes the registered client interceptors around core.
 func (o *ORB) runClientChain(ctx *ClientContext, core func() error) error {

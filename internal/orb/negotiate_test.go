@@ -1,0 +1,182 @@
+package orb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Protocol negotiation end to end (ISSUE 7): a negotiating client converges
+// with every server build — full-featured, partially-featured, and legacy —
+// over both codecs, and calls round-trip on the agreed terms.
+
+// TestNegotiationMatrix drives {text,CDR} x {coalesce on/off} x {deadline
+// on/off} x {legacy peer} through a negotiating, multiplexing client. For
+// feature-aware servers the settled terms must be exactly the intersection
+// of the two offers; a legacy peer must settle as Legacy (static
+// configuration) after the fallback redial. Calls must succeed in every
+// cell.
+func TestNegotiationMatrix(t *testing.T) {
+	protos := []wire.Protocol{wire.Text, wire.CDR}
+	for _, proto := range protos {
+		for _, coalesce := range []bool{true, false} {
+			for _, deadline := range []bool{true, false} {
+				for _, legacy := range []bool{false, true} {
+					proto, coalesce, deadline, legacy := proto, coalesce, deadline, legacy
+					name := fmt.Sprintf("%s/coalesce=%t/deadline=%t/legacy=%t", proto.Name(), coalesce, deadline, legacy)
+					t.Run(name, func(t *testing.T) {
+						var serverFeats wire.Feature
+						if coalesce {
+							serverFeats |= wire.FeatureCoalesce
+						}
+						if deadline {
+							serverFeats |= wire.FeatureDeadline
+						}
+						if serverFeats == 0 {
+							// NegotiateFeatures' zero value means "default
+							// set"; a server offering neither tested feature
+							// advertises only one the client does not
+							// implement.
+							serverFeats = wire.FeatureCompactV3
+						}
+						impl := &echoImpl{}
+						server := New(Options{
+							Protocol:          proto,
+							NegotiateFeatures: serverFeats,
+							// The server never sets Negotiate: answering
+							// hellos is unconditional, only dialing is
+							// opt-in. This whole matrix doubles as the
+							// mixed-configuration interop check.
+						})
+						server.legacyWire = legacy
+						if err := server.Start(); err != nil {
+							t.Fatal(err)
+						}
+						defer server.Shutdown()
+						ref, err := server.Export(impl, NewEchoTable(impl))
+						if err != nil {
+							t.Fatal(err)
+						}
+
+						client := New(Options{
+							Protocol:       proto,
+							Negotiate:      true,
+							Multiplex:      true,
+							CoalesceWrites: true,
+							CallTimeout:    5 * time.Second,
+						})
+						registerEchoStub(client)
+						defer client.Shutdown()
+
+						obj, err := client.Resolve(ref)
+						if err != nil {
+							t.Fatal(err)
+						}
+						echo := obj.(Echo)
+						if got, err := echo.Echo("negotiated"); err != nil || got != "negotiated" {
+							t.Fatalf("Echo = %q, %v", got, err)
+						}
+						if got, err := echo.Add(20, 22); err != nil || got != 42 {
+							t.Fatalf("Add = %d, %v", got, err)
+						}
+
+						mc, err := client.mux.Get(ref.Addr)
+						if err != nil {
+							t.Fatal(err)
+						}
+						neg, ok := mc.Negotiated()
+						if !ok {
+							t.Fatal("shared connection carries no negotiation terms")
+						}
+						if legacy {
+							if !neg.Legacy {
+								t.Fatalf("terms = %+v, want Legacy after fallback", neg)
+							}
+							return
+						}
+						if neg.Legacy {
+							t.Fatalf("feature-aware peer settled Legacy: %+v", neg)
+						}
+						want := serverFeats & (wire.FeatureCoalesce | wire.FeatureDeadline)
+						if neg.Features != want {
+							t.Errorf("settled features = %v, want %v (intersection)", neg.Features, want)
+						}
+						if neg.Version != wire.HelloVersion {
+							t.Errorf("settled version = %d, want %d", neg.Version, wire.HelloVersion)
+						}
+						if neg.Codec != proto.Name() {
+							t.Errorf("settled codec = %q, want %q", neg.Codec, proto.Name())
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestNegotiateExclusivePath: negotiation also rides the exclusive
+// (non-multiplexed) pool, including the legacy fallback.
+func TestNegotiateExclusivePath(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		legacy := legacy
+		t.Run(fmt.Sprintf("legacy=%t", legacy), func(t *testing.T) {
+			impl := &echoImpl{}
+			server := New(Options{Protocol: wire.CDR})
+			server.legacyWire = legacy
+			if err := server.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer server.Shutdown()
+			ref, err := server.Export(impl, NewEchoTable(impl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			client := New(Options{
+				Protocol:    wire.CDR,
+				Negotiate:   true,
+				CallTimeout: 5 * time.Second,
+			})
+			registerEchoStub(client)
+			defer client.Shutdown()
+			obj, err := client.Resolve(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two calls: the second reuses the cached (already negotiated
+			// or already fallen-back) connection.
+			for i := 0; i < 2; i++ {
+				if got, err := obj.(Echo).Echo("x"); err != nil || got != "x" {
+					t.Fatalf("call %d: Echo = %q, %v", i, got, err)
+				}
+			}
+		})
+	}
+}
+
+// TestNegotiateOffIsSeedBehavior: with the knob off no hello is ever sent —
+// a legacy server that would kill a negotiating dialer serves a plain one.
+func TestNegotiateOffIsSeedBehavior(t *testing.T) {
+	impl := &echoImpl{}
+	server := New(Options{Protocol: wire.Text})
+	server.legacyWire = true // would drop any hello on the floor
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Shutdown()
+	ref, err := server.Export(impl, NewEchoTable(impl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := New(Options{Protocol: wire.Text})
+	registerEchoStub(client)
+	defer client.Shutdown()
+	obj, err := client.Resolve(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := obj.(Echo).Echo("plain"); err != nil || got != "plain" {
+		t.Fatalf("Echo = %q, %v", got, err)
+	}
+}

@@ -124,7 +124,44 @@ type Options struct {
 	// tests (delay a reply past its caller's deadline, drop it outright)
 	// without planting time.Sleep in servants.
 	DispatchFault func(transport.DispatchFaultInfo) transport.DispatchVerdict
+
+	// Collocation selects how invocations whose target is exported by this
+	// same ORB are carried. The zero value (CollocateWire) routes them over
+	// the loopback wire like any remote call — the seed behavior.
+	// CollocateFast dispatches them directly on the caller's goroutine,
+	// skipping transport and framing while preserving call semantics; see
+	// collocate.go and DESIGN.md §12.
+	Collocation CollocationMode
+	// Negotiate makes this ORB's client side open every fresh connection
+	// with a wire.MsgHello feature handshake (DESIGN §12): the two ends
+	// agree on a feature set once at dial time, and per-connection terms
+	// replace lockstep static configuration for coalescing and deadline
+	// headers. Peers that do not speak hello are detected and redialed
+	// plain (static configuration applies, exactly as before), so mixed
+	// fleets interoperate. The server side always answers hellos,
+	// regardless of this knob. Off by default.
+	Negotiate bool
+	// NegotiateFeatures restricts the feature set this ORB offers in its
+	// hello (both as dialer and as answerer). Zero offers everything this
+	// build implements (coalescing + deadline headers).
+	NegotiateFeatures wire.Feature
 }
+
+// CollocationMode selects the carrier for same-address-space invocations.
+type CollocationMode int
+
+const (
+	// CollocateWire sends collocated calls over the loopback transport like
+	// any remote call — the seed behavior, and the safest choice when
+	// servants depend on full request isolation.
+	CollocateWire CollocationMode = iota
+	// CollocateFast dispatches collocated calls directly on the caller's
+	// goroutine: no connection, no framing, no reader/worker handoff. The
+	// call body still round-trips through the codec, so incopy parameters
+	// are deep-copied exactly as a remote servant would see them, and
+	// admission, deadlines, interceptors and stats all still apply.
+	CollocateFast
+)
 
 // RebindFunc re-resolves a reference whose endpoint is draining. Returning
 // the input reference (or an error) keeps the original endpoint; the hook is
@@ -167,9 +204,35 @@ type ORB struct {
 	// target string (lock-free reads on the dispatch path); invalidated
 	// wholesale by Unexport.
 	servantCache sync.Map
+	// servantGen counts Unexport invalidations; the collocated fast path's
+	// per-call servant memo revalidates against it, so a memoized pointer
+	// can never outlive its servant.
+	servantGen atomic.Uint64
 
 	clientInts []ClientInterceptor
 	serverInts []ServerInterceptor
+	// clientIntN/serverIntN mirror len(clientInts)/len(serverInts) so the
+	// per-call "any interceptors?" checks are atomic loads, not mutex
+	// acquisitions — the collocated fast path cannot afford o.mu.
+	clientIntN atomic.Int32
+	serverIntN atomic.Int32
+
+	// localEP publishes this ORB's own endpoint while the collocation fast
+	// path is eligible: set by Start when Options.Collocation is
+	// CollocateFast, cleared by Shutdown/Abort so post-shutdown collocated
+	// calls fall through to the (closed) wire path and fail like remote
+	// ones. One pointer load plus two string compares on the hot path.
+	localEP atomic.Pointer[localEndpoint]
+
+	// defTimeout copies Options.CallTimeout next to the invocation path's
+	// other hot fields: the Options struct is large and cold, and the
+	// per-call read was visible at collocated-dispatch timescales.
+	defTimeout time.Duration
+
+	// legacyWire simulates a pre-negotiation peer for tests: the server
+	// drops the connection on a hello frame instead of answering, exactly
+	// like a seed CDR reader erroring on the unknown message type.
+	legacyWire bool
 
 	nextOID uint64 // object identifiers, atomically allocated
 	reqID   uint32 // request identifiers
@@ -220,6 +283,17 @@ type Stats struct {
 	// of the same invocation failed.
 	ReplicaPicks uint64
 	Failovers    uint64
+	// CollocatedCalls counts invocations dispatched through the collocation
+	// fast path (CollocateFast). Each also counts in RequestsServed — the
+	// servant did serve a request — but not in CallsSent/MuxCalls, which
+	// count wire traffic.
+	CollocatedCalls uint64
+}
+
+// localEndpoint is the published identity a collocated reference matches.
+type localEndpoint struct {
+	proto string
+	addr  string
 }
 
 // New creates an ORB with the given options. Call Start to begin serving;
@@ -247,6 +321,7 @@ func New(opts Options) *ORB {
 		factories: make(map[string]StubFactory),
 		conns:     make(map[transport.Conn]struct{}),
 	}
+	o.defTimeout = opts.CallTimeout
 	o.pool = &transport.Pool{
 		Dial:        opts.Transport.Dial,
 		Disabled:    opts.DisableConnCache,
@@ -276,6 +351,19 @@ func New(opts Options) *ORB {
 		// the next invocation re-resolves instead of pipelining into the
 		// dying server.
 		o.mux.OnDraining = o.markDraining
+	}
+	if opts.Negotiate {
+		// Route every client dial (exclusive and mux) through one shared
+		// Negotiator so the legacy cache is learned once per peer, not per
+		// pool.
+		neg := &transport.Negotiator{
+			Dial:  opts.Transport.Dial,
+			Offer: o.helloOffer(),
+		}
+		o.pool.Dial = neg.DialConn
+		if o.mux != nil {
+			o.mux.Dial = neg.DialConn
+		}
 	}
 	o.retry = newRetryState(opts.Retry)
 	o.adm = newAdmission(opts.Admission)
@@ -369,6 +457,11 @@ func (o *ORB) Start() error {
 		return fmt.Errorf("orb: starting bootstrap listener: %w", err)
 	}
 	o.listener = l
+	if o.opts.Collocation == CollocateFast {
+		// From here on, references minted by this ORB are recognizable as
+		// collocated by the invocation path.
+		o.localEP.Store(&localEndpoint{proto: o.trans.Name(), addr: l.Addr()})
+	}
 	o.wg.Add(1)
 	go o.acceptLoop(l)
 	return nil
@@ -403,6 +496,11 @@ func (o *ORB) Shutdown() error {
 		conns = append(conns, c)
 	}
 	o.mu.Unlock()
+	// Withdraw the collocation fast path first: calls started after this
+	// point take the wire path and fail like remote callers of a dying
+	// server (pool closed → ErrShutdown), instead of dispatching into an
+	// address space that is tearing down.
+	o.localEP.Store(nil)
 
 	if l != nil {
 		l.Close()
@@ -487,6 +585,7 @@ func (o *ORB) Abort() error {
 		conns = append(conns, c)
 	}
 	o.mu.Unlock()
+	o.localEP.Store(nil)
 
 	if l != nil {
 		l.Close()
@@ -516,6 +615,7 @@ func (o *ORB) Stats() Stats {
 		MuxCalls:         atomic.LoadUint64(&o.stats.MuxCalls),
 		ReplicaPicks:     atomic.LoadUint64(&o.stats.ReplicaPicks),
 		Failovers:        atomic.LoadUint64(&o.stats.Failovers),
+		CollocatedCalls:  atomic.LoadUint64(&o.stats.CollocatedCalls),
 	}
 }
 
@@ -601,6 +701,7 @@ func (o *ORB) Unexport(impl any) {
 			o.servantCache.Delete(k)
 			return true
 		})
+		o.servantGen.Add(1)
 	}
 }
 
@@ -785,6 +886,18 @@ func (o *ORB) serveConn(c transport.Conn) {
 		if err != nil {
 			return // closed or protocol error: drop the connection
 		}
+		if m.Type == wire.MsgHello {
+			if o.legacyWire {
+				// Simulated pre-negotiation peer: die on the unknown frame
+				// the way a seed codec would, so the dialer's legacy
+				// fallback is exercised end to end.
+				wire.FreeMessage(m)
+				return
+			}
+			o.answerHello(send, m)
+			wire.FreeMessage(m)
+			continue
+		}
 		if m.Type != wire.MsgRequest {
 			wire.FreeMessage(m)
 			continue // ignore stray replies
@@ -827,6 +940,40 @@ func (o *ORB) serveConn(c transport.Conn) {
 	}
 }
 
+// helloOffer is the feature set and codec preference this ORB advertises in
+// negotiation, as dialer and as answerer.
+func (o *ORB) helloOffer() wire.Hello {
+	feats := o.opts.NegotiateFeatures
+	if feats == 0 {
+		feats = wire.FeatureCoalesce | wire.FeatureDeadline
+	}
+	return wire.Hello{
+		Version:  wire.HelloVersion,
+		Features: feats,
+		Codecs:   []string{o.proto.Name()},
+	}
+}
+
+// answerHello replies to a client's negotiation offer with the intersection
+// of the two ends' terms. The server always answers — Options.Negotiate only
+// governs dialing — so a non-negotiating server of this build still settles
+// terms with a negotiating client in one round-trip. A malformed offer gets
+// an empty-featured answer rather than silence: both ends then agree on
+// "nothing beyond baseline", and the connection stays usable.
+func (o *ORB) answerHello(send func(*wire.Message) error, m *wire.Message) {
+	var ans wire.Hello
+	if offer, err := wire.ParseHello(m.Body); err != nil {
+		ans = wire.Hello{Version: wire.HelloVersion}
+	} else {
+		ans = o.helloOffer().Intersect(offer)
+	}
+	r := wire.NewMessage()
+	r.Type = wire.MsgHello
+	r.Body = ans.Encode()
+	send(r)
+	wire.FreeMessage(r)
+}
+
 // sendReply emits one reply frame through the connection's send path (plain
 // or coalesced), using a pooled message struct.
 func (o *ORB) sendReply(send func(*wire.Message) error, id uint32, status wire.ReplyStatus, errMsg string, body []byte) {
@@ -840,12 +987,13 @@ func (o *ORB) sendReply(send func(*wire.Message) error, id uint32, status wire.R
 	wire.FreeMessage(r)
 }
 
-// dispatch runs the skeleton lookup and handler for one request.
-func (o *ORB) dispatch(s *servant, m *wire.Message, sc *ServerCall) error {
-	handled, err := s.table.Dispatch(m.Method, sc)
+// dispatchMethod runs the skeleton lookup and handler for one request,
+// wire-borne or collocated.
+func (o *ORB) dispatchMethod(s *servant, method string, sc *ServerCall) error {
+	handled, err := s.table.Dispatch(method, sc)
 	if !handled {
 		atomic.AddUint64(&o.stats.DispatchMisses, 1)
-		return &errNotDispatched{typeID: s.typeID, method: m.Method}
+		return &errNotDispatched{typeID: s.typeID, method: method}
 	}
 	return err
 }
@@ -896,9 +1044,9 @@ func (o *ORB) serveRequest(send func(*wire.Message) error, m *wire.Message) {
 	defer putServerCall(sc)
 	if o.hasServerInts() {
 		sc.ctx = ServerContext{TargetRef: m.TargetRef, TypeID: s.typeID, Method: m.Method, Oneway: m.Oneway, Deadline: deadline}
-		err = o.runServerChain(&sc.ctx, func() error { return o.dispatch(s, m, sc) })
+		err = o.runServerChain(&sc.ctx, func() error { return o.dispatchMethod(s, m.Method, sc) })
 	} else {
-		err = o.dispatch(s, m, sc)
+		err = o.dispatchMethod(s, m.Method, sc)
 	}
 	if hook := o.opts.DispatchFault; hook != nil {
 		v := hook(transport.DispatchFaultInfo{Method: m.Method, Oneway: m.Oneway, Seq: o.dispatchSeq.Add(1)})

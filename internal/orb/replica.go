@@ -141,6 +141,20 @@ func (o *ORB) pickReplica(g *replicaGroup, c *ClientCall) int {
 		})
 	}
 	c.repCands = cands
+	// Collocated preference: when one member lives in this very address
+	// space and the fast path is on, routing anywhere else buys a network
+	// round trip for no robustness gain — so a healthy, untried collocated
+	// member wins outright. Sticky policies (consistent hashing) are exempt:
+	// their placement carries sharding semantics locality must not break.
+	if ep := o.localEP.Load(); ep != nil {
+		if _, sticky := o.balancePolicy().(balance.Sticky); !sticky {
+			for i, cd := range cands {
+				if cd.addr == ep.addr && !cd.tried && !cd.drain && !cd.open && g.members[i].ref.Proto == ep.proto {
+					return i
+				}
+			}
+		}
+	}
 	if i := o.pickStage(c, cands, func(cd replicaCand) bool { return !cd.tried && !cd.drain && !cd.open }); i >= 0 {
 		return i
 	}

@@ -467,7 +467,15 @@ func (p *MuxPool) Get(addr string) (*MuxConn, error) {
 	if cb := p.OnDraining; cb != nil {
 		onGoAway = func() { cb(addr) }
 	}
-	mc := newMuxConn(c, p.Coalesce, onGoAway)
+	// Coalescing is per-connection once negotiation is in play: a peer that
+	// did not advertise the feature gets plain serialized writes on this
+	// connection, whatever the static configuration says. Legacy peers (and
+	// un-negotiated dials) keep the static setting.
+	co := p.Coalesce
+	if neg, ok := Negotiation(c); ok && !neg.Allows(wire.FeatureCoalesce) {
+		co = nil
+	}
+	mc := newMuxConn(c, co, onGoAway)
 	slots[slot] = mc
 	return mc, nil
 }

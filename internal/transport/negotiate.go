@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Protocol negotiation (ISSUE 7 / DESIGN §12). A Negotiator wraps a
+// transport's Dial: on every fresh connection it sends one wire.MsgHello
+// offer and reads the peer's answer, then tags the connection with the
+// agreed Negotiated terms. Upper layers (mux coalesce gating, the ORB's
+// deadline header stamping) consult the per-connection terms instead of the
+// static Options, so the two ends no longer need lockstep configuration —
+// the handshake costs one round-trip at dial time and nothing afterwards.
+//
+// Legacy peers predate the hello frame: a legacy CDR reader errors the
+// connection on the unknown message type, a legacy text server kills it on
+// the unknown verb, and an ancient peer might just stay silent. All three
+// resolve the same way — the handshake fails, the address is remembered as
+// legacy, and the dial is retried plain, yielding a connection whose terms
+// say Legacy: static configuration applies, exactly the pre-negotiation
+// behavior.
+
+// Negotiated is the outcome of one connection's handshake, stashed on the
+// connection and consulted instead of static options.
+type Negotiated struct {
+	// Legacy marks a peer that does not speak hello: no terms exist, so
+	// static configuration applies unchanged.
+	Legacy bool
+	// Version is the lower of the two ends' negotiation protocol versions.
+	Version uint32
+	// Features both ends support; use nothing outside it.
+	Features wire.Feature
+	// Codec is the first codec the answer listed ("cdr", "text"); empty
+	// when the peer answered with no shared codec (the dialing codec stays
+	// in use — the frames already parse, or the handshake itself would
+	// have failed).
+	Codec string
+}
+
+// Allows reports whether feature f may be used on this connection. A
+// negotiated connection consults the agreed feature set; a legacy
+// connection defers to static configuration (allowed — the caller's knobs
+// keep their pre-negotiation meaning).
+func (n Negotiated) Allows(f wire.Feature) bool {
+	return n.Legacy || n.Features&f != 0
+}
+
+// Negotiator dials connections and performs the hello handshake on each.
+// Install its DialConn as a Pool.Dial / MuxPool.Dial.
+type Negotiator struct {
+	// Dial opens the raw connection; typically a Transport's Dial.
+	Dial func(addr string) (Conn, error)
+	// Offer is this end's hello: features supported, codecs in preference
+	// order. A zero Version is filled with wire.HelloVersion.
+	Offer wire.Hello
+	// HandshakeTimeout bounds the hello round-trip; a peer silent past it
+	// is treated as legacy. Zero means a conservative 3s.
+	HandshakeTimeout time.Duration
+	// LegacyTTL is how long a peer's legacy-ness is remembered before the
+	// next dial re-probes it (a restarted, upgraded peer should start
+	// negotiating without a client restart — the rolling-upgrade case).
+	// Zero means one minute; negative remembers forever.
+	LegacyTTL time.Duration
+
+	mu     sync.Mutex
+	legacy map[string]time.Time // addr -> when the peer flunked the handshake
+}
+
+// DialConn dials addr and negotiates. The returned connection always
+// carries Negotiated terms (possibly Legacy) retrievable via Negotiation.
+func (n *Negotiator) DialConn(addr string) (Conn, error) {
+	if n.isLegacy(addr) {
+		return n.dialPlain(addr)
+	}
+	c, err := n.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	neg, ok := n.handshake(c)
+	if !ok {
+		// The handshake consumed or poisoned the connection (a legacy CDR
+		// peer errors its read loop on the unknown frame); start over with
+		// a clean dial that sends no hello.
+		c.Close()
+		n.markLegacy(addr)
+		return n.dialPlain(addr)
+	}
+	return &negotiatedConn{Conn: c, neg: neg}, nil
+}
+
+// dialPlain dials without a handshake and tags the result legacy.
+func (n *Negotiator) dialPlain(addr string) (Conn, error) {
+	c, err := n.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &negotiatedConn{Conn: c, neg: Negotiated{Legacy: true}}, nil
+}
+
+// handshake runs the hello round-trip on a fresh connection. ok=false
+// means the peer is legacy (or the exchange failed in any way — the caller
+// cannot tell the difference and need not).
+func (n *Negotiator) handshake(c Conn) (Negotiated, bool) {
+	offer := n.Offer
+	if offer.Version == 0 {
+		offer.Version = wire.HelloVersion
+	}
+	to := n.HandshakeTimeout
+	if to <= 0 {
+		to = 3 * time.Second
+	}
+	c.SetDeadline(time.Now().Add(to))
+	defer c.SetDeadline(time.Time{})
+	if err := c.Send(&wire.Message{Type: wire.MsgHello, Body: offer.Encode()}); err != nil {
+		return Negotiated{}, false
+	}
+	m, err := c.Recv()
+	if err != nil {
+		return Negotiated{}, false
+	}
+	defer wire.FreeMessage(m)
+	if m.Type != wire.MsgHello {
+		return Negotiated{}, false
+	}
+	ans, err := wire.ParseHello(m.Body)
+	if err != nil {
+		return Negotiated{}, false
+	}
+	neg := Negotiated{
+		Version:  ans.Version,
+		Features: ans.Features & offer.Features,
+	}
+	if offer.Version < neg.Version {
+		neg.Version = offer.Version
+	}
+	if len(ans.Codecs) > 0 {
+		neg.Codec = ans.Codecs[0]
+	}
+	return neg, true
+}
+
+// isLegacy consults the legacy cache, aging entries out per LegacyTTL.
+func (n *Negotiator) isLegacy(addr string) bool {
+	ttl := n.LegacyTTL
+	if ttl == 0 {
+		ttl = time.Minute
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	at, ok := n.legacy[addr]
+	if !ok {
+		return false
+	}
+	if ttl > 0 && time.Since(at) > ttl {
+		delete(n.legacy, addr) // re-probe: the peer may have been upgraded
+		return false
+	}
+	return true
+}
+
+// markLegacy records that addr flunked the handshake.
+func (n *Negotiator) markLegacy(addr string) {
+	n.mu.Lock()
+	if n.legacy == nil {
+		n.legacy = make(map[string]time.Time)
+	}
+	n.legacy[addr] = time.Now()
+	n.mu.Unlock()
+}
+
+// negotiatedConn tags a connection with its handshake outcome. It forwards
+// everything to the wrapped connection, including batch sends — losing the
+// BatchSender fast path to the wrapper would silently cost the writev win.
+type negotiatedConn struct {
+	Conn
+	neg Negotiated
+}
+
+// SendBatch delegates to the wrapped connection's gathered write when it
+// has one, else degrades to sequential sends (same frames, more syscalls).
+func (c *negotiatedConn) SendBatch(ms []*wire.Message) error {
+	if bs, ok := c.Conn.(BatchSender); ok {
+		return bs.SendBatch(ms)
+	}
+	for _, m := range ms {
+		if err := c.Conn.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Negotiation reports the handshake terms riding on c, unwrapping pool
+// decoration. ok=false means c never went through a Negotiator: static
+// configuration applies (indistinguishable from Legacy on purpose).
+func Negotiation(c Conn) (Negotiated, bool) {
+	for c != nil {
+		switch v := c.(type) {
+		case *negotiatedConn:
+			return v.neg, true
+		case *pooledConn:
+			c = v.Conn
+		default:
+			return Negotiated{}, false
+		}
+	}
+	return Negotiated{}, false
+}
+
+// Negotiated reports the handshake terms of the shared connection, if it
+// was dialed through a Negotiator.
+func (m *MuxConn) Negotiated() (Negotiated, bool) { return Negotiation(m.conn) }

@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// helloServer is a minimal feature-aware (or deliberately legacy) peer: it
+// answers hello frames with the intersection of its offer, or — in legacy
+// mode — kills the connection on the unknown frame, the way a seed codec
+// would.
+type helloServer struct {
+	t      *testing.T
+	l      Listener
+	offer  wire.Hello
+	legacy atomic.Bool
+	hellos atomic.Int64 // hello frames received
+	conns  atomic.Int64 // connections accepted
+	wg     sync.WaitGroup
+}
+
+func startHelloServer(t *testing.T, tr Transport, offer wire.Hello) *helloServer {
+	t.Helper()
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &helloServer{t: t, l: l, offer: offer}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.conns.Add(1)
+			s.wg.Add(1)
+			go func(c Conn) {
+				defer s.wg.Done()
+				defer c.Close()
+				for {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if m.Type != wire.MsgHello {
+						wire.FreeMessage(m)
+						continue
+					}
+					s.hellos.Add(1)
+					if s.legacy.Load() {
+						wire.FreeMessage(m)
+						return // drop the conn: the legacy reaction
+					}
+					clientOffer, err := wire.ParseHello(m.Body)
+					wire.FreeMessage(m)
+					if err != nil {
+						return
+					}
+					ans := s.offer.Intersect(clientOffer)
+					if err := c.Send(&wire.Message{Type: wire.MsgHello, Body: ans.Encode()}); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { l.Close(); s.wg.Wait() })
+	return s
+}
+
+func clientOffer() wire.Hello {
+	return wire.Hello{
+		Version:  wire.HelloVersion,
+		Features: wire.FeatureCoalesce | wire.FeatureDeadline,
+		Codecs:   []string{"cdr"},
+	}
+}
+
+func TestNegotiatorHandshake(t *testing.T) {
+	tr := NewTCP(wire.CDR)
+	srv := startHelloServer(t, tr, wire.Hello{
+		Version:  wire.HelloVersion,
+		Features: wire.FeatureDeadline | wire.FeatureCompactV3, // no coalesce
+		Codecs:   []string{"cdr", "text"},
+	})
+	n := &Negotiator{Dial: tr.Dial, Offer: clientOffer()}
+	c, err := n.DialConn(srv.l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	neg, ok := Negotiation(c)
+	if !ok {
+		t.Fatal("no negotiation terms on handshaken connection")
+	}
+	if neg.Legacy {
+		t.Fatalf("terms = %+v, want negotiated", neg)
+	}
+	if neg.Features != wire.FeatureDeadline {
+		t.Errorf("features = %v, want deadline only (intersection)", neg.Features)
+	}
+	if !neg.Allows(wire.FeatureDeadline) || neg.Allows(wire.FeatureCoalesce) {
+		t.Error("Allows disagrees with the settled feature set")
+	}
+	if neg.Codec != "cdr" {
+		t.Errorf("codec = %q", neg.Codec)
+	}
+}
+
+// TestNegotiatorLegacyFallback: a peer that kills the connection on hello is
+// redialed plain, remembered, and — with a negative TTL — never re-probed.
+func TestNegotiatorLegacyFallback(t *testing.T) {
+	tr := NewTCP(wire.CDR)
+	srv := startHelloServer(t, tr, clientOffer())
+	srv.legacy.Store(true)
+	n := &Negotiator{Dial: tr.Dial, Offer: clientOffer(), LegacyTTL: -1,
+		HandshakeTimeout: 2 * time.Second}
+
+	c, err := n.DialConn(srv.l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	neg, ok := Negotiation(c)
+	if !ok || !neg.Legacy {
+		t.Fatalf("terms = %+v, %t; want Legacy", neg, ok)
+	}
+	if !neg.Allows(wire.FeatureCoalesce) {
+		t.Error("legacy terms must defer to static configuration (Allows everything)")
+	}
+	if got := srv.hellos.Load(); got != 1 {
+		t.Fatalf("hellos = %d, want 1", got)
+	}
+
+	// Remembered: the second dial goes straight to plain, no hello probe.
+	c2, err := n.DialConn(srv.l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := srv.hellos.Load(); got != 1 {
+		t.Errorf("hellos after cached-legacy dial = %d, want still 1", got)
+	}
+}
+
+// TestNegotiatorLegacyReprobe: a positive TTL ages the legacy verdict out,
+// so a peer upgraded in place starts negotiating without a client restart.
+func TestNegotiatorLegacyReprobe(t *testing.T) {
+	tr := NewTCP(wire.CDR)
+	srv := startHelloServer(t, tr, clientOffer())
+	srv.legacy.Store(true)
+	n := &Negotiator{Dial: tr.Dial, Offer: clientOffer(), LegacyTTL: 20 * time.Millisecond,
+		HandshakeTimeout: 2 * time.Second}
+
+	c, err := n.DialConn(srv.l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// The "rolling upgrade": the same address now speaks hello.
+	srv.legacy.Store(false)
+	time.Sleep(40 * time.Millisecond)
+	c2, err := n.DialConn(srv.l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	neg, ok := Negotiation(c2)
+	if !ok || neg.Legacy {
+		t.Fatalf("terms after re-probe = %+v, %t; want negotiated", neg, ok)
+	}
+}
+
+// TestNegotiationThroughPool: terms survive the pool's connection
+// decoration — the invocation path reads them off a checked-out connection.
+func TestNegotiationThroughPool(t *testing.T) {
+	tr := NewTCP(wire.CDR)
+	srv := startHelloServer(t, tr, clientOffer())
+	n := &Negotiator{Dial: tr.Dial, Offer: clientOffer()}
+	p := &Pool{Dial: n.DialConn}
+	defer p.Close()
+	c, _, err := p.Checkout(srv.l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, ok := Negotiation(c)
+	if !ok || neg.Legacy {
+		t.Fatalf("terms through pool = %+v, %t", neg, ok)
+	}
+	p.Put(srv.l.Addr(), c, true)
+}
+
+// TestNegotiatedConnSendBatch: the wrapper must preserve the gathered-write
+// fast path when the inner connection has one, and degrade to sequential
+// sends when it does not.
+func TestNegotiatedConnSendBatch(t *testing.T) {
+	frames := []*wire.Message{
+		{Type: wire.MsgRequest, RequestID: 1, TargetRef: "@t:a#1#x", Method: "a"},
+		{Type: wire.MsgRequest, RequestID: 2, TargetRef: "@t:a#1#x", Method: "b"},
+	}
+	// Inner conn with SendBatch: one gathered write.
+	rec := &batchCountConn{}
+	nc := &negotiatedConn{Conn: rec}
+	if err := nc.SendBatch(frames); err != nil {
+		t.Fatal(err)
+	}
+	if rec.batches != 1 || rec.singles != 0 {
+		t.Errorf("batch-capable inner: batches=%d singles=%d, want 1/0", rec.batches, rec.singles)
+	}
+	// Inner conn without SendBatch: sequential sends, same frames.
+	plain := &plainCountConn{}
+	nc2 := &negotiatedConn{Conn: plain}
+	if err := nc2.SendBatch(frames); err != nil {
+		t.Fatal(err)
+	}
+	if plain.singles != len(frames) {
+		t.Errorf("plain inner: singles=%d, want %d", plain.singles, len(frames))
+	}
+}
+
+type plainCountConn struct {
+	singles int
+}
+
+func (c *plainCountConn) Send(*wire.Message) error     { c.singles++; return nil }
+func (c *plainCountConn) Recv() (*wire.Message, error) { return nil, wire.ErrClosed }
+func (c *plainCountConn) SetDeadline(time.Time) error  { return nil }
+func (c *plainCountConn) Close() error                 { return nil }
+func (c *plainCountConn) RemoteAddr() string           { return "plain" }
+
+type batchCountConn struct {
+	plainCountConn
+	batches int
+}
+
+func (c *batchCountConn) SendBatch(ms []*wire.Message) error { c.batches++; return nil }

@@ -105,6 +105,8 @@ func (p *CDRProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
 		}
 	case MsgClose, MsgGoAway:
 		// no meta
+	case MsgHello:
+		// no meta; the negotiation payload travels as the Body
 	default:
 		return dst, fmt.Errorf("wire: cannot encode message type %s", m.Type)
 	}
@@ -229,6 +231,9 @@ func (p *CDRProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 	case MsgClose, MsgGoAway:
 		m.ReleaseBody()
 		return m, nil
+	case MsgHello:
+		// No meta: the whole payload is the negotiation body, kept (with
+		// its lease) for the negotiator to parse.
 	default:
 		// hdr views the bufio buffer and is stale after the payload read;
 		// the type byte was already captured into m.

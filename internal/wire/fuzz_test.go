@@ -101,6 +101,72 @@ func wireReq() Message {
 	return Message{Type: MsgRequest, RequestID: 1, TargetRef: "@t:a#1#x", Method: "m"}
 }
 
+// FuzzHelloFrame covers the negotiation frame: arbitrary bodies through
+// ParseHello never panic (malformed payloads report an error — the caller's
+// fall-back-to-static signal — rather than guessing), and any well-formed
+// Hello round-trips through Encode/ParseHello and as a framed MsgHello in
+// every protocol, leaving the connection readable for the next frame.
+func FuzzHelloFrame(f *testing.F) {
+	f.Add([]byte("HRMI/1 feat=3 codecs=cdr,text"), uint32(1), uint32(3))
+	f.Add([]byte("HRMI/0 feat=0"), uint32(2), uint32(0))
+	f.Add([]byte("HRMI/1"), uint32(1), uint32(7))
+	f.Add([]byte("GET / HTTP/1.1"), uint32(1), uint32(1))
+	f.Add([]byte(""), uint32(9), uint32(42))
+	f.Add([]byte("HRMI/1 feat=notanumber codecs="), uint32(1), uint32(2))
+	f.Fuzz(func(t *testing.T, raw []byte, version, feat uint32) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseHello panicked on %q: %v", raw, r)
+				}
+			}()
+			ParseHello(raw)
+		}()
+		if version == 0 {
+			return
+		}
+		h := Hello{Version: version, Features: Feature(feat), Codecs: []string{"cdr", "text"}}
+		got, err := ParseHello(h.Encode())
+		if err != nil {
+			t.Fatalf("ParseHello(Encode(%+v)): %v", h, err)
+		}
+		if got.Version != h.Version || got.Features != h.Features || !got.HasCodec("text") {
+			t.Fatalf("hello round-trip = %+v, want %+v", got, h)
+		}
+		for _, p := range protocols {
+			var stream []byte
+			stream, err := p.AppendMessage(nil, &Message{Type: MsgHello, Body: h.Encode()})
+			if err != nil {
+				t.Fatalf("%s: AppendMessage(hello): %v", p.Name(), err)
+			}
+			// The conn must stay usable after a hello: frame a request behind
+			// it and read both.
+			req := wireReq()
+			if stream, err = p.AppendMessage(stream, &req); err != nil {
+				t.Fatalf("%s: AppendMessage(request): %v", p.Name(), err)
+			}
+			r := bufio.NewReader(bytes.NewReader(stream))
+			m, err := p.ReadMessage(r)
+			if err != nil {
+				t.Fatalf("%s: ReadMessage(hello): %v", p.Name(), err)
+			}
+			if m.Type != MsgHello {
+				t.Fatalf("%s: read type %s, want hello", p.Name(), m.Type)
+			}
+			back, err := ParseHello(m.Body)
+			if err != nil || back.Version != h.Version || back.Features != h.Features {
+				t.Fatalf("%s: framed hello decode = %+v, %v", p.Name(), back, err)
+			}
+			FreeMessage(m)
+			next, err := p.ReadMessage(r)
+			if err != nil || next.Type != MsgRequest {
+				t.Fatalf("%s: frame after hello unreadable: %+v, %v", p.Name(), next, err)
+			}
+			FreeMessage(next)
+		}
+	})
+}
+
 // FuzzDeadlineHeader covers the deadline extension of both codecs: arbitrary
 // text lines (including malformed @-tokens) never panic the reader, and any
 // non-zero deadline round-trips bit-exactly through every protocol.

@@ -82,6 +82,11 @@ func FreeMessage(m *Message) {
 		return
 	}
 	m.ReleaseBody()
+	if m.Static {
+		// Caller-owned struct (an embedded collocated reply): the lease is
+		// released but the struct stays with its owner.
+		return
+	}
 	*m = Message{}
 	msgPool.Put(m)
 }

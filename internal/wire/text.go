@@ -24,6 +24,7 @@ import (
 //	err <id> <status> <quoted message>                  failure reply
 //	close                                               connection close
 //	goaway                                              server draining
+//	hello <payload...>                                  feature negotiation
 //
 // The optional @<ms> header token is the request's relative deadline in
 // milliseconds ("this call is worth 150 more milliseconds of your time");
@@ -90,6 +91,8 @@ func (TextProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
 		b = append(b, "close"...)
 	case MsgGoAway:
 		b = append(b, "goaway"...)
+	case MsgHello:
+		b = append(b, "hello"...)
 	default:
 		return dst, fmt.Errorf("wire: cannot encode message type %s", m.Type)
 	}
@@ -148,6 +151,18 @@ func (TextProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 	case "goaway":
 		lease.release()
 		m.Type = MsgGoAway
+		return m, nil
+	case "hello":
+		// The rest of the line is the negotiation payload, opaque at this
+		// layer (hello.go parses it). It may contain spaces, so it is not
+		// tokenized here.
+		m.Type = MsgHello
+		if len(rest) > 0 {
+			m.Body = rest
+			m.lease = lease
+		} else {
+			lease.release()
+		}
 		return m, nil
 	case "call", "send":
 		m.Type = MsgRequest

@@ -44,6 +44,15 @@ const (
 	// endpoint before its next call. It is the wire image of a graceful
 	// server shutdown, in the HTTP/2 GOAWAY tradition.
 	MsgGoAway
+	// MsgHello is the protocol-negotiation frame: the first frame a
+	// feature-aware client sends on a fresh connection, answered by a
+	// feature-aware server with the intersection of both offers. Its Body
+	// carries a Hello payload (see hello.go) in a codec-independent ASCII
+	// form, so both codecs ferry it without caring about its contents. A
+	// legacy peer that predates negotiation either errors the connection
+	// (CDR: unknown type) or silently drops the frame (text server loop);
+	// the dialer treats both as "speak the static configuration".
+	MsgHello
 )
 
 // String names the message type.
@@ -57,6 +66,8 @@ func (t MsgType) String() string {
 		return "close"
 	case MsgGoAway:
 		return "goaway"
+	case MsgHello:
+		return "hello"
 	}
 	return fmt.Sprintf("msgtype(%d)", byte(t))
 }
@@ -128,6 +139,12 @@ type Message struct {
 	// read buffer (see lease.go): holders release it via ReleaseBody or
 	// FreeMessage when the call completes.
 	Body []byte
+
+	// Static marks a caller-owned Message that FreeMessage must not return
+	// to the pool: the owner embeds the struct and reuses it across calls
+	// (the collocated fast path fabricates replies this way), so recycling
+	// it would alias one struct between the pool and its owner.
+	Static bool
 
 	// lease is the pooled buffer Body aliases, nil when Body is owned
 	// outright (encoder output, literals, copies).
