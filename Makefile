@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race fuzz bench bench-all bench-diff check fmt fmtcheck
+.PHONY: all build test vet lint analyze race fuzz bench bench-all bench-diff check fmt fmtcheck
 
 all: check
 
@@ -21,17 +21,26 @@ vet:
 lint:
 	$(GO) run ./cmd/idlvet -templates ./idl/...
 
+# orbvet: the runtime-side counterpart of lint — ~6 analyzers over the
+# repo's own Go source that mechanize the lease/pool/lock/classification
+# invariants DESIGN §13 describes. -strict so warnings fail CI too;
+# deliberate exceptions are silenced in source with //orbvet:ignore.
+analyze:
+	$(GO) run ./cmd/orbvet -strict ./...
+
 # Race-detect the runtime packages the fault-tolerance layer touches,
-# including the replica kill+drain torture test (TestReplicaTortureKillDrain)
-# and the balance policies.
+# including the replica kill+drain torture test (TestReplicaTortureKillDrain),
+# the balance policies, wire's refcounted body leases, and naming.
 race:
-	$(GO) test -race ./internal/orb/... ./internal/transport/... ./internal/balance/...
+	$(GO) test -race ./internal/orb/... ./internal/transport/... ./internal/balance/... ./internal/wire/... ./internal/naming/...
 
 # Brief fuzz pass over the reference parsers (single and replica-set) + wire
-# framings. The anchored pattern matches FuzzParseRef and FuzzParseRefSet.
+# framings, plus the lease lifecycle (FuzzFreeMessage: random
+# Retain/Free/ReleaseBody interleavings must never alias a live buffer).
 fuzz:
 	$(GO) test -fuzz 'FuzzParseRef$$' -fuzztime 30s ./internal/orb/
 	$(GO) test -fuzz 'FuzzParseRefSet$$' -fuzztime 30s ./internal/orb/
+	$(GO) test -fuzz 'FuzzFreeMessage$$' -fuzztime 30s ./internal/wire/
 
 # The paper-claim and extension benchmarks (C-series, Fig4, multiplexing,
 # robustness, collocation), captured as diffable JSON. Commit
@@ -81,5 +90,7 @@ fmtcheck:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # The tier-1 gate: what must be green before merging. race covers the
-# transport/orb concurrency (coalescer included); bench-diff gates perf.
-check: build vet lint test race fmtcheck bench-diff
+# transport/orb concurrency (coalescer included) plus wire's leases;
+# lint/analyze cover the IDL layer and the runtime invariants; bench-diff
+# gates perf.
+check: build vet lint analyze test race fmtcheck bench-diff

@@ -97,6 +97,64 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+// TestRunJSONByteStable pins the property CI diffs of vet output rely on:
+// -json output is byte-for-byte identical across runs and argument
+// orderings (diagnostics sorted by position/check/message, duplicates
+// dropped), so a changed byte always means a changed finding.
+func TestRunJSONByteStable(t *testing.T) {
+	dir := t.TempDir()
+	// Two specs, each with multiple diagnostics, passed in both orders.
+	a := writeSpec(t, dir, "a.idl", "interface A { oneway long f(); oneway void g(out long x); };\n")
+	b := writeSpec(t, dir, "b.idl", "interface B { oneway long h(); };\n")
+
+	render := func(args ...string) string {
+		t.Helper()
+		var out strings.Builder
+		code, err := run(append([]string{"-json"}, args...), &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != 1 {
+			t.Fatalf("code=%d, want 1", code)
+		}
+		return out.String()
+	}
+
+	first := render(a, b)
+	for i := 0; i < 3; i++ {
+		if got := render(a, b); got != first {
+			t.Fatalf("run %d differs:\n--- first ---\n%s--- got ---\n%s", i, first, got)
+		}
+	}
+
+	var diags []struct {
+		Pos struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Col  int    `json:"col"`
+		} `json:"pos"`
+		Check string `json:"check"`
+		Msg   string `json:"msg"`
+	}
+	if err := json.Unmarshal([]byte(first), &diags); err != nil {
+		t.Fatalf("invalid JSON %q: %v", first, err)
+	}
+	if len(diags) < 2 {
+		t.Fatalf("want multiple diagnostics to exercise ordering, got %d", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		p, q := diags[i-1], diags[i]
+		if p == q {
+			t.Errorf("duplicate diagnostic survived dedup: %+v", p)
+		}
+		if p.Pos.File > q.Pos.File ||
+			(p.Pos.File == q.Pos.File && p.Pos.Line > q.Pos.Line) ||
+			(p.Pos.File == q.Pos.File && p.Pos.Line == q.Pos.Line && p.Pos.Col > q.Pos.Col) {
+			t.Errorf("diagnostics out of position order at %d: %+v then %+v", i, p, q)
+		}
+	}
+}
+
 func TestRunDirExpansionAndTemplates(t *testing.T) {
 	dir := t.TempDir()
 	sub := filepath.Join(dir, "nested")

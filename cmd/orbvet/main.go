@@ -1,0 +1,113 @@
+// Command orbvet statically checks the ORB runtime's own Go source for
+// violations of the unsafe-by-convention invariants its performance work
+// depends on (DESIGN §13): lease-backed wire.Message body lifetimes,
+// sync.Pool ownership after Put, failure classification on every retry-loop
+// error path, mutex acquisition order, Static-frame pooling, and
+// server-side deadline handling.
+//
+// Usage:
+//
+//	orbvet ./...                    vet every package under the module
+//	orbvet ./internal/orb           vet one package
+//	orbvet -json ./...              machine-readable diagnostics
+//	orbvet -strict ./...            treat warnings as errors
+//	orbvet -list                    list registered analyzers
+//
+// Exit status is 1 when any error-severity diagnostic (or, with -strict,
+// any warning) is reported, and 0 otherwise — the same contract as idlvet,
+// so CI treats the two identically. Deliberate violations are silenced in
+// source with `//orbvet:ignore <checks> -- reason`.
+//
+// orbvet is self-driving: it parses and type-checks packages with the
+// standard library's source importer, so it needs no compiled export data,
+// no network, and no golang.org/x/tools — but it must run from inside the
+// module (any subdirectory). With x/tools present the analyzers could be
+// wrapped into a `go vet -vettool` multichecker; this environment builds
+// without it by design.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis/orbvet"
+	_ "repro/internal/analysis/rules"
+	"repro/internal/check"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orbvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fsFlags := flag.NewFlagSet("orbvet", flag.ContinueOnError)
+	var (
+		jsonOut = fsFlags.Bool("json", false, "print diagnostics as a JSON array")
+		strict  = fsFlags.Bool("strict", false, "treat warnings as errors for the exit status")
+		list    = fsFlags.Bool("list", false, "list registered analyzers and exit")
+	)
+	if err := fsFlags.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *list {
+		for _, a := range orbvet.Analyzers() {
+			kind := "package"
+			if a.RunUnit != nil {
+				kind = "unit"
+			}
+			fmt.Fprintf(out, "%-26s %-8s %-7s %s\n", a.Name, kind, a.Severity, a.Doc)
+		}
+		return 0, nil
+	}
+
+	patterns := fsFlags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := orbvet.Load(patterns)
+	if err != nil {
+		return 2, err
+	}
+
+	diags := orbvet.Vet(pkgs)
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []check.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
+	}
+
+	if check.HasErrors(diags) || (*strict && hasWarnings(diags)) {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// hasWarnings reports whether any diagnostic is warning severity or worse —
+// what -strict promotes to failure (notes stay informational).
+func hasWarnings(diags []check.Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity >= check.SevWarning {
+			return true
+		}
+	}
+	return false
+}

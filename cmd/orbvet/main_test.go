@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The rules package's golden tests cover analyzer behavior; these cover the
+// CLI contract (flags, exit codes, output shapes) against one small fixture
+// package so they stay fast.
+const fixture = "../../internal/analysis/rules/testdata/src/staticfree"
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v, want 0 and nil", code, err)
+	}
+	for _, name := range []string{"classifyerr", "ctxdeadline", "leaselife", "lockorder", "poolescape", "staticfree"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+	if n := strings.Count(out.String(), "\n"); n != 6 {
+		t.Errorf("-list printed %d lines, want 6", n)
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{fixture}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("code=%d, want 1 (fixture has error findings)", code)
+	}
+	if !strings.Contains(out.String(), "[staticfree]") {
+		t.Errorf("output missing staticfree diagnostic:\n%s", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-json", fixture}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("code=%d, want 1", code)
+	}
+	var diags []struct {
+		Pos struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+		} `json:"pos"`
+		Severity string `json:"severity"`
+		Check    string `json:"check"`
+		Msg      string `json:"msg"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("invalid JSON %q: %v", out.String(), err)
+	}
+	if len(diags) == 0 || diags[0].Check != "staticfree" || diags[0].Pos.Line == 0 {
+		t.Errorf("JSON diagnostics incomplete: %+v", diags)
+	}
+}

@@ -1,0 +1,217 @@
+package orbvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package — the input every
+// analyzer sees.
+type Package struct {
+	// Path is the package's import path ("repro/internal/wire").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset is shared across every package of one Load call, so positions
+	// compare across packages.
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types and Info are the go/types views; Info always has Uses, Defs,
+	// Types and Selections filled in.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds any type-check failures; analysis proceeds
+	// best-effort over whatever was resolved.
+	TypeErrors []typeError
+}
+
+// typeError is one type-check failure with the FileSet needed to render its
+// position.
+type typeError struct {
+	Fset *token.FileSet
+	Pos  token.Pos
+	Msg  string
+}
+
+// Load parses and type-checks the packages named by patterns: plain
+// directories, or "dir/..." / "./..." recursive patterns. Test files
+// (_test.go) and testdata directories are skipped — orbvet audits shipped
+// runtime code. Type checking resolves imports from source via the standard
+// library's source importer, so the loader needs no compiled export data
+// and no network; it must run from inside the module (any subdirectory).
+func Load(patterns []string) ([]*Package, error) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// One importer for the whole run: it caches every package it
+	// type-checks, so shared dependencies (wire, transport, the stdlib) are
+	// checked once, not once per analyzed package.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, imp, dir, modRoot, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir loads one directory as a package; nil (no error) when the
+// directory holds no non-test Go files.
+func loadDir(fset *token.FileSet, imp types.Importer, dir, modRoot, modPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("orbvet: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg := &Package{
+		Path:  importPath(dir, modRoot, modPath),
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				pkg.TypeErrors = append(pkg.TypeErrors, typeError{Fset: te.Fset, Pos: te.Pos, Msg: te.Msg})
+			}
+		},
+	}
+	// Check reports the first error through conf.Error and keeps going;
+	// the partially resolved package is still worth analyzing.
+	pkg.Types, _ = conf.Check(pkg.Path, fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// importPath derives a package's import path from its directory and the
+// enclosing module. Directories outside the module (or fixtures under
+// testdata) get a synthetic path; nothing imports them, so any unique name
+// works.
+func importPath(dir, modRoot, modPath string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return dir
+	}
+	if rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and returns the module root directory and module path.
+func findModule() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("orbvet: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("orbvet: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves directory and "/..." arguments to the sorted list
+// of candidate package directories.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if !strings.HasSuffix(pat, "...") {
+			info, err := os.Stat(pat)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				return nil, fmt.Errorf("orbvet: %s is not a directory", pat)
+			}
+			add(pat)
+			continue
+		}
+		root := filepath.Clean(strings.TrimSuffix(pat, "..."))
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,318 @@
+// Package orbvet is the runtime-side counterpart of internal/check: a
+// go/analysis-style diagnostics engine over the repo's own Go source. Where
+// idlvet mechanizes the rules of the IDL layer, orbvet mechanizes the
+// unsafe-by-convention invariants the runtime's performance work introduced
+// (DESIGN §§9-12): buffer-lease lifetimes, sync.Pool ownership, failure
+// classification, lock ordering, Static-message pooling and server-side
+// deadline handling. Each rule is a self-registering Analyzer (name, doc,
+// run function); diagnostics reuse the check package's currency — a
+// position, a severity and a stable check ID — and render as human text or
+// JSON exactly like idlvet's.
+//
+// The engine is built on the standard library only (go/ast, go/types with
+// the source importer): the container has no golang.org/x/tools, so the
+// x/tools multichecker/vettool surface is stubbed by cmd/orbvet's own
+// driver. The analyses are conservative, convention-keyed approximations —
+// see DESIGN §13 for exactly what each rule can and cannot see.
+package orbvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/idl"
+)
+
+// Analyzer is one registered rule. Name doubles as the stable check ID
+// reported in diagnostics; Doc is a one-line description shown by
+// `orbvet -list`. Exactly one of Run (invoked once per analyzed package)
+// and RunUnit (invoked once over the whole set of loaded packages — for
+// rules like lockorder that need a cross-package view) must be set.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Severity check.Severity // default severity for Reportf
+	Run      func(*Pass)
+	RunUnit  func(*UnitPass)
+}
+
+// Pass carries one analyzer's view of one package and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]check.Diagnostic
+}
+
+// UnitPass is the whole-unit counterpart of Pass: every loaded package at
+// once, for analyzers that build cross-package structures (the lock graph).
+type UnitPass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	fset  *token.FileSet
+	diags *[]check.Diagnostic
+}
+
+// Reportf records a finding at pos with the analyzer's default severity.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, diag(p.Pkg.Fset, pos, p.Analyzer.Severity, p.Analyzer.Name, format, args...))
+}
+
+// Warnf records a warning-severity finding regardless of the analyzer's
+// default severity.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, diag(p.Pkg.Fset, pos, check.SevWarning, p.Analyzer.Name, format, args...))
+}
+
+// Reportf records a finding at pos with the analyzer's default severity.
+func (p *UnitPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, diag(p.fset, pos, p.Analyzer.Severity, p.Analyzer.Name, format, args...))
+}
+
+// diag builds one diagnostic, translating the token position into the
+// file/line/column currency shared with idlvet.
+func diag(fset *token.FileSet, pos token.Pos, sev check.Severity, id, format string, args ...any) check.Diagnostic {
+	p := fset.Position(pos)
+	return check.Diagnostic{
+		Pos:      idl.Pos{File: p.Filename, Line: p.Line, Column: p.Column},
+		Severity: sev,
+		Check:    id,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
+// registry holds every analyzer, keyed by name. Analyzers self-register
+// from init functions in their defining files (internal/analysis/rules).
+var registry = map[string]*Analyzer{}
+
+// Register adds an analyzer to the global registry. Duplicate names are a
+// programming error and panic at init time.
+func Register(a *Analyzer) {
+	if a.Name == "" || (a.Run == nil) == (a.RunUnit == nil) {
+		panic("orbvet: Register: analyzer needs a name and exactly one of Run/RunUnit")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic("orbvet: duplicate analyzer " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns all registered analyzers sorted by name.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Vet runs every registered analyzer over the loaded packages and returns
+// the sorted, deduplicated findings, with //orbvet:ignore suppressions
+// applied. Packages that failed to type-check contribute error-severity
+// "typecheck" diagnostics and are still analyzed best-effort.
+func Vet(pkgs []*Package) []check.Diagnostic {
+	return VetWith(pkgs, Analyzers())
+}
+
+// VetWith is Vet restricted to an explicit analyzer list — the test
+// harness uses it to run one analyzer against its own fixture package.
+func VetWith(pkgs []*Package, analyzers []*Analyzer) []check.Diagnostic {
+	var diags []check.Diagnostic
+	for _, pkg := range pkgs {
+		for _, te := range pkg.TypeErrors {
+			diags = append(diags, check.Diagnostic{
+				Pos:      idl.Pos{File: te.Fset.Position(te.Pos).Filename, Line: te.Fset.Position(te.Pos).Line, Column: te.Fset.Position(te.Pos).Column},
+				Severity: check.SevError,
+				Check:    "typecheck",
+				Msg:      te.Msg,
+			})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+			}
+		}
+	}
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	for _, a := range analyzers {
+		if a.RunUnit != nil && fset != nil {
+			a.RunUnit(&UnitPass{Analyzer: a, Pkgs: pkgs, fset: fset, diags: &diags})
+		}
+	}
+	diags = suppress(pkgs, diags)
+	return sortDiags(diags)
+}
+
+// --- suppression -------------------------------------------------------------
+
+// ignoreMarker is the comment directive that suppresses findings:
+//
+//	//orbvet:ignore lockorder -- single-flight redial wants the lock held
+//	//orbvet:ignore            (suppresses every check on the line)
+//
+// placed on the flagged line or on the line directly above it. Suppressions
+// are the audited escape hatch for invariants the code violates on purpose;
+// the trailing reason is for the reviewer, not the tool.
+const ignoreMarker = "//orbvet:ignore"
+
+// ignoreSet records which check IDs one directive suppresses; empty means all.
+type ignoreSet map[string]bool
+
+// suppress drops diagnostics covered by an ignore directive on their own
+// line or the line above.
+func suppress(pkgs []*Package, diags []check.Diagnostic) []check.Diagnostic {
+	ignores := map[string]map[int]ignoreSet{} // file -> line -> checks
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignoreMarker) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignoreMarker)
+					if cut := strings.Index(rest, "--"); cut >= 0 {
+						rest = rest[:cut]
+					}
+					set := ignoreSet{}
+					for _, name := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+						set[name] = true
+					}
+					p := pkg.Fset.Position(c.Pos())
+					if ignores[p.Filename] == nil {
+						ignores[p.Filename] = map[int]ignoreSet{}
+					}
+					ignores[p.Filename][p.Line] = set
+				}
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if covered(ignores[d.Pos.File], d.Pos.Line, d.Check) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// covered reports whether a directive on line (or line-1) suppresses check.
+func covered(lines map[int]ignoreSet, line int, checkID string) bool {
+	for _, l := range [2]int{line, line - 1} {
+		if set, ok := lines[l]; ok && (len(set) == 0 || set[checkID]) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiags orders diagnostics by position, then check ID, then message,
+// and drops exact duplicates — the same stable order idlvet emits, so CI
+// diffs of vet output are meaningful.
+func sortDiags(diags []check.Diagnostic) []check.Diagnostic {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	out := diags[:0]
+	for _, d := range diags {
+		if n := len(out); n > 0 && out[n-1] == d {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// --- shared type/AST helpers used by the rules -------------------------------
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// CalleeName returns the fully qualified name of call's static callee —
+// "repro/internal/wire.FreeMessage", "(*sync.Pool).Put" — or "" when the
+// callee cannot be resolved to a function object (dynamic calls, builtins,
+// conversions).
+func CalleeName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}
+
+// NamedType reports the qualified "pkgpath.Name" of t's core named type,
+// stripping pointers; "" for unnamed types.
+func NamedType(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// BareTypeName is NamedType without the package qualifier — for matching
+// unexported, convention-keyed types ("failureClass") that fixtures cannot
+// spell by import path.
+func BareTypeName(t types.Type) string {
+	q := NamedType(t)
+	if i := strings.LastIndexByte(q, '.'); i >= 0 {
+		return q[i+1:]
+	}
+	return q
+}

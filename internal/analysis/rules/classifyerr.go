@@ -1,0 +1,103 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/orbvet"
+	"repro/internal/check"
+)
+
+// classifyerr mechanizes DESIGN §11's failure-classification contract:
+// every error path that feeds ClientCall.transact's retry loop must state
+// its failureClass explicitly, because the class — safe, ambiguous, fatal —
+// is what decides whether a retry can duplicate a non-idempotent call. The
+// dangerous shapes are the silent defaults Go makes easy:
+//
+//   - a naked `return` in a function with named results zero-values the
+//     failureClass slot to failNone, marking a failed attempt as a success;
+//   - returning a numeric literal (`0`) in the class slot does the same
+//     thing explicitly but unreadably;
+//   - returning failNone alongside a non-nil error is a contradiction — the
+//     retry loop will treat the attempt as successful and surface a nil
+//     reply to the caller.
+//
+// The rule applies to every function whose signature includes a
+// failureClass-typed result (matched by bare type name, so fixtures can
+// model the unexported type).
+func init() {
+	orbvet.Register(&orbvet.Analyzer{
+		Name:     "classifyerr",
+		Doc:      "error paths feeding the retry loop must carry an explicit failureClass (no naked returns, zero literals, or failNone with a non-nil error)",
+		Severity: check.SevError,
+		Run:      classifyerrRun,
+	})
+}
+
+func classifyerrRun(p *orbvet.Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Type.Results == nil {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			classIdx, errIdx := -1, -1
+			for i := 0; i < sig.Results().Len(); i++ {
+				t := sig.Results().At(i).Type()
+				if orbvet.BareTypeName(t) == "failureClass" {
+					classIdx = i
+				}
+				if types.Identical(t, types.Universe.Lookup("error").Type()) {
+					errIdx = i
+				}
+			}
+			if classIdx < 0 {
+				continue
+			}
+			checkClassReturns(p, fn, sig.Results().Len(), classIdx, errIdx)
+		}
+	}
+}
+
+func checkClassReturns(p *orbvet.Pass, fn *ast.FuncDecl, nresults, classIdx, errIdx int) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		// Closures have their own signatures; their returns are not this
+		// function's returns.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			p.Reportf(ret.Pos(), "naked return in %s zero-values the failureClass result to failNone — class this path explicitly (failSafe/failAmbiguous/failFatal)", fn.Name.Name)
+			return true
+		}
+		if len(ret.Results) != nresults {
+			// A single tuple-returning call delegates classification to the
+			// callee, which this rule audits separately.
+			return true
+		}
+		classExpr := orbvet.Unparen(ret.Results[classIdx])
+		switch e := classExpr.(type) {
+		case *ast.BasicLit:
+			p.Reportf(e.Pos(), "numeric literal in the failureClass slot of %s — name the class (failSafe/failAmbiguous/failFatal) so the retry decision is auditable", fn.Name.Name)
+		case *ast.Ident:
+			if e.Name == "failNone" && errIdx >= 0 && !isNilIdent(ret.Results[errIdx]) {
+				p.Reportf(e.Pos(), "%s returns failNone alongside a possibly non-nil error — the retry loop would treat the failed attempt as success", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := orbvet.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,71 @@
+package rules
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/orbvet"
+	"repro/internal/check"
+)
+
+// ctxdeadline mechanizes DESIGN §12's shed-point rule: server-side code
+// that decides whether a request is still worth running must ask the
+// ServerCall — Deadline() for the wire-carried budget, Expired() for the
+// decision — instead of recomputing with local time.Now() arithmetic.
+// Locally recomputed deadlines drift from what the client encoded (and from
+// what the collocated fast path propagates), so the same request can be
+// shed on one path and served on another.
+//
+// Scope: any function with a *ServerCall parameter (matched by bare type
+// name). Methods ON ServerCall are exempt — the accessors themselves are
+// where the one blessed time.Now() comparison lives.
+func init() {
+	orbvet.Register(&orbvet.Analyzer{
+		Name:     "ctxdeadline",
+		Doc:      "server-side shed points must consult ServerCall.Deadline/Expired, not time.Now() arithmetic",
+		Severity: check.SevWarning,
+		Run:      ctxdeadlineRun,
+	})
+}
+
+func ctxdeadlineRun(p *orbvet.Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasServerCallParam(p, fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := orbvet.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "After", "Before", "Sub":
+				default:
+					return true
+				}
+				inner, ok := orbvet.Unparen(sel.X).(*ast.CallExpr)
+				if !ok || orbvet.CalleeName(p.Pkg.Info, inner) != "time.Now" {
+					return true
+				}
+				p.Reportf(call.Pos(), "deadline arithmetic with time.Now().%s in a ServerCall context — use ServerCall.Expired()/Deadline() so remote and collocated paths shed identically", sel.Sel.Name)
+				return true
+			})
+		}
+	}
+}
+
+// hasServerCallParam reports whether fn takes a parameter (not receiver)
+// of type *ServerCall.
+func hasServerCallParam(p *orbvet.Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if orbvet.BareTypeName(p.Pkg.Info.TypeOf(field.Type)) == "ServerCall" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+// Package rules holds the orbvet analyzers: one file per rule, each
+// self-registering into the orbvet registry from an init function, mirroring
+// how internal/check's analyzers register with idlvet. cmd/orbvet (and the
+// tests) blank-import this package to activate the full suite.
+package rules
+
+import (
+	"go/ast"
+)
+
+// flowVisitor is the state a rule threads through a straight-line walk of
+// one function body. walkSeq drives the control-flow shape; the rule's
+// Stmt implementation scans expressions, records kills and reports uses.
+// Fork clones the state for a conditional branch — branch effects are
+// deliberately discarded at the join, so the engine only trusts facts
+// established in straight-line order. That is the conservative direction:
+// it can miss a free hidden behind a branch, but it cannot invent one, and
+// the bug shape these rules exist for (free, then use, a few lines apart on
+// the same path) is exactly what straight-line order sees.
+type flowVisitor interface {
+	Stmt(s ast.Stmt)
+	Fork() flowVisitor
+}
+
+// exprStmt wraps a header expression (an if condition, a switch tag) so
+// rules see it through the same Stmt entry point as real statements.
+func exprStmt(e ast.Expr) ast.Stmt { return &ast.ExprStmt{X: e} }
+
+// walkSeq walks stmts in source order, recursing into branch bodies on
+// forked visitor state. Function literals are not descended into here —
+// rules decide per-statement whether closure bodies matter to them.
+func walkSeq(stmts []ast.Stmt, v flowVisitor) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkSeq(s.List, v)
+		case *ast.LabeledStmt:
+			walkSeq([]ast.Stmt{s.Stmt}, v)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				v.Stmt(s.Init)
+			}
+			v.Stmt(exprStmt(s.Cond))
+			walkSeq(s.Body.List, v.Fork())
+			if s.Else != nil {
+				walkSeq([]ast.Stmt{s.Else}, v.Fork())
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				v.Stmt(s.Init)
+			}
+			if s.Cond != nil {
+				v.Stmt(exprStmt(s.Cond))
+			}
+			f := v.Fork()
+			walkSeq(s.Body.List, f)
+			if s.Post != nil {
+				f.Stmt(s.Post)
+			}
+		case *ast.RangeStmt:
+			v.Stmt(exprStmt(s.X))
+			walkSeq(s.Body.List, v.Fork())
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				v.Stmt(s.Init)
+			}
+			if s.Tag != nil {
+				v.Stmt(exprStmt(s.Tag))
+			}
+			for _, cc := range s.Body.List {
+				c := cc.(*ast.CaseClause)
+				f := v.Fork()
+				for _, e := range c.List {
+					f.Stmt(exprStmt(e))
+				}
+				walkSeq(c.Body, f)
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				v.Stmt(s.Init)
+			}
+			v.Stmt(s.Assign)
+			for _, cc := range s.Body.List {
+				c := cc.(*ast.CaseClause)
+				walkSeq(c.Body, v.Fork())
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				c := cc.(*ast.CommClause)
+				f := v.Fork()
+				if c.Comm != nil {
+					f.Stmt(c.Comm)
+				}
+				walkSeq(c.Body, f)
+			}
+		default:
+			v.Stmt(s)
+		}
+	}
+}
+
+// stmtCall returns the call when s is a plain `f(...)` expression statement.
+func stmtCall(s ast.Stmt) *ast.CallExpr {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	c, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return c
+}
+
+// eachCall invokes fn for every call expression under root, skipping
+// nothing — callers filter as needed.
+func eachCall(root ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			fn(c)
+		}
+		return true
+	})
+}

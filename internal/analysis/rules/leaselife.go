@@ -1,0 +1,402 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/orbvet"
+	"repro/internal/check"
+)
+
+// leaselife mechanizes DESIGN §9's buffer-lease lifetime rules. A
+// wire.Message decoded with the binary codec carries a Body that views a
+// pooled, refcounted lease; FreeMessage / ReleaseBody return that buffer to
+// the pool, after which any read through the message — or through a slice
+// derived from its Body — observes whatever the pool recycled the bytes
+// into. -race cannot see this (the recycled write may be far away in time),
+// so the rule tracks it syntactically: within a function body, in
+// straight-line order,
+//
+//   - any use of a message variable after wire.FreeMessage(m) is flagged
+//     (including a second FreeMessage — double-free pools the struct twice
+//     and aliases two future callers);
+//   - any read of m.Body after m.ReleaseBody() is flagged;
+//   - any use of a view variable (v := m.Body, w := v[4:], …) after its
+//     carrier was freed or released is flagged;
+//   - a view that escapes the frame — returned, sent on a channel, stored
+//     through a pointer/field, or captured by a go statement — without a
+//     preceding m.RetainBody() is flagged.
+//
+// Reassignment clears a variable's freed state; facts established inside a
+// conditional branch are discarded at the join (see walkSeq).
+func init() {
+	orbvet.Register(&orbvet.Analyzer{
+		Name:     "leaselife",
+		Doc:      "use of a lease-backed wire.Message body after FreeMessage/ReleaseBody, and body views escaping without RetainBody",
+		Severity: check.SevError,
+		Run:      leaselifeRun,
+	})
+}
+
+const (
+	wireMessageType = "repro/internal/wire.Message"
+	freeMessageFn   = "repro/internal/wire.FreeMessage"
+	releaseBodyFn   = "(*repro/internal/wire.Message).ReleaseBody"
+	retainBodyFn    = "(*repro/internal/wire.Message).RetainBody"
+)
+
+func leaselifeRun(p *orbvet.Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			v := &leaseVisitor{
+				pass:     p,
+				info:     p.Pkg.Info,
+				retained: retainedMessages(p.Pkg.Info, fn.Body),
+				dead:     map[types.Object]string{},
+				bodyDead: map[types.Object]bool{},
+				views:    map[types.Object]viewInfo{},
+				deadView: map[types.Object]string{},
+			}
+			walkSeq(fn.Body.List, v)
+		}
+	}
+}
+
+// viewInfo ties a derived view variable back to its carrier message.
+type viewInfo struct {
+	carrier types.Object
+	name    string // carrier's source name, for messages
+}
+
+type leaseVisitor struct {
+	pass *orbvet.Pass
+	info *types.Info
+	// retained holds messages with a RetainBody call anywhere in the body —
+	// a deliberately position-insensitive approximation (see DESIGN §13).
+	retained map[types.Object]bool
+	// dead: message vars after FreeMessage; value names the killer.
+	dead map[types.Object]string
+	// bodyDead: message vars after ReleaseBody (struct still live, Body not).
+	bodyDead map[types.Object]bool
+	// views: view var -> its carrier message.
+	views map[types.Object]viewInfo
+	// deadView: view vars whose carrier died; value names the killer.
+	deadView map[types.Object]string
+}
+
+func (v *leaseVisitor) Fork() flowVisitor {
+	c := &leaseVisitor{
+		pass:     v.pass,
+		info:     v.info,
+		retained: v.retained, // immutable, shared
+		dead:     map[types.Object]string{},
+		bodyDead: map[types.Object]bool{},
+		views:    map[types.Object]viewInfo{},
+		deadView: map[types.Object]string{},
+	}
+	for k, s := range v.dead {
+		c.dead[k] = s
+	}
+	for k := range v.bodyDead {
+		c.bodyDead[k] = true
+	}
+	for k, s := range v.views {
+		c.views[k] = s
+	}
+	for k, s := range v.deadView {
+		c.deadView[k] = s
+	}
+	return c
+}
+
+func (v *leaseVisitor) Stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		// Deferred frees run at function exit, after every use below them;
+		// they neither kill nor use for the purposes of this walk.
+		return
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			v.scanUses(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			switch l := orbvet.Unparen(lhs).(type) {
+			case *ast.Ident:
+				v.kill(v.objectOf(l))
+			default:
+				// Store through a field/index/pointer: the target expression
+				// is itself a use, and an unretained view flowing into it
+				// escapes the frame.
+				v.scanUses(l)
+			}
+		}
+		if tgt, ok := storeTarget(s); ok {
+			for _, rhs := range s.Rhs {
+				v.checkEscape(rhs, "stored through "+tgt)
+			}
+		}
+		v.recordViews(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			v.scanUses(r)
+			v.checkEscape(r, "returned")
+		}
+	case *ast.SendStmt:
+		v.scanUses(s.Chan)
+		v.scanUses(s.Value)
+		v.checkEscape(s.Value, "sent on a channel")
+	case *ast.GoStmt:
+		v.scanUses(s.Call)
+		for _, a := range s.Call.Args {
+			v.checkEscapeCalls(a, "passed to a goroutine", true)
+		}
+		if lit, ok := orbvet.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			v.checkEscapeCalls(lit, "captured by a goroutine", true)
+		}
+	case *ast.ExprStmt:
+		if c := stmtCall(s); c != nil {
+			v.callStmt(c)
+			return
+		}
+		v.scanUses(s.X)
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				v.scanUses(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// callStmt handles a statement-level call: applies its kill effect after
+// scanning its arguments (so FreeMessage on an already-dead message reports
+// the double free).
+func (v *leaseVisitor) callStmt(c *ast.CallExpr) {
+	name := orbvet.CalleeName(v.info, c)
+	switch name {
+	case freeMessageFn:
+		v.scanUses(c)
+		if len(c.Args) == 1 {
+			if id, ok := orbvet.Unparen(c.Args[0]).(*ast.Ident); ok {
+				v.killMessage(v.objectOf(id), "wire.FreeMessage")
+			}
+		}
+	case releaseBodyFn:
+		v.scanUses(c)
+		if sel, ok := orbvet.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := orbvet.Unparen(sel.X).(*ast.Ident); ok {
+				obj := v.objectOf(id)
+				v.bodyDead[obj] = true
+				v.killViewsOf(obj, "ReleaseBody")
+			}
+		}
+	default:
+		v.scanUses(c)
+	}
+}
+
+// killMessage marks a message variable freed and poisons its views.
+func (v *leaseVisitor) killMessage(obj types.Object, how string) {
+	if obj == nil {
+		return
+	}
+	v.dead[obj] = how
+	v.killViewsOf(obj, how)
+}
+
+func (v *leaseVisitor) killViewsOf(carrier types.Object, how string) {
+	for view, info := range v.views {
+		if info.carrier == carrier {
+			v.deadView[view] = how
+		}
+	}
+}
+
+// kill clears all freed/view state for a reassigned variable.
+func (v *leaseVisitor) kill(obj types.Object) {
+	if obj == nil {
+		return
+	}
+	delete(v.dead, obj)
+	delete(v.bodyDead, obj)
+	delete(v.views, obj)
+	delete(v.deadView, obj)
+}
+
+// recordViews registers view aliases created by an assignment:
+// v := m.Body, w := v[4:], u := v.
+func (v *leaseVisitor) recordViews(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := orbvet.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := v.objectOf(id)
+		if obj == nil {
+			continue
+		}
+		if info, ok := v.viewSource(s.Rhs[i]); ok {
+			v.views[obj] = info
+		}
+	}
+}
+
+// viewSource resolves an expression to the message whose lease it views:
+// m.Body, an existing view variable, or a slice/index of either.
+func (v *leaseVisitor) viewSource(e ast.Expr) (viewInfo, bool) {
+	switch e := orbvet.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := v.bodySelector(e); ok {
+			return viewInfo{carrier: v.objectOf(id), name: id.Name}, true
+		}
+	case *ast.Ident:
+		if info, ok := v.views[v.objectOf(e)]; ok {
+			return info, true
+		}
+	case *ast.SliceExpr:
+		return v.viewSource(e.X)
+	case *ast.IndexExpr:
+		return v.viewSource(e.X)
+	}
+	return viewInfo{}, false
+}
+
+// bodySelector reports whether e is `m.Body` for a wire.Message variable m.
+func (v *leaseVisitor) bodySelector(e *ast.SelectorExpr) (*ast.Ident, bool) {
+	if e.Sel.Name != "Body" {
+		return nil, false
+	}
+	id, ok := orbvet.Unparen(e.X).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if orbvet.NamedType(v.info.TypeOf(e.X)) != wireMessageType {
+		return nil, false
+	}
+	return id, true
+}
+
+// scanUses reports reads of dead messages, released bodies and dead views
+// anywhere under e. Function literals are scanned too: a closure reading a
+// variable that is already dead at the point the closure is built is as
+// wrong as a direct read.
+func (v *leaseVisitor) scanUses(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := v.bodySelector(n); ok {
+				obj := v.objectOf(id)
+				if _, freed := v.dead[obj]; !freed && v.bodyDead[obj] {
+					v.pass.Reportf(n.Pos(), "read of %s.Body after %s.ReleaseBody released its lease", id.Name, id.Name)
+				}
+			}
+		case *ast.Ident:
+			obj := v.objectOf(n)
+			if obj == nil {
+				return true
+			}
+			if how, ok := v.dead[obj]; ok {
+				v.pass.Reportf(n.Pos(), "use of %s after %s freed it (pooled message may already be reused)", n.Name, how)
+			} else if how, ok := v.deadView[obj]; ok {
+				v.pass.Reportf(n.Pos(), "use of body view %s after %s on its carrier message", n.Name, how)
+			}
+		}
+		return true
+	})
+}
+
+// checkEscape reports unretained views escaping under e via the given
+// route. Call expressions are not descended into: a view handed to a callee
+// (`return o.getServerCallBody(..., m.Body)`, `c.dec = NewDecoder(m.Body)`)
+// is the callee's business — it may copy, and the caller-side discipline
+// (carrier held until Release) is not visible from this frame. Only views
+// that directly flow into the escaping value are flagged.
+func (v *leaseVisitor) checkEscape(e ast.Expr, route string) {
+	v.checkEscapeCalls(e, route, false)
+}
+
+// checkEscapeCalls is checkEscape with control over call descent; goroutine
+// capture uses intoCalls=true because any read of a view on another
+// goroutine escapes the frame, callee or not.
+func (v *leaseVisitor) checkEscapeCalls(e ast.Expr, route string, intoCalls bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok && !intoCalls {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := v.bodySelector(n); ok {
+				obj := v.objectOf(id)
+				if _, freed := v.dead[obj]; freed || v.bodyDead[obj] {
+					return false // already reported as a use-after-free
+				}
+				if !v.retained[obj] {
+					v.pass.Reportf(n.Pos(), "lease-backed view %s.Body %s without %s.RetainBody — the lease can be recycled under the reader", id.Name, route, id.Name)
+					return false
+				}
+			}
+		case *ast.Ident:
+			obj := v.objectOf(n)
+			if _, dead := v.deadView[obj]; dead {
+				return true // already reported as a use-after-free
+			}
+			if info, ok := v.views[obj]; ok && !v.retained[info.carrier] {
+				v.pass.Reportf(n.Pos(), "lease-backed view %s (of %s.Body) %s without %s.RetainBody — the lease can be recycled under the reader", n.Name, info.name, route, info.name)
+			}
+		}
+		return true
+	})
+}
+
+// storeTarget describes an assignment whose left side writes through memory
+// that outlives the frame (field, index, or pointer dereference).
+func storeTarget(s *ast.AssignStmt) (string, bool) {
+	for _, lhs := range s.Lhs {
+		switch orbvet.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			return "a field", true
+		case *ast.IndexExpr:
+			return "an element", true
+		case *ast.StarExpr:
+			return "a pointer", true
+		}
+	}
+	return "", false
+}
+
+func (v *leaseVisitor) objectOf(id *ast.Ident) types.Object {
+	if obj := v.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return v.info.Defs[id]
+}
+
+// retainedMessages collects every message variable with a RetainBody call
+// anywhere in the body.
+func retainedMessages(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	eachCall(body, func(c *ast.CallExpr) {
+		if orbvet.CalleeName(info, c) != retainBodyFn {
+			return
+		}
+		sel, ok := orbvet.Unparen(c.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if id, ok := orbvet.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,415 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/orbvet"
+	"repro/internal/check"
+)
+
+// lockorder mechanizes DESIGN §12's locking discipline across internal/orb
+// and internal/transport. Mutexes are abstracted to type-level keys
+// ("orb.ORB.mu", "transport.MuxConn.sendMu"); the rule then
+//
+//  1. builds per-function acquire summaries (which keys a function may
+//     lock, transitively through static calls within the analyzed unit),
+//  2. walks every function in straight-line order tracking the held set —
+//     a `defer mu.Unlock()` keeps the lock held to the end, which is the
+//     point — and records an ordering edge held→acquired for every
+//     acquisition (direct or via a summarized callee) under a held lock,
+//  3. rejects cycles in the resulting graph (the classic ABBA deadlock),
+//     re-acquisition of the same mutex expression on one path (sync.Mutex
+//     is not reentrant), and dial/sleep/recv-shaped I/O performed while any
+//     lock is held.
+//
+// The one place the runtime dials under a lock on purpose — MuxPool.Get's
+// single-flight redial — carries an //orbvet:ignore with its
+// justification; that comment is the auditable record of the exception.
+func init() {
+	orbvet.Register(&orbvet.Analyzer{
+		Name:     "lockorder",
+		Doc:      "mutex-acquisition graph must be acyclic; no re-locking on one path; no dial/sleep/recv I/O while a lock is held",
+		Severity: check.SevError,
+		RunUnit:  lockorderRun,
+	})
+}
+
+const (
+	opNone = iota
+	opLock
+	opUnlock
+)
+
+// lockFn is one function's locking summary.
+type lockFn struct {
+	name     string
+	decl     *ast.FuncDecl
+	pkg      *orbvet.Package
+	acquires map[string]bool // transitive type-level keys this fn may lock
+	callees  map[string]bool // static callees, by full name
+}
+
+func lockorderRun(u *orbvet.UnitPass) {
+	fns := map[string]*lockFn{}
+	for _, pkg := range u.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				lf := &lockFn{
+					name:     obj.FullName(),
+					decl:     fd,
+					pkg:      pkg,
+					acquires: map[string]bool{},
+					callees:  map[string]bool{},
+				}
+				eachCall(fd.Body, func(c *ast.CallExpr) {
+					_, typeKey, op := mutexOp(pkg.Info, c)
+					switch op {
+					case opLock:
+						if typeKey != "" {
+							lf.acquires[typeKey] = true
+						}
+					case opNone:
+						if cn := orbvet.CalleeName(pkg.Info, c); cn != "" {
+							lf.callees[cn] = true
+						}
+					}
+				})
+				fns[lf.name] = lf
+			}
+		}
+	}
+
+	// Transitive closure of acquire sets over the unit's static call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, lf := range fns {
+			for cn := range lf.callees {
+				callee, ok := fns[cn]
+				if !ok {
+					continue
+				}
+				for k := range callee.acquires {
+					if !lf.acquires[k] {
+						lf.acquires[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	g := &lockGraph{edges: map[string]map[string]lockEdge{}}
+	names := make([]string, 0, len(fns))
+	for n := range fns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		lf := fns[n]
+		walkSeq(lf.decl.Body.List, &lockVisitor{
+			u:    u,
+			pkg:  lf.pkg,
+			fn:   lf,
+			fns:  fns,
+			g:    g,
+			held: map[string]heldLock{},
+		})
+	}
+	g.reportCycles(u)
+}
+
+// heldLock is one acquisition on the current path.
+type heldLock struct {
+	typeKey   string
+	pos       token.Pos
+	exclusive bool
+}
+
+type lockEdge struct {
+	pos token.Pos
+	fn  string
+}
+
+type lockGraph struct {
+	edges map[string]map[string]lockEdge
+}
+
+func (g *lockGraph) add(from, to string, pos token.Pos, fn string) {
+	if from == "" || to == "" || from == to {
+		return
+	}
+	m := g.edges[from]
+	if m == nil {
+		m = map[string]lockEdge{}
+		g.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = lockEdge{pos: pos, fn: fn}
+	}
+}
+
+type lockVisitor struct {
+	u    *orbvet.UnitPass
+	pkg  *orbvet.Package
+	fn   *lockFn
+	fns  map[string]*lockFn
+	g    *lockGraph
+	held map[string]heldLock // instance key -> acquisition
+}
+
+func (v *lockVisitor) Fork() flowVisitor {
+	c := &lockVisitor{u: v.u, pkg: v.pkg, fn: v.fn, fns: v.fns, g: v.g, held: map[string]heldLock{}}
+	for k, h := range v.held {
+		c.held[k] = h
+	}
+	return c
+}
+
+func (v *lockVisitor) Stmt(s ast.Stmt) {
+	if _, ok := s.(*ast.DeferStmt); ok {
+		// A deferred Unlock runs at return; for the walk the lock stays
+		// held, which is exactly what makes `Lock; defer Unlock; dial()`
+		// detectable. Deferred Locks do not exist in sane code.
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures run later, on their own goroutine/path
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		v.call(c)
+		return true
+	})
+}
+
+func (v *lockVisitor) call(c *ast.CallExpr) {
+	instKey, typeKey, op := mutexOp(v.pkg.Info, c)
+	switch op {
+	case opLock:
+		excl := !strings.HasSuffix(orbvet.CalleeName(v.pkg.Info, c), "RLock")
+		if prev, ok := v.held[instKey]; ok && (excl || prev.exclusive) {
+			v.u.Reportf(c.Pos(), "%s re-locks %s while already holding it on this path — sync mutexes are not reentrant, this self-deadlocks", v.shortFn(), instKey)
+		}
+		for _, h := range v.held {
+			v.g.add(h.typeKey, typeKey, c.Pos(), v.shortFn())
+		}
+		v.held[instKey] = heldLock{typeKey: typeKey, pos: c.Pos(), exclusive: excl}
+	case opUnlock:
+		delete(v.held, instKey)
+	default:
+		if len(v.held) == 0 {
+			return
+		}
+		if desc := ioCallDesc(v.pkg.Info, c); desc != "" {
+			v.u.Reportf(c.Pos(), "%s while %s holds %s — the lock is pinned for the full I/O latency, stalling every other acquirer", desc, v.shortFn(), v.heldNames())
+		}
+		cn := orbvet.CalleeName(v.pkg.Info, c)
+		callee, ok := v.fns[cn]
+		if !ok {
+			return
+		}
+		for a := range callee.acquires {
+			for _, h := range v.held {
+				v.g.add(h.typeKey, a, c.Pos(), v.shortFn())
+			}
+		}
+	}
+}
+
+func (v *lockVisitor) shortFn() string {
+	return strings.TrimPrefix(v.fn.name, "repro/internal/")
+}
+
+func (v *lockVisitor) heldNames() string {
+	keys := make([]string, 0, len(v.held))
+	for k := range v.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// mutexOp classifies c as a Lock/Unlock on a sync.Mutex/RWMutex and derives
+// its instance key (the receiver expression, for path-local reentrancy) and
+// type-level key ("pkg.Type.field", for the cross-function graph). Local
+// mutex variables get an empty type key: their instances cannot be
+// correlated across functions, so they contribute no graph edges.
+func mutexOp(info *types.Info, c *ast.CallExpr) (instKey, typeKey string, op int) {
+	var kind int
+	switch orbvet.CalleeName(info, c) {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		kind = opLock
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		kind = opUnlock
+	default:
+		return "", "", opNone
+	}
+	sel, ok := orbvet.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", opNone
+	}
+	mutexExpr := orbvet.Unparen(sel.X)
+	instKey = exprKey(mutexExpr)
+	switch e := mutexExpr.(type) {
+	case *ast.SelectorExpr:
+		if base := orbvet.NamedType(info.TypeOf(e.X)); base != "" {
+			typeKey = shortType(base) + "." + e.Sel.Name
+		}
+	case *ast.Ident:
+		t := orbvet.NamedType(info.TypeOf(e))
+		if t != "sync.Mutex" && t != "sync.RWMutex" && t != "" {
+			// Embedded mutex: t.Lock() on a struct that embeds sync.Mutex.
+			typeKey = shortType(t) + ".Mutex"
+			break
+		}
+		if obj := info.Uses[e]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			// Package-level mutex variable.
+			typeKey = shortType(obj.Pkg().Path()) + "." + e.Name
+		}
+	}
+	return instKey, typeKey, kind
+}
+
+// exprKey renders an ident/selector chain ("p.mu", "o.conn.mu") for use as
+// a path-local instance key.
+func exprKey(e ast.Expr) string {
+	switch e := orbvet.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	}
+	return "?"
+}
+
+// shortType trims the module prefix so diagnostics read "orb.ORB.mu"
+// instead of "repro/internal/orb.ORB.mu".
+func shortType(t string) string {
+	return strings.TrimPrefix(t, "repro/internal/")
+}
+
+// ioCallDesc reports a human description when c is I/O that must not run
+// under a lock: dialing, listening, sleeping, or a transport Recv (which
+// blocks until a peer writes). Send is deliberately NOT in this set — the
+// serialized-writer pattern (sendMu held across Send) is the multiplexer's
+// design, not a defect.
+func ioCallDesc(info *types.Info, c *ast.CallExpr) string {
+	name := orbvet.CalleeName(info, c)
+	switch {
+	case name == "time.Sleep":
+		return "time.Sleep"
+	case strings.HasPrefix(name, "net.Dial"), strings.HasPrefix(name, "net.Listen"),
+		strings.HasPrefix(name, "(*net.Dialer).Dial"):
+		return name
+	case strings.HasSuffix(name, ").Recv") && strings.Contains(name, "repro/internal/transport"):
+		return "blocking " + strings.TrimPrefix(name, "(*repro/internal/") + " receive"
+	}
+	if name != "" {
+		return ""
+	}
+	// Func-valued struct fields: p.Dial(addr) where Dial is `func(...)`.
+	sel, ok := orbvet.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Dial" && sel.Sel.Name != "DialContext") {
+		return ""
+	}
+	if t := info.TypeOf(c.Fun); t != nil {
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			return "dial via " + exprKey(sel)
+		}
+	}
+	return ""
+}
+
+// reportCycles DFSes the ordering graph and reports each distinct cycle
+// once, at the position of the edge that closes it.
+func (g *lockGraph) reportCycles(u *orbvet.UnitPass) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []string
+	seen := map[string]bool{}
+
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = grey
+		stack = append(stack, n)
+		tos := make([]string, 0, len(g.edges[n]))
+		for to := range g.edges[n] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			switch color[to] {
+			case white:
+				visit(to)
+			case grey:
+				// Back edge n->to closes a cycle to ... n.
+				i := 0
+				for j, s := range stack {
+					if s == to {
+						i = j
+						break
+					}
+				}
+				cycle := append(append([]string{}, stack[i:]...), to)
+				key := canonicalCycle(cycle)
+				if !seen[key] {
+					seen[key] = true
+					e := g.edges[n][to]
+					u.Reportf(e.pos, "lock-order cycle: %s (edge %s -> %s added in %s) — opposite acquisition orders can deadlock", strings.Join(cycle, " -> "), n, to, e.fn)
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	nodes := make([]string, 0, len(g.edges))
+	for n := range g.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+}
+
+// canonicalCycle produces a rotation-independent identity for a cycle
+// [a b c a]: drop the closing repeat, rotate the smallest element first.
+func canonicalCycle(cycle []string) string {
+	c := cycle[:len(cycle)-1]
+	min := 0
+	for i := range c {
+		if c[i] < c[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, c[min:]...), c[:min]...)
+	return fmt.Sprint(rot)
+}

@@ -1,0 +1,164 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/orbvet"
+	"repro/internal/check"
+)
+
+// poolescape mechanizes DESIGN §10's sync.Pool ownership rule: Put is a
+// transfer of ownership, so a pooled object must not be touched — read,
+// returned, stored, or captured — after it went back to the pool. The rule
+// also audits the transport package's pooled timers: AcquireTimer without a
+// matching ReleaseTimer in the same function leaks a running timer (and its
+// goroutine) per call.
+//
+// Tracking is the same straight-line discipline as leaselife: a plain
+// `pool.Put(x)` or `transport.ReleaseTimer(t)` statement marks the variable
+// dead; any later use on the same path is flagged; reassignment revives the
+// name; branch-local facts are discarded at the join. Only identifier
+// arguments are tracked — `pool.Put(p.ch)` and friends are skipped rather
+// than guessed at.
+func init() {
+	orbvet.Register(&orbvet.Analyzer{
+		Name:     "poolescape",
+		Doc:      "sync.Pool-backed objects used after Put, and unpaired transport.AcquireTimer/ReleaseTimer",
+		Severity: check.SevError,
+		Run:      poolescapeRun,
+	})
+}
+
+const (
+	poolPutFn      = "(*sync.Pool).Put"
+	acquireTimerFn = "repro/internal/transport.AcquireTimer"
+	releaseTimerFn = "repro/internal/transport.ReleaseTimer"
+)
+
+func poolescapeRun(p *orbvet.Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkTimerPairing(p, fn)
+			v := &poolVisitor{pass: p, info: p.Pkg.Info, dead: map[types.Object]string{}}
+			walkSeq(fn.Body.List, v)
+		}
+	}
+}
+
+// checkTimerPairing flags AcquireTimer calls in functions that never call
+// ReleaseTimer. The pairing is function-scoped by convention (every caller
+// in the runtime uses `defer transport.ReleaseTimer(t)` on the next line);
+// a timer handed to another owner should carry an orbvet:ignore with the
+// reason.
+func checkTimerPairing(p *orbvet.Pass, fn *ast.FuncDecl) {
+	var acquires []*ast.CallExpr
+	releases := 0
+	eachCall(fn.Body, func(c *ast.CallExpr) {
+		switch orbvet.CalleeName(p.Pkg.Info, c) {
+		case acquireTimerFn:
+			acquires = append(acquires, c)
+		case releaseTimerFn:
+			releases++
+		}
+	})
+	if releases > 0 {
+		return
+	}
+	for _, c := range acquires {
+		p.Reportf(c.Pos(), "transport.AcquireTimer without a matching ReleaseTimer in %s — the pooled timer (and its goroutine) leaks on every call", fn.Name.Name)
+	}
+}
+
+type poolVisitor struct {
+	pass *orbvet.Pass
+	info *types.Info
+	// dead maps variables to how they returned to their pool.
+	dead map[types.Object]string
+}
+
+func (v *poolVisitor) Fork() flowVisitor {
+	c := &poolVisitor{pass: v.pass, info: v.info, dead: map[types.Object]string{}}
+	for k, s := range v.dead {
+		c.dead[k] = s
+	}
+	return c
+}
+
+func (v *poolVisitor) Stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		return
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			v.scanUses(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			switch l := orbvet.Unparen(lhs).(type) {
+			case *ast.Ident:
+				delete(v.dead, v.objectOf(l))
+			default:
+				v.scanUses(l)
+			}
+		}
+	case *ast.ExprStmt:
+		c := stmtCall(s)
+		if c == nil {
+			v.scanUses(s.X)
+			return
+		}
+		v.scanUses(c)
+		var how string
+		switch orbvet.CalleeName(v.info, c) {
+		case poolPutFn:
+			how = "Pool.Put returned it to the pool"
+		case releaseTimerFn:
+			how = "transport.ReleaseTimer returned it to the pool"
+		default:
+			return
+		}
+		if len(c.Args) == 1 {
+			if id, ok := orbvet.Unparen(c.Args[0]).(*ast.Ident); ok {
+				if obj := v.objectOf(id); obj != nil {
+					v.dead[obj] = how
+				}
+			}
+		}
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				v.scanUses(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (v *poolVisitor) scanUses(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := v.objectOf(id)
+		if obj == nil {
+			return true
+		}
+		if how, ok := v.dead[obj]; ok {
+			v.pass.Reportf(id.Pos(), "use of %s after %s — another goroutine may already own it", id.Name, how)
+		}
+		return true
+	})
+}
+
+func (v *poolVisitor) objectOf(id *ast.Ident) types.Object {
+	if obj := v.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return v.info.Defs[id]
+}

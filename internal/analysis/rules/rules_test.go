@@ -1,0 +1,117 @@
+package rules
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis/orbvet"
+)
+
+// update rewrites the golden files from current analyzer output:
+//
+//	go test ./internal/analysis/rules -run TestAnalyzerFixtures -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestAnalyzerFixtures runs each analyzer against its fixture package under
+// testdata/src/<name> and compares the rendered diagnostics with
+// testdata/golden/<name>.golden. The "suppress" fixture runs the full suite
+// and expects zero findings — it proves //orbvet:ignore works.
+func TestAnalyzerFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+			dirs = append(dirs, filepath.Join("testdata", "src", e.Name()))
+		}
+	}
+	sort.Strings(names)
+
+	// One Load for every fixture: the source importer caches shared
+	// dependencies (wire, transport, the stdlib) across packages.
+	pkgs, err := orbvet.Load(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*orbvet.Package{}
+	for _, p := range pkgs {
+		byName[filepath.Base(p.Dir)] = p
+	}
+	analyzers := map[string]*orbvet.Analyzer{}
+	for _, a := range orbvet.Analyzers() {
+		analyzers[a.Name] = a
+	}
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			pkg := byName[name]
+			if pkg == nil {
+				t.Fatalf("fixture package %s did not load", name)
+			}
+			selected := orbvet.Analyzers()
+			if name != "suppress" {
+				a := analyzers[name]
+				if a == nil {
+					t.Fatalf("no analyzer registered for fixture %s", name)
+				}
+				selected = []*orbvet.Analyzer{a}
+			}
+			diags := orbvet.VetWith([]*orbvet.Package{pkg}, selected)
+			for _, d := range diags {
+				if d.Check == "typecheck" {
+					t.Fatalf("fixture %s does not type-check: %s", name, d)
+				}
+			}
+			if name != "suppress" && len(diags) == 0 {
+				t.Fatalf("fixture %s produced no findings — it must demonstrate at least one caught violation", name)
+			}
+			var buf bytes.Buffer
+			for _, d := range diags {
+				fmt.Fprintln(&buf, d)
+			}
+			golden := filepath.Join("testdata", "golden", name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("diagnostics differ from %s\n--- want ---\n%s--- got ---\n%s", golden, want, buf.Bytes())
+			}
+		})
+	}
+}
+
+// TestRegisteredAnalyzers pins the suite's composition: every invariant the
+// issue names must have a registered analyzer, and each must carry docs.
+func TestRegisteredAnalyzers(t *testing.T) {
+	want := []string{"classifyerr", "ctxdeadline", "leaselife", "lockorder", "poolescape", "staticfree"}
+	got := orbvet.Analyzers()
+	var names []string
+	for _, a := range got {
+		names = append(names, a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc string", a.Name)
+		}
+	}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("registered analyzers = %v, want %v", names, want)
+	}
+}

@@ -1,0 +1,63 @@
+package rules
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/orbvet"
+	"repro/internal/check"
+)
+
+// staticfree mechanizes DESIGN §9's caller-owned-frame rule. FreeMessage
+// has two arms: pooled messages (from wire.NewMessage) go back to msgPool;
+// Static messages are caller-owned and must only have their lease released.
+// The arm is selected by the Static field — so a Message built by hand with
+// a composite literal and left with Static == false is a time bomb: if it
+// ever reaches FreeMessage it is pushed into msgPool even though the pool
+// never issued it, and a future NewMessage hands the same struct to a
+// second owner while the first may still hold it.
+//
+// The rule therefore flags every wire.Message composite literal outside
+// package wire that does not set Static: true. Pooled messages must come
+// from wire.NewMessage; hand-built frames must say Static: true. Package
+// wire itself is exempt — msgPool's constructor is the one place a
+// pool-owned bare literal is correct.
+func init() {
+	orbvet.Register(&orbvet.Analyzer{
+		Name:     "staticfree",
+		Doc:      "hand-built wire.Message literals must set Static: true so FreeMessage never pools a caller-owned frame",
+		Severity: check.SevError,
+		Run:      staticfreeRun,
+	})
+}
+
+func staticfreeRun(p *orbvet.Pass) {
+	if p.Pkg.Path == "repro/internal/wire" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if orbvet.NamedType(p.Pkg.Info.TypeOf(lit)) != wireMessageType {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != "Static" {
+					continue
+				}
+				if v, ok := orbvet.Unparen(kv.Value).(*ast.Ident); ok && v.Name == "true" {
+					return true
+				}
+			}
+			p.Reportf(lit.Pos(), "wire.Message composite literal without Static: true — FreeMessage would pool this caller-owned frame and alias a future NewMessage caller (use wire.NewMessage for pooled messages)")
+			return true
+		})
+	}
+}

@@ -1,0 +1,57 @@
+// Fixture for the classifyerr analyzer. The type mirrors internal/orb's
+// unexported failureClass (the rule matches by bare type name).
+package classifyerr
+
+import "errors"
+
+type failureClass int
+
+const (
+	failNone failureClass = iota
+	failSafe
+	failAmbiguous
+	failFatal
+)
+
+var errBoom = errors.New("boom")
+
+func nakedReturn(ok bool) (cls failureClass, err error) {
+	if !ok {
+		err = errBoom
+		return // flagged: cls silently defaults to failNone
+	}
+	return failNone, nil
+}
+
+func zeroLiteral(ok bool) (failureClass, error) {
+	if !ok {
+		return 0, errBoom // flagged: unreadable class
+	}
+	return failNone, nil
+}
+
+func noneWithError(ok bool) (failureClass, error) {
+	if !ok {
+		return failNone, errBoom // flagged: failed attempt classed as success
+	}
+	return failNone, nil
+}
+
+func classified(ok bool) (failureClass, error) {
+	if !ok {
+		return failSafe, errBoom // ok: explicit class
+	}
+	return failNone, nil
+}
+
+func ambiguous() (failureClass, error) {
+	return failAmbiguous, errBoom // ok
+}
+
+func fatal() (failureClass, error) {
+	return failFatal, errBoom // ok
+}
+
+func delegated(ok bool) (failureClass, error) {
+	return classified(ok) // ok: the callee is audited separately
+}

@@ -1,0 +1,37 @@
+// Fixture for the ctxdeadline analyzer. The type mirrors internal/orb's
+// ServerCall (the rule matches by bare type name).
+package ctxdeadline
+
+import "time"
+
+type ServerCall struct {
+	deadline time.Time
+}
+
+func (sc *ServerCall) Deadline() time.Time { return sc.deadline }
+
+// Expired holds the one blessed time.Now() comparison: methods ON
+// ServerCall are exempt — they are where the accessor lives.
+func (sc *ServerCall) Expired() bool {
+	return !sc.deadline.IsZero() && time.Now().After(sc.deadline)
+}
+
+func shedWithNow(sc *ServerCall) bool {
+	return time.Now().After(sc.Deadline()) // flagged: recomputed shed decision
+}
+
+func slackWithNow(sc *ServerCall) time.Duration {
+	return sc.Deadline().Sub(time.Now()) // ok: Sub on the deadline, not on Now()
+}
+
+func nowDotSub(sc *ServerCall) time.Duration {
+	return time.Now().Sub(sc.Deadline()) // flagged: Now()-anchored arithmetic
+}
+
+func shedWithAccessor(sc *ServerCall) bool {
+	return sc.Expired() // ok: the ServerCall decides
+}
+
+func unrelatedNow() time.Time {
+	return time.Now() // ok: no ServerCall in scope
+}

@@ -1,0 +1,76 @@
+// Fixture for the leaselife analyzer: every "flagged" comment marks a line
+// the golden file expects a diagnostic on; the rest must stay clean.
+package leaselife
+
+import "repro/internal/wire"
+
+func useAfterFree(m *wire.Message) int {
+	wire.FreeMessage(m)
+	return len(m.Body) // flagged: use of m after FreeMessage
+}
+
+func doubleFree(m *wire.Message) {
+	wire.FreeMessage(m)
+	wire.FreeMessage(m) // flagged: double free pools the struct twice
+}
+
+func readAfterRelease(m *wire.Message) byte {
+	m.ReleaseBody()
+	return m.Body[0] // flagged: Body view died with the lease
+}
+
+func viewAfterFree(m *wire.Message) byte {
+	v := m.Body
+	wire.FreeMessage(m)
+	return v[0] // flagged: derived view outlived the carrier
+}
+
+func derivedViewAfterFree(m *wire.Message) byte {
+	v := m.Body
+	w := v[4:]
+	wire.FreeMessage(m)
+	return w[0] // flagged: second-order view outlived the carrier
+}
+
+func escapeReturn(m *wire.Message) []byte {
+	return m.Body // flagged: view escapes without RetainBody
+}
+
+func escapeStore(m *wire.Message, out *struct{ B []byte }) {
+	out.B = m.Body // flagged: view stored through a field
+}
+
+func escapeGo(m *wire.Message, sink chan<- byte) {
+	v := m.Body
+	go func() { sink <- v[0] }() // flagged: view captured by a goroutine
+}
+
+func escapeRetained(m *wire.Message) []byte {
+	m.RetainBody()
+	return m.Body // ok: retained before escaping
+}
+
+func reassignRevives(m *wire.Message) int {
+	wire.FreeMessage(m)
+	m = wire.NewMessage()
+	return len(m.Body) // ok: reassignment clears the freed state
+}
+
+func branchFactsDiscarded(m *wire.Message, cond bool) int {
+	if cond {
+		wire.FreeMessage(m)
+		return 0
+	}
+	return len(m.Body) // ok: the free happened on the other path
+}
+
+func deferredFreeIsFine(m *wire.Message) int {
+	defer wire.FreeMessage(m)
+	return len(m.Body) // ok: deferred free runs after every use
+}
+
+func viewIntoCallIsFine(m *wire.Message) int {
+	return consume(m.Body) // ok: flow into a callee is the callee's scope
+}
+
+func consume(b []byte) int { return len(b) }

@@ -1,0 +1,73 @@
+// Fixture for the lockorder analyzer: an ABBA pair, a re-lock, I/O under
+// a lock, and a transitive acquisition through a summarized callee.
+package lockorder
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+type pool struct {
+	mu sync.Mutex
+}
+
+func abOrder(r *registry, p *pool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p.mu.Lock() // edge registry.mu -> pool.mu
+	p.mu.Unlock()
+}
+
+func baOrder(r *registry, p *pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r.mu.Lock() // flagged (cycle): opposite order of abOrder
+	r.mu.Unlock()
+}
+
+func relock(r *registry) {
+	r.mu.Lock()
+	r.mu.Lock() // flagged: sync.Mutex is not reentrant
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func dialUnderLock(r *registry, addr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, err := net.Dial("tcp", addr) // flagged: dial pins the lock
+	if err != nil {
+		return err
+	}
+	r.conns[addr] = c
+	return nil
+}
+
+func sleepUnderLock(p *pool) {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // flagged: sleep pins the lock
+	p.mu.Unlock()
+}
+
+func sleepOutsideLock(p *pool) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	time.Sleep(time.Millisecond) // ok: nothing held
+}
+
+func transitively(r *registry, p *pool) {
+	r.mu.Lock()
+	lockPool(p) // contributes the registry.mu -> pool.mu edge via summary
+	r.mu.Unlock()
+}
+
+func lockPool(p *pool) {
+	p.mu.Lock()
+	p.mu.Unlock()
+}

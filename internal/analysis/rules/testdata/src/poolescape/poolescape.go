@@ -1,0 +1,52 @@
+// Fixture for the poolescape analyzer.
+package poolescape
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 64) }}
+
+func useAfterPut() int {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	return len(b) // flagged: b belongs to the pool again
+}
+
+func returnAfterPut() []byte {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	return b // flagged: escaping a pooled object after Put
+}
+
+func reassignRevives() []byte {
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b)
+	b = make([]byte, 8)
+	return b // ok: fresh allocation, not the pooled one
+}
+
+func leakTimer(d time.Duration) bool {
+	t := transport.AcquireTimer(d) // flagged: no ReleaseTimer in this function
+	select {
+	case <-t.C:
+		return true
+	default:
+		return false
+	}
+}
+
+func pairedTimer(d time.Duration) {
+	t := transport.AcquireTimer(d) // ok: released below
+	defer transport.ReleaseTimer(t)
+	<-t.C
+}
+
+func useAfterReleaseTimer(d time.Duration) {
+	t := transport.AcquireTimer(d)
+	transport.ReleaseTimer(t)
+	<-t.C // flagged: the timer is back in the pool
+}

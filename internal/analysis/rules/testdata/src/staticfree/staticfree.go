@@ -1,0 +1,20 @@
+// Fixture for the staticfree analyzer.
+package staticfree
+
+import "repro/internal/wire"
+
+func handBuilt() *wire.Message {
+	return &wire.Message{Type: wire.MsgRequest} // flagged: pool would adopt it
+}
+
+func handBuiltValue() wire.Message {
+	return wire.Message{Method: "echo"} // flagged: same, by value
+}
+
+func properlyStatic() *wire.Message {
+	return &wire.Message{Type: wire.MsgRequest, Static: true} // ok
+}
+
+func pooled() *wire.Message {
+	return wire.NewMessage() // ok: pool-issued
+}

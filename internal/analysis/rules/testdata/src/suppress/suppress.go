@@ -1,0 +1,19 @@
+// Fixture for the //orbvet:ignore suppression mechanism: every violation
+// in this file carries a directive, so the golden file is empty.
+package suppress
+
+import "repro/internal/wire"
+
+func namedSuppression() *wire.Message {
+	//orbvet:ignore staticfree -- fixture: deliberately caller-owned, never freed
+	return &wire.Message{Type: wire.MsgRequest}
+}
+
+func sameLineSuppression(m *wire.Message) int {
+	wire.FreeMessage(m)
+	return len(m.Body) //orbvet:ignore leaselife -- fixture: exercising same-line placement
+}
+
+func blanketSuppression(m *wire.Message) []byte {
+	return m.Body //orbvet:ignore -- fixture: empty check list silences everything
+}

@@ -514,7 +514,9 @@ func (o *ORB) Shutdown() error {
 	// pipe) would block a direct send indefinitely; stragglers unblock
 	// with an error when the connections are closed after the drain.
 	var goAwayWG sync.WaitGroup
-	ga := &wire.Message{Type: wire.MsgGoAway}
+	// Static: the broadcast frame is shared by every announcement goroutine
+	// and owned here; it must never end up in the message pool.
+	ga := &wire.Message{Type: wire.MsgGoAway, Static: true}
 	for _, c := range conns {
 		goAwayWG.Add(1)
 		go func(c transport.Conn) {

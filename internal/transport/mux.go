@@ -453,7 +453,8 @@ func (p *MuxPool) Get(addr string) (*MuxConn, error) {
 	// First use, or the slot's connection died: dial a replacement under
 	// the pool lock so concurrent callers of a dead slot produce one
 	// redial, not a stampede.
-	c, err := p.Dial(addr)
+	c, err := p.Dial(addr) //orbvet:ignore lockorder -- single-flight redial: holding p.mu is what collapses a thundering herd into one dial
+
 	if err != nil {
 		p.Breaker.Failure(addr)
 		return nil, err

@@ -114,7 +114,8 @@ func (n *Negotiator) handshake(c Conn) (Negotiated, bool) {
 	}
 	c.SetDeadline(time.Now().Add(to))
 	defer c.SetDeadline(time.Time{})
-	if err := c.Send(&wire.Message{Type: wire.MsgHello, Body: offer.Encode()}); err != nil {
+	// Static: stack-owned hello frame; keep it out of the message pool.
+	if err := c.Send(&wire.Message{Type: wire.MsgHello, Body: offer.Encode(), Static: true}); err != nil {
 		return Negotiated{}, false
 	}
 	m, err := c.Recv()

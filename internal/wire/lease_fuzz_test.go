@@ -1,0 +1,119 @@
+package wire
+
+import "testing"
+
+// FuzzFreeMessage drives random interleavings of the lease lifecycle —
+// RetainBody+share, ReleaseBody, FreeMessage, and the one client bug the
+// refcount exists to catch: copying a Message struct without retaining, so
+// two holders share a single reference. The properties checked:
+//
+//  1. While the model says holders remain (refs > 0), the pool must never
+//     hand the lease out again and no live Body view may observe recycled
+//     bytes — the "aliased live buffer" failure DESIGN §9 calls the worst
+//     possible mode.
+//  2. Any interleaving whose releases exceed retains must hit the
+//     over-release panic, loudly, on exactly the release that goes
+//     negative.
+//
+// Each operation byte: top two bits select the op, low six pick the holder.
+func FuzzFreeMessage(f *testing.F) {
+	f.Add([]byte{0x00, 0x40, 0x40})             // retain/share then two releases
+	f.Add([]byte{0x80, 0x40, 0x40})             // raw copy: second release must panic
+	f.Add([]byte{0x00, 0x80, 0xC0, 0xC0, 0xC0}) // share, copy, frees
+	f.Add([]byte{0xC0})                         // free the only holder
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const sig = byte(0xA7)
+		lease := newLease(64)
+		for i := range lease.buf {
+			lease.buf[i] = sig
+		}
+		// Static holders: FreeMessage releases the lease but leaves the
+		// structs with us, so the harness can keep inspecting them.
+		first := &Message{Body: lease.buf, lease: lease, Static: true}
+		holders := []*Message{first}
+		refs := 1 // mirror of the lease's true refcount
+
+		// checkAlive asserts property 1: cycle fresh leases through the
+		// pool (scribbling on them) and verify no surviving view changed.
+		checkAlive := func() {
+			probes := make([]*bodyLease, 4)
+			for i := range probes {
+				p := newLease(64)
+				if p == lease {
+					t.Fatalf("pool handed out a lease that still has %d live holders", refs)
+				}
+				for j := range p.buf {
+					p.buf[j] = 0x55
+				}
+				probes[i] = p
+			}
+			for _, p := range probes {
+				p.release()
+			}
+			for _, h := range holders {
+				if h.lease == nil {
+					continue
+				}
+				for _, b := range h.Body {
+					if b != sig {
+						t.Fatalf("live body view observed recycled bytes (refs=%d)", refs)
+					}
+				}
+			}
+		}
+
+		// mustPanic asserts property 2 and ends the case: after an
+		// over-release the refcount is poisoned by design.
+		mustPanic := func(fn func()) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("release beyond the retain count did not panic")
+				}
+			}()
+			fn()
+		}
+
+		for _, op := range ops {
+			h := holders[int(op&0x3F)%len(holders)]
+			switch op >> 6 {
+			case 0: // retain, then share the view with a new holder
+				if h.lease == nil {
+					continue
+				}
+				h.RetainBody()
+				refs++
+				holders = append(holders, &Message{Body: h.Body, lease: h.lease, Static: true})
+			case 1: // ReleaseBody (idempotent per struct: lease is detached)
+				if h.lease != nil {
+					refs--
+					if refs < 0 {
+						mustPanic(h.ReleaseBody)
+						return
+					}
+					h.ReleaseBody()
+				} else {
+					h.ReleaseBody() // must stay a no-op
+				}
+			case 2: // the bug: struct copy without RetainBody
+				if h.lease == nil {
+					continue
+				}
+				dup := *h
+				holders = append(holders, &dup)
+			case 3: // FreeMessage (Static: struct stays ours, lease released)
+				if h.lease != nil {
+					refs--
+					if refs < 0 {
+						mustPanic(func() { FreeMessage(h) })
+						return
+					}
+				}
+				FreeMessage(h)
+			}
+			if refs == 0 {
+				return // lease legitimately recycled; nothing left to check
+			}
+			checkAlive()
+		}
+	})
+}
