@@ -30,20 +30,25 @@ analyze:
 
 # Race-detect the runtime packages the fault-tolerance layer touches,
 # including the replica kill+drain torture test (TestReplicaTortureKillDrain),
-# the balance policies, wire's refcounted body leases, and naming.
+# the balance policies, wire's refcounted body leases, naming, and the event
+# fan-out broker (slow-subscriber torture included).
 race:
-	$(GO) test -race ./internal/orb/... ./internal/transport/... ./internal/balance/... ./internal/wire/... ./internal/naming/...
+	$(GO) test -race ./internal/orb/... ./internal/transport/... ./internal/balance/... ./internal/wire/... ./internal/naming/... ./internal/events/...
 
-# Brief fuzz pass over the reference parsers (single and replica-set) + wire
-# framings, plus the lease lifecycle (FuzzFreeMessage: random
-# Retain/Free/ReleaseBody interleavings must never alias a live buffer).
+# Brief fuzz pass over the reference parsers (single, replica-set and
+# channel) + wire framings, plus the lease lifecycle (FuzzFreeMessage:
+# random Retain/Free/ReleaseBody interleavings must never alias a live
+# buffer).
 fuzz:
 	$(GO) test -fuzz 'FuzzParseRef$$' -fuzztime 30s ./internal/orb/
 	$(GO) test -fuzz 'FuzzParseRefSet$$' -fuzztime 30s ./internal/orb/
+	$(GO) test -fuzz 'FuzzParseChannelRef$$' -fuzztime 30s ./internal/orb/
 	$(GO) test -fuzz 'FuzzFreeMessage$$' -fuzztime 30s ./internal/wire/
 
 # The paper-claim and extension benchmarks (C-series, Fig4, multiplexing,
-# robustness, collocation), captured as diffable JSON. Commit
+# robustness, collocation, event fan-out), captured as diffable JSON.
+# EventFanoutSlowSub is deliberately left out: the p99 of a wedged-consumer
+# topology is noisy by construction (run it by hand via bench-all). Commit
 # BENCH_results.json when the numbers move for a reason. Three passes with
 # the fastest sample kept (benchjson -min) — the same estimator bench-diff
 # uses, so the committed baseline and the regression gate never disagree
@@ -52,7 +57,7 @@ fuzz:
 # from capturing all of them.
 bench:
 	( for i in 1 2 3; do \
-		$(GO) test -run xxx -bench 'C[0-9]|Fig4|Multiplex|Robustness|Overload|Replica|Collocat' -benchmem . || exit 1; \
+		$(GO) test -run xxx -bench 'C[0-9]|Fig4|Multiplex|Robustness|Overload|Replica|Collocat|EventFanout$$' -benchmem . || exit 1; \
 	done ) | tee /dev/stderr | $(GO) run ./internal/tools/benchjson -min > BENCH_results.json
 
 # Every benchmark in every package, human-readable.
@@ -77,10 +82,10 @@ bench-all:
 # baseline is recorded with the same estimator.
 bench-diff:
 	( for i in 1 2 3; do \
-		$(GO) test -run xxx -bench 'C2_|C5_|C6_|Collocated$$' -benchtime 0.5s -benchmem . || exit 1; \
+		$(GO) test -run xxx -bench 'C2_|C5_|C6_|Collocated$$|EventFanout$$' -benchtime 0.5s -benchmem . || exit 1; \
 	done ) | $(GO) run ./internal/tools/benchjson -min > /tmp/bench_new.json
 	$(GO) run ./internal/tools/benchjson -diff BENCH_results.json /tmp/bench_new.json \
-		-threshold 50 -only 'C2_|C5_|C6_|Collocated$$' -calibrate 'BenchmarkC2_Protocol/cdr/empty'
+		-threshold 50 -only 'C2_|C5_|C6_|Collocated$$|EventFanout/' -calibrate 'BenchmarkC2_Protocol/cdr/empty'
 
 fmt:
 	gofmt -l -w .

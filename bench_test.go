@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -1029,4 +1030,301 @@ func BenchmarkCollocatedLoopback(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- R7: event channels — encode-once, fan-out-many publish -------------------
+
+// benchTickConsumer is a channel subscriber servant: it counts deliveries
+// and, when the event carries a publish timestamp, records the delivery
+// latency. A non-zero delay wedges the consumer to model a slow subscriber.
+type benchTickConsumer struct {
+	got   atomic.Uint64
+	delay time.Duration
+
+	mu  sync.Mutex
+	lat []int64 // delivery latencies, ns
+}
+
+const benchTickTypeID = "IDL:bench/TickConsumer:1.0"
+
+func benchTickTable(impl *benchTickConsumer) *orb.MethodTable {
+	t := orb.NewMethodTable(benchTickTypeID)
+	t.Register("tick", func(c *orb.ServerCall) error {
+		sent, err := c.GetULongLong()
+		if err != nil {
+			return err
+		}
+		if impl.delay > 0 {
+			time.Sleep(impl.delay)
+		}
+		if sent > 0 {
+			ns := time.Now().UnixNano() - int64(sent)
+			impl.mu.Lock()
+			impl.lat = append(impl.lat, ns)
+			impl.mu.Unlock()
+		}
+		impl.got.Add(1)
+		return nil
+	})
+	return t
+}
+
+// settleChannel waits until all want publishes have reached the broker and
+// every enqueued event has a recorded fate (delivered, dropped, coalesced,
+// undelivered or discarded). Waiting on Published first matters over real
+// transports: oneway publishes are still in flight in the client's
+// coalescing writer when the timed loop ends, so the accounting identity
+// holds vacuously (0 == 0) until they arrive.
+func settleChannel(b *testing.B, ch *orb.Channel, want uint64) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := ch.Stats()
+		if st.Published >= want &&
+			st.Delivered+st.Dropped+st.Coalesced+st.Undelivered+st.Discarded == st.Enqueued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Fatalf("channel did not settle: %+v", ch.Stats())
+}
+
+// BenchmarkEventFanout measures the publisher-side cost of one event as the
+// subscriber population grows: the event body is encoded exactly once and
+// every per-subscriber frame retain-shares it, so per-op time and
+// allocations should track the number of *connections* (one gathered write
+// each), not the number of subscribers. Subscribers spread round-robin over
+// conns consumer ORBs; deliv/s reports the aggregate fan-out rate.
+func BenchmarkEventFanout(b *testing.B) {
+	for _, cfg := range []struct{ subs, conns int }{
+		{1, 1}, {16, 1}, {256, 1}, {1024, 1}, {1024, 8},
+	} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("subs=%d/conns=%d", cfg.subs, cfg.conns), func(b *testing.B) {
+			inproc := transport.NewInproc(wire.CDR)
+			broker := orb.New(orb.Options{
+				Protocol: wire.CDR, Transport: inproc, ListenAddr: ":0",
+				MaxConcurrentPerConn: 4,
+			})
+			if err := broker.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer broker.Shutdown()
+			ch, err := broker.CreateChannel("bench", orb.ChannelOptions{QueueDepth: 1024})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ch.Close()
+
+			refs := make([]orb.ObjectRef, cfg.conns)
+			hosts := make([]*orb.ORB, cfg.conns)
+			for i := range hosts {
+				host := orb.New(orb.Options{
+					Protocol: wire.CDR, Transport: inproc, ListenAddr: ":0",
+					MaxConcurrentPerConn: 4,
+				})
+				if err := host.Start(); err != nil {
+					b.Fatal(err)
+				}
+				defer host.Shutdown()
+				impl := &benchTickConsumer{}
+				ref, err := host.Export(impl, benchTickTable(impl))
+				if err != nil {
+					b.Fatal(err)
+				}
+				hosts[i], refs[i] = host, ref
+			}
+			for s := 0; s < cfg.subs; s++ {
+				i := s % cfg.conns
+				if _, err := hosts[i].Subscribe(ch.Ref(), refs[i].String(),
+					orb.SubscribeOptions{QueueDepth: 1024}); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			pub := orb.New(orb.Options{Protocol: wire.CDR, Transport: inproc})
+			defer pub.Shutdown()
+			_, brokerRef, err := orb.ParseChannelRef(ch.Ref())
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			// Pacing: a publish burst that outruns delivery grows the
+			// in-flight message population without bound, which both
+			// defeats the wire message pool (every lease is a fresh
+			// allocation) and eventually overflows subscriber queues
+			// into drops. Real publishers are paced by their event
+			// sources; model that by bounding the backlog to half the
+			// aggregate queue capacity.
+			// Half the aggregate queue capacity: per-subscriber backlog
+			// stays near depth/2, so drop-oldest never fires.
+			maxBacklog := uint64(cfg.subs) * 512
+			pace := func() {
+				for {
+					st := ch.Stats()
+					settled := st.Delivered + st.Dropped + st.Coalesced +
+						st.Undelivered + st.Discarded
+					if st.Enqueued-settled < maxBacklog {
+						return
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				c, err := pub.NewCall(brokerRef, "tick")
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.PutULongLong(0)
+				if err := c.InvokeOneway(); err != nil {
+					b.Fatal(err)
+				}
+				c.Release()
+				if i&255 == 255 {
+					pace()
+				}
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			settleChannel(b, ch, uint64(b.N))
+			st := ch.Stats()
+			b.ReportMetric(float64(st.Delivered)/elapsed.Seconds(), "deliv/s")
+			b.ReportMetric(float64(st.Dropped+st.Coalesced)/float64(b.N), "undeliv/op")
+		})
+	}
+}
+
+// BenchmarkEventFanoutSlowSub measures delivery latency isolation over
+// loopback TCP: 32 subscribers, one wedged (5ms per event) on its own
+// connection. The healthy subscribers' p99 delivery latency must stay flat
+// — the wedged consumer's queue fills and sheds oldest-first without
+// backpressuring the publisher or the healthy endpoint. (Isolation is
+// per-connection: a wedged receiver stalls its own conn's endpoint, so a
+// consumer expected to stall belongs on its own host ORB.) Excluded from
+// the bench-diff gate: the p99 of a deliberately-stalled topology is noisy
+// by construction.
+func BenchmarkEventFanoutSlowSub(b *testing.B) {
+	const subs = 32
+	broker := orb.New(orb.Options{
+		Protocol: wire.CDR, ListenAddr: "127.0.0.1:0",
+		MaxConcurrentPerConn: 8,
+	})
+	if err := broker.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer broker.Shutdown()
+	ch, err := broker.CreateChannel("bench", orb.ChannelOptions{QueueDepth: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ch.Close()
+
+	host := orb.New(orb.Options{
+		Protocol: wire.CDR, ListenAddr: "127.0.0.1:0",
+		MaxConcurrentPerConn: 8,
+	})
+	if err := host.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer host.Shutdown()
+	healthy := &benchTickConsumer{}
+	href, err := host.Export(healthy, benchTickTable(healthy))
+	if err != nil {
+		b.Fatal(err)
+	}
+	slowHost := orb.New(orb.Options{
+		Protocol: wire.CDR, ListenAddr: "127.0.0.1:0",
+		MaxConcurrentPerConn: 8,
+	})
+	if err := slowHost.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer slowHost.Shutdown()
+	slow := &benchTickConsumer{delay: 5 * time.Millisecond}
+	sref, err := slowHost.Export(slow, benchTickTable(slow))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < subs-1; s++ {
+		if _, err := host.Subscribe(ch.Ref(), href.String(), orb.SubscribeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := slowHost.Subscribe(ch.Ref(), sref.String(), orb.SubscribeOptions{}); err != nil {
+		b.Fatal(err)
+	}
+
+	pub := orb.New(orb.Options{Protocol: wire.CDR})
+	defer pub.Shutdown()
+	_, brokerRef, err := orb.ParseChannelRef(ch.Ref())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Pace the publisher on consumer-side progress: never run more than a
+	// queue depth of publishes ahead of the aggregate healthy delivery
+	// count, so the p99 measures delivery latency at a sustainable rate
+	// rather than how fast drop-oldest sheds an unbounded burst. (The
+	// broker-side ledger can't pace: parking a frame in the coalescer and
+	// shedding both settle instantly, so its backlog reads ~0 even with
+	// the wire saturated.) The wedged consumer still falls behind at any
+	// sustainable rate — its queue is what sheds. The deadline keeps a
+	// stalled topology degrading into drops instead of hanging the bench.
+	const healthySubs = subs - 1
+	const lead = 16 // publishes the publisher may run ahead of the consumers
+	pace := func(published int) {
+		if published <= lead {
+			return
+		}
+		target := uint64(healthySubs) * uint64(published-lead)
+		deadline := time.Now().Add(time.Second)
+		for healthy.got.Load() < target && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := pub.NewCall(brokerRef, "tick")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.PutULongLong(uint64(time.Now().UnixNano()))
+		if err := c.InvokeOneway(); err != nil {
+			b.Fatal(err)
+		}
+		c.Release()
+		if i&7 == 7 {
+			pace(i + 1)
+		}
+	}
+	b.StopTimer()
+	settleChannel(b, ch, uint64(b.N))
+	// The broker's ledger settles when frames reach the wire; wait for the
+	// consumers to finish processing so the p99 sample includes the tail.
+	stableFor := time.Now().Add(10 * time.Second)
+	last := uint64(0)
+	for time.Now().Before(stableFor) {
+		cur := healthy.got.Load() + slow.got.Load()
+		if cur == last && cur > 0 {
+			break
+		}
+		last = cur
+		time.Sleep(50 * time.Millisecond)
+	}
+	healthy.mu.Lock()
+	lat := append([]int64(nil), healthy.lat...)
+	healthy.mu.Unlock()
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99 := lat[len(lat)*99/100]
+		b.ReportMetric(float64(p99), "p99-ns")
+	}
+	st := ch.Stats()
+	b.ReportMetric(float64(st.Dropped)/float64(b.N), "dropped/op")
 }

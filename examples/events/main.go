@@ -1,0 +1,189 @@
+// Events: encode-once, fan-out-many publish with per-subscriber shedding.
+//
+// The media IDL declares a typed channel:
+//
+//	channel Playback {
+//	  event void frameReady(in string name, in long seq);
+//	  event void stateChanged(in string name, in StreamState current);
+//	  event void stalled(in string name, in long retryAfterMs);
+//	};
+//
+// and the generated bindings make publishing an ordinary oneway call
+// (media.HdPlaybackPublisher) and consuming an ordinary exported servant
+// (media.NewHdPlaybackConsumerTable). The broker encodes each event once
+// and retain-shares the body across every subscriber's frame; each
+// subscription owns a bounded queue, so a wedged consumer sheds its OWN
+// events — oldest-first, or coalesced by event kind — and never slows the
+// publisher or the healthy subscribers down.
+//
+// This demo subscribes one healthy remote consumer and one deliberately
+// slow collocated consumer (2ms per event, queue depth 8, coalesce-by-key),
+// publishes a burst, and prints the delivery ledger: the healthy consumer
+// sees everything, the slow one sees the freshest window per event kind,
+// and the publisher never blocks either way.
+//
+// Run it with:
+//
+//	go run ./examples/events
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/gen/media"
+	"repro/internal/orb"
+	"repro/internal/wire"
+)
+
+// fastConsumer counts every event it sees.
+type fastConsumer struct {
+	frames atomic.Uint64
+	states atomic.Uint64
+}
+
+func (c *fastConsumer) FrameReady(name string, seq int32) error {
+	c.frames.Add(1)
+	return nil
+}
+
+func (c *fastConsumer) StateChanged(name string, current media.HdStreamState) error {
+	c.states.Add(1)
+	return nil
+}
+
+func (c *fastConsumer) Stalled(name string, retryAfterMs int32) error { return nil }
+
+// slowConsumer models a wedged subscriber: every event costs 2ms. It also
+// records the last frame sequence it saw, to show coalescing keeps the
+// stream fresh rather than replaying a stale backlog.
+type slowConsumer struct {
+	mu      sync.Mutex
+	got     int
+	lastSeq int32
+}
+
+func (c *slowConsumer) FrameReady(name string, seq int32) error {
+	time.Sleep(2 * time.Millisecond)
+	c.mu.Lock()
+	c.got++
+	c.lastSeq = seq
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *slowConsumer) StateChanged(name string, current media.HdStreamState) error {
+	time.Sleep(2 * time.Millisecond)
+	c.mu.Lock()
+	c.got++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *slowConsumer) Stalled(name string, retryAfterMs int32) error { return nil }
+
+func main() {
+	// The broker ORB hosts the channel.
+	broker := orb.New(orb.Options{Protocol: wire.Text, ListenAddr: "127.0.0.1:0"})
+	if err := broker.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer broker.Shutdown()
+	ch, err := broker.CreateChannel("playback", orb.ChannelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ch.Close()
+	fmt.Printf("channel ref: %s\n\n", ch.Ref())
+
+	// A healthy consumer on its own ORB: events ride the wire, batched per
+	// connection by the coalescing writer. Its queue is sized for the burst —
+	// "healthy" means provisioned for the publish rate.
+	consORB := orb.New(orb.Options{Protocol: wire.Text, ListenAddr: "127.0.0.1:0"})
+	if err := consORB.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer consORB.Shutdown()
+	fast := &fastConsumer{}
+	fastRef, err := consORB.Export(fast, media.NewHdPlaybackConsumerTable(fast))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := consORB.Subscribe(ch.Ref(), fastRef.String(), orb.SubscribeOptions{QueueDepth: 1024}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A wedged consumer collocated with the broker: tiny queue, 2ms per
+	// event, coalesce-by-key so a full queue keeps the LATEST frameReady /
+	// stateChanged instead of a stale prefix.
+	slow := &slowConsumer{}
+	slowRef, err := broker.Export(slow, media.NewHdPlaybackConsumerTable(slow))
+	if err != nil {
+		log.Fatal(err)
+	}
+	slowID, err := broker.Subscribe(ch.Ref(), slowRef.String(), orb.SubscribeOptions{
+		QueueDepth: 8,
+		Policy:     events.CoalesceByKey,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The publisher is a pure client: the generated stub publishes events
+	// as oneway calls on the channel's broker reference.
+	pubORB := orb.New(orb.Options{Protocol: wire.Text})
+	defer pubORB.Shutdown()
+	pub, err := media.NewHdPlaybackPublisher(pubORB, ch.Ref())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const burst = 200
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		if err := pub.FrameReady("intro.mpg", int32(i)); err != nil {
+			log.Fatal(err)
+		}
+		if i%50 == 49 {
+			if err := pub.StateChanged("intro.mpg", media.HdStreamStatePlaying); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	published := burst + burst/50
+	fmt.Printf("published %d events in %v (%.1fµs/event — the wedged subscriber never blocked us)\n\n",
+		published, elapsed.Round(time.Microsecond),
+		float64(elapsed.Microseconds())/float64(published))
+
+	// Let deliveries settle: every enqueued event gets a recorded fate.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := ch.Stats()
+		if st.Delivered+st.Dropped+st.Coalesced+st.Undelivered+st.Discarded == st.Enqueued &&
+			fast.frames.Load()+fast.states.Load() == uint64(published) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	st := ch.Stats()
+	fmt.Println("delivery ledger (Enqueued = Delivered + Dropped + Coalesced + Undelivered + Discarded):")
+	fmt.Printf("  enqueued %d = delivered %d + dropped %d + coalesced %d + undelivered %d + discarded %d\n\n",
+		st.Enqueued, st.Delivered, st.Dropped, st.Coalesced, st.Undelivered, st.Discarded)
+
+	fmt.Printf("healthy consumer: saw %d frameReady + %d stateChanged (everything)\n",
+		fast.frames.Load(), fast.states.Load())
+	slow.mu.Lock()
+	fmt.Printf("wedged consumer:  processed %d events, last frame seq %d of %d — the freshest window, not a stale backlog\n",
+		slow.got, slow.lastSeq, burst-1)
+	slow.mu.Unlock()
+	if sst, ok := ch.SubscriberStats(slowID); ok {
+		fmt.Printf("                  its own ledger: enqueued %d, delivered %d, coalesced %d, dropped %d\n",
+			sst.Enqueued, sst.Delivered, sst.Coalesced, sst.Dropped)
+	}
+}

@@ -127,6 +127,17 @@ func (v *leaseVisitor) Stmt(s ast.Stmt) {
 			switch l := orbvet.Unparen(lhs).(type) {
 			case *ast.Ident:
 				v.kill(v.objectOf(l))
+			case *ast.SelectorExpr:
+				if id, ok := v.bodySelector(l); ok {
+					// Assigning to x.Body is a write, not a read: it
+					// reattaches a body after ReleaseBody detached it
+					// (wire.ShareBodyInto does exactly this). The carrier
+					// itself must still be alive.
+					delete(v.bodyDead, v.objectOf(id))
+					v.scanUses(l.X)
+					continue
+				}
+				v.scanUses(l)
 			default:
 				// Store through a field/index/pointer: the target expression
 				// is itself a use, and an unretained view flowing into it

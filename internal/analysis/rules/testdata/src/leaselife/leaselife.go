@@ -56,6 +56,17 @@ func reassignRevives(m *wire.Message) int {
 	return len(m.Body) // ok: reassignment clears the freed state
 }
 
+func reattachBodyRevives(m *wire.Message, fresh []byte) int {
+	m.ReleaseBody()
+	m.Body = fresh     // ok: assigning to Body is a write — it reattaches
+	return len(m.Body) // ok: the reattached body is live again
+}
+
+func reattachCarrierMustLive(m *wire.Message, fresh []byte) {
+	wire.FreeMessage(m)
+	m.Body = fresh // flagged: the struct itself went back to the pool
+}
+
 func branchFactsDiscarded(m *wire.Message, cond bool) int {
 	if cond {
 		wire.FreeMessage(m)

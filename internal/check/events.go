@@ -1,0 +1,56 @@
+package check
+
+import "repro/internal/idl"
+
+// Event-operation legality: a channel event is fire-and-forget by
+// construction — the broker fans the encoded request body out to
+// subscribers and nothing ever flows back to the publisher. The grammar
+// deliberately admits any operation shape inside a channel (the parser's
+// job is to build a complete AST); this analyzer is the gate that makes
+// ill-shaped events an error before any mapping generates bindings. The
+// `oneway` keyword itself is redundant-but-legal on an event.
+
+func init() {
+	Register(&Analyzer{
+		Name:     "event-op-illegal",
+		Doc:      "channel events must be oneway-shaped: void result, in/incopy parameters only, no raises",
+		Kind:     KindSpec,
+		Severity: SevError,
+		Run:      runEventOpIllegal,
+	})
+}
+
+// forEachMainEvent visits every event of every channel declared in the main
+// unit. Events are not interface operations, so forEachMainOp never sees
+// them.
+func forEachMainEvent(spec *idl.Spec, fn func(ch *idl.ChannelDecl, ev *idl.Operation)) {
+	for _, ch := range spec.Channels() {
+		if ch.FromInclude() {
+			continue
+		}
+		for _, ev := range ch.Events {
+			if ev != nil {
+				fn(ch, ev)
+			}
+		}
+	}
+}
+
+func runEventOpIllegal(pass *Pass) {
+	forEachMainEvent(pass.Spec, func(ch *idl.ChannelDecl, ev *idl.Operation) {
+		if ev.Result != nil && ev.Result.Unalias().Kind != idl.KindVoid {
+			pass.Reportf(ev.DeclPos(), "event %q in channel %q must return void, not %s",
+				ev.DeclName(), ch.DeclName(), ev.Result.Name())
+		}
+		for _, p := range ev.Params {
+			if p.Mode == idl.ModeOut || p.Mode == idl.ModeInOut {
+				pass.Reportf(p.Pos, "event %q in channel %q may not have %s parameter %q",
+					ev.DeclName(), ch.DeclName(), p.Mode, p.Name)
+			}
+		}
+		if len(ev.Raises) > 0 || len(ev.RaiseRefs) > 0 {
+			pass.Reportf(ev.DeclPos(), "event %q in channel %q may not have a raises clause",
+				ev.DeclName(), ch.DeclName())
+		}
+	})
+}

@@ -102,6 +102,12 @@ func scopes(spec *idl.Spec) []scope {
 				es = append(es, scopeEntry{name: op.DeclName(), pos: op.DeclPos(), what: "operation"})
 			}
 			out = append(out, scope{what: "interface", name: n.ScopedName(), declScope: true, entries: es})
+		case *idl.ChannelDecl:
+			var es []scopeEntry
+			for _, ev := range n.Events {
+				es = append(es, scopeEntry{name: ev.DeclName(), pos: ev.DeclPos(), what: "event"})
+			}
+			out = append(out, scope{what: "channel", name: n.ScopedName(), declScope: true, entries: es})
 		case *idl.Operation:
 			var es []scopeEntry
 			for _, p := range n.Params {
@@ -160,6 +166,8 @@ func declWhat(d idl.Decl) string {
 		return "constant"
 	case *idl.ExceptDecl:
 		return "exception"
+	case *idl.ChannelDecl:
+		return "channel"
 	}
 	return "declaration"
 }

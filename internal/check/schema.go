@@ -117,7 +117,10 @@ var typeLists = []string{
 // builder: every property SetProp'd per node kind and every list each kind
 // can populate. Kept in sync by the clean-pass test over shipped mappings.
 func DefaultSchema() *Schema {
-	scopeLists := append([]string{"moduleList"}, typeLists...)
+	// Channels are module/root-scope only (the grammar has no channel
+	// export inside interfaces), so channelList joins the scope lists but
+	// not the interface lists.
+	scopeLists := append([]string{"moduleList", "channelList"}, typeLists...)
 	s := &Schema{
 		Props: map[string]map[string]bool{
 			"Root":      set("file", "basename", "basenameTitle", "prefix"),
@@ -143,6 +146,7 @@ func DefaultSchema() *Schema {
 				"IsVariable", "caseLabels", "isDefault"),
 			"Const":     set("constName", "repoID", "constType", "constKind", "constValue"),
 			"Exception": set("exceptionName", "repoID"),
+			"Channel":   set("channelName", "localName", "repoID"),
 		},
 		Lists: map[string]map[string]bool{
 			"Root":   set(scopeLists...),
@@ -157,6 +161,7 @@ func DefaultSchema() *Schema {
 			"Exception": set("memberList"),
 			"Union":     set("caseList"),
 			"Alias":     set("typeList"),
+			"Channel":   set("eventList"),
 		},
 		Elems: map[string][]string{
 			"moduleList":       {"Module"},
@@ -177,6 +182,8 @@ func DefaultSchema() *Schema {
 			"memberList":       {"Member"},
 			"caseList":         {"Case"},
 			"typeList":         {"Sequence", "Array"},
+			"channelList":      {"Channel"},
+			"eventList":        {"Operation"},
 		},
 	}
 	return s

@@ -27,6 +27,8 @@ const (
 	MemberList    = "memberList"
 	CaseList      = "caseList"
 	TypeList      = "typeList"
+	ChannelList   = "channelList"
+	EventList     = "eventList"
 
 	// AllMethodList and AllAttributeList hold *copies* of the
 	// interface's own and inherited operations/attributes, flattened in
@@ -101,7 +103,28 @@ func addDecl(parent *Node, d idl.Decl) {
 		parent.AddChild(ConstList, constNode(n))
 	case *idl.ExceptDecl:
 		parent.AddChild(ExceptionList, exceptNode(n))
+	case *idl.ChannelDecl:
+		parent.AddChild(ChannelList, channelNode(n))
 	}
+}
+
+// channelNode builds the EST node for an event channel: a scope whose
+// eventList children are ordinary Operation nodes (events ARE operations
+// structurally — the event-op-illegal analyzer guarantees the oneway shape
+// before any mapping runs).
+func channelNode(n *idl.ChannelDecl) *Node {
+	cn := New("Channel", n.DeclName())
+	cn.SetProp("channelName", n.ScopedName())
+	cn.SetProp("localName", n.DeclName())
+	cn.SetProp("repoID", n.RepoID())
+	for _, ev := range n.Events {
+		en := operationNode(ev)
+		// Events are fire-and-forget by construction; the publisher stub
+		// always invokes oneway whether or not the source spelled it.
+		en.SetProp("oneway", true)
+		cn.AddChild(EventList, en)
+	}
+	return cn
 }
 
 func interfaceNode(n *idl.InterfaceDecl) *Node {

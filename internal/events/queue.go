@@ -1,0 +1,113 @@
+package events
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// subQueue is one subscriber's bounded delivery queue: a fixed ring of
+// pending event messages between the publisher (enqueue, never blocks) and
+// the subscriber's delivery worker (pop, blocks when empty). Overflow is
+// resolved at admission time by the subscriber's DropPolicy, so a wedged
+// consumer costs the publisher one displaced pointer, not a stall.
+type subQueue struct {
+	mu       sync.Mutex
+	nonEmpty sync.Cond
+	ring     []*wire.Message
+	head     int // index of the oldest entry
+	n        int
+	policy   DropPolicy
+	closed   bool
+}
+
+func newSubQueue(depth int, policy DropPolicy) *subQueue {
+	q := &subQueue{ring: make([]*wire.Message, depth), policy: policy}
+	q.nonEmpty.L = &q.mu
+	return q
+}
+
+// Admission outcomes. The displaced message returned alongside — the event
+// that left the queue to make room — is the caller's to count and free.
+const (
+	enqOK        = iota // admitted, nothing displaced
+	enqCoalesced        // admitted by replacing a same-key entry
+	enqDropped          // admitted by displacing the oldest entry
+	enqClosed           // queue closed, message not admitted
+)
+
+// enqueue admits m without blocking. It never fails on a live queue: a full
+// ring displaces per the policy instead of rejecting or waiting.
+func (q *subQueue) enqueue(m *wire.Message) (displaced *wire.Message, how int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, enqClosed
+	}
+	if q.policy == CoalesceByKey {
+		// The queue is small by construction (bounded depth), so a linear
+		// scan beats maintaining a key index across ring rotation.
+		for i := 0; i < q.n; i++ {
+			idx := (q.head + i) % len(q.ring)
+			if q.ring[idx].Method == m.Method {
+				displaced = q.ring[idx]
+				q.ring[idx] = m
+				return displaced, enqCoalesced
+			}
+		}
+	}
+	how = enqOK
+	if q.n == len(q.ring) {
+		displaced = q.ring[q.head]
+		q.ring[q.head] = nil
+		q.head = (q.head + 1) % len(q.ring)
+		q.n--
+		how = enqDropped
+	}
+	q.ring[(q.head+q.n)%len(q.ring)] = m
+	q.n++
+	if q.n == 1 {
+		q.nonEmpty.Signal()
+	}
+	return displaced, how
+}
+
+// pop removes and returns the oldest queued event, blocking while the queue
+// is empty. It returns nil once the queue is closed (close empties it, so
+// there is never a closed-but-nonempty state to drain).
+func (q *subQueue) pop() *wire.Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if q.n == 0 {
+		return nil
+	}
+	m := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
+	return m
+}
+
+// close shuts the queue: later enqueues report enqClosed, pop returns nil,
+// and the events still pending are returned for the caller to account as
+// discarded and free. Idempotent; the second close returns nothing.
+func (q *subQueue) close() []*wire.Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var rem []*wire.Message
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) % len(q.ring)
+		rem = append(rem, q.ring[idx])
+		q.ring[idx] = nil
+	}
+	q.head, q.n = 0, 0
+	q.nonEmpty.Broadcast()
+	return rem
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen/heidia"
@@ -467,5 +468,106 @@ func TestIDLFixturesMatchDisk(t *testing.T) {
 		if string(got) != want {
 			t.Errorf("%s out of sync with idltest fixture", path)
 		}
+	}
+}
+
+// --- Media::Playback channel --------------------------------------------------
+
+type playbackConsumer struct {
+	mu     sync.Mutex
+	frames []int32
+	states []media.HdStreamState
+}
+
+func (p *playbackConsumer) FrameReady(name string, seq int32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = append(p.frames, seq)
+	return nil
+}
+
+func (p *playbackConsumer) StateChanged(name string, current media.HdStreamState) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.states = append(p.states, current)
+	return nil
+}
+
+func (p *playbackConsumer) Stalled(name string, retryAfterMs int32) error { return nil }
+
+// TestGeneratedPlaybackChannel drives the generated channel bindings end to
+// end: a broker ORB hosts the channel, a consumer ORB exports the generated
+// consumer table and subscribes, and a pure-client publisher fires events
+// through the generated publisher stub.
+func TestGeneratedPlaybackChannel(t *testing.T) {
+	for _, proto := range []wire.Protocol{wire.Text, wire.CDR} {
+		t.Run(proto.Name(), func(t *testing.T) {
+			broker := orb.New(orb.Options{Protocol: proto})
+			if err := broker.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { broker.Shutdown() })
+			ch, err := broker.CreateChannel("playback", orb.ChannelOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			consumer := orb.New(orb.Options{Protocol: proto})
+			if err := consumer.Start(); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { consumer.Shutdown() })
+			impl := &playbackConsumer{}
+			cref, err := consumer.Export(impl, media.NewHdPlaybackConsumerTable(impl))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := consumer.Subscribe(ch.Ref(), cref.String(), orb.SubscribeOptions{}); err != nil {
+				t.Fatal(err)
+			}
+
+			pub := orb.New(orb.Options{Protocol: proto})
+			t.Cleanup(func() { pub.Shutdown() })
+			st, err := media.NewHdPlaybackPublisher(pub, ch.Ref())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const nFrames = 10
+			for i := int32(0); i < nFrames; i++ {
+				if err := st.FrameReady("intro", i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.StateChanged("intro", media.HdStreamStatePlaying); err != nil {
+				t.Fatal(err)
+			}
+
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				impl.mu.Lock()
+				done := len(impl.frames) == nFrames && len(impl.states) == 1
+				impl.mu.Unlock()
+				if done {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			impl.mu.Lock()
+			defer impl.mu.Unlock()
+			if len(impl.frames) != nFrames {
+				t.Fatalf("frames delivered = %d, want %d", len(impl.frames), nFrames)
+			}
+			for i, seq := range impl.frames {
+				if seq != int32(i) {
+					t.Fatalf("frame order broken at %d: got seq %d", i, seq)
+				}
+			}
+			if len(impl.states) != 1 || impl.states[0] != media.HdStreamStatePlaying {
+				t.Fatalf("states = %v, want [Playing]", impl.states)
+			}
+			if got := ch.Stats(); got.Published != nFrames+1 || got.Delivered != nFrames+1 {
+				t.Fatalf("channel stats = %+v, want %d published and delivered", got, nFrames+1)
+			}
+		})
 	}
 }

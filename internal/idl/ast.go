@@ -344,6 +344,16 @@ func (i *InterfaceDecl) AllAttrs() []*Attribute {
 // Type returns the interface as a *Type.
 func (i *InterfaceDecl) Type() *Type { return &Type{Kind: KindInterface, Decl: i} }
 
+// ChannelDecl is an IDL event channel (the paper-extension `channel`
+// keyword): a named scope of event operations. Events are syntactically
+// ordinary operations — the parser accepts any operation shape so that the
+// idlvet event-op-illegal analyzer, not the parser, reports events that are
+// not oneway-shaped (non-void result, out/inout parameters, raises).
+type ChannelDecl struct {
+	declBase
+	Events []*Operation // declared events, in source order
+}
+
 // ScopedRef is a possibly-qualified name reference as written in source
 // ("Heidi::Start", "::A", "S").
 type ScopedRef struct {
@@ -371,8 +381,13 @@ type Operation struct {
 	RaiseRefs []ScopedRef
 	Context   []string
 
-	// Owner is the interface that declares the operation.
+	// Owner is the interface that declares the operation; nil for channel
+	// events, whose declaring scope is Channel instead.
 	Owner *InterfaceDecl
+
+	// Channel is the channel that declares the event; nil for interface
+	// operations.
+	Channel *ChannelDecl
 }
 
 // HasDefaults reports whether any parameter carries a default value (the
@@ -593,6 +608,10 @@ func (s *Spec) Walk(fn func(Decl) bool) {
 			for _, at := range n.Attrs {
 				walk(at)
 			}
+		case *ChannelDecl:
+			for _, ev := range n.Events {
+				walk(ev)
+			}
 		}
 	}
 	for _, d := range s.Decls {
@@ -607,6 +626,19 @@ func (s *Spec) Interfaces() []*InterfaceDecl {
 	s.Walk(func(d Decl) bool {
 		if i, ok := d.(*InterfaceDecl); ok && !i.Forward {
 			out = append(out, i)
+		}
+		return true
+	})
+	return out
+}
+
+// Channels returns every channel in the spec, in source order, including
+// those nested in modules.
+func (s *Spec) Channels() []*ChannelDecl {
+	var out []*ChannelDecl
+	s.Walk(func(d Decl) bool {
+		if c, ok := d.(*ChannelDecl); ok {
+			out = append(out, c)
 		}
 		return true
 	})

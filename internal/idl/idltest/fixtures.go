@@ -171,5 +171,11 @@ const MediaIDL = `module Media {
       raises (NoSuchStream, Unavailable);
     void stop();
   };
+
+  channel Playback {
+    event void frameReady(in string name, in long seq);
+    event void stateChanged(in string name, in StreamState current);
+    event void stalled(in string name, in long retryAfterMs);
+  };
 };
 `

@@ -394,6 +394,8 @@ func (p *Parser) parseDefinition() Decl {
 		return p.parseModule()
 	case TokInterface:
 		return p.parseInterface()
+	case TokChannel:
+		return p.parseChannel()
 	case TokTypedef:
 		return p.parseTypedef()
 	case TokStruct:
@@ -617,6 +619,47 @@ func (p *Parser) parseExport(iface *InterfaceDecl) {
 	}
 }
 
+// parseChannel parses a channel definition (paper extension):
+//
+//	channel Name { event void frameReady(in long seq); ... };
+//
+// Each event is an operation signature introduced by the `event` keyword.
+// The grammar deliberately admits ill-shaped events (non-void results,
+// out/inout parameters, raises clauses) so the front end can build a full
+// AST for idlvet's event-op-illegal analyzer to report against; the
+// mappings reject such specs at generation time via the same vet run.
+func (p *Parser) parseChannel() Decl {
+	pos := p.tok.Pos
+	p.expect(TokChannel)
+	name := p.expect(TokIdent)
+	ch := &ChannelDecl{declBase: declBase{Name: name.Text, Pos: pos}}
+	p.declare(ch, &ch.declBase)
+	p.expect(TokLBrace)
+	p.pushScope(ch, name.Text)
+	for p.tok.Kind != TokRBrace && p.tok.Kind != TokEOF {
+		switch p.tok.Kind {
+		case TokEvent:
+			p.advance()
+			op := p.parseOpSignature()
+			op.Channel = ch
+			ch.Events = append(ch.Events, op)
+		case TokSemi:
+			p.advance()
+		default:
+			p.errorf(p.tok.Pos, "expected event declaration, found %s", p.tok)
+			before := p.tok.Pos
+			p.sync()
+			if p.tok.Pos == before && p.tok.Kind != TokEOF {
+				p.advance()
+			}
+		}
+	}
+	p.popScope()
+	p.expect(TokRBrace)
+	p.expect(TokSemi)
+	return ch
+}
+
 func (p *Parser) parseAttribute(iface *InterfaceDecl) {
 	pos := p.tok.Pos
 	readonly := p.accept(TokReadonly)
@@ -642,6 +685,23 @@ func (p *Parser) parseAttribute(iface *InterfaceDecl) {
 
 func (p *Parser) parseOperation(iface *InterfaceDecl) {
 	pos := p.tok.Pos
+	op := p.parseOpSignature()
+	op.Owner = iface
+	if op.Oneway && op.Result.Kind != KindVoid {
+		p.errorf(pos, "oneway operation %s must return void", op.Name)
+	}
+	iface.Ops = append(iface.Ops, op)
+	iface.Members = append(iface.Members, op)
+}
+
+// parseOpSignature parses an operation signature — result type, name,
+// parameter list, raises and context clauses, terminating semicolon — and
+// declares it in the current scope. It is shared by interface operations and
+// channel events; shape constraints beyond the grammar (oneway-must-be-void
+// for operations, oneway-shaped-only for events) are the callers' and
+// idlvet's business, not enforced here.
+func (p *Parser) parseOpSignature() *Operation {
+	pos := p.tok.Pos
 	oneway := p.accept(TokOneway)
 	var result *Type
 	if p.tok.Kind == TokVoid {
@@ -655,10 +715,6 @@ func (p *Parser) parseOperation(iface *InterfaceDecl) {
 		declBase: declBase{Name: name.Text, Pos: pos},
 		Oneway:   oneway,
 		Result:   result,
-		Owner:    iface,
-	}
-	if oneway && result.Kind != KindVoid {
-		p.errorf(pos, "oneway operation %s must return void", name.Text)
 	}
 	p.declare(op, &op.declBase)
 
@@ -714,8 +770,7 @@ func (p *Parser) parseOperation(iface *InterfaceDecl) {
 		p.expect(TokRParen)
 	}
 	p.expect(TokSemi)
-	iface.Ops = append(iface.Ops, op)
-	iface.Members = append(iface.Members, op)
+	return op
 }
 
 func (p *Parser) parseParam() *Param {
@@ -1424,6 +1479,8 @@ func baseOf(d Decl) *declBase {
 	case *Module:
 		return &n.declBase
 	case *InterfaceDecl:
+		return &n.declBase
+	case *ChannelDecl:
 		return &n.declBase
 	case *Operation:
 		return &n.declBase

@@ -587,3 +587,85 @@ func BenchmarkParseMediaIDL(b *testing.B) {
 		}
 	}
 }
+
+func TestParseChannel(t *testing.T) {
+	spec := MustParse("chan.idl", `
+module Media {
+  struct Frame { long seq; };
+  channel Playback {
+    event void frameReady(in long seq);
+    event void stateChanged(in string state);
+  };
+};`)
+	chans := spec.Channels()
+	if len(chans) != 1 {
+		t.Fatalf("Channels() = %d, want 1", len(chans))
+	}
+	ch := chans[0]
+	if ch.ScopedName() != "Media::Playback" {
+		t.Errorf("scoped name = %q", ch.ScopedName())
+	}
+	if ch.RepoID() != "IDL:Media/Playback:1.0" {
+		t.Errorf("repo id = %q", ch.RepoID())
+	}
+	if len(ch.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(ch.Events))
+	}
+	ev := ch.Events[0]
+	if ev.DeclName() != "frameReady" || ev.Channel != ch || ev.Owner != nil {
+		t.Errorf("event frameReady = %+v", ev)
+	}
+	if ev.ScopedName() != "Media::Playback::frameReady" {
+		t.Errorf("event scoped name = %q", ev.ScopedName())
+	}
+	if len(ev.Params) != 1 || ev.Params[0].Mode != ModeIn {
+		t.Errorf("event params = %+v", ev.Params)
+	}
+}
+
+// TestParseChannelAcceptsIllShapedEvents: the grammar admits events that are
+// not oneway-shaped — rejecting them is idlvet's job (event-op-illegal), so
+// the parser must produce a complete AST for the analyzer to report against.
+func TestParseChannelAcceptsIllShapedEvents(t *testing.T) {
+	spec := MustParse("bad.idl", `
+exception Glitch { string why; };
+channel C {
+  event long withResult(in long x);
+  event void withOut(out long y);
+  event void withRaises(in long z) raises (Glitch);
+};`)
+	ch := spec.Channels()[0]
+	if len(ch.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(ch.Events))
+	}
+	if ch.Events[0].Result.Kind == KindVoid {
+		t.Error("withResult should keep its non-void result")
+	}
+	if ch.Events[1].Params[0].Mode != ModeOut {
+		t.Error("withOut should keep its out parameter")
+	}
+	if len(ch.Events[2].Raises) != 1 {
+		t.Error("withRaises should keep its raises clause")
+	}
+}
+
+func TestParseChannelErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantSub string
+	}{
+		{"redefinition", "channel C {}; channel C {};", "redefinition"},
+		{"event redefinition", "channel C { event void e(); event void e(); };", "redefinition"},
+		{"stray member", "channel C { attribute long x; };", "expected event declaration"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse("e.idl", tt.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tt.src, tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error = %v, want substring %q", err, tt.wantSub)
+			}
+		})
+	}
+}

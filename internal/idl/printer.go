@@ -48,6 +48,14 @@ func (p *printer) decl(d Decl) {
 		p.line("};")
 	case *InterfaceDecl:
 		p.iface(n)
+	case *ChannelDecl:
+		p.line("channel %s {", n.DeclName())
+		p.indent++
+		for _, ev := range n.Events {
+			p.event(ev)
+		}
+		p.indent--
+		p.line("};")
 	case *StructDecl:
 		p.line("struct %s {", n.DeclName())
 		p.indent++
@@ -127,6 +135,16 @@ func (p *printer) iface(n *InterfaceDecl) {
 }
 
 func (p *printer) operation(op *Operation) {
+	p.line("%s;", opSpelling(op))
+}
+
+func (p *printer) event(op *Operation) {
+	p.line("event %s;", opSpelling(op))
+}
+
+// opSpelling renders an operation signature without indentation or the
+// terminating semicolon, shared by interface operations and channel events.
+func opSpelling(op *Operation) string {
 	var parts []string
 	for _, prm := range op.Params {
 		s := fmt.Sprintf("%s %s %s", prm.Mode, typeSpelling(prm.Type), prm.Name)
@@ -154,7 +172,7 @@ func (p *printer) operation(op *Operation) {
 		}
 		line += fmt.Sprintf(" context (%s)", strings.Join(cs, ", "))
 	}
-	p.line("%s;", line)
+	return line
 }
 
 func (p *printer) attribute(at *Attribute) {

@@ -49,6 +49,13 @@ interface Top : Mid {
   oneway void fire(in string msg);
   long sum(in long a, inout long b, out long c) raises (Bad);
   void pick(in Color c = Blue) context ("user");
+};
+channel Feed {
+  event void fired(in string msg);
+  event void colored(in Color c);
+};
+module Scoped {
+  channel Inner { event void tick(in long seq); };
 };`,
 	}
 	for name, src := range cases {

@@ -94,6 +94,8 @@ const (
 	TokObject
 	TokTrue
 	TokFalse
+	TokChannel
+	TokEvent
 )
 
 var tokenNames = map[TokenKind]string{
@@ -164,6 +166,8 @@ var tokenNames = map[TokenKind]string{
 	TokObject:     "'Object'",
 	TokTrue:       "'TRUE'",
 	TokFalse:      "'FALSE'",
+	TokChannel:    "'channel'",
+	TokEvent:      "'event'",
 }
 
 // String returns a human-readable description of the token kind, suitable
@@ -216,6 +220,8 @@ var keywords = map[string]TokenKind{
 	"Object":    TokObject,
 	"TRUE":      TokTrue,
 	"FALSE":     TokFalse,
+	"channel":   TokChannel,
+	"event":     TokEvent,
 }
 
 // Pos is a position in an IDL source file. Line and Column are 1-based.

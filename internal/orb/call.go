@@ -769,6 +769,17 @@ type ServerCall struct {
 	// deadline is the server-side image of the request's propagated
 	// deadline (zero: unbounded), anchored at receipt.
 	deadline time.Time
+	// req is the raw request frame this call was built from, nil on the
+	// collocated fast path (no frame exists there). Valid only while the
+	// handler runs: the dispatcher frees the frame after the handler
+	// returns, so a handler keeping the body must RetainBody (or
+	// ShareBodyInto a message it owns) before returning. The event-channel
+	// broker uses this to fan a request body out without re-encoding it.
+	req *wire.Message
+	// body is the marshaled parameter bytes the decoder was built over —
+	// the request frame's body on the wire path, the client encoder's bytes
+	// on the collocated path. Same validity window as req.
+	body []byte
 	// ctx is the interceptor context, embedded so dispatching with
 	// interceptors registered does not allocate one per request.
 	ctx ServerContext
@@ -783,7 +794,9 @@ var serverCallPool = sync.Pool{
 // getServerCall returns a ServerCall wired to o and m's body, reusing the
 // pooled encoder/decoder when the protocol matches.
 func (o *ORB) getServerCall(m *wire.Message) *ServerCall {
-	return o.getServerCallBody(m.Method, m.Oneway, m.Body)
+	sc := o.getServerCallBody(m.Method, m.Oneway, m.Body)
+	sc.req = m
+	return sc
 }
 
 // getServerCallBody is getServerCall without a wire message: the collocated
@@ -809,12 +822,14 @@ func (o *ORB) fillServerCall(sc *ServerCall, method string, oneway bool, body []
 		sc.dec.Reset(body)
 	}
 	sc.method, sc.oneway = method, oneway
+	sc.req, sc.body = nil, body
 }
 
 // putServerCall recycles a ServerCall once its reply has been sent.
 func putServerCall(sc *ServerCall) {
 	sc.orb = nil
 	sc.deadline = time.Time{}
+	sc.req, sc.body = nil, nil
 	sc.ctx = ServerContext{}
 	serverCallPool.Put(sc)
 }
@@ -839,6 +854,17 @@ func (c *ServerCall) Expired() bool {
 
 // ORB returns the serving ORB (for Resolve/Export in handlers).
 func (c *ServerCall) ORB() *ORB { return c.orb }
+
+// Request returns the raw request frame this call was dispatched from, nil on
+// the collocated fast path (no frame exists there). The frame is owned by the
+// dispatcher and freed when the handler returns; a handler that keeps the
+// body beyond that point must retain it (RetainBody / ShareBodyInto) first.
+func (c *ServerCall) Request() *wire.Message { return c.req }
+
+// RequestBody returns the marshaled parameter bytes the call's decoder reads
+// from. Valid only while the handler runs; callers keeping the bytes must
+// copy them (wire.Message.EnsureLeased on a frame wrapping them does).
+func (c *ServerCall) RequestBody() []byte { return c.body }
 
 // newTestServerCall builds a detached ServerCall for tests and benchmarks.
 func newTestServerCall(o *ORB, method string, body []byte) *ServerCall {

@@ -1,0 +1,71 @@
+package orb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A channel reference is the stringified form of an event channel: the
+// channel's name plus the object reference of the broker servant that hosts
+// it — the bootstrap artifact subscribers and publishers exchange (config
+// files, environment, the naming service):
+//
+//	@chan|telemetry|@tcp:a:1#7#IDL:repro/events/Channel:1.0
+//
+// The name and the broker reference are joined by '|' after the "@chan"
+// marker. Parse with ParseChannelRef; ORB.CreateChannel formats one.
+
+// ChanRefPrefix starts every stringified channel reference.
+const ChanRefPrefix = "@chan|"
+
+// chanRefSep joins the channel name and the broker reference; names
+// containing it are rejected at format time so every formatted channel
+// reference re-parses to the same parts.
+const chanRefSep = "|"
+
+// FormatChannelRef renders a channel name and its broker reference as one
+// channel reference string.
+func FormatChannelRef(name string, broker ObjectRef) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("orb: channel has no name")
+	}
+	if strings.Contains(name, chanRefSep) {
+		return "", fmt.Errorf("orb: channel name %q contains the separator %q", name, chanRefSep)
+	}
+	if broker.IsNil() {
+		return "", fmt.Errorf("orb: channel %q has a nil broker reference", name)
+	}
+	s := broker.String()
+	if strings.Contains(s, chanRefSep) {
+		return "", fmt.Errorf("orb: broker reference %q contains the separator %q", s, chanRefSep)
+	}
+	return ChanRefPrefix + name + chanRefSep + s, nil
+}
+
+// ParseChannelRef parses a stringified channel reference into the channel
+// name and the broker's object reference.
+func ParseChannelRef(s string) (string, ObjectRef, error) {
+	if !strings.HasPrefix(s, ChanRefPrefix) {
+		return "", ObjectRef{}, fmt.Errorf("orb: channel reference %q does not start with %q", s, ChanRefPrefix)
+	}
+	rest := s[len(ChanRefPrefix):]
+	sep := strings.Index(rest, chanRefSep)
+	if sep < 0 {
+		return "", ObjectRef{}, fmt.Errorf("orb: channel reference %q has no broker reference", s)
+	}
+	name := rest[:sep]
+	if name == "" {
+		return "", ObjectRef{}, fmt.Errorf("orb: channel reference %q has an empty name", s)
+	}
+	ref, err := ParseRef(rest[sep+len(chanRefSep):])
+	if err != nil {
+		return "", ObjectRef{}, fmt.Errorf("orb: channel broker reference: %w", err)
+	}
+	if ref.IsNil() {
+		return "", ObjectRef{}, fmt.Errorf("orb: channel reference %q has a nil broker reference", s)
+	}
+	return name, ref, nil
+}
+
+// IsChannelRef reports whether s spells a channel reference.
+func IsChannelRef(s string) bool { return strings.HasPrefix(s, ChanRefPrefix) }

@@ -60,6 +60,12 @@ type MethodTable struct {
 	byName map[string]int
 
 	bases []*MethodTable
+
+	// fallback, when set, handles any name no registered operation (own or
+	// inherited) matches. Channel servants use it: event operation names are
+	// open-ended — the channel accepts whatever the publisher's IDL declares
+	// — so the broker's publish path is a catch-all, not a per-name entry.
+	fallback Handler
 }
 
 // NewMethodTable creates an empty table for the given repository ID.
@@ -111,6 +117,18 @@ func (t *MethodTable) SetStrategy(s Strategy) *MethodTable {
 
 // Strategy returns the table's own lookup strategy.
 func (t *MethodTable) Strategy() Strategy { return t.strategy }
+
+// SetFallback installs a catch-all handler run when no registered operation
+// (own or inherited) matches the dispatched name. With a fallback installed
+// the table never reports "unknown method"; the fallback decides. Used by
+// event-channel servants, whose set of event names is open-ended.
+func (t *MethodTable) SetFallback(h Handler) *MethodTable {
+	t.fallback = h
+	return t
+}
+
+// Fallback returns the catch-all handler, nil when none is installed.
+func (t *MethodTable) Fallback() Handler { return t.fallback }
 
 // Methods returns the operation names registered on this table (not
 // including bases), in registration order.
@@ -165,6 +183,9 @@ func (t *MethodTable) dispatch(name string, c *ServerCall, s Strategy) (bool, er
 			return true, err
 		}
 	}
+	if t.fallback != nil {
+		return true, t.fallback(c)
+	}
 	return false, nil
 }
 
@@ -184,6 +205,9 @@ func (t *MethodTable) resolve(name string, s Strategy) (Handler, bool) {
 		if h, ok := b.resolve(name, s); ok {
 			return h, true
 		}
+	}
+	if t.fallback != nil {
+		return t.fallback, true
 	}
 	return nil, false
 }

