@@ -1328,3 +1328,51 @@ func BenchmarkEventFanoutSlowSub(b *testing.B) {
 	st := ch.Stats()
 	b.ReportMetric(float64(st.Dropped)/float64(b.N), "dropped/op")
 }
+
+// BenchmarkHedgedTail prices hedged requests against a server with a
+// bimodal latency profile: most dispatches are instant, but every eighth
+// reply is held for 15ms — the shape of a backend with an occasional GC
+// pause or a slow disk hit. Without hedging the caller eats every stall in
+// full; with a hedge launched after 2ms, a stalled call is re-issued and
+// the duplicate's fast reply wins, capping the tail near the hedge delay.
+// The stall and delay are sized an order of magnitude above this host's
+// timer granularity (~1ms observed): a hedge delay below the clock's
+// resolution fires at the floor instead, and the hedge can no longer
+// overtake the stall it was meant to cut. The benchmark is sleep-driven by
+// construction (the stalls ARE the workload), so it reports wall-clock
+// shape rather than CPU cost and is excluded from the bench-diff
+// regression gate, like EventFanoutSlowSub.
+func BenchmarkHedgedTail(b *testing.B) {
+	for _, hedged := range []bool{false, true} {
+		hedged := hedged
+		name := "hedge=off"
+		if hedged {
+			name = "hedge=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			sess := remoteSession(b, wire.CDR, func(o *orb.Options) {
+				o.Multiplex = true
+				// The hedge must be able to overtake the stalled dispatch
+				// on the shared connection.
+				o.MaxConcurrentPerConn = 16
+				o.Retry = orb.RetryPolicy{Idempotent: func(string) bool { return true }}
+				o.DispatchFault = func(info transport.DispatchFaultInfo) transport.DispatchVerdict {
+					if info.Seq%8 == 0 {
+						return transport.DispatchVerdict{Delay: 15 * time.Millisecond}
+					}
+					return transport.DispatchVerdict{}
+				}
+				if hedged {
+					o.Hedge = orb.HedgePolicy{Delay: 2 * time.Millisecond, MaxHedges: 1}
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.GetVolume(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

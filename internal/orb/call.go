@@ -449,9 +449,19 @@ func (c *ClientCall) transact(ctx *ClientContext, oneway bool) (*wire.Message, e
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
+	hedge := c.orb.opts.Hedge.enabled() && !oneway && c.hedgeable()
 	for attempt := 1; ; attempt++ {
 		ctx.Attempts = attempt
-		reply, class, err := c.attempt(oneway)
+		var (
+			reply *wire.Message
+			class failureClass
+			err   error
+		)
+		if hedge {
+			reply, class, err = c.attemptHedged()
+		} else {
+			reply, class, err = c.attempt(oneway)
+		}
 		if err == nil && reply != nil {
 			switch reply.Status {
 			case wire.StatusOverloaded:
@@ -488,69 +498,119 @@ func (c *ClientCall) retryable(class failureClass, oneway bool) bool {
 	case failSafe:
 		return true
 	case failAmbiguous:
-		if oneway || c.idempotent {
-			return true
-		}
-		pol := c.orb.opts.Retry
-		return pol.Idempotent != nil && pol.Idempotent(c.method)
+		return oneway || c.hedgeable()
 	default:
 		return false
 	}
 }
 
-// attempt performs one round trip and classifies any failure. Routing runs
-// first: a target collocated with this ORB takes the direct-dispatch fast
-// path (collocate.go) when enabled; otherwise, with Options.Multiplex on,
-// the round trip rides a shared connection instead of an exclusive pooled
-// checkout.
-func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
-	var (
-		ref    ObjectRef
-		refStr string
-	)
+// hedgeable reports whether this call is declared idempotent — by
+// SetIdempotent or the retry policy's method predicate — and so may be
+// issued more than once concurrently (hedging) or after an ambiguous
+// failure (retry).
+func (c *ClientCall) hedgeable() bool {
+	if c.idempotent {
+		return true
+	}
+	pol := c.orb.opts.Retry
+	return pol.Idempotent != nil && pol.Idempotent(c.method)
+}
+
+// route resolves this attempt's target, preferring replica members not yet
+// tried this invocation. It mutates the call's routing scratch (c.tried,
+// repCands) and so must run on the invocation's coordinating goroutine —
+// never inside a hedged attempt's goroutine.
+func (c *ClientCall) route() (ObjectRef, string) {
 	if c.orb.groupCount.Load() == 0 && c.orb.rebind.Load() == nil {
 		// Trivial routing — no replica groups registered, no rebind hook:
 		// routeCall would hand back (c.ref, c.targetRef()) unchanged, so
 		// skip its layers outright; the collocated fast path runs at
 		// timescales where even those empty traversals showed up.
-		ref, refStr = c.ref, c.targetRef()
-	} else {
-		ref, refStr = c.orb.routeCall(c)
+		return c.ref, c.targetRef()
 	}
+	return c.orb.routeCall(c)
+}
+
+// attempt performs one round trip and classifies any failure. Routing runs
+// first: a target collocated with this ORB takes the direct-dispatch fast
+// path (collocate.go) when enabled; otherwise the attempt goes to the wire.
+func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
+	ref, refStr := c.route()
 	if c.orb.isCollocated(ref) {
 		return c.orb.dispatchCollocated(c, refStr, oneway)
 	}
-	if c.orb.mux != nil {
-		return c.attemptMux(ref, refStr, oneway)
+	return c.orb.wireAttempt(wireCall{
+		ref: ref, refStr: refStr,
+		method: c.method, oneway: oneway,
+		failover: len(c.tried) > 0,
+		timeout:  c.callTimeout(),
+		body:     c.enc.Bytes(),
+	})
+}
+
+// wireCall describes one remote attempt independently of the ClientCall
+// that spawned it. Hedged attempts run on their own goroutines and may
+// still be in flight after the winning result is returned and the pooled
+// ClientCall released, so everything an attempt reads is snapshotted here:
+//
+//   - body is the marshaled arguments. The plain path passes the call
+//     encoder's live buffer (exclusively owned for the attempt's
+//     duration); the hedged path passes one immutable copy shared by all
+//     attempts, since the encoder's buffer is recycled with the call.
+//   - failover snapshots "has this invocation already burned an endpoint"
+//     (len(c.tried) > 0) at launch, so attempt goroutines never read the
+//     coordinator-mutated tried slice.
+type wireCall struct {
+	ref      ObjectRef
+	refStr   string
+	method   string
+	oneway   bool
+	failover bool
+	timeout  time.Duration
+	body     []byte
+}
+
+// wireAttempt performs one remote round trip — shared multiplexed
+// connection when Options.Multiplex is on, exclusive pooled checkout
+// otherwise — and classifies any failure.
+func (o *ORB) wireAttempt(w wireCall) (*wire.Message, failureClass, error) {
+	if o.mux != nil {
+		return o.attemptMux(w)
 	}
-	conn, reused, err := c.orb.pool.Checkout(ref.Addr)
+	return o.attemptPooled(w)
+}
+
+// attemptPooled performs one round trip over an exclusively checked-out
+// pooled connection.
+func (o *ORB) attemptPooled(w wireCall) (*wire.Message, failureClass, error) {
+	conn, reused, err := o.pool.Checkout(w.ref.Addr)
 	if err != nil {
 		switch {
 		case errors.Is(err, transport.ErrPoolClosed):
 			// The pool closes only on Shutdown: surface the ORB's
 			// shutdown sentinel, not a transport detail.
-			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, ErrShutdown)
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", w.ref.Addr, ErrShutdown)
 		case errors.Is(err, transport.ErrCircuitOpen):
 			// Fail fast: retrying a tripped endpoint defeats the
 			// breaker's purpose — except on a replica-routed call, where
 			// the breaker tripping between selection and checkout is a
 			// safe failure the next attempt serves from another member.
-			if len(c.tried) > 0 {
-				return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
+			if w.failover {
+				return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", w.ref.Addr, err)
 			}
-			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", w.ref.Addr, err)
 		}
-		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
+		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", w.ref.Addr, err)
 	}
-	id := atomic.AddUint32(&c.orb.reqID, 1)
+	id := atomic.AddUint32(&o.reqID, 1)
 	req := wire.NewMessage()
 	req.Type = wire.MsgRequest
 	req.RequestID = id
-	req.TargetRef = refStr
-	req.Method = c.method
-	req.Oneway = oneway
-	req.Body = c.enc.Bytes()
-	d := c.callTimeout()
+	req.TargetRef = w.refStr
+	req.Method = w.method
+	req.Oneway = w.oneway
+	req.Body = w.body
+	d := w.timeout
 	hasDeadline := d > 0
 	if hasDeadline {
 		// The deadline header rides the wire only when the peer understands
@@ -569,20 +629,20 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 		if hasDeadline && healthy {
 			conn.SetDeadline(time.Time{})
 		}
-		c.orb.pool.Put(ref.Addr, conn, healthy)
+		o.pool.Put(w.ref.Addr, conn, healthy)
 	}
 	err = conn.Send(req)
-	wire.FreeMessage(req) // the frame is on the wire (or failed); enc owns the body
+	wire.FreeMessage(req) // the frame is on the wire (or failed); caller owns the body
 	if err != nil {
 		putBack(false)
-		return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", c.method, ref.Addr, err)
+		return nil, failSafe, fmt.Errorf("orb: sending %q to %s: %w", w.method, w.ref.Addr, err)
 	}
-	if oneway {
-		atomic.AddUint64(&c.orb.stats.OnewaysSent, 1)
+	if w.oneway {
+		atomic.AddUint64(&o.stats.OnewaysSent, 1)
 		putBack(true)
 		return nil, failNone, nil
 	}
-	atomic.AddUint64(&c.orb.stats.CallsSent, 1)
+	atomic.AddUint64(&o.stats.CallsSent, 1)
 	for skipped := 0; ; {
 		reply, err := conn.Recv()
 		if err != nil {
@@ -597,14 +657,14 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 				// The per-call deadline fired before the reply: still
 				// ambiguous (the server may be mid-dispatch), but callers
 				// match it with errors.Is(err, ErrDeadlineExceeded).
-				return nil, class, fmt.Errorf("orb: awaiting reply for %q: %w: %w", c.method, ErrDeadlineExceeded, err)
+				return nil, class, fmt.Errorf("orb: awaiting reply for %q: %w: %w", w.method, ErrDeadlineExceeded, err)
 			}
-			return nil, class, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
+			return nil, class, fmt.Errorf("orb: awaiting reply for %q: %w", w.method, err)
 		}
 		if reply.Type == wire.MsgGoAway {
 			// The server is draining; later calls re-resolve via Rebind.
 			// This reply still arrives on this connection, so keep reading.
-			c.orb.markDraining(ref.Addr)
+			o.markDraining(w.ref.Addr)
 			wire.FreeMessage(reply)
 			continue
 		}
@@ -615,7 +675,7 @@ func (c *ClientCall) attempt(oneway bool) (*wire.Message, failureClass, error) {
 				putBack(false)
 				return nil, failAmbiguous, fmt.Errorf(
 					"orb: awaiting reply for %q: gave up after %d mismatched messages from %s",
-					c.method, skipped, ref.Addr)
+					w.method, skipped, w.ref.Addr)
 			}
 			continue // stale reply on a cached connection: skip
 		}
@@ -648,29 +708,29 @@ func isTimeout(err error) bool {
 //     connection-global and would abort every other caller sharing the
 //     connection. A timed-out call is deregistered and its late reply
 //     dropped by the demux reader; the connection stays up.
-func (c *ClientCall) attemptMux(ref ObjectRef, refStr string, oneway bool) (*wire.Message, failureClass, error) {
-	mc, err := c.orb.mux.Get(ref.Addr)
+func (o *ORB) attemptMux(w wireCall) (*wire.Message, failureClass, error) {
+	mc, err := o.mux.Get(w.ref.Addr)
 	if err != nil {
 		switch {
 		case errors.Is(err, transport.ErrPoolClosed):
-			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, ErrShutdown)
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", w.ref.Addr, ErrShutdown)
 		case errors.Is(err, transport.ErrCircuitOpen):
-			if len(c.tried) > 0 { // replica-routed: fail over, don't fail fast
-				return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
+			if w.failover { // replica-routed: fail over, don't fail fast
+				return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", w.ref.Addr, err)
 			}
-			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
+			return nil, failFatal, fmt.Errorf("orb: connecting to %s: %w", w.ref.Addr, err)
 		}
-		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", ref.Addr, err)
+		return nil, failSafe, fmt.Errorf("orb: connecting to %s: %w", w.ref.Addr, err)
 	}
-	id := atomic.AddUint32(&c.orb.reqID, 1)
+	id := atomic.AddUint32(&o.reqID, 1)
 	req := wire.NewMessage()
 	req.Type = wire.MsgRequest
 	req.RequestID = id
-	req.TargetRef = refStr
-	req.Method = c.method
-	req.Oneway = oneway
-	req.Body = c.enc.Bytes()
-	d := c.callTimeout()
+	req.TargetRef = w.refStr
+	req.Method = w.method
+	req.Oneway = w.oneway
+	req.Body = w.body
+	d := w.timeout
 	if d > 0 {
 		// As on the exclusive path: stamp the header only for peers that
 		// negotiated deadline support (or never negotiated). The per-call
@@ -679,25 +739,25 @@ func (c *ClientCall) attemptMux(ref ObjectRef, refStr string, oneway bool) (*wir
 			req.Deadline = deadlineMillis(d)
 		}
 	}
-	atomic.AddUint64(&c.orb.stats.MuxCalls, 1)
-	if oneway {
+	atomic.AddUint64(&o.stats.MuxCalls, 1)
+	if w.oneway {
 		err := mc.SendOneway(req)
 		wire.FreeMessage(req)
 		if err != nil {
-			c.orb.mux.Report(ref.Addr, false)
-			return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", c.method, ref.Addr, err)
+			o.mux.Report(w.ref.Addr, false)
+			return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", w.method, w.ref.Addr, err)
 		}
-		atomic.AddUint64(&c.orb.stats.OnewaysSent, 1)
-		c.orb.mux.Report(ref.Addr, true)
+		atomic.AddUint64(&o.stats.OnewaysSent, 1)
+		o.mux.Report(w.ref.Addr, true)
 		return nil, failNone, nil
 	}
 	pending, err := mc.Invoke(req)
 	wire.FreeMessage(req) // sends are synchronous: the frame is out (or failed)
 	if err != nil {
-		c.orb.mux.Report(ref.Addr, false)
-		return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", c.method, ref.Addr, err)
+		o.mux.Report(w.ref.Addr, false)
+		return nil, sendFailureClass(err), fmt.Errorf("orb: sending %q to %s: %w", w.method, w.ref.Addr, err)
 	}
-	atomic.AddUint64(&c.orb.stats.CallsSent, 1)
+	atomic.AddUint64(&o.stats.CallsSent, 1)
 	var timeout <-chan time.Time
 	if d > 0 {
 		// Pooled timer: Release stops AND drains it, so a fired-but-unread
@@ -709,13 +769,13 @@ func (c *ClientCall) attemptMux(ref ObjectRef, refStr string, oneway bool) (*wir
 	}
 	reply, err := pending.Wait(timeout)
 	if err != nil {
-		c.orb.mux.Report(ref.Addr, false)
+		o.mux.Report(w.ref.Addr, false)
 		if isTimeout(err) {
-			return nil, failAmbiguous, fmt.Errorf("orb: awaiting reply for %q: %w: %w", c.method, ErrDeadlineExceeded, err)
+			return nil, failAmbiguous, fmt.Errorf("orb: awaiting reply for %q: %w: %w", w.method, ErrDeadlineExceeded, err)
 		}
-		return nil, failAmbiguous, fmt.Errorf("orb: awaiting reply for %q: %w", c.method, err)
+		return nil, failAmbiguous, fmt.Errorf("orb: awaiting reply for %q: %w", w.method, err)
 	}
-	c.orb.mux.Report(ref.Addr, true)
+	o.mux.Report(w.ref.Addr, true)
 	return reply, failNone, nil
 }
 

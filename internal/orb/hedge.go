@@ -1,0 +1,194 @@
+package orb
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Hedged requests (DESIGN §15). A request whose connection has silently
+// stalled — or whose replica is momentarily slow — pays the full deadline
+// before the retry layer even learns something went wrong. Hedging bounds
+// that tail: when a reply has not arrived within HedgePolicy.Delay, the
+// same request is issued again (on a freshly routed target, which for a
+// replica group prefers members not yet tried), and the first reply to
+// arrive wins. Losing attempts are left to finish in the background and
+// their replies discarded.
+//
+// Hedging is restricted to two-way calls that are declared idempotent
+// (SetIdempotent or RetryPolicy.Idempotent), because a hedge is by
+// construction a duplicate execution: both attempts may well be processed.
+// That makes it a bandwidth-for-latency trade the application must opt
+// into per method, exactly like ambiguous-failure retry.
+
+// HedgePolicy configures speculative duplicate requests for slow calls
+// (Options.Hedge).
+type HedgePolicy struct {
+	// Delay is how long to wait for a reply before launching the next
+	// hedge. Zero disables hedging. A good value is a high percentile
+	// (p95-p99) of the method's normal latency: rare enough to add little
+	// load, early enough to cut the stall tail.
+	Delay time.Duration
+	// MaxHedges bounds how many extra attempts may be launched per
+	// invocation (1 = at most one duplicate, the common configuration).
+	// Zero disables hedging.
+	MaxHedges int
+}
+
+// enabled reports whether the policy can ever launch a hedge.
+func (p HedgePolicy) enabled() bool { return p.Delay > 0 && p.MaxHedges > 0 }
+
+// hedgeResult is one attempt's outcome, delivered to the coordinator.
+type hedgeResult struct {
+	idx   int // 0 = primary, 1.. = hedges
+	reply *wire.Message
+	class failureClass
+	err   error
+}
+
+// attemptHedged performs one logical attempt as a primary wire call plus
+// up to MaxHedges delayed duplicates, returning the first success. It
+// runs in attempt's slot in the transact retry loop: a total failure is
+// classified (at the worst severity any attempt reported) and retried by
+// the ordinary policy like any other failed attempt.
+//
+// Concurrency shape: this (coordinating) goroutine owns the ClientCall —
+// routing, c.tried, the pooled encoder — and attempt goroutines get an
+// immutable wireCall snapshot plus the shared body copy, nothing else.
+// The results channel holds one slot per possible attempt, so attempt
+// goroutines never block sending; stragglers left running after a winner
+// returns deliver into the buffer and a drainer goroutine frees their
+// replies (returning read-buffer leases to the pool).
+func (c *ClientCall) attemptHedged() (*wire.Message, failureClass, error) {
+	ref, refStr := c.route()
+	if c.orb.isCollocated(ref) {
+		// Collocated dispatch runs on this goroutine against call state a
+		// concurrent hedge would race with — and an in-process call cannot
+		// go silent the way a network path can. Skip hedging outright.
+		return c.orb.dispatchCollocated(c, refStr, false)
+	}
+	orb := c.orb
+	pol := orb.opts.Hedge
+	// One immutable copy of the marshaled arguments, shared by every
+	// attempt: the call encoder's own buffer is pooled with the call and
+	// may be recycled the instant Release runs, while a losing attempt's
+	// send can still be in flight.
+	body := append([]byte(nil), c.enc.Bytes()...)
+	timeout := c.callTimeout()
+	method := c.method
+
+	maxAttempts := 1 + pol.MaxHedges
+	results := make(chan hedgeResult, maxAttempts)
+	launched := 0
+	launch := func(ref ObjectRef, refStr string) {
+		w := wireCall{
+			ref: ref, refStr: refStr,
+			method:   method,
+			failover: len(c.tried) > 0, // snapshot on the coordinator
+			timeout:  timeout,
+			body:     body,
+		}
+		idx := launched
+		launched++
+		go func() {
+			reply, class, err := orb.wireAttempt(w)
+			results <- hedgeResult{idx: idx, reply: reply, class: class, err: err}
+		}()
+	}
+	launch(ref, refStr)
+
+	tm := transport.AcquireTimer(pol.Delay)
+	defer transport.ReleaseTimer(tm)
+
+	var (
+		firstErr error
+		worst    failureClass
+	)
+	outstanding := 1
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if r.idx > 0 {
+					atomic.AddUint64(&orb.stats.HedgeWins, 1)
+				}
+				if outstanding > 0 {
+					drainHedges(orb, results, outstanding)
+				}
+				return r.reply, r.class, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if hedgeSeverity(r.class) > hedgeSeverity(worst) {
+				worst = r.class
+			}
+			if outstanding == 0 {
+				// Every attempt failed: report the first error (the
+				// primary's, usually the most informative) at the worst
+				// severity seen — if ANY attempt's request may have been
+				// processed, the invocation as a whole is at least that
+				// ambiguous.
+				return nil, worst, firstErr
+			}
+			// Other attempts still in flight; one of them may yet win.
+		case <-tm.C:
+			if launched >= maxAttempts {
+				// Budget exhausted; the fired timer stays silent and the
+				// select blocks on results alone.
+				continue
+			}
+			// Re-route for the hedge: on a replica group this prefers
+			// members not yet tried, so the duplicate lands elsewhere.
+			ref, refStr := c.route()
+			if orb.isCollocated(ref) {
+				// Routing fell back to a local member: an in-process
+				// dispatch can't ride the hedge machinery (it would race
+				// on the call), so stop launching and wait out the wire
+				// attempts already in flight.
+				continue
+			}
+			atomic.AddUint64(&orb.stats.Hedges, 1)
+			launch(ref, refStr)
+			outstanding++
+			if launched < maxAttempts {
+				tm.Reset(pol.Delay)
+			}
+		}
+	}
+}
+
+// drainHedges consumes the n attempts still in flight after a winner was
+// returned, freeing straggler replies so their read-buffer leases go back
+// to the pool. It captures only the ORB (for stats): the ClientCall may be
+// released — and pool-recycled — long before stragglers finish.
+func drainHedges(o *ORB, results <-chan hedgeResult, n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			r := <-results
+			if r.reply != nil {
+				wire.FreeMessage(r.reply)
+			}
+			atomic.AddUint64(&o.stats.HedgeStragglers, 1)
+		}
+	}()
+}
+
+// hedgeSeverity orders failure classes for worst-of aggregation across
+// hedged attempts: a fatal verdict outranks ambiguity outranks a cleanly
+// unprocessed failure.
+func hedgeSeverity(f failureClass) int {
+	switch f {
+	case failFatal:
+		return 3
+	case failAmbiguous:
+		return 2
+	case failSafe:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -143,8 +143,32 @@ type Options struct {
 	Negotiate bool
 	// NegotiateFeatures restricts the feature set this ORB offers in its
 	// hello (both as dialer and as answerer). Zero offers everything this
-	// build implements (coalescing + deadline headers).
+	// build implements (coalescing, deadline headers, keepalive).
 	NegotiateFeatures wire.Feature
+
+	// KeepaliveInterval enables the liveness layer (DESIGN §15): shared
+	// multiplexed connections that carry no inbound frame for this long are
+	// pinged (wire.MsgPing), and — with Multiplex off — cached exclusive
+	// connections idle past this bound are ping-probed at checkout before
+	// being handed to a caller. A connection that answers nothing is torn
+	// down (transport.ErrConnStuck) instead of wedging callers until their
+	// deadlines. Pings ride only connections whose peer negotiated
+	// wire.FeatureKeepalive (or that never negotiated, where static
+	// configuration — both ends built alike — applies). Zero disables the
+	// layer; the seed behavior.
+	KeepaliveInterval time.Duration
+	// KeepaliveTimeout is how long an unanswered ping (with nothing else
+	// inbound either) may stand before the connection is declared stuck.
+	// Zero means 3× KeepaliveInterval.
+	KeepaliveTimeout time.Duration
+
+	// Hedge enables speculative duplicate requests for slow idempotent
+	// two-way calls (hedge.go): an attempt with no reply after Hedge.Delay
+	// is reissued — re-routed, so replica groups hedge onto a different
+	// member — and the first reply wins. Only calls declared idempotent
+	// (SetIdempotent or Retry.Idempotent) are hedged; the zero value
+	// disables hedging.
+	Hedge HedgePolicy
 }
 
 // CollocationMode selects the carrier for same-address-space invocations.
@@ -288,6 +312,16 @@ type Stats struct {
 	// servant did serve a request — but not in CallsSent/MuxCalls, which
 	// count wire traffic.
 	CollocatedCalls uint64
+	// Hedges counts extra attempts launched by the hedging layer (not the
+	// primaries); HedgeWins the invocations whose winning reply came from a
+	// hedge rather than the primary; HedgeStragglers the losing attempts
+	// whose late results were drained and discarded in the background.
+	Hedges          uint64
+	HedgeWins       uint64
+	HedgeStragglers uint64
+	// PingsServed counts wire.MsgPing liveness probes this ORB's server
+	// side answered with a pong.
+	PingsServed uint64
 }
 
 // localEndpoint is the published identity a collocated reference matches.
@@ -351,6 +385,23 @@ func New(opts Options) *ORB {
 		// the next invocation re-resolves instead of pipelining into the
 		// dying server.
 		o.mux.OnDraining = o.markDraining
+	}
+	if opts.KeepaliveInterval > 0 {
+		// Liveness: shared connections get a resident prober; the exclusive
+		// pool gets a checkout-time ping probe on long-idle connections
+		// (probing every checkout would put a round-trip on the hot path).
+		if o.mux != nil {
+			o.mux.Keepalive = &transport.KeepaliveConfig{
+				Interval: opts.KeepaliveInterval,
+				Timeout:  opts.KeepaliveTimeout,
+			}
+		}
+		to := opts.KeepaliveTimeout
+		if to <= 0 {
+			to = 3 * opts.KeepaliveInterval
+		}
+		o.pool.ProbeIdle = opts.KeepaliveInterval
+		o.pool.Probe = transport.PingProbe(to)
 	}
 	if opts.Negotiate {
 		// Route every client dial (exclusive and mux) through one shared
@@ -618,6 +669,10 @@ func (o *ORB) Stats() Stats {
 		ReplicaPicks:     atomic.LoadUint64(&o.stats.ReplicaPicks),
 		Failovers:        atomic.LoadUint64(&o.stats.Failovers),
 		CollocatedCalls:  atomic.LoadUint64(&o.stats.CollocatedCalls),
+		Hedges:           atomic.LoadUint64(&o.stats.Hedges),
+		HedgeWins:        atomic.LoadUint64(&o.stats.HedgeWins),
+		HedgeStragglers:  atomic.LoadUint64(&o.stats.HedgeStragglers),
+		PingsServed:      atomic.LoadUint64(&o.stats.PingsServed),
 	}
 }
 
@@ -900,9 +955,19 @@ func (o *ORB) serveConn(c transport.Conn) {
 			wire.FreeMessage(m)
 			continue
 		}
+		if m.Type == wire.MsgPing {
+			// A liveness probe from the peer's keepalive prober or pool
+			// checkout probe: answer out of band, never entering dispatch
+			// (no admission, no servant resolution — a stuck server should
+			// still answer pings only if its reader is alive, which is
+			// exactly what the probe is measuring).
+			o.answerPing(send, m.RequestID)
+			wire.FreeMessage(m)
+			continue
+		}
 		if m.Type != wire.MsgRequest {
 			wire.FreeMessage(m)
-			continue // ignore stray replies
+			continue // ignore stray replies (and stray pongs)
 		}
 		// Register the dispatch under reqWG while holding mu, so
 		// Shutdown (which sets closed under mu before draining) either
@@ -947,7 +1012,7 @@ func (o *ORB) serveConn(c transport.Conn) {
 func (o *ORB) helloOffer() wire.Hello {
 	feats := o.opts.NegotiateFeatures
 	if feats == 0 {
-		feats = wire.FeatureCoalesce | wire.FeatureDeadline
+		feats = wire.FeatureCoalesce | wire.FeatureDeadline | wire.FeatureKeepalive
 	}
 	return wire.Hello{
 		Version:  wire.HelloVersion,
@@ -974,6 +1039,18 @@ func (o *ORB) answerHello(send func(*wire.Message) error, m *wire.Message) {
 	r.Body = ans.Encode()
 	send(r)
 	wire.FreeMessage(r)
+}
+
+// answerPing replies to a peer's liveness probe with a pong echoing its
+// RequestID. Best effort: a failed send means the connection is dying and
+// the read loop will see it.
+func (o *ORB) answerPing(send func(*wire.Message) error, id uint32) {
+	pong := wire.NewMessage()
+	pong.Type = wire.MsgPong
+	pong.RequestID = id
+	send(pong)
+	wire.FreeMessage(pong)
+	atomic.AddUint64(&o.stats.PingsServed, 1)
 }
 
 // sendReply emits one reply frame through the connection's send path (plain

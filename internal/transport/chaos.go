@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ChaosTransport wraps another Transport and makes its network *silently*
+// misbehave: frames vanish without an error, latency appears, whole
+// endpoints go dark mid-conversation. It is the complement of
+// FaultTransport, and the division of labor is deliberate:
+//
+//   - FaultTransport injects VISIBLE failures — operations that return
+//     errors — driving the retry, breaker and failure-classification
+//     machinery, which only acts on errors it can see.
+//   - ChaosTransport injects SILENT failures — sends that "succeed" onto
+//     the floor, connections that stay open but never speak again — the
+//     failures nothing reports. These are exactly what the liveness layer
+//     (keepalive probing, stuck-connection eviction, hedged requests)
+//     exists to detect, so its tests need a network that can go quiet on
+//     command.
+//
+// Blackhole(addr) partitions an endpoint at runtime: established
+// connections stay "open" but outbound frames are swallowed and inbound
+// frames discarded, the TCP image of a yanked cable or an expired NAT
+// flow. Heal(addr) lifts the partition. Dials succeed during a blackhole —
+// the scenario under test is the wedged established connection, not the
+// failed dial (FaultTransport covers that, visibly).
+//
+// Random frame loss (DropSend) and added latency (Latency/Jitter) are
+// derived purely from Seed and a global send ordinal via splitmix64, so a
+// chaos plan replays identically across runs with the same call order.
+type ChaosTransport struct {
+	Inner Transport
+
+	// Seed drives drop and jitter decisions deterministically.
+	Seed int64
+	// DropSend is the probability (0..1) that any one send is silently
+	// swallowed: Send reports success, the peer receives nothing.
+	DropSend float64
+	// Latency is added before every send; Jitter adds a further random
+	// 0..Jitter on top, per frame.
+	Latency, Jitter time.Duration
+
+	mu        sync.Mutex
+	dark      map[string]bool // blackholed endpoints
+	sendSeq   atomic.Uint64   // global send ordinal (drop/jitter keying)
+	swallowed atomic.Int64
+	dropped   atomic.Int64
+	discarded atomic.Int64
+}
+
+// ChaosStats counts the mischief so tests can assert the chaos actually
+// happened (a torture test that silently passed because nothing was
+// injected proves nothing).
+type ChaosStats struct {
+	// Swallowed counts sends discarded by an active blackhole; Dropped the
+	// sends discarded by DropSend chance.
+	Swallowed, Dropped int64
+	// Discarded counts inbound frames thrown away by an active blackhole.
+	Discarded int64
+}
+
+// NewChaosTransport wraps inner with no chaos configured: set the knobs
+// (or call Blackhole) before or during use.
+func NewChaosTransport(inner Transport, seed int64) *ChaosTransport {
+	return &ChaosTransport{Inner: inner, Seed: seed}
+}
+
+// Name implements Transport; references keep the inner scheme.
+func (t *ChaosTransport) Name() string { return t.Inner.Name() }
+
+// Listen implements Transport; the server side passes through. A
+// blackhole is enforced at the client conn in both directions, which is
+// where the partition is observed.
+func (t *ChaosTransport) Listen(addr string) (Listener, error) { return t.Inner.Listen(addr) }
+
+// Dial implements Transport. Dials succeed even into a blackhole: the
+// resulting connection simply never delivers anything.
+func (t *ChaosTransport) Dial(addr string) (Conn, error) {
+	c, err := t.Inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosConn{Conn: c, t: t, addr: addr}, nil
+}
+
+// Blackhole makes addr go dark: every connection to it (existing and
+// future) stops delivering frames in either direction, without any error.
+func (t *ChaosTransport) Blackhole(addr string) {
+	t.mu.Lock()
+	if t.dark == nil {
+		t.dark = make(map[string]bool)
+	}
+	t.dark[addr] = true
+	t.mu.Unlock()
+}
+
+// Heal lifts addr's blackhole; connections that survived resume delivering.
+func (t *ChaosTransport) Heal(addr string) {
+	t.mu.Lock()
+	delete(t.dark, addr)
+	t.mu.Unlock()
+}
+
+// isDark reports whether addr is currently blackholed.
+func (t *ChaosTransport) isDark(addr string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dark[addr]
+}
+
+// Stats snapshots the chaos counters.
+func (t *ChaosTransport) Stats() ChaosStats {
+	return ChaosStats{
+		Swallowed: t.swallowed.Load(),
+		Dropped:   t.dropped.Load(),
+		Discarded: t.discarded.Load(),
+	}
+}
+
+// sendVerdict numbers one send and decides its fate: the latency to apply
+// and whether the frame is dropped by chance.
+func (t *ChaosTransport) sendVerdict() (delay time.Duration, drop bool) {
+	seq := t.sendSeq.Add(1)
+	delay = t.Latency
+	if t.Jitter > 0 {
+		x := splitmix64(uint64(t.Seed) ^ 0xa5a5a5a5<<32 ^ seq)
+		delay += time.Duration(x % uint64(t.Jitter))
+	}
+	if t.DropSend > 0 {
+		x := splitmix64(uint64(t.Seed) ^ seq)
+		drop = float64(x>>11)/float64(1<<53) < t.DropSend
+	}
+	return delay, drop
+}
+
+// chaosConn applies the transport's chaos plan to one connection.
+type chaosConn struct {
+	Conn
+	t    *ChaosTransport
+	addr string
+}
+
+// Send implements Conn: frames bound for a blackholed endpoint, or drawn
+// by the drop schedule, vanish with a success return.
+func (c *chaosConn) Send(m *wire.Message) error {
+	delay, drop := c.t.sendVerdict()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if c.t.isDark(c.addr) {
+		c.t.swallowed.Add(1)
+		return nil
+	}
+	if drop {
+		c.t.dropped.Add(1)
+		return nil
+	}
+	return c.Conn.Send(m)
+}
+
+// SendBatch implements BatchSender, preserving the gathered-write fast
+// path: surviving frames of a batch still go out in one write. Dropped
+// frames are filtered out individually, exactly as if the network lost
+// those packets from the middle of the burst.
+func (c *chaosConn) SendBatch(ms []*wire.Message) error {
+	live := make([]*wire.Message, 0, len(ms))
+	for _, m := range ms {
+		delay, drop := c.t.sendVerdict()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		switch {
+		case c.t.isDark(c.addr):
+			c.t.swallowed.Add(1)
+		case drop:
+			c.t.dropped.Add(1)
+		default:
+			live = append(live, m)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if bs, ok := c.Conn.(BatchSender); ok {
+		return bs.SendBatch(live)
+	}
+	for _, m := range live {
+		if err := c.Conn.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv implements Conn: frames arriving from a blackholed endpoint are
+// discarded (their leases released) and the read continues — the caller
+// just sees silence, not an error.
+func (c *chaosConn) Recv() (*wire.Message, error) {
+	for {
+		m, err := c.Conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if !c.t.isDark(c.addr) {
+			return m, nil
+		}
+		c.t.discarded.Add(1)
+		wire.FreeMessage(m)
+	}
+}

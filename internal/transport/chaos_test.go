@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// chaosCountServer accepts connections and counts the request frames that
+// actually arrive — the ground truth against which swallowed/dropped sends
+// are asserted. Frames pushed into emit are sent server→client on the most
+// recent connection (to exercise the inbound-discard side of a blackhole).
+func startChaosCountServer(t *testing.T, tr Transport) (addr string, got, emit chan *wire.Message) {
+	t.Helper()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	got = make(chan *wire.Message, 256)
+	emit = make(chan *wire.Message)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			stop := make(chan struct{})
+			go func(c Conn) {
+				for {
+					select {
+					case m := <-emit:
+						if err := c.Send(m); err != nil {
+							return
+						}
+					case <-stop:
+						return
+					}
+				}
+			}(c)
+			go func(c Conn) {
+				defer c.Close()
+				defer close(stop)
+				for {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					got <- m
+				}
+			}(c)
+		}
+	}()
+	return l.Addr(), got, emit
+}
+
+// TestChaosDropSendDeterministic: with DropSend set, a fraction of sends
+// silently vanish (Send still returns nil), and the same seed over the same
+// send sequence loses exactly the same frames — chaos plans must replay.
+func TestChaosDropSendDeterministic(t *testing.T) {
+	const n = 200
+	run := func(seed int64) (received map[uint32]bool, dropped int64) {
+		tr := NewInproc(wire.CDR)
+		addr, got, _ := startChaosCountServer(t, tr)
+		ct := NewChaosTransport(tr, seed)
+		ct.DropSend = 0.3
+		c, err := ct.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := uint32(1); i <= n; i++ {
+			if err := c.Send(muxReq(i)); err != nil {
+				t.Fatalf("chaotic send %d returned a visible error: %v", i, err)
+			}
+		}
+		received = make(map[uint32]bool)
+		st := ct.Stats()
+	drain:
+		for int64(len(received)) < n-st.Dropped {
+			select {
+			case m := <-got:
+				received[m.RequestID] = true
+				wire.FreeMessage(m)
+			case <-time.After(time.Second):
+				break drain
+			}
+		}
+		return received, st.Dropped
+	}
+
+	recvA, droppedA := run(42)
+	if droppedA == 0 || droppedA == n {
+		t.Fatalf("DropSend=0.3 dropped %d of %d frames; chaos not injected", droppedA, n)
+	}
+	if int64(len(recvA)) != n-droppedA {
+		t.Fatalf("server received %d frames, dropped %d, sent %d: frames unaccounted for",
+			len(recvA), droppedA, n)
+	}
+	recvB, droppedB := run(42)
+	if droppedB != droppedA {
+		t.Fatalf("same seed dropped %d then %d frames; plan not deterministic", droppedA, droppedB)
+	}
+	for id := range recvA {
+		if !recvB[id] {
+			t.Fatalf("frame %d survived run A but not run B with the same seed", id)
+		}
+	}
+}
+
+// TestChaosBlackholeAndHeal: a blackholed endpoint swallows outbound frames
+// (Send succeeds!) and discards inbound ones; Heal restores both directions
+// on the same still-open connection.
+func TestChaosBlackholeAndHeal(t *testing.T) {
+	tr := NewInproc(wire.CDR)
+	addr, got, emit := startChaosCountServer(t, tr)
+	ct := NewChaosTransport(tr, 1)
+	c, err := ct.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Healthy: the frame arrives.
+	if err := c.Send(muxReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	m := <-got
+	if m.RequestID != 1 {
+		t.Fatalf("got frame %d, want 1", m.RequestID)
+	}
+	wire.FreeMessage(m)
+
+	// Dark: sends report success but nothing arrives.
+	ct.Blackhole(addr)
+	for i := uint32(2); i <= 4; i++ {
+		if err := c.Send(muxReq(i)); err != nil {
+			t.Fatalf("send into blackhole returned visible error: %v", err)
+		}
+	}
+	select {
+	case m := <-got:
+		t.Fatalf("frame %d crossed an active blackhole", m.RequestID)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if st := ct.Stats(); st.Swallowed != 3 {
+		t.Fatalf("Swallowed = %d, want 3", st.Swallowed)
+	}
+
+	// Inbound during the blackhole: a server→client frame must be
+	// discarded silently by the client's Recv, which keeps blocking.
+	recvd := make(chan *wire.Message, 1)
+	go func() {
+		if r, err := c.Recv(); err == nil {
+			recvd <- r
+		}
+	}()
+	emit <- &wire.Message{Type: wire.MsgReply, RequestID: 1, Static: true}
+	deadline := time.Now().Add(2 * time.Second)
+	for ct.Stats().Discarded == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := ct.Stats(); st.Discarded != 1 {
+		t.Fatalf("Discarded = %d, want 1", st.Discarded)
+	}
+
+	// Healed: traffic flows again on the SAME connection, in both
+	// directions — the blocked Recv completes with the post-heal frame.
+	ct.Heal(addr)
+	if err := c.Send(muxReq(5)); err != nil {
+		t.Fatal(err)
+	}
+	m5 := <-got
+	if m5.RequestID != 5 {
+		t.Fatalf("post-heal frame %d, want 5", m5.RequestID)
+	}
+	wire.FreeMessage(m5)
+	emit <- &wire.Message{Type: wire.MsgReply, RequestID: 5, Static: true}
+	select {
+	case r := <-recvd:
+		if r.RequestID != 5 {
+			t.Fatalf("post-heal Recv delivered frame %d, want 5", r.RequestID)
+		}
+		wire.FreeMessage(r)
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv never recovered after Heal")
+	}
+}
+
+// TestChaosBatchFiltersPerFrame: a gathered write through chaos loses
+// exactly the doomed frames — survivors still go out (in one batch when the
+// inner conn supports it), mirroring packet loss from the middle of a burst.
+func TestChaosBatchFiltersPerFrame(t *testing.T) {
+	tr := NewInproc(wire.CDR)
+	addr, got, _ := startChaosCountServer(t, tr)
+	ct := NewChaosTransport(tr, 7)
+	c, err := ct.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ct.Blackhole(addr)
+	batch := []*wire.Message{muxReq(1), muxReq(2), muxReq(3)}
+	if err := c.(BatchSender).SendBatch(batch); err != nil {
+		t.Fatalf("blackholed batch returned visible error: %v", err)
+	}
+	if st := ct.Stats(); st.Swallowed != 3 {
+		t.Fatalf("Swallowed = %d after blackholed batch, want 3", st.Swallowed)
+	}
+	ct.Heal(addr)
+	if err := c.(BatchSender).SendBatch([]*wire.Message{muxReq(4), muxReq(5)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []uint32{4, 5} {
+		select {
+		case m := <-got:
+			if m.RequestID != want {
+				t.Fatalf("batch frame %d, want %d", m.RequestID, want)
+			}
+			wire.FreeMessage(m)
+		case <-time.After(time.Second):
+			t.Fatalf("healed batch frame %d never arrived", want)
+		}
+	}
+}
+
+// TestChaosLatency: configured latency delays sends without losing them.
+func TestChaosLatency(t *testing.T) {
+	tr := NewInproc(wire.CDR)
+	addr, got, _ := startChaosCountServer(t, tr)
+	ct := NewChaosTransport(tr, 3)
+	ct.Latency = 20 * time.Millisecond
+	c, err := ct.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Send(muxReq(1)); err != nil {
+		t.Fatal(err)
+	}
+	m := <-got
+	wire.FreeMessage(m)
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Errorf("frame arrived after %v, want >= 20ms of injected latency", el)
+	}
+	if st := ct.Stats(); st.Dropped != 0 || st.Swallowed != 0 {
+		t.Errorf("latency-only chaos lost frames: %+v", st)
+	}
+}

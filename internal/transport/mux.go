@@ -62,6 +62,17 @@ type MuxConn struct {
 	broken   atomic.Bool  // mirrors err != nil, readable without the mutex
 	draining atomic.Bool  // peer sent GOAWAY: no new calls, replies still flow
 
+	// Keepalive state (keepalive.go). lastRecv is stamped by the demux
+	// reader on every inbound frame — any frame proves the peer's write
+	// side and our read side are both alive, so pings are sent only across
+	// genuinely quiet windows. stuck (under mu) records that the keepalive
+	// prober, not the peer, killed the connection, so fail() can report
+	// ErrConnStuck instead of the uninformative "use of closed connection".
+	lastRecv atomic.Int64 // UnixNano of the last inbound frame
+	kaPings  atomic.Int64 // keepalive pings sent on this connection
+	kaPongs  atomic.Int64 // pongs received
+	stuck    bool         // under mu: evicted by the keepalive prober
+
 	// onGoAway, when set, runs once when the peer announces it is draining
 	// (first GOAWAY frame). It runs on the demux goroutine: keep it short.
 	onGoAway func()
@@ -109,6 +120,19 @@ func (m *MuxConn) demux() {
 			m.fail(err)
 			return
 		}
+		m.lastRecv.Store(nowNanos())
+		if r.Type == wire.MsgPing {
+			// Peer liveness probe: answer out of band, never dispatched.
+			id := r.RequestID
+			wire.FreeMessage(r)
+			m.answerPing(id)
+			continue
+		}
+		if r.Type == wire.MsgPong {
+			wire.FreeMessage(r)
+			m.kaPongs.Add(1)
+			continue
+		}
 		if r.Type == wire.MsgGoAway {
 			// The peer is draining: mark the connection so the pool stops
 			// handing it out, but keep reading — replies to requests already
@@ -145,7 +169,15 @@ func (m *MuxConn) fail(err error) {
 	m.conn.Close()
 	m.mu.Lock()
 	if m.err == nil {
+		if m.stuck {
+			// The keepalive prober closed the connection from under the
+			// reader; the Recv error it produced ("use of closed
+			// connection") hides the real diagnosis.
+			err = ErrConnStuck
+		}
 		m.err = err
+	} else {
+		err = m.err
 	}
 	// Mark the connection unhealthy before any caller observes its failure,
 	// so a failed call's immediate retry never draws this connection again.
@@ -391,6 +423,12 @@ type MuxPool struct {
 	// GOAWAY frame, with the endpoint address. Set before the first Get; it
 	// runs on the connection's demux goroutine.
 	OnDraining func(addr string)
+	// Keepalive, when set with a positive Interval, starts a liveness
+	// prober on every shared connection whose peer can answer pings
+	// (keepalive.go): idle connections are pinged, and a connection whose
+	// probe goes unanswered past the timeout is evicted with ErrConnStuck
+	// instead of wedging every multiplexed caller until their deadlines.
+	Keepalive *KeepaliveConfig
 
 	mu     sync.Mutex
 	conns  map[string][]*MuxConn // fixed Width slots per endpoint
@@ -398,6 +436,7 @@ type MuxPool struct {
 	closed bool
 
 	dials, redials, late int
+	pings, pongs, stuck  int64 // keepalive counters from replaced conns
 }
 
 // MuxPoolStats reports shared-connection activity.
@@ -412,6 +451,12 @@ type MuxPoolStats struct {
 	InFlight int
 	// Late counts replies that arrived after their caller's deadline.
 	Late int
+	// Pings and Pongs count keepalive probes sent and answers received
+	// across all shared connections (live and replaced).
+	Pings, Pongs int64
+	// StuckEvicted counts connections the keepalive prober declared stuck
+	// and tore down.
+	StuckEvicted int64
 }
 
 // Get returns a live shared connection to addr, dialing on first use and
@@ -462,6 +507,11 @@ func (p *MuxPool) Get(addr string) (*MuxConn, error) {
 	if old := slots[slot]; old != nil {
 		p.redials++
 		p.late += old.lateCount()
+		p.pings += old.kaPings.Load()
+		p.pongs += old.kaPongs.Load()
+		if old.wasStuck() {
+			p.stuck++
+		}
 	}
 	p.dials++
 	var onGoAway func()
@@ -477,6 +527,16 @@ func (p *MuxPool) Get(addr string) (*MuxConn, error) {
 		co = nil
 	}
 	mc := newMuxConn(c, co, onGoAway)
+	// Keepalive is per-connection once negotiation is in play, like
+	// coalescing above: a negotiated peer that did not advertise the
+	// feature never sees a ping. Legacy and un-negotiated connections
+	// follow the static configuration (both ends are assumed built alike,
+	// the FeatureDeadline precedent).
+	if ka := p.Keepalive; ka != nil && ka.Interval > 0 {
+		if neg, ok := Negotiation(c); !ok || neg.Allows(wire.FeatureKeepalive) {
+			mc.startKeepalive(*ka)
+		}
+	}
 	slots[slot] = mc
 	return mc, nil
 }
@@ -519,20 +579,30 @@ func (m *MuxConn) lateCount() int {
 // Stats returns shared-connection counters.
 func (p *MuxPool) Stats() MuxPoolStats {
 	p.mu.Lock()
-	st := MuxPoolStats{Dials: p.dials, Redials: p.redials, Late: p.late}
-	var live []*MuxConn
+	st := MuxPoolStats{
+		Dials: p.dials, Redials: p.redials, Late: p.late,
+		Pings: p.pings, Pongs: p.pongs, StuckEvicted: p.stuck,
+	}
+	var all []*MuxConn
 	for _, slots := range p.conns {
 		for _, mc := range slots {
-			if mc != nil && !mc.Dead() {
-				live = append(live, mc)
+			if mc != nil {
+				all = append(all, mc)
 			}
 		}
 	}
 	p.mu.Unlock()
-	for _, mc := range live {
-		st.Active++
-		st.InFlight += mc.InFlight()
-		st.Late += mc.lateCount()
+	for _, mc := range all {
+		if !mc.Dead() {
+			st.Active++
+			st.InFlight += mc.InFlight()
+			st.Late += mc.lateCount()
+		}
+		st.Pings += mc.kaPings.Load()
+		st.Pongs += mc.kaPongs.Load()
+		if mc.wasStuck() {
+			st.StuckEvicted++
+		}
 	}
 	return st
 }

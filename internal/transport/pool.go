@@ -47,6 +47,18 @@ type Pool struct {
 	// checked.
 	CheckHealth func(Conn) error
 
+	// ProbeIdle, with Probe set, bounds how long a cached connection may
+	// sit idle before checkout runs the (potentially round-trip-priced)
+	// Probe on it. Connections idle for less are handed out unprobed —
+	// the common case, kept at zero extra cost. Zero disables probing.
+	ProbeIdle time.Duration
+	// Probe actively checks a long-idle cached connection at checkout,
+	// typically PingProbe (keepalive.go): unlike CheckHealth (cheap, run
+	// on every cached checkout) it may cost a network round-trip, so it
+	// runs only on connections idle past ProbeIdle. A non-nil error
+	// discards the connection and falls through to the next candidate.
+	Probe func(Conn) error
+
 	// Breaker, when set, gates checkouts per endpoint: Get fails fast
 	// with ErrCircuitOpen while an endpoint's breaker is open, and
 	// Get/Put outcomes feed the breaker's failure/success counts.
@@ -65,6 +77,7 @@ type Pool struct {
 
 	// Stats counters (read with Stats).
 	hits, misses, dials, expired, rejected int
+	probes, probeEvicted                   int
 }
 
 // idleConn is one cached connection plus the time it was returned.
@@ -96,6 +109,10 @@ type PoolStats struct {
 	Expired int
 	// Rejected counts checkouts denied by an open circuit breaker.
 	Rejected int
+	// Probes counts idle connections actively probed at checkout
+	// (ProbeIdle/Probe); ProbeEvicted the subset that flunked and were
+	// discarded.
+	Probes, ProbeEvicted int
 	// Breakers snapshots the per-endpoint breaker states (nil when no
 	// breaker is configured or no endpoint has ever failed).
 	Breakers map[string]BreakerState
@@ -214,8 +231,10 @@ func (p *Pool) checkoutIdle(addr string) (Conn, error, bool) {
 		list = live
 	}
 	var c Conn
+	var idleFor time.Duration
 	if n := len(list); n > 0 {
 		c = list[n-1].c
+		idleFor = now.Sub(list[n-1].since)
 		list = list[:n-1]
 		p.hits++
 	} else {
@@ -237,6 +256,23 @@ func (p *Pool) checkoutIdle(addr string) (Conn, error, bool) {
 			// The hit was provisional; try the next candidate.
 			p.mu.Lock()
 			p.hits--
+			p.mu.Unlock()
+			return nil, nil, false
+		}
+	}
+	if p.Probe != nil && p.ProbeIdle > 0 && idleFor >= p.ProbeIdle {
+		// Long-idle connection: anything may have happened to it while it
+		// sat (peer restart, NAT flow expiry, silent path failure), so pay
+		// one active round-trip before betting a call on it. The probe
+		// runs outside the pool lock — it blocks on the network.
+		p.mu.Lock()
+		p.probes++
+		p.mu.Unlock()
+		if err := p.Probe(c); err != nil {
+			c.Close()
+			p.mu.Lock()
+			p.hits--
+			p.probeEvicted++
 			p.mu.Unlock()
 			return nil, nil, false
 		}
@@ -307,6 +343,7 @@ func (p *Pool) Stats() PoolStats {
 	st := PoolStats{
 		Hits: p.hits, Misses: p.misses, Dials: p.dials,
 		Expired: p.expired, Rejected: p.rejected,
+		Probes: p.probes, ProbeEvicted: p.probeEvicted,
 	}
 	p.mu.Unlock()
 	if p.Breaker.enabled() {

@@ -103,8 +103,8 @@ func (p *CDRProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
 		if m.Status != StatusOK {
 			meta.PutString(m.ErrMsg)
 		}
-	case MsgClose, MsgGoAway:
-		// no meta
+	case MsgClose, MsgGoAway, MsgPing, MsgPong:
+		// no meta; ping/pong identity rides the fixed header's request ID
 	case MsgHello:
 		// no meta; the negotiation payload travels as the Body
 	default:
@@ -228,7 +228,7 @@ func (p *CDRProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 			}
 			m.ErrMsg = msg
 		}
-	case MsgClose, MsgGoAway:
+	case MsgClose, MsgGoAway, MsgPing, MsgPong:
 		m.ReleaseBody()
 		return m, nil
 	case MsgHello:

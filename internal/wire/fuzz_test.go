@@ -217,3 +217,64 @@ func FuzzDeadlineHeader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzKeepaliveFrame covers the liveness extension of both codecs: arbitrary
+// ping/pong-shaped text lines never panic the reader, and a ping or pong with
+// any request ID round-trips bit-exactly through every protocol with a
+// request frame still readable behind it (a keepalive probe must never
+// desynchronize the stream it is probing).
+func FuzzKeepaliveFrame(f *testing.F) {
+	f.Add("ping 1", uint32(1), true)
+	f.Add("pong 4294967295", uint32(4294967295), false)
+	f.Add("ping", uint32(0), true)
+	f.Add("ping -3 trailing junk", uint32(17), false)
+	f.Add("pong notanumber", uint32(99), true)
+	f.Fuzz(func(t *testing.T, line string, id uint32, ping bool) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("text reader panicked on %q: %v", line, r)
+				}
+			}()
+			r := bufio.NewReader(strings.NewReader(line + "\n"))
+			for i := 0; i < 4; i++ {
+				if _, err := Text.ReadMessage(r); err != nil {
+					break
+				}
+			}
+		}()
+		typ := MsgPong
+		if ping {
+			typ = MsgPing
+		}
+		probe := &Message{Type: typ, RequestID: id, Static: true}
+		for _, p := range protocols {
+			stream, err := p.AppendMessage(nil, probe)
+			if err != nil {
+				t.Fatalf("%s: AppendMessage(%s): %v", p.Name(), typ, err)
+			}
+			req := wireReq()
+			if stream, err = p.AppendMessage(stream, &req); err != nil {
+				t.Fatalf("%s: AppendMessage(request): %v", p.Name(), err)
+			}
+			r := bufio.NewReader(bytes.NewReader(stream))
+			got, err := p.ReadMessage(r)
+			if err != nil {
+				t.Fatalf("%s: ReadMessage(%s): %v", p.Name(), typ, err)
+			}
+			if got.Type != typ || got.RequestID != id {
+				t.Fatalf("%s: %s round-trip = %s/%d, want %s/%d",
+					p.Name(), typ, got.Type, got.RequestID, typ, id)
+			}
+			if len(got.Body) != 0 {
+				t.Fatalf("%s: %s carried a body: %q", p.Name(), typ, got.Body)
+			}
+			FreeMessage(got)
+			next, err := p.ReadMessage(r)
+			if err != nil || next.Type != MsgRequest {
+				t.Fatalf("%s: frame after %s unreadable: %+v, %v", p.Name(), typ, next, err)
+			}
+			FreeMessage(next)
+		}
+	})
+}

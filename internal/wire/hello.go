@@ -46,12 +46,18 @@ const (
 	// Advertised by nobody yet; exists so a v3-speaking build can probe for
 	// it without a new handshake revision.
 	FeatureCompactV3
+	// FeatureKeepalive: the peer understands MsgPing/MsgPong liveness
+	// frames (answers pings, tolerates pongs). Without it the client
+	// never emits a ping on the connection — a legacy CDR peer would
+	// error the whole connection on the unknown type, and a legacy text
+	// server would log an unknown verb.
+	FeatureKeepalive
 )
 
 // knownFeatures masks the bits this build understands; unknown bits from a
 // newer peer are ignored (and never echoed, so the intersection property
 // holds from the newer peer's point of view too).
-const knownFeatures = FeatureCoalesce | FeatureDeadline | FeatureCompactV3
+const knownFeatures = FeatureCoalesce | FeatureDeadline | FeatureCompactV3 | FeatureKeepalive
 
 // String renders the set mnemonically for diagnostics.
 func (f Feature) String() string {
@@ -67,6 +73,9 @@ func (f Feature) String() string {
 	}
 	if f&FeatureCompactV3 != 0 {
 		parts = append(parts, "compact-v3")
+	}
+	if f&FeatureKeepalive != 0 {
+		parts = append(parts, "keepalive")
 	}
 	if rest := f &^ knownFeatures; rest != 0 {
 		parts = append(parts, fmt.Sprintf("unknown(%#x)", uint32(rest)))

@@ -25,6 +25,8 @@ import (
 //	close                                               connection close
 //	goaway                                              server draining
 //	hello <payload...>                                  feature negotiation
+//	ping <id>                                           liveness probe
+//	pong <id>                                           liveness answer
 //
 // The optional @<ms> header token is the request's relative deadline in
 // milliseconds ("this call is worth 150 more milliseconds of your time");
@@ -93,6 +95,12 @@ func (TextProtocol) AppendMessage(dst []byte, m *Message) ([]byte, error) {
 		b = append(b, "goaway"...)
 	case MsgHello:
 		b = append(b, "hello"...)
+	case MsgPing:
+		b = append(b, "ping "...)
+		b = strconv.AppendUint(b, uint64(m.RequestID), 10)
+	case MsgPong:
+		b = append(b, "pong "...)
+		b = strconv.AppendUint(b, uint64(m.RequestID), 10)
 	default:
 		return dst, fmt.Errorf("wire: cannot encode message type %s", m.Type)
 	}
@@ -163,6 +171,20 @@ func (TextProtocol) ReadMessage(r *bufio.Reader) (*Message, error) {
 		} else {
 			lease.release()
 		}
+		return m, nil
+	case "ping", "pong":
+		m.Type = MsgPing
+		if verb[1] == 'o' {
+			m.Type = MsgPong
+		}
+		id, _ := nextField(rest)
+		n, err := strconv.ParseUint(string(id), 10, 32)
+		if err != nil {
+			FreeMessage(m)
+			return bad("bad %s id %q", verb, id)
+		}
+		m.RequestID = uint32(n)
+		lease.release()
 		return m, nil
 	case "call", "send":
 		m.Type = MsgRequest

@@ -53,6 +53,15 @@ const (
 	// (CDR: unknown type) or silently drops the frame (text server loop);
 	// the dialer treats both as "speak the static configuration".
 	MsgHello
+	// MsgPing is a liveness probe: "is anyone still reading this
+	// connection?" The receiver answers with a MsgPong echoing the ping's
+	// RequestID. Pings are negotiated (FeatureKeepalive) so a legacy peer
+	// never sees the unknown frame; they carry no body and are answered
+	// out of band — a ping never enters the request dispatch path.
+	MsgPing
+	// MsgPong answers a MsgPing, echoing its RequestID. Receiving a pong
+	// (or any other frame) proves the peer's read loop is alive.
+	MsgPong
 )
 
 // String names the message type.
@@ -68,6 +77,10 @@ func (t MsgType) String() string {
 		return "goaway"
 	case MsgHello:
 		return "hello"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
 	}
 	return fmt.Sprintf("msgtype(%d)", byte(t))
 }

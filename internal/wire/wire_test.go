@@ -19,6 +19,9 @@ func TestMessageRoundTrip(t *testing.T) {
 		{Type: MsgReply, RequestID: 7, Status: StatusUnknownMethod, ErrMsg: "no method \"zap\""},
 		{Type: MsgReply, RequestID: 8, Status: StatusSystemError, ErrMsg: "boom with spaces and \n newline"},
 		{Type: MsgClose},
+		{Type: MsgPing, RequestID: 77},
+		{Type: MsgPong, RequestID: 77},
+		{Type: MsgPing, RequestID: 0},
 	}
 	for _, p := range protocols {
 		for _, m := range msgs {
